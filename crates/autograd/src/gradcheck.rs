@@ -1,0 +1,226 @@
+//! Numerical gradient checking.
+//!
+//! Every analytic backward rule in this workspace is validated against
+//! central finite differences. The checker re-runs a user-supplied closure
+//! that builds a fresh tape from perturbed leaf values, so it works for any
+//! composite graph — including the full Bellamy loss.
+
+use crate::tape::{NodeId, Tape};
+use bellamy_linalg::Matrix;
+
+/// Outcome of a gradient check for a single leaf.
+#[derive(Debug)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric entries.
+    pub max_abs_error: f64,
+    /// Largest relative difference (guarded against tiny denominators).
+    pub max_rel_error: f64,
+}
+
+/// Compares analytic gradients with central finite differences.
+///
+/// `build` receives the leaf values and must construct a tape, returning the
+/// tape, the ids assigned to each leaf (in order), and the scalar output id.
+/// Returns one report per leaf.
+///
+/// The default step `h = 1e-5` balances truncation against rounding error in
+/// `f64`; losses here are smooth except at isolated points (SELU kink at 0,
+/// Huber transition), which the caller should avoid hitting exactly.
+pub fn check_gradients(
+    leaves: &[Matrix],
+    build: impl Fn(&[Matrix]) -> (Tape, Vec<NodeId>, NodeId),
+) -> Vec<GradCheckReport> {
+    const H: f64 = 1e-5;
+
+    let (tape, ids, out) = build(leaves);
+    assert_eq!(ids.len(), leaves.len(), "build must return one id per leaf");
+    let grads = tape.backward(out);
+
+    let mut reports = Vec::with_capacity(leaves.len());
+    for (leaf_idx, leaf) in leaves.iter().enumerate() {
+        let analytic = grads.get_or_zeros(ids[leaf_idx], leaf.shape());
+        let mut max_abs = 0.0f64;
+        let mut max_rel = 0.0f64;
+        for elem in 0..leaf.len() {
+            let mut plus = leaves.to_vec();
+            plus[leaf_idx].as_mut_slice()[elem] += H;
+            let (tp, _, op) = build(&plus);
+            let fp = tp.value(op)[(0, 0)];
+
+            let mut minus = leaves.to_vec();
+            minus[leaf_idx].as_mut_slice()[elem] -= H;
+            let (tm, _, om) = build(&minus);
+            let fm = tm.value(om)[(0, 0)];
+
+            let numeric = (fp - fm) / (2.0 * H);
+            let a = analytic.as_slice()[elem];
+            let abs = (numeric - a).abs();
+            let rel = abs / numeric.abs().max(a.abs()).max(1e-8);
+            max_abs = max_abs.max(abs);
+            max_rel = max_rel.max(rel);
+        }
+        reports.push(GradCheckReport { max_abs_error: max_abs, max_rel_error: max_rel });
+    }
+    reports
+}
+
+/// Asserts that every leaf passes the gradient check within `tol` relative
+/// error. Panics with a per-leaf report otherwise.
+pub fn assert_gradients_close(
+    leaves: &[Matrix],
+    tol: f64,
+    build: impl Fn(&[Matrix]) -> (Tape, Vec<NodeId>, NodeId),
+) {
+    let reports = check_gradients(leaves, build);
+    for (i, r) in reports.iter().enumerate() {
+        assert!(
+            r.max_rel_error < tol || r.max_abs_error < tol,
+            "gradient check failed for leaf {i}: {r:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Activation;
+
+    /// Deterministic pseudo-random matrix that avoids activation kinks.
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+            // Keep away from 0 so SELU/Huber kinks don't break the finite
+            // difference comparison.
+            v + 0.1 * v.signum() + if v == 0.0 { 0.17 } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn linear_layer_gradcheck() {
+        let x = pseudo_random(4, 3, 1);
+        let w = pseudo_random(3, 2, 2);
+        let b = pseudo_random(1, 2, 3);
+        assert_gradients_close(&[x, w, b], 1e-5, |leaves| {
+            let mut tape = Tape::new();
+            let x = tape.leaf(leaves[0].clone());
+            let w = tape.leaf(leaves[1].clone());
+            let b = tape.leaf(leaves[2].clone());
+            let xw = tape.matmul(x, w);
+            let y = tape.add_bias(xw, b);
+            let out = tape.mean(y);
+            (tape, vec![x, w, b], out)
+        });
+    }
+
+    #[test]
+    fn selu_mlp_gradcheck() {
+        let x = pseudo_random(5, 3, 10);
+        let w1 = pseudo_random(3, 8, 11);
+        let w2 = pseudo_random(8, 2, 12);
+        let target = pseudo_random(5, 2, 13);
+        assert_gradients_close(&[x, w1, w2], 1e-4, |leaves| {
+            let mut tape = Tape::new();
+            let x = tape.leaf(leaves[0].clone());
+            let w1 = tape.leaf(leaves[1].clone());
+            let w2 = tape.leaf(leaves[2].clone());
+            let h = tape.matmul(x, w1);
+            let h = tape.activate(h, Activation::Selu);
+            let y = tape.matmul(h, w2);
+            let y = tape.activate(y, Activation::Selu);
+            let out = tape.huber_loss(y, target.clone(), 1.0);
+            (tape, vec![x, w1, w2], out)
+        });
+    }
+
+    #[test]
+    fn tanh_autoencoder_gradcheck() {
+        // The reconstruction target is the (constant) input `p`, so only the
+        // encoder/decoder weights are checked — perturbing `p` would also
+        // move the target, which the analytic gradient rightly ignores.
+        let p = pseudo_random(2, 6, 20);
+        let we = pseudo_random(6, 3, 21);
+        let wd = pseudo_random(3, 6, 22);
+        assert_gradients_close(&[we, wd], 1e-4, move |leaves| {
+            let mut tape = Tape::new();
+            let p_id = tape.leaf(p.clone());
+            let we = tape.leaf(leaves[0].clone());
+            let wd = tape.leaf(leaves[1].clone());
+            let code = tape.matmul(p_id, we);
+            let code = tape.activate(code, Activation::Selu);
+            let rec = tape.matmul(code, wd);
+            let rec = tape.activate(rec, Activation::Tanh);
+            let out = tape.mse_loss(rec, p.clone());
+            (tape, vec![we, wd], out)
+        });
+    }
+
+    #[test]
+    fn concat_and_mean_of_nodes_gradcheck() {
+        let a = pseudo_random(3, 2, 30);
+        let b = pseudo_random(3, 2, 31);
+        let c = pseudo_random(3, 2, 32);
+        let w = pseudo_random(4, 1, 33);
+        assert_gradients_close(&[a, b, c, w], 1e-5, |leaves| {
+            let mut tape = Tape::new();
+            let a = tape.leaf(leaves[0].clone());
+            let b = tape.leaf(leaves[1].clone());
+            let c = tape.leaf(leaves[2].clone());
+            let w = tape.leaf(leaves[3].clone());
+            let opt = tape.mean_of_nodes(&[b, c]);
+            let r = tape.concat_cols(&[a, opt]);
+            let y = tape.matmul(r, w);
+            let out = tape.mean(y);
+            (tape, vec![a, b, c, w], out)
+        });
+    }
+
+    #[test]
+    fn joint_loss_gradcheck() {
+        // Huber + MSE combined, mirroring Bellamy's pre-training objective.
+        let x = pseudo_random(4, 3, 40);
+        let w = pseudo_random(3, 1, 41);
+        let t1 = pseudo_random(4, 1, 42);
+        let t2 = pseudo_random(4, 3, 43);
+        assert_gradients_close(&[x.clone(), w], 1e-4, move |leaves| {
+            let mut tape = Tape::new();
+            let x_id = tape.leaf(leaves[0].clone());
+            let w_id = tape.leaf(leaves[1].clone());
+            let y = tape.matmul(x_id, w_id);
+            let l1 = tape.huber_loss(y, t1.clone(), 1.0);
+            let l2 = tape.mse_loss(x_id, t2.clone());
+            let out = tape.add(l1, l2);
+            (tape, vec![x_id, w_id], out)
+        });
+    }
+
+    #[test]
+    fn scale_sub_mul_gradcheck() {
+        let a = pseudo_random(3, 3, 50);
+        let b = pseudo_random(3, 3, 51);
+        assert_gradients_close(&[a, b], 1e-5, |leaves| {
+            let mut tape = Tape::new();
+            let a = tape.leaf(leaves[0].clone());
+            let b = tape.leaf(leaves[1].clone());
+            let d = tape.sub(a, b);
+            let p = tape.mul(d, a);
+            let s = tape.scale(p, 0.37);
+            let out = tape.sum(s);
+            (tape, vec![a, b], out)
+        });
+    }
+
+    #[test]
+    fn slice_cols_gradcheck() {
+        let x = pseudo_random(2, 5, 60);
+        assert_gradients_close(&[x], 1e-5, |leaves| {
+            let mut tape = Tape::new();
+            let x = tape.leaf(leaves[0].clone());
+            let s = tape.slice_cols(x, 1, 4);
+            let a = tape.activate(s, Activation::Tanh);
+            let out = tape.mean(a);
+            (tape, vec![x], out)
+        });
+    }
+}

@@ -1,0 +1,31 @@
+//! Tape-based reverse-mode automatic differentiation over dense matrices.
+//!
+//! This crate is the gradient engine behind `bellamy-nn`. It deliberately
+//! implements only the operations the Bellamy architecture needs — matrix
+//! multiplication, bias broadcast, the SELU/tanh activations, alpha-dropout,
+//! column concatenation/slicing, elementwise arithmetic, reductions, and the
+//! Huber/MSE losses — as a flat tape of enum nodes:
+//!
+//! ```
+//! use bellamy_autograd::Tape;
+//! use bellamy_linalg::Matrix;
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(Matrix::from_rows(&[vec![1.0, 2.0]]));
+//! let w = tape.leaf(Matrix::from_rows(&[vec![0.5], vec![-0.25]]));
+//! let y = tape.matmul(x, w);
+//! let loss = tape.mse_loss(y, Matrix::from_rows(&[vec![3.0]]));
+//! let grads = tape.backward(loss);
+//! assert!(grads.get(w).is_some());
+//! ```
+//!
+//! A fresh tape is built for every training step (define-by-run, like
+//! PyTorch); the networks here are four tiny MLPs, so tape construction cost
+//! is negligible next to the matmuls.
+
+pub mod gradcheck;
+pub mod ops;
+pub mod tape;
+
+pub use ops::Activation;
+pub use tape::{Gradients, NodeId, Tape};

@@ -1,0 +1,172 @@
+//! Scalar activation functions and their derivatives.
+//!
+//! The Bellamy prototype uses SELU everywhere except the decoder output,
+//! which is tanh (§IV-A of the paper). The constants below are the exact
+//! values from Klambauer et al., *Self-Normalizing Neural Networks* (2017).
+
+/// SELU scale constant λ.
+pub const SELU_LAMBDA: f64 = 1.0507009873554805;
+/// SELU alpha constant α.
+pub const SELU_ALPHA: f64 = 1.6732632423543772;
+
+/// The fixed point that alpha-dropout pushes dropped activations towards:
+/// `-λ·α`, the limit of SELU as its input goes to negative infinity.
+pub const SELU_ALPHA_PRIME: f64 = -SELU_LAMBDA * SELU_ALPHA;
+
+/// An elementwise activation with a closed-form derivative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity (no-op); useful for ablations and the final linear output.
+    Identity,
+    /// Scaled exponential linear unit.
+    Selu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Rectified linear unit.
+    Relu,
+}
+
+impl Activation {
+    /// Applies the activation to a scalar.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => x,
+            Activation::Selu => {
+                if x > 0.0 {
+                    SELU_LAMBDA * x
+                } else {
+                    SELU_LAMBDA * SELU_ALPHA * (x.exp() - 1.0)
+                }
+            }
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Relu => x.max(0.0),
+        }
+    }
+
+    /// Derivative of the activation, expressed in terms of the *input* `x`.
+    #[inline]
+    pub fn derivative(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Selu => {
+                if x > 0.0 {
+                    SELU_LAMBDA
+                } else {
+                    SELU_LAMBDA * SELU_ALPHA * x.exp()
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = 1.0 / (1.0 + (-x).exp());
+                s * (1.0 - s)
+            }
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Human-readable name, used in checkpoint metadata.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Identity => "identity",
+            Activation::Selu => "selu",
+            Activation::Tanh => "tanh",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Relu => "relu",
+        }
+    }
+
+    /// Parses the name written by [`Activation::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "identity" => Some(Activation::Identity),
+            "selu" => Some(Activation::Selu),
+            "tanh" => Some(Activation::Tanh),
+            "sigmoid" => Some(Activation::Sigmoid),
+            "relu" => Some(Activation::Relu),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ACTS: [Activation; 5] = [
+        Activation::Identity,
+        Activation::Selu,
+        Activation::Tanh,
+        Activation::Sigmoid,
+        Activation::Relu,
+    ];
+
+    #[test]
+    fn selu_constants_match_paper() {
+        assert!((SELU_LAMBDA - 1.0507).abs() < 1e-4);
+        assert!((SELU_ALPHA - 1.6733).abs() < 1e-4);
+        assert!((SELU_ALPHA_PRIME + 1.7581).abs() < 1e-4);
+    }
+
+    #[test]
+    fn selu_is_continuous_at_zero() {
+        let eps = 1e-9;
+        let left = Activation::Selu.apply(-eps);
+        let right = Activation::Selu.apply(eps);
+        assert!((left - right).abs() < 1e-7);
+        assert_eq!(Activation::Selu.apply(0.0), 0.0);
+    }
+
+    #[test]
+    fn selu_positive_branch_is_scaled_identity() {
+        for x in [0.1, 1.0, 3.7] {
+            assert!((Activation::Selu.apply(x) - SELU_LAMBDA * x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn selu_saturates_at_alpha_prime() {
+        assert!((Activation::Selu.apply(-40.0) - SELU_ALPHA_PRIME).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-6;
+        for act in ACTS {
+            for x in [-2.3, -0.7, -0.1, 0.2, 0.9, 2.5] {
+                let numeric = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                let analytic = act.derivative(x);
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "{act:?} at {x}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tanh_bounded() {
+        assert!(Activation::Tanh.apply(50.0) <= 1.0);
+        assert!(Activation::Tanh.apply(-50.0) >= -1.0);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for act in ACTS {
+            assert_eq!(Activation::from_name(act.name()), Some(act));
+        }
+        assert_eq!(Activation::from_name("bogus"), None);
+    }
+}

@@ -1,0 +1,561 @@
+//! The tape: a flat, append-only record of operations for one forward pass.
+
+use crate::ops::Activation;
+use bellamy_linalg::Matrix;
+
+/// Index of a node on a [`Tape`]. Only valid for the tape that produced it.
+pub type NodeId = usize;
+
+/// One recorded operation plus its forward value.
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// The operation that produced a node. Stores whatever the backward pass
+/// needs (parent ids plus saved tensors/constants).
+enum Op {
+    /// An input or parameter; gradient accumulates here.
+    Leaf,
+    /// `C = A * B` (matrix product).
+    MatMul(NodeId, NodeId),
+    /// `C = A + B` elementwise.
+    Add(NodeId, NodeId),
+    /// `C = A - B` elementwise.
+    Sub(NodeId, NodeId),
+    /// `C = A ⊙ B` elementwise.
+    Mul(NodeId, NodeId),
+    /// `C = alpha * A`.
+    Scale(NodeId, f64),
+    /// `C = A + broadcast(bias)` where bias is `1 x cols`.
+    AddBias(NodeId, NodeId),
+    /// Elementwise activation; saves the input for the derivative.
+    Unary(NodeId, Activation),
+    /// Horizontal concatenation of equally-tall nodes.
+    ConcatCols(Vec<NodeId>),
+    /// Column slice `[start, end)` of the input.
+    SliceCols { input: NodeId, start: usize },
+    /// Elementwise mean of equally-shaped nodes (Eq. 6: optional-property codes).
+    MeanOfNodes(Vec<NodeId>),
+    /// Affine dropout: `y = a * (x ⊙ mask) + shift`; gradient is `a * mask`.
+    /// Covers standard dropout (`a = 1/keep`, shift 0) and alpha-dropout.
+    Dropout { input: NodeId, mask: Matrix, scale: f64 },
+    /// Mean Huber loss against a constant target; produces a `1 x 1` node.
+    Huber { pred: NodeId, target: Matrix, delta: f64 },
+    /// Mean squared error against a constant target; produces a `1 x 1` node.
+    Mse { pred: NodeId, target: Matrix },
+    /// Sum of all elements; produces a `1 x 1` node.
+    Sum(NodeId),
+    /// Mean of all elements; produces a `1 x 1` node.
+    Mean(NodeId),
+}
+
+/// Gradients of a scalar output with respect to every node on the tape.
+///
+/// Nodes the output does not depend on have no entry.
+pub struct Gradients {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Gradients {
+    /// Gradient with respect to node `id`, if the differentiated scalar
+    /// depends on it.
+    pub fn get(&self, id: NodeId) -> Option<&Matrix> {
+        self.grads.get(id).and_then(|g| g.as_ref())
+    }
+
+    /// Gradient with respect to node `id`, or a zero matrix of the node's
+    /// shape when independent.
+    pub fn get_or_zeros(&self, id: NodeId, shape: (usize, usize)) -> Matrix {
+        match self.get(id) {
+            Some(g) => g.clone(),
+            None => Matrix::zeros(shape.0, shape.1),
+        }
+    }
+}
+
+/// A define-by-run computation tape.
+///
+/// Build one per forward/backward pass: create [`Tape::leaf`] nodes for the
+/// inputs and parameters, chain operations, then call [`Tape::backward`] on a
+/// `1 x 1` result node.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Forward value of a node.
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        &self.nodes[id].value
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> NodeId {
+        debug_assert!(value.all_finite(), "non-finite value entering the tape");
+        self.nodes.push(Node { value, op });
+        self.nodes.len() - 1
+    }
+
+    /// Registers an input or parameter matrix.
+    pub fn leaf(&mut self, value: Matrix) -> NodeId {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Matrix product `a * b`.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(value, Op::MatMul(a, b))
+    }
+
+    /// Elementwise sum. Both operands must share a shape; `1 x 1` nodes can
+    /// be combined with [`Tape::add`] to accumulate losses.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let value = self.value(a).add(self.value(b));
+        self.push(value, Op::Add(a, b))
+    }
+
+    /// Elementwise difference `a - b`.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let value = self.value(a).sub(self.value(b));
+        self.push(value, Op::Sub(a, b))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let value = self.value(a).hadamard(self.value(b));
+        self.push(value, Op::Mul(a, b))
+    }
+
+    /// Scalar multiple `alpha * a`.
+    pub fn scale(&mut self, a: NodeId, alpha: f64) -> NodeId {
+        let value = self.value(a).scale(alpha);
+        self.push(value, Op::Scale(a, alpha))
+    }
+
+    /// Adds a `1 x cols` bias row to every row of `x`.
+    pub fn add_bias(&mut self, x: NodeId, bias: NodeId) -> NodeId {
+        let value = self.value(x).broadcast_add_row(self.value(bias));
+        self.push(value, Op::AddBias(x, bias))
+    }
+
+    /// Applies an elementwise activation.
+    pub fn activate(&mut self, x: NodeId, act: Activation) -> NodeId {
+        let value = self.value(x).map(|v| act.apply(v));
+        self.push(value, Op::Unary(x, act))
+    }
+
+    /// Horizontally concatenates nodes with equal row counts.
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        let values: Vec<&Matrix> = parts.iter().map(|&id| self.value(id)).collect();
+        let value = Matrix::concat_cols(&values);
+        self.push(value, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Copies columns `[start, end)` of `x`.
+    pub fn slice_cols(&mut self, x: NodeId, start: usize, end: usize) -> NodeId {
+        let value = self.value(x).slice_cols(start, end);
+        self.push(value, Op::SliceCols { input: x, start })
+    }
+
+    /// Elementwise mean of equally-shaped nodes (used for the optional-code
+    /// average of Eq. 6 in the paper).
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty.
+    pub fn mean_of_nodes(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "mean_of_nodes with no inputs");
+        let mut acc = self.value(parts[0]).clone();
+        for &id in &parts[1..] {
+            acc.add_assign(self.value(id));
+        }
+        acc.scale_in_place(1.0 / parts.len() as f64);
+        self.push(acc, Op::MeanOfNodes(parts.to_vec()))
+    }
+
+    /// Applies a precomputed dropout transform `y = scale * (x ⊙ mask) + shift`.
+    ///
+    /// The caller supplies the Bernoulli `mask` and the affine constants;
+    /// `bellamy-nn` wraps this for standard and alpha dropout. `shift` is a
+    /// constant and therefore does not participate in the gradient.
+    pub fn dropout(&mut self, x: NodeId, mask: Matrix, scale: f64, shift: &Matrix) -> NodeId {
+        let value = {
+            let xv = self.value(x);
+            let mut v = xv.hadamard(&mask);
+            v.scale_in_place(scale);
+            v.add_assign(shift);
+            v
+        };
+        self.push(value, Op::Dropout { input: x, mask, scale })
+    }
+
+    /// Mean Huber loss of `pred` against a constant `target` (both same
+    /// shape). `delta` is the quadratic-to-linear transition point.
+    pub fn huber_loss(&mut self, pred: NodeId, target: Matrix, delta: f64) -> NodeId {
+        assert!(delta > 0.0, "huber delta must be positive");
+        let p = self.value(pred);
+        assert_eq!(p.shape(), target.shape(), "huber target shape mismatch");
+        let n = p.len() as f64;
+        let mut total = 0.0;
+        for (&pi, &ti) in p.as_slice().iter().zip(target.as_slice().iter()) {
+            let d = pi - ti;
+            total += if d.abs() <= delta {
+                0.5 * d * d
+            } else {
+                delta * (d.abs() - 0.5 * delta)
+            };
+        }
+        let value = Matrix::from_vec(1, 1, vec![total / n]);
+        self.push(value, Op::Huber { pred, target, delta })
+    }
+
+    /// Mean squared error of `pred` against a constant `target`.
+    pub fn mse_loss(&mut self, pred: NodeId, target: Matrix) -> NodeId {
+        let p = self.value(pred);
+        assert_eq!(p.shape(), target.shape(), "mse target shape mismatch");
+        let n = p.len() as f64;
+        let total: f64 = p
+            .as_slice()
+            .iter()
+            .zip(target.as_slice().iter())
+            .map(|(&pi, &ti)| (pi - ti) * (pi - ti))
+            .sum();
+        let value = Matrix::from_vec(1, 1, vec![total / n]);
+        self.push(value, Op::Mse { pred, target })
+    }
+
+    /// Sum of all elements, as a `1 x 1` node.
+    pub fn sum(&mut self, x: NodeId) -> NodeId {
+        let value = Matrix::from_vec(1, 1, vec![self.value(x).sum()]);
+        self.push(value, Op::Sum(x))
+    }
+
+    /// Mean of all elements, as a `1 x 1` node.
+    pub fn mean(&mut self, x: NodeId) -> NodeId {
+        let value = Matrix::from_vec(1, 1, vec![self.value(x).mean()]);
+        self.push(value, Op::Mean(x))
+    }
+
+    /// Reverse-mode sweep from the `1 x 1` node `output`.
+    ///
+    /// # Panics
+    /// Panics if `output` is not scalar-shaped.
+    pub fn backward(&self, output: NodeId) -> Gradients {
+        assert_eq!(
+            self.value(output).shape(),
+            (1, 1),
+            "backward requires a scalar (1x1) output node"
+        );
+        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        grads[output] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+
+        for id in (0..=output).rev() {
+            let Some(grad) = grads[id].take() else {
+                continue;
+            };
+            self.accumulate_parents(id, &grad, &mut grads);
+            grads[id] = Some(grad);
+        }
+
+        Gradients { grads }
+    }
+
+    /// Adds `delta` into the gradient slot of `id`.
+    fn accumulate(grads: &mut [Option<Matrix>], id: NodeId, delta: Matrix) {
+        match &mut grads[id] {
+            Some(existing) => existing.add_assign(&delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    fn accumulate_parents(&self, id: NodeId, grad: &Matrix, grads: &mut [Option<Matrix>]) {
+        match &self.nodes[id].op {
+            Op::Leaf => {}
+            Op::MatMul(a, b) => {
+                // dA = dC * B^T ; dB = A^T * dC
+                let da = grad.matmul_transpose_b(self.value(*b));
+                let db = self.value(*a).transpose_a_matmul(grad);
+                Self::accumulate(grads, *a, da);
+                Self::accumulate(grads, *b, db);
+            }
+            Op::Add(a, b) => {
+                Self::accumulate(grads, *a, grad.clone());
+                Self::accumulate(grads, *b, grad.clone());
+            }
+            Op::Sub(a, b) => {
+                Self::accumulate(grads, *a, grad.clone());
+                Self::accumulate(grads, *b, grad.scale(-1.0));
+            }
+            Op::Mul(a, b) => {
+                let da = grad.hadamard(self.value(*b));
+                let db = grad.hadamard(self.value(*a));
+                Self::accumulate(grads, *a, da);
+                Self::accumulate(grads, *b, db);
+            }
+            Op::Scale(a, alpha) => {
+                Self::accumulate(grads, *a, grad.scale(*alpha));
+            }
+            Op::AddBias(x, bias) => {
+                Self::accumulate(grads, *x, grad.clone());
+                // Bias gradient sums over the batch dimension.
+                Self::accumulate(grads, *bias, grad.sum_rows());
+            }
+            Op::Unary(x, act) => {
+                let input = self.value(*x);
+                let dx = grad.zip_map(input, |g, xi| g * act.derivative(xi));
+                Self::accumulate(grads, *x, dx);
+            }
+            Op::ConcatCols(parts) => {
+                let mut offset = 0;
+                for &p in parts {
+                    let w = self.value(p).cols();
+                    Self::accumulate(grads, p, grad.slice_cols(offset, offset + w));
+                    offset += w;
+                }
+            }
+            Op::SliceCols { input, start } => {
+                // Scatter the slice gradient back into a zero matrix of the
+                // input's shape.
+                let (rows, cols) = self.value(*input).shape();
+                let mut dx = Matrix::zeros(rows, cols);
+                for i in 0..rows {
+                    let src = grad.row(i);
+                    dx.row_mut(i)[*start..*start + src.len()].copy_from_slice(src);
+                }
+                Self::accumulate(grads, *input, dx);
+            }
+            Op::MeanOfNodes(parts) => {
+                let share = grad.scale(1.0 / parts.len() as f64);
+                for &p in parts {
+                    Self::accumulate(grads, p, share.clone());
+                }
+            }
+            Op::Dropout { input, mask, scale } => {
+                let mut dx = grad.hadamard(mask);
+                dx.scale_in_place(*scale);
+                Self::accumulate(grads, *input, dx);
+            }
+            Op::Huber { pred, target, delta } => {
+                let p = self.value(*pred);
+                let n = p.len() as f64;
+                let seed = grad[(0, 0)];
+                let dx = p.zip_map(target, |pi, ti| {
+                    let d = pi - ti;
+                    seed * d.clamp(-*delta, *delta) / n
+                });
+                Self::accumulate(grads, *pred, dx);
+            }
+            Op::Mse { pred, target } => {
+                let p = self.value(*pred);
+                let n = p.len() as f64;
+                let seed = grad[(0, 0)];
+                let dx = p.zip_map(target, |pi, ti| seed * 2.0 * (pi - ti) / n);
+                Self::accumulate(grads, *pred, dx);
+            }
+            Op::Sum(x) => {
+                let (rows, cols) = self.value(*x).shape();
+                let seed = grad[(0, 0)];
+                Self::accumulate(grads, *x, Matrix::filled(rows, cols, seed));
+            }
+            Op::Mean(x) => {
+                let (rows, cols) = self.value(*x).shape();
+                let n = (rows * cols) as f64;
+                let seed = grad[(0, 0)];
+                Self::accumulate(grads, *x, Matrix::filled(rows, cols, seed / n));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar(tape: &Tape, id: NodeId) -> f64 {
+        tape.value(id)[(0, 0)]
+    }
+
+    #[test]
+    fn leaf_value_round_trip() {
+        let mut tape = Tape::new();
+        let m = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let id = tape.leaf(m.clone());
+        assert_eq!(tape.value(id), &m);
+        assert_eq!(tape.len(), 1);
+    }
+
+    #[test]
+    fn matmul_gradients_match_manual() {
+        // f = sum(A * B); dA = ones * B^T, dB = A^T * ones.
+        let mut tape = Tape::new();
+        let a = tape.leaf(Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let b = tape.leaf(Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]));
+        let c = tape.matmul(a, b);
+        let s = tape.sum(c);
+        let grads = tape.backward(s);
+
+        let ones = Matrix::filled(2, 2, 1.0);
+        let da = ones.matmul_transpose_b(tape.value(b));
+        let db = tape.value(a).transpose_a_matmul(&ones);
+        assert!(grads.get(a).unwrap().max_abs_diff(&da) < 1e-12);
+        assert!(grads.get(b).unwrap().max_abs_diff(&db) < 1e-12);
+    }
+
+    #[test]
+    fn add_bias_sums_gradient_over_batch() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::zeros(3, 2));
+        let b = tape.leaf(Matrix::row_vector(&[1.0, -1.0]));
+        let y = tape.add_bias(x, b);
+        let s = tape.sum(y);
+        let grads = tape.backward(s);
+        // Each of the 3 batch rows contributes 1 to each bias element.
+        assert_eq!(grads.get(b).unwrap(), &Matrix::row_vector(&[3.0, 3.0]));
+    }
+
+    #[test]
+    fn mse_loss_value_and_gradient() {
+        let mut tape = Tape::new();
+        let p = tape.leaf(Matrix::row_vector(&[2.0, 4.0]));
+        let loss = tape.mse_loss(p, Matrix::row_vector(&[0.0, 0.0]));
+        // (4 + 16) / 2 = 10
+        assert!((scalar(&tape, loss) - 10.0).abs() < 1e-12);
+        let grads = tape.backward(loss);
+        // d/dp mean((p - t)^2) = 2 (p - t) / n = [2, 4]
+        assert!(grads.get(p).unwrap().max_abs_diff(&Matrix::row_vector(&[2.0, 4.0])) < 1e-12);
+    }
+
+    #[test]
+    fn huber_loss_quadratic_and_linear_regions() {
+        let mut tape = Tape::new();
+        let p = tape.leaf(Matrix::row_vector(&[0.5, 3.0]));
+        let loss = tape.huber_loss(p, Matrix::row_vector(&[0.0, 0.0]), 1.0);
+        // elem 0: 0.5*0.25 = 0.125 (quadratic); elem 1: 1*(3-0.5) = 2.5 (linear)
+        assert!((scalar(&tape, loss) - (0.125 + 2.5) / 2.0).abs() < 1e-12);
+        let grads = tape.backward(loss);
+        // grad elem 0: 0.5/2; elem 1: clamp -> 1/2.
+        assert!(grads.get(p).unwrap().max_abs_diff(&Matrix::row_vector(&[0.25, 0.5])) < 1e-12);
+    }
+
+    #[test]
+    fn concat_routes_gradients_to_parts() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Matrix::row_vector(&[1.0]));
+        let b = tape.leaf(Matrix::row_vector(&[2.0, 3.0]));
+        let c = tape.concat_cols(&[a, b]);
+        // Weight the concatenated vector to distinguish positions.
+        let w = tape.leaf(Matrix::col_vector(&[10.0, 100.0, 1000.0]));
+        let y = tape.matmul(c, w);
+        let s = tape.sum(y);
+        let grads = tape.backward(s);
+        assert_eq!(grads.get(a).unwrap(), &Matrix::row_vector(&[10.0]));
+        assert_eq!(grads.get(b).unwrap(), &Matrix::row_vector(&[100.0, 1000.0]));
+    }
+
+    #[test]
+    fn slice_scatters_gradient() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::row_vector(&[1.0, 2.0, 3.0, 4.0]));
+        let mid = tape.slice_cols(x, 1, 3);
+        let s = tape.sum(mid);
+        let grads = tape.backward(s);
+        assert_eq!(
+            grads.get(x).unwrap(),
+            &Matrix::row_vector(&[0.0, 1.0, 1.0, 0.0])
+        );
+    }
+
+    #[test]
+    fn mean_of_nodes_distributes_equally() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Matrix::row_vector(&[1.0, 2.0]));
+        let b = tape.leaf(Matrix::row_vector(&[3.0, 4.0]));
+        let c = tape.leaf(Matrix::row_vector(&[5.0, 6.0]));
+        let m = tape.mean_of_nodes(&[a, b, c]);
+        assert_eq!(tape.value(m), &Matrix::row_vector(&[3.0, 4.0]));
+        let s = tape.sum(m);
+        let grads = tape.backward(s);
+        for id in [a, b, c] {
+            assert!(grads
+                .get(id)
+                .unwrap()
+                .max_abs_diff(&Matrix::filled(1, 2, 1.0 / 3.0))
+                < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dropout_masks_gradient() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::row_vector(&[1.0, 2.0, 3.0]));
+        let mask = Matrix::row_vector(&[1.0, 0.0, 1.0]);
+        let shift = Matrix::zeros(1, 3);
+        let y = tape.dropout(x, mask, 2.0, &shift);
+        assert_eq!(tape.value(y), &Matrix::row_vector(&[2.0, 0.0, 6.0]));
+        let s = tape.sum(y);
+        let grads = tape.backward(s);
+        assert_eq!(grads.get(x).unwrap(), &Matrix::row_vector(&[2.0, 0.0, 2.0]));
+    }
+
+    #[test]
+    fn unused_leaf_has_no_gradient() {
+        let mut tape = Tape::new();
+        let used = tape.leaf(Matrix::row_vector(&[1.0]));
+        let unused = tape.leaf(Matrix::row_vector(&[9.0]));
+        let s = tape.sum(used);
+        let grads = tape.backward(s);
+        assert!(grads.get(unused).is_none());
+        assert_eq!(
+            grads.get_or_zeros(unused, (1, 1)),
+            Matrix::zeros(1, 1)
+        );
+    }
+
+    #[test]
+    fn diamond_dependency_accumulates() {
+        // y = x + x ; dy/dx = 2
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::row_vector(&[5.0]));
+        let y = tape.add(x, x);
+        let s = tape.sum(y);
+        let grads = tape.backward(s);
+        assert_eq!(grads.get(x).unwrap(), &Matrix::row_vector(&[2.0]));
+    }
+
+    #[test]
+    fn activation_chain_backward() {
+        // loss = mean(tanh(selu(x))); verified against finite differences in
+        // the gradcheck module; here just confirm shape and finiteness.
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::from_rows(&[vec![0.3, -0.8], vec![1.2, -2.0]]));
+        let h = tape.activate(x, Activation::Selu);
+        let t = tape.activate(h, Activation::Tanh);
+        let loss = tape.mean(t);
+        let grads = tape.backward(loss);
+        let g = grads.get(x).unwrap();
+        assert_eq!(g.shape(), (2, 2));
+        assert!(g.all_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_rejects_non_scalar() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::row_vector(&[1.0, 2.0]));
+        let _ = tape.backward(x);
+    }
+}

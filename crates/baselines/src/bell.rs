@@ -1,0 +1,168 @@
+//! Bell (Thamsen et al., IPCCC'16): the paper's second baseline.
+//!
+//! Bell "combines a non-parametric model with a parametric model based on
+//! Ernest ... and automatically chooses a suitable model for predictions"
+//! (§II). The selection runs leave-one-out cross-validation over the
+//! training points, which is why "Bell requires at least three data points
+//! due to an internally used cross-validation" (§IV-C1).
+
+use crate::ernest::ErnestModel;
+use crate::nonparametric::NonParametricModel;
+use crate::{mean_by_scale_out, FitError, ScaleOutModel};
+
+/// Which sub-model leave-one-out selection picked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BellChoice {
+    /// Ernest's NNLS-fitted parametric form.
+    Parametric,
+    /// Piecewise-linear interpolation.
+    NonParametric,
+}
+
+/// The fitted Bell model.
+#[derive(Debug, Clone)]
+pub struct BellModel {
+    parametric: ErnestModel,
+    nonparametric: NonParametricModel,
+    choice: BellChoice,
+}
+
+impl BellModel {
+    /// Fits both sub-models and selects one by leave-one-out CV over the
+    /// distinct scale-outs.
+    ///
+    /// Requires at least 3 distinct scale-outs; fewer yields
+    /// [`FitError::NotEnoughData`].
+    pub fn fit(points: &[(f64, f64)]) -> Result<Self, FitError> {
+        let grouped = mean_by_scale_out(points);
+        if grouped.len() < 3 {
+            return Err(FitError::NotEnoughData { needed: 3, got: grouped.len() });
+        }
+
+        let mut err_param = 0.0;
+        let mut err_nonparam = 0.0;
+        #[allow(clippy::needless_range_loop)]
+        for holdout in 0..grouped.len() {
+            let train: Vec<(f64, f64)> = points
+                .iter()
+                .filter(|p| p.0 != grouped[holdout].0)
+                .copied()
+                .collect();
+            let (x_test, y_test) = grouped[holdout];
+            if let Ok(m) = ErnestModel::fit(&train) {
+                let d = m.predict(x_test) - y_test;
+                err_param += d * d;
+            } else {
+                err_param += f64::INFINITY;
+            }
+            if let Ok(m) = NonParametricModel::fit(&train) {
+                let d = m.predict(x_test) - y_test;
+                err_nonparam += d * d;
+            } else {
+                err_nonparam += f64::INFINITY;
+            }
+        }
+
+        let choice = if err_param <= err_nonparam {
+            BellChoice::Parametric
+        } else {
+            BellChoice::NonParametric
+        };
+
+        Ok(Self {
+            parametric: ErnestModel::fit(points)?,
+            nonparametric: NonParametricModel::fit(points)?,
+            choice,
+        })
+    }
+
+    /// The selected sub-model.
+    pub fn choice(&self) -> BellChoice {
+        self.choice
+    }
+
+    /// Access to the fitted parametric sub-model.
+    pub fn parametric(&self) -> &ErnestModel {
+        &self.parametric
+    }
+
+    /// Access to the fitted non-parametric sub-model.
+    pub fn nonparametric(&self) -> &NonParametricModel {
+        &self.nonparametric
+    }
+}
+
+impl ScaleOutModel for BellModel {
+    fn predict(&self, x: f64) -> f64 {
+        match self.choice {
+            BellChoice::Parametric => self.parametric.predict(x),
+            BellChoice::NonParametric => self.nonparametric.predict(x),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ernest_curve(x: f64) -> f64 {
+        20.0 + 300.0 / x + 4.0 * x.ln() + 1.5 * x
+    }
+
+    #[test]
+    fn selects_parametric_on_ernest_shaped_data() {
+        let pts: Vec<(f64, f64)> = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0]
+            .iter()
+            .map(|&x| (x, ernest_curve(x)))
+            .collect();
+        let m = BellModel::fit(&pts).unwrap();
+        assert_eq!(m.choice(), BellChoice::Parametric);
+        assert!((m.predict(5.0) - ernest_curve(5.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn selects_nonparametric_on_irregular_data() {
+        // A sharp step no Ernest curve (non-negative coefficients, smooth
+        // shape) can follow.
+        let pts = vec![
+            (2.0, 100.0),
+            (4.0, 100.0),
+            (6.0, 100.0),
+            (8.0, 20.0),
+            (10.0, 20.0),
+            (12.0, 20.0),
+        ];
+        let m = BellModel::fit(&pts).unwrap();
+        assert_eq!(m.choice(), BellChoice::NonParametric);
+        // Interpolation nails the plateaus.
+        assert!((m.predict(3.0) - 100.0).abs() < 1e-9);
+        assert!((m.predict(11.0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn requires_three_distinct_scale_outs() {
+        let err = BellModel::fit(&[(2.0, 10.0), (2.0, 11.0), (4.0, 8.0)]).unwrap_err();
+        assert_eq!(err, FitError::NotEnoughData { needed: 3, got: 2 });
+    }
+
+    #[test]
+    fn three_points_fit() {
+        let pts = vec![(2.0, 90.0), (6.0, 45.0), (12.0, 30.0)];
+        let m = BellModel::fit(&pts).unwrap();
+        let p = m.predict(4.0);
+        assert!(p.is_finite() && p > 0.0);
+    }
+
+    #[test]
+    fn repeats_do_not_break_cv() {
+        // 5 repeats per scale-out, as in the C3O data.
+        let mut pts = Vec::new();
+        for &x in &[2.0, 4.0, 6.0, 8.0] {
+            for r in 0..5 {
+                pts.push((x, ernest_curve(x) * (1.0 + 0.01 * r as f64)));
+            }
+        }
+        let m = BellModel::fit(&pts).unwrap();
+        assert!(m.predict(5.0).is_finite());
+    }
+}

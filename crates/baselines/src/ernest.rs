@@ -1,0 +1,128 @@
+//! Ernest's parametric model, fitted with NNLS (the paper's `NNLS` baseline).
+
+use crate::{FitError, ScaleOutModel};
+use bellamy_linalg::{nnls, Matrix};
+
+/// The Ernest feature map `x -> [1, 1/x, log x, x]` (Eq. 1).
+pub fn ernest_features(x: f64) -> [f64; 4] {
+    assert!(x >= 1.0, "scale-out must be at least 1");
+    [1.0, 1.0 / x, x.ln(), x]
+}
+
+/// `t(x) = θ1 + θ2/x + θ3·log x + θ4·x` with `θ >= 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErnestModel {
+    theta: [f64; 4],
+    residual_norm: f64,
+}
+
+impl ErnestModel {
+    /// Fits the model to `(scale_out, runtime)` samples via NNLS.
+    ///
+    /// Any non-empty sample set is accepted — the paper notes that "using
+    /// NNLS with just one data point is by design unreasonable", and the
+    /// evaluation shows exactly how unreasonable, so under-determined fits
+    /// must still produce a model rather than an error.
+    pub fn fit(points: &[(f64, f64)]) -> Result<Self, FitError> {
+        if points.is_empty() {
+            return Err(FitError::NotEnoughData { needed: 1, got: 0 });
+        }
+        let a = Matrix::from_fn(points.len(), 4, |i, j| ernest_features(points[i].0)[j]);
+        let b: Vec<f64> = points.iter().map(|p| p.1).collect();
+        let sol = nnls(&a, &b).map_err(|e| FitError::SolverFailed(e.to_string()))?;
+        Ok(Self {
+            theta: [sol.x[0], sol.x[1], sol.x[2], sol.x[3]],
+            residual_norm: sol.residual_norm,
+        })
+    }
+
+    /// The fitted coefficients `[θ1, θ2, θ3, θ4]`.
+    pub fn theta(&self) -> [f64; 4] {
+        self.theta
+    }
+
+    /// Training residual norm from the NNLS solve.
+    pub fn residual_norm(&self) -> f64 {
+        self.residual_norm
+    }
+}
+
+impl ScaleOutModel for ErnestModel {
+    fn predict(&self, x: f64) -> f64 {
+        let f = ernest_features(x);
+        self.theta.iter().zip(f.iter()).map(|(t, v)| t * v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(theta: [f64; 4]) -> impl Fn(f64) -> f64 {
+        move |x: f64| theta[0] + theta[1] / x + theta[2] * x.ln() + theta[3] * x
+    }
+
+    #[test]
+    fn recovers_exact_coefficients() {
+        let truth = [30.0, 400.0, 5.0, 2.0];
+        let f = curve(truth);
+        let pts: Vec<(f64, f64)> = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0]
+            .iter()
+            .map(|&x| (x, f(x)))
+            .collect();
+        let m = ErnestModel::fit(&pts).unwrap();
+        for (got, want) in m.theta().iter().zip(truth.iter()) {
+            assert!((got - want).abs() < 1e-6, "{:?} vs {truth:?}", m.theta());
+        }
+        assert!(m.residual_norm() < 1e-8);
+        // Interpolation and extrapolation on the clean curve are exact.
+        assert!((m.predict(5.0) - f(5.0)).abs() < 1e-6);
+        assert!((m.predict(20.0) - f(20.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn coefficients_are_nonnegative_on_noisy_data() {
+        let f = curve([10.0, 120.0, 0.0, 0.5]);
+        // Noise pattern that would drive an OLS log-coefficient negative.
+        let pts: Vec<(f64, f64)> = [2.0, 4.0, 6.0, 8.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, f(x) * if i % 2 == 0 { 1.06 } else { 0.94 }))
+            .collect();
+        let m = ErnestModel::fit(&pts).unwrap();
+        assert!(m.theta().iter().all(|&t| t >= 0.0));
+    }
+
+    #[test]
+    fn single_point_fits_degenerately() {
+        // One sample: the model must exist; its quality is the experiment's
+        // business, not the API's.
+        let m = ErnestModel::fit(&[(4.0, 100.0)]).unwrap();
+        let p = m.predict(4.0);
+        assert!((p - 100.0).abs() < 1e-6, "must reproduce the one observation, got {p}");
+    }
+
+    #[test]
+    fn empty_fit_rejected() {
+        assert_eq!(
+            ErnestModel::fit(&[]).unwrap_err(),
+            FitError::NotEnoughData { needed: 1, got: 0 }
+        );
+    }
+
+    #[test]
+    fn predict_all_matches_predict() {
+        let m = ErnestModel::fit(&[(2.0, 50.0), (4.0, 30.0), (8.0, 20.0)]).unwrap();
+        let xs = [2.0, 3.0, 4.0];
+        let batch = m.predict_all(&xs);
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(batch[i], m.predict(x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_zero_scale_out() {
+        let _ = ernest_features(0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Baseline runtime predictors the paper compares Bellamy against (§IV-C):
+//!
+//! - **Ernest / NNLS** ([`ernest::ErnestModel`]) — the parametric model
+//!   `t(x) = θ1 + θ2/x + θ3·log x + θ4·x` fitted with non-negative least
+//!   squares (Venkataraman et al., NSDI'16),
+//! - **Bell** ([`bell::BellModel`]) — the authors' earlier work (Thamsen et
+//!   al., IPCCC'16): a non-parametric interpolation model combined with the
+//!   parametric model, selected automatically per job via leave-one-out
+//!   cross-validation.
+//!
+//! Both are *single-context* models: they see only `(scale-out, runtime)`
+//! pairs, which is exactly the limitation Bellamy's context encoding lifts.
+
+pub mod bell;
+pub mod ernest;
+pub mod nonparametric;
+
+pub use bell::BellModel;
+pub use ernest::ErnestModel;
+pub use nonparametric::NonParametricModel;
+
+/// Why a model could not be fitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Too few (distinct) data points for this model class.
+    NotEnoughData {
+        /// Distinct scale-outs required.
+        needed: usize,
+        /// Distinct scale-outs provided.
+        got: usize,
+    },
+    /// The underlying solver failed (degenerate inputs).
+    SolverFailed(String),
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::NotEnoughData { needed, got } => {
+                write!(f, "needs {needed} distinct scale-outs, got {got}")
+            }
+            FitError::SolverFailed(e) => write!(f, "solver failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A fitted scale-out → runtime model.
+pub trait ScaleOutModel {
+    /// Predicted runtime (seconds) at `x` machines.
+    fn predict(&self, x: f64) -> f64;
+
+    /// Predicts for many scale-outs at once.
+    fn predict_all(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.predict(x)).collect()
+    }
+}
+
+/// Collapses `(scale_out, runtime)` samples to per-scale-out means, sorted
+/// ascending — shared by the non-parametric model and cross-validation.
+pub(crate) fn mean_by_scale_out(points: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<(f64, f64)> = points.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scale-outs"));
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let x = sorted[i].0;
+        let mut sum = 0.0;
+        let mut n = 0;
+        while i < sorted.len() && sorted[i].0 == x {
+            sum += sorted[i].1;
+            n += 1;
+            i += 1;
+        }
+        out.push((x, sum / n as f64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_by_scale_out_groups_and_sorts() {
+        let pts = [(4.0, 10.0), (2.0, 20.0), (4.0, 14.0), (2.0, 22.0), (6.0, 8.0)];
+        let grouped = mean_by_scale_out(&pts);
+        assert_eq!(grouped, vec![(2.0, 21.0), (4.0, 12.0), (6.0, 8.0)]);
+    }
+
+    #[test]
+    fn fit_error_messages() {
+        let e = FitError::NotEnoughData { needed: 3, got: 1 };
+        assert!(e.to_string().contains("3"));
+        let s = FitError::SolverFailed("x".into());
+        assert!(s.to_string().contains("x"));
+    }
+}

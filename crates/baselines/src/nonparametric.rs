@@ -1,0 +1,99 @@
+//! The non-parametric half of Bell: piecewise-linear interpolation over
+//! per-scale-out mean runtimes, extended linearly beyond the observed range.
+//!
+//! Inside the observed range this is the classic interpolation estimator
+//! (dense data beats any parametric form — §IV-C1 observes exactly this);
+//! outside the range it continues the slope of the nearest segment, which is
+//! the behaviour that makes non-parametric models weak extrapolators.
+
+use crate::{mean_by_scale_out, FitError, ScaleOutModel};
+
+/// Piecewise-linear interpolation model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonParametricModel {
+    /// `(scale_out, mean runtime)` knots, ascending, at least one.
+    knots: Vec<(f64, f64)>,
+}
+
+impl NonParametricModel {
+    /// Fits (groups samples by scale-out and keeps the means).
+    pub fn fit(points: &[(f64, f64)]) -> Result<Self, FitError> {
+        if points.is_empty() {
+            return Err(FitError::NotEnoughData { needed: 1, got: 0 });
+        }
+        Ok(Self { knots: mean_by_scale_out(points) })
+    }
+
+    /// The interpolation knots.
+    pub fn knots(&self) -> &[(f64, f64)] {
+        &self.knots
+    }
+}
+
+impl ScaleOutModel for NonParametricModel {
+    fn predict(&self, x: f64) -> f64 {
+        let k = &self.knots;
+        if k.len() == 1 {
+            return k[0].1; // constant model
+        }
+        // Clamp to the outermost segment for extrapolation.
+        let seg = if x <= k[0].0 {
+            (k[0], k[1])
+        } else if x >= k[k.len() - 1].0 {
+            (k[k.len() - 2], k[k.len() - 1])
+        } else {
+            let hi = k.partition_point(|&(kx, _)| kx < x).min(k.len() - 1);
+            (k[hi - 1], k[hi])
+        };
+        let ((x0, y0), (x1, y1)) = seg;
+        let slope = (y1 - y0) / (x1 - x0);
+        y0 + slope * (x - x0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_between_knots() {
+        let m = NonParametricModel::fit(&[(2.0, 100.0), (4.0, 60.0), (8.0, 40.0)]).unwrap();
+        assert_eq!(m.predict(3.0), 80.0);
+        assert_eq!(m.predict(6.0), 50.0);
+        // Exact at the knots.
+        assert_eq!(m.predict(2.0), 100.0);
+        assert_eq!(m.predict(8.0), 40.0);
+    }
+
+    #[test]
+    fn repeats_are_averaged() {
+        let m = NonParametricModel::fit(&[(2.0, 90.0), (2.0, 110.0), (4.0, 60.0)]).unwrap();
+        assert_eq!(m.predict(2.0), 100.0);
+    }
+
+    #[test]
+    fn extrapolates_linearly() {
+        let m = NonParametricModel::fit(&[(4.0, 80.0), (8.0, 40.0)]).unwrap();
+        // Slope -10 per machine continues on both sides.
+        assert_eq!(m.predict(12.0), 0.0);
+        assert_eq!(m.predict(2.0), 100.0);
+    }
+
+    #[test]
+    fn single_knot_is_constant() {
+        let m = NonParametricModel::fit(&[(6.0, 55.0)]).unwrap();
+        assert_eq!(m.predict(2.0), 55.0);
+        assert_eq!(m.predict(60.0), 55.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let m = NonParametricModel::fit(&[(8.0, 40.0), (2.0, 100.0), (4.0, 60.0)]).unwrap();
+        assert_eq!(m.knots(), &[(2.0, 100.0), (4.0, 60.0), (8.0, 40.0)]);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(NonParametricModel::fit(&[]).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Micro benchmarks of the numeric substrate: matmul kernels, QR, NNLS, and
+//! the property encoders. These are the inner loops behind every figure.
+
+use bellamy_encoding::{binarize, HashingVectorizer, PropertyEncoder, PropertyValue};
+use bellamy_linalg::{lstsq, nnls, Matrix, QrDecomposition};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn deterministic_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    })
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[16usize, 64, 128] {
+        let a = deterministic_matrix(n, n, 1);
+        let b = deterministic_matrix(n, n, 2);
+        group.bench_with_input(BenchmarkId::new("square", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)))
+        });
+    }
+    // The backprop kernels at the Bellamy layer shapes (batch 64).
+    let x = deterministic_matrix(64, 40, 3);
+    let w = deterministic_matrix(40, 8, 4);
+    let dy = deterministic_matrix(64, 8, 5);
+    group.bench_function("layer_forward_64x40x8", |b| b.iter(|| black_box(x.matmul(&w))));
+    group.bench_function("layer_dw_xT_dy", |b| {
+        b.iter(|| black_box(x.transpose_a_matmul(&dy)))
+    });
+    group.bench_function("layer_dx_dy_wT", |b| {
+        b.iter(|| black_box(dy.matmul_transpose_b(&w)))
+    });
+    group.finish();
+}
+
+fn bench_qr_and_nnls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers");
+    // Ernest's design matrix shape: 6 scale-outs x 4 features (Fig. 5 inner
+    // loop for the NNLS baseline).
+    let scale_outs = [2.0f64, 4.0, 6.0, 8.0, 10.0, 12.0];
+    let a = Matrix::from_fn(6, 4, |i, j| {
+        let x: f64 = scale_outs[i];
+        [1.0, 1.0 / x, x.ln(), x][j]
+    });
+    let b: Vec<f64> = scale_outs.iter().map(|&x| 30.0 + 400.0 / x + 5.0 * x.ln() + 2.0 * x).collect();
+    group.bench_function("nnls_ernest_6x4", |bench| {
+        bench.iter(|| black_box(nnls(&a, &b).expect("solvable")))
+    });
+    group.bench_function("qr_ernest_6x4", |bench| {
+        bench.iter(|| black_box(QrDecomposition::new(&a)))
+    });
+    group.bench_function("lstsq_ernest_6x4", |bench| {
+        bench.iter(|| black_box(lstsq(&a, &b)))
+    });
+
+    let big = deterministic_matrix(100, 12, 7);
+    let rhs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+    group.bench_function("nnls_100x12", |bench| {
+        bench.iter(|| black_box(nnls(&big, &rhs).expect("solvable")))
+    });
+    group.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding");
+    let hasher = HashingVectorizer::paper_default();
+    group.bench_function("hashing_vectorizer_node_type", |b| {
+        b.iter(|| black_box(hasher.transform("m4.2xlarge")))
+    });
+    group.bench_function("hashing_vectorizer_job_params", |b| {
+        b.iter(|| black_box(hasher.transform("--k 16 --iterations 50 --sampling 0.1")))
+    });
+    group.bench_function("binarize_39bit", |b| b.iter(|| black_box(binarize(19_353, 39))));
+
+    let encoder = PropertyEncoder::default();
+    let props = [
+        PropertyValue::Number(19_353),
+        PropertyValue::text("dense-features"),
+        PropertyValue::text("--iterations 100"),
+        PropertyValue::text("r4.2xlarge"),
+        PropertyValue::Number(62_464),
+        PropertyValue::Number(8),
+        PropertyValue::text("sgd"),
+    ];
+    group.bench_function("encode_full_context_7_props", |b| {
+        b.iter(|| black_box(encoder.encode_all(&props)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_qr_and_nnls, bench_encoding);
+criterion_main!(benches);

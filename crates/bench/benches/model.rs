@@ -1,0 +1,195 @@
+//! Benchmarks of the Bellamy model itself: forward/backward passes at the
+//! paper's layer shapes, fine-tuning (the cost the paper reports in
+//! §IV-C "Training time"), prediction latency, and checkpointing.
+
+use bellamy_core::finetune::fit_local;
+use bellamy_core::{
+    Bellamy, BellamyConfig, FinetuneConfig, PretrainConfig, ReuseStrategy, TrainingSample,
+};
+use bellamy_data::{generate_c3o, Algorithm, GeneratorConfig};
+use bellamy_nn::Graph;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+struct Setup {
+    pretrained: Bellamy,
+    few_samples: Vec<TrainingSample>,
+    all_samples: Vec<TrainingSample>,
+}
+
+fn setup() -> Setup {
+    let data = generate_c3o(&GeneratorConfig::seeded(5));
+    let target = data.contexts_for(Algorithm::Sgd)[0];
+    let history: Vec<TrainingSample> = data
+        .runs_for_algorithm_excluding(Algorithm::Sgd, Some(target.id))
+        .iter()
+        .map(|r| TrainingSample::from_run(&data.contexts[r.context_id], r))
+        .collect();
+    let mut pretrained = Bellamy::new(BellamyConfig::default(), 5);
+    bellamy_core::train::pretrain(
+        &mut pretrained,
+        &history,
+        &PretrainConfig { epochs: 40, ..PretrainConfig::default() },
+        5,
+    );
+    let all_samples: Vec<TrainingSample> = data
+        .runs_for_context(target.id)
+        .iter()
+        .map(|r| TrainingSample::from_run(target, r))
+        .collect();
+    let few_samples: Vec<TrainingSample> = all_samples.iter().step_by(10).cloned().collect();
+    Setup { pretrained, few_samples, all_samples }
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("model");
+    let encoded = {
+        // Private API is not exposed; measure through predict (forward only)
+        // and fine-tune epochs (forward+backward) instead.
+        &s.all_samples
+    };
+
+    let props = &encoded[0].props;
+    group.bench_function("predict_single", |b| {
+        b.iter(|| black_box(s.pretrained.predict(6.0, props)))
+    });
+
+    // One full-batch fine-tuning epoch: build graph + forward + backward +
+    // Adam step, on 3 samples (the Fig. 5 few-shot regime).
+    group.bench_function("finetune_one_epoch_3_samples", |b| {
+        b.iter_batched(
+            || s.pretrained.clone_model(),
+            |mut model| {
+                let cfg = FinetuneConfig {
+                    max_epochs: 1,
+                    patience: 10,
+                    target_mae: 0.0,
+                    ..FinetuneConfig::default()
+                };
+                bellamy_core::finetune::fine_tune(
+                    &mut model,
+                    &s.few_samples,
+                    &cfg,
+                    ReuseStrategy::PartialUnfreeze,
+                    1,
+                );
+                black_box(model);
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    // The full fine-tuning run the paper times (quick budget).
+    group.sample_size(10);
+    group.bench_function("finetune_full_quick_budget", |b| {
+        b.iter_batched(
+            || s.pretrained.clone_model(),
+            |mut model| {
+                let cfg = FinetuneConfig {
+                    max_epochs: 250,
+                    patience: 150,
+                    ..FinetuneConfig::default()
+                };
+                bellamy_core::finetune::fine_tune(
+                    &mut model,
+                    &s.few_samples,
+                    &cfg,
+                    ReuseStrategy::PartialUnfreeze,
+                    1,
+                );
+                black_box(model);
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("local_fit_quick_budget", |b| {
+        b.iter_batched(
+            || Bellamy::new(BellamyConfig::default(), 9),
+            |mut model| {
+                let cfg = FinetuneConfig {
+                    max_epochs: 250,
+                    patience: 150,
+                    ..FinetuneConfig::default()
+                };
+                fit_local(&mut model, &s.few_samples, &cfg, 2);
+                black_box(model);
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_pretrain_epoch(c: &mut Criterion) {
+    let data = generate_c3o(&GeneratorConfig::seeded(5));
+    let history: Vec<TrainingSample> = data
+        .runs_for_algorithm_excluding(Algorithm::Grep, None)
+        .iter()
+        .map(|r| TrainingSample::from_run(&data.contexts[r.context_id], r))
+        .collect();
+    let mut group = c.benchmark_group("pretrain");
+    group.sample_size(10);
+    group.bench_function("one_epoch_810_samples_batch64", |b| {
+        b.iter_batched(
+            || Bellamy::new(BellamyConfig::default(), 3),
+            |mut model| {
+                bellamy_core::train::pretrain(
+                    &mut model,
+                    &history,
+                    &PretrainConfig { epochs: 1, ..PretrainConfig::default() },
+                    3,
+                );
+                black_box(model);
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("checkpoint");
+    let ck = s.pretrained.to_checkpoint();
+    let bytes = ck.to_bytes();
+    group.bench_function("serialize", |b| {
+        b.iter(|| black_box(s.pretrained.to_checkpoint().to_bytes()))
+    });
+    group.bench_function("deserialize_and_rebuild", |b| {
+        b.iter(|| {
+            let ck = bellamy_nn::Checkpoint::from_bytes(&bytes).expect("valid");
+            black_box(Bellamy::from_checkpoint(&ck).expect("valid"))
+        })
+    });
+    group.finish();
+}
+
+fn bench_graph_construction(c: &mut Criterion) {
+    // Tape overhead in isolation: an 8-layer MLP-ish chain on batch 64.
+    use bellamy_linalg::Matrix;
+    let params = bellamy_nn::ParamSet::new();
+    let x = Matrix::from_fn(64, 28, |i, j| ((i * 31 + j) % 17) as f64 * 0.1 - 0.8);
+    let w = Matrix::from_fn(28, 8, |i, j| ((i * 7 + j) % 13) as f64 * 0.05 - 0.3);
+    c.bench_function("tape_forward_backward_small_mlp", |b| {
+        b.iter(|| {
+            let mut g = Graph::new(&params);
+            let xn = g.input(x.clone());
+            let wn = g.input(w.clone());
+            let h = g.tape.matmul(xn, wn);
+            let h = g.tape.activate(h, bellamy_nn::Activation::Selu);
+            let loss = g.tape.mse_loss(h, Matrix::zeros(64, 8));
+            black_box(g.tape.backward(loss));
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_forward_backward,
+    bench_pretrain_epoch,
+    bench_checkpoint,
+    bench_graph_construction
+);
+criterion_main!(benches);

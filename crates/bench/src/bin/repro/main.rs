@@ -1,0 +1,196 @@
+//! Regenerates every table and figure of the paper's evaluation (§IV).
+//!
+//! ```text
+//! repro -- <experiment> [--profile quick|medium|paper] [--seed N] [--splits N] [--json PATH]
+//!
+//! experiments:
+//!   datasets            trace summary (§IV-B counts and noise levels)
+//!   fig2                normalized runtime variance across contexts
+//!   fig4                auto-encoder codes of two SGD contexts
+//!   adhoc               Figs. 5/6/7 + fitting times (one run, all outputs)
+//!   fig5-interp         interpolation MRE series only
+//!   fig5-extrap         extrapolation MRE series only
+//!   fig6                interpolation MAE bars only
+//!   fig7                eCDF of fine-tuning epochs only
+//!   fit-time            mean fitting time per method only
+//!   crossenv            Fig. 8 + cross-environment fitting times
+//!   fig8                alias: the Fig. 8 section of crossenv
+//!   fit-time-crossenv   alias: the timing section of crossenv
+//!   allocation          resource-selection quality (success rate, overshoot)
+//!   table1              model configuration & search space
+//!   table2              execution environment of this reproduction
+//!   ext-cross-algorithm one model across algorithms (paper §V future work)
+//!   ablate-optimizer    Adam vs SGD for fine-tuning
+//!   ablate-noise        result stability vs. generator noise
+//!   ablate-target-scaling  effect of target scaling on fine-tuning
+//!   ablate-unfreeze     effect of the unfreeze budget
+//!   ablate-signed-hash  hashing-vectorizer signing ablation
+//!   ablate-search-budget   hyperparameter-search trial budget
+//!   all                 everything above in order
+//! ```
+
+use bellamy_eval::{report, Profile};
+use bench::Workbench;
+use std::time::Instant;
+
+mod repro_impl;
+use repro_impl::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = None;
+    let mut profile = Profile::Quick;
+    let mut seed = 42u64;
+    let mut json_path: Option<String> = None;
+    let mut splits_override: Option<usize> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--profile" => {
+                i += 1;
+                profile = args
+                    .get(i)
+                    .and_then(|p| Profile::from_name(p))
+                    .unwrap_or_else(|| die("expected --profile quick|paper"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("expected --seed <u64>"));
+            }
+            "--splits" => {
+                i += 1;
+                splits_override = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("expected --splits <usize>")),
+                );
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(
+                    args.get(i).cloned().unwrap_or_else(|| die("expected --json <path>")),
+                );
+            }
+            other if experiment.is_none() && !other.starts_with("--") => {
+                experiment = Some(other.to_string());
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+
+    let experiment = experiment.unwrap_or_else(|| die("no experiment given; see --help text in the source"));
+    let start = Instant::now();
+    let wb = Workbench::new(seed);
+    println!(
+        "# bellamy-repro: experiment={experiment} profile={profile:?} seed={seed}\n\
+         # datasets: C3O {} contexts / {} runs, Bell {} contexts / {} runs\n",
+        wb.c3o.contexts.len(),
+        wb.c3o.runs.len(),
+        wb.bell.contexts.len(),
+        wb.bell.runs.len()
+    );
+
+    match experiment.as_str() {
+        "datasets" => datasets(&wb),
+        "fig2" => fig2(&wb),
+        "fig4" => fig4(&wb, profile, seed),
+        "adhoc" => {
+            let records = run_adhoc_records(&wb, profile, seed, splits_override);
+            maybe_dump(&json_path, &records);
+            fig5(&records, bellamy_eval::Task::Interpolation);
+            fig5(&records, bellamy_eval::Task::Extrapolation);
+            fig6(&records);
+            fig7(&records);
+            fit_time(&records, "ad hoc cross-context");
+        }
+        "fig5-interp" => {
+            let records = run_adhoc_records(&wb, profile, seed, splits_override);
+            maybe_dump(&json_path, &records);
+            fig5(&records, bellamy_eval::Task::Interpolation);
+        }
+        "fig5-extrap" => {
+            let records = run_adhoc_records(&wb, profile, seed, splits_override);
+            maybe_dump(&json_path, &records);
+            fig5(&records, bellamy_eval::Task::Extrapolation);
+        }
+        "fig6" => {
+            let records = run_adhoc_records(&wb, profile, seed, splits_override);
+            maybe_dump(&json_path, &records);
+            fig6(&records);
+        }
+        "fig7" => {
+            let records = run_adhoc_records(&wb, profile, seed, splits_override);
+            maybe_dump(&json_path, &records);
+            fig7(&records);
+        }
+        "fit-time" => {
+            let records = run_adhoc_records(&wb, profile, seed, splits_override);
+            maybe_dump(&json_path, &records);
+            fit_time(&records, "ad hoc cross-context");
+        }
+        "crossenv" | "fig8" | "fit-time-crossenv" => {
+            let records = run_crossenv_records(&wb, profile, seed, splits_override);
+            maybe_dump(&json_path, &records);
+            if experiment != "fit-time-crossenv" {
+                fig8(&records);
+            }
+            if experiment != "fig8" {
+                fit_time(&records, "cross-environment");
+            }
+        }
+        "allocation" => allocation(&wb, profile, seed),
+        "table1" => table1(seed),
+        "table2" => table2(),
+        "ext-cross-algorithm" => ext_cross_algorithm(&wb, seed),
+        "ablate-optimizer" => ablate_optimizer(&wb, seed),
+        "ablate-noise" => ablate_noise(profile, seed),
+        "ablate-target-scaling" => ablate_target_scaling(&wb, seed),
+        "ablate-unfreeze" => ablate_unfreeze(&wb, seed),
+        "ablate-signed-hash" => ablate_signed_hash(),
+        "ablate-search-budget" => ablate_search_budget(&wb, seed),
+        "all" => {
+            datasets(&wb);
+            fig2(&wb);
+            fig4(&wb, profile, seed);
+            let records = run_adhoc_records(&wb, profile, seed, splits_override);
+            fig5(&records, bellamy_eval::Task::Interpolation);
+            fig5(&records, bellamy_eval::Task::Extrapolation);
+            fig6(&records);
+            fig7(&records);
+            fit_time(&records, "ad hoc cross-context");
+            let cross = run_crossenv_records(&wb, profile, seed, splits_override);
+            fig8(&cross);
+            fit_time(&cross, "cross-environment");
+            allocation(&wb, profile, seed);
+            table1(seed);
+            table2();
+            ext_cross_algorithm(&wb, seed);
+            ablate_optimizer(&wb, seed);
+            ablate_noise(profile, seed);
+            ablate_target_scaling(&wb, seed);
+            ablate_unfreeze(&wb, seed);
+            ablate_signed_hash();
+            ablate_search_budget(&wb, seed);
+        }
+        other => die(&format!("unknown experiment: {other}")),
+    }
+
+    println!("\n# done in {:.1}s", start.elapsed().as_secs_f64());
+}
+
+fn maybe_dump(path: &Option<String>, records: &[bellamy_eval::PredictionRecord]) {
+    if let Some(p) = path {
+        std::fs::write(p, report::records_to_json(records)).expect("write json");
+        println!("# raw records written to {p}\n");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

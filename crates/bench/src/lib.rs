@@ -1,0 +1,35 @@
+//! Shared helpers for the `repro` binary and the Criterion benches.
+
+use bellamy_data::{generate_bell, generate_c3o, Dataset, GeneratorConfig};
+
+/// The datasets every experiment runs on (seeded, deterministic).
+pub struct Workbench {
+    /// Synthetic C3O traces.
+    pub c3o: Dataset,
+    /// Synthetic Bell traces.
+    pub bell: Dataset,
+    /// The generator configuration used.
+    pub gen: GeneratorConfig,
+}
+
+impl Workbench {
+    /// Generates both datasets from a master seed.
+    pub fn new(seed: u64) -> Self {
+        let gen = GeneratorConfig::seeded(seed);
+        Self { c3o: generate_c3o(&gen), bell: generate_bell(&gen), gen }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workbench_builds_valid_datasets() {
+        let wb = Workbench::new(42);
+        assert!(wb.c3o.validate().is_ok());
+        assert!(wb.bell.validate().is_ok());
+        assert_eq!(wb.c3o.contexts.len(), 155);
+        assert_eq!(wb.bell.contexts.len(), 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! Resource allocation from runtime predictions (the use case motivating
+//! the paper, §I/§V: "the predicted runtimes can be used to effectively
+//! choose a suitable resource configuration").
+//!
+//! The helpers are generic over any `scale-out -> predicted seconds`
+//! function, so they work with Bellamy, Ernest, Bell, or the ground truth.
+
+/// A recommended scale-out with its predicted runtime and, when a price is
+/// involved, the predicted cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleOutRecommendation {
+    /// Number of machines to allocate.
+    pub scale_out: u32,
+    /// Predicted runtime in seconds at that scale-out.
+    pub predicted_runtime_s: f64,
+    /// Predicted cost in currency units (0 when no price was given).
+    pub predicted_cost: f64,
+}
+
+/// The smallest scale-out in `[lo, hi]` whose predicted runtime meets
+/// `target_s`. Returns `None` when no candidate meets the target (the caller
+/// should then surface "runtime target not achievable in this range").
+pub fn min_scale_out_meeting(
+    predict: impl Fn(u32) -> f64,
+    target_s: f64,
+    lo: u32,
+    hi: u32,
+) -> Option<ScaleOutRecommendation> {
+    assert!(lo >= 1 && lo <= hi, "invalid scale-out range {lo}..={hi}");
+    (lo..=hi).find_map(|x| {
+        let t = predict(x);
+        (t <= target_s).then_some(ScaleOutRecommendation {
+            scale_out: x,
+            predicted_runtime_s: t,
+            predicted_cost: 0.0,
+        })
+    })
+}
+
+/// The cheapest scale-out in `[lo, hi]` under a per-machine-hour price,
+/// optionally subject to a runtime target. Cost model:
+/// `machines * hours * price`.
+pub fn cheapest_scale_out(
+    predict: impl Fn(u32) -> f64,
+    price_per_machine_hour: f64,
+    target_s: Option<f64>,
+    lo: u32,
+    hi: u32,
+) -> Option<ScaleOutRecommendation> {
+    assert!(lo >= 1 && lo <= hi, "invalid scale-out range {lo}..={hi}");
+    assert!(price_per_machine_hour >= 0.0, "negative price");
+    (lo..=hi)
+        .filter_map(|x| {
+            let t = predict(x);
+            if let Some(limit) = target_s {
+                if t > limit {
+                    return None;
+                }
+            }
+            let cost = x as f64 * (t / 3600.0) * price_per_machine_hour;
+            Some(ScaleOutRecommendation {
+                scale_out: x,
+                predicted_runtime_s: t,
+                predicted_cost: cost,
+            })
+        })
+        .min_by(|a, b| {
+            a.predicted_cost
+                .partial_cmp(&b.predicted_cost)
+                .expect("finite costs")
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An Ernest-shaped curve with a sweet spot.
+    fn curve(x: u32) -> f64 {
+        let x = x as f64;
+        30.0 + 600.0 / x + 5.0 * x.ln() + 2.0 * x
+    }
+
+    #[test]
+    fn picks_smallest_meeting_target() {
+        // curve(2)=343.5.., curve(4)=..., decreasing early on.
+        let rec = min_scale_out_meeting(curve, 200.0, 2, 12).unwrap();
+        // Verify minimality: no smaller scale-out meets the target.
+        for x in 2..rec.scale_out {
+            assert!(curve(x) > 200.0);
+        }
+        assert!(rec.predicted_runtime_s <= 200.0);
+    }
+
+    #[test]
+    fn unreachable_target_is_none() {
+        assert!(min_scale_out_meeting(curve, 1.0, 2, 12).is_none());
+    }
+
+    #[test]
+    fn cheapest_balances_machines_and_time() {
+        let rec = cheapest_scale_out(curve, 1.0, None, 1, 30).unwrap();
+        // Cost = x * t(x)/3600; brute-force check optimality.
+        for x in 1..=30u32 {
+            let cost = x as f64 * curve(x) / 3600.0;
+            assert!(rec.predicted_cost <= cost + 1e-12, "x={x} cheaper than chosen");
+        }
+        // The cheapest configuration for this curve uses few machines.
+        assert!(rec.scale_out <= 5);
+    }
+
+    #[test]
+    fn cheapest_respects_target() {
+        let unconstrained = cheapest_scale_out(curve, 1.0, None, 1, 30).unwrap();
+        let constrained =
+            cheapest_scale_out(curve, 1.0, Some(unconstrained.predicted_runtime_s * 0.7), 1, 30)
+                .unwrap();
+        assert!(constrained.predicted_runtime_s <= unconstrained.predicted_runtime_s * 0.7);
+        assert!(constrained.predicted_cost >= unconstrained.predicted_cost);
+    }
+
+    #[test]
+    fn impossible_constraint_is_none() {
+        assert!(cheapest_scale_out(curve, 1.0, Some(0.5), 1, 30).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scale-out range")]
+    fn bad_range_rejected() {
+        let _ = min_scale_out_meeting(curve, 100.0, 5, 2);
+    }
+}

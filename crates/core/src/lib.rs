@@ -1,0 +1,37 @@
+//! The Bellamy runtime-prediction model (paper §III).
+//!
+//! Bellamy predicts the runtime of a distributed dataflow job from its
+//! horizontal scale-out *and* descriptive properties of the execution
+//! context, which lets one model learn from historical executions across
+//! contexts — the paper's central contribution. The architecture is four
+//! two-layer feed-forward networks (§III-B/C/D, §IV-A):
+//!
+//! ```text
+//!   scale-out x ──[1/x, log x, x]──► f: 3→16→8 ──────────────► e ∈ R^8
+//!   property p⁽ⁱ⁾ ──[λ, q]──► g: 40→8→4 ──► code c⁽ⁱ⁾ ∈ R^4 ──┐
+//!                         └─► h: 4→8→40 (reconstruction loss)  │
+//!   r = e ⊕ c⁽¹⁾…c⁽ᵐ⁾ ⊕ mean(optional codes) ∈ R^28 ──► z: 28→8→1
+//! ```
+//!
+//! Training jointly minimizes Huber(runtime) + MSE(reconstruction). The
+//! workflow is two-step: [`train::pretrain`] on historical executions of
+//! the same algorithm from *other* contexts, then [`finetune::fine_tune`] on
+//! the few observations available for the context at hand, with most
+//! components frozen (§III-A). Cross-environment reuse strategies
+//! (partial/full unfreeze/reset, §IV-C2) are in [`finetune::ReuseStrategy`].
+
+pub mod allocation;
+pub mod config;
+pub mod features;
+pub mod finetune;
+pub mod model;
+pub mod search;
+pub mod train;
+
+pub use allocation::{cheapest_scale_out, min_scale_out_meeting, ScaleOutRecommendation};
+pub use config::{BellamyConfig, FinetuneConfig, PretrainConfig};
+pub use features::{context_properties, scale_out_features, ContextProperties, TrainingSample};
+pub use finetune::{FinetuneReport, ReuseStrategy};
+pub use model::Bellamy;
+pub use search::{search_pretrain, SearchReport, SearchSpace};
+pub use train::PretrainReport;

@@ -1,0 +1,548 @@
+//! The Bellamy model: parameters, forward pass, prediction, persistence.
+
+use crate::config::BellamyConfig;
+use crate::features::{scale_out_features, ContextProperties, TrainingSample};
+use bellamy_autograd::{Activation, NodeId};
+use bellamy_encoding::{MinMaxScaler, PropertyEncoder, PropertyValue};
+use bellamy_linalg::Matrix;
+use bellamy_nn::{AlphaDropout, Checkpoint, CheckpointError, Graph, Linear, ParamSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// A sample with all encodings precomputed (encoding is deterministic, so it
+/// is done once per sample, not once per epoch).
+#[derive(Debug, Clone)]
+pub(crate) struct EncodedSample {
+    /// Normalized scale-out features (after the min-max scaler).
+    pub sx: [f64; 3],
+    /// One `N`-dim vector per property position (`m` essential then `n`
+    /// optional).
+    pub props: Vec<Vec<f64>>,
+    /// Raw runtime in seconds.
+    pub target_s: f64,
+}
+
+/// A batch of encoded samples as matrices ready for the graph.
+pub(crate) struct BatchTensors {
+    /// `batch x 3` normalized scale-out features.
+    pub sx: Matrix,
+    /// `m + n` matrices of `batch x N` property encodings.
+    pub props: Vec<Matrix>,
+    /// `batch x 1` scaled targets.
+    pub targets_scaled: Matrix,
+}
+
+/// Output node handles from one forward pass.
+pub(crate) struct ForwardOut {
+    /// `batch x 1` prediction in scaled-target units.
+    pub pred: NodeId,
+    /// Mean auto-encoder reconstruction MSE across all properties.
+    pub recon: NodeId,
+}
+
+/// The Bellamy model (see the crate docs for the architecture diagram).
+pub struct Bellamy {
+    config: BellamyConfig,
+    params: ParamSet,
+    f1: Linear,
+    f2: Linear,
+    g1: Linear,
+    g2: Linear,
+    h1: Linear,
+    h2: Linear,
+    z1: Linear,
+    z2: Linear,
+    encoder: PropertyEncoder,
+    /// Fitted on first training; `None` means the model has never seen data.
+    scaler: Option<MinMaxScaler>,
+    /// Targets are divided by this during training and multiplied back at
+    /// inference (1.0 when `config.scale_targets` is off).
+    target_scale: f64,
+}
+
+impl Bellamy {
+    /// Creates a freshly-initialized model.
+    pub fn new(config: BellamyConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = ParamSet::new();
+        let init = config.init;
+        let n = config.property_dim;
+        let m = config.code_dim;
+        let hid = config.hidden_dim;
+        let fh = config.scale_out_hidden_dim;
+        let f_out = config.scale_out_dim;
+        let r_dim = config.combined_dim();
+
+        // §IV-A: every linear layer is followed by an activation — SELU
+        // everywhere except the decoder output (tanh). The auto-encoder
+        // waives additive biases.
+        let f1 = Linear::new(&mut params, "f.l1", 3, fh, true, Activation::Selu, init, &mut rng);
+        let f2 = Linear::new(&mut params, "f.l2", fh, f_out, true, Activation::Selu, init, &mut rng);
+        let g1 = Linear::new(&mut params, "g.l1", n, hid, false, Activation::Selu, init, &mut rng);
+        let g2 = Linear::new(&mut params, "g.l2", hid, m, false, Activation::Selu, init, &mut rng);
+        let h1 = Linear::new(&mut params, "h.l1", m, hid, false, Activation::Selu, init, &mut rng);
+        let h2 = Linear::new(&mut params, "h.l2", hid, n, false, Activation::Tanh, init, &mut rng);
+        let z1 = Linear::new(&mut params, "z.l1", r_dim, hid, true, Activation::Selu, init, &mut rng);
+        let z2 = Linear::new(&mut params, "z.l2", hid, 1, true, Activation::Selu, init, &mut rng);
+
+        Self {
+            config,
+            params,
+            f1,
+            f2,
+            g1,
+            g2,
+            h1,
+            h2,
+            z1,
+            z2,
+            encoder: PropertyEncoder::new(n),
+            scaler: None,
+            target_scale: 1.0,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &BellamyConfig {
+        &self.config
+    }
+
+    /// Mutable access to the parameters (training loops live in sibling
+    /// modules).
+    pub(crate) fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+
+    /// Immutable access to the parameters.
+    pub(crate) fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    /// Whether the model has been fitted (scaler present).
+    pub fn is_fitted(&self) -> bool {
+        self.scaler.is_some()
+    }
+
+    /// The target scale (1.0 until fitted or when scaling is disabled).
+    pub fn target_scale(&self) -> f64 {
+        self.target_scale
+    }
+
+    /// Fits the scale-out scaler and target scale on training samples.
+    /// Called by pre-training always, and by fine-tuning only when the model
+    /// has never been fitted (the paper reuses pre-training bounds at
+    /// fine-tuning time).
+    pub(crate) fn fit_normalization(&mut self, samples: &[TrainingSample]) {
+        assert!(!samples.is_empty(), "cannot fit normalization on no samples");
+        let rows: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|s| scale_out_features(s.scale_out).to_vec())
+            .collect();
+        self.scaler = Some(MinMaxScaler::fit(&rows));
+        self.target_scale = if self.config.scale_targets {
+            let mean = samples.iter().map(|s| s.runtime_s).sum::<f64>() / samples.len() as f64;
+            mean.max(1e-9)
+        } else {
+            1.0
+        };
+    }
+
+    /// Encodes samples with the fitted scaler.
+    ///
+    /// # Panics
+    /// Panics if the model has not been fitted.
+    pub(crate) fn encode_samples(&self, samples: &[TrainingSample]) -> Vec<EncodedSample> {
+        let scaler = self.scaler.as_ref().expect("model must be fitted before encoding");
+        samples
+            .iter()
+            .map(|s| {
+                let sx = scaler.transform(&scale_out_features(s.scale_out));
+                let props = self.encode_property_vectors(&s.props);
+                EncodedSample {
+                    sx: [sx[0], sx[1], sx[2]],
+                    props,
+                    target_s: s.runtime_s,
+                }
+            })
+            .collect()
+    }
+
+    /// Encodes the `m` essential + `n` optional properties, padding or
+    /// truncating to the configured counts (limited knowledge is allowed —
+    /// §III-C; missing optional slots reuse the mean of those present, and a
+    /// completely absent group falls back to zero vectors).
+    fn encode_property_vectors(&self, props: &ContextProperties) -> Vec<Vec<f64>> {
+        let n_dim = self.config.property_dim;
+        let mut out = Vec::with_capacity(self.config.essential_props + self.config.optional_props);
+        for i in 0..self.config.essential_props {
+            match props.essential.get(i) {
+                Some(p) => out.push(self.encoder.encode(p)),
+                None => out.push(vec![0.0; n_dim]),
+            }
+        }
+        for i in 0..self.config.optional_props {
+            match props.optional.get(i) {
+                Some(p) => out.push(self.encoder.encode(p)),
+                None => out.push(vec![0.0; n_dim]),
+            }
+        }
+        out
+    }
+
+    /// Assembles a batch from encoded samples (gathered by `indices`).
+    pub(crate) fn make_batch(&self, encoded: &[EncodedSample], indices: &[usize]) -> BatchTensors {
+        assert!(!indices.is_empty(), "empty batch");
+        let b = indices.len();
+        let n_props = self.config.essential_props + self.config.optional_props;
+        let sx = Matrix::from_fn(b, 3, |i, j| encoded[indices[i]].sx[j]);
+        let props = (0..n_props)
+            .map(|k| {
+                Matrix::from_fn(b, self.config.property_dim, |i, j| {
+                    encoded[indices[i]].props[k][j]
+                })
+            })
+            .collect();
+        let targets_scaled =
+            Matrix::from_fn(b, 1, |i, _| encoded[indices[i]].target_s / self.target_scale);
+        BatchTensors { sx, props, targets_scaled }
+    }
+
+    /// Runs the forward pass for a batch. `dropout` applies alpha-dropout
+    /// between the auto-encoder layers (pre-training only).
+    pub(crate) fn forward(
+        &self,
+        g: &mut Graph<'_>,
+        batch: &BatchTensors,
+        dropout: Option<(f64, &mut StdRng)>,
+    ) -> ForwardOut {
+        let (drop_p, rng) = match dropout {
+            Some((p, rng)) => (p, Some(rng)),
+            None => (0.0, None),
+        };
+        let alpha_dropout = AlphaDropout::new(drop_p);
+
+        // Scale-out branch: e = f(sx).
+        let sx = g.input(batch.sx.clone());
+        let f_hidden = self.f1.forward(g, sx);
+        let e = self.f2.forward(g, f_hidden);
+
+        // Property branch: one shared auto-encoder applied per property.
+        let mut codes = Vec::with_capacity(batch.props.len());
+        let mut recon_losses = Vec::with_capacity(batch.props.len());
+        let mut rng = rng;
+        for p in &batch.props {
+            let p_node = g.input(p.clone());
+            let mut enc_hidden = self.g1.forward(g, p_node);
+            if let Some(r) = rng.as_deref_mut() {
+                enc_hidden = alpha_dropout.forward(g, enc_hidden, true, r);
+            }
+            let code = self.g2.forward(g, enc_hidden);
+            codes.push(code);
+
+            let mut dec_hidden = self.h1.forward(g, code);
+            if let Some(r) = rng.as_deref_mut() {
+                dec_hidden = alpha_dropout.forward(g, dec_hidden, true, r);
+            }
+            let recon = self.h2.forward(g, dec_hidden);
+            recon_losses.push(g.tape.mse_loss(recon, p.clone()));
+        }
+
+        // r = e ⊕ essential codes ⊕ mean(optional codes)  (Eq. 5/6).
+        let m = self.config.essential_props;
+        let mut parts = vec![e];
+        parts.extend_from_slice(&codes[..m]);
+        let optional_mean = g.tape.mean_of_nodes(&codes[m..]);
+        parts.push(optional_mean);
+        let r = g.tape.concat_cols(&parts);
+
+        let z_hidden = self.z1.forward(g, r);
+        let pred = self.z2.forward(g, z_hidden);
+
+        // Mean reconstruction loss across properties.
+        let mut recon = recon_losses[0];
+        for &l in &recon_losses[1..] {
+            recon = g.tape.add(recon, l);
+        }
+        let recon = g.tape.scale(recon, 1.0 / recon_losses.len() as f64);
+
+        ForwardOut { pred, recon }
+    }
+
+    /// Predicts the runtime (seconds) for a scale-out in a described context.
+    ///
+    /// # Panics
+    /// Panics if the model has not been fitted or loaded.
+    pub fn predict(&self, scale_out: f64, props: &ContextProperties) -> f64 {
+        let sample = TrainingSample { scale_out, runtime_s: 0.0, props: props.clone() };
+        let encoded = self.encode_samples(std::slice::from_ref(&sample));
+        let batch = self.make_batch(&encoded, &[0]);
+        let mut graph = Graph::new(&self.params);
+        let out = self.forward(&mut graph, &batch, None);
+        graph.value(out.pred)[(0, 0)] * self.target_scale
+    }
+
+    /// Predicted runtimes (seconds) for every sample, in order.
+    pub(crate) fn predict_encoded(&self, encoded: &[EncodedSample]) -> Vec<f64> {
+        if encoded.is_empty() {
+            return Vec::new();
+        }
+        let indices: Vec<usize> = (0..encoded.len()).collect();
+        let batch = self.make_batch(encoded, &indices);
+        let mut graph = Graph::new(&self.params);
+        let out = self.forward(&mut graph, &batch, None);
+        (0..encoded.len())
+            .map(|i| graph.value(out.pred)[(i, 0)] * self.target_scale)
+            .collect()
+    }
+
+    /// The latent code (length `M`) the auto-encoder assigns to one property
+    /// — the vectors visualized in Fig. 4.
+    pub fn code_for(&self, property: &PropertyValue) -> Vec<f64> {
+        let encoded = self.encoder.encode(property);
+        let mut graph = Graph::new(&self.params);
+        let p = graph.input(Matrix::row_vector(&encoded));
+        let hidden = self.g1.forward(&mut graph, p);
+        let code = self.g2.forward(&mut graph, hidden);
+        graph.value(code).row(0).to_vec()
+    }
+
+    /// Freezes/unfreezes a component by prefix (`"f."`, `"g."`, `"h."`,
+    /// `"z."`). Returns the number of affected parameters.
+    pub fn set_component_trainable(&mut self, prefix: &str, trainable: bool) -> usize {
+        self.params.set_trainable_by_prefix(prefix, trainable)
+    }
+
+    /// Re-initializes a component (used by the reset reuse strategies).
+    pub fn reinit_component(&mut self, prefix: &str, seed: u64) -> usize {
+        let init = self.config.init;
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.params.reinit_by_prefix(prefix, init, &mut rng)
+    }
+
+    /// Serializes the model (weights + normalization state + dims).
+    pub fn to_checkpoint(&self) -> Checkpoint {
+        let mut meta = BTreeMap::new();
+        meta.insert("model".into(), "bellamy".into());
+        meta.insert("property_dim".into(), self.config.property_dim.to_string());
+        meta.insert("code_dim".into(), self.config.code_dim.to_string());
+        meta.insert("hidden_dim".into(), self.config.hidden_dim.to_string());
+        meta.insert(
+            "scale_out_hidden_dim".into(),
+            self.config.scale_out_hidden_dim.to_string(),
+        );
+        meta.insert("scale_out_dim".into(), self.config.scale_out_dim.to_string());
+        meta.insert("essential_props".into(), self.config.essential_props.to_string());
+        meta.insert("optional_props".into(), self.config.optional_props.to_string());
+        meta.insert("scale_targets".into(), self.config.scale_targets.to_string());
+        meta.insert("huber_delta".into(), self.config.huber_delta.to_string());
+        meta.insert("target_scale".into(), format!("{:e}", self.target_scale));
+        if let Some(s) = &self.scaler {
+            meta.insert("scaler_mins".into(), join_floats(s.mins()));
+            meta.insert("scaler_maxs".into(), join_floats(s.maxs()));
+        }
+        Checkpoint::new(self.params.clone(), meta)
+    }
+
+    /// Restores a model from a checkpoint produced by
+    /// [`Bellamy::to_checkpoint`].
+    pub fn from_checkpoint(ck: &Checkpoint) -> Result<Self, CheckpointError> {
+        let get_dim = |key: &str| -> Result<usize, CheckpointError> {
+            ck.metadata
+                .get(key)
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| CheckpointError::Io(format!("missing/invalid metadata {key}")))
+        };
+        let config = BellamyConfig {
+            property_dim: get_dim("property_dim")?,
+            code_dim: get_dim("code_dim")?,
+            hidden_dim: get_dim("hidden_dim")?,
+            scale_out_hidden_dim: get_dim("scale_out_hidden_dim")?,
+            scale_out_dim: get_dim("scale_out_dim")?,
+            essential_props: get_dim("essential_props")?,
+            optional_props: get_dim("optional_props")?,
+            scale_targets: ck
+                .metadata
+                .get("scale_targets")
+                .map(|v| v == "true")
+                .unwrap_or(true),
+            huber_delta: ck
+                .metadata
+                .get("huber_delta")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1.0),
+            ..BellamyConfig::default()
+        };
+
+        let mut model = Bellamy::new(config, 0);
+        model
+            .params
+            .load_values_from(&ck.params)
+            .map_err(CheckpointError::Io)?;
+        // Restore trainability flags too.
+        for (_, p) in ck.params.iter() {
+            if let Some(id) = model.params.find(&p.name) {
+                model.params.get_mut(id).trainable = p.trainable;
+            }
+        }
+        model.target_scale = ck
+            .metadata
+            .get("target_scale")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0);
+        if let (Some(mins), Some(maxs)) =
+            (ck.metadata.get("scaler_mins"), ck.metadata.get("scaler_maxs"))
+        {
+            model.scaler =
+                Some(MinMaxScaler::from_bounds(parse_floats(mins), parse_floats(maxs)));
+        }
+        Ok(model)
+    }
+
+    /// Saves to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), CheckpointError> {
+        self.to_checkpoint().save(path)
+    }
+
+    /// Loads from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, CheckpointError> {
+        Self::from_checkpoint(&Checkpoint::load(path)?)
+    }
+
+    /// Deep-copies the model (fresh parameter storage).
+    pub fn clone_model(&self) -> Self {
+        Self::from_checkpoint(&self.to_checkpoint()).expect("round trip of a valid model")
+    }
+}
+
+fn join_floats(v: &[f64]) -> String {
+    v.iter().map(|x| format!("{x:e}")).collect::<Vec<_>>().join(",")
+}
+
+fn parse_floats(s: &str) -> Vec<f64> {
+    s.split(',').filter_map(|t| t.parse().ok()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::context_properties;
+    use bellamy_data::{generate_c3o, Algorithm, GeneratorConfig};
+
+    fn fitted_model() -> (Bellamy, Vec<TrainingSample>) {
+        let ds = generate_c3o(&GeneratorConfig::default());
+        let ctx = ds.contexts_for(Algorithm::Sgd)[0];
+        let runs = ds.runs_for_context(ctx.id);
+        let samples = crate::features::samples_from_runs(&ds, &runs);
+        let mut model = Bellamy::new(BellamyConfig::default(), 7);
+        model.fit_normalization(&samples);
+        (model, samples)
+    }
+
+    #[test]
+    fn parameter_inventory_matches_architecture() {
+        let model = Bellamy::new(BellamyConfig::default(), 0);
+        let p = model.params();
+        // f: (3x16 + 16) + (16x8 + 8); g: 40x8 + 8x4; h: 4x8 + 8x40;
+        // z: (28x8 + 8) + (8x1 + 1).
+        let expected = (3 * 16 + 16)
+            + (16 * 8 + 8)
+            + (40 * 8)
+            + (8 * 4)
+            + (4 * 8)
+            + (8 * 40)
+            + (28 * 8 + 8)
+            + (8 * 1 + 1);
+        assert_eq!(p.num_scalars(), expected);
+        // Auto-encoder has no biases.
+        assert!(p.find("g.l1.bias").is_none());
+        assert!(p.find("h.l2.bias").is_none());
+        assert!(p.find("f.l1.bias").is_some());
+        assert!(p.find("z.l2.bias").is_some());
+    }
+
+    #[test]
+    fn forward_shapes_and_finiteness() {
+        let (model, samples) = fitted_model();
+        let encoded = model.encode_samples(&samples);
+        let batch = model.make_batch(&encoded, &[0, 1, 2, 3]);
+        let mut graph = Graph::new(model.params());
+        let out = model.forward(&mut graph, &batch, None);
+        assert_eq!(graph.value(out.pred).shape(), (4, 1));
+        assert_eq!(graph.value(out.recon).shape(), (1, 1));
+        assert!(graph.value(out.pred).all_finite());
+        assert!(graph.value(out.recon)[(0, 0)] >= 0.0);
+    }
+
+    #[test]
+    fn predict_is_deterministic_and_finite() {
+        let (model, samples) = fitted_model();
+        let p1 = model.predict(6.0, &samples[0].props);
+        let p2 = model.predict(6.0, &samples[0].props);
+        assert_eq!(p1, p2);
+        assert!(p1.is_finite());
+    }
+
+    #[test]
+    fn untrained_model_panics_on_predict() {
+        let model = Bellamy::new(BellamyConfig::default(), 0);
+        let ds = generate_c3o(&GeneratorConfig::default());
+        let props = context_properties(&ds.contexts[0]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            model.predict(4.0, &props)
+        }));
+        assert!(result.is_err(), "unfitted model must refuse to predict");
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_predictions() {
+        let (model, samples) = fitted_model();
+        let ck = model.to_checkpoint();
+        let restored = Bellamy::from_checkpoint(&ck).unwrap();
+        for s in samples.iter().take(3) {
+            let a = model.predict(s.scale_out, &s.props);
+            let b = restored.predict(s.scale_out, &s.props);
+            assert!((a - b).abs() < 1e-12, "prediction drift after reload: {a} vs {b}");
+        }
+        assert_eq!(restored.target_scale(), model.target_scale());
+    }
+
+    #[test]
+    fn clone_model_is_independent() {
+        let (mut model, samples) = fitted_model();
+        let copy = model.clone_model();
+        let before = copy.predict(4.0, &samples[0].props);
+        // Mutate the original; the copy must not move.
+        model.reinit_component("z.", 99);
+        let after = copy.predict(4.0, &samples[0].props);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn codes_distinguish_contexts() {
+        let (model, _) = fitted_model();
+        let a = model.code_for(&PropertyValue::text("m4.2xlarge"));
+        let b = model.code_for(&PropertyValue::text("r4.2xlarge"));
+        assert_eq!(a.len(), 4);
+        let diff: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-9, "distinct properties must get distinct codes");
+    }
+
+    #[test]
+    fn freeze_and_reinit_components() {
+        let (mut model, _) = fitted_model();
+        assert_eq!(model.set_component_trainable("g.", false), 2);
+        assert_eq!(model.set_component_trainable("f.", false), 4);
+        assert_eq!(model.reinit_component("z.", 5), 4);
+    }
+
+    #[test]
+    fn missing_optional_properties_fall_back() {
+        let (model, samples) = fitted_model();
+        let mut props = samples[0].props.clone();
+        props.optional.clear();
+        // Must not panic; zero vectors stand in.
+        let p = model.predict(4.0, &props);
+        assert!(p.is_finite());
+    }
+}

@@ -1,0 +1,214 @@
+//! Hyperparameter search for pre-training (paper §IV-A).
+//!
+//! The prototype samples 12 configurations from the Table I grid with Ray
+//! Tune + Optuna. With a 27-cell grid and 12 samples, random search without
+//! replacement is statistically indistinguishable from TPE here (DESIGN.md
+//! §3), so that is what this module implements — trials run in parallel on
+//! the workspace thread pool and are scored by held-out MAE.
+
+use crate::config::{BellamyConfig, PretrainConfig};
+use crate::features::TrainingSample;
+use crate::model::Bellamy;
+use crate::train::pretrain;
+use bellamy_nn::metrics;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The Table I pre-training search grid.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// Alpha-dropout probabilities.
+    pub dropouts: Vec<f64>,
+    /// Adam learning rates.
+    pub learning_rates: Vec<f64>,
+    /// L2 weight decays.
+    pub weight_decays: Vec<f64>,
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        Self {
+            dropouts: vec![0.05, 0.10, 0.20],
+            learning_rates: vec![1e-1, 1e-2, 1e-3],
+            weight_decays: vec![1e-2, 1e-3, 1e-4],
+        }
+    }
+}
+
+impl SearchSpace {
+    /// Total number of grid cells.
+    pub fn grid_size(&self) -> usize {
+        self.dropouts.len() * self.learning_rates.len() * self.weight_decays.len()
+    }
+
+    /// Samples `n` distinct configurations (all of them if `n` exceeds the
+    /// grid).
+    pub fn sample(&self, n: usize, epochs: usize, batch_size: usize, seed: u64) -> Vec<PretrainConfig> {
+        let mut cells: Vec<(f64, f64, f64)> = Vec::with_capacity(self.grid_size());
+        for &d in &self.dropouts {
+            for &lr in &self.learning_rates {
+                for &wd in &self.weight_decays {
+                    cells.push((d, lr, wd));
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Partial Fisher–Yates: the first `n` entries become the sample.
+        let take = n.min(cells.len());
+        for i in 0..take {
+            let j = rng.random_range(i..cells.len());
+            cells.swap(i, j);
+        }
+        cells[..take]
+            .iter()
+            .map(|&(dropout, lr, weight_decay)| PretrainConfig {
+                batch_size,
+                epochs,
+                lr,
+                weight_decay,
+                dropout,
+            })
+            .collect()
+    }
+}
+
+/// Result of one trial.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// The configuration tried.
+    pub config: PretrainConfig,
+    /// Held-out MAE in seconds.
+    pub val_mae_s: f64,
+}
+
+/// Outcome of the full search.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// Every trial, in sampling order.
+    pub trials: Vec<TrialResult>,
+    /// Index of the winning trial.
+    pub best_index: usize,
+}
+
+/// Runs the search: samples `n_trials` configurations, pre-trains each on an
+/// 80/20 split of `samples` (in parallel), scores by validation MAE, then
+/// re-trains the winner on all samples. Returns the final model and report.
+pub fn search_pretrain(
+    base: &BellamyConfig,
+    samples: &[TrainingSample],
+    space: &SearchSpace,
+    n_trials: usize,
+    epochs: usize,
+    seed: u64,
+    threads: usize,
+) -> (Bellamy, SearchReport) {
+    assert!(samples.len() >= 5, "search needs enough samples for a split");
+    let configs = space.sample(n_trials, epochs, 64, seed);
+
+    // Shuffled 80/20 split.
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    let cut = (samples.len() * 4 / 5).max(1);
+    let train: Vec<TrainingSample> = order[..cut].iter().map(|&i| samples[i].clone()).collect();
+    let val: Vec<TrainingSample> = order[cut..].iter().map(|&i| samples[i].clone()).collect();
+    let val_targets: Vec<f64> = val.iter().map(|s| s.runtime_s).collect();
+
+    let trials: Vec<TrialResult> = bellamy_par::par_map_with_threads(
+        &configs,
+        threads.max(1),
+        |cfg| {
+            let mut model = Bellamy::new(base.clone(), seed);
+            pretrain(&mut model, &train, cfg, seed ^ 0x7E57);
+            let preds: Vec<f64> = val
+                .iter()
+                .map(|s| model.predict(s.scale_out, &s.props))
+                .collect();
+            TrialResult { config: *cfg, val_mae_s: metrics::mae(&preds, &val_targets) }
+        },
+    );
+
+    let best_index = trials
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.val_mae_s.partial_cmp(&b.val_mae_s).expect("finite MAEs")
+        })
+        .map(|(i, _)| i)
+        .expect("at least one trial");
+
+    // Winner re-trains on everything.
+    let mut final_model = Bellamy::new(base.clone(), seed);
+    pretrain(&mut final_model, samples, &trials[best_index].config, seed ^ 0xF17A);
+
+    (final_model, SearchReport { trials, best_index })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::samples_from_runs;
+    use bellamy_data::{generate_c3o, Algorithm, GeneratorConfig};
+
+    #[test]
+    fn grid_size_matches_table1() {
+        assert_eq!(SearchSpace::default().grid_size(), 27);
+    }
+
+    #[test]
+    fn sample_is_distinct_and_sized() {
+        let space = SearchSpace::default();
+        let configs = space.sample(12, 100, 64, 3);
+        assert_eq!(configs.len(), 12);
+        for (i, a) in configs.iter().enumerate() {
+            for b in &configs[i + 1..] {
+                assert!(
+                    (a.dropout, a.lr, a.weight_decay) != (b.dropout, b.lr, b.weight_decay),
+                    "duplicate configuration sampled"
+                );
+            }
+        }
+        // Oversampling clamps to the grid.
+        assert_eq!(space.sample(100, 10, 64, 0).len(), 27);
+    }
+
+    #[test]
+    fn sample_is_deterministic() {
+        let space = SearchSpace::default();
+        let a = space.sample(12, 10, 64, 7);
+        let b = space.sample(12, 10, 64, 7);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!((x.dropout, x.lr, x.weight_decay), (y.dropout, y.lr, y.weight_decay));
+        }
+    }
+
+    #[test]
+    fn search_returns_best_trial() {
+        let ds = generate_c3o(&GeneratorConfig::default());
+        let mut samples = Vec::new();
+        for ctx in ds.contexts_for(Algorithm::Grep).into_iter().take(3) {
+            samples.extend(samples_from_runs(&ds, &ds.runs_for_context(ctx.id)));
+        }
+        let (model, report) = search_pretrain(
+            &BellamyConfig::default(),
+            &samples,
+            &SearchSpace::default(),
+            3,
+            25,
+            5,
+            2,
+        );
+        assert_eq!(report.trials.len(), 3);
+        assert!(report.best_index < 3);
+        let best = report.trials[report.best_index].val_mae_s;
+        for t in &report.trials {
+            assert!(best <= t.val_mae_s);
+        }
+        assert!(model.is_fitted());
+        let p = model.predict(6.0, &samples[0].props);
+        assert!(p.is_finite());
+    }
+}

@@ -1,0 +1,176 @@
+//! Pre-training (paper §III-A, Table I "Pre-Training").
+//!
+//! A general model is trained on all available historical executions of an
+//! algorithm — across contexts — minimizing the joint objective
+//! Huber(runtime) + MSE(reconstruction) with Adam, minibatches of 64, and
+//! alpha-dropout inside the auto-encoder.
+
+use crate::config::PretrainConfig;
+use crate::features::TrainingSample;
+use crate::model::Bellamy;
+use bellamy_nn::{metrics, Adam, AdamConfig, Graph};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Instant;
+
+/// Summary of one pre-training run.
+#[derive(Debug, Clone)]
+pub struct PretrainReport {
+    /// Epochs performed.
+    pub epochs: usize,
+    /// Joint loss of the final epoch (mean over batches).
+    pub final_loss: f64,
+    /// Training MAE in seconds after the final epoch.
+    pub train_mae_s: f64,
+    /// Wall-clock time.
+    pub elapsed_s: f64,
+    /// Number of training samples.
+    pub n_samples: usize,
+}
+
+/// Pre-trains `model` on `samples`, fitting the scale-out normalization and
+/// target scale first (their bounds then persist into fine-tuning and
+/// inference, §IV-A).
+pub fn pretrain(
+    model: &mut Bellamy,
+    samples: &[TrainingSample],
+    cfg: &PretrainConfig,
+    seed: u64,
+) -> PretrainReport {
+    assert!(!samples.is_empty(), "pre-training needs at least one sample");
+    assert!(cfg.batch_size > 0, "batch size must be positive");
+    let start = Instant::now();
+
+    model.fit_normalization(samples);
+    let encoded = model.encode_samples(samples);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut opt = Adam::new(
+        model.params(),
+        AdamConfig::with_lr(cfg.lr).weight_decay(cfg.weight_decay),
+    );
+    let delta = model.config().huber_delta;
+
+    let mut indices: Vec<usize> = (0..encoded.len()).collect();
+    let mut final_loss = f64::NAN;
+
+    for _epoch in 0..cfg.epochs {
+        shuffle(&mut indices, &mut rng);
+        let mut epoch_loss = 0.0;
+        let mut batches = 0;
+        for chunk in indices.chunks(cfg.batch_size) {
+            let batch = model.make_batch(&encoded, chunk);
+            let mut graph = Graph::new(model.params());
+            let out = model.forward(&mut graph, &batch, Some((cfg.dropout, &mut rng)));
+            let huber = graph.tape.huber_loss(out.pred, batch.targets_scaled.clone(), delta);
+            let loss = graph.tape.add(huber, out.recon);
+            epoch_loss += graph.value(loss)[(0, 0)];
+            batches += 1;
+            let grads = graph.backward(loss);
+            opt.step(model.params_mut(), &grads);
+        }
+        final_loss = epoch_loss / batches as f64;
+    }
+
+    let preds = model.predict_encoded(&encoded);
+    let targets: Vec<f64> = samples.iter().map(|s| s.runtime_s).collect();
+    PretrainReport {
+        epochs: cfg.epochs,
+        final_loss,
+        train_mae_s: metrics::mae(&preds, &targets),
+        elapsed_s: start.elapsed().as_secs_f64(),
+        n_samples: samples.len(),
+    }
+}
+
+/// Fisher–Yates shuffle (kept local: `rand`'s slice-shuffle extension lives
+/// behind an optional feature in 0.10).
+fn shuffle(indices: &mut [usize], rng: &mut StdRng) {
+    for i in (1..indices.len()).rev() {
+        let j = rng.random_range(0..=i);
+        indices.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BellamyConfig;
+    use crate::features::samples_from_runs;
+    use bellamy_data::{generate_c3o, Algorithm, GeneratorConfig};
+
+    fn sgd_cross_context_samples(max_contexts: usize) -> Vec<TrainingSample> {
+        let ds = generate_c3o(&GeneratorConfig::default());
+        let mut samples = Vec::new();
+        for ctx in ds.contexts_for(Algorithm::Sgd).into_iter().take(max_contexts) {
+            let runs = ds.runs_for_context(ctx.id);
+            samples.extend(samples_from_runs(&ds, &runs));
+        }
+        samples
+    }
+
+    #[test]
+    fn pretraining_reduces_error() {
+        let samples = sgd_cross_context_samples(4);
+        let mut model = Bellamy::new(BellamyConfig::default(), 3);
+
+        // Error of the untrained (but normalized) model.
+        model.fit_normalization(&samples);
+        let encoded = model.encode_samples(&samples);
+        let preds0 = model.predict_encoded(&encoded);
+        let targets: Vec<f64> = samples.iter().map(|s| s.runtime_s).collect();
+        let mae0 = bellamy_nn::metrics::mae(&preds0, &targets);
+
+        let cfg = PretrainConfig { epochs: 150, ..PretrainConfig::default() };
+        let report = pretrain(&mut model, &samples, &cfg, 11);
+        assert!(report.final_loss.is_finite());
+        assert!(
+            report.train_mae_s < mae0 * 0.8,
+            "training should cut MAE substantially: {mae0} -> {}",
+            report.train_mae_s
+        );
+    }
+
+    #[test]
+    fn pretraining_is_deterministic() {
+        let samples = sgd_cross_context_samples(2);
+        let cfg = PretrainConfig { epochs: 30, ..PretrainConfig::default() };
+        let mut m1 = Bellamy::new(BellamyConfig::default(), 5);
+        let mut m2 = Bellamy::new(BellamyConfig::default(), 5);
+        let r1 = pretrain(&mut m1, &samples, &cfg, 9);
+        let r2 = pretrain(&mut m2, &samples, &cfg, 9);
+        assert_eq!(r1.final_loss, r2.final_loss);
+        let p1 = m1.predict(6.0, &samples[0].props);
+        let p2 = m2.predict(6.0, &samples[0].props);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn report_counts_samples() {
+        let samples = sgd_cross_context_samples(1);
+        let mut model = Bellamy::new(BellamyConfig::default(), 0);
+        let cfg = PretrainConfig { epochs: 5, ..PretrainConfig::default() };
+        let report = pretrain(&mut model, &samples, &cfg, 0);
+        assert_eq!(report.n_samples, samples.len());
+        assert_eq!(report.epochs, 5);
+        assert!(report.elapsed_s > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_rejected() {
+        let mut model = Bellamy::new(BellamyConfig::default(), 0);
+        let _ = pretrain(&mut model, &[], &PretrainConfig::default(), 0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<usize> = (0..100).collect();
+        shuffle(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should actually permute");
+    }
+}

@@ -1,0 +1,266 @@
+//! CSV import/export for datasets.
+//!
+//! The public C3O/Bell datasets ship as CSV; this module writes and reads
+//! the same tabular shape (denormalized: one row per run, context fields
+//! repeated) so generated traces can be inspected, diffed, or replaced with
+//! the real files when available. Fields containing commas or quotes are
+//! quoted per RFC 4180.
+
+use crate::nodetypes::NodeType;
+use crate::schema::{Algorithm, Dataset, Environment, JobContext, JobRun};
+
+/// Column order of the on-disk format.
+pub const HEADER: &str = "environment,algorithm,context_id,node_type,cores,memory_mb,\
+relative_speed,dataset_size_mb,dataset_characteristics,job_parameters,scale_out,repeat,runtime_s";
+
+/// Errors raised while parsing a dataset CSV.
+#[derive(Debug, PartialEq)]
+pub enum CsvError {
+    /// The header row does not match [`HEADER`].
+    BadHeader(String),
+    /// A row has the wrong number of fields.
+    FieldCount { line: usize, got: usize },
+    /// A field failed to parse, with the column name.
+    BadField { line: usize, column: &'static str, value: String },
+    /// Context rows with the same id disagree on their fields.
+    InconsistentContext { line: usize },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::BadHeader(h) => write!(f, "unexpected header: {h}"),
+            CsvError::FieldCount { line, got } => {
+                write!(f, "line {line}: expected 13 fields, got {got}")
+            }
+            CsvError::BadField { line, column, value } => {
+                write!(f, "line {line}: cannot parse {column} from {value:?}")
+            }
+            CsvError::InconsistentContext { line } => {
+                write!(f, "line {line}: context fields disagree with an earlier row")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Serializes a dataset to CSV.
+pub fn to_csv(dataset: &Dataset) -> String {
+    let mut out = String::with_capacity(dataset.runs.len() * 96);
+    out.push_str(HEADER);
+    out.push('\n');
+    for run in &dataset.runs {
+        let ctx = &dataset.contexts[run.context_id];
+        let fields = [
+            ctx.environment.name().to_string(),
+            ctx.algorithm.name().to_string(),
+            ctx.id.to_string(),
+            ctx.node_type.name.clone(),
+            ctx.node_type.cores.to_string(),
+            ctx.node_type.memory_mb.to_string(),
+            format!("{}", ctx.node_type.relative_speed),
+            ctx.dataset_size_mb.to_string(),
+            ctx.dataset_characteristics.clone(),
+            ctx.job_parameters.clone(),
+            run.scale_out.to_string(),
+            run.repeat.to_string(),
+            format!("{:.6}", run.runtime_s),
+        ];
+        let row: Vec<String> = fields.iter().map(|f| escape(f)).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a dataset from CSV (the inverse of [`to_csv`]).
+pub fn from_csv(text: &str) -> Result<Dataset, CsvError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| CsvError::BadHeader(String::new()))?;
+    if header.trim() != HEADER {
+        return Err(CsvError::BadHeader(header.to_string()));
+    }
+
+    let mut contexts: Vec<JobContext> = Vec::new();
+    let mut runs: Vec<JobRun> = Vec::new();
+
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_row(line);
+        if fields.len() != 13 {
+            return Err(CsvError::FieldCount { line: line_no, got: fields.len() });
+        }
+        let bad = |column: &'static str, value: &str| CsvError::BadField {
+            line: line_no,
+            column,
+            value: value.to_string(),
+        };
+
+        let environment = Environment::from_name(&fields[0])
+            .ok_or_else(|| bad("environment", &fields[0]))?;
+        let algorithm =
+            Algorithm::from_name(&fields[1]).ok_or_else(|| bad("algorithm", &fields[1]))?;
+        let context_id: usize = fields[2].parse().map_err(|_| bad("context_id", &fields[2]))?;
+        let cores: u32 = fields[4].parse().map_err(|_| bad("cores", &fields[4]))?;
+        let memory_mb: u64 = fields[5].parse().map_err(|_| bad("memory_mb", &fields[5]))?;
+        let relative_speed: f64 =
+            fields[6].parse().map_err(|_| bad("relative_speed", &fields[6]))?;
+        let dataset_size_mb: u64 =
+            fields[7].parse().map_err(|_| bad("dataset_size_mb", &fields[7]))?;
+        let scale_out: u32 = fields[10].parse().map_err(|_| bad("scale_out", &fields[10]))?;
+        let repeat: u32 = fields[11].parse().map_err(|_| bad("repeat", &fields[11]))?;
+        let runtime_s: f64 = fields[12].parse().map_err(|_| bad("runtime_s", &fields[12]))?;
+
+        let ctx = JobContext {
+            id: context_id,
+            environment,
+            algorithm,
+            node_type: NodeType {
+                name: fields[3].clone(),
+                cores,
+                memory_mb,
+                relative_speed,
+            },
+            dataset_size_mb,
+            dataset_characteristics: fields[8].clone(),
+            job_parameters: fields[9].clone(),
+        };
+
+        if context_id < contexts.len() {
+            if contexts[context_id] != ctx {
+                return Err(CsvError::InconsistentContext { line: line_no });
+            }
+        } else if context_id == contexts.len() {
+            contexts.push(ctx);
+        } else {
+            // Ids must appear densely in first-occurrence order.
+            return Err(CsvError::InconsistentContext { line: line_no });
+        }
+
+        runs.push(JobRun { context_id, scale_out, repeat, runtime_s });
+    }
+
+    Ok(Dataset { contexts, runs })
+}
+
+/// Quotes a field when needed (RFC 4180).
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Splits one CSV row honouring quotes.
+fn split_row(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    current.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut current));
+            }
+            other => current.push(other),
+        }
+    }
+    fields.push(current);
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_bell, generate_c3o, GeneratorConfig};
+
+    #[test]
+    fn round_trip_c3o() {
+        let ds = generate_c3o(&GeneratorConfig::seeded(3));
+        let text = to_csv(&ds);
+        let back = from_csv(&text).unwrap();
+        assert_eq!(back.contexts, ds.contexts);
+        assert_eq!(back.runs.len(), ds.runs.len());
+        for (a, b) in back.runs.iter().zip(ds.runs.iter()) {
+            assert_eq!(a.context_id, b.context_id);
+            assert_eq!(a.scale_out, b.scale_out);
+            assert!((a.runtime_s - b.runtime_s).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn round_trip_bell() {
+        let ds = generate_bell(&GeneratorConfig::seeded(3));
+        let back = from_csv(&to_csv(&ds)).unwrap();
+        assert_eq!(back.contexts, ds.contexts);
+        assert_eq!(back.runs.len(), ds.runs.len());
+    }
+
+    #[test]
+    fn quoted_fields_survive() {
+        let mut ds = generate_bell(&GeneratorConfig::seeded(1));
+        ds.contexts[0].job_parameters = "--pattern \"a,b\",--verbose".to_string();
+        let back = from_csv(&to_csv(&ds)).unwrap();
+        assert_eq!(back.contexts[0].job_parameters, ds.contexts[0].job_parameters);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(matches!(from_csv("foo,bar\n"), Err(CsvError::BadHeader(_))));
+    }
+
+    #[test]
+    fn field_count_checked() {
+        let text = format!("{HEADER}\nc3o,grep,0\n");
+        assert!(matches!(
+            from_csv(&text),
+            Err(CsvError::FieldCount { line: 2, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn bad_algorithm_reported() {
+        let text = format!(
+            "{HEADER}\nc3o,quicksort,0,m4.xlarge,4,16384,1,1000,text,params,2,0,10.0\n"
+        );
+        match from_csv(&text) {
+            Err(CsvError::BadField { column: "algorithm", .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inconsistent_context_detected() {
+        let text = format!(
+            "{HEADER}\n\
+             c3o,grep,0,m4.xlarge,4,16384,1,1000,text-logs,--pattern a,2,0,10.0\n\
+             c3o,grep,0,r4.xlarge,4,31232,0.95,1000,text-logs,--pattern a,4,0,8.0\n"
+        );
+        assert!(matches!(
+            from_csv(&text),
+            Err(CsvError::InconsistentContext { line: 3 })
+        ));
+    }
+
+    #[test]
+    fn split_row_handles_escaped_quotes() {
+        assert_eq!(
+            split_row("a,\"b\"\"c\",d"),
+            vec!["a".to_string(), "b\"c".to_string(), "d".to_string()]
+        );
+    }
+}

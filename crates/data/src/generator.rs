@@ -1,0 +1,353 @@
+//! Synthetic C3O and Bell dataset generators.
+//!
+//! The generators reproduce the *shape* of the public datasets exactly
+//! (context counts, scale-out grids, repetition counts — §IV-B) and sample
+//! context properties from realistic vocabularies. Runtimes come from the
+//! deterministic ground-truth profile of [`crate::model`] multiplied by
+//! log-normal measurement noise and an occasional straggler slowdown.
+
+use crate::model::ground_truth_profile;
+use crate::nodetypes::NodeType;
+use crate::schema::{Algorithm, Dataset, Environment, JobContext, JobRun};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rand_distr::{Distribution, LogNormal};
+
+/// Knobs for the trace generators. The defaults match the calibration used
+/// throughout the evaluation; the noise knobs exist for the robustness
+/// ablation (`repro -- ablate-noise`).
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorConfig {
+    /// Master seed; the same seed reproduces the dataset bit-for-bit.
+    pub seed: u64,
+    /// Sigma of the multiplicative log-normal measurement noise.
+    pub noise_sigma: f64,
+    /// Probability that a run is slowed down by a straggler.
+    pub straggler_prob: f64,
+    /// Straggler slowdown range (uniform multiplier).
+    pub straggler_slowdown: (f64, f64),
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            noise_sigma: 0.06,
+            straggler_prob: 0.03,
+            straggler_slowdown: (1.10, 1.35),
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Default configuration with a specific seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+}
+
+/// C3O scale-out grid: 2–12 machines, step 2 (§IV-B).
+pub const C3O_SCALE_OUTS: [u32; 6] = [2, 4, 6, 8, 10, 12];
+/// C3O repetitions per experiment (§IV-B).
+pub const C3O_REPEATS: u32 = 5;
+/// Bell scale-out grid: 4–60 machines, step 4 (§IV-B).
+pub const BELL_SCALE_OUTS: [u32; 15] =
+    [4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60];
+/// Bell repetitions per experiment (§IV-B).
+pub const BELL_REPEATS: u32 = 7;
+
+/// Dataset-characteristics vocabulary per algorithm (labels understood by
+/// [`crate::model::characteristics_factors`]).
+fn characteristics_choices(algorithm: Algorithm) -> &'static [&'static str] {
+    match algorithm {
+        Algorithm::Grep => &["text-logs", "text-web", "text-wiki"],
+        Algorithm::Sort => &["uniform-keys", "zipf-keys", "presorted-keys"],
+        Algorithm::PageRank => &["web-graph", "social-graph", "road-graph"],
+        Algorithm::Sgd => &["dense-features", "sparse-features", "wide-features"],
+        Algorithm::KMeans => &["clustered-points", "uniform-points", "skewed-points"],
+    }
+}
+
+/// Job-parameter vocabulary per algorithm.
+fn parameter_choices(algorithm: Algorithm) -> Vec<String> {
+    match algorithm {
+        Algorithm::Sgd => [25, 50, 100]
+            .iter()
+            .map(|it| format!("--iterations {it}"))
+            .collect(),
+        Algorithm::KMeans => {
+            let mut v = Vec::new();
+            for k in [4, 8, 16] {
+                for it in [10, 20, 50] {
+                    v.push(format!("--k {k} --iterations {it}"));
+                }
+            }
+            v
+        }
+        Algorithm::PageRank => [10, 20, 30]
+            .iter()
+            .map(|it| format!("--iterations {it} --damping 0.85"))
+            .collect(),
+        Algorithm::Grep => ["error", "warn", "exception", "failed.*timeout", "href=.*html"]
+            .iter()
+            .map(|p| format!("--pattern {p}"))
+            .collect(),
+        Algorithm::Sort => [64, 128, 256]
+            .iter()
+            .map(|p| format!("--partitions {p}"))
+            .collect(),
+    }
+}
+
+/// Dataset-size range in MB per algorithm (public-cloud experiments).
+fn c3o_size_range(algorithm: Algorithm) -> (u64, u64) {
+    match algorithm {
+        Algorithm::Grep | Algorithm::Sort => (8_192, 61_440),
+        Algorithm::PageRank => (4_096, 30_720),
+        Algorithm::Sgd | Algorithm::KMeans => (4_096, 30_720),
+    }
+}
+
+/// Generates the synthetic C3O-datasets: 155 contexts, 930 unique
+/// experiments, 4650 runs.
+pub fn generate_c3o(config: &GeneratorConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let catalog = NodeType::c3o_catalog();
+    let mut contexts = Vec::new();
+
+    for algorithm in Algorithm::ALL {
+        let n_contexts = algorithm.c3o_context_count();
+        let chars = characteristics_choices(algorithm);
+        let params = parameter_choices(algorithm);
+        let (size_lo, size_hi) = c3o_size_range(algorithm);
+
+        let mut seen: Vec<(String, u64, String, String)> = Vec::new();
+        for i in 0..n_contexts {
+            // The first pass over the catalog guarantees every node type
+            // appears for every algorithm (needed by the §IV-C1 sampling
+            // rule "each node type is present at least once").
+            loop {
+                let node = if i < catalog.len() {
+                    catalog[i].clone()
+                } else {
+                    catalog[rng.random_range(0..catalog.len())].clone()
+                };
+                let size = rng.random_range(size_lo..=size_hi);
+                let ch = chars[rng.random_range(0..chars.len())].to_string();
+                let pm = params[rng.random_range(0..params.len())].clone();
+                let key = (node.name.clone(), size, ch.clone(), pm.clone());
+                if seen.contains(&key) {
+                    continue; // re-roll duplicates; sizes make them unlikely
+                }
+                seen.push(key);
+                contexts.push(JobContext {
+                    id: contexts.len(),
+                    environment: Environment::C3oPublicCloud,
+                    algorithm,
+                    node_type: node,
+                    dataset_size_mb: size,
+                    dataset_characteristics: ch,
+                    job_parameters: pm,
+                });
+                break;
+            }
+        }
+    }
+
+    let runs = sample_runs(&contexts, &C3O_SCALE_OUTS, C3O_REPEATS, config, &mut rng);
+    Dataset { contexts, runs }
+}
+
+/// Generates the synthetic Bell-datasets: Grep, SGD and PageRank, one
+/// private-cluster context each, 45 unique experiments, 315 runs.
+pub fn generate_bell(config: &GeneratorConfig) -> Dataset {
+    // Offset the seed stream so C3O and Bell noise is independent even with
+    // the same master seed.
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xBE11_BE11_BE11_BE11);
+    let node = NodeType::bell_catalog().remove(0);
+
+    // One fixed context per algorithm; larger datasets suit the 4–60 machine
+    // range of the private cluster.
+    let specs: [(Algorithm, u64, &str, &str); 3] = [
+        (Algorithm::Grep, 153_600, "text-logs", "--pattern exception"),
+        (Algorithm::Sgd, 61_440, "dense-features", "--iterations 100"),
+        (Algorithm::PageRank, 81_920, "web-graph", "--iterations 20 --damping 0.85"),
+    ];
+
+    let contexts: Vec<JobContext> = specs
+        .iter()
+        .enumerate()
+        .map(|(id, (algorithm, size, chars, params))| JobContext {
+            id,
+            environment: Environment::BellPrivateCluster,
+            algorithm: *algorithm,
+            node_type: node.clone(),
+            dataset_size_mb: *size,
+            dataset_characteristics: chars.to_string(),
+            job_parameters: params.to_string(),
+        })
+        .collect();
+
+    let runs = sample_runs(&contexts, &BELL_SCALE_OUTS, BELL_REPEATS, config, &mut rng);
+    Dataset { contexts, runs }
+}
+
+/// Samples noisy runs for every `(context, scale-out, repeat)` triple.
+fn sample_runs(
+    contexts: &[JobContext],
+    scale_outs: &[u32],
+    repeats: u32,
+    config: &GeneratorConfig,
+    rng: &mut StdRng,
+) -> Vec<JobRun> {
+    // Mean-one log-normal: mu = -sigma^2/2.
+    let noise = LogNormal::new(
+        -config.noise_sigma * config.noise_sigma / 2.0,
+        config.noise_sigma,
+    )
+    .expect("valid log-normal parameters");
+
+    let mut runs = Vec::with_capacity(contexts.len() * scale_outs.len() * repeats as usize);
+    for ctx in contexts {
+        let profile = ground_truth_profile(ctx);
+        for &x in scale_outs {
+            let clean = profile.runtime(x as f64);
+            for repeat in 0..repeats {
+                let mut t = clean * noise.sample(rng);
+                if rng.random::<f64>() < config.straggler_prob {
+                    let (lo, hi) = config.straggler_slowdown;
+                    t *= rng.random_range(lo..hi);
+                }
+                runs.push(JobRun { context_id: ctx.id, scale_out: x, repeat, runtime_s: t });
+            }
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c3o_shape_matches_paper() {
+        let ds = generate_c3o(&GeneratorConfig::default());
+        assert_eq!(ds.contexts.len(), 155);
+        assert_eq!(ds.unique_experiments(), 930);
+        assert_eq!(ds.runs.len(), 930 * 5);
+        assert!(ds.validate().is_ok());
+        for (alg, want) in [
+            (Algorithm::Sort, 21),
+            (Algorithm::Grep, 27),
+            (Algorithm::Sgd, 30),
+            (Algorithm::KMeans, 30),
+            (Algorithm::PageRank, 47),
+        ] {
+            assert_eq!(ds.contexts_for(alg).len(), want, "{alg}");
+        }
+    }
+
+    #[test]
+    fn c3o_scale_out_grid() {
+        let ds = generate_c3o(&GeneratorConfig::default());
+        for ctx in &ds.contexts {
+            assert_eq!(ds.scale_outs_for_context(ctx.id), C3O_SCALE_OUTS.to_vec());
+        }
+    }
+
+    #[test]
+    fn every_node_type_present_per_algorithm() {
+        let ds = generate_c3o(&GeneratorConfig::default());
+        let catalog = NodeType::c3o_catalog();
+        for alg in Algorithm::ALL {
+            let ctxs = ds.contexts_for(alg);
+            for node in &catalog {
+                assert!(
+                    ctxs.iter().any(|c| c.node_type.name == node.name),
+                    "{alg} is missing node type {}",
+                    node.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contexts_are_unique() {
+        let ds = generate_c3o(&GeneratorConfig::default());
+        for alg in Algorithm::ALL {
+            let ctxs = ds.contexts_for(alg);
+            for (i, a) in ctxs.iter().enumerate() {
+                for b in &ctxs[i + 1..] {
+                    let same = a.node_type.name == b.node_type.name
+                        && a.dataset_size_mb == b.dataset_size_mb
+                        && a.dataset_characteristics == b.dataset_characteristics
+                        && a.job_parameters == b.job_parameters;
+                    assert!(!same, "duplicate context for {alg}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_c3o(&GeneratorConfig::seeded(7));
+        let b = generate_c3o(&GeneratorConfig::seeded(7));
+        assert_eq!(a.runs, b.runs);
+        assert_eq!(a.contexts, b.contexts);
+        let c = generate_c3o(&GeneratorConfig::seeded(8));
+        assert_ne!(a.runs, c.runs, "different seeds should differ");
+    }
+
+    #[test]
+    fn bell_shape_matches_paper() {
+        let ds = generate_bell(&GeneratorConfig::default());
+        assert_eq!(ds.contexts.len(), 3);
+        assert_eq!(ds.unique_experiments(), 45);
+        assert_eq!(ds.runs.len(), 45 * 7);
+        assert!(ds.validate().is_ok());
+        for ctx in &ds.contexts {
+            assert_eq!(ds.scale_outs_for_context(ctx.id), BELL_SCALE_OUTS.to_vec());
+            assert_eq!(ctx.environment, Environment::BellPrivateCluster);
+            assert_eq!(ctx.node_type.name, "cluster-node");
+        }
+    }
+
+    #[test]
+    fn repeat_noise_is_modest() {
+        let ds = generate_c3o(&GeneratorConfig::default());
+        // Coefficient of variation across the 5 repeats should be small but
+        // non-zero for (almost) every unique experiment.
+        let ctx = &ds.contexts[0];
+        for &x in &C3O_SCALE_OUTS {
+            let times: Vec<f64> = ds
+                .runs_for_context(ctx.id)
+                .iter()
+                .filter(|r| r.scale_out == x)
+                .map(|r| r.runtime_s)
+                .collect();
+            assert_eq!(times.len(), 5);
+            let mean = bellamy_linalg::stats::mean(&times);
+            let sd = bellamy_linalg::stats::std_dev(&times);
+            assert!(sd / mean < 0.3, "cv {} too large at x={x}", sd / mean);
+        }
+    }
+
+    #[test]
+    fn zero_noise_reproduces_ground_truth() {
+        let cfg = GeneratorConfig {
+            noise_sigma: 1e-12,
+            straggler_prob: 0.0,
+            ..GeneratorConfig::default()
+        };
+        let ds = generate_c3o(&cfg);
+        let ctx = &ds.contexts[10];
+        let profile = ground_truth_profile(ctx);
+        for r in ds.runs_for_context(ctx.id) {
+            let clean = profile.runtime(r.scale_out as f64);
+            assert!(
+                (r.runtime_s - clean).abs() / clean < 1e-6,
+                "noise-free run should match ground truth"
+            );
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Machine-type catalogs for the two environments.
+//!
+//! The C3O experiments ran on Amazon EMR instance types; Fig. 4 of the paper
+//! shows `m4.2xlarge` and `r4.2xlarge` contexts. The catalog below models
+//! the general-purpose (m4), compute-optimized (c4) and memory-optimized
+//! (r4) families in two sizes each — six types, so the seven sampled
+//! contexts per algorithm (§IV-C1) can cover every type at least once. The
+//! Bell environment is a single private-cluster node type.
+
+use serde::{Deserialize, Serialize};
+
+/// A worker machine type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeType {
+    /// Instance-type name as it appears in the context properties.
+    pub name: String,
+    /// Number of virtual cores.
+    pub cores: u32,
+    /// Memory in MB.
+    pub memory_mb: u64,
+    /// Per-core processing speed relative to `m4` (1.0).
+    pub relative_speed: f64,
+}
+
+impl NodeType {
+    fn new(name: &str, cores: u32, memory_mb: u64, relative_speed: f64) -> Self {
+        Self { name: name.to_string(), cores, memory_mb, relative_speed }
+    }
+
+    /// The C3O (public cloud) catalog.
+    pub fn c3o_catalog() -> Vec<NodeType> {
+        vec![
+            NodeType::new("m4.xlarge", 4, 16_384, 1.0),
+            NodeType::new("m4.2xlarge", 8, 32_768, 1.0),
+            NodeType::new("c4.xlarge", 4, 7_680, 1.3),
+            NodeType::new("c4.2xlarge", 8, 15_360, 1.3),
+            NodeType::new("r4.xlarge", 4, 31_232, 0.95),
+            NodeType::new("r4.2xlarge", 8, 62_464, 0.95),
+        ]
+    }
+
+    /// The Bell (private cluster) node type: older commodity machines with
+    /// a slower per-core speed, matching the environment shift of §IV-C2.
+    pub fn bell_catalog() -> Vec<NodeType> {
+        vec![NodeType::new("cluster-node", 8, 16_384, 0.75)]
+    }
+
+    /// Looks a type up by name across both catalogs.
+    pub fn by_name(name: &str) -> Option<NodeType> {
+        Self::c3o_catalog()
+            .into_iter()
+            .chain(Self::bell_catalog())
+            .find(|n| n.name == name)
+    }
+
+    /// Memory per core in MB — drives the spill behaviour in the runtime
+    /// model.
+    pub fn memory_per_core_mb(&self) -> f64 {
+        self.memory_mb as f64 / self.cores as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_six_c3o_types() {
+        let cat = NodeType::c3o_catalog();
+        assert_eq!(cat.len(), 6);
+        let names: Vec<&str> = cat.iter().map(|n| n.name.as_str()).collect();
+        assert!(names.contains(&"m4.2xlarge"));
+        assert!(names.contains(&"r4.2xlarge"));
+    }
+
+    #[test]
+    fn by_name_finds_both_catalogs() {
+        assert!(NodeType::by_name("c4.xlarge").is_some());
+        assert!(NodeType::by_name("cluster-node").is_some());
+        assert!(NodeType::by_name("quantum-node").is_none());
+    }
+
+    #[test]
+    fn families_have_expected_profiles() {
+        let c4 = NodeType::by_name("c4.xlarge").unwrap();
+        let r4 = NodeType::by_name("r4.xlarge").unwrap();
+        let m4 = NodeType::by_name("m4.xlarge").unwrap();
+        // Compute-optimized: faster cores, less memory.
+        assert!(c4.relative_speed > m4.relative_speed);
+        assert!(c4.memory_mb < m4.memory_mb);
+        // Memory-optimized: slower cores, much more memory.
+        assert!(r4.relative_speed < m4.relative_speed);
+        assert!(r4.memory_mb > m4.memory_mb);
+    }
+
+    #[test]
+    fn memory_per_core() {
+        let m4 = NodeType::by_name("m4.xlarge").unwrap();
+        assert_eq!(m4.memory_per_core_mb(), 4096.0);
+    }
+
+    #[test]
+    fn doubling_size_doubles_resources() {
+        let small = NodeType::by_name("m4.xlarge").unwrap();
+        let big = NodeType::by_name("m4.2xlarge").unwrap();
+        assert_eq!(big.cores, small.cores * 2);
+        assert_eq!(big.memory_mb, small.memory_mb * 2);
+        assert_eq!(big.relative_speed, small.relative_speed);
+    }
+}

@@ -1,0 +1,379 @@
+//! Core domain types: algorithms, environments, contexts, runs, datasets.
+
+use crate::nodetypes::NodeType;
+use serde::{Deserialize, Serialize};
+
+/// The five dataflow algorithms covered by the C3O-datasets (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Distributed sort (trivial scale-out behaviour).
+    Sort,
+    /// Pattern search (trivial scale-out behaviour).
+    Grep,
+    /// Stochastic gradient descent for logistic regression (non-trivial).
+    Sgd,
+    /// K-Means clustering (non-trivial).
+    KMeans,
+    /// PageRank (mostly trivial in the paper's data).
+    PageRank,
+}
+
+impl Algorithm {
+    /// All algorithms in the C3O-datasets, in the paper's display order.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Grep,
+        Algorithm::PageRank,
+        Algorithm::Sort,
+        Algorithm::Sgd,
+        Algorithm::KMeans,
+    ];
+
+    /// The subset also present in the Bell-datasets (§IV-C2).
+    pub const BELL: [Algorithm; 3] = [Algorithm::Grep, Algorithm::Sgd, Algorithm::PageRank];
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Sort => "sort",
+            Algorithm::Grep => "grep",
+            Algorithm::Sgd => "sgd",
+            Algorithm::KMeans => "kmeans",
+            Algorithm::PageRank => "pagerank",
+        }
+    }
+
+    /// Parses [`Algorithm::name`] output.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "sort" => Some(Algorithm::Sort),
+            "grep" => Some(Algorithm::Grep),
+            "sgd" => Some(Algorithm::Sgd),
+            "kmeans" => Some(Algorithm::KMeans),
+            "pagerank" => Some(Algorithm::PageRank),
+            _ => None,
+        }
+    }
+
+    /// Whether the paper classifies the algorithm's observable scale-out
+    /// behaviour as non-trivial (§IV-C1: K-Means and SGD).
+    pub fn non_trivial_scale_out(self) -> bool {
+        matches!(self, Algorithm::Sgd | Algorithm::KMeans)
+    }
+
+    /// Unique execution contexts per algorithm in the C3O-datasets (§IV-B:
+    /// 21 Sort, 27 Grep, 30 SGD, 30 K-Means, 47 PageRank).
+    pub fn c3o_context_count(self) -> usize {
+        match self {
+            Algorithm::Sort => 21,
+            Algorithm::Grep => 27,
+            Algorithm::Sgd => 30,
+            Algorithm::KMeans => 30,
+            Algorithm::PageRank => 47,
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where a set of experiments ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Environment {
+    /// Amazon EMR, Hadoop 3.2.1, Spark 2.4.4 (C3O-datasets).
+    C3oPublicCloud,
+    /// Private cluster, Hadoop 2.7.1, Spark 2.0.0 (Bell-datasets).
+    BellPrivateCluster,
+}
+
+impl Environment {
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Environment::C3oPublicCloud => "c3o",
+            Environment::BellPrivateCluster => "bell",
+        }
+    }
+
+    /// Parses [`Environment::name`] output.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "c3o" => Some(Environment::C3oPublicCloud),
+            "bell" => Some(Environment::BellPrivateCluster),
+            _ => None,
+        }
+    }
+
+    /// Software stack descriptor (part of the context in spirit; recorded
+    /// for documentation output).
+    pub fn software(self) -> &'static str {
+        match self {
+            Environment::C3oPublicCloud => "Hadoop 3.2.1 / Spark 2.4.4",
+            Environment::BellPrivateCluster => "Hadoop 2.7.1 / Spark 2.0.0",
+        }
+    }
+}
+
+/// A unique job execution context: "node type, job parameters, target
+/// dataset size, and target dataset characteristics" (§IV-B), plus the
+/// environment it belongs to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobContext {
+    /// Index within the owning [`Dataset`].
+    pub id: usize,
+    /// Environment the experiments ran in.
+    pub environment: Environment,
+    /// The processing algorithm.
+    pub algorithm: Algorithm,
+    /// Machine type used for every worker.
+    pub node_type: NodeType,
+    /// Size of the target dataset in MB (essential property).
+    pub dataset_size_mb: u64,
+    /// Free-text dataset characteristics (essential property).
+    pub dataset_characteristics: String,
+    /// Job parameter string (essential property).
+    pub job_parameters: String,
+}
+
+impl JobContext {
+    /// The paper's `filtered` pre-training criterion (§IV-C1): a historical
+    /// context qualifies only if node type, dataset characteristics and job
+    /// parameters all differ **and** the dataset size differs by at least
+    /// 20%.
+    pub fn substantially_different(&self, other: &JobContext) -> bool {
+        if self.node_type.name == other.node_type.name {
+            return false;
+        }
+        if self.dataset_characteristics == other.dataset_characteristics {
+            return false;
+        }
+        if self.job_parameters == other.job_parameters {
+            return false;
+        }
+        let a = self.dataset_size_mb as f64;
+        let b = other.dataset_size_mb as f64;
+        let rel = (a - b).abs() / a.max(b).max(1.0);
+        rel >= 0.2
+    }
+}
+
+/// One job execution: a context, a horizontal scale-out, and the measured
+/// runtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRun {
+    /// Index into [`Dataset::contexts`].
+    pub context_id: usize,
+    /// Number of worker machines.
+    pub scale_out: u32,
+    /// Repetition index (0-based).
+    pub repeat: u32,
+    /// Measured runtime in seconds.
+    pub runtime_s: f64,
+}
+
+/// A collection of contexts and runs from one environment.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// All execution contexts, indexed by [`JobContext::id`].
+    pub contexts: Vec<JobContext>,
+    /// All job executions.
+    pub runs: Vec<JobRun>,
+}
+
+impl Dataset {
+    /// Contexts belonging to `algorithm`.
+    pub fn contexts_for(&self, algorithm: Algorithm) -> Vec<&JobContext> {
+        self.contexts.iter().filter(|c| c.algorithm == algorithm).collect()
+    }
+
+    /// Runs executed in context `context_id`.
+    pub fn runs_for_context(&self, context_id: usize) -> Vec<&JobRun> {
+        self.runs.iter().filter(|r| r.context_id == context_id).collect()
+    }
+
+    /// Runs of every context of `algorithm` **except** `exclude_context`.
+    pub fn runs_for_algorithm_excluding(
+        &self,
+        algorithm: Algorithm,
+        exclude_context: Option<usize>,
+    ) -> Vec<&JobRun> {
+        self.runs
+            .iter()
+            .filter(|r| {
+                let ctx = &self.contexts[r.context_id];
+                ctx.algorithm == algorithm && Some(r.context_id) != exclude_context
+            })
+            .collect()
+    }
+
+    /// Distinct scale-outs present for a context, ascending.
+    pub fn scale_outs_for_context(&self, context_id: usize) -> Vec<u32> {
+        let mut outs: Vec<u32> = self
+            .runs_for_context(context_id)
+            .iter()
+            .map(|r| r.scale_out)
+            .collect();
+        outs.sort_unstable();
+        outs.dedup();
+        outs
+    }
+
+    /// The algorithms present in this dataset.
+    pub fn algorithms(&self) -> Vec<Algorithm> {
+        let mut algos: Vec<Algorithm> = Vec::new();
+        for c in &self.contexts {
+            if !algos.contains(&c.algorithm) {
+                algos.push(c.algorithm);
+            }
+        }
+        algos
+    }
+
+    /// Total number of unique `(context, scale-out)` experiments.
+    pub fn unique_experiments(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for r in &self.runs {
+            seen.insert((r.context_id, r.scale_out));
+        }
+        seen.len()
+    }
+
+    /// Basic integrity check: every run references a valid context and has a
+    /// positive, finite runtime.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, c) in self.contexts.iter().enumerate() {
+            if c.id != i {
+                return Err(format!("context {i} has inconsistent id {}", c.id));
+            }
+        }
+        for r in &self.runs {
+            if r.context_id >= self.contexts.len() {
+                return Err(format!("run references missing context {}", r.context_id));
+            }
+            if !(r.runtime_s.is_finite() && r.runtime_s > 0.0) {
+                return Err(format!(
+                    "run in context {} has invalid runtime {}",
+                    r.context_id, r.runtime_s
+                ));
+            }
+            if r.scale_out == 0 {
+                return Err("run with zero scale-out".to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nodetypes::NodeType;
+
+    fn ctx(id: usize, alg: Algorithm, node: &str, size: u64, chars: &str, params: &str) -> JobContext {
+        JobContext {
+            id,
+            environment: Environment::C3oPublicCloud,
+            algorithm: alg,
+            node_type: NodeType::by_name(node).unwrap_or_else(|| NodeType {
+                name: node.to_string(),
+                cores: 4,
+                memory_mb: 16384,
+                relative_speed: 1.0,
+            }),
+            dataset_size_mb: size,
+            dataset_characteristics: chars.to_string(),
+            job_parameters: params.to_string(),
+        }
+    }
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for a in Algorithm::ALL {
+            assert_eq!(Algorithm::from_name(a.name()), Some(a));
+        }
+        assert_eq!(Algorithm::from_name("nope"), None);
+    }
+
+    #[test]
+    fn c3o_context_counts_match_paper() {
+        let total: usize = Algorithm::ALL.iter().map(|a| a.c3o_context_count()).sum();
+        assert_eq!(total, 155, "21+27+30+30+47 contexts");
+        // 155 contexts x 6 scale-outs = 930 unique experiments (§IV-B).
+        assert_eq!(total * 6, 930);
+    }
+
+    #[test]
+    fn non_trivial_classification() {
+        assert!(Algorithm::Sgd.non_trivial_scale_out());
+        assert!(Algorithm::KMeans.non_trivial_scale_out());
+        assert!(!Algorithm::Grep.non_trivial_scale_out());
+        assert!(!Algorithm::Sort.non_trivial_scale_out());
+        assert!(!Algorithm::PageRank.non_trivial_scale_out());
+    }
+
+    #[test]
+    fn environment_round_trip() {
+        for e in [Environment::C3oPublicCloud, Environment::BellPrivateCluster] {
+            assert_eq!(Environment::from_name(e.name()), Some(e));
+        }
+    }
+
+    #[test]
+    fn substantially_different_requires_all_criteria() {
+        let a = ctx(0, Algorithm::Sgd, "m4.2xlarge", 20_000, "dense", "--iterations 50");
+        // Same node type -> not different enough.
+        let b = ctx(1, Algorithm::Sgd, "m4.2xlarge", 30_000, "sparse", "--iterations 100");
+        assert!(!a.substantially_different(&b));
+        // All fields differ and size gap >= 20%.
+        let c = ctx(2, Algorithm::Sgd, "r4.2xlarge", 30_000, "sparse", "--iterations 100");
+        assert!(a.substantially_different(&c));
+        // Size too close (10%).
+        let d = ctx(3, Algorithm::Sgd, "r4.2xlarge", 22_000, "sparse", "--iterations 100");
+        assert!(!a.substantially_different(&d));
+    }
+
+    #[test]
+    fn dataset_queries() {
+        let contexts = vec![
+            ctx(0, Algorithm::Grep, "m4.xlarge", 10_000, "text", "--pattern err"),
+            ctx(1, Algorithm::Sgd, "m4.xlarge", 12_000, "dense", "--iterations 50"),
+        ];
+        let runs = vec![
+            JobRun { context_id: 0, scale_out: 2, repeat: 0, runtime_s: 100.0 },
+            JobRun { context_id: 0, scale_out: 4, repeat: 0, runtime_s: 60.0 },
+            JobRun { context_id: 0, scale_out: 4, repeat: 1, runtime_s: 62.0 },
+            JobRun { context_id: 1, scale_out: 2, repeat: 0, runtime_s: 200.0 },
+        ];
+        let ds = Dataset { contexts, runs };
+        assert!(ds.validate().is_ok());
+        assert_eq!(ds.contexts_for(Algorithm::Grep).len(), 1);
+        assert_eq!(ds.runs_for_context(0).len(), 3);
+        assert_eq!(ds.scale_outs_for_context(0), vec![2, 4]);
+        assert_eq!(ds.unique_experiments(), 3);
+        assert_eq!(ds.algorithms(), vec![Algorithm::Grep, Algorithm::Sgd]);
+        assert_eq!(
+            ds.runs_for_algorithm_excluding(Algorithm::Grep, Some(0)).len(),
+            0
+        );
+        assert_eq!(
+            ds.runs_for_algorithm_excluding(Algorithm::Grep, None).len(),
+            3
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_runs() {
+        let ds = Dataset {
+            contexts: vec![ctx(0, Algorithm::Grep, "m4.xlarge", 1, "t", "p")],
+            runs: vec![JobRun { context_id: 5, scale_out: 2, repeat: 0, runtime_s: 1.0 }],
+        };
+        assert!(ds.validate().is_err());
+        let ds2 = Dataset {
+            contexts: vec![ctx(0, Algorithm::Grep, "m4.xlarge", 1, "t", "p")],
+            runs: vec![JobRun { context_id: 0, scale_out: 2, repeat: 0, runtime_s: -3.0 }],
+        };
+        assert!(ds2.validate().is_err());
+    }
+}

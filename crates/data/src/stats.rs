@@ -1,0 +1,138 @@
+//! Dataset summary statistics: the numbers a user checks before trusting a
+//! trace collection (and the numbers §IV-B of the paper reports about the
+//! real datasets).
+
+use crate::schema::{Algorithm, Dataset};
+use serde::Serialize;
+
+/// Per-algorithm summary of a dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct AlgorithmStats {
+    /// The algorithm.
+    pub algorithm: Algorithm,
+    /// Number of unique execution contexts.
+    pub contexts: usize,
+    /// Number of unique `(context, scale-out)` experiments.
+    pub unique_experiments: usize,
+    /// Total runs (experiments × repeats).
+    pub runs: usize,
+    /// Smallest observed runtime in seconds.
+    pub min_runtime_s: f64,
+    /// Largest observed runtime in seconds.
+    pub max_runtime_s: f64,
+    /// Mean runtime in seconds.
+    pub mean_runtime_s: f64,
+    /// Mean coefficient of variation across repeats of the same experiment
+    /// (measurement noise level).
+    pub mean_repeat_cv: f64,
+    /// Fraction of contexts whose noise-free-ish runtime curve (mean over
+    /// repeats) is monotone decreasing over the scale-out grid — a proxy for
+    /// "trivial scale-out behaviour".
+    pub monotone_context_fraction: f64,
+}
+
+/// Computes per-algorithm statistics.
+pub fn summarize(dataset: &Dataset) -> Vec<AlgorithmStats> {
+    dataset
+        .algorithms()
+        .into_iter()
+        .map(|algorithm| {
+            let contexts = dataset.contexts_for(algorithm);
+            let mut runtimes = Vec::new();
+            let mut cvs = Vec::new();
+            let mut unique = 0;
+            let mut monotone = 0;
+
+            for ctx in &contexts {
+                let runs = dataset.runs_for_context(ctx.id);
+                let scale_outs = dataset.scale_outs_for_context(ctx.id);
+                let mut means = Vec::with_capacity(scale_outs.len());
+                for &x in &scale_outs {
+                    let times: Vec<f64> = runs
+                        .iter()
+                        .filter(|r| r.scale_out == x)
+                        .map(|r| r.runtime_s)
+                        .collect();
+                    unique += 1;
+                    let mean = bellamy_linalg::stats::mean(&times);
+                    let sd = bellamy_linalg::stats::std_dev(&times);
+                    if mean > 0.0 && times.len() > 1 {
+                        cvs.push(sd / mean);
+                    }
+                    means.push(mean);
+                    runtimes.extend(times);
+                }
+                if means.windows(2).all(|w| w[1] <= w[0]) {
+                    monotone += 1;
+                }
+            }
+
+            AlgorithmStats {
+                algorithm,
+                contexts: contexts.len(),
+                unique_experiments: unique,
+                runs: runtimes.len(),
+                min_runtime_s: runtimes.iter().copied().fold(f64::INFINITY, f64::min),
+                max_runtime_s: runtimes.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                mean_runtime_s: bellamy_linalg::stats::mean(&runtimes),
+                mean_repeat_cv: bellamy_linalg::stats::mean(&cvs),
+                monotone_context_fraction: if contexts.is_empty() {
+                    0.0
+                } else {
+                    monotone as f64 / contexts.len() as f64
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_bell, generate_c3o, GeneratorConfig};
+
+    #[test]
+    fn c3o_summary_matches_paper_shape() {
+        let ds = generate_c3o(&GeneratorConfig::default());
+        let stats = summarize(&ds);
+        assert_eq!(stats.len(), 5);
+        let total_unique: usize = stats.iter().map(|s| s.unique_experiments).sum();
+        assert_eq!(total_unique, 930);
+        let total_runs: usize = stats.iter().map(|s| s.runs).sum();
+        assert_eq!(total_runs, 4650);
+        for s in &stats {
+            assert!(s.min_runtime_s > 0.0);
+            assert!(s.max_runtime_s > s.min_runtime_s);
+            assert!(s.mean_repeat_cv > 0.0 && s.mean_repeat_cv < 0.2,
+                "{}: repeat noise {} out of calibration", s.algorithm, s.mean_repeat_cv);
+        }
+    }
+
+    #[test]
+    fn trivial_algorithms_are_more_monotone() {
+        let ds = generate_c3o(&GeneratorConfig::default());
+        let stats = summarize(&ds);
+        let frac = |alg: Algorithm| {
+            stats
+                .iter()
+                .find(|s| s.algorithm == alg)
+                .expect("present")
+                .monotone_context_fraction
+        };
+        // Grep scales down smoothly far more often than SGD/K-Means do.
+        assert!(frac(Algorithm::Grep) > frac(Algorithm::Sgd));
+        assert!(frac(Algorithm::Grep) > frac(Algorithm::KMeans));
+    }
+
+    #[test]
+    fn bell_summary() {
+        let ds = generate_bell(&GeneratorConfig::default());
+        let stats = summarize(&ds);
+        assert_eq!(stats.len(), 3);
+        for s in &stats {
+            assert_eq!(s.contexts, 1);
+            assert_eq!(s.unique_experiments, 15);
+            assert_eq!(s.runs, 105);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the trace generators and the ground-truth model.
+
+use bellamy_data::csv::{from_csv, to_csv};
+use bellamy_data::{
+    generate_bell, generate_c3o, ground_truth_profile, Algorithm, Dataset, Environment,
+    GeneratorConfig, JobContext, JobRun, NodeType,
+};
+use proptest::prelude::*;
+
+fn arb_context() -> impl Strategy<Value = JobContext> {
+    (
+        prop_oneof![
+            Just("m4.xlarge"),
+            Just("c4.2xlarge"),
+            Just("r4.xlarge"),
+            Just("cluster-node"),
+        ],
+        512u64..200_000,
+        "[a-z]{2,10}-[a-z]{2,10}",
+        "--[a-z]{2,10} [a-z0-9]{1,8}",
+        prop_oneof![
+            Just(Algorithm::Grep),
+            Just(Algorithm::Sort),
+            Just(Algorithm::Sgd),
+            Just(Algorithm::KMeans),
+            Just(Algorithm::PageRank),
+        ],
+        prop_oneof![Just(Environment::C3oPublicCloud), Just(Environment::BellPrivateCluster)],
+    )
+        .prop_map(|(node, size, chars, params, algorithm, environment)| JobContext {
+            id: 0,
+            environment,
+            algorithm,
+            node_type: NodeType::by_name(node).expect("catalog name"),
+            dataset_size_mb: size,
+            dataset_characteristics: chars,
+            job_parameters: params,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn profile_is_monotone_in_dataset_size(ctx in arb_context(), x in 2u32..32) {
+        let mut bigger = ctx.clone();
+        bigger.dataset_size_mb = ctx.dataset_size_mb * 2;
+        let p1 = ground_truth_profile(&ctx);
+        let p2 = ground_truth_profile(&bigger);
+        prop_assert!(
+            p2.runtime(x as f64) >= p1.runtime(x as f64) - 1e-9,
+            "doubling the dataset must not speed the job up"
+        );
+    }
+
+    #[test]
+    fn optimal_scale_out_is_in_range(ctx in arb_context()) {
+        let p = ground_truth_profile(&ctx);
+        let best = p.optimal_scale_out(2, 12);
+        prop_assert!((2..=12).contains(&best));
+        // It really is minimal over the grid.
+        for x in 2..=12u32 {
+            prop_assert!(p.runtime(best as f64) <= p.runtime(x as f64) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn min_scale_out_meeting_is_minimal(ctx in arb_context(), slack in 1.01f64..3.0) {
+        let p = ground_truth_profile(&ctx);
+        let best = (2..=12u32).map(|x| p.runtime(x as f64)).fold(f64::INFINITY, f64::min);
+        let target = best * slack;
+        let chosen = p.min_scale_out_meeting(target, 2, 12).expect("reachable by construction");
+        prop_assert!(p.runtime(chosen as f64) <= target);
+        for x in 2..chosen {
+            prop_assert!(p.runtime(x as f64) > target, "{x} already met the target");
+        }
+    }
+
+    #[test]
+    fn spill_and_wave_factors_are_bounded_multipliers(ctx in arb_context(), x in 1u32..64) {
+        let p = ground_truth_profile(&ctx);
+        let s = p.spill_factor(x as f64);
+        let w = p.wave_factor(x as f64);
+        prop_assert!(s >= 1.0 && s.is_finite());
+        prop_assert!(w >= 1.0 && w.is_finite());
+        // ceil(v)/v < 2 for v >= 1; below one wave's worth of tasks the
+        // factor grows like slots/tasks (cluster saturation) — but then the
+        // *work term* (theta2/x)·w stays bounded by a constant, which is the
+        // physically meaningful invariant.
+        let slots = x as f64 * p.slots_per_machine as f64;
+        let cap = 1.0 + p.wave_share * ((slots / p.tasks as f64).max(2.0) - 1.0);
+        prop_assert!(w <= cap + 1e-9, "wave factor {w} above cap {cap}");
+        let work_term = (1.0 / x as f64) * w;
+        let saturation_bound = 1.0 + p.wave_share * p.slots_per_machine as f64 / p.tasks as f64;
+        prop_assert!(
+            work_term <= saturation_bound + 1e-9,
+            "work multiplier {work_term} above saturation bound {saturation_bound}"
+        );
+    }
+
+    #[test]
+    fn csv_round_trip_with_arbitrary_params(
+        params in "[ -~]{1,40}",
+        chars in "[a-z,\"]{1,20}"
+    ) {
+        // Arbitrary printable params including quotes/commas must survive.
+        let ctx = JobContext {
+            id: 0,
+            environment: Environment::C3oPublicCloud,
+            algorithm: Algorithm::Grep,
+            node_type: NodeType::by_name("m4.xlarge").expect("catalog"),
+            dataset_size_mb: 1000,
+            dataset_characteristics: chars,
+            job_parameters: params,
+        };
+        let ds = Dataset {
+            contexts: vec![ctx],
+            runs: vec![JobRun { context_id: 0, scale_out: 2, repeat: 0, runtime_s: 10.0 }],
+        };
+        let back = from_csv(&to_csv(&ds)).expect("round trip");
+        prop_assert_eq!(&back.contexts[0].job_parameters, &ds.contexts[0].job_parameters);
+        prop_assert_eq!(
+            &back.contexts[0].dataset_characteristics,
+            &ds.contexts[0].dataset_characteristics
+        );
+    }
+
+    #[test]
+    fn generator_seeds_are_reproducible(seed in 0u64..64) {
+        let a = generate_bell(&GeneratorConfig::seeded(seed));
+        let b = generate_bell(&GeneratorConfig::seeded(seed));
+        prop_assert_eq!(a.runs, b.runs);
+    }
+}
+
+#[test]
+fn c3o_and_bell_do_not_share_noise_streams() {
+    // Same master seed must still give independent noise across datasets.
+    let gen = GeneratorConfig::seeded(7);
+    let c3o = generate_c3o(&gen);
+    let bell = generate_bell(&gen);
+    assert_ne!(c3o.runs[0].runtime_s, bell.runs[0].runtime_s);
+}

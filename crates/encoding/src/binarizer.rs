@@ -1,0 +1,77 @@
+//! The binarizer for numeric properties (Eq. 4, `binarizer` branch).
+//!
+//! A natural number (CPU cores, memory in MB, dataset size, ...) is encoded
+//! as its base-2 expansion over `L` bits — unique for every value up to
+//! `2^L`, and free of any feature-scaling concerns (§III-C).
+
+/// Encodes `value` into `bits` binary features, least-significant bit first.
+///
+/// # Panics
+/// Panics if the value does not fit in `bits` bits.
+pub fn binarize(value: u64, bits: usize) -> Vec<f64> {
+    assert!(bits <= 64, "at most 64 bits supported");
+    if bits < 64 {
+        assert!(
+            value < (1u64 << bits),
+            "value {value} does not fit in {bits} bits"
+        );
+    }
+    (0..bits).map(|i| ((value >> i) & 1) as f64).collect()
+}
+
+/// Decodes a vector produced by [`binarize`] back into the number. Values
+/// above 0.5 count as set bits, making the decoder robust to float fuzz.
+pub fn debinarize(bits: &[f64]) -> u64 {
+    assert!(bits.len() <= 64, "at most 64 bits supported");
+    bits.iter()
+        .enumerate()
+        .map(|(i, &b)| if b > 0.5 { 1u64 << i } else { 0 })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_known_values() {
+        assert_eq!(binarize(0, 4), vec![0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(binarize(1, 4), vec![1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(binarize(6, 4), vec![0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(binarize(15, 4), vec![1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn round_trip_typical_magnitudes() {
+        // Memory sizes and dataset sizes in MB easily fit in 39 bits.
+        for v in [0u64, 1, 8, 1024, 19_353, 45_056, 2u64.pow(38)] {
+            assert_eq!(debinarize(&binarize(v, 39)), v, "round trip of {v}");
+        }
+    }
+
+    #[test]
+    fn distinct_values_distinct_codes() {
+        let a = binarize(19_353, 39);
+        let b = binarize(14_540, 39);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overflow_detected() {
+        let _ = binarize(16, 4);
+    }
+
+    #[test]
+    fn full_width_accepts_max() {
+        let v = binarize(u64::MAX, 64);
+        assert_eq!(v.len(), 64);
+        assert!(v.iter().all(|&b| b == 1.0));
+        assert_eq!(debinarize(&v), u64::MAX);
+    }
+
+    #[test]
+    fn decoder_tolerates_fuzz() {
+        assert_eq!(debinarize(&[0.99, 0.01, 0.85]), 0b101);
+    }
+}

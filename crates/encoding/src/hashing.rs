@@ -1,0 +1,127 @@
+//! The hashing vectorizer for textual properties (Eq. 4, `hasher` branch).
+//!
+//! Mirrors scikit-learn's `HashingVectorizer(analyzer='char', ngram_range=(1,3))`
+//! as configured by the prototype: character n-grams are counted into a
+//! fixed number of buckets via MurmurHash3; the *alternate sign* trick adds
+//! each count with the sign of the hash so collisions cancel in expectation;
+//! finally the vector is projected onto the Euclidean unit sphere
+//! (`sum q_j^2 = 1`).
+
+use crate::murmur3::signed_bucket;
+use crate::ngrams::{char_ngrams, Vocabulary};
+use serde::{Deserialize, Serialize};
+
+/// Configuration + behaviour of the text-property hasher.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HashingVectorizer {
+    n_features: usize,
+    min_n: usize,
+    max_n: usize,
+    alternate_sign: bool,
+    #[serde(skip, default)]
+    vocabulary: Vocabulary,
+}
+
+impl HashingVectorizer {
+    /// A vectorizer with `n_features` output buckets and n-grams in
+    /// `[min_n, max_n]`.
+    pub fn new(n_features: usize, min_n: usize, max_n: usize, alternate_sign: bool) -> Self {
+        assert!(n_features > 0, "need at least one feature bucket");
+        assert!(min_n >= 1 && min_n <= max_n, "invalid n-gram range");
+        Self { n_features, min_n, max_n, alternate_sign, vocabulary: Vocabulary::default() }
+    }
+
+    /// The paper's configuration: 39 buckets (`N - 1` with `N = 40`),
+    /// 1–3-grams, alternate sign on.
+    pub fn paper_default() -> Self {
+        Self::new(39, 1, 3, true)
+    }
+
+    /// Number of output buckets.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Encodes `text` into an L2-normalized bucket-count vector.
+    ///
+    /// Inputs with no in-vocabulary character map to the zero vector (norm
+    /// projection is skipped to avoid dividing by zero).
+    pub fn transform(&self, text: &str) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_features];
+        let cleaned = self.vocabulary.clean(text);
+        for gram in char_ngrams(&cleaned, self.min_n, self.max_n) {
+            let (idx, sign) = signed_bucket(gram.as_bytes(), self.n_features, 0);
+            out[idx] += if self.alternate_sign { sign } else { 1.0 };
+        }
+        let norm = out.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for v in &mut out {
+                *v /= norm;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_unit_norm() {
+        let h = HashingVectorizer::paper_default();
+        for text in ["m4.2xlarge", "r4.2xlarge", "--iterations 100", "sgd"] {
+            let v = h.transform(text);
+            let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-12, "norm of {text} was {norm}");
+            assert_eq!(v.len(), 39);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let h = HashingVectorizer::paper_default();
+        assert_eq!(h.transform("c5.xlarge"), h.transform("c5.xlarge"));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let h = HashingVectorizer::paper_default();
+        assert_eq!(h.transform("M4.2XLARGE"), h.transform("m4.2xlarge"));
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        let h = HashingVectorizer::paper_default();
+        let a = h.transform("m4.2xlarge");
+        let b = h.transform("r4.2xlarge");
+        let diff: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-6, "distinct node types must encode differently");
+    }
+
+    #[test]
+    fn empty_and_out_of_vocab_input_is_zero_vector() {
+        let h = HashingVectorizer::paper_default();
+        assert!(h.transform("").iter().all(|&v| v == 0.0));
+        assert!(h.transform("!!!???").iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn unsigned_mode_counts_positively() {
+        let h = HashingVectorizer::new(16, 1, 1, false);
+        let v = h.transform("aaaa");
+        // All mass in one bucket, normalized to 1.
+        let nonzero: Vec<f64> = v.into_iter().filter(|&x| x != 0.0).collect();
+        assert_eq!(nonzero.len(), 1);
+        assert!((nonzero[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signed_mode_can_cancel() {
+        // With alternate sign, identical counts of two terms that share a
+        // bucket but differ in sign cancel; just verify signs occur at all.
+        let h = HashingVectorizer::paper_default();
+        let v = h.transform("grep --pattern foo/bar.txt");
+        assert!(v.iter().any(|&x| x < 0.0), "alternate sign should produce negatives");
+    }
+}

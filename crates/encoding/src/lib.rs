@@ -1,0 +1,31 @@
+//! Descriptive-property encoders (paper §III-C).
+//!
+//! A job execution context is described by properties such as the node type
+//! (`"m4.2xlarge"`), job parameters (`"--iterations 100"`), or the dataset
+//! size in MB. Bellamy turns each property into a fixed-size vector
+//! `p = [λ, q]` of length `N = 40`:
+//!
+//! - numeric properties go through a [`binarizer`] (base-2 expansion — no
+//!   feature scaling needed, any reasonable magnitude encodes uniquely),
+//! - textual properties go through a [`hashing`] vectorizer: the string is
+//!   lower-cased, characters outside a small vocabulary are stripped,
+//!   character 1/2/3-grams are counted into `L = 39` buckets through
+//!   MurmurHash3 with sklearn-style alternate signing, and the result is
+//!   projected onto the Euclidean unit sphere,
+//!
+//! with the binary prefix `λ` recording which encoder produced the tail.
+//!
+//! The [`scaler`] module hosts the min-max normalizer applied to the
+//! scale-out feature vector `[1/x, log x, x]` (§IV-A).
+
+pub mod binarizer;
+pub mod hashing;
+pub mod murmur3;
+pub mod ngrams;
+pub mod property;
+pub mod scaler;
+
+pub use binarizer::binarize;
+pub use hashing::HashingVectorizer;
+pub use property::{PropertyEncoder, PropertyValue, DEFAULT_VECTOR_SIZE};
+pub use scaler::MinMaxScaler;

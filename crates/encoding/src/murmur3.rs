@@ -1,0 +1,124 @@
+//! MurmurHash3 (x86, 32-bit variant).
+//!
+//! This is the hash scikit-learn's `HashingVectorizer` uses for its
+//! term-to-index mapping; reimplemented here so the textual-property encoding
+//! matches the prototype's behaviour byte-for-byte. Reference: Austin
+//! Appleby's public-domain `MurmurHash3_x86_32`.
+
+/// Hashes `data` with the given `seed`.
+pub fn murmur3_32(data: &[u8], seed: u32) -> u32 {
+    const C1: u32 = 0xcc9e2d51;
+    const C2: u32 = 0x1b873593;
+
+    let mut h = seed;
+    let mut chunks = data.chunks_exact(4);
+    for chunk in &mut chunks {
+        let mut k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        k = k.wrapping_mul(C1);
+        k = k.rotate_left(15);
+        k = k.wrapping_mul(C2);
+        h ^= k;
+        h = h.rotate_left(13);
+        h = h.wrapping_mul(5).wrapping_add(0xe6546b64);
+    }
+
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let mut k: u32 = 0;
+        if tail.len() >= 3 {
+            k ^= (tail[2] as u32) << 16;
+        }
+        if tail.len() >= 2 {
+            k ^= (tail[1] as u32) << 8;
+        }
+        k ^= tail[0] as u32;
+        k = k.wrapping_mul(C1);
+        k = k.rotate_left(15);
+        k = k.wrapping_mul(C2);
+        h ^= k;
+    }
+
+    h ^= data.len() as u32;
+    fmix32(h)
+}
+
+/// Finalization mix: forces avalanche of the last few input bits.
+#[inline]
+fn fmix32(mut h: u32) -> u32 {
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85ebca6b);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xc2b2ae35);
+    h ^= h >> 16;
+    h
+}
+
+/// The signed-hash view scikit-learn uses: interprets the 32-bit hash as
+/// `i32`, yielding `(bucket, sign)` over `n_buckets`.
+pub fn signed_bucket(data: &[u8], n_buckets: usize, seed: u32) -> (usize, f64) {
+    assert!(n_buckets > 0, "need at least one bucket");
+    let h = murmur3_32(data, seed) as i32;
+    let sign = if h < 0 { -1.0 } else { 1.0 };
+    ((h.unsigned_abs() as usize) % n_buckets, sign)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vectors from the canonical C++ implementation.
+    #[test]
+    fn known_vectors() {
+        assert_eq!(murmur3_32(b"", 0), 0);
+        assert_eq!(murmur3_32(b"", 1), 0x514E28B7);
+        assert_eq!(murmur3_32(b"", 0xFFFFFFFF), 0x81F16F39);
+        assert_eq!(murmur3_32(b"test", 0), 0xBA6BD213);
+        assert_eq!(murmur3_32(b"Hello, world!", 0), 0xC0363E43);
+        assert_eq!(murmur3_32(b"The quick brown fox jumps over the lazy dog", 0), 0x2E4FF723);
+        assert_eq!(murmur3_32(b"aaaa", 0x9747B28C), 0x5A97808A);
+        assert_eq!(murmur3_32(b"abc", 0), 0xB3DD93FA);
+    }
+
+    #[test]
+    fn tail_lengths_all_work() {
+        // 1-, 2-, and 3-byte tails exercise every branch.
+        let h1 = murmur3_32(b"a", 7);
+        let h2 = murmur3_32(b"ab", 7);
+        let h3 = murmur3_32(b"abc", 7);
+        let h4 = murmur3_32(b"abcd", 7);
+        let all = [h1, h2, h3, h4];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b, "distinct inputs should hash differently here");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(murmur3_32(b"m4.2xlarge", 0), murmur3_32(b"m4.2xlarge", 0));
+    }
+
+    #[test]
+    fn seed_changes_hash() {
+        assert_ne!(murmur3_32(b"spark", 0), murmur3_32(b"spark", 1));
+    }
+
+    #[test]
+    fn signed_bucket_in_range() {
+        for term in ["a", "bc", "def", "m4.xlarge", "k-means --k 8"] {
+            let (idx, sign) = signed_bucket(term.as_bytes(), 39, 0);
+            assert!(idx < 39);
+            assert!(sign == 1.0 || sign == -1.0);
+        }
+    }
+
+    #[test]
+    fn signed_bucket_uses_absolute_value() {
+        // A hash with the top bit set must map to a valid bucket with sign -1.
+        // "test" hashes to 0xBA6BD213 which is negative as i32.
+        let (idx, sign) = signed_bucket(b"test", 10, 0);
+        assert_eq!(sign, -1.0);
+        assert_eq!(idx, (0xBA6BD213u32 as i32).unsigned_abs() as usize % 10);
+    }
+}

@@ -1,0 +1,121 @@
+//! Vocabulary filtering and character n-gram extraction.
+//!
+//! The paper strips characters outside a "simple case insensitive
+//! character-vocabulary with alphanumeric characters and a handful of
+//! special symbols", then extracts unigrams, bigrams, and trigrams from the
+//! remaining sequence.
+
+/// The default special symbols kept alongside `[a-z0-9]`.
+pub const DEFAULT_SPECIALS: &[char] = &['.', '-', '_', '/', ':', ' '];
+
+/// A case-insensitive character vocabulary.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    specials: Vec<char>,
+}
+
+impl Default for Vocabulary {
+    fn default() -> Self {
+        Self { specials: DEFAULT_SPECIALS.to_vec() }
+    }
+}
+
+impl Vocabulary {
+    /// A vocabulary of `[a-z0-9]` plus the given special characters.
+    pub fn with_specials(specials: &[char]) -> Self {
+        Self { specials: specials.to_vec() }
+    }
+
+    /// True if the (already lower-cased) character is in the vocabulary.
+    pub fn contains(&self, c: char) -> bool {
+        c.is_ascii_lowercase() || c.is_ascii_digit() || self.specials.contains(&c)
+    }
+
+    /// Lower-cases the input and strips characters outside the vocabulary.
+    pub fn clean(&self, text: &str) -> Vec<char> {
+        text.chars()
+            .flat_map(|c| c.to_lowercase())
+            .filter(|&c| self.contains(c))
+            .collect()
+    }
+}
+
+/// Extracts all character n-grams with lengths in `[min_n, max_n]` from the
+/// cleaned character sequence, in order of occurrence (duplicates included —
+/// the vectorizer counts them).
+pub fn char_ngrams(chars: &[char], min_n: usize, max_n: usize) -> Vec<String> {
+    assert!(min_n >= 1 && min_n <= max_n, "invalid n-gram range {min_n}..={max_n}");
+    let mut grams = Vec::new();
+    for n in min_n..=max_n {
+        if chars.len() < n {
+            break;
+        }
+        for window in chars.windows(n) {
+            grams.push(window.iter().collect());
+        }
+    }
+    grams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_lowercases_and_strips() {
+        let v = Vocabulary::default();
+        let cleaned: String = v.clean("M4.2XLarge!!").iter().collect();
+        assert_eq!(cleaned, "m4.2xlarge");
+    }
+
+    #[test]
+    fn clean_keeps_specials() {
+        let v = Vocabulary::default();
+        let cleaned: String = v.clean("--max_iter=25; k:8").iter().collect();
+        assert_eq!(cleaned, "--max_iter25 k:8");
+    }
+
+    #[test]
+    fn custom_specials() {
+        let v = Vocabulary::with_specials(&['@']);
+        let cleaned: String = v.clean("a.b@c").iter().collect();
+        assert_eq!(cleaned, "ab@c");
+    }
+
+    #[test]
+    fn unigrams_through_trigrams() {
+        let chars: Vec<char> = "abcd".chars().collect();
+        let grams = char_ngrams(&chars, 1, 3);
+        let expect: Vec<String> = ["a", "b", "c", "d", "ab", "bc", "cd", "abc", "bcd"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(grams, expect);
+    }
+
+    #[test]
+    fn short_input_yields_short_grams_only() {
+        let chars: Vec<char> = "ab".chars().collect();
+        let grams = char_ngrams(&chars, 1, 3);
+        assert_eq!(grams, vec!["a".to_string(), "b".to_string(), "ab".to_string()]);
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert!(char_ngrams(&[], 1, 3).is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_preserved_for_counting() {
+        let chars: Vec<char> = "aaa".chars().collect();
+        let grams = char_ngrams(&chars, 1, 2);
+        assert_eq!(grams.iter().filter(|g| g.as_str() == "a").count(), 3);
+        assert_eq!(grams.iter().filter(|g| g.as_str() == "aa").count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid n-gram range")]
+    fn rejects_zero_min() {
+        let _ = char_ngrams(&['a'], 0, 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Full property vectors `p = [λ, q]` (Eq. 3).
+
+use crate::binarizer::binarize;
+use crate::hashing::HashingVectorizer;
+use serde::{Deserialize, Serialize};
+
+/// The paper's property vector length `N = 40` (§IV-A): 1 prefix bit plus
+/// `L = 39` encoding dimensions.
+pub const DEFAULT_VECTOR_SIZE: usize = 40;
+
+/// A descriptive property of a job execution context.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PropertyValue {
+    /// A natural number (memory MB, CPU cores, dataset size MB, ...).
+    Number(u64),
+    /// Free-form text (node type, job parameters, job name, ...).
+    Text(String),
+}
+
+impl PropertyValue {
+    /// Convenience constructor from anything stringy.
+    pub fn text(s: impl Into<String>) -> Self {
+        PropertyValue::Text(s.into())
+    }
+
+    /// Human-readable rendering (used in reports and Fig. 4 output).
+    pub fn display(&self) -> String {
+        match self {
+            PropertyValue::Number(n) => n.to_string(),
+            PropertyValue::Text(s) => format!("'{s}'"),
+        }
+    }
+}
+
+/// Encodes [`PropertyValue`]s into fixed-size vectors.
+///
+/// The first element is the method prefix `λ` (0 for the binarizer, 1 for
+/// the hasher); the remaining `N - 1` elements carry the encoding.
+#[derive(Debug, Clone)]
+pub struct PropertyEncoder {
+    vector_size: usize,
+    hasher: HashingVectorizer,
+}
+
+impl Default for PropertyEncoder {
+    fn default() -> Self {
+        Self::new(DEFAULT_VECTOR_SIZE)
+    }
+}
+
+impl PropertyEncoder {
+    /// An encoder producing vectors of `vector_size` (`>= 2`) elements.
+    pub fn new(vector_size: usize) -> Self {
+        assert!(vector_size >= 2, "need room for the prefix and at least one feature");
+        Self {
+            vector_size,
+            hasher: HashingVectorizer::new(vector_size - 1, 1, 3, true),
+        }
+    }
+
+    /// Output vector length `N`.
+    pub fn vector_size(&self) -> usize {
+        self.vector_size
+    }
+
+    /// Encodes one property into an `N`-element vector.
+    pub fn encode(&self, property: &PropertyValue) -> Vec<f64> {
+        let bits = self.vector_size - 1;
+        let mut out = Vec::with_capacity(self.vector_size);
+        match property {
+            PropertyValue::Number(n) => {
+                out.push(0.0);
+                out.extend(binarize(*n, bits));
+            }
+            PropertyValue::Text(s) => {
+                out.push(1.0);
+                out.extend(self.hasher.transform(s));
+            }
+        }
+        out
+    }
+
+    /// Encodes a slice of properties into a row-per-property table.
+    pub fn encode_all(&self, properties: &[PropertyValue]) -> Vec<Vec<f64>> {
+        properties.iter().map(|p| self.encode(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_distinguishes_methods() {
+        let enc = PropertyEncoder::default();
+        let num = enc.encode(&PropertyValue::Number(25));
+        let txt = enc.encode(&PropertyValue::text("m4.2xlarge"));
+        assert_eq!(num[0], 0.0);
+        assert_eq!(txt[0], 1.0);
+        assert_eq!(num.len(), 40);
+        assert_eq!(txt.len(), 40);
+    }
+
+    #[test]
+    fn numeric_tail_is_binary() {
+        let enc = PropertyEncoder::default();
+        let v = enc.encode(&PropertyValue::Number(19_353));
+        assert!(v[1..].iter().all(|&b| b == 0.0 || b == 1.0));
+        assert_eq!(crate::binarizer::debinarize(&v[1..]), 19_353);
+    }
+
+    #[test]
+    fn text_tail_is_unit_norm() {
+        let enc = PropertyEncoder::default();
+        let v = enc.encode(&PropertyValue::text("--iterations 100"));
+        let norm: f64 = v[1..].iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_semantic_value_same_encoding() {
+        let enc = PropertyEncoder::default();
+        assert_eq!(
+            enc.encode(&PropertyValue::text("SGD")),
+            enc.encode(&PropertyValue::text("sgd"))
+        );
+    }
+
+    #[test]
+    fn number_and_its_text_form_differ() {
+        // '25' as a number uses the binarizer; "25" as text uses the hasher;
+        // the prefix bit keeps them distinguishable even under collision.
+        let enc = PropertyEncoder::default();
+        let a = enc.encode(&PropertyValue::Number(25));
+        let b = enc.encode(&PropertyValue::text("25"));
+        assert_ne!(a, b);
+        assert_ne!(a[0], b[0]);
+    }
+
+    #[test]
+    fn encode_all_preserves_order() {
+        let enc = PropertyEncoder::default();
+        let props = vec![
+            PropertyValue::text("m4.2xlarge"),
+            PropertyValue::Number(8),
+            PropertyValue::text("pagerank"),
+        ];
+        let rows = enc.encode_all(&props);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], enc.encode(&props[0]));
+        assert_eq!(rows[1][0], 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PropertyValue::Number(7).display(), "7");
+        assert_eq!(PropertyValue::text("x").display(), "'x'");
+    }
+}

@@ -1,0 +1,129 @@
+//! Feature-wise min-max normalization for the scale-out features.
+//!
+//! "The input to `f` is normalized to the range (0, 1) feature-wise, where
+//! the boundaries are determined during training and used throughout
+//! inference" (§IV-A). Inference inputs outside the training bounds
+//! extrapolate linearly — exactly what the extrapolation experiments need.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-feature min-max scaler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fits bounds from rows of feature vectors.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or ragged.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a scaler on no data");
+        let dim = rows[0].len();
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for row in rows {
+            assert_eq!(row.len(), dim, "ragged feature rows");
+            for (j, &v) in row.iter().enumerate() {
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        Self { mins, maxs }
+    }
+
+    /// Restores a scaler from persisted bounds.
+    pub fn from_bounds(mins: Vec<f64>, maxs: Vec<f64>) -> Self {
+        assert_eq!(mins.len(), maxs.len(), "bound length mismatch");
+        Self { mins, maxs }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// The fitted lower bounds.
+    pub fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// The fitted upper bounds.
+    pub fn maxs(&self) -> &[f64] {
+        &self.maxs
+    }
+
+    /// Transforms one feature vector. Features whose training bounds are
+    /// degenerate (`max <= min`) map to 0.5.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.dim(), "feature dimension mismatch");
+        row.iter()
+            .enumerate()
+            .map(|(j, &v)| bellamy_linalg::stats::min_max_normalize(v, self.mins[j], self.maxs[j]))
+            .collect()
+    }
+
+    /// Transforms many rows.
+    pub fn transform_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_transform_unit_interval() {
+        let rows = vec![vec![2.0, 10.0], vec![4.0, 30.0], vec![6.0, 20.0]];
+        let s = MinMaxScaler::fit(&rows);
+        assert_eq!(s.transform(&[2.0, 10.0]), vec![0.0, 0.0]);
+        assert_eq!(s.transform(&[6.0, 30.0]), vec![1.0, 1.0]);
+        assert_eq!(s.transform(&[4.0, 20.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn out_of_range_extrapolates() {
+        let s = MinMaxScaler::fit(&[vec![0.0], vec![10.0]]);
+        assert_eq!(s.transform(&[20.0]), vec![2.0]);
+        assert_eq!(s.transform(&[-10.0]), vec![-1.0]);
+    }
+
+    #[test]
+    fn degenerate_feature_maps_to_half() {
+        let s = MinMaxScaler::fit(&[vec![3.0, 1.0], vec![3.0, 2.0]]);
+        let t = s.transform(&[3.0, 1.5]);
+        assert_eq!(t[0], 0.5);
+        assert_eq!(t[1], 0.5);
+    }
+
+    #[test]
+    fn bounds_round_trip() {
+        let s = MinMaxScaler::fit(&[vec![1.0, 5.0], vec![2.0, 9.0]]);
+        let restored = MinMaxScaler::from_bounds(s.mins().to_vec(), s.maxs().to_vec());
+        assert_eq!(s, restored);
+    }
+
+    #[test]
+    fn scale_out_feature_vector_shape() {
+        // The actual use: features [1/x, log x, x] for x in 2..=12.
+        let rows: Vec<Vec<f64>> = (1..=6)
+            .map(|i| {
+                let x = (2 * i) as f64;
+                vec![1.0 / x, x.ln(), x]
+            })
+            .collect();
+        let s = MinMaxScaler::fit(&rows);
+        let t = s.transform(&[1.0 / 2.0, 2.0f64.ln(), 2.0]);
+        // 1/x is maximal at x=2; log and linear are minimal there.
+        assert_eq!(t, vec![1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_fit_rejected() {
+        let _ = MinMaxScaler::fit(&[]);
+    }
+}

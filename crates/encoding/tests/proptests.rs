@@ -1,0 +1,92 @@
+//! Property-based tests for the property encoders.
+
+use bellamy_encoding::{binarize, binarizer::debinarize, HashingVectorizer, MinMaxScaler, PropertyEncoder, PropertyValue};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn hashing_output_is_unit_norm_or_zero(text in ".{0,64}") {
+        let h = HashingVectorizer::paper_default();
+        let v = h.transform(&text);
+        prop_assert_eq!(v.len(), 39);
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        prop_assert!(
+            norm.abs() < 1e-9 || (norm - 1.0).abs() < 1e-9,
+            "norm {} for {:?}", norm, text
+        );
+    }
+
+    #[test]
+    fn hashing_is_deterministic(text in ".{0,48}") {
+        let h = HashingVectorizer::paper_default();
+        prop_assert_eq!(h.transform(&text), h.transform(&text));
+    }
+
+    #[test]
+    fn hashing_is_case_insensitive(text in "[a-zA-Z0-9 .:_/-]{1,32}") {
+        let h = HashingVectorizer::paper_default();
+        prop_assert_eq!(
+            h.transform(&text.to_uppercase()),
+            h.transform(&text.to_lowercase())
+        );
+    }
+
+    #[test]
+    fn binarize_round_trips(value in 0u64..(1u64 << 39)) {
+        let bits = binarize(value, 39);
+        prop_assert_eq!(bits.len(), 39);
+        prop_assert!(bits.iter().all(|&b| b == 0.0 || b == 1.0));
+        prop_assert_eq!(debinarize(&bits), value);
+    }
+
+    #[test]
+    fn binarize_is_injective(a in 0u64..100_000, b in 0u64..100_000) {
+        prop_assume!(a != b);
+        prop_assert_ne!(binarize(a, 39), binarize(b, 39));
+    }
+
+    #[test]
+    fn property_vectors_have_correct_prefix_and_length(
+        n in 0u64..1_000_000,
+        text in "[a-z0-9 .-]{1,24}"
+    ) {
+        let enc = PropertyEncoder::default();
+        let num = enc.encode(&PropertyValue::Number(n));
+        let txt = enc.encode(&PropertyValue::text(&text));
+        prop_assert_eq!(num.len(), 40);
+        prop_assert_eq!(txt.len(), 40);
+        prop_assert_eq!(num[0], 0.0);
+        prop_assert_eq!(txt[0], 1.0);
+    }
+
+    #[test]
+    fn scaler_maps_training_data_into_unit_interval(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1000.0f64..1000.0, 3),
+            2..20
+        )
+    ) {
+        let scaler = MinMaxScaler::fit(&rows);
+        for row in &rows {
+            for v in scaler.transform(row) {
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v), "escaped: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn scaler_bounds_round_trip(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-50.0f64..50.0, 2),
+            2..10
+        ),
+        probe in proptest::collection::vec(-100.0f64..100.0, 2)
+    ) {
+        let scaler = MinMaxScaler::fit(&rows);
+        let restored = MinMaxScaler::from_bounds(
+            scaler.mins().to_vec(),
+            scaler.maxs().to_vec(),
+        );
+        prop_assert_eq!(scaler.transform(&probe), restored.transform(&probe));
+    }
+}

@@ -1,0 +1,372 @@
+//! Experiment 1: Ad Hoc Cross-Context Learning on the C3O traces
+//! (§IV-C1 — Figs. 5, 6, 7 and the fitting-time comparison).
+//!
+//! For each algorithm, seven contexts are chosen such that every node type
+//! appears at least once. For each chosen context, two pre-trained models
+//! are built — `filtered` (only substantially different contexts) and
+//! `full` (all other contexts) — and every method is evaluated on random
+//! sub-sampling splits with 1–5 training points, plus the 0-point direct
+//! application of the pre-trained variants for extrapolation.
+
+use crate::runner::{eval_bell, eval_bellamy, eval_nnls, Method, PredictionRecord, Task};
+use crate::splits::{generate_task_splits, SplitTask};
+use bellamy_core::{
+    context_properties, Bellamy, BellamyConfig, FinetuneConfig, PretrainConfig, ReuseStrategy,
+    TrainingSample,
+};
+use bellamy_data::{Algorithm, Dataset, NodeType};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of the ad hoc cross-context experiment.
+#[derive(Debug, Clone)]
+pub struct AdhocConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Contexts evaluated per algorithm (paper: 7).
+    pub contexts_per_algorithm: usize,
+    /// Unique splits per (context, n) (paper: ≤ 200).
+    pub max_splits: usize,
+    /// Largest training-set size (paper: 5 on the C3O grid).
+    pub max_n_train: usize,
+    /// Pre-training budget.
+    pub pretrain: PretrainConfig,
+    /// Fine-tuning budget.
+    pub finetune: FinetuneConfig,
+    /// Algorithms to evaluate (all five by default).
+    pub algorithms: Vec<Algorithm>,
+    /// Worker threads for the per-context parallel fan-out.
+    pub threads: usize,
+}
+
+impl AdhocConfig {
+    /// Minutes-scale configuration for tests and `cargo bench`.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            seed,
+            contexts_per_algorithm: 2,
+            max_splits: 8,
+            max_n_train: 4,
+            pretrain: PretrainConfig { epochs: 100, ..PretrainConfig::default() },
+            finetune: FinetuneConfig { max_epochs: 250, patience: 150, ..FinetuneConfig::default() },
+            algorithms: Algorithm::ALL.to_vec(),
+            threads: bellamy_par::default_threads(),
+        }
+    }
+
+    /// The scale recorded in EXPERIMENTS.md: a compromise between the quick
+    /// profile and the paper's budgets that a single core finishes in tens
+    /// of minutes.
+    pub fn medium(seed: u64) -> Self {
+        Self {
+            seed,
+            contexts_per_algorithm: 4,
+            max_splits: 30,
+            max_n_train: 5,
+            pretrain: PretrainConfig { epochs: 400, ..PretrainConfig::default() },
+            finetune: FinetuneConfig { max_epochs: 800, patience: 400, ..FinetuneConfig::default() },
+            algorithms: Algorithm::ALL.to_vec(),
+            threads: bellamy_par::default_threads(),
+        }
+    }
+
+    /// The paper's scale (hours of compute).
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            seed,
+            contexts_per_algorithm: 7,
+            max_splits: 200,
+            max_n_train: 5,
+            pretrain: PretrainConfig::default(),
+            finetune: FinetuneConfig::default(),
+            algorithms: Algorithm::ALL.to_vec(),
+            threads: bellamy_par::default_threads(),
+        }
+    }
+}
+
+/// All records produced by the experiment.
+#[derive(Debug, Clone)]
+pub struct AdhocResults {
+    /// One record per (method, split, task).
+    pub records: Vec<PredictionRecord>,
+}
+
+/// Picks `count` contexts for an algorithm such that every node type of the
+/// catalog is present at least once (§IV-C1), deterministic in `seed`.
+pub fn choose_contexts(
+    dataset: &Dataset,
+    algorithm: Algorithm,
+    count: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let ctxs = dataset.contexts_for(algorithm);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..ctxs.len()).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut chosen: Vec<usize> = Vec::new();
+    // First pass: cover node types greedily.
+    for node in NodeType::c3o_catalog() {
+        if chosen.len() >= count {
+            break;
+        }
+        if let Some(&pick) = order.iter().find(|&&i| {
+            ctxs[i].node_type.name == node.name && !chosen.contains(&ctxs[i].id)
+        }) {
+            chosen.push(ctxs[pick].id);
+        }
+    }
+    // Fill the remainder randomly.
+    for &i in &order {
+        if chosen.len() >= count {
+            break;
+        }
+        if !chosen.contains(&ctxs[i].id) {
+            chosen.push(ctxs[i].id);
+        }
+    }
+    chosen
+}
+
+/// Runs the full experiment.
+pub fn run_adhoc(dataset: &Dataset, cfg: &AdhocConfig) -> AdhocResults {
+    let mut jobs: Vec<(Algorithm, usize)> = Vec::new();
+    for &algorithm in &cfg.algorithms {
+        let seed = cfg.seed ^ (algorithm as u64).wrapping_mul(0x9E37);
+        for ctx_id in choose_contexts(dataset, algorithm, cfg.contexts_per_algorithm, seed) {
+            jobs.push((algorithm, ctx_id));
+        }
+    }
+
+    let per_context: Vec<Vec<PredictionRecord>> =
+        bellamy_par::par_map_with_threads(&jobs, cfg.threads, |&(algorithm, ctx_id)| {
+            evaluate_context(dataset, algorithm, ctx_id, cfg)
+        });
+
+    AdhocResults { records: per_context.into_iter().flatten().collect() }
+}
+
+/// Pre-trains the `filtered`/`full` variants for one target context and
+/// evaluates every method over all split sizes.
+fn evaluate_context(
+    dataset: &Dataset,
+    algorithm: Algorithm,
+    ctx_id: usize,
+    cfg: &AdhocConfig,
+) -> Vec<PredictionRecord> {
+    let ctx = &dataset.contexts[ctx_id];
+    let props = context_properties(ctx);
+    let ctx_seed = cfg.seed ^ (ctx_id as u64).wrapping_mul(0xA5A5_A5A5);
+
+    // Target-context runs, as (scale_out, runtime) with stable indexing.
+    let runs: Vec<(u32, f64)> = dataset
+        .runs_for_context(ctx_id)
+        .iter()
+        .map(|r| (r.scale_out, r.runtime_s))
+        .collect();
+
+    // Pre-training corpora.
+    let full_samples: Vec<TrainingSample> = dataset
+        .runs_for_algorithm_excluding(algorithm, Some(ctx_id))
+        .iter()
+        .map(|r| TrainingSample::from_run(&dataset.contexts[r.context_id], r))
+        .collect();
+    let filtered_samples: Vec<TrainingSample> = dataset
+        .runs_for_algorithm_excluding(algorithm, Some(ctx_id))
+        .iter()
+        .filter(|r| dataset.contexts[r.context_id].substantially_different(ctx))
+        .map(|r| TrainingSample::from_run(&dataset.contexts[r.context_id], r))
+        .collect();
+
+    let mut model_full = Bellamy::new(BellamyConfig::default(), ctx_seed);
+    bellamy_core::train::pretrain(&mut model_full, &full_samples, &cfg.pretrain, ctx_seed);
+    // Filtered contexts can be empty for very central contexts; fall back to
+    // the full corpus in that case (and note it in the record stream via the
+    // identical model behaviour).
+    let mut model_filtered = Bellamy::new(BellamyConfig::default(), ctx_seed ^ 1);
+    let filtered_ref = if filtered_samples.is_empty() { &full_samples } else { &filtered_samples };
+    bellamy_core::train::pretrain(&mut model_filtered, filtered_ref, &cfg.pretrain, ctx_seed ^ 1);
+
+    let mut records = Vec::new();
+    let mut emit = |method: Method,
+                    n_train: usize,
+                    task: Task,
+                    predicted_s: f64,
+                    actual_s: f64,
+                    fit_time_s: f64,
+                    epochs: Option<usize>| {
+        records.push(PredictionRecord {
+            method,
+            algorithm,
+            context_id: ctx_id,
+            n_train,
+            task,
+            predicted_s,
+            actual_s,
+            fit_time_s,
+            epochs,
+        });
+    };
+
+    // n = 0: direct application of the pre-trained models (extrapolation).
+    let mut rng = StdRng::seed_from_u64(ctx_seed ^ 0xD1D1);
+    for _ in 0..cfg.max_splits.min(runs.len()) {
+        let test = runs[rng.random_range(0..runs.len())];
+        for (method, model) in
+            [(Method::BellamyFiltered, &model_filtered), (Method::BellamyFull, &model_full)]
+        {
+            let eval = eval_bellamy(
+                Some(model),
+                ReuseStrategy::PartialUnfreeze,
+                &[],
+                test.0 as f64,
+                &props,
+                &cfg.finetune,
+                ctx_seed,
+                ctx_seed,
+            );
+            emit(
+                method,
+                0,
+                Task::Extrapolation,
+                eval.predicted_s,
+                test.1,
+                eval.fit_time_s,
+                Some(0),
+            );
+        }
+    }
+
+    // n >= 1: the sub-sampling protocol for both tasks.
+    for n in 1..=cfg.max_n_train {
+        for (task, split_task) in [
+            (Task::Interpolation, SplitTask::Interpolation),
+            (Task::Extrapolation, SplitTask::Extrapolation),
+        ] {
+            let splits =
+                generate_task_splits(&runs, n, split_task, cfg.max_splits, ctx_seed ^ n as u64);
+            for (split_no, split) in splits.iter().enumerate() {
+                let train_pts: Vec<(f64, f64)> =
+                    split.train.iter().map(|&i| (runs[i].0 as f64, runs[i].1)).collect();
+                let train_samples: Vec<TrainingSample> = split
+                    .train
+                    .iter()
+                    .map(|&i| TrainingSample {
+                        scale_out: runs[i].0 as f64,
+                        runtime_s: runs[i].1,
+                        props: props.clone(),
+                    })
+                    .collect();
+                let (test_x, test_y) = runs[split.test];
+                let test_x = test_x as f64;
+                let split_seed = ctx_seed ^ ((n as u64) << 32) ^ split_no as u64;
+
+                if let Some((pred, t)) = eval_nnls(&train_pts, test_x) {
+                    emit(Method::Nnls, n, task, pred, test_y, t, None);
+                }
+                if let Some((pred, t)) = eval_bell(&train_pts, test_x) {
+                    emit(Method::Bell, n, task, pred, test_y, t, None);
+                }
+                for (method, pretrained) in [
+                    (Method::BellamyLocal, None),
+                    (Method::BellamyFiltered, Some(&model_filtered)),
+                    (Method::BellamyFull, Some(&model_full)),
+                ] {
+                    let eval = eval_bellamy(
+                        pretrained,
+                        ReuseStrategy::PartialUnfreeze,
+                        &train_samples,
+                        test_x,
+                        &props,
+                        &cfg.finetune,
+                        split_seed,
+                        split_seed ^ 0xF00D,
+                    );
+                    emit(
+                        method,
+                        n,
+                        task,
+                        eval.predicted_s,
+                        test_y,
+                        eval.fit_time_s,
+                        Some(eval.epochs),
+                    );
+                }
+            }
+        }
+    }
+
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bellamy_data::{generate_c3o, GeneratorConfig};
+
+    fn tiny_config() -> AdhocConfig {
+        AdhocConfig {
+            seed: 3,
+            contexts_per_algorithm: 1,
+            max_splits: 2,
+            max_n_train: 3,
+            pretrain: PretrainConfig { epochs: 15, ..PretrainConfig::default() },
+            finetune: FinetuneConfig { max_epochs: 40, patience: 30, ..FinetuneConfig::default() },
+            algorithms: vec![Algorithm::Grep],
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn choose_contexts_covers_node_types() {
+        let ds = generate_c3o(&GeneratorConfig::default());
+        let chosen = choose_contexts(&ds, Algorithm::Sgd, 7, 5);
+        assert_eq!(chosen.len(), 7);
+        let types: std::collections::HashSet<String> = chosen
+            .iter()
+            .map(|&id| ds.contexts[id].node_type.name.clone())
+            .collect();
+        assert_eq!(types.len(), 6, "all six node types covered");
+        // Determinism.
+        assert_eq!(chosen, choose_contexts(&ds, Algorithm::Sgd, 7, 5));
+    }
+
+    #[test]
+    fn run_adhoc_produces_records_for_all_methods() {
+        let ds = generate_c3o(&GeneratorConfig::default());
+        let results = run_adhoc(&ds, &tiny_config());
+        assert!(!results.records.is_empty());
+        for method in [
+            Method::Nnls,
+            Method::Bell,
+            Method::BellamyLocal,
+            Method::BellamyFiltered,
+            Method::BellamyFull,
+        ] {
+            assert!(
+                results.records.iter().any(|r| r.method == method),
+                "missing records for {}",
+                method.name()
+            );
+        }
+        // Bell only appears with n >= 3 (distinct scale-outs).
+        assert!(results
+            .records
+            .iter()
+            .filter(|r| r.method == Method::Bell)
+            .all(|r| r.n_train >= 3));
+        // 0-data-points extrapolation exists for pre-trained variants only.
+        let zero: Vec<_> =
+            results.records.iter().filter(|r| r.n_train == 0).collect();
+        assert!(!zero.is_empty());
+        assert!(zero
+            .iter()
+            .all(|r| matches!(r.method, Method::BellamyFiltered | Method::BellamyFull)));
+        assert!(zero.iter().all(|r| r.task == Task::Extrapolation));
+        // Every record carries finite predictions.
+        assert!(results.records.iter().all(|r| r.predicted_s.is_finite()));
+    }
+}

@@ -1,0 +1,308 @@
+//! End-task evaluation: resource allocation quality (paper §I / §V).
+//!
+//! Runtime predictors exist to *choose resources*: "since methods like NNLS
+//! or Bell are eventually used for selecting a suitable scale-out that meets
+//! certain runtime targets, an inaccurate model can favor the selection of
+//! not ideal resources, which in turn can introduce unnecessary costs"
+//! (§IV-C1). This experiment measures that directly: every method picks the
+//! smallest scale-out predicted to meet a runtime target from few
+//! observations, and the choice is scored against the noise-free ground
+//! truth — did the chosen allocation actually meet the target, and how many
+//! machines were wasted?
+
+use crate::runner::Method;
+use crate::splits::{generate_task_splits, SplitTask};
+use bellamy_baselines::{BellModel, ErnestModel, ScaleOutModel};
+use bellamy_core::{
+    context_properties, min_scale_out_meeting, Bellamy, BellamyConfig, FinetuneConfig,
+    PretrainConfig, ReuseStrategy, TrainingSample,
+};
+use bellamy_data::{ground_truth_profile, Algorithm, Dataset};
+use serde::Serialize;
+
+/// Configuration of the allocation experiment.
+#[derive(Debug, Clone)]
+pub struct AllocationConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Contexts per algorithm.
+    pub contexts_per_algorithm: usize,
+    /// Training points per decision.
+    pub n_train: usize,
+    /// Decisions (splits) per context.
+    pub decisions: usize,
+    /// Runtime target as a multiple of the context's best achievable
+    /// noise-free runtime (must be > 1 for the target to be meetable).
+    pub target_slack: f64,
+    /// Pre-training budget for the Bellamy (full) variant.
+    pub pretrain: PretrainConfig,
+    /// Fine-tuning budget.
+    pub finetune: FinetuneConfig,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl AllocationConfig {
+    /// Minutes-scale configuration.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            seed,
+            contexts_per_algorithm: 2,
+            n_train: 3,
+            decisions: 5,
+            target_slack: 1.15,
+            pretrain: PretrainConfig { epochs: 100, ..PretrainConfig::default() },
+            finetune: FinetuneConfig { max_epochs: 250, patience: 150, ..FinetuneConfig::default() },
+            threads: bellamy_par::default_threads(),
+        }
+    }
+}
+
+/// Outcome of one allocation decision by one method.
+#[derive(Debug, Clone, Serialize)]
+pub struct AllocationRecord {
+    /// The deciding method.
+    pub method: Method,
+    /// Algorithm of the context.
+    pub algorithm: Algorithm,
+    /// Context id.
+    pub context_id: usize,
+    /// The runtime target in seconds.
+    pub target_s: f64,
+    /// Chosen scale-out (`None`: method predicted the target unreachable).
+    pub chosen: Option<u32>,
+    /// The true minimal scale-out meeting the target (ground truth).
+    pub optimal: u32,
+    /// Whether the chosen allocation truly meets the target.
+    pub met_target: bool,
+    /// Machines allocated beyond the true minimum (0 when optimal; counts
+    /// only successful decisions).
+    pub overshoot: u32,
+}
+
+/// Aggregated per-method allocation quality.
+#[derive(Debug, Clone, Serialize)]
+pub struct AllocationSummary {
+    /// The method.
+    pub method: Method,
+    /// Fraction of decisions where the chosen allocation truly met the
+    /// target.
+    pub success_rate: f64,
+    /// Mean machines over-allocated, among successful decisions.
+    pub mean_overshoot: f64,
+    /// Fraction of decisions where the method declared the target
+    /// unreachable although it was reachable.
+    pub gave_up_rate: f64,
+    /// Number of decisions.
+    pub decisions: usize,
+}
+
+/// Runs the allocation experiment on the C3O grid (scale-outs 2–12).
+pub fn run_allocation(dataset: &Dataset, cfg: &AllocationConfig) -> Vec<AllocationRecord> {
+    let mut jobs: Vec<(Algorithm, usize)> = Vec::new();
+    for algorithm in Algorithm::ALL {
+        let seed = cfg.seed ^ (algorithm as u64).wrapping_mul(0xA110C);
+        for ctx_id in
+            crate::adhoc::choose_contexts(dataset, algorithm, cfg.contexts_per_algorithm, seed)
+        {
+            jobs.push((algorithm, ctx_id));
+        }
+    }
+    let per_context: Vec<Vec<AllocationRecord>> =
+        bellamy_par::par_map_with_threads(&jobs, cfg.threads, |&(algorithm, ctx_id)| {
+            evaluate_context(dataset, algorithm, ctx_id, cfg)
+        });
+    per_context.into_iter().flatten().collect()
+}
+
+fn evaluate_context(
+    dataset: &Dataset,
+    algorithm: Algorithm,
+    ctx_id: usize,
+    cfg: &AllocationConfig,
+) -> Vec<AllocationRecord> {
+    let ctx = &dataset.contexts[ctx_id];
+    let props = context_properties(ctx);
+    let seed = cfg.seed ^ (ctx_id as u64).wrapping_mul(0x51CA);
+
+    let truth = ground_truth_profile(ctx);
+    let (lo, hi) = (2u32, 12u32);
+    let best = (lo..=hi)
+        .map(|x| truth.runtime(x as f64))
+        .fold(f64::INFINITY, f64::min);
+    let target_s = best * cfg.target_slack;
+    let optimal = truth
+        .min_scale_out_meeting(target_s, lo, hi)
+        .expect("slack > 1 makes the target reachable");
+
+    // Pre-train the full variant once per context.
+    let full_samples: Vec<TrainingSample> = dataset
+        .runs_for_algorithm_excluding(algorithm, Some(ctx_id))
+        .iter()
+        .map(|r| TrainingSample::from_run(&dataset.contexts[r.context_id], r))
+        .collect();
+    let mut pretrained = Bellamy::new(BellamyConfig::default(), seed);
+    bellamy_core::train::pretrain(&mut pretrained, &full_samples, &cfg.pretrain, seed);
+
+    let runs: Vec<(u32, f64)> = dataset
+        .runs_for_context(ctx_id)
+        .iter()
+        .map(|r| (r.scale_out, r.runtime_s))
+        .collect();
+    // Reuse the split machinery for sampling training subsets; the test
+    // point is irrelevant here, only the training sets are used.
+    let splits =
+        generate_task_splits(&runs, cfg.n_train, SplitTask::Extrapolation, cfg.decisions, seed);
+
+    let mut records = Vec::new();
+    for (split_no, split) in splits.iter().enumerate() {
+        let train_pts: Vec<(f64, f64)> =
+            split.train.iter().map(|&i| (runs[i].0 as f64, runs[i].1)).collect();
+        let train_samples: Vec<TrainingSample> = split
+            .train
+            .iter()
+            .map(|&i| TrainingSample {
+                scale_out: runs[i].0 as f64,
+                runtime_s: runs[i].1,
+                props: props.clone(),
+            })
+            .collect();
+        let split_seed = seed ^ ((split_no as u64) << 24);
+
+        let mut judge = |method: Method, predict: &dyn Fn(u32) -> f64| {
+            let chosen =
+                min_scale_out_meeting(predict, target_s, lo, hi).map(|r| r.scale_out);
+            let met = chosen
+                .map(|x| truth.runtime(x as f64) <= target_s)
+                .unwrap_or(false);
+            records.push(AllocationRecord {
+                method,
+                algorithm,
+                context_id: ctx_id,
+                target_s,
+                chosen,
+                optimal,
+                met_target: met,
+                overshoot: match (chosen, met) {
+                    (Some(x), true) => x.saturating_sub(optimal),
+                    _ => 0,
+                },
+            });
+        };
+
+        if let Ok(m) = ErnestModel::fit(&train_pts) {
+            judge(Method::Nnls, &|x| m.predict(x as f64));
+        }
+        if let Ok(m) = BellModel::fit(&train_pts) {
+            judge(Method::Bell, &|x| m.predict(x as f64));
+        }
+        let local = eval_local_model(&train_samples, cfg, split_seed);
+        judge(Method::BellamyLocal, &|x| local.predict(x as f64, &props));
+        let mut tuned = pretrained.clone_model();
+        bellamy_core::finetune::fine_tune(
+            &mut tuned,
+            &train_samples,
+            &cfg.finetune,
+            ReuseStrategy::PartialUnfreeze,
+            split_seed,
+        );
+        judge(Method::BellamyFull, &|x| tuned.predict(x as f64, &props));
+    }
+    records
+}
+
+fn eval_local_model(
+    train: &[TrainingSample],
+    cfg: &AllocationConfig,
+    seed: u64,
+) -> Bellamy {
+    let mut model = Bellamy::new(BellamyConfig::default(), seed);
+    bellamy_core::finetune::fit_local(&mut model, train, &cfg.finetune, seed);
+    model
+}
+
+/// Aggregates records per method.
+pub fn summarize_allocation(records: &[AllocationRecord]) -> Vec<AllocationSummary> {
+    let mut methods: Vec<Method> = Vec::new();
+    for r in records {
+        if !methods.contains(&r.method) {
+            methods.push(r.method);
+        }
+    }
+    methods
+        .into_iter()
+        .map(|method| {
+            let rs: Vec<&AllocationRecord> =
+                records.iter().filter(|r| r.method == method).collect();
+            let successes: Vec<&&AllocationRecord> =
+                rs.iter().filter(|r| r.met_target).collect();
+            AllocationSummary {
+                method,
+                success_rate: successes.len() as f64 / rs.len() as f64,
+                mean_overshoot: if successes.is_empty() {
+                    0.0
+                } else {
+                    successes.iter().map(|r| r.overshoot as f64).sum::<f64>()
+                        / successes.len() as f64
+                },
+                gave_up_rate: rs.iter().filter(|r| r.chosen.is_none()).count() as f64
+                    / rs.len() as f64,
+                decisions: rs.len(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bellamy_data::{generate_c3o, GeneratorConfig};
+
+    #[test]
+    fn allocation_records_are_consistent() {
+        let ds = generate_c3o(&GeneratorConfig::default());
+        let cfg = AllocationConfig {
+            contexts_per_algorithm: 1,
+            decisions: 2,
+            pretrain: PretrainConfig { epochs: 10, ..PretrainConfig::default() },
+            finetune: FinetuneConfig { max_epochs: 30, patience: 20, ..FinetuneConfig::default() },
+            ..AllocationConfig::quick(3)
+        };
+        let records = run_allocation(&ds, &cfg);
+        assert!(!records.is_empty());
+        for r in &records {
+            assert!(r.target_s > 0.0);
+            assert!((2..=12).contains(&r.optimal));
+            if let Some(x) = r.chosen {
+                assert!((2..=12).contains(&x));
+            } else {
+                assert!(!r.met_target);
+            }
+            if r.met_target {
+                let x = r.chosen.expect("met implies chosen");
+                assert!(x >= r.optimal - r.overshoot, "overshoot accounting");
+            }
+        }
+        let summaries = summarize_allocation(&records);
+        assert!(!summaries.is_empty());
+        for s in &summaries {
+            assert!((0.0..=1.0).contains(&s.success_rate));
+            assert!((0.0..=1.0).contains(&s.gave_up_rate));
+            assert!(s.decisions > 0);
+        }
+    }
+
+    #[test]
+    fn perfect_predictor_always_succeeds() {
+        // Judge the ground truth itself: success rate must be 1, overshoot 0.
+        let ds = generate_c3o(&GeneratorConfig::default());
+        let ctx = &ds.contexts[0];
+        let truth = ground_truth_profile(ctx);
+        let best = (2..=12u32).map(|x| truth.runtime(x as f64)).fold(f64::INFINITY, f64::min);
+        let target = best * 1.2;
+        let optimal = truth.min_scale_out_meeting(target, 2, 12).unwrap();
+        let rec = min_scale_out_meeting(|x| truth.runtime(x as f64), target, 2, 12).unwrap();
+        assert_eq!(rec.scale_out, optimal);
+        assert!(truth.runtime(rec.scale_out as f64) <= target);
+    }
+}

@@ -1,0 +1,244 @@
+//! Experiment 2: Potential of Ad Hoc Cross-Environment Learning
+//! (§IV-C2 — Fig. 8 and the cross-environment fitting times).
+//!
+//! Simulates migrating from the public cloud (pre-training on C3O data) to
+//! the private cluster (evaluation on the Bell data): for each of Grep, SGD
+//! and PageRank a model is pre-trained on *all* C3O executions of the
+//! algorithm and then reused on the single Bell context under the four reuse
+//! strategies, compared against NNLS, Bell, and a local Bellamy model.
+
+use crate::runner::{eval_bell, eval_bellamy, eval_nnls, Method, PredictionRecord, Task};
+use crate::splits::{generate_task_splits, SplitTask};
+use bellamy_core::{
+    context_properties, Bellamy, BellamyConfig, FinetuneConfig, PretrainConfig, ReuseStrategy,
+    TrainingSample,
+};
+use bellamy_data::{Algorithm, Dataset};
+
+/// Configuration of the cross-environment experiment.
+#[derive(Debug, Clone)]
+pub struct CrossEnvConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Unique splits per (algorithm, n) (paper: ≤ 500).
+    pub max_splits: usize,
+    /// Largest training-set size evaluated on the Bell grid.
+    pub max_n_train: usize,
+    /// Pre-training budget (on the C3O corpus).
+    pub pretrain: PretrainConfig,
+    /// Fine-tuning budget (on the Bell context).
+    pub finetune: FinetuneConfig,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl CrossEnvConfig {
+    /// Minutes-scale configuration.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            seed,
+            max_splits: 8,
+            max_n_train: 4,
+            pretrain: PretrainConfig { epochs: 100, ..PretrainConfig::default() },
+            finetune: FinetuneConfig { max_epochs: 250, patience: 150, ..FinetuneConfig::default() },
+            threads: bellamy_par::default_threads(),
+        }
+    }
+
+    /// The scale recorded in EXPERIMENTS.md.
+    pub fn medium(seed: u64) -> Self {
+        Self {
+            seed,
+            max_splits: 50,
+            max_n_train: 6,
+            pretrain: PretrainConfig { epochs: 400, ..PretrainConfig::default() },
+            finetune: FinetuneConfig { max_epochs: 800, patience: 400, ..FinetuneConfig::default() },
+            threads: bellamy_par::default_threads(),
+        }
+    }
+
+    /// The paper's scale.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            seed,
+            max_splits: 500,
+            max_n_train: 6,
+            pretrain: PretrainConfig::default(),
+            finetune: FinetuneConfig::default(),
+            threads: bellamy_par::default_threads(),
+        }
+    }
+}
+
+/// All records produced by the cross-environment experiment.
+#[derive(Debug, Clone)]
+pub struct CrossEnvResults {
+    /// One record per (method, split, task).
+    pub records: Vec<PredictionRecord>,
+}
+
+/// The Bellamy variants compared in Fig. 8, with their reuse strategies.
+const STRATEGY_METHODS: [(Method, ReuseStrategy); 4] = [
+    (Method::BellamyPartialUnfreeze, ReuseStrategy::PartialUnfreeze),
+    (Method::BellamyFullUnfreeze, ReuseStrategy::FullUnfreeze),
+    (Method::BellamyPartialReset, ReuseStrategy::PartialReset),
+    (Method::BellamyFullReset, ReuseStrategy::FullReset),
+];
+
+/// Runs the experiment: pre-train per algorithm on C3O, evaluate on Bell.
+pub fn run_crossenv(c3o: &Dataset, bell: &Dataset, cfg: &CrossEnvConfig) -> CrossEnvResults {
+    let jobs: Vec<Algorithm> = Algorithm::BELL.to_vec();
+    let per_algorithm: Vec<Vec<PredictionRecord>> =
+        bellamy_par::par_map_with_threads(&jobs, cfg.threads, |&algorithm| {
+            evaluate_algorithm(c3o, bell, algorithm, cfg)
+        });
+    CrossEnvResults { records: per_algorithm.into_iter().flatten().collect() }
+}
+
+fn evaluate_algorithm(
+    c3o: &Dataset,
+    bell: &Dataset,
+    algorithm: Algorithm,
+    cfg: &CrossEnvConfig,
+) -> Vec<PredictionRecord> {
+    let seed = cfg.seed ^ (algorithm as u64).wrapping_mul(0xC0FFEE);
+
+    // Pre-train on every C3O execution of this algorithm.
+    let pretrain_samples: Vec<TrainingSample> = c3o
+        .runs_for_algorithm_excluding(algorithm, None)
+        .iter()
+        .map(|r| TrainingSample::from_run(&c3o.contexts[r.context_id], r))
+        .collect();
+    let mut pretrained = Bellamy::new(BellamyConfig::default(), seed);
+    bellamy_core::train::pretrain(&mut pretrained, &pretrain_samples, &cfg.pretrain, seed);
+
+    // The single Bell context for this algorithm.
+    let ctx = bell
+        .contexts_for(algorithm)
+        .into_iter()
+        .next()
+        .expect("Bell dataset covers this algorithm");
+    let props = context_properties(ctx);
+    let runs: Vec<(u32, f64)> = bell
+        .runs_for_context(ctx.id)
+        .iter()
+        .map(|r| (r.scale_out, r.runtime_s))
+        .collect();
+
+    let mut records = Vec::new();
+    for n in 1..=cfg.max_n_train {
+        for (task, split_task) in [
+            (Task::Interpolation, SplitTask::Interpolation),
+            (Task::Extrapolation, SplitTask::Extrapolation),
+        ] {
+            let splits = generate_task_splits(&runs, n, split_task, cfg.max_splits, seed ^ n as u64);
+            for (split_no, split) in splits.iter().enumerate() {
+                let train_pts: Vec<(f64, f64)> =
+                    split.train.iter().map(|&i| (runs[i].0 as f64, runs[i].1)).collect();
+                let train_samples: Vec<TrainingSample> = split
+                    .train
+                    .iter()
+                    .map(|&i| TrainingSample {
+                        scale_out: runs[i].0 as f64,
+                        runtime_s: runs[i].1,
+                        props: props.clone(),
+                    })
+                    .collect();
+                let (test_x, test_y) = runs[split.test];
+                let test_x = test_x as f64;
+                let split_seed = seed ^ ((n as u64) << 32) ^ split_no as u64;
+                let mut emit = |method: Method, pred: f64, t: f64, epochs: Option<usize>| {
+                    records.push(PredictionRecord {
+                        method,
+                        algorithm,
+                        context_id: ctx.id,
+                        n_train: n,
+                        task,
+                        predicted_s: pred,
+                        actual_s: test_y,
+                        fit_time_s: t,
+                        epochs,
+                    });
+                };
+
+                if let Some((pred, t)) = eval_nnls(&train_pts, test_x) {
+                    emit(Method::Nnls, pred, t, None);
+                }
+                if let Some((pred, t)) = eval_bell(&train_pts, test_x) {
+                    emit(Method::Bell, pred, t, None);
+                }
+                // Local model (fresh).
+                let local = eval_bellamy(
+                    None,
+                    ReuseStrategy::PartialUnfreeze,
+                    &train_samples,
+                    test_x,
+                    &props,
+                    &cfg.finetune,
+                    split_seed,
+                    split_seed ^ 0xBEEF,
+                );
+                emit(Method::BellamyLocal, local.predicted_s, local.fit_time_s, Some(local.epochs));
+                // Pre-trained model under each reuse strategy.
+                for (method, strategy) in STRATEGY_METHODS {
+                    let eval = eval_bellamy(
+                        Some(&pretrained),
+                        strategy,
+                        &train_samples,
+                        test_x,
+                        &props,
+                        &cfg.finetune,
+                        split_seed,
+                        split_seed ^ 0xCAFE,
+                    );
+                    emit(method, eval.predicted_s, eval.fit_time_s, Some(eval.epochs));
+                }
+            }
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bellamy_data::{generate_bell, generate_c3o, GeneratorConfig};
+
+    #[test]
+    fn run_crossenv_produces_all_methods() {
+        let gen = GeneratorConfig::default();
+        let c3o = generate_c3o(&gen);
+        let bell = generate_bell(&gen);
+        let cfg = CrossEnvConfig {
+            seed: 1,
+            max_splits: 2,
+            max_n_train: 3,
+            pretrain: PretrainConfig { epochs: 10, ..PretrainConfig::default() },
+            finetune: FinetuneConfig { max_epochs: 30, patience: 20, ..FinetuneConfig::default() },
+            threads: 3,
+        };
+        let results = run_crossenv(&c3o, &bell, &cfg);
+        assert!(!results.records.is_empty());
+        for method in [
+            Method::Nnls,
+            Method::Bell,
+            Method::BellamyLocal,
+            Method::BellamyPartialUnfreeze,
+            Method::BellamyFullUnfreeze,
+            Method::BellamyPartialReset,
+            Method::BellamyFullReset,
+        ] {
+            assert!(
+                results.records.iter().any(|r| r.method == method),
+                "missing {}",
+                method.name()
+            );
+        }
+        // Only the three Bell algorithms appear.
+        assert!(results
+            .records
+            .iter()
+            .all(|r| Algorithm::BELL.contains(&r.algorithm)));
+        assert!(results.records.iter().all(|r| r.predicted_s.is_finite()));
+    }
+}

@@ -1,0 +1,197 @@
+//! Data preparation for the descriptive figures: Fig. 2 (runtime variance
+//! across contexts) and Fig. 4 (auto-encoder codes of two SGD contexts).
+
+use bellamy_core::Bellamy;
+use bellamy_data::{Algorithm, Dataset, JobContext};
+use bellamy_encoding::PropertyValue;
+use bellamy_linalg::stats;
+use serde::Serialize;
+
+/// One point of the Fig. 2 distribution: the spread of normalized runtimes
+/// at a given scale-out across every context of an algorithm.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2Row {
+    /// The algorithm.
+    pub algorithm: Algorithm,
+    /// Scale-out (machines).
+    pub scale_out: u32,
+    /// Mean of the normalized runtimes across contexts.
+    pub mean: f64,
+    /// Standard deviation across contexts.
+    pub std: f64,
+    /// Minimum across contexts.
+    pub min: f64,
+    /// Maximum across contexts.
+    pub max: f64,
+}
+
+/// Computes Fig. 2: per context the mean runtime per scale-out is normalized
+/// by the context's maximum (so every context maps into `(0, 1]`), then the
+/// distribution across contexts is summarized per (algorithm, scale-out).
+///
+/// A wide spread at a scale-out means contexts disagree about the shape —
+/// exactly the "difficulties of estimating scale-out behaviours" the figure
+/// illustrates.
+pub fn fig2_normalized_runtimes(dataset: &Dataset) -> Vec<Fig2Row> {
+    let mut rows = Vec::new();
+    for algorithm in dataset.algorithms() {
+        // normalized[context][scale_out] -> value
+        let mut per_scale_out: std::collections::BTreeMap<u32, Vec<f64>> = Default::default();
+        for ctx in dataset.contexts_for(algorithm) {
+            let scale_outs = dataset.scale_outs_for_context(ctx.id);
+            let runs = dataset.runs_for_context(ctx.id);
+            let means: Vec<(u32, f64)> = scale_outs
+                .iter()
+                .map(|&x| {
+                    let times: Vec<f64> = runs
+                        .iter()
+                        .filter(|r| r.scale_out == x)
+                        .map(|r| r.runtime_s)
+                        .collect();
+                    (x, stats::mean(&times))
+                })
+                .collect();
+            let max = means.iter().map(|m| m.1).fold(f64::NEG_INFINITY, f64::max);
+            for (x, m) in means {
+                per_scale_out.entry(x).or_default().push(m / max);
+            }
+        }
+        for (x, values) in per_scale_out {
+            rows.push(Fig2Row {
+                algorithm,
+                scale_out: x,
+                mean: stats::mean(&values),
+                std: stats::std_dev(&values),
+                min: values.iter().copied().fold(f64::INFINITY, f64::min),
+                max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            });
+        }
+    }
+    rows
+}
+
+/// Fig. 4 output: the three displayed properties of a context and their
+/// 4-dim codes.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Context {
+    /// Human-readable property renderings (node type, job parameters,
+    /// dataset size — the rows of the paper's figure).
+    pub properties: Vec<String>,
+    /// One code (length `M = 4`) per property.
+    pub codes: Vec<Vec<f64>>,
+}
+
+/// Computes the Fig. 4 code visualization for one context using a (pre-)
+/// trained model: node type, job parameters and dataset size, in the
+/// paper's row order (top to bottom).
+pub fn fig4_codes(model: &Bellamy, ctx: &JobContext) -> Fig4Context {
+    let properties = [PropertyValue::text(&ctx.node_type.name),
+        PropertyValue::text(&ctx.job_parameters),
+        PropertyValue::Number(ctx.dataset_size_mb)];
+    Fig4Context {
+        properties: properties.iter().map(|p| p.display()).collect(),
+        codes: properties.iter().map(|p| model.code_for(p)).collect(),
+    }
+}
+
+/// Empirical cumulative distribution function: returns `(value, P(X <= value))`
+/// pairs at each distinct observed value (Fig. 7's y-axis).
+pub fn ecdf(values: &[f64]) -> Vec<(f64, f64)> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = sorted.len() as f64;
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for (i, v) in sorted.iter().enumerate() {
+        let p = (i + 1) as f64 / n;
+        match out.last_mut() {
+            Some(last) if last.0 == *v => last.1 = p,
+            _ => out.push((*v, p)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bellamy_core::{BellamyConfig, PretrainConfig, TrainingSample};
+    use bellamy_data::{generate_c3o, GeneratorConfig};
+
+    #[test]
+    fn fig2_rows_are_normalized() {
+        let ds = generate_c3o(&GeneratorConfig::default());
+        let rows = fig2_normalized_runtimes(&ds);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.max <= 1.0 + 1e-12, "normalization bound violated: {r:?}");
+            assert!(r.min > 0.0);
+            assert!(r.mean >= r.min && r.mean <= r.max);
+        }
+        // Every algorithm contributes all six scale-outs.
+        for alg in Algorithm::ALL {
+            let n = rows.iter().filter(|r| r.algorithm == alg).count();
+            assert_eq!(n, 6, "{alg}");
+        }
+    }
+
+    #[test]
+    fn fig2_shows_more_variance_for_non_trivial_algorithms() {
+        // SGD/K-Means curves differ more across contexts than Grep curves at
+        // high scale-outs — the motivation for context-aware modeling.
+        let ds = generate_c3o(&GeneratorConfig::default());
+        let rows = fig2_normalized_runtimes(&ds);
+        let spread = |alg: Algorithm| -> f64 {
+            rows.iter()
+                .filter(|r| r.algorithm == alg && r.scale_out == 12)
+                .map(|r| r.max - r.min)
+                .next()
+                .expect("row exists")
+        };
+        assert!(
+            spread(Algorithm::Sgd) > spread(Algorithm::Grep),
+            "SGD should vary more across contexts than Grep"
+        );
+    }
+
+    #[test]
+    fn fig4_codes_shapes() {
+        let ds = generate_c3o(&GeneratorConfig::default());
+        let ctxs = ds.contexts_for(Algorithm::Sgd);
+        let samples: Vec<TrainingSample> = ds
+            .runs_for_context(ctxs[0].id)
+            .iter()
+            .map(|r| TrainingSample::from_run(ctxs[0], r))
+            .collect();
+        let mut model = Bellamy::new(BellamyConfig::default(), 4);
+        bellamy_core::train::pretrain(
+            &mut model,
+            &samples,
+            &PretrainConfig { epochs: 5, ..PretrainConfig::default() },
+            0,
+        );
+        let fig = fig4_codes(&model, ctxs[0]);
+        assert_eq!(fig.codes.len(), 3);
+        assert!(fig.codes.iter().all(|c| c.len() == 4));
+        assert_eq!(fig.properties.len(), 3);
+        // Distinct contexts produce distinct code matrices.
+        let fig2 = fig4_codes(&model, ctxs[1]);
+        assert_ne!(fig.codes, fig2.codes);
+    }
+
+    #[test]
+    fn ecdf_properties() {
+        let values = [3.0, 1.0, 2.0, 2.0];
+        let e = ecdf(&values);
+        assert_eq!(e, vec![(1.0, 0.25), (2.0, 0.75), (3.0, 1.0)]);
+        assert!(ecdf(&[]).is_empty());
+        // Monotone non-decreasing, ends at 1.
+        let e2 = ecdf(&[5.0, 1.0, 9.0, 7.0, 7.0, 2.0]);
+        for w in e2.windows(2) {
+            assert!(w[1].1 >= w[0].1 && w[1].0 > w[0].0);
+        }
+        assert_eq!(e2.last().unwrap().1, 1.0);
+    }
+}

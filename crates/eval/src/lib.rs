@@ -1,0 +1,72 @@
+//! Evaluation harness reproducing the paper's experiments (§IV).
+//!
+//! Two experiment families:
+//!
+//! - **Ad hoc cross-context learning** ([`adhoc`]) on the C3O traces —
+//!   Fig. 5 (interpolation/extrapolation MRE vs. number of data points),
+//!   Fig. 6 (interpolation MAE), Fig. 7 (eCDF of fine-tuning epochs) and the
+//!   §IV-C1 fitting-time comparison;
+//! - **Ad hoc cross-environment learning** ([`crossenv`]) — pre-train on
+//!   C3O, reuse on the Bell traces with the four reuse strategies — Fig. 8
+//!   and the §IV-C2 fitting times.
+//!
+//! Plus the data-description figures: Fig. 2 (normalized runtime variance
+//! across contexts) and Fig. 4 (auto-encoder codes of two SGD contexts) in
+//! [`figures`].
+//!
+//! The split protocol ([`splits`]) implements the paper's random
+//! sub-sampling cross-validation: training points with pairwise-distinct
+//! scale-outs, an interpolation test point inside the training range and an
+//! extrapolation test point outside it.
+
+pub mod adhoc;
+pub mod allocation_eval;
+pub mod crossenv;
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod splits;
+
+pub use adhoc::{run_adhoc, AdhocConfig, AdhocResults};
+pub use allocation_eval::{run_allocation, summarize_allocation, AllocationConfig};
+pub use crossenv::{run_crossenv, CrossEnvConfig, CrossEnvResults};
+pub use runner::{Method, PredictionRecord, Task};
+pub use splits::{generate_splits, Split};
+
+/// Experiment scale: `Quick` finishes in minutes on a laptop and is used by
+/// tests and `cargo bench`; `Medium` is the scale recorded in
+/// EXPERIMENTS.md (tens of minutes on one core); `Paper` approaches the
+/// paper's split counts and training budgets (hours).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Reduced split counts and epoch budgets.
+    Quick,
+    /// Intermediate scale used for the recorded reproduction runs.
+    Medium,
+    /// Full split counts and Table I epoch budgets.
+    Paper,
+}
+
+impl Profile {
+    /// Parses `"quick"` / `"medium"` / `"paper"`.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "quick" => Some(Profile::Quick),
+            "medium" => Some(Profile::Medium),
+            "paper" => Some(Profile::Paper),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_parsing() {
+        assert_eq!(Profile::from_name("quick"), Some(Profile::Quick));
+        assert_eq!(Profile::from_name("paper"), Some(Profile::Paper));
+        assert_eq!(Profile::from_name("fast"), None);
+    }
+}

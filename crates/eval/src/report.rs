@@ -1,0 +1,226 @@
+//! Aggregation and rendering: the tables and ASCII series the `repro`
+//! binary prints, plus JSON export of raw records.
+
+use crate::runner::{Method, PredictionRecord, Task};
+use bellamy_data::Algorithm;
+use bellamy_linalg::stats;
+use std::collections::BTreeMap;
+
+/// Mean relative error per `(method, n_train)` for one algorithm and task —
+/// the series of Fig. 5.
+pub fn mre_series(
+    records: &[PredictionRecord],
+    algorithm: Option<Algorithm>,
+    task: Task,
+) -> BTreeMap<(String, usize), f64> {
+    let mut buckets: BTreeMap<(String, usize), Vec<f64>> = BTreeMap::new();
+    for r in records {
+        if r.task != task {
+            continue;
+        }
+        if let Some(a) = algorithm {
+            if r.algorithm != a {
+                continue;
+            }
+        }
+        buckets
+            .entry((r.method.name().to_string(), r.n_train))
+            .or_default()
+            .push(r.rel_error());
+    }
+    buckets.into_iter().map(|(k, v)| (k, stats::mean(&v))).collect()
+}
+
+/// Mean absolute error per method for one algorithm and task, aggregated
+/// over splits, contexts, and numbers of data points — the bars of
+/// Figs. 6 and 8.
+pub fn mae_by_method(
+    records: &[PredictionRecord],
+    algorithm: Option<Algorithm>,
+    task: Task,
+) -> BTreeMap<String, f64> {
+    let mut buckets: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for r in records {
+        if r.task != task {
+            continue;
+        }
+        if let Some(a) = algorithm {
+            if r.algorithm != a {
+                continue;
+            }
+        }
+        buckets.entry(r.method.name().to_string()).or_default().push(r.abs_error());
+    }
+    buckets.into_iter().map(|(k, v)| (k, stats::mean(&v))).collect()
+}
+
+/// Mean fitting time per method (the §IV-C "training time" numbers).
+pub fn fit_time_by_method(records: &[PredictionRecord]) -> BTreeMap<String, f64> {
+    let mut buckets: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for r in records {
+        buckets.entry(r.method.name().to_string()).or_default().push(r.fit_time_s);
+    }
+    buckets.into_iter().map(|(k, v)| (k, stats::mean(&v))).collect()
+}
+
+/// Fine-tuning epoch samples per `(algorithm, method)` — Fig. 7's inputs.
+/// Only fine-tuned Bellamy records (`n_train >= 1`) count.
+pub fn epochs_by_algorithm_and_method(
+    records: &[PredictionRecord],
+) -> BTreeMap<(Algorithm, Method), Vec<f64>> {
+    let mut out: BTreeMap<(Algorithm, Method), Vec<f64>> = BTreeMap::new();
+    for r in records {
+        if r.n_train == 0 {
+            continue;
+        }
+        if let Some(e) = r.epochs {
+            out.entry((r.algorithm, r.method)).or_default().push(e as f64);
+        }
+    }
+    out
+}
+
+/// Renders an aligned, pipe-separated text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        format!("| {} |", padded.join(" | "))
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let separator: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    let mut out = String::new();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&fmt_row(&separator));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a horizontal ASCII bar chart (used for the MAE figures).
+pub fn render_bar_chart(items: &[(String, f64)], width: usize) -> String {
+    let max = items.iter().map(|(_, v)| *v).fold(f64::EPSILON, f64::max);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in items {
+        let bars = ((value / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{:<label_w$} | {:<width$} {:>10.3}\n",
+            label,
+            "#".repeat(bars),
+            value,
+        ));
+    }
+    out
+}
+
+/// Serializes records as pretty JSON for downstream plotting.
+pub fn records_to_json(records: &[PredictionRecord]) -> String {
+    serde_json::to_string_pretty(records).expect("records are serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(method: Method, alg: Algorithm, n: usize, task: Task, pred: f64, actual: f64) -> PredictionRecord {
+        PredictionRecord {
+            method,
+            algorithm: alg,
+            context_id: 0,
+            n_train: n,
+            task,
+            predicted_s: pred,
+            actual_s: actual,
+            fit_time_s: 0.01,
+            epochs: method.is_bellamy().then_some(n * 10),
+        }
+    }
+
+    #[test]
+    fn mre_series_groups_correctly() {
+        let records = vec![
+            rec(Method::Nnls, Algorithm::Grep, 2, Task::Interpolation, 110.0, 100.0),
+            rec(Method::Nnls, Algorithm::Grep, 2, Task::Interpolation, 90.0, 100.0),
+            rec(Method::Nnls, Algorithm::Grep, 3, Task::Interpolation, 150.0, 100.0),
+            rec(Method::Nnls, Algorithm::Grep, 2, Task::Extrapolation, 500.0, 100.0),
+        ];
+        let series = mre_series(&records, Some(Algorithm::Grep), Task::Interpolation);
+        assert!((series[&("NNLS".to_string(), 2)] - 0.1).abs() < 1e-12);
+        assert!((series[&("NNLS".to_string(), 3)] - 0.5).abs() < 1e-12);
+        assert_eq!(series.len(), 2, "extrapolation must not leak in");
+    }
+
+    #[test]
+    fn mae_by_method_aggregates() {
+        let records = vec![
+            rec(Method::Nnls, Algorithm::Sgd, 2, Task::Interpolation, 110.0, 100.0),
+            rec(Method::BellamyFull, Algorithm::Sgd, 2, Task::Interpolation, 102.0, 100.0),
+        ];
+        let mae = mae_by_method(&records, None, Task::Interpolation);
+        assert_eq!(mae["NNLS"], 10.0);
+        assert_eq!(mae["Bellamy (full)"], 2.0);
+    }
+
+    #[test]
+    fn epochs_exclude_direct_application() {
+        let mut direct = rec(Method::BellamyFull, Algorithm::Sgd, 0, Task::Extrapolation, 1.0, 1.0);
+        direct.epochs = Some(0);
+        let tuned = rec(Method::BellamyFull, Algorithm::Sgd, 3, Task::Interpolation, 1.0, 1.0);
+        let map = epochs_by_algorithm_and_method(&[direct, tuned]);
+        let v = &map[&(Algorithm::Sgd, Method::BellamyFull)];
+        assert_eq!(v, &vec![30.0]);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["method", "MAE"],
+            &[
+                vec!["NNLS".into(), "12.5".into()],
+                vec!["Bellamy (full)".into(), "3.2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("method"));
+        assert_eq!(lines[1].matches('|').count(), 3);
+        // All rows have equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn bar_chart_scales_to_width() {
+        let chart = render_bar_chart(
+            &[("a".to_string(), 10.0), ("b".to_string(), 5.0)],
+            20,
+        );
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines[0].matches('#').count(), 20);
+        assert_eq!(lines[1].matches('#').count(), 10);
+    }
+
+    #[test]
+    fn json_is_valid() {
+        let records = vec![rec(Method::Bell, Algorithm::KMeans, 3, Task::Interpolation, 5.0, 4.0)];
+        let json = records_to_json(&records);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed[0]["n_train"], 3);
+    }
+}

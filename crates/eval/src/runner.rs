@@ -1,0 +1,284 @@
+//! Shared per-split evaluation machinery: the methods under comparison and
+//! the record type every experiment emits.
+
+use bellamy_baselines::{BellModel, ErnestModel, ScaleOutModel};
+use bellamy_core::{Bellamy, ContextProperties, FinetuneConfig, ReuseStrategy, TrainingSample};
+use bellamy_data::Algorithm;
+use serde::Serialize;
+use std::time::Instant;
+
+/// A prediction method under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum Method {
+    /// Ernest's parametric model fitted with NNLS.
+    Nnls,
+    /// Bell's CV-selected hybrid.
+    Bell,
+    /// Bellamy without pre-training (§IV-C1 `local`).
+    BellamyLocal,
+    /// Bellamy pre-trained on substantially different contexts (`filtered`).
+    BellamyFiltered,
+    /// Bellamy pre-trained on all other contexts (`full`).
+    BellamyFull,
+    /// Cross-environment reuse strategies (§IV-C2).
+    BellamyPartialUnfreeze,
+    /// See [`ReuseStrategy::FullUnfreeze`].
+    BellamyFullUnfreeze,
+    /// See [`ReuseStrategy::PartialReset`].
+    BellamyPartialReset,
+    /// See [`ReuseStrategy::FullReset`].
+    BellamyFullReset,
+}
+
+impl Method {
+    /// Legend name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Nnls => "NNLS",
+            Method::Bell => "Bell",
+            Method::BellamyLocal => "Bellamy (local)",
+            Method::BellamyFiltered => "Bellamy (filtered)",
+            Method::BellamyFull => "Bellamy (full)",
+            Method::BellamyPartialUnfreeze => "Bellamy (partial-unfreeze)",
+            Method::BellamyFullUnfreeze => "Bellamy (full-unfreeze)",
+            Method::BellamyPartialReset => "Bellamy (partial-reset)",
+            Method::BellamyFullReset => "Bellamy (full-reset)",
+        }
+    }
+
+    /// True for every Bellamy variant (they report epochs for Fig. 7).
+    pub fn is_bellamy(self) -> bool {
+        !matches!(self, Method::Nnls | Method::Bell)
+    }
+}
+
+/// Interpolation or extrapolation (Fig. 5 left/right).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Task {
+    /// Test scale-out inside the training range.
+    Interpolation,
+    /// Test scale-out outside the training range.
+    Extrapolation,
+}
+
+impl Task {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Task::Interpolation => "interpolation",
+            Task::Extrapolation => "extrapolation",
+        }
+    }
+}
+
+/// One prediction on one split by one method.
+#[derive(Debug, Clone, Serialize)]
+pub struct PredictionRecord {
+    /// The method that produced the prediction.
+    pub method: Method,
+    /// Algorithm of the evaluated context.
+    pub algorithm: Algorithm,
+    /// Context id within its dataset.
+    pub context_id: usize,
+    /// Number of training points available.
+    pub n_train: usize,
+    /// Interpolation or extrapolation.
+    pub task: Task,
+    /// Predicted runtime (seconds).
+    pub predicted_s: f64,
+    /// Measured runtime (seconds).
+    pub actual_s: f64,
+    /// Wall-clock seconds spent fitting/fine-tuning for this split.
+    pub fit_time_s: f64,
+    /// Fine-tuning epochs (Bellamy variants only).
+    pub epochs: Option<usize>,
+}
+
+impl PredictionRecord {
+    /// `|pred - actual|`.
+    pub fn abs_error(&self) -> f64 {
+        (self.predicted_s - self.actual_s).abs()
+    }
+
+    /// `|pred - actual| / actual` (the paper's MRE contribution).
+    pub fn rel_error(&self) -> f64 {
+        self.abs_error() / self.actual_s.abs().max(1e-9)
+    }
+}
+
+/// Fits Ernest/NNLS on `(scale_out, runtime)` points and predicts at
+/// `test_x`. Returns `None` when the model cannot be fitted.
+pub fn eval_nnls(train: &[(f64, f64)], test_x: f64) -> Option<(f64, f64)> {
+    let start = Instant::now();
+    let model = ErnestModel::fit(train).ok()?;
+    let pred = model.predict(test_x);
+    Some((pred, start.elapsed().as_secs_f64()))
+}
+
+/// Fits Bell and predicts at `test_x`. `None` below three distinct
+/// scale-outs (§IV-C1).
+pub fn eval_bell(train: &[(f64, f64)], test_x: f64) -> Option<(f64, f64)> {
+    let start = Instant::now();
+    let model = BellModel::fit(train).ok()?;
+    let pred = model.predict(test_x);
+    Some((pred, start.elapsed().as_secs_f64()))
+}
+
+/// Outcome of one Bellamy split evaluation.
+#[derive(Debug, Clone)]
+pub struct BellamyEval {
+    /// Predicted runtime in seconds.
+    pub predicted_s: f64,
+    /// Wall-clock fitting time (0 for direct application of a pre-trained
+    /// model).
+    pub fit_time_s: f64,
+    /// Fine-tuning epochs (0 for direct application).
+    pub epochs: usize,
+}
+
+/// Evaluates a Bellamy variant on one split.
+///
+/// `pretrained = None` is the `local` variant: a fresh model is initialized
+/// from `model_seed` and fitted on the training samples alone. With a
+/// pre-trained model and an empty training set the model is applied
+/// directly (the paper's 0-data-points extrapolation column).
+#[allow(clippy::too_many_arguments)]
+pub fn eval_bellamy(
+    pretrained: Option<&Bellamy>,
+    strategy: ReuseStrategy,
+    train: &[TrainingSample],
+    test_x: f64,
+    props: &ContextProperties,
+    ft: &FinetuneConfig,
+    model_seed: u64,
+    seed: u64,
+) -> BellamyEval {
+    let start = Instant::now();
+    match pretrained {
+        None => {
+            assert!(!train.is_empty(), "the local variant needs training data");
+            let mut model =
+                Bellamy::new(bellamy_core::BellamyConfig::default(), model_seed);
+            let report = bellamy_core::finetune::fit_local(&mut model, train, ft, seed);
+            BellamyEval {
+                predicted_s: model.predict(test_x, props),
+                fit_time_s: start.elapsed().as_secs_f64(),
+                epochs: report.epochs,
+            }
+        }
+        Some(base) => {
+            if train.is_empty() {
+                return BellamyEval {
+                    predicted_s: base.predict(test_x, props),
+                    fit_time_s: start.elapsed().as_secs_f64(),
+                    epochs: 0,
+                };
+            }
+            let mut model = base.clone_model();
+            let report = bellamy_core::finetune::fine_tune(&mut model, train, ft, strategy, seed);
+            BellamyEval {
+                predicted_s: model.predict(test_x, props),
+                fit_time_s: start.elapsed().as_secs_f64(),
+                epochs: report.epochs,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bellamy_core::context_properties;
+    use bellamy_data::{generate_c3o, GeneratorConfig};
+
+    #[test]
+    fn method_names_match_figures() {
+        assert_eq!(Method::Nnls.name(), "NNLS");
+        assert_eq!(Method::BellamyFull.name(), "Bellamy (full)");
+        assert_eq!(Method::BellamyPartialReset.name(), "Bellamy (partial-reset)");
+        assert!(Method::BellamyLocal.is_bellamy());
+        assert!(!Method::Bell.is_bellamy());
+    }
+
+    #[test]
+    fn record_errors() {
+        let r = PredictionRecord {
+            method: Method::Nnls,
+            algorithm: Algorithm::Grep,
+            context_id: 0,
+            n_train: 3,
+            task: Task::Interpolation,
+            predicted_s: 120.0,
+            actual_s: 100.0,
+            fit_time_s: 0.001,
+            epochs: None,
+        };
+        assert_eq!(r.abs_error(), 20.0);
+        assert!((r.rel_error() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nnls_and_bell_eval() {
+        let train = [(2.0, 100.0), (4.0, 60.0), (8.0, 40.0), (12.0, 35.0)];
+        let (pred, t) = eval_nnls(&train, 6.0).unwrap();
+        assert!(pred.is_finite() && pred > 0.0);
+        assert!(t >= 0.0);
+        let (pred_b, _) = eval_bell(&train, 6.0).unwrap();
+        assert!(pred_b.is_finite());
+        // Bell refuses with two distinct scale-outs.
+        assert!(eval_bell(&train[..2], 6.0).is_none());
+        // NNLS accepts even one.
+        assert!(eval_nnls(&train[..1], 6.0).is_some());
+    }
+
+    #[test]
+    fn bellamy_local_eval_roundtrip() {
+        let ds = generate_c3o(&GeneratorConfig::default());
+        let ctx = &ds.contexts[0];
+        let props = context_properties(ctx);
+        let train: Vec<_> = ds
+            .runs_for_context(ctx.id)
+            .iter()
+            .step_by(7)
+            .map(|r| bellamy_core::TrainingSample::from_run(ctx, r))
+            .collect();
+        assert!(train.len() >= 3);
+        let ft = FinetuneConfig { max_epochs: 60, ..FinetuneConfig::default() };
+        let eval = eval_bellamy(None, ReuseStrategy::PartialUnfreeze, &train, 6.0, &props, &ft, 1, 2);
+        assert!(eval.predicted_s.is_finite());
+        assert!(eval.epochs > 0);
+        assert!(eval.fit_time_s > 0.0);
+    }
+
+    #[test]
+    fn pretrained_direct_application_has_zero_epochs() {
+        let ds = generate_c3o(&GeneratorConfig::default());
+        let ctx = &ds.contexts[0];
+        let props = context_properties(ctx);
+        let samples: Vec<_> = ds
+            .runs_for_context(ctx.id)
+            .iter()
+            .map(|r| bellamy_core::TrainingSample::from_run(ctx, r))
+            .collect();
+        let mut model = Bellamy::new(bellamy_core::BellamyConfig::default(), 0);
+        bellamy_core::train::pretrain(
+            &mut model,
+            &samples,
+            &bellamy_core::PretrainConfig { epochs: 10, ..Default::default() },
+            0,
+        );
+        let ft = FinetuneConfig::default();
+        let eval = eval_bellamy(
+            Some(&model),
+            ReuseStrategy::PartialUnfreeze,
+            &[],
+            6.0,
+            &props,
+            &ft,
+            0,
+            0,
+        );
+        assert_eq!(eval.epochs, 0);
+        assert!(eval.predicted_s.is_finite());
+    }
+}

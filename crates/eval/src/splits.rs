@@ -1,0 +1,368 @@
+//! The paper's random sub-sampling cross-validation protocol (§IV-C).
+//!
+//! "For every fixed amount of training data points, random training points
+//! are selected from the dataset such that the scale-outs of the data points
+//! are pairwise different. To evaluate the interpolation capabilities ... we
+//! randomly select a test point such that its scale-out lies in the range of
+//! the training points. For evaluating the extrapolation capabilities, we
+//! randomly select a test point such that its scale-out lies outside of the
+//! range of the training points." The sub-sampling repeats until at most
+//! `max_splits` *unique* splits exist per training-set size.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+/// One evaluation split over a context's runs. All fields are indices into
+/// the run slice handed to [`generate_splits`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Split {
+    /// Training runs (pairwise-distinct scale-outs).
+    pub train: Vec<usize>,
+    /// Interpolation test run (scale-out strictly inside the training range,
+    /// not equal to any training scale-out).
+    pub interp_test: usize,
+    /// Extrapolation test run (scale-out outside the training range).
+    pub extrap_test: usize,
+}
+
+/// Generates up to `max_splits` unique splits with `n_train` training points
+/// from a context's `(scale_out, runtime)` runs.
+///
+/// Returns an empty vector when the protocol is unsatisfiable for this
+/// `n_train` (e.g. every scale-out used for training leaves no interior
+/// test point).
+pub fn generate_splits(
+    runs: &[(u32, f64)],
+    n_train: usize,
+    max_splits: usize,
+    seed: u64,
+) -> Vec<Split> {
+    assert!(n_train >= 1, "use extrapolation-only evaluation for n_train = 0");
+    let mut scale_outs: Vec<u32> = runs.iter().map(|r| r.0).collect();
+    scale_outs.sort_unstable();
+    scale_outs.dedup();
+    if scale_outs.len() < n_train + 2 {
+        // Need at least one interior and one exterior scale-out left over.
+        return Vec::new();
+    }
+
+    // Indices of runs per scale-out for fast sampling.
+    let runs_at = |x: u32| -> Vec<usize> {
+        runs.iter()
+            .enumerate()
+            .filter(|(_, r)| r.0 == x)
+            .map(|(i, _)| i)
+            .collect()
+    };
+    let per_scale_out: Vec<(u32, Vec<usize>)> =
+        scale_outs.iter().map(|&x| (x, runs_at(x))).collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<Split> = HashSet::new();
+    let mut out = Vec::new();
+    let attempts = max_splits * 50;
+
+    'outer: for _ in 0..attempts {
+        if out.len() >= max_splits {
+            break;
+        }
+        // Choose n_train distinct scale-outs.
+        let mut chosen: Vec<usize> = (0..per_scale_out.len()).collect();
+        for i in 0..n_train {
+            let j = rng.random_range(i..chosen.len());
+            chosen.swap(i, j);
+        }
+        let train_xs: Vec<usize> = chosen[..n_train].to_vec();
+        let lo = train_xs.iter().map(|&i| per_scale_out[i].0).min().expect("non-empty");
+        let hi = train_xs.iter().map(|&i| per_scale_out[i].0).max().expect("non-empty");
+
+        // Candidate test scale-outs.
+        let interp_candidates: Vec<usize> = (0..per_scale_out.len())
+            .filter(|i| {
+                let x = per_scale_out[*i].0;
+                !train_xs.contains(i) && x > lo && x < hi
+            })
+            .collect();
+        let extrap_candidates: Vec<usize> = (0..per_scale_out.len())
+            .filter(|i| {
+                let x = per_scale_out[*i].0;
+                x < lo || x > hi
+            })
+            .collect();
+        if interp_candidates.is_empty() || extrap_candidates.is_empty() {
+            continue 'outer;
+        }
+
+        // Sample one concrete run per training scale-out and per test point.
+        let mut train: Vec<usize> = train_xs
+            .iter()
+            .map(|&i| {
+                let pool = &per_scale_out[i].1;
+                pool[rng.random_range(0..pool.len())]
+            })
+            .collect();
+        train.sort_unstable();
+        let pick = |cands: &[usize], rng: &mut StdRng| {
+            let sx = cands[rng.random_range(0..cands.len())];
+            let pool = &per_scale_out[sx].1;
+            pool[rng.random_range(0..pool.len())]
+        };
+        let split = Split {
+            train,
+            interp_test: pick(&interp_candidates, &mut rng),
+            extrap_test: pick(&extrap_candidates, &mut rng),
+        };
+        if seen.insert(split.clone()) {
+            out.push(split);
+        }
+    }
+    out
+}
+
+/// A single-task split: training runs plus one test run.
+///
+/// The joint triple of [`Split`] is only satisfiable while at least one
+/// interior *and* one exterior scale-out remain untouched (`n ≤ 4` on the
+/// C3O grid). The figures' outer columns (interpolation at `n = 5`,
+/// extrapolation at `n ∈ {1, 5}`) come from these single-task splits, which
+/// follow the same sampling procedure with only the relevant test-point
+/// constraint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TaskSplit {
+    /// Training runs (pairwise-distinct scale-outs).
+    pub train: Vec<usize>,
+    /// The test run.
+    pub test: usize,
+}
+
+/// Which test-point constraint a [`TaskSplit`] satisfies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitTask {
+    /// Test scale-out strictly inside the training range.
+    Interpolation,
+    /// Test scale-out outside the training range.
+    Extrapolation,
+}
+
+/// Generates up to `max_splits` unique single-task splits.
+pub fn generate_task_splits(
+    runs: &[(u32, f64)],
+    n_train: usize,
+    task: SplitTask,
+    max_splits: usize,
+    seed: u64,
+) -> Vec<TaskSplit> {
+    assert!(n_train >= 1, "n_train = 0 has no training set; evaluate directly");
+    let mut scale_outs: Vec<u32> = runs.iter().map(|r| r.0).collect();
+    scale_outs.sort_unstable();
+    scale_outs.dedup();
+    if scale_outs.len() < n_train + 1 {
+        return Vec::new();
+    }
+    let runs_at = |x: u32| -> Vec<usize> {
+        runs.iter()
+            .enumerate()
+            .filter(|(_, r)| r.0 == x)
+            .map(|(i, _)| i)
+            .collect()
+    };
+    let per_scale_out: Vec<(u32, Vec<usize>)> =
+        scale_outs.iter().map(|&x| (x, runs_at(x))).collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<TaskSplit> = HashSet::new();
+    let mut out = Vec::new();
+    for _ in 0..max_splits * 50 {
+        if out.len() >= max_splits {
+            break;
+        }
+        let mut chosen: Vec<usize> = (0..per_scale_out.len()).collect();
+        for i in 0..n_train {
+            let j = rng.random_range(i..chosen.len());
+            chosen.swap(i, j);
+        }
+        let train_xs: Vec<usize> = chosen[..n_train].to_vec();
+        let lo = train_xs.iter().map(|&i| per_scale_out[i].0).min().expect("non-empty");
+        let hi = train_xs.iter().map(|&i| per_scale_out[i].0).max().expect("non-empty");
+        let candidates: Vec<usize> = (0..per_scale_out.len())
+            .filter(|i| {
+                let x = per_scale_out[*i].0;
+                match task {
+                    SplitTask::Interpolation => !train_xs.contains(i) && x > lo && x < hi,
+                    SplitTask::Extrapolation => x < lo || x > hi,
+                }
+            })
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+        let mut train: Vec<usize> = train_xs
+            .iter()
+            .map(|&i| {
+                let pool = &per_scale_out[i].1;
+                pool[rng.random_range(0..pool.len())]
+            })
+            .collect();
+        train.sort_unstable();
+        let cx = candidates[rng.random_range(0..candidates.len())];
+        let pool = &per_scale_out[cx].1;
+        let test = pool[rng.random_range(0..pool.len())];
+        let split = TaskSplit { train, test };
+        if seen.insert(split.clone()) {
+            out.push(split);
+        }
+    }
+    out
+}
+
+/// Checks the protocol invariants of a split against the runs it was
+/// generated from. Used by tests and debug assertions.
+pub fn validate_split(runs: &[(u32, f64)], split: &Split) -> Result<(), String> {
+    let train_xs: Vec<u32> = split.train.iter().map(|&i| runs[i].0).collect();
+    let mut dedup = train_xs.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    if dedup.len() != train_xs.len() {
+        return Err("training scale-outs not pairwise distinct".into());
+    }
+    let lo = *dedup.first().expect("non-empty train");
+    let hi = *dedup.last().expect("non-empty train");
+    let interp_x = runs[split.interp_test].0;
+    if !(interp_x > lo && interp_x < hi) || train_xs.contains(&interp_x) {
+        return Err(format!("interpolation test {interp_x} not strictly inside ({lo},{hi})"));
+    }
+    let extrap_x = runs[split.extrap_test].0;
+    if (lo..=hi).contains(&extrap_x) {
+        return Err(format!("extrapolation test {extrap_x} inside [{lo},{hi}]"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// C3O-shaped runs: scale-outs 2..12 step 2, 5 repeats each.
+    fn c3o_runs() -> Vec<(u32, f64)> {
+        let mut runs = Vec::new();
+        for x in [2u32, 4, 6, 8, 10, 12] {
+            for r in 0..5 {
+                runs.push((x, 100.0 / x as f64 + r as f64));
+            }
+        }
+        runs
+    }
+
+    #[test]
+    fn splits_satisfy_protocol() {
+        // Joint triples need an interior point: n = 1 has a degenerate range
+        // (covered by task splits instead), so triples span 2..=4 here.
+        let runs = c3o_runs();
+        for n in 2..=4 {
+            let splits = generate_splits(&runs, n, 50, 7);
+            assert!(!splits.is_empty(), "no splits for n={n}");
+            for s in &splits {
+                assert_eq!(s.train.len(), n);
+                validate_split(&runs, s).unwrap_or_else(|e| panic!("n={n}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn unique_splits_only() {
+        let runs = c3o_runs();
+        let splits = generate_splits(&runs, 2, 200, 3);
+        let set: HashSet<&Split> = splits.iter().collect();
+        assert_eq!(set.len(), splits.len());
+    }
+
+    #[test]
+    fn respects_max_splits() {
+        let runs = c3o_runs();
+        let splits = generate_splits(&runs, 2, 10, 3);
+        assert!(splits.len() <= 10);
+        assert!(!splits.is_empty());
+    }
+
+    #[test]
+    fn unsatisfiable_sizes_return_empty() {
+        let runs = c3o_runs();
+        // n=5 leaves one scale-out: it cannot be both interior and exterior.
+        assert!(generate_splits(&runs, 5, 50, 3).is_empty());
+        assert!(generate_splits(&runs, 6, 50, 3).is_empty());
+    }
+
+    #[test]
+    fn n1_has_no_interior_point() {
+        // With one training point the range is degenerate: lo == hi, so no
+        // strictly-interior test exists and the protocol is unsatisfiable.
+        let runs = c3o_runs();
+        assert!(generate_splits(&runs, 1, 50, 3).is_empty());
+    }
+
+    #[test]
+    fn bell_shaped_runs_allow_larger_n() {
+        // 15 distinct scale-outs: n up to 13 can satisfy the protocol.
+        let mut runs = Vec::new();
+        for i in 1..=15u32 {
+            for r in 0..7 {
+                runs.push((4 * i, 50.0 + r as f64));
+            }
+        }
+        let splits = generate_splits(&runs, 6, 30, 11);
+        assert!(!splits.is_empty());
+        for s in &splits {
+            validate_split(&runs, s).unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let runs = c3o_runs();
+        let a = generate_splits(&runs, 3, 40, 5);
+        let b = generate_splits(&runs, 3, 40, 5);
+        assert_eq!(a, b);
+        let c = generate_splits(&runs, 3, 40, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn task_splits_cover_edge_sizes() {
+        let runs = c3o_runs();
+        // Interpolation at n=5 works (leftover interior scale-out exists for
+        // some subsets); extrapolation at n=1 and n=5 works too.
+        let interp5 = generate_task_splits(&runs, 5, SplitTask::Interpolation, 30, 2);
+        assert!(!interp5.is_empty());
+        for s in &interp5 {
+            let train_xs: Vec<u32> = s.train.iter().map(|&i| runs[i].0).collect();
+            let lo = *train_xs.iter().min().unwrap();
+            let hi = *train_xs.iter().max().unwrap();
+            let tx = runs[s.test].0;
+            assert!(tx > lo && tx < hi && !train_xs.contains(&tx));
+        }
+        let extrap1 = generate_task_splits(&runs, 1, SplitTask::Extrapolation, 30, 2);
+        assert!(!extrap1.is_empty());
+        for s in &extrap1 {
+            let tx = runs[s.test].0;
+            let train_x = runs[s.train[0]].0;
+            assert_ne!(tx, train_x);
+        }
+        let extrap5 = generate_task_splits(&runs, 5, SplitTask::Extrapolation, 30, 2);
+        assert!(!extrap5.is_empty());
+        // Interpolation at n=6 stays impossible.
+        assert!(generate_task_splits(&runs, 6, SplitTask::Interpolation, 30, 2).is_empty());
+    }
+
+    #[test]
+    fn validate_split_catches_violations() {
+        let runs = c3o_runs();
+        // Duplicate training scale-outs (runs 0 and 1 are both x=2).
+        let bad = Split { train: vec![0, 1], interp_test: 10, extrap_test: 29 };
+        assert!(validate_split(&runs, &bad).is_err());
+        // Interpolation point outside the range: train x={2,6} (runs 0, 10),
+        // test x=12 (run 29).
+        let bad2 = Split { train: vec![0, 10], interp_test: 29, extrap_test: 29 };
+        assert!(validate_split(&runs, &bad2).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the split protocol and aggregation helpers.
+
+use bellamy_eval::figures::ecdf;
+use bellamy_eval::splits::{
+    generate_splits, generate_task_splits, validate_split, SplitTask,
+};
+use proptest::prelude::*;
+
+/// Strategy: a C3O- or Bell-like run table with `k` distinct scale-outs and
+/// `r` repeats each.
+fn arb_runs() -> impl Strategy<Value = Vec<(u32, f64)>> {
+    (3usize..12, 1usize..6, 1u32..8).prop_map(|(k, r, step)| {
+        let mut runs = Vec::new();
+        for i in 1..=k {
+            let x = step * i as u32;
+            for rep in 0..r {
+                runs.push((x, 100.0 / x as f64 + rep as f64 * 0.5));
+            }
+        }
+        runs
+    })
+}
+
+proptest! {
+    #[test]
+    fn joint_splits_always_validate((runs, n, seed) in
+        (arb_runs(), 2usize..5, 0u64..500).prop_filter("n small enough", |(runs, n, _)| {
+            let mut xs: Vec<u32> = runs.iter().map(|r| r.0).collect();
+            xs.sort_unstable();
+            xs.dedup();
+            xs.len() >= n + 2
+        })
+    ) {
+        for s in generate_splits(&runs, n, 20, seed) {
+            prop_assert!(validate_split(&runs, &s).is_ok());
+            prop_assert_eq!(s.train.len(), n);
+        }
+    }
+
+    #[test]
+    fn task_splits_satisfy_their_constraint(
+        (runs, n, seed) in (arb_runs(), 1usize..6, 0u64..500)
+    ) {
+        for task in [SplitTask::Interpolation, SplitTask::Extrapolation] {
+            for s in generate_task_splits(&runs, n, task, 20, seed) {
+                let train_xs: Vec<u32> = s.train.iter().map(|&i| runs[i].0).collect();
+                let mut dedup = train_xs.clone();
+                dedup.sort_unstable();
+                dedup.dedup();
+                prop_assert_eq!(dedup.len(), train_xs.len(), "pairwise distinct");
+                let lo = *dedup.first().expect("non-empty");
+                let hi = *dedup.last().expect("non-empty");
+                let tx = runs[s.test].0;
+                match task {
+                    SplitTask::Interpolation => {
+                        prop_assert!(tx > lo && tx < hi && !train_xs.contains(&tx));
+                    }
+                    SplitTask::Extrapolation => {
+                        prop_assert!(tx < lo || tx > hi);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn task_splits_are_unique_and_bounded(
+        (runs, seed) in (arb_runs(), 0u64..200), cap in 1usize..40
+    ) {
+        let splits = generate_task_splits(&runs, 2, SplitTask::Extrapolation, cap, seed);
+        prop_assert!(splits.len() <= cap);
+        for (i, a) in splits.iter().enumerate() {
+            for b in &splits[i + 1..] {
+                prop_assert_ne!(a, b, "duplicate split emitted");
+            }
+        }
+    }
+
+    #[test]
+    fn splits_are_deterministic((runs, seed) in (arb_runs(), 0u64..200)) {
+        let a = generate_task_splits(&runs, 3, SplitTask::Interpolation, 15, seed);
+        let b = generate_task_splits(&runs, 3, SplitTask::Interpolation, 15, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ecdf_is_a_valid_cdf(values in proptest::collection::vec(-1e4f64..1e4, 1..100)) {
+        let e = ecdf(&values);
+        prop_assert!(!e.is_empty());
+        // Strictly increasing x, non-decreasing p, ending exactly at 1.
+        for w in e.windows(2) {
+            prop_assert!(w[1].0 > w[0].0);
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+        prop_assert!((e.last().expect("non-empty").1 - 1.0).abs() < 1e-12);
+        for &(_, p) in &e {
+            prop_assert!(p > 0.0 && p <= 1.0);
+        }
+        // P at the minimum is at least 1/n.
+        prop_assert!(e[0].1 >= 1.0 / values.len() as f64 - 1e-12);
+    }
+}

@@ -1,0 +1,27 @@
+//! Dense linear algebra for the Bellamy reproduction.
+//!
+//! This crate provides the numeric substrate that the rest of the workspace is
+//! built on: a row-major dense [`Matrix`] of `f64` with the kernels needed by
+//! the autodiff engine (`bellamy-autograd`), the neural-network toolkit
+//! (`bellamy-nn`), and the baseline models (`bellamy-baselines`):
+//!
+//! - elementwise and broadcast arithmetic,
+//! - cache-blocked matrix multiplication (plus the transposed variants used by
+//!   back-propagation),
+//! - Householder QR decomposition and least-squares solving,
+//! - a Lawson–Hanson non-negative least squares (NNLS) solver, the same
+//!   algorithm scipy's `nnls` implements, which Ernest's parametric runtime
+//!   model is fitted with.
+//!
+//! Everything is implemented from scratch on `std` (no BLAS), with `f64`
+//! precision throughout — the matrices in this project are small (at most a few
+//! hundred rows), so numerical robustness matters more than GEMM throughput.
+
+pub mod matrix;
+pub mod nnls;
+pub mod qr;
+pub mod stats;
+
+pub use matrix::Matrix;
+pub use nnls::{nnls, NnlsError, NnlsSolution};
+pub use qr::{lstsq, QrDecomposition};

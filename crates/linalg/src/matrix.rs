@@ -1,0 +1,709 @@
+//! Row-major dense `f64` matrix with the kernel set used across the workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Block edge for the cache-blocked matmul kernel. Matrices in this project
+/// are small; 64 keeps the working set of a block pair within L1.
+const MATMUL_BLOCK: usize = 64;
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// The element at row `i`, column `j` lives at `data[i * cols + j]`. All
+/// shape-changing operations allocate a fresh matrix; in-place variants are
+/// provided where the training loop is hot (`add_assign`, `scale_in_place`,
+/// `zip_apply`).
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from nested row slices.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "row {i} has length {} but expected {cols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// A `1 x n` row vector.
+    pub fn row_vector(values: &[f64]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// An `n x 1` column vector.
+    pub fn col_vector(values: &[f64]) -> Self {
+        Self::from_vec(values.len(), 1, values.to_vec())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw row-major data slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the row-major data vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow of row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy of column `j`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column {j} out of bounds for {} columns", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Elementwise combination of two equally-shaped matrices.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+        self.assert_same_shape(other, "zip_map");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// In-place elementwise combination: `self[i] = f(self[i], other[i])`.
+    pub fn zip_apply(&mut self, other: &Matrix, f: impl Fn(f64, f64) -> f64) {
+        self.assert_same_shape(other, "zip_apply");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a = f(*a, b);
+        }
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// In-place elementwise sum.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        self.zip_apply(other, |a, b| a + b);
+    }
+
+    /// In-place `self += alpha * other` (axpy).
+    pub fn add_scaled(&mut self, other: &Matrix, alpha: f64) {
+        self.assert_same_shape(other, "add_scaled");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Scalar multiple as a new matrix.
+    pub fn scale(&self, alpha: f64) -> Matrix {
+        self.map(|v| v * alpha)
+    }
+
+    /// In-place scalar multiply.
+    pub fn scale_in_place(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Fills every element with `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Adds a `1 x cols` row vector to every row (bias broadcast).
+    ///
+    /// # Panics
+    /// Panics if `bias` is not `1 x self.cols()`.
+    pub fn broadcast_add_row(&self, bias: &Matrix) -> Matrix {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(
+            bias.cols, self.cols,
+            "bias has {} columns but matrix has {}",
+            bias.cols, self.cols
+        );
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            let row = out.row_mut(i);
+            for (v, &b) in row.iter_mut().zip(bias.data.iter()) {
+                *v += b;
+            }
+        }
+        out
+    }
+
+    /// Sum over rows, producing a `1 x cols` row vector. This is the adjoint
+    /// of [`Matrix::broadcast_add_row`].
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (o, &v) in out.data.iter_mut().zip(row.iter()) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Mean over rows, producing a `1 x cols` row vector.
+    pub fn mean_rows(&self) -> Matrix {
+        assert!(self.rows > 0, "mean_rows of an empty matrix");
+        let mut out = self.sum_rows();
+        out.scale_in_place(1.0 / self.rows as f64);
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.is_empty(), "mean of an empty matrix");
+        self.sum() / self.data.len() as f64
+    }
+
+    /// Largest element. Returns `f64::NEG_INFINITY` for an empty matrix.
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Smallest element. Returns `f64::INFINITY` for an empty matrix.
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Frobenius norm (`sqrt(sum of squares)`).
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// True if every element is finite (no NaN / infinity).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// Uses a cache-blocked i-k-j kernel; dimensions in this workspace are
+    /// small enough that this runs well within L1/L2.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != other.rows()`.
+    #[allow(clippy::needless_range_loop)] // index-based blocking is the kernel's shape
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for ib in (0..m).step_by(MATMUL_BLOCK) {
+            let imax = (ib + MATMUL_BLOCK).min(m);
+            for kb in (0..k).step_by(MATMUL_BLOCK) {
+                let kmax = (kb + MATMUL_BLOCK).min(k);
+                for i in ib..imax {
+                    let arow = self.row(i);
+                    let orow = &mut out.data[i * n..(i + 1) * n];
+                    for kk in kb..kmax {
+                        let a = arow[kk];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let brow = &other.data[kk * n..(kk + 1) * n];
+                        for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * other^T` without materializing the transpose.
+    ///
+    /// This is the back-propagation kernel `dX = dY * W^T`.
+    pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose_b shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let arow = self.row(i);
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&a, &b) in arow.iter().zip(brow.iter()) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// `self^T * other` without materializing the transpose.
+    ///
+    /// This is the back-propagation kernel `dW = X^T * dY`.
+    pub fn transpose_a_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "transpose_a_matmul shape mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for r in 0..k {
+            let arow = self.row(r);
+            let brow = other.row(r);
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * v` where `v.len() == self.cols()`.
+    #[allow(clippy::needless_range_loop)]
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec length mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v.iter()).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+
+    /// Horizontally concatenates matrices with equal row counts.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or row counts differ.
+    pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat_cols of no matrices");
+        let rows = parts[0].rows;
+        for p in parts {
+            assert_eq!(p.rows, rows, "concat_cols row mismatch");
+        }
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            let orow = out.row_mut(i);
+            let mut offset = 0;
+            for p in parts {
+                orow[offset..offset + p.cols].copy_from_slice(p.row(i));
+                offset += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Vertically stacks matrices with equal column counts.
+    pub fn concat_rows(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat_rows of no matrices");
+        let cols = parts[0].cols;
+        let mut data = Vec::new();
+        let mut rows = 0;
+        for p in parts {
+            assert_eq!(p.cols, cols, "concat_rows column mismatch");
+            data.extend_from_slice(&p.data);
+            rows += p.rows;
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Copies the half-open column range `[start, end)` into a new matrix.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.cols, "slice_cols range out of bounds");
+        let mut out = Matrix::zeros(self.rows, end - start);
+        for i in 0..self.rows {
+            out.row_mut(i).copy_from_slice(&self.row(i)[start..end]);
+        }
+        out
+    }
+
+    /// Copies the rows with the given indices into a new matrix (gather).
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            assert!(src < self.rows, "row index {src} out of bounds");
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Maximum absolute difference from `other`; useful in tests.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        self.assert_same_shape(other, "max_abs_diff");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn assert_same_shape(&self, other: &Matrix, op: &str) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "{op}: shape mismatch {}x{} vs {}x{}",
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
+        );
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8;
+        for i in 0..self.rows.min(max_rows) {
+            write!(f, "  [")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.6}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ... ({} more rows)", self.rows - max_rows)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m22(a: f64, b: f64, c: f64, d: f64) -> Matrix {
+        Matrix::from_vec(2, 2, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn zeros_and_filled() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let f = Matrix::filled(3, 2, 1.5);
+        assert!(f.as_slice().iter().all(|&v| v == 1.5));
+    }
+
+    #[test]
+    fn eye_is_identity_under_matmul() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let i = Matrix::eye(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_rows_and_indexing() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]]));
+    }
+
+    #[test]
+    fn matmul_transpose_variants_agree_with_explicit_transpose() {
+        let a = Matrix::from_fn(5, 7, |i, j| (i * 7 + j) as f64 * 0.3 - 2.0);
+        let b = Matrix::from_fn(4, 7, |i, j| (i as f64 - j as f64) * 0.11);
+        let via_t = a.matmul(&b.transpose());
+        let direct = a.matmul_transpose_b(&b);
+        assert!(via_t.max_abs_diff(&direct) < 1e-12);
+
+        let c = Matrix::from_fn(5, 3, |i, j| ((i + 2) * (j + 1)) as f64 * 0.05);
+        let via_t2 = a.transpose().matmul(&c);
+        let direct2 = a.transpose_a_matmul(&c);
+        assert!(via_t2.max_abs_diff(&direct2) < 1e-12);
+    }
+
+    #[test]
+    fn matmul_blocked_matches_naive_on_larger_sizes() {
+        // Exercise the blocking logic across block boundaries.
+        let a = Matrix::from_fn(130, 70, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+        let b = Matrix::from_fn(70, 90, |i, j| ((i * 7 + j * 3) % 11) as f64 * 0.25);
+        let c = a.matmul(&b);
+        // Naive reference.
+        let mut r = Matrix::zeros(130, 90);
+        for i in 0..130 {
+            for j in 0..90 {
+                let mut acc = 0.0;
+                for k in 0..70 {
+                    acc += a[(i, k)] * b[(k, j)];
+                }
+                r[(i, j)] = acc;
+            }
+        }
+        assert!(c.max_abs_diff(&r) < 1e-9);
+    }
+
+    #[test]
+    fn broadcast_add_row_and_sum_rows_are_adjoint_shapes() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let b = Matrix::row_vector(&[10.0, 20.0]);
+        let y = x.broadcast_add_row(&b);
+        assert_eq!(y[(0, 0)], 11.0);
+        assert_eq!(y[(2, 1)], 26.0);
+        let s = x.sum_rows();
+        assert_eq!(s, Matrix::row_vector(&[9.0, 12.0]));
+        let mr = x.mean_rows();
+        assert_eq!(mr, Matrix::row_vector(&[3.0, 4.0]));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(5.0, 6.0, 7.0, 8.0);
+        assert_eq!(a.add(&b), m22(6.0, 8.0, 10.0, 12.0));
+        assert_eq!(b.sub(&a), m22(4.0, 4.0, 4.0, 4.0));
+        assert_eq!(a.hadamard(&b), m22(5.0, 12.0, 21.0, 32.0));
+        assert_eq!(a.scale(2.0), m22(2.0, 4.0, 6.0, 8.0));
+        let mut c = a.clone();
+        c.add_scaled(&b, 0.5);
+        assert_eq!(c, m22(3.5, 5.0, 6.5, 8.0));
+    }
+
+    #[test]
+    fn reductions() {
+        let a = m22(1.0, -2.0, 3.0, -4.0);
+        assert_eq!(a.sum(), -2.0);
+        assert_eq!(a.mean(), -0.5);
+        assert_eq!(a.max(), 3.0);
+        assert_eq!(a.min(), -4.0);
+        assert!((a.frobenius_norm() - (30.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concat_and_slice_round_trip() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0], vec![6.0]]);
+        let c = Matrix::concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.row(0), &[1.0, 2.0, 5.0]);
+        assert_eq!(c.slice_cols(0, 2), a);
+        assert_eq!(c.slice_cols(2, 3), b);
+
+        let v = Matrix::concat_rows(&[&a, &a]);
+        assert_eq!(v.shape(), (4, 2));
+        assert_eq!(v.row(3), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn select_rows_gathers() {
+        let a = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let g = a.select_rows(&[2, 0, 2]);
+        assert_eq!(g, Matrix::from_rows(&[vec![3.0], vec![1.0], vec![3.0]]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i * 5 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let v = a.matvec(&[10.0, 100.0]);
+        assert_eq!(v, vec![210.0, 430.0]);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut a = Matrix::zeros(2, 2);
+        assert!(a.all_finite());
+        a[(0, 1)] = f64::NAN;
+        assert!(!a.all_finite());
+    }
+}

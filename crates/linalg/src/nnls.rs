@@ -1,0 +1,279 @@
+//! Non-negative least squares via the Lawson–Hanson active-set algorithm.
+//!
+//! Solves `min ||A x - b||_2  s.t.  x >= 0`, the problem scipy's `nnls`
+//! solves and the fitting procedure Ernest \[18\] prescribes for its parametric
+//! runtime model (the paper's `NNLS` baseline). The implementation follows
+//! Lawson & Hanson, *Solving Least Squares Problems* (1974), ch. 23, with the
+//! inner least-squares restricted to the passive set solved by Householder QR.
+
+use crate::matrix::Matrix;
+use crate::qr::QrDecomposition;
+
+/// Failure modes of the NNLS solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnlsError {
+    /// `A` and `b` disagree on the number of rows.
+    DimensionMismatch { rows: usize, rhs: usize },
+    /// The iteration limit was exceeded (pathological inputs).
+    IterationLimit,
+}
+
+impl std::fmt::Display for NnlsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NnlsError::DimensionMismatch { rows, rhs } => {
+                write!(f, "A has {rows} rows but b has {rhs} entries")
+            }
+            NnlsError::IterationLimit => write!(f, "NNLS iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for NnlsError {}
+
+/// Result of an NNLS solve.
+#[derive(Debug, Clone)]
+pub struct NnlsSolution {
+    /// The non-negative coefficient vector.
+    pub x: Vec<f64>,
+    /// Euclidean norm of the residual `||A x - b||_2`.
+    pub residual_norm: f64,
+    /// Number of outer-loop iterations performed.
+    pub iterations: usize,
+}
+
+/// Tolerance below which a dual value is considered non-positive.
+const DUAL_TOLERANCE: f64 = 1e-10;
+
+/// Solves `min ||A x - b||_2` subject to `x >= 0`.
+///
+/// Returns the optimal coefficients together with the residual norm. The
+/// solution satisfies the KKT conditions: `x >= 0`, `w = A^T (b - A x) <= 0`
+/// on the active set, and `w = 0` on the passive set (up to tolerance).
+pub fn nnls(a: &Matrix, b: &[f64]) -> Result<NnlsSolution, NnlsError> {
+    let (m, n) = a.shape();
+    if b.len() != m {
+        return Err(NnlsError::DimensionMismatch { rows: m, rhs: b.len() });
+    }
+
+    let mut x = vec![0.0; n];
+    let mut passive = vec![false; n];
+    // Standard bound from Lawson–Hanson: each variable can enter/leave a
+    // bounded number of times in practice; 3n outer iterations is generous.
+    let max_iterations = 3 * n.max(8);
+    let mut iterations = 0;
+
+    loop {
+        // Dual vector w = A^T (b - A x).
+        let ax = a.matvec(&x);
+        let resid: Vec<f64> = b.iter().zip(ax.iter()).map(|(&bi, &axi)| bi - axi).collect();
+        let w = a.transpose().matvec(&resid);
+
+        // Pick the most positive dual among active variables.
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..n {
+            if !passive[j] && w[j] > DUAL_TOLERANCE {
+                match best {
+                    Some((_, bw)) if bw >= w[j] => {}
+                    _ => best = Some((j, w[j])),
+                }
+            }
+        }
+        let Some((enter, _)) = best else {
+            // KKT satisfied: done.
+            let norm = resid.iter().map(|r| r * r).sum::<f64>().sqrt();
+            return Ok(NnlsSolution { x, residual_norm: norm, iterations });
+        };
+        passive[enter] = true;
+
+        // Inner loop: solve the unconstrained problem on the passive set and
+        // walk back along the segment to stay feasible.
+        loop {
+            iterations += 1;
+            if iterations > max_iterations * 10 {
+                return Err(NnlsError::IterationLimit);
+            }
+
+            let passive_idx: Vec<usize> = (0..n).filter(|&j| passive[j]).collect();
+            if passive_idx.len() > m {
+                // Underdetermined passive set (fewer observations than active
+                // coefficients): refuse the entering variable and keep the
+                // current iterate, mirroring the rank-deficient path.
+                passive[enter] = false;
+                break;
+            }
+            let sub = submatrix_cols(a, &passive_idx);
+            let z_sub = match QrDecomposition::new(&sub).solve(b) {
+                Some(z) => z,
+                None => {
+                    // Rank-deficient passive set: drop the entering variable
+                    // and accept the current iterate for it.
+                    passive[enter] = false;
+                    break;
+                }
+            };
+            let mut z = vec![0.0; n];
+            for (&j, &v) in passive_idx.iter().zip(z_sub.iter()) {
+                z[j] = v;
+            }
+
+            if passive_idx.iter().all(|&j| z[j] > 0.0) {
+                x = z;
+                break;
+            }
+
+            // Find the largest feasible step alpha towards z.
+            let mut alpha = f64::INFINITY;
+            for &j in &passive_idx {
+                if z[j] <= 0.0 {
+                    let denom = x[j] - z[j];
+                    if denom > 0.0 {
+                        alpha = alpha.min(x[j] / denom);
+                    }
+                }
+            }
+            if !alpha.is_finite() {
+                alpha = 0.0;
+            }
+            for j in 0..n {
+                if passive[j] {
+                    x[j] += alpha * (z[j] - x[j]);
+                }
+            }
+            // Move variables that hit zero back to the active set.
+            for j in 0..n {
+                if passive[j] && x[j].abs() < DUAL_TOLERANCE {
+                    x[j] = 0.0;
+                    passive[j] = false;
+                }
+            }
+        }
+    }
+}
+
+/// Gathers the given columns of `a` into a new matrix.
+fn submatrix_cols(a: &Matrix, cols: &[usize]) -> Matrix {
+    let m = a.rows();
+    let mut out = Matrix::zeros(m, cols.len());
+    for i in 0..m {
+        let row = a.row(i);
+        for (dst, &j) in cols.iter().enumerate() {
+            out[(i, dst)] = row[j];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> Vec<f64> {
+        a.matvec(x).iter().zip(b.iter()).map(|(ax, bi)| bi - ax).collect()
+    }
+
+    #[test]
+    fn unconstrained_optimum_already_nonnegative() {
+        // y = 1 + 2 t: NNLS must match ordinary least squares.
+        let ts = [1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(4, 2, |i, j| if j == 0 { 1.0 } else { ts[i] });
+        let b: Vec<f64> = ts.iter().map(|t| 1.0 + 2.0 * t).collect();
+        let sol = nnls(&a, &b).unwrap();
+        assert!((sol.x[0] - 1.0).abs() < 1e-8);
+        assert!((sol.x[1] - 2.0).abs() < 1e-8);
+        assert!(sol.residual_norm < 1e-8);
+    }
+
+    #[test]
+    fn clamps_negative_coefficient_to_zero() {
+        // Data generated by y = -1 + 2 t: the intercept must clamp to 0.
+        let ts = [1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(4, 2, |i, j| if j == 0 { 1.0 } else { ts[i] });
+        let b: Vec<f64> = ts.iter().map(|t| -1.0 + 2.0 * t).collect();
+        let sol = nnls(&a, &b).unwrap();
+        assert_eq!(sol.x[0], 0.0, "negative intercept must be clamped");
+        assert!(sol.x[1] > 0.0);
+        // Dual feasibility for the clamped variable: w_0 <= 0.
+        let r = residual(&a, &sol.x, &b);
+        let w = a.transpose().matvec(&r);
+        assert!(w[0] <= 1e-8, "KKT dual violated: w[0] = {}", w[0]);
+    }
+
+    #[test]
+    fn ernest_feature_matrix_fit() {
+        // Ernest model: t(x) = th1 + th2/x + th3 log x + th4 x with known
+        // non-negative coefficients must be recovered from clean data.
+        let scale_outs = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0];
+        let truth = [30.0, 400.0, 5.0, 2.0];
+        let a = Matrix::from_fn(6, 4, |i, j| {
+            let x = scale_outs[i];
+            match j {
+                0 => 1.0,
+                1 => 1.0 / x,
+                2 => x.ln(),
+                _ => x,
+            }
+        });
+        let b: Vec<f64> = scale_outs
+            .iter()
+            .map(|&x| truth[0] + truth[1] / x + truth[2] * x.ln() + truth[3] * x)
+            .collect();
+        let sol = nnls(&a, &b).unwrap();
+        for (got, want) in sol.x.iter().zip(truth.iter()) {
+            assert!((got - want).abs() < 1e-6, "coefficients {:?} != {:?}", sol.x, truth);
+        }
+    }
+
+    #[test]
+    fn all_zero_rhs_gives_zero_solution() {
+        let a = Matrix::from_fn(5, 3, |i, j| ((i + j) as f64).sin().abs() + 0.1);
+        let sol = nnls(&a, &[0.0; 5]).unwrap();
+        assert!(sol.x.iter().all(|&v| v == 0.0));
+        assert_eq!(sol.residual_norm, 0.0);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a = Matrix::zeros(3, 2);
+        let err = nnls(&a, &[1.0, 2.0]).unwrap_err();
+        assert_eq!(err, NnlsError::DimensionMismatch { rows: 3, rhs: 2 });
+    }
+
+    #[test]
+    fn kkt_conditions_hold_on_random_problems() {
+        // Deterministic pseudo-random problems; verify primal and dual
+        // feasibility plus complementary slackness.
+        let mut seed = 42u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for _ in 0..20 {
+            let a = Matrix::from_fn(10, 4, |_, _| next());
+            let b: Vec<f64> = (0..10).map(|_| next() * 3.0).collect();
+            let sol = nnls(&a, &b).unwrap();
+            let r = residual(&a, &sol.x, &b);
+            let w = a.transpose().matvec(&r);
+            for j in 0..4 {
+                assert!(sol.x[j] >= 0.0, "primal infeasible");
+                if sol.x[j] > 1e-10 {
+                    assert!(w[j].abs() < 1e-6, "stationarity violated: w[{j}]={}", w[j]);
+                } else {
+                    assert!(w[j] <= 1e-6, "dual infeasible: w[{j}]={}", w[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_matrix_still_terminates() {
+        // Two identical columns; solver must not loop forever.
+        let a = Matrix::from_fn(6, 3, |i, j| match j {
+            0 | 1 => (i + 1) as f64,
+            _ => 1.0,
+        });
+        let b: Vec<f64> = (0..6).map(|i| (i + 1) as f64 * 2.0 + 1.0).collect();
+        let sol = nnls(&a, &b).unwrap();
+        assert!(sol.x.iter().all(|&v| v >= 0.0));
+    }
+}

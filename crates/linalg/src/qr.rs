@@ -1,0 +1,256 @@
+//! Householder QR decomposition and least-squares solving.
+//!
+//! The decomposition is the workhorse behind [`crate::nnls()`]: every iteration
+//! of Lawson–Hanson solves an unconstrained least-squares problem restricted
+//! to the passive variable set, which we do via QR for numerical robustness
+//! (the normal equations square the condition number, and Ernest's design
+//! matrix `[1, 1/x, log x, x]` is poorly conditioned for small scale-outs).
+
+use crate::matrix::Matrix;
+
+/// A thin Householder QR decomposition of an `m x n` matrix with `m >= n`.
+///
+/// `Q` is represented implicitly by its Householder reflectors; [`Self::solve`]
+/// applies them to the right-hand side without materializing `Q`.
+pub struct QrDecomposition {
+    /// Packed factorization: upper triangle holds `R`, the strict lower
+    /// triangle plus `beta` hold the reflectors.
+    qr: Matrix,
+    /// Scalar `beta_k = v_k[k]` terms of the reflectors (diagonal of the
+    /// implicit `V` matrix).
+    betas: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl QrDecomposition {
+    /// Computes the decomposition of `a` (`m x n`, `m >= n`).
+    ///
+    /// # Panics
+    /// Panics if `a` has more columns than rows.
+    pub fn new(a: &Matrix) -> Self {
+        let (m, n) = a.shape();
+        assert!(m >= n, "QR requires rows >= cols, got {m}x{n}");
+        let mut qr = a.clone();
+        let mut betas = vec![0.0; n];
+
+        for k in 0..n {
+            // Norm of the k-th column below (and including) the diagonal.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                betas[k] = 0.0;
+                continue;
+            }
+            // Choose the sign that avoids cancellation.
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let vk = qr[(k, k)] - alpha;
+            betas[k] = vk;
+            // Store the reflector tail in place; R's diagonal entry is alpha.
+            qr[(k, k)] = alpha;
+            // v = [vk, qr[k+1..m, k]]; normalize applications by vtv.
+            let mut vtv = vk * vk;
+            for i in (k + 1)..m {
+                vtv += qr[(i, k)] * qr[(i, k)];
+            }
+            if vtv == 0.0 {
+                continue;
+            }
+            // Apply H = I - 2 v v^T / (v^T v) to the remaining columns.
+            for j in (k + 1)..n {
+                let mut dot = vk * qr[(k, j)];
+                for i in (k + 1)..m {
+                    dot += qr[(i, k)] * qr[(i, j)];
+                }
+                let factor = 2.0 * dot / vtv;
+                qr[(k, j)] -= factor * vk;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= factor * vik;
+                }
+            }
+        }
+
+        Self { qr, betas, rows: m, cols: n }
+    }
+
+    /// Returns the upper-triangular factor `R` (`n x n`).
+    pub fn r(&self) -> Matrix {
+        let n = self.cols;
+        let mut r = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r[(i, j)] = self.qr[(i, j)];
+            }
+        }
+        r
+    }
+
+    /// Reconstructs the thin `Q` factor (`m x n`) explicitly. Intended for
+    /// tests; solving goes through the implicit representation.
+    pub fn q(&self) -> Matrix {
+        let (m, n) = (self.rows, self.cols);
+        let mut q = Matrix::zeros(m, n);
+        for j in 0..n {
+            // Apply reflectors to the j-th standard basis vector.
+            let mut e = vec![0.0; m];
+            e[j] = 1.0;
+            // Q = H_0 H_1 ... H_{n-1}; apply in reverse order.
+            for k in (0..n).rev() {
+                self.apply_reflector(k, &mut e);
+            }
+            for i in 0..m {
+                q[(i, j)] = e[i];
+            }
+        }
+        q
+    }
+
+    /// Applies reflector `k` to the vector `x` in place.
+    #[allow(clippy::needless_range_loop)]
+    fn apply_reflector(&self, k: usize, x: &mut [f64]) {
+        let m = self.rows;
+        let vk = self.betas[k];
+        let mut vtv = vk * vk;
+        for i in (k + 1)..m {
+            vtv += self.qr[(i, k)] * self.qr[(i, k)];
+        }
+        if vtv == 0.0 {
+            return;
+        }
+        let mut dot = vk * x[k];
+        for i in (k + 1)..m {
+            dot += self.qr[(i, k)] * x[i];
+        }
+        let factor = 2.0 * dot / vtv;
+        x[k] -= factor * vk;
+        for i in (k + 1)..m {
+            x[i] -= factor * self.qr[(i, k)];
+        }
+    }
+
+    /// Solves the least-squares problem `min ||a x - b||_2` for the matrix
+    /// this decomposition was computed from.
+    ///
+    /// Returns `None` if `R` is numerically singular (rank-deficient system).
+    #[allow(clippy::needless_range_loop)]
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let n = self.cols;
+        // y = Q^T b: apply reflectors in forward order.
+        let mut y = b.to_vec();
+        for k in 0..n {
+            self.apply_reflector(k, &mut y);
+        }
+        // Back-substitution on R x = y[..n].
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.qr[(i, j)] * x[j];
+            }
+            let diag = self.qr[(i, i)];
+            if diag.abs() < 1e-12 {
+                return None;
+            }
+            x[i] = acc / diag;
+        }
+        Some(x)
+    }
+}
+
+/// Convenience wrapper: least-squares solution of `min ||a x - b||` via QR.
+///
+/// Returns `None` when the system is rank-deficient.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    QrDecomposition::new(a).solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, -1.0, 0.5],
+            vec![1.0, 3.0, -2.0],
+            vec![0.0, 1.0, 4.0],
+            vec![-1.5, 2.0, 1.0],
+            vec![0.3, -0.7, 2.2],
+        ]);
+        let qr = QrDecomposition::new(&a);
+        let rec = qr.q().matmul(&qr.r());
+        assert!(rec.max_abs_diff(&a) < 1e-10, "QR reconstruction failed: {rec:?}");
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = Matrix::from_fn(6, 3, |i, j| ((i + 1) as f64).powi(j as i32));
+        let q = QrDecomposition::new(&a).q();
+        let qtq = q.transpose_a_matmul(&q);
+        assert!(qtq.max_abs_diff(&Matrix::eye(3)) < 1e-10);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_fn(5, 4, |i, j| ((i * 4 + j) as f64 * 0.37).sin());
+        let r = QrDecomposition::new(&a).r();
+        for i in 1..4 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solves_square_system_exactly() {
+        let a = Matrix::from_rows(&[vec![3.0, 1.0], vec![1.0, 2.0]]);
+        let x = lstsq(&a, &[9.0, 8.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        // Overdetermined fit of y = 1 + 2 t with noise-free data must recover
+        // the coefficients exactly.
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(5, 2, |i, j| if j == 0 { 1.0 } else { ts[i] });
+        let b: Vec<f64> = ts.iter().map(|t| 1.0 + 2.0 * t).collect();
+        let x = lstsq(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal_to_columns() {
+        // Varying frequencies keep the columns linearly independent.
+        let a = Matrix::from_fn(8, 3, |i, j| (i as f64 * 0.73 * (j + 1) as f64).cos());
+        let b: Vec<f64> = (0..8).map(|i| (i as f64 * 1.1).sin()).collect();
+        let x = lstsq(&a, &b).unwrap();
+        let ax = a.matvec(&x);
+        let resid: Vec<f64> = b.iter().zip(ax.iter()).map(|(&bi, &ai)| bi - ai).collect();
+        // A^T r == 0 at the least-squares optimum.
+        let atr = a.transpose().matvec(&resid);
+        for v in atr {
+            assert!(v.abs() < 1e-9, "normal equations violated: {v}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
+        assert!(lstsq(&a, &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "rows >= cols")]
+    fn wide_matrix_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let _ = QrDecomposition::new(&a);
+    }
+}

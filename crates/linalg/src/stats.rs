@@ -1,0 +1,113 @@
+//! Small statistics helpers shared by the evaluation harness and tests.
+
+/// Arithmetic mean of a slice. Returns `NaN` for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Unbiased sample standard deviation. Returns `0.0` for fewer than two values.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Median of a slice (averaging the middle pair for even lengths).
+/// Returns `NaN` for an empty slice.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Linear-interpolation percentile (`q` in `[0, 1]`), matching numpy's default.
+/// Returns `NaN` for an empty slice.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    assert!((0.0..=1.0).contains(&q), "percentile q={q} outside [0,1]");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Min-max normalization of `v` into `[0, 1]` given training bounds.
+/// Degenerate bounds (`max <= min`) map everything to `0.5`.
+pub fn min_max_normalize(v: f64, min: f64, max: f64) -> f64 {
+    if max <= min {
+        0.5
+    } else {
+        (v - min) / (max - min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        // Sample std of this classic dataset is sqrt(32/7).
+        assert!((std_dev(&v) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(mean(&[]).is_nan());
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        assert!(median(&[]).is_nan());
+        assert!(percentile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 1.0), 40.0);
+        assert!((percentile(&v, 0.5) - 25.0).abs() < 1e-12);
+        assert!((percentile(&v, 0.25) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_normalize_bounds() {
+        assert_eq!(min_max_normalize(5.0, 0.0, 10.0), 0.5);
+        assert_eq!(min_max_normalize(0.0, 0.0, 10.0), 0.0);
+        assert_eq!(min_max_normalize(10.0, 0.0, 10.0), 1.0);
+        // Out-of-range inputs extrapolate linearly (inference beyond training bounds).
+        assert_eq!(min_max_normalize(20.0, 0.0, 10.0), 2.0);
+        // Degenerate bounds collapse to 0.5.
+        assert_eq!(min_max_normalize(7.0, 3.0, 3.0), 0.5);
+    }
+}

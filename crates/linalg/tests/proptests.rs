@@ -1,0 +1,148 @@
+//! Property-based tests for the linear algebra kernels.
+
+use bellamy_linalg::{lstsq, nnls, Matrix, QrDecomposition};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with the given shape and bounded elements.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Strategy: shape in a small range plus matching data.
+fn any_small_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..8, 1usize..8).prop_flat_map(|(r, c)| matrix(r, c))
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(a in any_small_matrix()) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_identity_left_right(a in any_small_matrix()) {
+        let il = Matrix::eye(a.rows());
+        let ir = Matrix::eye(a.cols());
+        prop_assert!(il.matmul(&a).max_abs_diff(&a) < 1e-12);
+        prop_assert!(a.matmul(&ir).max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        (a, b, c) in (1usize..6, 1usize..6, 1usize..6).prop_flat_map(|(m, k, n)| {
+            (matrix(m, k), matrix(k, n), matrix(k, n))
+        })
+    ) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+
+    #[test]
+    fn matmul_transpose_identity((a, b) in
+        (1usize..6, 1usize..6, 1usize..6).prop_flat_map(|(m, k, n)| {
+            (matrix(m, k), matrix(k, n))
+        })
+    ) {
+        // (A B)^T = B^T A^T
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+
+    #[test]
+    fn transposed_kernels_match_explicit((a, b) in
+        (1usize..6, 1usize..6, 1usize..6).prop_flat_map(|(m, k, n)| {
+            (matrix(m, k), matrix(n, k))
+        })
+    ) {
+        let explicit = a.matmul(&b.transpose());
+        let fused = a.matmul_transpose_b(&b);
+        prop_assert!(explicit.max_abs_diff(&fused) < 1e-10);
+    }
+
+    #[test]
+    fn hadamard_commutes((a, b) in (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
+        (matrix(r, c), matrix(r, c))
+    })) {
+        prop_assert!(a.hadamard(&b).max_abs_diff(&b.hadamard(&a)) < 1e-12);
+    }
+
+    #[test]
+    fn sum_rows_matches_scalar_sum(a in any_small_matrix()) {
+        let total_via_rows: f64 = a.sum_rows().as_slice().iter().sum();
+        prop_assert!((total_via_rows - a.sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concat_slice_round_trip((a, b) in (1usize..5, 1usize..5, 1usize..5).prop_flat_map(
+        |(r, c1, c2)| (matrix(r, c1), matrix(r, c2))
+    )) {
+        let joined = Matrix::concat_cols(&[&a, &b]);
+        prop_assert_eq!(joined.slice_cols(0, a.cols()), a.clone());
+        prop_assert_eq!(joined.slice_cols(a.cols(), a.cols() + b.cols()), b);
+    }
+
+    #[test]
+    fn qr_reconstruction((m, n) in (1usize..8, 1usize..8).prop_filter("m>=n", |(m, n)| m >= n)) {
+        // Deterministic well-conditioned test matrix per shape.
+        let a = Matrix::from_fn(m, n, |i, j| {
+            ((i + 1) as f64 * 0.37 * (j + 1) as f64).sin() + if i == j { 2.0 } else { 0.0 }
+        });
+        let qr = QrDecomposition::new(&a);
+        let rec = qr.q().matmul(&qr.r());
+        prop_assert!(rec.max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn lstsq_recovers_exact_solution(coef in proptest::collection::vec(-5.0f64..5.0, 3)) {
+        // Build consistent overdetermined system with distinct sample points.
+        let ts: [f64; 6] = [1.0, 2.0, 3.5, 5.0, 7.25, 9.0];
+        let a = Matrix::from_fn(6, 3, |i, j| ts[i].powi(j as i32));
+        let b: Vec<f64> = ts
+            .iter()
+            .map(|&t| coef[0] + coef[1] * t + coef[2] * t * t)
+            .collect();
+        let x = lstsq(&a, &b).expect("well-conditioned system");
+        for (got, want) in x.iter().zip(coef.iter()) {
+            prop_assert!((got - want).abs() < 1e-6, "{x:?} vs {coef:?}");
+        }
+    }
+
+    #[test]
+    fn nnls_is_primal_feasible_and_kkt(data in proptest::collection::vec(-3.0f64..3.0, 8 * 3),
+                                        rhs in proptest::collection::vec(-5.0f64..5.0, 8)) {
+        let a = Matrix::from_vec(8, 3, data);
+        let sol = nnls(&a, &rhs).expect("nnls should converge");
+        // Primal feasibility.
+        prop_assert!(sol.x.iter().all(|&v| v >= 0.0));
+        // Dual feasibility + complementary slackness.
+        let ax = a.matvec(&sol.x);
+        let resid: Vec<f64> = rhs.iter().zip(ax.iter()).map(|(&b, &v)| b - v).collect();
+        let w = a.transpose().matvec(&resid);
+        for j in 0..3 {
+            if sol.x[j] > 1e-9 {
+                prop_assert!(w[j].abs() < 1e-5, "stationarity: w[{}]={}", j, w[j]);
+            } else {
+                prop_assert!(w[j] <= 1e-5, "dual feasibility: w[{}]={}", j, w[j]);
+            }
+        }
+        // Residual norm is consistent.
+        let norm = resid.iter().map(|r| r * r).sum::<f64>().sqrt();
+        prop_assert!((norm - sol.residual_norm).abs() < 1e-8);
+    }
+
+    #[test]
+    fn nnls_never_beats_unconstrained(data in proptest::collection::vec(-3.0f64..3.0, 10 * 2),
+                                       rhs in proptest::collection::vec(-5.0f64..5.0, 10)) {
+        let a = Matrix::from_vec(10, 2, data);
+        let sol = nnls(&a, &rhs).expect("nnls should converge");
+        if let Some(x) = lstsq(&a, &rhs) {
+            let ax = a.matvec(&x);
+            let unc: f64 = rhs.iter().zip(ax.iter()).map(|(&b, &v)| (b - v) * (b - v)).sum::<f64>().sqrt();
+            prop_assert!(sol.residual_norm + 1e-7 >= unc,
+                "constrained residual {} below unconstrained {}", sol.residual_norm, unc);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Binary checkpoint format for model state.
+//!
+//! Bellamy's workflow is *pre-train → persist → fine-tune elsewhere*
+//! (§III-A), so checkpoints must round-trip exactly (bit-identical `f64`
+//! weights) and carry model metadata — the scale-out normalization bounds,
+//! target scale, and encoder configuration the model needs to be usable in a
+//! new process. The format is a small self-describing container:
+//!
+//! ```text
+//! magic  "BLMY"            4 bytes
+//! version u32 LE           currently 1
+//! n_meta  u32 LE           metadata entries
+//!   key_len u32 | key utf8 | val_len u32 | val utf8       (each entry)
+//! n_params u32 LE
+//!   name_len u32 | name utf8 | trainable u8 |
+//!   rows u64 | cols u64 | rows*cols f64 LE                (each tensor)
+//! ```
+
+use crate::params::ParamSet;
+use bellamy_linalg::Matrix;
+use bytes::{Buf, BufMut};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"BLMY";
+const VERSION: u32 = 1;
+
+/// A deserialized checkpoint: parameter values plus string metadata.
+#[derive(Debug, Clone, Default)]
+pub struct Checkpoint {
+    /// Named tensors with their trainability flags.
+    pub params: ParamSet,
+    /// Free-form key/value metadata (normalization bounds, dims, ...).
+    pub metadata: BTreeMap<String, String>,
+}
+
+/// Errors arising while decoding a checkpoint.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Leading magic bytes are wrong — not a checkpoint file.
+    BadMagic,
+    /// Version not understood by this build.
+    UnsupportedVersion(u32),
+    /// The byte stream ended early or a length field overflowed it.
+    Truncated,
+    /// A string field was not valid UTF-8.
+    InvalidUtf8,
+    /// Underlying I/O failure (message retained).
+    Io(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a Bellamy checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            CheckpointError::Truncated => write!(f, "checkpoint data truncated"),
+            CheckpointError::InvalidUtf8 => write!(f, "invalid UTF-8 in checkpoint"),
+            CheckpointError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl Checkpoint {
+    /// Creates a checkpoint from a parameter set and metadata.
+    pub fn new(params: ParamSet, metadata: BTreeMap<String, String>) -> Self {
+        Self { params, metadata }
+    }
+
+    /// Serializes to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + self.params.num_scalars() * 8);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+
+        buf.put_u32_le(self.metadata.len() as u32);
+        for (k, v) in &self.metadata {
+            put_string(&mut buf, k);
+            put_string(&mut buf, v);
+        }
+
+        buf.put_u32_le(self.params.len() as u32);
+        for (_, p) in self.params.iter() {
+            put_string(&mut buf, &p.name);
+            buf.put_u8(p.trainable as u8);
+            buf.put_u64_le(p.value.rows() as u64);
+            buf.put_u64_le(p.value.cols() as u64);
+            for &v in p.value.as_slice() {
+                buf.put_f64_le(v);
+            }
+        }
+        buf
+    }
+
+    /// Deserializes from bytes.
+    pub fn from_bytes(mut data: &[u8]) -> Result<Self, CheckpointError> {
+        if data.remaining() < 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = data.get_u32_le();
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+
+        let n_meta = read_u32(&mut data)? as usize;
+        let mut metadata = BTreeMap::new();
+        for _ in 0..n_meta {
+            let k = read_string(&mut data)?;
+            let v = read_string(&mut data)?;
+            metadata.insert(k, v);
+        }
+
+        let n_params = read_u32(&mut data)? as usize;
+        let mut params = ParamSet::new();
+        for _ in 0..n_params {
+            let name = read_string(&mut data)?;
+            if data.remaining() < 1 + 16 {
+                return Err(CheckpointError::Truncated);
+            }
+            let trainable = data.get_u8() != 0;
+            let rows = data.get_u64_le() as usize;
+            let cols = data.get_u64_le() as usize;
+            let count = rows
+                .checked_mul(cols)
+                .ok_or(CheckpointError::Truncated)?;
+            if data.remaining() < count * 8 {
+                return Err(CheckpointError::Truncated);
+            }
+            let mut values = Vec::with_capacity(count);
+            for _ in 0..count {
+                values.push(data.get_f64_le());
+            }
+            let id = params.register(name, Matrix::from_vec(rows, cols, values));
+            params.get_mut(id).trainable = trainable;
+        }
+        Ok(Self { params, metadata })
+    }
+
+    /// Writes the checkpoint to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        std::fs::write(path, self.to_bytes()).map_err(|e| CheckpointError::Io(e.to_string()))
+    }
+
+    /// Reads a checkpoint from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let data = std::fs::read(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        Self::from_bytes(&data)
+    }
+}
+
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn read_u32(data: &mut &[u8]) -> Result<u32, CheckpointError> {
+    if data.remaining() < 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    Ok(data.get_u32_le())
+}
+
+fn read_string(data: &mut &[u8]) -> Result<String, CheckpointError> {
+    let len = read_u32(data)? as usize;
+    if data.remaining() < len {
+        return Err(CheckpointError::Truncated);
+    }
+    let bytes = data.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| CheckpointError::InvalidUtf8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_checkpoint() -> Checkpoint {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ps = ParamSet::new();
+        ps.register_init("f.l1.weight", 3, 16, Init::HeNormal, &mut rng);
+        ps.register_init("f.l1.bias", 1, 16, Init::Zeros, &mut rng);
+        ps.register_init("g.l1.weight", 40, 8, Init::HeNormal, &mut rng);
+        ps.set_trainable_by_prefix("g.", false);
+        let mut meta = BTreeMap::new();
+        meta.insert("scale_out.min.0".to_string(), "0.0833333".to_string());
+        meta.insert("target_scale".to_string(), "1432.7".to_string());
+        Checkpoint::new(ps, meta)
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let ck = sample_checkpoint();
+        let bytes = ck.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back.metadata, ck.metadata);
+        assert_eq!(back.params.len(), ck.params.len());
+        for (id, p) in ck.params.iter() {
+            let q = back.params.get(back.params.find(&p.name).unwrap());
+            assert_eq!(q.value, p.value, "tensor {} must be bit-identical", p.name);
+            assert_eq!(q.trainable, p.trainable);
+            let _ = id;
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let ck = sample_checkpoint();
+        let dir = std::env::temp_dir().join("bellamy-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.blmy");
+        ck.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back.metadata, ck.metadata);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let err = Checkpoint::from_bytes(b"NOPE....rest").unwrap_err();
+        assert_eq!(err, CheckpointError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = sample_checkpoint().to_bytes();
+        for cut in [5, 9, 20, bytes.len() - 3] {
+            let err = Checkpoint::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::Truncated | CheckpointError::InvalidUtf8),
+                "cut at {cut}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_version_detected() {
+        let mut bytes = sample_checkpoint().to_bytes();
+        bytes[4] = 99; // patch the version field
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+        assert_eq!(err, CheckpointError::UnsupportedVersion(99));
+    }
+
+    #[test]
+    fn special_floats_survive() {
+        let mut ps = ParamSet::new();
+        ps.register(
+            "w",
+            Matrix::row_vector(&[0.0, -0.0, f64::MIN_POSITIVE, f64::MAX, 1e-300]),
+        );
+        let ck = Checkpoint::new(ps, BTreeMap::new());
+        let back = Checkpoint::from_bytes(&ck.to_bytes()).unwrap();
+        let id = back.params.find("w").unwrap();
+        let vals = back.params.get(id).value.as_slice().to_vec();
+        assert_eq!(vals[2], f64::MIN_POSITIVE);
+        assert_eq!(vals[3], f64::MAX);
+        assert_eq!(vals[4], 1e-300);
+    }
+
+    #[test]
+    fn empty_checkpoint_round_trips() {
+        let ck = Checkpoint::default();
+        let back = Checkpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert!(back.params.is_empty());
+        assert!(back.metadata.is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! Standard and alpha dropout.
+//!
+//! Bellamy's auto-encoder uses *alpha-dropout* (Klambauer et al. 2017)
+//! between its layers: the SELU-compatible variant that drops activations to
+//! `α' = -λα` (SELU's negative saturation value) instead of zero and then
+//! applies an affine correction so the self-normalizing property — zero mean,
+//! unit variance — survives training noise.
+
+use crate::graph::Graph;
+use bellamy_autograd::NodeId;
+use bellamy_linalg::Matrix;
+use rand::{Rng, RngExt};
+
+/// Standard (inverted) dropout: zeroes with probability `p`, scales kept
+/// activations by `1/(1-p)` so expectations match at inference time.
+#[derive(Debug, Clone, Copy)]
+pub struct Dropout {
+    p: f64,
+}
+
+impl Dropout {
+    /// Creates a dropout layer dropping with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability {p} outside [0,1)");
+        Self { p }
+    }
+
+    /// Drop probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Applies dropout. Identity when `training` is false or `p == 0`.
+    pub fn forward(
+        &self,
+        g: &mut Graph<'_>,
+        x: NodeId,
+        training: bool,
+        rng: &mut impl Rng,
+    ) -> NodeId {
+        if !training || self.p == 0.0 {
+            return x;
+        }
+        let keep = 1.0 - self.p;
+        let shape = g.value(x).shape();
+        let mask = bernoulli_mask(shape, keep, rng);
+        let shift = Matrix::zeros(shape.0, shape.1);
+        g.tape.dropout(x, mask, 1.0 / keep, &shift)
+    }
+}
+
+/// Alpha dropout for SELU networks.
+///
+/// With keep probability `q = 1 - p`, dropped units are set to
+/// `α' = -λα` and the result is transformed affinely by
+/// `a = (q + α'² q (1-q))^{-1/2}` and `b = -a (1-q) α'`, preserving zero mean
+/// and unit variance of self-normalized activations.
+#[derive(Debug, Clone, Copy)]
+pub struct AlphaDropout {
+    p: f64,
+}
+
+impl AlphaDropout {
+    /// Creates an alpha-dropout layer dropping with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability {p} outside [0,1)");
+        Self { p }
+    }
+
+    /// Drop probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The affine constants `(a, b)` for this drop probability.
+    pub fn affine_constants(&self) -> (f64, f64) {
+        let q = 1.0 - self.p;
+        let alpha_prime = bellamy_autograd::ops::SELU_ALPHA_PRIME;
+        let a = (q + alpha_prime * alpha_prime * q * (1.0 - q)).powf(-0.5);
+        let b = -a * (1.0 - q) * alpha_prime;
+        (a, b)
+    }
+
+    /// Applies alpha dropout. Identity when `training` is false or `p == 0`.
+    pub fn forward(
+        &self,
+        g: &mut Graph<'_>,
+        x: NodeId,
+        training: bool,
+        rng: &mut impl Rng,
+    ) -> NodeId {
+        if !training || self.p == 0.0 {
+            return x;
+        }
+        let q = 1.0 - self.p;
+        let (a, b) = self.affine_constants();
+        let alpha_prime = bellamy_autograd::ops::SELU_ALPHA_PRIME;
+        let shape = g.value(x).shape();
+        let mask = bernoulli_mask(shape, q, rng);
+        // y = a·(x⊙mask) + [a·α'·(1-mask) + b]  — the bracket is constant.
+        let shift = mask.map(|m| a * alpha_prime * (1.0 - m) + b);
+        g.tape.dropout(x, mask, a, &shift)
+    }
+}
+
+/// A 0/1 mask keeping each element with probability `keep`.
+fn bernoulli_mask(shape: (usize, usize), keep: f64, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(shape.0, shape.1, |_, _| if rng.random::<f64>() < keep { 1.0 } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn constant_input(g: &mut Graph<'_>, rows: usize, cols: usize, v: f64) -> NodeId {
+        g.input(Matrix::filled(rows, cols, v))
+    }
+
+    #[test]
+    fn inference_mode_is_identity() {
+        let ps = ParamSet::new();
+        let mut g = Graph::new(&ps);
+        let x = constant_input(&mut g, 2, 3, 1.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = Dropout::new(0.5).forward(&mut g, x, false, &mut rng);
+        assert_eq!(d, x);
+        let a = AlphaDropout::new(0.5).forward(&mut g, x, false, &mut rng);
+        assert_eq!(a, x);
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_training() {
+        let ps = ParamSet::new();
+        let mut g = Graph::new(&ps);
+        let x = constant_input(&mut g, 2, 2, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(Dropout::new(0.0).forward(&mut g, x, true, &mut rng), x);
+        assert_eq!(AlphaDropout::new(0.0).forward(&mut g, x, true, &mut rng), x);
+    }
+
+    #[test]
+    fn standard_dropout_preserves_expectation() {
+        let ps = ParamSet::new();
+        let mut g = Graph::new(&ps);
+        let x = constant_input(&mut g, 200, 50, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let y = Dropout::new(0.2).forward(&mut g, x, true, &mut rng);
+        let mean = g.value(y).mean();
+        assert!((mean - 1.0).abs() < 0.02, "inverted dropout mean {mean} should be ~1");
+    }
+
+    #[test]
+    fn alpha_dropout_preserves_mean_and_variance() {
+        // Feed standard-normal-ish data; statistics must be approximately
+        // preserved (the whole point of alpha dropout).
+        let ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = Matrix::from_fn(400, 50, |_, _| crate::init::normal(&mut rng));
+        let mut g = Graph::new(&ps);
+        let x = g.input(data);
+        let y = AlphaDropout::new(0.1).forward(&mut g, x, true, &mut rng);
+        let out = g.value(y);
+        let mean = out.mean();
+        let var = out
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / (out.len() - 1) as f64;
+        assert!(mean.abs() < 0.02, "alpha dropout mean {mean} should be ~0");
+        assert!((var - 1.0).abs() < 0.06, "alpha dropout variance {var} should be ~1");
+    }
+
+    #[test]
+    fn dropped_units_take_alpha_prime_affine_value() {
+        let ps = ParamSet::new();
+        let mut g = Graph::new(&ps);
+        let x = constant_input(&mut g, 30, 30, 3.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let layer = AlphaDropout::new(0.5);
+        let (a, b) = layer.affine_constants();
+        let y = layer.forward(&mut g, x, true, &mut rng);
+        let dropped_value = a * bellamy_autograd::ops::SELU_ALPHA_PRIME + b;
+        let kept_value = a * 3.0 + b;
+        for &v in g.value(y).as_slice() {
+            assert!(
+                (v - dropped_value).abs() < 1e-9 || (v - kept_value).abs() < 1e-9,
+                "unexpected alpha-dropout output {v}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1)")]
+    fn rejects_invalid_probability() {
+        let _ = Dropout::new(1.0);
+    }
+}

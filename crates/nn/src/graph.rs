@@ -1,0 +1,133 @@
+//! Per-step graph builder: binds [`ParamSet`] parameters onto a fresh
+//! autodiff tape and maps gradients back to parameter handles.
+
+use crate::params::{ParamId, ParamSet};
+use bellamy_autograd::{Gradients, NodeId, Tape};
+use bellamy_linalg::Matrix;
+
+/// Gradients keyed by parameter handle.
+///
+/// Parameters the loss does not depend on (e.g. a frozen branch that was
+/// never used in the forward pass) have no entry.
+pub struct GradMap {
+    by_param: Vec<Option<Matrix>>,
+}
+
+impl GradMap {
+    /// Gradient for `id`, if the loss depends on it.
+    pub fn get(&self, id: ParamId) -> Option<&Matrix> {
+        self.by_param.get(id.index()).and_then(|g| g.as_ref())
+    }
+
+    /// Global gradient L2 norm across all present entries.
+    pub fn l2_norm(&self) -> f64 {
+        self.by_param
+            .iter()
+            .flatten()
+            .map(|g| {
+                let n = g.frobenius_norm();
+                n * n
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// A one-shot forward graph over a parameter set.
+///
+/// Parameters are bound lazily: the first [`Graph::param`] call for a handle
+/// copies its current value onto the tape as a leaf. After building a scalar
+/// loss, [`Graph::backward`] returns a [`GradMap`] the optimizer consumes.
+pub struct Graph<'p> {
+    /// The underlying tape; exposed so model code can use any tape op.
+    pub tape: Tape,
+    params: &'p ParamSet,
+    bound: Vec<Option<NodeId>>,
+}
+
+impl<'p> Graph<'p> {
+    /// Starts a new graph over `params`.
+    pub fn new(params: &'p ParamSet) -> Self {
+        Self { tape: Tape::new(), params, bound: vec![None; params.len()] }
+    }
+
+    /// Node for a parameter, binding it as a leaf on first use.
+    pub fn param(&mut self, id: ParamId) -> NodeId {
+        if let Some(node) = self.bound[id.index()] {
+            return node;
+        }
+        let node = self.tape.leaf(self.params.get(id).value.clone());
+        self.bound[id.index()] = Some(node);
+        node
+    }
+
+    /// Registers a constant input (no gradient is reported for it).
+    pub fn input(&mut self, value: Matrix) -> NodeId {
+        self.tape.leaf(value)
+    }
+
+    /// Forward value of any node.
+    pub fn value(&self, node: NodeId) -> &Matrix {
+        self.tape.value(node)
+    }
+
+    /// Runs the backward sweep from the scalar `loss` node and gathers
+    /// gradients for every bound parameter.
+    pub fn backward(&self, loss: NodeId) -> GradMap {
+        let grads: Gradients = self.tape.backward(loss);
+        let by_param = self
+            .bound
+            .iter()
+            .map(|slot| slot.and_then(|node| grads.get(node).cloned()))
+            .collect();
+        GradMap { by_param }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn param_binding_is_idempotent() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Matrix::row_vector(&[1.0, 2.0]));
+        let mut g = Graph::new(&ps);
+        let n1 = g.param(w);
+        let n2 = g.param(w);
+        assert_eq!(n1, n2, "same parameter must map to one leaf");
+        assert_eq!(g.tape.len(), 1);
+    }
+
+    #[test]
+    fn gradients_route_to_params() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ps = ParamSet::new();
+        let w = ps.register_init("w", 2, 1, Init::HeNormal, &mut rng);
+        let unused = ps.register_init("u", 2, 2, Init::HeNormal, &mut rng);
+
+        let mut g = Graph::new(&ps);
+        let x = g.input(Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let w_node = g.param(w);
+        let y = g.tape.matmul(x, w_node);
+        let loss = g.tape.mse_loss(y, Matrix::col_vector(&[1.0, 1.0]));
+        let grads = g.backward(loss);
+
+        assert!(grads.get(w).is_some());
+        assert!(grads.get(unused).is_none());
+        assert!(grads.l2_norm() > 0.0);
+    }
+
+    #[test]
+    fn param_uses_current_value() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Matrix::row_vector(&[2.0]));
+        ps.get_mut(w).value = Matrix::row_vector(&[5.0]);
+        let mut g = Graph::new(&ps);
+        let node = g.param(w);
+        assert_eq!(g.value(node)[(0, 0)], 5.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Weight initialization schemes.
+//!
+//! The paper initializes all layers "using He initialization in accordance
+//! with the specific properties of our activation" (§IV-A). For SELU the
+//! self-normalizing property additionally motivates LeCun-normal; both are
+//! provided (plus Xavier for completeness) and the choice is part of the
+//! model configuration so it can be ablated.
+
+use bellamy_linalg::Matrix;
+use rand::{Rng, RngExt};
+
+/// Initialization scheme for a `fan_in x fan_out` weight matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// `N(0, 2 / fan_in)` — He et al. 2015, matched to ReLU-family gains.
+    HeNormal,
+    /// `N(0, 1 / fan_in)` — the initialization SELU's fixed point assumes.
+    LecunNormal,
+    /// `N(0, 2 / (fan_in + fan_out))` — Glorot & Bengio 2010.
+    XavierNormal,
+    /// All zeros (bias vectors).
+    Zeros,
+}
+
+impl Init {
+    /// Draws a `rows x cols` matrix. `rows` is treated as `fan_in`, matching
+    /// the `x @ W` layout used throughout the workspace.
+    pub fn sample(self, rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+        match self {
+            Init::Zeros => Matrix::zeros(rows, cols),
+            _ => {
+                let std = self.std_dev(rows, cols);
+                let mut m = Matrix::zeros(rows, cols);
+                for v in m.as_mut_slice() {
+                    *v = normal(rng) * std;
+                }
+                m
+            }
+        }
+    }
+
+    /// The standard deviation this scheme uses for the given shape.
+    pub fn std_dev(self, fan_in: usize, fan_out: usize) -> f64 {
+        let fan_in = fan_in.max(1) as f64;
+        let fan_out = fan_out.max(1) as f64;
+        match self {
+            Init::HeNormal => (2.0 / fan_in).sqrt(),
+            Init::LecunNormal => (1.0 / fan_in).sqrt(),
+            Init::XavierNormal => (2.0 / (fan_in + fan_out)).sqrt(),
+            Init::Zeros => 0.0,
+        }
+    }
+
+    /// Name used in checkpoints and config printouts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Init::HeNormal => "he_normal",
+            Init::LecunNormal => "lecun_normal",
+            Init::XavierNormal => "xavier_normal",
+            Init::Zeros => "zeros",
+        }
+    }
+}
+
+/// Standard normal draw via the Box–Muller transform.
+///
+/// Implemented locally so the `nn` crate does not need `rand_distr`.
+pub fn normal(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.random::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue; // avoid ln(0)
+        }
+        let u2: f64 = rng.random::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = Init::Zeros.sample(4, 5, &mut rng);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn he_normal_statistics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let fan_in = 64;
+        let m = Init::HeNormal.sample(fan_in, 400, &mut rng);
+        let mean = m.mean();
+        let var = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / (m.len() - 1) as f64;
+        let want = 2.0 / fan_in as f64;
+        assert!(mean.abs() < 0.01, "mean {mean} too far from 0");
+        assert!(
+            (var - want).abs() / want < 0.1,
+            "variance {var} too far from {want}"
+        );
+    }
+
+    #[test]
+    fn lecun_scales_down_relative_to_he() {
+        assert!(
+            (Init::LecunNormal.std_dev(16, 8) * 2.0f64.sqrt() - Init::HeNormal.std_dev(16, 8))
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn xavier_symmetric_in_fans() {
+        assert_eq!(Init::XavierNormal.std_dev(8, 24), Init::XavierNormal.std_dev(24, 8));
+    }
+
+    #[test]
+    fn normal_draw_statistics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Init::HeNormal.sample(3, 3, &mut StdRng::seed_from_u64(5));
+        let b = Init::HeNormal.sample(3, 3, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,40 @@
+//! Neural-network toolkit for the Bellamy reproduction.
+//!
+//! Provides the pieces the paper's prototype takes from PyTorch + Ignite:
+//!
+//! - named, freezable parameters ([`params::ParamSet`]),
+//! - a per-step graph builder binding parameters onto an autodiff tape
+//!   ([`graph::Graph`]),
+//! - linear layers with configurable activation ([`linear::Linear`]),
+//! - He / LeCun / Xavier initialization ([`init::Init`]),
+//! - standard and alpha dropout ([`dropout`]) — alpha dropout is the
+//!   SELU-compatible variant Bellamy uses inside its auto-encoder,
+//! - Adam with L2 weight decay ([`optim::Adam`]),
+//! - learning-rate schedules including the cyclical annealing used for
+//!   fine-tuning ([`schedule`]),
+//! - the paper's early-stopping rule (MAE target or patience) ([`stopping`]),
+//! - a self-describing binary checkpoint format ([`checkpoint`]) so a
+//!   pre-trained model can be "preserved appropriately and fine-tuned as
+//!   needed" (§III-A).
+
+pub mod checkpoint;
+pub mod dropout;
+pub mod graph;
+pub mod init;
+pub mod linear;
+pub mod metrics;
+pub mod optim;
+pub mod params;
+pub mod schedule;
+pub mod stopping;
+
+pub use bellamy_autograd::Activation;
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use dropout::{AlphaDropout, Dropout};
+pub use graph::{GradMap, Graph};
+pub use init::Init;
+pub use linear::Linear;
+pub use optim::{Adam, AdamConfig, AnyOptimizer, OptimizerChoice, Sgd, SgdConfig};
+pub use params::{ParamId, ParamSet};
+pub use schedule::{ConstantLr, CyclicalAnnealingLr, LrSchedule};
+pub use stopping::{EarlyStopping, StopDecision};

@@ -1,0 +1,156 @@
+//! Fully-connected layer with an optional bias and a fused activation.
+
+use crate::graph::Graph;
+use crate::init::Init;
+use crate::params::{ParamId, ParamSet};
+use bellamy_autograd::{Activation, NodeId};
+use rand::Rng;
+
+/// A linear layer `y = act(x W (+ b))` with `W: in_dim x out_dim`.
+///
+/// The paper's §IV-A prescribes an activation after *every* linear layer
+/// (SELU everywhere, tanh on the decoder output), so the activation is part
+/// of the layer; pass [`Activation::Identity`] to opt out. The auto-encoder
+/// layers "waive additional additive biases", hence the `bias` switch.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: ParamId,
+    bias: Option<ParamId>,
+    activation: Activation,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a new layer's parameters under `name` (creating
+    /// `{name}.weight` and optionally `{name}.bias`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        params: &mut ParamSet,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        with_bias: bool,
+        activation: Activation,
+        init: Init,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let weight =
+            params.register_init(format!("{name}.weight"), in_dim, out_dim, init, rng);
+        let bias = with_bias
+            .then(|| params.register_init(format!("{name}.bias"), 1, out_dim, Init::Zeros, rng));
+        Self { weight, bias, activation, in_dim, out_dim }
+    }
+
+    /// Reconstructs the handle from an existing parameter set (after loading
+    /// a checkpoint). Returns `None` when the expected names are missing.
+    pub fn from_existing(
+        params: &ParamSet,
+        name: &str,
+        activation: Activation,
+    ) -> Option<Self> {
+        let weight = params.find(&format!("{name}.weight"))?;
+        let bias = params.find(&format!("{name}.bias"));
+        let (in_dim, out_dim) = params.get(weight).value.shape();
+        Some(Self { weight, bias, activation, in_dim, out_dim })
+    }
+
+    /// Applies the layer within a graph.
+    pub fn forward(&self, g: &mut Graph<'_>, x: NodeId) -> NodeId {
+        let w = g.param(self.weight);
+        let mut y = g.tape.matmul(x, w);
+        if let Some(b) = self.bias {
+            let b = g.param(b);
+            y = g.tape.add_bias(y, b);
+        }
+        match self.activation {
+            Activation::Identity => y,
+            act => g.tape.activate(y, act),
+        }
+    }
+
+    /// Weight parameter handle.
+    pub fn weight(&self) -> ParamId {
+        self.weight
+    }
+
+    /// Bias parameter handle, when the layer has one.
+    pub fn bias(&self) -> Option<ParamId> {
+        self.bias
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The layer's activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bellamy_linalg::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes_and_bias() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ps = ParamSet::new();
+        let layer = Linear::new(&mut ps, "l", 3, 4, true, Activation::Identity, Init::HeNormal, &mut rng);
+        assert_eq!(layer.in_dim(), 3);
+        assert_eq!(layer.out_dim(), 4);
+        assert!(ps.find("l.weight").is_some());
+        assert!(ps.find("l.bias").is_some());
+
+        let mut g = Graph::new(&ps);
+        let x = g.input(Matrix::zeros(5, 3));
+        let y = layer.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), (5, 4));
+        // Zero input + zero bias -> zero output for identity activation.
+        assert_eq!(g.value(y).sum(), 0.0);
+    }
+
+    #[test]
+    fn no_bias_layer_registers_single_param() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ps = ParamSet::new();
+        let layer = Linear::new(&mut ps, "enc", 40, 8, false, Activation::Selu, Init::HeNormal, &mut rng);
+        assert!(layer.bias().is_none());
+        assert_eq!(ps.len(), 1);
+    }
+
+    #[test]
+    fn activation_is_applied() {
+        let mut ps = ParamSet::new();
+        ps.register("l.weight", Matrix::from_rows(&[vec![1.0]]));
+        let layer = Linear::from_existing(&ps, "l", Activation::Relu).unwrap();
+        let mut g = Graph::new(&ps);
+        let x = g.input(Matrix::col_vector(&[-3.0, 2.0]));
+        let y = layer.forward(&mut g, x);
+        assert_eq!(g.value(y), &Matrix::col_vector(&[0.0, 2.0]));
+    }
+
+    #[test]
+    fn from_existing_round_trip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ps = ParamSet::new();
+        let original =
+            Linear::new(&mut ps, "f.l1", 3, 16, true, Activation::Selu, Init::HeNormal, &mut rng);
+        let restored = Linear::from_existing(&ps, "f.l1", Activation::Selu).unwrap();
+        assert_eq!(restored.weight(), original.weight());
+        assert_eq!(restored.bias(), original.bias());
+        assert_eq!(restored.in_dim(), 3);
+        assert_eq!(restored.out_dim(), 16);
+        assert!(Linear::from_existing(&ps, "missing", Activation::Selu).is_none());
+    }
+}

@@ -1,0 +1,87 @@
+//! Prediction-quality metrics used across training loops and the evaluation
+//! harness: MAE (the paper's stopping/aggregation metric, Fig. 6/8) and MRE
+//! (Fig. 5), plus RMSE for completeness.
+
+/// Mean absolute error between predictions and targets.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn mae(pred: &[f64], target: &[f64]) -> f64 {
+    check(pred, target);
+    pred.iter()
+        .zip(target.iter())
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Mean relative error `|p - t| / max(|t|, eps)` — the paper's Fig. 5 metric.
+///
+/// The guard `eps = 1e-9` protects against zero targets (never produced by
+/// the workload generators, but the harness should not be able to divide by
+/// zero regardless).
+pub fn mre(pred: &[f64], target: &[f64]) -> f64 {
+    check(pred, target);
+    pred.iter()
+        .zip(target.iter())
+        .map(|(p, t)| (p - t).abs() / t.abs().max(1e-9))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(pred: &[f64], target: &[f64]) -> f64 {
+    check(pred, target);
+    (pred.iter()
+        .zip(target.iter())
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64)
+        .sqrt()
+}
+
+fn check(pred: &[f64], target: &[f64]) {
+    assert_eq!(pred.len(), target.len(), "prediction/target length mismatch");
+    assert!(!pred.is_empty(), "metrics need at least one sample");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_known_value() {
+        assert_eq!(mae(&[1.0, 2.0, 3.0], &[2.0, 2.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn mre_known_value() {
+        // |10-8|/8 = 0.25, |6-4|/4 = 0.5 -> mean 0.375
+        assert!((mre(&[10.0, 6.0], &[8.0, 4.0]) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        assert!((rmse(&[3.0, 0.0], &[0.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_prediction_is_zero() {
+        let v = [10.0, 20.0, 30.0];
+        assert_eq!(mae(&v, &v), 0.0);
+        assert_eq!(mre(&v, &v), 0.0);
+        assert_eq!(rmse(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn mre_guards_zero_targets() {
+        let v = mre(&[1.0], &[0.0]);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = mae(&[1.0], &[1.0, 2.0]);
+    }
+}

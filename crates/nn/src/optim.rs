@@ -1,0 +1,421 @@
+//! The Adam optimizer with L2 weight decay.
+//!
+//! Matches PyTorch's `torch.optim.Adam` semantics, which the paper's
+//! prototype uses (Table I): weight decay is added to the gradient
+//! (`g += wd * θ`) rather than decoupled à la AdamW, and bias-corrected
+//! first/second moments drive the update.
+
+use crate::graph::GradMap;
+use crate::params::ParamSet;
+use bellamy_linalg::Matrix;
+
+/// Hyperparameters for [`Adam`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdamConfig {
+    /// Step size.
+    pub lr: f64,
+    /// Exponential decay for the first moment.
+    pub beta1: f64,
+    /// Exponential decay for the second moment.
+    pub beta2: f64,
+    /// Numerical fuzz in the denominator.
+    pub eps: f64,
+    /// L2 penalty coefficient added to gradients.
+    pub weight_decay: f64,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+    }
+}
+
+impl AdamConfig {
+    /// Config with the given learning rate, PyTorch-default betas/eps.
+    pub fn with_lr(lr: f64) -> Self {
+        Self { lr, ..Self::default() }
+    }
+
+    /// Builder-style weight decay.
+    pub fn weight_decay(mut self, wd: f64) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+/// Adam state: per-parameter moment estimates in registration order.
+pub struct Adam {
+    config: AdamConfig,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates optimizer state shaped after `params`.
+    pub fn new(params: &ParamSet, config: AdamConfig) -> Self {
+        let m = params
+            .iter()
+            .map(|(_, p)| Matrix::zeros(p.value.rows(), p.value.cols()))
+            .collect();
+        let v = params
+            .iter()
+            .map(|(_, p)| Matrix::zeros(p.value.rows(), p.value.cols()))
+            .collect();
+        Self { config, m, v, t: 0 }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f64 {
+        self.config.lr
+    }
+
+    /// Replaces the learning rate (used by schedules between epochs).
+    pub fn set_lr(&mut self, lr: f64) {
+        self.config.lr = lr;
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Resets moment estimates and the step counter (used when a component
+    /// is re-initialized by the reset reuse strategies).
+    pub fn reset_state(&mut self) {
+        for m in &mut self.m {
+            m.fill(0.0);
+        }
+        for v in &mut self.v {
+            v.fill(0.0);
+        }
+        self.t = 0;
+    }
+
+    /// Applies one update. Frozen parameters and parameters without a
+    /// gradient entry are skipped (their moment buffers stay untouched).
+    pub fn step(&mut self, params: &mut ParamSet, grads: &GradMap) {
+        self.t += 1;
+        let t = self.t as i32;
+        let c = self.config;
+        let bias1 = 1.0 - c.beta1.powi(t);
+        let bias2 = 1.0 - c.beta2.powi(t);
+
+        let ids: Vec<_> = params.iter().map(|(id, _)| id).collect();
+        for id in ids {
+            let Some(grad) = grads.get(id) else { continue };
+            let p = params.get_mut(id);
+            if !p.trainable {
+                continue;
+            }
+            let idx = id.index();
+            let m = &mut self.m[idx];
+            let v = &mut self.v[idx];
+            let value = p.value.as_mut_slice();
+            let g = grad.as_slice();
+            for i in 0..value.len() {
+                let gi = g[i] + c.weight_decay * value[i];
+                let mi = c.beta1 * m.as_slice()[i] + (1.0 - c.beta1) * gi;
+                let vi = c.beta2 * v.as_slice()[i] + (1.0 - c.beta2) * gi * gi;
+                m.as_mut_slice()[i] = mi;
+                v.as_mut_slice()[i] = vi;
+                let m_hat = mi / bias1;
+                let v_hat = vi / bias2;
+                value[i] -= c.lr * m_hat / (v_hat.sqrt() + c.eps);
+            }
+        }
+    }
+}
+
+/// Hyperparameters for [`Sgd`].
+#[derive(Debug, Clone, Copy)]
+pub struct SgdConfig {
+    /// Step size.
+    pub lr: f64,
+    /// Classical momentum coefficient (0 disables momentum).
+    pub momentum: f64,
+    /// L2 penalty coefficient added to gradients.
+    pub weight_decay: f64,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        Self { lr: 1e-2, momentum: 0.9, weight_decay: 0.0 }
+    }
+}
+
+/// Stochastic gradient descent with classical momentum.
+///
+/// Not used by the paper's training recipe (Table I prescribes Adam); kept
+/// for the optimizer ablation (`repro -- ablate-optimizer`) and as a
+/// reference implementation.
+pub struct Sgd {
+    config: SgdConfig,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    /// Creates optimizer state shaped after `params`.
+    pub fn new(params: &ParamSet, config: SgdConfig) -> Self {
+        let velocity = params
+            .iter()
+            .map(|(_, p)| Matrix::zeros(p.value.rows(), p.value.cols()))
+            .collect();
+        Self { config, velocity }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f64 {
+        self.config.lr
+    }
+
+    /// Replaces the learning rate.
+    pub fn set_lr(&mut self, lr: f64) {
+        self.config.lr = lr;
+    }
+
+    /// Applies one update (skips frozen / gradient-less parameters).
+    pub fn step(&mut self, params: &mut ParamSet, grads: &GradMap) {
+        let c = self.config;
+        let ids: Vec<_> = params.iter().map(|(id, _)| id).collect();
+        for id in ids {
+            let Some(grad) = grads.get(id) else { continue };
+            let p = params.get_mut(id);
+            if !p.trainable {
+                continue;
+            }
+            let v = &mut self.velocity[id.index()];
+            let value = p.value.as_mut_slice();
+            let g = grad.as_slice();
+            for i in 0..value.len() {
+                let gi = g[i] + c.weight_decay * value[i];
+                let vi = c.momentum * v.as_slice()[i] + gi;
+                v.as_mut_slice()[i] = vi;
+                value[i] -= c.lr * vi;
+            }
+        }
+    }
+}
+
+/// Which optimizer a training loop should instantiate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimizerChoice {
+    /// Adam with the given weight decay (the paper's choice).
+    Adam,
+    /// SGD with the given momentum.
+    Sgd {
+        /// Momentum coefficient.
+        momentum: f64,
+    },
+}
+
+/// Runtime-dispatched optimizer, so training loops can switch per config.
+pub enum AnyOptimizer {
+    /// Adam state.
+    Adam(Adam),
+    /// SGD state.
+    Sgd(Sgd),
+}
+
+impl AnyOptimizer {
+    /// Builds the chosen optimizer with a shared `(lr, weight_decay)` pair.
+    pub fn build(
+        choice: OptimizerChoice,
+        params: &ParamSet,
+        lr: f64,
+        weight_decay: f64,
+    ) -> Self {
+        match choice {
+            OptimizerChoice::Adam => {
+                AnyOptimizer::Adam(Adam::new(params, AdamConfig::with_lr(lr).weight_decay(weight_decay)))
+            }
+            OptimizerChoice::Sgd { momentum } => AnyOptimizer::Sgd(Sgd::new(
+                params,
+                SgdConfig { lr, momentum, weight_decay },
+            )),
+        }
+    }
+
+    /// Applies one update.
+    pub fn step(&mut self, params: &mut ParamSet, grads: &GradMap) {
+        match self {
+            AnyOptimizer::Adam(o) => o.step(params, grads),
+            AnyOptimizer::Sgd(o) => o.step(params, grads),
+        }
+    }
+
+    /// Replaces the learning rate.
+    pub fn set_lr(&mut self, lr: f64) {
+        match self {
+            AnyOptimizer::Adam(o) => o.set_lr(lr),
+            AnyOptimizer::Sgd(o) => o.set_lr(lr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::params::ParamSet;
+    use bellamy_linalg::Matrix;
+
+    /// One gradient step on f(w) = w^2 from w=1: the bias-corrected first
+    /// step moves by exactly lr (Adam's signSGD-like first step).
+    #[test]
+    fn first_step_magnitude_is_lr() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Matrix::row_vector(&[1.0]));
+        let mut opt = Adam::new(&ps, AdamConfig::with_lr(0.1));
+
+        let mut g = Graph::new(&ps);
+        let w_node = g.param(w);
+        let sq = g.tape.mul(w_node, w_node);
+        let loss = g.tape.sum(sq);
+        let grads = g.backward(loss);
+        opt.step(&mut ps, &grads);
+
+        let v = ps.get(w).value[(0, 0)];
+        assert!((v - 0.9).abs() < 1e-6, "expected ~0.9, got {v}");
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Matrix::row_vector(&[5.0, -3.0]));
+        let target = Matrix::row_vector(&[2.0, 1.0]);
+        let mut opt = Adam::new(&ps, AdamConfig::with_lr(0.05));
+        for _ in 0..2000 {
+            let mut g = Graph::new(&ps);
+            let w_node = g.param(w);
+            let loss = g.tape.mse_loss(w_node, target.clone());
+            let grads = g.backward(loss);
+            opt.step(&mut ps, &grads);
+        }
+        assert!(ps.get(w).value.max_abs_diff(&target) < 1e-3);
+    }
+
+    #[test]
+    fn frozen_params_do_not_move() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Matrix::row_vector(&[1.0]));
+        ps.set_trainable_by_prefix("w", false);
+        let mut opt = Adam::new(&ps, AdamConfig::with_lr(0.1));
+        let mut g = Graph::new(&ps);
+        let w_node = g.param(w);
+        let sq = g.tape.mul(w_node, w_node);
+        let loss = g.tape.sum(sq);
+        let grads = g.backward(loss);
+        opt.step(&mut ps, &grads);
+        assert_eq!(ps.get(w).value[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_stationary_weights() {
+        // With zero data gradient, weight decay alone must pull weights in.
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Matrix::row_vector(&[4.0]));
+        let dummy = ps.register("d", Matrix::row_vector(&[1.0]));
+        let mut opt = Adam::new(&ps, AdamConfig::with_lr(0.01).weight_decay(0.1));
+        for _ in 0..200 {
+            let mut g = Graph::new(&ps);
+            // Loss touches w with zero-weighted contribution so a gradient
+            // entry (of zeros) exists: 0 * w.
+            let w_node = g.param(w);
+            let zero = g.input(Matrix::row_vector(&[0.0]));
+            let wz = g.tape.mul(w_node, zero);
+            let d_node = g.param(dummy);
+            let combined = g.tape.add(wz, d_node);
+            let loss = g.tape.sum(combined);
+            let grads = g.backward(loss);
+            opt.step(&mut ps, &grads);
+        }
+        let v = ps.get(w).value[(0, 0)];
+        assert!(v < 4.0, "weight decay must shrink the weight, got {v}");
+    }
+
+    #[test]
+    fn set_lr_and_reset_state() {
+        let ps = ParamSet::new();
+        let mut opt = Adam::new(&ps, AdamConfig::with_lr(0.5));
+        assert_eq!(opt.lr(), 0.5);
+        opt.set_lr(0.001);
+        assert_eq!(opt.lr(), 0.001);
+        opt.reset_state();
+        assert_eq!(opt.steps(), 0);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Matrix::row_vector(&[5.0, -3.0]));
+        let target = Matrix::row_vector(&[2.0, 1.0]);
+        let mut opt = Sgd::new(&ps, SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 0.0 });
+        for _ in 0..500 {
+            let mut g = Graph::new(&ps);
+            let w_node = g.param(w);
+            let loss = g.tape.mse_loss(w_node, target.clone());
+            let grads = g.backward(loss);
+            opt.step(&mut ps, &grads);
+        }
+        assert!(ps.get(w).value.max_abs_diff(&target) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_without_momentum_first_step_is_lr_times_grad() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Matrix::row_vector(&[1.0]));
+        let mut opt = Sgd::new(&ps, SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.0 });
+        // loss = w^2, grad = 2w = 2 at w=1; step = 0.1*2 = 0.2.
+        let mut g = Graph::new(&ps);
+        let w_node = g.param(w);
+        let sq = g.tape.mul(w_node, w_node);
+        let loss = g.tape.sum(sq);
+        let grads = g.backward(loss);
+        opt.step(&mut ps, &grads);
+        assert!((ps.get(w).value[(0, 0)] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates_constant_gradient() {
+        // Under a constant gradient, momentum accumulates: the second step
+        // moves further than the first.
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Matrix::row_vector(&[0.0]));
+        let mut opt = Sgd::new(&ps, SgdConfig { lr: 0.1, momentum: 0.9, weight_decay: 0.0 });
+        let mut positions = vec![0.0];
+        for _ in 0..3 {
+            let mut g = Graph::new(&ps);
+            let w_node = g.param(w);
+            let slope = g.input(Matrix::row_vector(&[1.0]));
+            let lin = g.tape.mul(w_node, slope);
+            let loss = g.tape.sum(lin); // grad = 1 regardless of w
+            let grads = g.backward(loss);
+            opt.step(&mut ps, &grads);
+            positions.push(ps.get(w).value[(0, 0)]);
+        }
+        let step1 = positions[0] - positions[1];
+        let step2 = positions[1] - positions[2];
+        assert!(step2 > step1 * 1.5, "momentum should accelerate: {positions:?}");
+    }
+
+    #[test]
+    fn any_optimizer_dispatch() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Matrix::row_vector(&[4.0]));
+        for choice in [OptimizerChoice::Adam, OptimizerChoice::Sgd { momentum: 0.5 }] {
+            let mut ps_local = ps.clone();
+            let mut opt = AnyOptimizer::build(choice, &ps_local, 0.05, 0.0);
+            opt.set_lr(0.02);
+            for _ in 0..50 {
+                let mut g = Graph::new(&ps_local);
+                let w_node = g.param(w);
+                let loss = g.tape.mse_loss(w_node, Matrix::row_vector(&[1.0]));
+                let grads = g.backward(loss);
+                opt.step(&mut ps_local, &grads);
+            }
+            let v = ps_local.get(w).value[(0, 0)];
+            assert!(v < 4.0, "{choice:?} must make progress, got {v}");
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Named, freezable model parameters.
+//!
+//! Bellamy's fine-tuning protocol manipulates parameters by *component*:
+//! freeze the auto-encoder, train `z` first, unfreeze `f` later, or re-init
+//! whole components for the `partial-reset` / `full-reset` reuse strategies
+//! (§IV-C2). Dotted names (`"f.l1.weight"`) make those group operations
+//! simple prefix matches.
+
+use crate::init::Init;
+use bellamy_linalg::Matrix;
+use rand::Rng;
+
+/// Handle to a parameter inside a [`ParamSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Raw index of this parameter within its set.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One named tensor with a trainability flag.
+#[derive(Debug, Clone)]
+pub struct Parameter {
+    /// Dotted path, e.g. `"z.l1.weight"`.
+    pub name: String,
+    /// Current value.
+    pub value: Matrix,
+    /// Whether the optimizer may update this parameter.
+    pub trainable: bool,
+}
+
+/// An ordered collection of named parameters.
+///
+/// Order is creation order and is stable, which the optimizer relies on for
+/// its per-parameter moment buffers.
+#[derive(Debug, Clone, Default)]
+pub struct ParamSet {
+    params: Vec<Parameter>,
+}
+
+impl ParamSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter with an explicit initial value.
+    ///
+    /// # Panics
+    /// Panics if the name is already taken.
+    pub fn register(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let name = name.into();
+        assert!(
+            self.find(&name).is_none(),
+            "duplicate parameter name: {name}"
+        );
+        self.params.push(Parameter { name, value, trainable: true });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Registers a `rows x cols` parameter drawn from `init`.
+    pub fn register_init(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        init: Init,
+        rng: &mut impl Rng,
+    ) -> ParamId {
+        let value = init.sample(rows, cols, rng);
+        self.register(name, value)
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Parameter by handle.
+    pub fn get(&self, id: ParamId) -> &Parameter {
+        &self.params[id.0]
+    }
+
+    /// Mutable parameter by handle.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Parameter {
+        &mut self.params[id.0]
+    }
+
+    /// Looks a parameter up by exact name.
+    pub fn find(&self, name: &str) -> Option<ParamId> {
+        self.params.iter().position(|p| p.name == name).map(ParamId)
+    }
+
+    /// Iterates over `(id, parameter)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Parameter)> {
+        self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p))
+    }
+
+    /// Ids whose names start with `prefix`.
+    pub fn ids_with_prefix(&self, prefix: &str) -> Vec<ParamId> {
+        self.iter()
+            .filter(|(_, p)| p.name.starts_with(prefix))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Sets the `trainable` flag on every parameter whose name starts with
+    /// `prefix`. Returns how many parameters were affected.
+    pub fn set_trainable_by_prefix(&mut self, prefix: &str, trainable: bool) -> usize {
+        let mut n = 0;
+        for p in &mut self.params {
+            if p.name.starts_with(prefix) {
+                p.trainable = trainable;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Sets the `trainable` flag on every parameter.
+    pub fn set_all_trainable(&mut self, trainable: bool) {
+        for p in &mut self.params {
+            p.trainable = trainable;
+        }
+    }
+
+    /// Re-initializes (same shape, fresh draw) every parameter whose name
+    /// starts with `prefix`. Used by the `partial-reset` / `full-reset`
+    /// reuse strategies. Returns how many parameters were re-drawn.
+    pub fn reinit_by_prefix(&mut self, prefix: &str, init: Init, rng: &mut impl Rng) -> usize {
+        let mut n = 0;
+        for p in &mut self.params {
+            if p.name.starts_with(prefix) {
+                let (rows, cols) = p.value.shape();
+                p.value = init.sample(rows, cols, rng);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Copies all values from `other`, matching parameters by name.
+    ///
+    /// Returns an error naming the first mismatch (missing name or shape
+    /// difference). Trainability flags are left untouched.
+    pub fn load_values_from(&mut self, other: &ParamSet) -> Result<(), String> {
+        for p in &mut self.params {
+            let src = other
+                .params
+                .iter()
+                .find(|q| q.name == p.name)
+                .ok_or_else(|| format!("parameter {} missing from source", p.name))?;
+            if src.value.shape() != p.value.shape() {
+                return Err(format!(
+                    "parameter {} shape mismatch: {:?} vs {:?}",
+                    p.name,
+                    p.value.shape(),
+                    src.value.shape()
+                ));
+            }
+            p.value = src.value.clone();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_set() -> ParamSet {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ps = ParamSet::new();
+        ps.register_init("f.l1.weight", 3, 16, Init::HeNormal, &mut rng);
+        ps.register_init("f.l2.weight", 16, 8, Init::HeNormal, &mut rng);
+        ps.register_init("z.l1.weight", 28, 8, Init::HeNormal, &mut rng);
+        ps.register_init("z.l2.weight", 8, 1, Init::HeNormal, &mut rng);
+        ps
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let ps = sample_set();
+        assert_eq!(ps.len(), 4);
+        let id = ps.find("z.l1.weight").unwrap();
+        assert_eq!(ps.get(id).value.shape(), (28, 8));
+        assert!(ps.find("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_names_rejected() {
+        let mut ps = ParamSet::new();
+        ps.register("w", Matrix::zeros(1, 1));
+        ps.register("w", Matrix::zeros(1, 1));
+    }
+
+    #[test]
+    fn prefix_freeze() {
+        let mut ps = sample_set();
+        let n = ps.set_trainable_by_prefix("f.", false);
+        assert_eq!(n, 2);
+        assert!(!ps.get(ps.find("f.l1.weight").unwrap()).trainable);
+        assert!(ps.get(ps.find("z.l1.weight").unwrap()).trainable);
+        assert_eq!(ps.ids_with_prefix("z.").len(), 2);
+    }
+
+    #[test]
+    fn reinit_changes_values_keeps_shapes() {
+        let mut ps = sample_set();
+        let id = ps.find("z.l2.weight").unwrap();
+        let before = ps.get(id).value.clone();
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = ps.reinit_by_prefix("z.", Init::HeNormal, &mut rng);
+        assert_eq!(n, 2);
+        let after = &ps.get(id).value;
+        assert_eq!(after.shape(), before.shape());
+        assert!(before.max_abs_diff(after) > 1e-9, "reinit must redraw values");
+    }
+
+    #[test]
+    fn load_values_by_name() {
+        let mut dst = sample_set();
+        let mut src = sample_set();
+        // Perturb the source then load it back into dst.
+        for (_, p) in src.iter() {
+            assert!(p.value.all_finite());
+        }
+        src.get_mut(src.find("f.l1.weight").unwrap()).value.fill(7.0);
+        dst.load_values_from(&src).unwrap();
+        let id = dst.find("f.l1.weight").unwrap();
+        assert_eq!(dst.get(id).value, Matrix::filled(3, 16, 7.0));
+    }
+
+    #[test]
+    fn load_values_reports_mismatch() {
+        let mut dst = sample_set();
+        let mut src = ParamSet::new();
+        src.register("f.l1.weight", Matrix::zeros(2, 2));
+        let err = dst.load_values_from(&src).unwrap_err();
+        assert!(err.contains("shape mismatch") || err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn num_scalars_counts_all() {
+        let ps = sample_set();
+        assert_eq!(ps.num_scalars(), 3 * 16 + 16 * 8 + 28 * 8 + 8);
+    }
+}

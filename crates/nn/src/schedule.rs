@@ -1,0 +1,110 @@
+//! Learning-rate schedules.
+//!
+//! Fine-tuning in the paper uses "cyclical annealing in (1e−2, 1e−3)"
+//! (Table I): the rate starts at the upper bound and anneals towards the
+//! lower bound within each cycle, then restarts — keeping late fine-tuning
+//! steps gentle while periodically allowing larger corrective moves.
+
+/// A learning-rate schedule indexed by epoch.
+pub trait LrSchedule {
+    /// Learning rate to use for `epoch` (0-based).
+    fn lr_at(&self, epoch: usize) -> f64;
+}
+
+/// A fixed learning rate.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantLr(pub f64);
+
+impl LrSchedule for ConstantLr {
+    fn lr_at(&self, _epoch: usize) -> f64 {
+        self.0
+    }
+}
+
+/// Cosine-annealed cyclical schedule between `max_lr` and `min_lr`.
+///
+/// Within each cycle of `period` epochs the rate follows half a cosine from
+/// `max_lr` down to `min_lr`; the next cycle restarts at `max_lr`.
+#[derive(Debug, Clone, Copy)]
+pub struct CyclicalAnnealingLr {
+    max_lr: f64,
+    min_lr: f64,
+    period: usize,
+}
+
+impl CyclicalAnnealingLr {
+    /// Creates a schedule annealing in `(min_lr, max_lr)` with the given
+    /// cycle length.
+    ///
+    /// # Panics
+    /// Panics if bounds are inverted or `period == 0`.
+    pub fn new(max_lr: f64, min_lr: f64, period: usize) -> Self {
+        assert!(max_lr >= min_lr, "max_lr {max_lr} below min_lr {min_lr}");
+        assert!(period > 0, "period must be positive");
+        Self { max_lr, min_lr, period }
+    }
+
+    /// The paper's fine-tuning schedule: `(1e-2, 1e-3)` with a 100-epoch
+    /// cycle.
+    pub fn paper_default() -> Self {
+        Self::new(1e-2, 1e-3, 100)
+    }
+}
+
+impl LrSchedule for CyclicalAnnealingLr {
+    fn lr_at(&self, epoch: usize) -> f64 {
+        let pos = (epoch % self.period) as f64 / self.period as f64;
+        let cos = (std::f64::consts::PI * pos).cos(); // 1 -> -1 over the cycle
+        self.min_lr + 0.5 * (self.max_lr - self.min_lr) * (1.0 + cos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = ConstantLr(0.42);
+        assert_eq!(s.lr_at(0), 0.42);
+        assert_eq!(s.lr_at(10_000), 0.42);
+    }
+
+    #[test]
+    fn cycle_starts_at_max_and_anneals_down() {
+        let s = CyclicalAnnealingLr::new(1e-2, 1e-3, 100);
+        assert!((s.lr_at(0) - 1e-2).abs() < 1e-12);
+        // Just before the cycle ends the rate must be close to the minimum.
+        assert!(s.lr_at(99) < 1.1e-3);
+        // The cycle restarts.
+        assert!((s.lr_at(100) - 1e-2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_within_cycle() {
+        let s = CyclicalAnnealingLr::new(1e-2, 1e-3, 50);
+        let mut prev = f64::INFINITY;
+        for e in 0..50 {
+            let lr = s.lr_at(e);
+            assert!(lr <= prev + 1e-15, "schedule must not increase within a cycle");
+            assert!(
+                lr >= 1e-3 - 1e-12 && lr <= 1e-2 + 1e-12,
+                "lr {lr} escaped bounds"
+            );
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn midpoint_is_mean_of_bounds() {
+        let s = CyclicalAnnealingLr::new(0.01, 0.001, 100);
+        let mid = s.lr_at(50);
+        assert!((mid - 0.0055).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "below min_lr")]
+    fn inverted_bounds_rejected() {
+        let _ = CyclicalAnnealingLr::new(1e-3, 1e-2, 10);
+    }
+}

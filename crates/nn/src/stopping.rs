@@ -1,0 +1,120 @@
+//! The paper's fine-tuning stopping rule.
+//!
+//! Table I: fine-tuning terminates when the runtime-prediction MAE drops to
+//! a target (5 seconds in the paper) **or** when the error has not improved
+//! for a patience window (1000 epochs), whichever comes first, with a hard
+//! epoch cap. The best state seen so far is what gets used for inference,
+//! so the tracker also reports improvements.
+
+/// What the training loop should do after reporting a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopDecision {
+    /// New best metric: snapshot the model, keep training.
+    Improved,
+    /// No improvement, but within patience: keep training.
+    Continue,
+    /// Target reached or patience exhausted: stop.
+    Stop,
+}
+
+/// Early-stopping state machine.
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    target: Option<f64>,
+    patience: usize,
+    best: f64,
+    epochs_since_best: usize,
+}
+
+impl EarlyStopping {
+    /// `target`: stop as soon as the metric is `<=` this value (`None` to
+    /// disable). `patience`: stop after this many consecutive epochs without
+    /// improvement.
+    pub fn new(target: Option<f64>, patience: usize) -> Self {
+        assert!(patience > 0, "patience must be positive");
+        Self { target, patience, best: f64::INFINITY, epochs_since_best: 0 }
+    }
+
+    /// The paper's fine-tuning criterion: MAE ≤ 5 s or 1000 epochs without
+    /// improvement.
+    pub fn paper_default() -> Self {
+        Self::new(Some(5.0), 1000)
+    }
+
+    /// Best metric observed so far.
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+
+    /// Feeds this epoch's metric and returns the decision.
+    pub fn update(&mut self, metric: f64) -> StopDecision {
+        let improved = metric < self.best;
+        if improved {
+            self.best = metric;
+            self.epochs_since_best = 0;
+        } else {
+            self.epochs_since_best += 1;
+        }
+
+        if let Some(t) = self.target {
+            if metric <= t {
+                return StopDecision::Stop;
+            }
+        }
+        if self.epochs_since_best >= self.patience {
+            return StopDecision::Stop;
+        }
+        if improved {
+            StopDecision::Improved
+        } else {
+            StopDecision::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stops_at_target() {
+        let mut es = EarlyStopping::new(Some(5.0), 100);
+        assert_eq!(es.update(50.0), StopDecision::Improved);
+        assert_eq!(es.update(4.9), StopDecision::Stop);
+    }
+
+    #[test]
+    fn target_boundary_inclusive() {
+        let mut es = EarlyStopping::new(Some(5.0), 100);
+        assert_eq!(es.update(5.0), StopDecision::Stop);
+    }
+
+    #[test]
+    fn patience_exhaustion_stops() {
+        let mut es = EarlyStopping::new(None, 3);
+        assert_eq!(es.update(10.0), StopDecision::Improved);
+        assert_eq!(es.update(11.0), StopDecision::Continue);
+        assert_eq!(es.update(12.0), StopDecision::Continue);
+        assert_eq!(es.update(10.5), StopDecision::Stop);
+    }
+
+    #[test]
+    fn improvement_resets_patience() {
+        let mut es = EarlyStopping::new(None, 2);
+        assert_eq!(es.update(10.0), StopDecision::Improved);
+        assert_eq!(es.update(11.0), StopDecision::Continue);
+        assert_eq!(es.update(9.0), StopDecision::Improved);
+        assert_eq!(es.update(9.5), StopDecision::Continue);
+        assert_eq!(es.update(9.4), StopDecision::Stop);
+        assert_eq!(es.best(), 9.0);
+    }
+
+    #[test]
+    fn best_tracks_minimum() {
+        let mut es = EarlyStopping::new(None, 100);
+        for m in [30.0, 20.0, 25.0, 15.0, 18.0] {
+            es.update(m);
+        }
+        assert_eq!(es.best(), 15.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the NN toolkit: checkpoint canonicity, optimizer
+//! behaviour, schedules, and early stopping.
+
+use bellamy_linalg::Matrix;
+use bellamy_nn::{
+    Adam, AdamConfig, Checkpoint, ConstantLr, CyclicalAnnealingLr, EarlyStopping, Graph, Init,
+    LrSchedule, ParamSet, StopDecision,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    #[test]
+    fn checkpoint_round_trip_arbitrary_tensors(
+        data in proptest::collection::vec(-1e6f64..1e6, 1..64),
+        rows in 1usize..8,
+        trainable in any::<bool>(),
+        key in "[a-z]{1,12}",
+        value in "[ -~]{0,32}"
+    ) {
+        // Make the length divisible by rows.
+        let cols = data.len() / rows;
+        prop_assume!(cols > 0);
+        let m = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
+        let mut ps = ParamSet::new();
+        let id = ps.register("w", m);
+        ps.get_mut(id).trainable = trainable;
+        let mut meta = BTreeMap::new();
+        meta.insert(key, value);
+        let ck = Checkpoint::new(ps, meta);
+        let back = Checkpoint::from_bytes(&ck.to_bytes()).expect("round trip");
+        prop_assert_eq!(back.to_bytes(), ck.to_bytes(), "serialization must be canonical");
+        let back_id = back.params.find("w").expect("tensor exists");
+        prop_assert_eq!(back.params.get(back_id).trainable, trainable);
+    }
+
+    #[test]
+    fn truncated_checkpoints_never_panic(
+        cut in 0usize..64,
+        junk in proptest::collection::vec(any::<u8>(), 0..64)
+    ) {
+        let mut ps = ParamSet::new();
+        ps.register("w", Matrix::zeros(2, 2));
+        let bytes = Checkpoint::new(ps, BTreeMap::new()).to_bytes();
+        let cut = cut.min(bytes.len());
+        // Any prefix, possibly followed by junk, must decode or error cleanly.
+        let mut mangled = bytes[..cut].to_vec();
+        mangled.extend_from_slice(&junk);
+        let _ = Checkpoint::from_bytes(&mangled);
+    }
+
+    #[test]
+    fn adam_with_zero_gradient_and_no_decay_is_stationary(
+        init_val in -10.0f64..10.0,
+        lr in 1e-4f64..1e-1
+    ) {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Matrix::row_vector(&[init_val]));
+        let mut opt = Adam::new(&ps, AdamConfig::with_lr(lr));
+        for _ in 0..5 {
+            let mut g = Graph::new(&ps);
+            let w_node = g.param(w);
+            let zero = g.input(Matrix::row_vector(&[0.0]));
+            let prod = g.tape.mul(w_node, zero);
+            let loss = g.tape.sum(prod);
+            let grads = g.backward(loss);
+            opt.step(&mut ps, &grads);
+        }
+        prop_assert!((ps.get(w).value[(0, 0)] - init_val).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adam_descends_on_quadratic(start in -5.0f64..5.0, target in -5.0f64..5.0) {
+        prop_assume!((start - target).abs() > 0.1);
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Matrix::row_vector(&[start]));
+        let t = Matrix::row_vector(&[target]);
+        let mut opt = Adam::new(&ps, AdamConfig::with_lr(0.05));
+        let initial_dist = (start - target).abs();
+        for _ in 0..300 {
+            let mut g = Graph::new(&ps);
+            let w_node = g.param(w);
+            let loss = g.tape.mse_loss(w_node, t.clone());
+            let grads = g.backward(loss);
+            opt.step(&mut ps, &grads);
+        }
+        let final_dist = (ps.get(w).value[(0, 0)] - target).abs();
+        prop_assert!(final_dist < initial_dist, "{start} -> {target}: {final_dist}");
+    }
+
+    #[test]
+    fn cyclical_schedule_stays_in_bounds(
+        max_exp in -3.0f64..-0.5,
+        spread in 0.1f64..2.0,
+        period in 1usize..500,
+        epoch in 0usize..10_000
+    ) {
+        let max_lr = 10f64.powf(max_exp);
+        let min_lr = max_lr / 10f64.powf(spread);
+        let s = CyclicalAnnealingLr::new(max_lr, min_lr, period);
+        let lr = s.lr_at(epoch);
+        prop_assert!(lr >= min_lr - 1e-15 && lr <= max_lr + 1e-12);
+    }
+
+    #[test]
+    fn constant_schedule_is_constant(lr in 1e-6f64..1.0, e1 in 0usize..9999, e2 in 0usize..9999) {
+        let s = ConstantLr(lr);
+        prop_assert_eq!(s.lr_at(e1), s.lr_at(e2));
+    }
+
+    #[test]
+    fn early_stopping_stops_within_patience(
+        metrics in proptest::collection::vec(1.0f64..100.0, 1..200),
+        patience in 1usize..20
+    ) {
+        let mut es = EarlyStopping::new(None, patience);
+        let mut stale = 0usize;
+        for &m in &metrics {
+            let best_before = es.best();
+            match es.update(m) {
+                StopDecision::Stop => {
+                    prop_assert!(stale + 1 >= patience);
+                    return Ok(());
+                }
+                StopDecision::Improved => stale = 0,
+                StopDecision::Continue => stale += 1,
+            }
+            prop_assert!(es.best() <= best_before.min(m) + 1e-12);
+            prop_assert!(stale < patience, "should have stopped at patience");
+        }
+    }
+
+    #[test]
+    fn init_variance_tracks_fan_in(fan_in in 2usize..128) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(fan_in as u64);
+        let m = Init::HeNormal.sample(fan_in, 64, &mut rng);
+        let mean = m.mean();
+        let var = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / (m.len() - 1) as f64;
+        let want = 2.0 / fan_in as f64;
+        // 64*fan_in samples: generous tolerance.
+        prop_assert!((var - want).abs() / want < 0.5, "var {var} vs {want}");
+    }
+}

@@ -1,0 +1,202 @@
+//! Minimal parallel runtime for the evaluation harness.
+//!
+//! The experiments fan out over thousands of independent cross-validation
+//! splits, contexts, and hyperparameter trials. The offline dependency set
+//! provides `crossbeam` and `parking_lot` but not `rayon`, so this crate
+//! implements the small subset of Rayon's API shape the workspace needs,
+//! following the data-parallel idioms of the guides:
+//!
+//! - [`par_map`] / [`par_map_with_threads`] — order-preserving parallel map
+//!   over a slice with atomic work claiming (no per-item locking),
+//! - [`par_for_each_mut`] — parallel in-place mutation of disjoint elements,
+//! - [`ThreadPool`] — a long-lived pool for irregular task graphs.
+//!
+//! All closures run on scoped threads: no `'static` bounds, data-race
+//! freedom enforced by `Sync` bounds, panics propagate to the caller.
+
+pub mod pool;
+
+pub use pool::ThreadPool;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default parallelism: the machine's available cores.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Maps `f` over `items` in parallel, preserving order, with
+/// [`default_threads`] workers.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_with_threads(items, default_threads(), f)
+}
+
+/// Maps `f` over `items` in parallel with an explicit worker count.
+///
+/// Work is claimed item-by-item through an atomic cursor, so heavily skewed
+/// per-item costs (fine-tuning runs that early-stop at wildly different
+/// epochs) still balance well.
+pub fn par_map_with_threads<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut results: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    // Hand each worker a disjoint view of the results: we split the result
+    // vector into per-slot cells by using a Vec of parking_lot mutexes-free
+    // approach — instead, collect (index, value) pairs per worker and merge.
+    let collected: Vec<Vec<(usize, U)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+    for batch in collected {
+        for (i, v) in batch {
+            results[i] = Some(v);
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every index visited exactly once"))
+        .collect()
+}
+
+/// Runs `f` on every element of `items` in parallel, mutating in place.
+///
+/// Elements are handed out in contiguous chunks, one chunk per worker.
+pub fn par_for_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, n);
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for piece in items.chunks_mut(chunk) {
+            s.spawn(|| {
+                for item in piece {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let par = par_map_with_threads(&items, threads, |x| x * x);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order_under_skew() {
+        // Make early items much slower; order must still hold.
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map_with_threads(&items, 8, |&i| {
+            if i < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i * 10
+        });
+        assert_eq!(out, (0..64).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = par_map(&Vec::<i32>::new(), |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(par_map(&[41], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn each_item_visited_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let items: Vec<u32> = (0..500).collect();
+        let _ = par_map_with_threads(&items, 7, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..16).collect();
+        let _ = par_map_with_threads(&items, 4, |&x| {
+            if x == 7 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn for_each_mut_updates_all() {
+        let mut items: Vec<u64> = (0..257).collect();
+        par_for_each_mut(&mut items, 4, |x| *x += 1);
+        assert!(items.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+    }
+
+    #[test]
+    fn for_each_mut_empty_and_oversubscribed() {
+        let mut empty: Vec<u8> = vec![];
+        par_for_each_mut(&mut empty, 8, |_| {});
+        let mut tiny = vec![1u8, 2];
+        par_for_each_mut(&mut tiny, 99, |x| *x *= 2);
+        assert_eq!(tiny, vec![2, 4]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

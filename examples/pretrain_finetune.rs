@@ -1,0 +1,94 @@
+//! The full production workflow with model persistence and hyperparameter
+//! search: search → pre-train → checkpoint to disk → (later, elsewhere)
+//! load → fine-tune → predict. This mirrors how the paper's prototype would
+//! serve many users sharing pre-trained models per algorithm (§V).
+//!
+//! ```sh
+//! cargo run --release --example pretrain_finetune
+//! ```
+
+use bellamy::prelude::*;
+
+fn main() {
+    let data = generate_c3o(&GeneratorConfig::seeded(42));
+    let target = data.contexts_for(Algorithm::PageRank)[2];
+    let history: Vec<TrainingSample> = data
+        .runs_for_algorithm_excluding(Algorithm::PageRank, Some(target.id))
+        .iter()
+        .map(|r| TrainingSample::from_run(&data.contexts[r.context_id], r))
+        .collect();
+
+    // --- Hyperparameter search over the Table I grid ------------------------
+    println!("searching 4 configurations from the Table I grid (quick budget) ...");
+    let (model, report) = search_pretrain(
+        &BellamyConfig::default(),
+        &history,
+        &SearchSpace::default(),
+        4,   // paper: 12 trials; reduced for example runtime
+        120, // paper: 2500 epochs
+        21,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    );
+    for (i, t) in report.trials.iter().enumerate() {
+        let marker = if i == report.best_index { " <- best" } else { "" };
+        println!(
+            "  trial {}: dropout {:>4.0}% lr {:<7} wd {:<7} -> val MAE {:>7.1}s{}",
+            i + 1,
+            t.config.dropout * 100.0,
+            format!("{:e}", t.config.lr),
+            format!("{:e}", t.config.weight_decay),
+            t.val_mae_s,
+            marker
+        );
+    }
+
+    // --- Persist the pre-trained model --------------------------------------
+    let dir = std::env::temp_dir().join("bellamy-example");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("pagerank.blmy");
+    model.save(&path).expect("save checkpoint");
+    let size = std::fs::metadata(&path).expect("stat checkpoint").len();
+    println!("\ncheckpoint written: {} ({size} bytes)", path.display());
+
+    // --- Later, in another process: load and fine-tune ----------------------
+    let mut restored = Bellamy::load(&path).expect("load checkpoint");
+    let observed: Vec<TrainingSample> = data
+        .runs_for_context(target.id)
+        .iter()
+        .filter(|r| r.repeat == 0 && [4, 10].contains(&r.scale_out))
+        .map(|r| TrainingSample::from_run(target, r))
+        .collect();
+    let ft = fine_tune(
+        &mut restored,
+        &observed,
+        &FinetuneConfig::default(),
+        ReuseStrategy::PartialUnfreeze,
+        5,
+    );
+    println!(
+        "fine-tuned the restored model on {} points: {} epochs, {:.1}ms",
+        observed.len(),
+        ft.epochs,
+        ft.elapsed_s * 1e3
+    );
+
+    // --- Predict and compare to the held-out truth --------------------------
+    let props = context_properties(target);
+    println!("\n{:<10} {:>12} {:>12}", "scale-out", "predicted", "actual(mean)");
+    for x in [2u32, 6, 8, 12] {
+        let actual: Vec<f64> = data
+            .runs_for_context(target.id)
+            .iter()
+            .filter(|r| r.scale_out == x)
+            .map(|r| r.runtime_s)
+            .collect();
+        println!(
+            "{:<10} {:>10.1}s {:>10.1}s",
+            x,
+            restored.predict(x as f64, &props),
+            actual.iter().sum::<f64>() / actual.len() as f64
+        );
+    }
+
+    std::fs::remove_file(&path).ok();
+}

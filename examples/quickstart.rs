@@ -1,0 +1,97 @@
+//! Quickstart: the Bellamy workflow end to end.
+//!
+//! 1. Load (here: generate) historical execution data.
+//! 2. Pre-train a general model for an algorithm across contexts.
+//! 3. Fine-tune it on a handful of runs from a *new* context.
+//! 4. Predict runtimes at unseen scale-outs and compare against actuals.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bellamy::prelude::*;
+
+fn main() {
+    // --- 1. Historical data -------------------------------------------------
+    let data = generate_c3o(&GeneratorConfig::seeded(42));
+    println!(
+        "historical traces: {} contexts, {} runs across {:?}",
+        data.contexts.len(),
+        data.runs.len(),
+        data.algorithms().iter().map(|a| a.name()).collect::<Vec<_>>()
+    );
+
+    // The "new" context we pretend to encounter for the first time.
+    let target = data.contexts_for(Algorithm::KMeans)[3];
+    println!(
+        "\ntarget context: {} | {} MB | {} | {}",
+        target.node_type.name,
+        target.dataset_size_mb,
+        target.dataset_characteristics,
+        target.job_parameters
+    );
+
+    // --- 2. Pre-train across all *other* K-Means contexts ------------------
+    let history: Vec<TrainingSample> = data
+        .runs_for_algorithm_excluding(Algorithm::KMeans, Some(target.id))
+        .iter()
+        .map(|r| TrainingSample::from_run(&data.contexts[r.context_id], r))
+        .collect();
+    let mut model = Bellamy::new(BellamyConfig::default(), 7);
+    let report = pretrain(
+        &mut model,
+        &history,
+        &PretrainConfig { epochs: 300, ..PretrainConfig::default() },
+        7,
+    );
+    println!(
+        "\npre-trained on {} runs from {} other contexts in {:.1}s (train MAE {:.1}s)",
+        report.n_samples,
+        data.contexts_for(Algorithm::KMeans).len() - 1,
+        report.elapsed_s,
+        report.train_mae_s
+    );
+
+    // --- 3. Fine-tune on three observed runs of the new context ------------
+    let observed: Vec<TrainingSample> = data
+        .runs_for_context(target.id)
+        .iter()
+        .filter(|r| [2, 6, 10].contains(&r.scale_out) && r.repeat == 0)
+        .map(|r| TrainingSample::from_run(target, r))
+        .collect();
+    let ft_report = fine_tune(
+        &mut model,
+        &observed,
+        &FinetuneConfig::default(),
+        ReuseStrategy::PartialUnfreeze,
+        7,
+    );
+    println!(
+        "fine-tuned on {} points in {:.1}ms / {} epochs (best MAE {:.1}s)",
+        observed.len(),
+        ft_report.elapsed_s * 1e3,
+        ft_report.epochs,
+        ft_report.best_mae_s
+    );
+
+    // --- 4. Predict at unseen scale-outs ------------------------------------
+    let props = context_properties(target);
+    println!("\n{:<10} {:>12} {:>12} {:>8}", "scale-out", "predicted", "actual", "error");
+    for x in [4u32, 8, 12] {
+        let actual: Vec<f64> = data
+            .runs_for_context(target.id)
+            .iter()
+            .filter(|r| r.scale_out == x)
+            .map(|r| r.runtime_s)
+            .collect();
+        let actual_mean = actual.iter().sum::<f64>() / actual.len() as f64;
+        let predicted = model.predict(x as f64, &props);
+        println!(
+            "{:<10} {:>10.1}s {:>10.1}s {:>7.1}%",
+            x,
+            predicted,
+            actual_mean,
+            100.0 * (predicted - actual_mean).abs() / actual_mean
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Choosing cluster resources from runtime predictions — the use case that
+//! motivates the paper (§I): meet a runtime target without over-provisioning,
+//! or minimize cost subject to a deadline.
+//!
+//! ```sh
+//! cargo run --release --example resource_allocation
+//! ```
+
+use bellamy::prelude::*;
+
+fn main() {
+    let data = generate_c3o(&GeneratorConfig::seeded(42));
+    let target = data.contexts_for(Algorithm::Sgd)[5];
+    println!(
+        "job: SGD on {} | {} MB | {}",
+        target.node_type.name, target.dataset_size_mb, target.job_parameters
+    );
+
+    // Pre-train across contexts, fine-tune on three observations.
+    let history: Vec<TrainingSample> = data
+        .runs_for_algorithm_excluding(Algorithm::Sgd, Some(target.id))
+        .iter()
+        .map(|r| TrainingSample::from_run(&data.contexts[r.context_id], r))
+        .collect();
+    let mut model = Bellamy::new(BellamyConfig::default(), 11);
+    pretrain(&mut model, &history, &PretrainConfig { epochs: 300, ..Default::default() }, 11);
+    let observed: Vec<TrainingSample> = data
+        .runs_for_context(target.id)
+        .iter()
+        .filter(|r| [2, 6, 12].contains(&r.scale_out) && r.repeat == 0)
+        .map(|r| TrainingSample::from_run(target, r))
+        .collect();
+    fine_tune(&mut model, &observed, &FinetuneConfig::default(), ReuseStrategy::PartialUnfreeze, 11);
+
+    let props = context_properties(target);
+    let predict = |x: u32| model.predict(x as f64, &props);
+
+    // The predicted runtime curve over the candidate scale-outs.
+    println!("\npredicted runtime curve:");
+    for x in (2..=12).step_by(2) {
+        let bar_len = (predict(x) / 8.0) as usize;
+        println!("  {:>2} machines | {:<60} {:>7.1}s", x, "#".repeat(bar_len.min(60)), predict(x));
+    }
+
+    // Scenario A: meet a runtime target with as few machines as possible.
+    let target_s = predict(12) * 1.15;
+    match min_scale_out_meeting(predict, target_s, 2, 12) {
+        Some(rec) => println!(
+            "\nA) smallest allocation meeting {:.0}s: {} machines (predicted {:.1}s)",
+            target_s, rec.scale_out, rec.predicted_runtime_s
+        ),
+        None => println!("\nA) no allocation in 2..=12 meets {target_s:.0}s"),
+    }
+
+    // Scenario B: cheapest allocation under a deadline, at $0.40/machine-hour.
+    let deadline = target_s * 1.5;
+    match cheapest_scale_out(predict, 0.40, Some(deadline), 2, 12) {
+        Some(rec) => println!(
+            "B) cheapest under a {:.0}s deadline: {} machines, predicted {:.1}s, ${:.4}",
+            deadline, rec.scale_out, rec.predicted_runtime_s, rec.predicted_cost
+        ),
+        None => println!("B) no allocation meets the {deadline:.0}s deadline"),
+    }
+
+    // Compare against the ground truth the generator used.
+    let truth = ground_truth_profile(target);
+    println!(
+        "\nsanity: ground-truth optimal scale-out in 2..=12 is {} ({:.1}s noise-free)",
+        truth.optimal_scale_out(2, 12),
+        truth.runtime(truth.optimal_scale_out(2, 12) as f64)
+    );
+}

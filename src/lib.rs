@@ -1,0 +1,107 @@
+//! # Bellamy — reusable performance models for distributed dataflow jobs
+//!
+//! A from-scratch Rust reproduction of *Bellamy: Reusing Performance Models
+//! for Distributed Dataflow Jobs Across Contexts* (Scheinert et al., IEEE
+//! CLUSTER 2021, arXiv:2107.13921).
+//!
+//! Bellamy predicts the runtime of a distributed dataflow job (Spark-like)
+//! from its horizontal scale-out **and** descriptive properties of the
+//! execution context (node type, dataset size and characteristics, job
+//! parameters). Encoding the context lets one model learn from historical
+//! executions *across* contexts: pre-train a general model per algorithm,
+//! then fine-tune it in seconds for the concrete situation at hand.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bellamy::prelude::*;
+//!
+//! // Synthetic stand-in for the public C3O traces (same shape).
+//! let data = generate_c3o(&GeneratorConfig::seeded(42));
+//!
+//! // Pre-train a general model for one algorithm on *other* contexts ...
+//! let target = data.contexts_for(Algorithm::Grep)[0];
+//! let history: Vec<TrainingSample> = data
+//!     .runs_for_algorithm_excluding(Algorithm::Grep, Some(target.id))
+//!     .iter()
+//!     .map(|r| TrainingSample::from_run(&data.contexts[r.context_id], r))
+//!     .collect();
+//! let mut model = Bellamy::new(BellamyConfig::default(), 7);
+//! pretrain(&mut model, &history, &PretrainConfig { epochs: 30, ..Default::default() }, 7);
+//!
+//! // ... then fine-tune on a few observations from the new context ...
+//! let few: Vec<TrainingSample> = data
+//!     .runs_for_context(target.id)
+//!     .iter()
+//!     .take(3)
+//!     .map(|r| TrainingSample::from_run(target, r))
+//!     .collect();
+//! fine_tune(
+//!     &mut model,
+//!     &few,
+//!     &FinetuneConfig { max_epochs: 50, ..Default::default() },
+//!     ReuseStrategy::PartialUnfreeze,
+//!     7,
+//! );
+//!
+//! // ... and predict the runtime at an unseen scale-out.
+//! let props = context_properties(target);
+//! let predicted = model.predict(8.0, &props);
+//! assert!(predicted.is_finite() && predicted > 0.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] (re-export of `bellamy-core`) | the model, pre-training, fine-tuning, reuse strategies, hyperparameter search, resource allocation |
+//! | [`baselines`] | Ernest (NNLS) and Bell, the paper's comparison methods |
+//! | [`data`] | synthetic C3O / Bell trace generators, CSV I/O |
+//! | [`eval`] | the paper's split protocol and experiment runners (Figs. 5–8) |
+//! | [`encoding`] | property encoders (binarizer, hashing vectorizer) |
+//! | [`nn`] / [`autograd`] / [`linalg`] | the neural-network substrate built for this reproduction |
+//! | [`par`] | the thread-pool / parallel-map substrate |
+//!
+//! Run `cargo run --release -p bench --bin repro -- all` to regenerate every
+//! table and figure of the paper's evaluation section; see `EXPERIMENTS.md`
+//! for recorded results.
+
+pub use bellamy_autograd as autograd;
+pub use bellamy_baselines as baselines;
+pub use bellamy_core as core;
+pub use bellamy_data as data;
+pub use bellamy_encoding as encoding;
+pub use bellamy_eval as eval;
+pub use bellamy_linalg as linalg;
+pub use bellamy_nn as nn;
+pub use bellamy_par as par;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use bellamy_baselines::{BellModel, ErnestModel, ScaleOutModel};
+    pub use bellamy_core::finetune::{fine_tune, fit_local};
+    pub use bellamy_core::train::pretrain;
+    pub use bellamy_core::{
+        cheapest_scale_out, context_properties, min_scale_out_meeting, search_pretrain, Bellamy,
+        BellamyConfig, ContextProperties, FinetuneConfig, PretrainConfig, ReuseStrategy,
+        SearchSpace, TrainingSample,
+    };
+    pub use bellamy_data::{
+        generate_bell, generate_c3o, ground_truth_profile, Algorithm, Dataset, Environment,
+        GeneratorConfig, JobContext, JobRun, NodeType,
+    };
+    pub use bellamy_encoding::PropertyValue;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_the_workflow() {
+        let data = generate_c3o(&GeneratorConfig::seeded(1));
+        assert_eq!(data.contexts.len(), 155);
+        let model = Bellamy::new(BellamyConfig::default(), 0);
+        assert!(!model.is_fitted());
+    }
+}

@@ -1,0 +1,225 @@
+//! Cross-crate integration tests: the full Bellamy workflow from trace
+//! generation through pre-training, persistence, fine-tuning, prediction and
+//! resource allocation.
+
+use bellamy::prelude::*;
+
+fn history_for(
+    data: &Dataset,
+    algorithm: Algorithm,
+    exclude: usize,
+) -> Vec<TrainingSample> {
+    data.runs_for_algorithm_excluding(algorithm, Some(exclude))
+        .iter()
+        .map(|r| TrainingSample::from_run(&data.contexts[r.context_id], r))
+        .collect()
+}
+
+fn context_samples(data: &Dataset, ctx: &JobContext) -> Vec<TrainingSample> {
+    data.runs_for_context(ctx.id)
+        .iter()
+        .map(|r| TrainingSample::from_run(ctx, r))
+        .collect()
+}
+
+#[test]
+fn pretrain_save_load_finetune_predict() {
+    let data = generate_c3o(&GeneratorConfig::seeded(9));
+    let target = data.contexts_for(Algorithm::Sgd)[1];
+
+    // Pre-train.
+    let history = history_for(&data, Algorithm::Sgd, target.id);
+    let mut model = Bellamy::new(BellamyConfig::default(), 3);
+    let pre = pretrain(
+        &mut model,
+        &history,
+        &PretrainConfig { epochs: 80, ..Default::default() },
+        3,
+    );
+    assert!(pre.final_loss.is_finite());
+
+    // Persist and restore through the binary checkpoint.
+    let dir = std::env::temp_dir().join("bellamy-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sgd-e2e.blmy");
+    model.save(&path).unwrap();
+    let mut restored = Bellamy::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // The restored model predicts identically.
+    let props = context_properties(target);
+    assert_eq!(model.predict(6.0, &props), restored.predict(6.0, &props));
+
+    // Fine-tune the restored model on three points of the unseen context.
+    let all = context_samples(&data, target);
+    let few: Vec<TrainingSample> = all.iter().step_by(10).cloned().collect();
+    let report = fine_tune(
+        &mut restored,
+        &few,
+        &FinetuneConfig { max_epochs: 250, patience: 150, ..Default::default() },
+        ReuseStrategy::PartialUnfreeze,
+        5,
+    );
+    assert!(report.epochs > 0);
+
+    // Prediction quality on all runs of the context: within 30% MRE on
+    // average (few-shot adaptation on noisy data).
+    let mre = all
+        .iter()
+        .map(|s| (restored.predict(s.scale_out, &s.props) - s.runtime_s).abs() / s.runtime_s)
+        .sum::<f64>()
+        / all.len() as f64;
+    assert!(mre < 0.3, "few-shot MRE too high: {mre}");
+}
+
+#[test]
+fn pretrained_beats_untrained_on_new_context() {
+    let data = generate_c3o(&GeneratorConfig::seeded(11));
+    let target = data.contexts_for(Algorithm::KMeans)[2];
+    let history = history_for(&data, Algorithm::KMeans, target.id);
+
+    let mut pretrained = Bellamy::new(BellamyConfig::default(), 1);
+    pretrain(
+        &mut pretrained,
+        &history,
+        &PretrainConfig { epochs: 120, ..Default::default() },
+        1,
+    );
+
+    // Direct application (0 fine-tuning points) on the unseen context.
+    let all = context_samples(&data, target);
+    let props = context_properties(target);
+    let mre_pretrained = all
+        .iter()
+        .map(|s| (pretrained.predict(s.scale_out, &props) - s.runtime_s).abs() / s.runtime_s)
+        .sum::<f64>()
+        / all.len() as f64;
+    // Direct cross-context application must be usable (paper: extrapolation
+    // "already manageable in many cases without any fine-tuning at all").
+    assert!(
+        mre_pretrained < 0.6,
+        "direct application too weak: MRE {mre_pretrained}"
+    );
+}
+
+#[test]
+fn baselines_and_bellamy_agree_on_clean_curves() {
+    // On a noise-free Ernest-shaped curve every method should interpolate
+    // well; this guards against systematic bias in any of the pipelines.
+    let gen = GeneratorConfig { noise_sigma: 1e-9, straggler_prob: 0.0, ..GeneratorConfig::seeded(4) };
+    let data = generate_c3o(&gen);
+    let target = data.contexts_for(Algorithm::Grep)[0];
+    let all = context_samples(&data, target);
+
+    // Training points at x = 2, 6, 12; test at x = 8.
+    let train: Vec<TrainingSample> = all
+        .iter()
+        .filter(|s| [2.0, 6.0, 12.0].contains(&s.scale_out))
+        .cloned()
+        .collect();
+    let test: Vec<&TrainingSample> =
+        all.iter().filter(|s| s.scale_out == 8.0).collect();
+    let expected = test[0].runtime_s;
+
+    let points: Vec<(f64, f64)> = train.iter().map(|s| (s.scale_out, s.runtime_s)).collect();
+    let ernest = ErnestModel::fit(&points).unwrap();
+    let bell = BellModel::fit(&points).unwrap();
+    assert!((ernest.predict(8.0) - expected).abs() / expected < 0.25);
+    assert!((bell.predict(8.0) - expected).abs() / expected < 0.25);
+
+    let mut local = Bellamy::new(BellamyConfig::default(), 2);
+    fit_local(
+        &mut local,
+        &train,
+        &FinetuneConfig { max_epochs: 400, patience: 250, ..Default::default() },
+        2,
+    );
+    let pred = local.predict(8.0, &context_properties(target));
+    assert!(
+        (pred - expected).abs() / expected < 0.3,
+        "local Bellamy off: {pred} vs {expected}"
+    );
+}
+
+#[test]
+fn allocation_uses_model_predictions() {
+    let data = generate_c3o(&GeneratorConfig::seeded(21));
+    let target = data.contexts_for(Algorithm::Grep)[4];
+    let all = context_samples(&data, target);
+    let mut model = Bellamy::new(BellamyConfig::default(), 6);
+    fit_local(
+        &mut model,
+        &all,
+        &FinetuneConfig { max_epochs: 300, patience: 200, ..Default::default() },
+        6,
+    );
+    let props = context_properties(target);
+    let predict = |x: u32| model.predict(x as f64, &props);
+
+    // Grep scales down smoothly: a generous target is met by some x, and the
+    // recommended x is minimal.
+    let generous = predict(2).max(predict(12)) * 1.01;
+    let rec = min_scale_out_meeting(predict, generous, 2, 12).expect("target achievable");
+    for x in 2..rec.scale_out {
+        assert!(predict(x) > generous, "{x} would already meet the target");
+    }
+
+    // Cost optimization picks a valid candidate and accounts price.
+    let cheap = cheapest_scale_out(predict, 1.0, None, 2, 12).expect("non-empty range");
+    assert!(cheap.predicted_cost > 0.0);
+    assert!((2..=12).contains(&cheap.scale_out));
+}
+
+#[test]
+fn csv_round_trip_preserves_model_inputs() {
+    let gen = GeneratorConfig::seeded(33);
+    let data = generate_c3o(&gen);
+    let text = bellamy::data::csv::to_csv(&data);
+    let back = bellamy::data::csv::from_csv(&text).unwrap();
+
+    // Training on the round-tripped dataset gives identical samples.
+    let a = TrainingSample::from_run(&data.contexts[0], &data.runs[0]);
+    let b = TrainingSample::from_run(&back.contexts[0], &back.runs[0]);
+    assert_eq!(a.scale_out, b.scale_out);
+    assert_eq!(a.props, b.props);
+    assert!((a.runtime_s - b.runtime_s).abs() < 1e-5);
+}
+
+#[test]
+fn reuse_strategies_are_all_viable_cross_environment() {
+    let gen = GeneratorConfig::seeded(8);
+    let c3o = generate_c3o(&gen);
+    let bell = generate_bell(&gen);
+
+    let history: Vec<TrainingSample> = c3o
+        .runs_for_algorithm_excluding(Algorithm::Grep, None)
+        .iter()
+        .map(|r| TrainingSample::from_run(&c3o.contexts[r.context_id], r))
+        .collect();
+    let mut base = Bellamy::new(BellamyConfig::default(), 13);
+    pretrain(&mut base, &history, &PretrainConfig { epochs: 60, ..Default::default() }, 13);
+
+    let target = bell.contexts_for(Algorithm::Grep)[0];
+    let few: Vec<TrainingSample> = bell
+        .runs_for_context(target.id)
+        .iter()
+        .filter(|r| r.repeat == 0 && [8, 28, 52].contains(&r.scale_out))
+        .map(|r| TrainingSample::from_run(target, r))
+        .collect();
+    assert_eq!(few.len(), 3);
+
+    let props = context_properties(target);
+    for strategy in ReuseStrategy::ALL {
+        let mut model = base.clone_model();
+        let report = fine_tune(
+            &mut model,
+            &few,
+            &FinetuneConfig { max_epochs: 200, patience: 120, ..Default::default() },
+            strategy,
+            3,
+        );
+        assert!(report.best_mae_s.is_finite(), "{}", strategy.name());
+        let p = model.predict(40.0, &props);
+        assert!(p.is_finite() && p > 0.0, "{}: prediction {p}", strategy.name());
+    }
+}

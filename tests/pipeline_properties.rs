@@ -1,0 +1,115 @@
+//! Property-based integration tests over the full pipeline: arbitrary (but
+//! plausible) contexts and observations must never break encoding, training,
+//! or prediction invariants.
+
+use bellamy::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary plausible job context.
+fn arb_context() -> impl Strategy<Value = JobContext> {
+    let node_names = prop_oneof![
+        Just("m4.xlarge"),
+        Just("m4.2xlarge"),
+        Just("c4.xlarge"),
+        Just("c4.2xlarge"),
+        Just("r4.xlarge"),
+        Just("r4.2xlarge"),
+    ];
+    (
+        node_names,
+        1024u64..100_000,
+        "[a-z]{3,12}(-[a-z]{3,10})?",
+        prop_oneof![
+            (1u32..200).prop_map(|it| format!("--iterations {it}")),
+            (1u32..64).prop_map(|k| format!("--k {k} --iterations 20")),
+            "[a-z]{2,10}".prop_map(|p| format!("--pattern {p}")),
+        ],
+        prop_oneof![
+            Just(Algorithm::Grep),
+            Just(Algorithm::Sort),
+            Just(Algorithm::Sgd),
+            Just(Algorithm::KMeans),
+            Just(Algorithm::PageRank),
+        ],
+    )
+        .prop_map(|(node, size, chars, params, algorithm)| JobContext {
+            id: 0,
+            environment: Environment::C3oPublicCloud,
+            algorithm,
+            node_type: NodeType::by_name(node).expect("catalog name"),
+            dataset_size_mb: size,
+            dataset_characteristics: chars,
+            job_parameters: params,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ground_truth_is_positive_and_finite(ctx in arb_context(), x in 1u32..100) {
+        let profile = ground_truth_profile(&ctx);
+        let t = profile.runtime(x as f64);
+        prop_assert!(t.is_finite());
+        prop_assert!(t > 0.0);
+    }
+
+    #[test]
+    fn encoding_any_context_is_stable(ctx in arb_context()) {
+        let props = context_properties(&ctx);
+        prop_assert_eq!(props.essential.len(), 4);
+        prop_assert_eq!(props.optional.len(), 3);
+        // Encoding the same context twice is identical (determinism).
+        let again = context_properties(&ctx);
+        prop_assert_eq!(props, again);
+    }
+
+    #[test]
+    fn local_fit_and_predict_never_panic(ctx in arb_context(), seed in 0u64..1000) {
+        // Three synthetic observations from the ground-truth curve.
+        let profile = ground_truth_profile(&ctx);
+        let samples: Vec<TrainingSample> = [2.0f64, 6.0, 12.0]
+            .iter()
+            .map(|&x| TrainingSample {
+                scale_out: x,
+                runtime_s: profile.runtime(x),
+                props: context_properties(&ctx),
+            })
+            .collect();
+        let mut model = Bellamy::new(BellamyConfig::default(), seed);
+        fit_local(
+            &mut model,
+            &samples,
+            &FinetuneConfig { max_epochs: 20, patience: 15, ..Default::default() },
+            seed,
+        );
+        let p = model.predict(8.0, &context_properties(&ctx));
+        prop_assert!(p.is_finite());
+    }
+
+    #[test]
+    fn checkpoint_round_trip_any_model(seed in 0u64..10_000) {
+        let model = Bellamy::new(BellamyConfig::default(), seed);
+        let ck = model.to_checkpoint();
+        let restored = Bellamy::from_checkpoint(&ck).expect("round trip");
+        let ck2 = restored.to_checkpoint();
+        prop_assert_eq!(ck.to_bytes(), ck2.to_bytes(), "checkpoint must be canonical");
+    }
+
+    #[test]
+    fn nnls_baseline_handles_any_curve(ctx in arb_context()) {
+        let profile = ground_truth_profile(&ctx);
+        let points: Vec<(f64, f64)> = (1..=6)
+            .map(|i| {
+                let x = (2 * i) as f64;
+                (x, profile.runtime(x))
+            })
+            .collect();
+        let model = ErnestModel::fit(&points).expect("fit succeeds");
+        for x in [3.0, 5.0, 9.0, 20.0] {
+            let p = model.predict(x);
+            prop_assert!(p.is_finite());
+            prop_assert!(p >= 0.0, "NNLS predictions are non-negative combos");
+        }
+    }
+}
