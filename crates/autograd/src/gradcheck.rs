@@ -59,7 +59,10 @@ pub fn check_gradients(
             max_abs = max_abs.max(abs);
             max_rel = max_rel.max(rel);
         }
-        reports.push(GradCheckReport { max_abs_error: max_abs, max_rel_error: max_rel });
+        reports.push(GradCheckReport {
+            max_abs_error: max_abs,
+            max_rel_error: max_rel,
+        });
     }
     reports
 }
@@ -89,7 +92,9 @@ mod tests {
     fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         Matrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
             // Keep away from 0 so SELU/Huber kinks don't break the finite
             // difference comparison.
@@ -129,7 +134,7 @@ mod tests {
             let h = tape.activate(h, Activation::Selu);
             let y = tape.matmul(h, w2);
             let y = tape.activate(y, Activation::Selu);
-            let out = tape.huber_loss(y, target.clone(), 1.0);
+            let out = tape.huber_loss(y, &target, 1.0);
             (tape, vec![x, w1, w2], out)
         });
     }
@@ -151,7 +156,7 @@ mod tests {
             let code = tape.activate(code, Activation::Selu);
             let rec = tape.matmul(code, wd);
             let rec = tape.activate(rec, Activation::Tanh);
-            let out = tape.mse_loss(rec, p.clone());
+            let out = tape.mse_loss(rec, &p);
             (tape, vec![we, wd], out)
         });
     }
@@ -188,8 +193,8 @@ mod tests {
             let x_id = tape.leaf(leaves[0].clone());
             let w_id = tape.leaf(leaves[1].clone());
             let y = tape.matmul(x_id, w_id);
-            let l1 = tape.huber_loss(y, t1.clone(), 1.0);
-            let l2 = tape.mse_loss(x_id, t2.clone());
+            let l1 = tape.huber_loss(y, &t1, 1.0);
+            let l2 = tape.mse_loss(x_id, &t2);
             let out = tape.add(l1, l2);
             (tape, vec![x_id, w_id], out)
         });

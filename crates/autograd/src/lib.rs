@@ -14,14 +14,17 @@
 //! let x = tape.leaf(Matrix::from_rows(&[vec![1.0, 2.0]]));
 //! let w = tape.leaf(Matrix::from_rows(&[vec![0.5], vec![-0.25]]));
 //! let y = tape.matmul(x, w);
-//! let loss = tape.mse_loss(y, Matrix::from_rows(&[vec![3.0]]));
+//! let loss = tape.mse_loss(y, &Matrix::from_rows(&[vec![3.0]]));
 //! let grads = tape.backward(loss);
 //! assert!(grads.get(w).is_some());
 //! ```
 //!
-//! A fresh tape is built for every training step (define-by-run, like
-//! PyTorch); the networks here are four tiny MLPs, so tape construction cost
-//! is negligible next to the matmuls.
+//! The tape is define-by-run like PyTorch, but it is also an **arena**: a
+//! training loop keeps one tape alive, calls [`Tape::reset`] each step, and
+//! replays the same graph into the retained node storage. Combined with the
+//! reusable [`Gradients`] workspace of [`Tape::backward_into`], the
+//! steady-state train step performs zero heap allocations (see the
+//! [`tape`] module docs for the lifecycle).
 
 pub mod gradcheck;
 pub mod ops;

@@ -1,7 +1,29 @@
-//! The tape: a flat, append-only record of operations for one forward pass.
+//! The tape: a flat, append-only record of operations for one forward pass,
+//! with an **arena** twist: [`Tape::reset`] rewinds the tape without freeing
+//! node storage, so replaying the same graph next step reuses every matrix
+//! in place and the steady-state training loop performs no heap allocation.
+//!
+//! # Arena lifecycle
+//!
+//! - A fresh tape behaves exactly like the classic define-by-run tape.
+//! - `reset()` sets the live-node cursor to zero but keeps the node vector.
+//! - Each op first claims the next node slot ([`Tape::begin`]): when the
+//!   slot's stored value already has the requested shape, the op computes
+//!   into it with the `*_into` kernels from `bellamy-linalg`; on a shape
+//!   divergence the stale suffix is retired into the tape's
+//!   [`BufferPool`] and rebuilt from pooled storage.
+//! - Op payload matrices (dropout masks, loss targets) are reused in place
+//!   the same way, so alternating between a handful of minibatch shapes
+//!   (e.g. the short last batch of each epoch) is also allocation-free once
+//!   every shape has been seen.
+//!
+//! Gradients follow the same discipline: [`Tape::backward_into`] writes into
+//! a caller-owned, reusable [`Gradients`] workspace and accumulates fan-in
+//! with `axpy` instead of cloning.
 
 use crate::ops::Activation;
-use bellamy_linalg::Matrix;
+use bellamy_linalg::{BufferPool, Matrix};
+use std::borrow::Cow;
 
 /// Index of a node on a [`Tape`]. Only valid for the tape that produced it.
 pub type NodeId = usize;
@@ -35,13 +57,25 @@ enum Op {
     ConcatCols(Vec<NodeId>),
     /// Column slice `[start, end)` of the input.
     SliceCols { input: NodeId, start: usize },
+    /// Row slice `[start, end)` of the input (contiguous block copy).
+    SliceRows { input: NodeId, start: usize },
     /// Elementwise mean of equally-shaped nodes (Eq. 6: optional-property codes).
     MeanOfNodes(Vec<NodeId>),
-    /// Affine dropout: `y = a * (x ⊙ mask) + shift`; gradient is `a * mask`.
-    /// Covers standard dropout (`a = 1/keep`, shift 0) and alpha-dropout.
-    Dropout { input: NodeId, mask: Matrix, scale: f64 },
+    /// Affine dropout: `y = scale·(x ⊙ mask) + shift0 + shift1·(1 - mask)`;
+    /// the gradient is `scale · mask`. Covers standard dropout
+    /// (`scale = 1/keep`, shifts 0) and alpha-dropout
+    /// (`shift0 = b`, `shift1 = a·α'`).
+    Dropout {
+        input: NodeId,
+        mask: Matrix,
+        scale: f64,
+    },
     /// Mean Huber loss against a constant target; produces a `1 x 1` node.
-    Huber { pred: NodeId, target: Matrix, delta: f64 },
+    Huber {
+        pred: NodeId,
+        target: Matrix,
+        delta: f64,
+    },
     /// Mean squared error against a constant target; produces a `1 x 1` node.
     Mse { pred: NodeId, target: Matrix },
     /// Sum of all elements; produces a `1 x 1` node.
@@ -50,126 +84,357 @@ enum Op {
     Mean(NodeId),
 }
 
+/// Sends an op's payloads (matrices, id vectors) back to the pools before
+/// the op is replaced.
+fn retire_op(op: &mut Op, pool: &mut BufferPool, ids: &mut Vec<Vec<NodeId>>) {
+    match std::mem::replace(op, Op::Leaf) {
+        Op::Dropout { mask, .. } => pool.put_matrix(mask),
+        Op::Huber { target, .. } | Op::Mse { target, .. } => pool.put_matrix(target),
+        Op::ConcatCols(v) | Op::MeanOfNodes(v) if v.capacity() > 0 => ids.push(v),
+        _ => {}
+    }
+}
+
 /// Gradients of a scalar output with respect to every node on the tape.
 ///
-/// Nodes the output does not depend on have no entry.
+/// Nodes the output does not depend on have no entry. The struct doubles as
+/// a reusable workspace: pass it to [`Tape::backward_into`] across steps and
+/// the per-node gradient matrices (plus the accumulation scratch) are reused
+/// instead of reallocated.
+#[derive(Default)]
 pub struct Gradients {
-    grads: Vec<Option<Matrix>>,
+    slots: Vec<Option<Matrix>>,
+    filled: Vec<bool>,
+    scratch: BufferPool,
 }
 
 impl Gradients {
+    /// An empty, reusable workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Gradient with respect to node `id`, if the differentiated scalar
     /// depends on it.
     pub fn get(&self, id: NodeId) -> Option<&Matrix> {
-        self.grads.get(id).and_then(|g| g.as_ref())
+        if *self.filled.get(id)? {
+            self.slots[id].as_ref()
+        } else {
+            None
+        }
     }
 
-    /// Gradient with respect to node `id`, or a zero matrix of the node's
-    /// shape when independent.
-    pub fn get_or_zeros(&self, id: NodeId, shape: (usize, usize)) -> Matrix {
+    /// Gradient with respect to node `id`: a borrow when present, an owned
+    /// zero matrix of the node's shape when the output is independent of it.
+    pub fn get_or_zeros(&self, id: NodeId, shape: (usize, usize)) -> Cow<'_, Matrix> {
         match self.get(id) {
-            Some(g) => g.clone(),
-            None => Matrix::zeros(shape.0, shape.1),
+            Some(g) => Cow::Borrowed(g),
+            None => Cow::Owned(Matrix::zeros(shape.0, shape.1)),
         }
+    }
+
+    /// Prepares the workspace for a backward sweep over `n` nodes.
+    fn start(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize_with(n, || None);
+        }
+        self.filled.clear();
+        self.filled.resize(n, false);
+    }
+
+    /// A mutable, shape-checked slot for node `id`, reusing storage when the
+    /// shape matches and recycling it through the scratch pool otherwise.
+    fn slot_mut(&mut self, id: NodeId, rows: usize, cols: usize) -> &mut Matrix {
+        let Self { slots, scratch, .. } = self;
+        let slot = &mut slots[id];
+        match slot {
+            Some(m) if m.shape() == (rows, cols) => {}
+            _ => {
+                if let Some(old) = slot.take() {
+                    scratch.put_matrix(old);
+                }
+                *slot = Some(scratch.take_matrix(rows, cols));
+            }
+        }
+        slot.as_mut().expect("slot just ensured")
     }
 }
 
 /// A define-by-run computation tape.
 ///
-/// Build one per forward/backward pass: create [`Tape::leaf`] nodes for the
-/// inputs and parameters, chain operations, then call [`Tape::backward`] on a
-/// `1 x 1` result node.
+/// Build one per forward/backward pass — or keep one alive and call
+/// [`Tape::reset`] between passes to reuse its storage (see the module
+/// docs). Create [`Tape::leaf`] nodes for the inputs and parameters, chain
+/// operations, then call [`Tape::backward`] (allocating) or
+/// [`Tape::backward_into`] (workspace-reusing) on a `1 x 1` result node.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    /// Number of live nodes; `nodes[live..]` are retained for reuse.
+    live: usize,
+    pool: BufferPool,
+    /// Retired `ConcatCols`/`MeanOfNodes` id vectors, reused on rebuild so
+    /// shape divergences stay allocation-free too.
+    id_pool: Vec<Vec<NodeId>>,
+    /// When set, activations use the seed implementation's libm scalar math
+    /// (std `tanh`/`exp`, derivative recomputed from the input) instead of
+    /// the polynomial kernels and output-derived derivatives. Only the
+    /// train-step benchmark's baseline turns this on.
+    reference_scalars: bool,
 }
 
 impl Tape {
     /// An empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self::default()
     }
 
-    /// Number of nodes recorded so far.
+    /// Number of nodes recorded since the last reset.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.live
     }
 
-    /// True if no nodes have been recorded.
+    /// True if no nodes have been recorded since the last reset.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.live == 0
+    }
+
+    /// Rewinds the tape without freeing node storage: the next pass reuses
+    /// every same-shaped matrix in place.
+    pub fn reset(&mut self) {
+        self.live = 0;
+    }
+
+    /// Switches activations to the seed implementation's libm scalar math
+    /// (benchmark baseline only; see the field docs).
+    #[doc(hidden)]
+    pub fn set_reference_scalars(&mut self, on: bool) {
+        self.reference_scalars = on;
     }
 
     /// Forward value of a node.
     pub fn value(&self, id: NodeId) -> &Matrix {
+        debug_assert!(id < self.live, "node {id} is not live");
         &self.nodes[id].value
     }
 
-    fn push(&mut self, value: Matrix, op: Op) -> NodeId {
-        debug_assert!(value.all_finite(), "non-finite value entering the tape");
-        self.nodes.push(Node { value, op });
-        self.nodes.len() - 1
+    /// Claims the next node slot with a `rows x cols` value matrix and
+    /// returns its id. Reuses the retained slot when shapes agree; otherwise
+    /// retires the stale suffix into the pool and rebuilds from it.
+    fn begin(&mut self, rows: usize, cols: usize) -> NodeId {
+        if self.live < self.nodes.len() {
+            if self.nodes[self.live].value.shape() == (rows, cols) {
+                self.live += 1;
+                return self.live - 1;
+            }
+            let live = self.live;
+            let Self {
+                nodes,
+                pool,
+                id_pool,
+                ..
+            } = self;
+            for mut node in nodes.drain(live..) {
+                retire_op(&mut node.op, pool, id_pool);
+                pool.put_matrix(node.value);
+            }
+        }
+        let value = self.pool.take_matrix(rows, cols);
+        self.nodes.push(Node {
+            value,
+            op: Op::Leaf,
+        });
+        self.live += 1;
+        self.live - 1
     }
 
-    /// Registers an input or parameter matrix.
+    /// Splits the node array at `id`, yielding the already-recorded prefix
+    /// and the node under construction.
+    fn parts(&mut self, id: NodeId) -> (&[Node], &mut Node) {
+        let (prev, rest) = self.nodes.split_at_mut(id);
+        (prev, &mut rest[0])
+    }
+
+    fn finish(&mut self, id: NodeId, op: Op) -> NodeId {
+        let Self {
+            nodes,
+            pool,
+            id_pool,
+            ..
+        } = self;
+        let node = &mut nodes[id];
+        retire_op(&mut node.op, pool, id_pool);
+        node.op = op;
+        debug_assert!(
+            node.value.all_finite(),
+            "non-finite value entering the tape"
+        );
+        id
+    }
+
+    /// A cleared id vector holding `parts`, drawn from the id pool.
+    fn adopt_ids(&mut self, parts: &[NodeId]) -> Vec<NodeId> {
+        let mut v = self.id_pool.pop().unwrap_or_default();
+        v.clear();
+        v.extend_from_slice(parts);
+        v
+    }
+
+    /// Registers an input or parameter matrix, copying it into arena
+    /// storage (the caller keeps ownership; no allocation once warm).
+    pub fn leaf_ref(&mut self, value: &Matrix) -> NodeId {
+        let id = self.begin(value.rows(), value.cols());
+        self.nodes[id].value.copy_from(value);
+        self.finish(id, Op::Leaf)
+    }
+
+    /// Registers an input or parameter matrix by value.
     pub fn leaf(&mut self, value: Matrix) -> NodeId {
-        self.push(value, Op::Leaf)
+        let id = self.begin(value.rows(), value.cols());
+        // Adopt the incoming storage and retire the slot's previous one, so
+        // by-value leaves stay move-cheap on fresh tapes.
+        let old = std::mem::replace(&mut self.nodes[id].value, value);
+        self.pool.put_matrix(old);
+        self.finish(id, Op::Leaf)
     }
 
     /// Matrix product `a * b`.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let value = self.value(a).matmul(self.value(b));
-        self.push(value, Op::MatMul(a, b))
+        let (m, n) = (self.value(a).rows(), self.value(b).cols());
+        let id = self.begin(m, n);
+        let reference = self.reference_scalars;
+        let (prev, node) = self.parts(id);
+        if reference {
+            prev[a]
+                .value
+                .matmul_reference_into(&prev[b].value, &mut node.value);
+        } else {
+            prev[a].value.matmul_into(&prev[b].value, &mut node.value);
+        }
+        self.finish(id, Op::MatMul(a, b))
     }
 
     /// Elementwise sum. Both operands must share a shape; `1 x 1` nodes can
     /// be combined with [`Tape::add`] to accumulate losses.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let value = self.value(a).add(self.value(b));
-        self.push(value, Op::Add(a, b))
+        let (r, c) = self.value(a).shape();
+        let id = self.begin(r, c);
+        let (prev, node) = self.parts(id);
+        prev[a].value.add_into(&prev[b].value, &mut node.value);
+        self.finish(id, Op::Add(a, b))
     }
 
     /// Elementwise difference `a - b`.
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let value = self.value(a).sub(self.value(b));
-        self.push(value, Op::Sub(a, b))
+        let (r, c) = self.value(a).shape();
+        let id = self.begin(r, c);
+        let (prev, node) = self.parts(id);
+        prev[a]
+            .value
+            .zip_apply_into(&prev[b].value, &mut node.value, |x, y| x - y);
+        self.finish(id, Op::Sub(a, b))
     }
 
     /// Elementwise product.
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let value = self.value(a).hadamard(self.value(b));
-        self.push(value, Op::Mul(a, b))
+        let (r, c) = self.value(a).shape();
+        let id = self.begin(r, c);
+        let (prev, node) = self.parts(id);
+        prev[a]
+            .value
+            .zip_apply_into(&prev[b].value, &mut node.value, |x, y| x * y);
+        self.finish(id, Op::Mul(a, b))
     }
 
     /// Scalar multiple `alpha * a`.
     pub fn scale(&mut self, a: NodeId, alpha: f64) -> NodeId {
-        let value = self.value(a).scale(alpha);
-        self.push(value, Op::Scale(a, alpha))
+        let (r, c) = self.value(a).shape();
+        let id = self.begin(r, c);
+        let (prev, node) = self.parts(id);
+        prev[a].value.scale_into(alpha, &mut node.value);
+        self.finish(id, Op::Scale(a, alpha))
     }
 
     /// Adds a `1 x cols` bias row to every row of `x`.
     pub fn add_bias(&mut self, x: NodeId, bias: NodeId) -> NodeId {
-        let value = self.value(x).broadcast_add_row(self.value(bias));
-        self.push(value, Op::AddBias(x, bias))
+        let (r, c) = self.value(x).shape();
+        let id = self.begin(r, c);
+        let (prev, node) = self.parts(id);
+        prev[x]
+            .value
+            .broadcast_add_row_into(&prev[bias].value, &mut node.value);
+        self.finish(id, Op::AddBias(x, bias))
     }
 
     /// Applies an elementwise activation.
     pub fn activate(&mut self, x: NodeId, act: Activation) -> NodeId {
-        let value = self.value(x).map(|v| act.apply(v));
-        self.push(value, Op::Unary(x, act))
+        let (r, c) = self.value(x).shape();
+        let id = self.begin(r, c);
+        let reference = self.reference_scalars;
+        let (prev, node) = self.parts(id);
+        if reference {
+            prev[x]
+                .value
+                .map_into(&mut node.value, |v| act.apply_reference(v));
+        } else {
+            prev[x].value.map_into(&mut node.value, |v| act.apply(v));
+        }
+        self.finish(id, Op::Unary(x, act))
     }
 
     /// Horizontally concatenates nodes with equal row counts.
     pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
-        let values: Vec<&Matrix> = parts.iter().map(|&id| self.value(id)).collect();
-        let value = Matrix::concat_cols(&values);
-        self.push(value, Op::ConcatCols(parts.to_vec()))
+        assert!(!parts.is_empty(), "concat_cols of no nodes");
+        let rows = self.value(parts[0]).rows();
+        let cols = parts.iter().map(|&p| self.value(p).cols()).sum();
+        let id = self.begin(rows, cols);
+        let (prev, node) = self.parts(id);
+        for i in 0..rows {
+            let orow = node.value.row_mut(i);
+            let mut offset = 0;
+            for &p in parts {
+                let v = &prev[p].value;
+                assert_eq!(v.rows(), rows, "concat_cols row mismatch");
+                orow[offset..offset + v.cols()].copy_from_slice(v.row(i));
+                offset += v.cols();
+            }
+        }
+        // Reuse the previous id vector when the slot already held a concat.
+        if let Op::ConcatCols(ids) = &mut self.nodes[id].op {
+            ids.clear();
+            ids.extend_from_slice(parts);
+            debug_assert!(self.nodes[id].value.all_finite());
+            id
+        } else {
+            let ids = self.adopt_ids(parts);
+            self.finish(id, Op::ConcatCols(ids))
+        }
     }
 
     /// Copies columns `[start, end)` of `x`.
     pub fn slice_cols(&mut self, x: NodeId, start: usize, end: usize) -> NodeId {
-        let value = self.value(x).slice_cols(start, end);
-        self.push(value, Op::SliceCols { input: x, start })
+        let rows = self.value(x).rows();
+        let id = self.begin(rows, end - start);
+        let (prev, node) = self.parts(id);
+        prev[x].value.slice_cols_into(start, end, &mut node.value);
+        self.finish(id, Op::SliceCols { input: x, start })
+    }
+
+    /// Copies rows `[start, end)` of `x` — the inverse of stacking
+    /// equally-shaped matrices by rows, used to split per-property codes
+    /// out of the batched auto-encoder output.
+    pub fn slice_rows(&mut self, x: NodeId, start: usize, end: usize) -> NodeId {
+        let (rows, cols) = self.value(x).shape();
+        assert!(
+            start <= end && end <= rows,
+            "slice_rows range out of bounds"
+        );
+        let id = self.begin(end - start, cols);
+        let (prev, node) = self.parts(id);
+        node.value
+            .as_mut_slice()
+            .copy_from_slice(&prev[x].value.as_slice()[start * cols..end * cols]);
+        self.finish(id, Op::SliceRows { input: x, start })
     }
 
     /// Elementwise mean of equally-shaped nodes (used for the optional-code
@@ -179,36 +444,116 @@ impl Tape {
     /// Panics if `parts` is empty.
     pub fn mean_of_nodes(&mut self, parts: &[NodeId]) -> NodeId {
         assert!(!parts.is_empty(), "mean_of_nodes with no inputs");
-        let mut acc = self.value(parts[0]).clone();
-        for &id in &parts[1..] {
-            acc.add_assign(self.value(id));
+        let (r, c) = self.value(parts[0]).shape();
+        let id = self.begin(r, c);
+        let (prev, node) = self.parts(id);
+        node.value.copy_from(&prev[parts[0]].value);
+        for &p in &parts[1..] {
+            node.value.add_assign(&prev[p].value);
         }
-        acc.scale_in_place(1.0 / parts.len() as f64);
-        self.push(acc, Op::MeanOfNodes(parts.to_vec()))
+        node.value.scale_in_place(1.0 / parts.len() as f64);
+        if let Op::MeanOfNodes(ids) = &mut self.nodes[id].op {
+            ids.clear();
+            ids.extend_from_slice(parts);
+            id
+        } else {
+            let ids = self.adopt_ids(parts);
+            self.finish(id, Op::MeanOfNodes(ids))
+        }
     }
 
-    /// Applies a precomputed dropout transform `y = scale * (x ⊙ mask) + shift`.
+    /// Applies an affine dropout transform
+    /// `y = scale·(x ⊙ mask) + shift0 + shift1·(1 - mask)`, drawing each
+    /// mask element from `draw_mask` (typically a Bernoulli 0/1 draw).
     ///
-    /// The caller supplies the Bernoulli `mask` and the affine constants;
-    /// `bellamy-nn` wraps this for standard and alpha dropout. `shift` is a
-    /// constant and therefore does not participate in the gradient.
-    pub fn dropout(&mut self, x: NodeId, mask: Matrix, scale: f64, shift: &Matrix) -> NodeId {
-        let value = {
-            let xv = self.value(x);
-            let mut v = xv.hadamard(&mask);
-            v.scale_in_place(scale);
-            v.add_assign(shift);
-            v
+    /// The mask matrix lives inside the op and is reused across arena
+    /// replays. `shift0`/`shift1` are constants and do not participate in
+    /// the gradient; `bellamy-nn` wraps this for standard dropout
+    /// (`scale = 1/keep`, shifts 0) and alpha dropout (`shift0 = b`,
+    /// `shift1 = a·α'`).
+    pub fn dropout(
+        &mut self,
+        x: NodeId,
+        scale: f64,
+        shift0: f64,
+        shift1: f64,
+        mut draw_mask: impl FnMut() -> f64,
+    ) -> NodeId {
+        let (r, c) = self.value(x).shape();
+        let id = self.begin(r, c);
+        let Self {
+            nodes,
+            pool,
+            id_pool,
+            ..
+        } = self;
+        let (prev, rest) = nodes.split_at_mut(id);
+        let node = &mut rest[0];
+        let mut mask = match std::mem::replace(&mut node.op, Op::Leaf) {
+            Op::Dropout { mask, .. } if mask.shape() == (r, c) => mask,
+            mut old => {
+                retire_op(&mut old, pool, id_pool);
+                pool.take_matrix(r, c)
+            }
         };
-        self.push(value, Op::Dropout { input: x, mask, scale })
+        for m in mask.as_mut_slice() {
+            *m = draw_mask();
+        }
+        prev[x]
+            .value
+            .zip_apply_into(&mask, &mut node.value, |xi, mi| {
+                xi * mi * scale + shift0 + shift1 * (1.0 - mi)
+            });
+        node.op = Op::Dropout {
+            input: x,
+            mask,
+            scale,
+        };
+        debug_assert!(
+            node.value.all_finite(),
+            "non-finite value entering the tape"
+        );
+        id
+    }
+
+    /// Ensures the node's op holds a target matrix with the given contents,
+    /// reusing the stored one when shapes agree.
+    fn adopt_target(&mut self, id: NodeId, target: &Matrix) -> Matrix {
+        let Self {
+            nodes,
+            pool,
+            id_pool,
+            ..
+        } = self;
+        let node = &mut nodes[id];
+        match std::mem::replace(&mut node.op, Op::Leaf) {
+            Op::Huber { target: mut t, .. } | Op::Mse { target: mut t, .. }
+                if t.shape() == target.shape() =>
+            {
+                t.copy_from(target);
+                t
+            }
+            mut old => {
+                retire_op(&mut old, pool, id_pool);
+                let mut t = pool.take_matrix(target.rows(), target.cols());
+                t.copy_from(target);
+                t
+            }
+        }
     }
 
     /// Mean Huber loss of `pred` against a constant `target` (both same
     /// shape). `delta` is the quadratic-to-linear transition point.
-    pub fn huber_loss(&mut self, pred: NodeId, target: Matrix, delta: f64) -> NodeId {
+    pub fn huber_loss(&mut self, pred: NodeId, target: &Matrix, delta: f64) -> NodeId {
         assert!(delta > 0.0, "huber delta must be positive");
-        let p = self.value(pred);
-        assert_eq!(p.shape(), target.shape(), "huber target shape mismatch");
+        assert_eq!(
+            self.value(pred).shape(),
+            target.shape(),
+            "huber target shape mismatch"
+        );
+        let id = self.begin(1, 1);
+        let target = self.adopt_target(id, target);
+        let p = &self.nodes[pred].value;
         let n = p.len() as f64;
         let mut total = 0.0;
         for (&pi, &ti) in p.as_slice().iter().zip(target.as_slice().iter()) {
@@ -219,14 +564,25 @@ impl Tape {
                 delta * (d.abs() - 0.5 * delta)
             };
         }
-        let value = Matrix::from_vec(1, 1, vec![total / n]);
-        self.push(value, Op::Huber { pred, target, delta })
+        self.nodes[id].value[(0, 0)] = total / n;
+        self.nodes[id].op = Op::Huber {
+            pred,
+            target,
+            delta,
+        };
+        id
     }
 
     /// Mean squared error of `pred` against a constant `target`.
-    pub fn mse_loss(&mut self, pred: NodeId, target: Matrix) -> NodeId {
-        let p = self.value(pred);
-        assert_eq!(p.shape(), target.shape(), "mse target shape mismatch");
+    pub fn mse_loss(&mut self, pred: NodeId, target: &Matrix) -> NodeId {
+        assert_eq!(
+            self.value(pred).shape(),
+            target.shape(),
+            "mse target shape mismatch"
+        );
+        let id = self.begin(1, 1);
+        let target = self.adopt_target(id, target);
+        let p = &self.nodes[pred].value;
         let n = p.len() as f64;
         let total: f64 = p
             .as_slice()
@@ -234,96 +590,167 @@ impl Tape {
             .zip(target.as_slice().iter())
             .map(|(&pi, &ti)| (pi - ti) * (pi - ti))
             .sum();
-        let value = Matrix::from_vec(1, 1, vec![total / n]);
-        self.push(value, Op::Mse { pred, target })
+        self.nodes[id].value[(0, 0)] = total / n;
+        self.nodes[id].op = Op::Mse { pred, target };
+        id
     }
 
     /// Sum of all elements, as a `1 x 1` node.
     pub fn sum(&mut self, x: NodeId) -> NodeId {
-        let value = Matrix::from_vec(1, 1, vec![self.value(x).sum()]);
-        self.push(value, Op::Sum(x))
+        let id = self.begin(1, 1);
+        let (prev, node) = self.parts(id);
+        node.value[(0, 0)] = prev[x].value.sum();
+        self.finish(id, Op::Sum(x))
     }
 
     /// Mean of all elements, as a `1 x 1` node.
     pub fn mean(&mut self, x: NodeId) -> NodeId {
-        let value = Matrix::from_vec(1, 1, vec![self.value(x).mean()]);
-        self.push(value, Op::Mean(x))
+        let id = self.begin(1, 1);
+        let (prev, node) = self.parts(id);
+        node.value[(0, 0)] = prev[x].value.mean();
+        self.finish(id, Op::Mean(x))
     }
 
-    /// Reverse-mode sweep from the `1 x 1` node `output`.
+    /// Reverse-mode sweep from the `1 x 1` node `output`, into a fresh
+    /// [`Gradients`]. Prefer [`Tape::backward_into`] in loops.
     ///
     /// # Panics
     /// Panics if `output` is not scalar-shaped.
     pub fn backward(&self, output: NodeId) -> Gradients {
+        let mut grads = Gradients::new();
+        self.backward_into(output, &mut grads);
+        grads
+    }
+
+    /// Reverse-mode sweep from the `1 x 1` node `output`, writing into a
+    /// reusable workspace. After warm-up the sweep performs no heap
+    /// allocation: per-node gradient matrices are reused in place and
+    /// fan-in accumulates via `axpy` into the existing slot.
+    ///
+    /// # Panics
+    /// Panics if `output` is not scalar-shaped.
+    pub fn backward_into(&self, output: NodeId, grads: &mut Gradients) {
         assert_eq!(
             self.value(output).shape(),
             (1, 1),
             "backward requires a scalar (1x1) output node"
         );
-        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
-        grads[output] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        grads.start(self.live);
+        grads.slot_mut(output, 1, 1)[(0, 0)] = 1.0;
+        grads.filled[output] = true;
 
         for id in (0..=output).rev() {
-            let Some(grad) = grads[id].take() else {
+            if !grads.filled[id] {
                 continue;
-            };
-            self.accumulate_parents(id, &grad, &mut grads);
-            grads[id] = Some(grad);
-        }
-
-        Gradients { grads }
-    }
-
-    /// Adds `delta` into the gradient slot of `id`.
-    fn accumulate(grads: &mut [Option<Matrix>], id: NodeId, delta: Matrix) {
-        match &mut grads[id] {
-            Some(existing) => existing.add_assign(&delta),
-            slot @ None => *slot = Some(delta),
+            }
+            // Temporarily take the node's gradient out of the workspace so
+            // parent slots can be written while it is read.
+            let grad = grads.slots[id].take().expect("filled slots hold a matrix");
+            self.accumulate_parents(id, &grad, grads);
+            grads.slots[id] = Some(grad);
         }
     }
 
-    fn accumulate_parents(&self, id: NodeId, grad: &Matrix, grads: &mut [Option<Matrix>]) {
+    /// Routes `delta = compute()` into the gradient slot of `parent`:
+    /// overwriting the slot directly on first touch, accumulating with
+    /// `axpy` through pooled scratch afterwards.
+    fn accumulate(
+        grads: &mut Gradients,
+        parent: NodeId,
+        rows: usize,
+        cols: usize,
+        compute: impl FnOnce(&mut Matrix),
+    ) {
+        if grads.filled[parent] {
+            let mut tmp = grads.scratch.take_matrix(rows, cols);
+            compute(&mut tmp);
+            grads.slots[parent]
+                .as_mut()
+                .expect("filled slots hold a matrix")
+                .axpy(1.0, &tmp);
+            grads.scratch.put_matrix(tmp);
+        } else {
+            compute(grads.slot_mut(parent, rows, cols));
+            grads.filled[parent] = true;
+        }
+    }
+
+    fn accumulate_parents(&self, id: NodeId, grad: &Matrix, grads: &mut Gradients) {
         match &self.nodes[id].op {
             Op::Leaf => {}
             Op::MatMul(a, b) => {
                 // dA = dC * B^T ; dB = A^T * dC
-                let da = grad.matmul_transpose_b(self.value(*b));
-                let db = self.value(*a).transpose_a_matmul(grad);
-                Self::accumulate(grads, *a, da);
-                Self::accumulate(grads, *b, db);
+                let (bv, av) = (self.value(*b), self.value(*a));
+                let reference = self.reference_scalars;
+                Self::accumulate(grads, *a, av.rows(), av.cols(), |m| {
+                    if reference {
+                        grad.matmul_transpose_b_reference_into(bv, m)
+                    } else {
+                        grad.matmul_transpose_b_into(bv, m)
+                    }
+                });
+                Self::accumulate(grads, *b, bv.rows(), bv.cols(), |m| {
+                    av.transpose_a_matmul_into(grad, m)
+                });
             }
             Op::Add(a, b) => {
-                Self::accumulate(grads, *a, grad.clone());
-                Self::accumulate(grads, *b, grad.clone());
+                for &p in [a, b] {
+                    Self::accumulate(grads, p, grad.rows(), grad.cols(), |m| m.copy_from(grad));
+                }
             }
             Op::Sub(a, b) => {
-                Self::accumulate(grads, *a, grad.clone());
-                Self::accumulate(grads, *b, grad.scale(-1.0));
+                Self::accumulate(grads, *a, grad.rows(), grad.cols(), |m| m.copy_from(grad));
+                Self::accumulate(grads, *b, grad.rows(), grad.cols(), |m| {
+                    grad.scale_into(-1.0, m)
+                });
             }
             Op::Mul(a, b) => {
-                let da = grad.hadamard(self.value(*b));
-                let db = grad.hadamard(self.value(*a));
-                Self::accumulate(grads, *a, da);
-                Self::accumulate(grads, *b, db);
+                let (av, bv) = (self.value(*a), self.value(*b));
+                Self::accumulate(grads, *a, grad.rows(), grad.cols(), |m| {
+                    grad.zip_apply_into(bv, m, |g, v| g * v)
+                });
+                Self::accumulate(grads, *b, grad.rows(), grad.cols(), |m| {
+                    grad.zip_apply_into(av, m, |g, v| g * v)
+                });
             }
             Op::Scale(a, alpha) => {
-                Self::accumulate(grads, *a, grad.scale(*alpha));
+                let alpha = *alpha;
+                Self::accumulate(grads, *a, grad.rows(), grad.cols(), |m| {
+                    grad.scale_into(alpha, m)
+                });
             }
             Op::AddBias(x, bias) => {
-                Self::accumulate(grads, *x, grad.clone());
+                Self::accumulate(grads, *x, grad.rows(), grad.cols(), |m| m.copy_from(grad));
                 // Bias gradient sums over the batch dimension.
-                Self::accumulate(grads, *bias, grad.sum_rows());
+                Self::accumulate(grads, *bias, 1, grad.cols(), |m| grad.sum_rows_into(m));
             }
             Op::Unary(x, act) => {
-                let input = self.value(*x);
-                let dx = grad.zip_map(input, |g, xi| g * act.derivative(xi));
-                Self::accumulate(grads, *x, dx);
+                // The forward value is on the tape, so the derivative comes
+                // transcendental-free from (input, output) pairs.
+                let (input, act) = (self.value(*x), *act);
+                let output = self.value(id);
+                let reference = self.reference_scalars;
+                Self::accumulate(grads, *x, grad.rows(), grad.cols(), |m| {
+                    let out = m.as_mut_slice();
+                    let (gs, xs, ys) = (grad.as_slice(), input.as_slice(), output.as_slice());
+                    if reference {
+                        for i in 0..out.len() {
+                            out[i] = gs[i] * act.derivative_reference(xs[i]);
+                        }
+                    } else {
+                        for i in 0..out.len() {
+                            out[i] = gs[i] * act.derivative_from(xs[i], ys[i]);
+                        }
+                    }
+                });
             }
             Op::ConcatCols(parts) => {
                 let mut offset = 0;
                 for &p in parts {
                     let w = self.value(p).cols();
-                    Self::accumulate(grads, p, grad.slice_cols(offset, offset + w));
+                    Self::accumulate(grads, p, grad.rows(), w, |m| {
+                        grad.slice_cols_into(offset, offset + w, m)
+                    });
                     offset += w;
                 }
             }
@@ -331,51 +758,74 @@ impl Tape {
                 // Scatter the slice gradient back into a zero matrix of the
                 // input's shape.
                 let (rows, cols) = self.value(*input).shape();
-                let mut dx = Matrix::zeros(rows, cols);
-                for i in 0..rows {
-                    let src = grad.row(i);
-                    dx.row_mut(i)[*start..*start + src.len()].copy_from_slice(src);
-                }
-                Self::accumulate(grads, *input, dx);
+                let start = *start;
+                Self::accumulate(grads, *input, rows, cols, |m| {
+                    m.fill(0.0);
+                    for i in 0..rows {
+                        let src = grad.row(i);
+                        m.row_mut(i)[start..start + src.len()].copy_from_slice(src);
+                    }
+                });
+            }
+            Op::SliceRows { input, start } => {
+                // Scatter the slice gradient back into a zero matrix of the
+                // input's shape (a single contiguous block).
+                let (rows, cols) = self.value(*input).shape();
+                let start = *start;
+                let g = grad.as_slice();
+                Self::accumulate(grads, *input, rows, cols, |m| {
+                    m.fill(0.0);
+                    m.as_mut_slice()[start * cols..start * cols + g.len()].copy_from_slice(g);
+                });
             }
             Op::MeanOfNodes(parts) => {
-                let share = grad.scale(1.0 / parts.len() as f64);
+                let share = 1.0 / parts.len() as f64;
                 for &p in parts {
-                    Self::accumulate(grads, p, share.clone());
+                    Self::accumulate(grads, p, grad.rows(), grad.cols(), |m| {
+                        grad.scale_into(share, m)
+                    });
                 }
             }
             Op::Dropout { input, mask, scale } => {
-                let mut dx = grad.hadamard(mask);
-                dx.scale_in_place(*scale);
-                Self::accumulate(grads, *input, dx);
+                let scale = *scale;
+                Self::accumulate(grads, *input, grad.rows(), grad.cols(), |m| {
+                    grad.zip_apply_into(mask, m, |g, mi| g * mi * scale)
+                });
             }
-            Op::Huber { pred, target, delta } => {
+            Op::Huber {
+                pred,
+                target,
+                delta,
+            } => {
                 let p = self.value(*pred);
                 let n = p.len() as f64;
                 let seed = grad[(0, 0)];
-                let dx = p.zip_map(target, |pi, ti| {
-                    let d = pi - ti;
-                    seed * d.clamp(-*delta, *delta) / n
+                let delta = *delta;
+                Self::accumulate(grads, *pred, p.rows(), p.cols(), |m| {
+                    p.zip_apply_into(target, m, |pi, ti| {
+                        let d = pi - ti;
+                        seed * d.clamp(-delta, delta) / n
+                    })
                 });
-                Self::accumulate(grads, *pred, dx);
             }
             Op::Mse { pred, target } => {
                 let p = self.value(*pred);
                 let n = p.len() as f64;
                 let seed = grad[(0, 0)];
-                let dx = p.zip_map(target, |pi, ti| seed * 2.0 * (pi - ti) / n);
-                Self::accumulate(grads, *pred, dx);
+                Self::accumulate(grads, *pred, p.rows(), p.cols(), |m| {
+                    p.zip_apply_into(target, m, |pi, ti| seed * 2.0 * (pi - ti) / n)
+                });
             }
             Op::Sum(x) => {
                 let (rows, cols) = self.value(*x).shape();
                 let seed = grad[(0, 0)];
-                Self::accumulate(grads, *x, Matrix::filled(rows, cols, seed));
+                Self::accumulate(grads, *x, rows, cols, |m| m.fill(seed));
             }
             Op::Mean(x) => {
                 let (rows, cols) = self.value(*x).shape();
                 let n = (rows * cols) as f64;
                 let seed = grad[(0, 0)];
-                Self::accumulate(grads, *x, Matrix::filled(rows, cols, seed / n));
+                Self::accumulate(grads, *x, rows, cols, |m| m.fill(seed / n));
             }
         }
     }
@@ -431,24 +881,36 @@ mod tests {
     fn mse_loss_value_and_gradient() {
         let mut tape = Tape::new();
         let p = tape.leaf(Matrix::row_vector(&[2.0, 4.0]));
-        let loss = tape.mse_loss(p, Matrix::row_vector(&[0.0, 0.0]));
+        let loss = tape.mse_loss(p, &Matrix::row_vector(&[0.0, 0.0]));
         // (4 + 16) / 2 = 10
         assert!((scalar(&tape, loss) - 10.0).abs() < 1e-12);
         let grads = tape.backward(loss);
         // d/dp mean((p - t)^2) = 2 (p - t) / n = [2, 4]
-        assert!(grads.get(p).unwrap().max_abs_diff(&Matrix::row_vector(&[2.0, 4.0])) < 1e-12);
+        assert!(
+            grads
+                .get(p)
+                .unwrap()
+                .max_abs_diff(&Matrix::row_vector(&[2.0, 4.0]))
+                < 1e-12
+        );
     }
 
     #[test]
     fn huber_loss_quadratic_and_linear_regions() {
         let mut tape = Tape::new();
         let p = tape.leaf(Matrix::row_vector(&[0.5, 3.0]));
-        let loss = tape.huber_loss(p, Matrix::row_vector(&[0.0, 0.0]), 1.0);
+        let loss = tape.huber_loss(p, &Matrix::row_vector(&[0.0, 0.0]), 1.0);
         // elem 0: 0.5*0.25 = 0.125 (quadratic); elem 1: 1*(3-0.5) = 2.5 (linear)
         assert!((scalar(&tape, loss) - (0.125 + 2.5) / 2.0).abs() < 1e-12);
         let grads = tape.backward(loss);
         // grad elem 0: 0.5/2; elem 1: clamp -> 1/2.
-        assert!(grads.get(p).unwrap().max_abs_diff(&Matrix::row_vector(&[0.25, 0.5])) < 1e-12);
+        assert!(
+            grads
+                .get(p)
+                .unwrap()
+                .max_abs_diff(&Matrix::row_vector(&[0.25, 0.5]))
+                < 1e-12
+        );
     }
 
     #[test]
@@ -464,6 +926,42 @@ mod tests {
         let grads = tape.backward(s);
         assert_eq!(grads.get(a).unwrap(), &Matrix::row_vector(&[10.0]));
         assert_eq!(grads.get(b).unwrap(), &Matrix::row_vector(&[100.0, 1000.0]));
+    }
+
+    #[test]
+    fn slice_rows_round_trips_stacked_blocks() {
+        let mut tape = Tape::new();
+        let stacked = tape.leaf(Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+            vec![7.0, 8.0],
+        ]));
+        let top = tape.slice_rows(stacked, 0, 2);
+        let bottom = tape.slice_rows(stacked, 2, 4);
+        assert_eq!(
+            tape.value(top),
+            &Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])
+        );
+        assert_eq!(
+            tape.value(bottom),
+            &Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]])
+        );
+        // Gradient of sum(2*top) + sum(bottom) scatters per block.
+        let scaled = tape.scale(top, 2.0);
+        let s1 = tape.sum(scaled);
+        let s2 = tape.sum(bottom);
+        let total = tape.add(s1, s2);
+        let grads = tape.backward(total);
+        assert_eq!(
+            grads.get(stacked).unwrap(),
+            &Matrix::from_rows(&[
+                vec![2.0, 2.0],
+                vec![2.0, 2.0],
+                vec![1.0, 1.0],
+                vec![1.0, 1.0],
+            ])
+        );
     }
 
     #[test]
@@ -490,11 +988,13 @@ mod tests {
         let s = tape.sum(m);
         let grads = tape.backward(s);
         for id in [a, b, c] {
-            assert!(grads
-                .get(id)
-                .unwrap()
-                .max_abs_diff(&Matrix::filled(1, 2, 1.0 / 3.0))
-                < 1e-12);
+            assert!(
+                grads
+                    .get(id)
+                    .unwrap()
+                    .max_abs_diff(&Matrix::filled(1, 2, 1.0 / 3.0))
+                    < 1e-12
+            );
         }
     }
 
@@ -502,13 +1002,28 @@ mod tests {
     fn dropout_masks_gradient() {
         let mut tape = Tape::new();
         let x = tape.leaf(Matrix::row_vector(&[1.0, 2.0, 3.0]));
-        let mask = Matrix::row_vector(&[1.0, 0.0, 1.0]);
-        let shift = Matrix::zeros(1, 3);
-        let y = tape.dropout(x, mask, 2.0, &shift);
+        // Deterministic mask 1, 0, 1 with scale 2.
+        let mut draws = [1.0, 0.0, 1.0].into_iter();
+        let y = tape.dropout(x, 2.0, 0.0, 0.0, || draws.next().unwrap());
         assert_eq!(tape.value(y), &Matrix::row_vector(&[2.0, 0.0, 6.0]));
         let s = tape.sum(y);
         let grads = tape.backward(s);
         assert_eq!(grads.get(x).unwrap(), &Matrix::row_vector(&[2.0, 0.0, 2.0]));
+    }
+
+    #[test]
+    fn dropout_affine_shift_is_constant_in_gradient() {
+        // Alpha-dropout shape: dropped entries take shift0 + shift1, kept
+        // entries scale; gradient ignores the shift.
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::row_vector(&[2.0, 4.0]));
+        let mut draws = [0.0, 1.0].into_iter();
+        let y = tape.dropout(x, 3.0, 0.5, 0.25, || draws.next().unwrap());
+        // dropped: 0.5 + 0.25; kept: 4*3 + 0.5.
+        assert_eq!(tape.value(y), &Matrix::row_vector(&[0.75, 12.5]));
+        let s = tape.sum(y);
+        let grads = tape.backward(s);
+        assert_eq!(grads.get(x).unwrap(), &Matrix::row_vector(&[0.0, 3.0]));
     }
 
     #[test]
@@ -520,9 +1035,10 @@ mod tests {
         let grads = tape.backward(s);
         assert!(grads.get(unused).is_none());
         assert_eq!(
-            grads.get_or_zeros(unused, (1, 1)),
-            Matrix::zeros(1, 1)
+            grads.get_or_zeros(unused, (1, 1)).as_ref(),
+            &Matrix::zeros(1, 1)
         );
+        assert_eq!(grads.get_or_zeros(used, (1, 1)).as_ref(), tape.value(s));
     }
 
     #[test]
@@ -557,5 +1073,67 @@ mod tests {
         let mut tape = Tape::new();
         let x = tape.leaf(Matrix::row_vector(&[1.0, 2.0]));
         let _ = tape.backward(x);
+    }
+
+    /// Builds a small MLP loss on the given tape; returns (x, w, loss).
+    fn build_mlp(tape: &mut Tape, x: &Matrix, w: &Matrix, t: &Matrix) -> (NodeId, NodeId, NodeId) {
+        let xn = tape.leaf_ref(x);
+        let wn = tape.leaf_ref(w);
+        let h = tape.matmul(xn, wn);
+        let a = tape.activate(h, Activation::Selu);
+        let loss = tape.mse_loss(a, t);
+        (xn, wn, loss)
+    }
+
+    #[test]
+    fn reset_replay_matches_fresh_tape_bitwise() {
+        let x = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64 * 0.17 - 0.9);
+        let w = Matrix::from_fn(3, 2, |i, j| ((i + 1) * (j + 2)) as f64 * 0.11);
+        let t = Matrix::filled(4, 2, 0.4);
+
+        // Fresh tape per step.
+        let mut fresh = Tape::new();
+        let (fx, fw, floss) = build_mlp(&mut fresh, &x, &w, &t);
+        let fresh_grads = fresh.backward(floss);
+
+        // One tape, reset and replayed several times with a reusable
+        // gradient workspace.
+        let mut arena = Tape::new();
+        let mut grads = Gradients::new();
+        for step in 0..5 {
+            arena.reset();
+            let (ax, aw, aloss) = build_mlp(&mut arena, &x, &w, &t);
+            assert_eq!((ax, aw), (fx, fw), "replay must assign identical ids");
+            arena.backward_into(aloss, &mut grads);
+            assert_eq!(
+                arena.value(aloss),
+                fresh.value(floss),
+                "step {step}: loss must be bit-identical"
+            );
+            assert_eq!(grads.get(ax), fresh_grads.get(fx), "step {step}: dx");
+            assert_eq!(grads.get(aw), fresh_grads.get(fw), "step {step}: dw");
+        }
+    }
+
+    #[test]
+    fn reset_with_changing_shapes_recycles_storage() {
+        let mut tape = Tape::new();
+        let mut grads = Gradients::new();
+        // Alternate between two batch sizes like an epoch's last minibatch.
+        for step in 0..6 {
+            let rows = if step % 2 == 0 { 8 } else { 3 };
+            tape.reset();
+            let x = tape.leaf_ref(&Matrix::filled(rows, 2, 0.5));
+            let w = tape.leaf_ref(&Matrix::filled(2, 1, 1.5));
+            let y = tape.matmul(x, w);
+            let loss = tape.mse_loss(y, &Matrix::zeros(rows, 1));
+            tape.backward_into(loss, &mut grads);
+            // loss = mean((0.5*1.5*2)^2) = 2.25 regardless of batch size.
+            assert!(
+                (tape.value(loss)[(0, 0)] - 2.25).abs() < 1e-12,
+                "step {step}"
+            );
+            assert_eq!(grads.get(w).unwrap().shape(), (2, 1));
+        }
     }
 }

@@ -10,11 +10,8 @@ use proptest::prelude::*;
 /// Strategy: a matrix of the given shape with values bounded away from the
 /// SELU/Huber kinks (|v| in [0.05, 2]).
 fn kink_free(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(
-        prop_oneof![0.05f64..2.0, -2.0f64..-0.05],
-        rows * cols,
-    )
-    .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    proptest::collection::vec(prop_oneof![0.05f64..2.0, -2.0f64..-0.05], rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
 }
 
 proptest! {
@@ -42,7 +39,7 @@ proptest! {
             let h = tape.matmul(x, w1);
             let h = tape.activate(h, act);
             let y = tape.matmul(h, w2);
-            let loss = tape.mse_loss(y, target.clone());
+            let loss = tape.mse_loss(y, &target);
             (tape, vec![x, w1, w2], loss)
         });
     }
@@ -57,8 +54,8 @@ proptest! {
             let a = tape.leaf(leaves[0].clone());
             let b = tape.leaf(leaves[1].clone());
             let prod = tape.mul(a, b);
-            let l1 = tape.huber_loss(a, t1.clone(), 1.0);
-            let l2 = tape.mse_loss(prod, t2.clone());
+            let l1 = tape.huber_loss(a, &t1, 1.0);
+            let l2 = tape.mse_loss(prod, &t2);
             let loss = tape.add(l1, l2);
             (tape, vec![a, b], loss)
         });
@@ -94,6 +91,43 @@ proptest! {
         let grads = tape.backward(s);
         let g = grads.get(x_id).expect("gradient exists");
         prop_assert!(g.max_abs_diff(&Matrix::filled(1, 3, k as f64)) < 1e-12);
+    }
+
+    #[test]
+    fn tape_reset_replay_is_bitwise_identical(
+        (x, w1, w2) in (1usize..4, 1usize..5, 1usize..5, 1usize..4).prop_flat_map(
+            |(b, d, h, o)| (kink_free(b, d), kink_free(d, h), kink_free(h, o))
+        )
+    ) {
+        use bellamy_autograd::Gradients;
+        let target = Matrix::filled(x.rows(), w2.cols(), 0.25);
+        let build = |tape: &mut Tape| {
+            let xn = tape.leaf_ref(&x);
+            let w1n = tape.leaf_ref(&w1);
+            let w2n = tape.leaf_ref(&w2);
+            let h = tape.matmul(xn, w1n);
+            let h = tape.activate(h, Activation::Selu);
+            let y = tape.matmul(h, w2n);
+            let loss = tape.huber_loss(y, &target, 1.0);
+            (xn, w1n, w2n, loss)
+        };
+
+        let mut fresh = Tape::new();
+        let (fx, fw1, fw2, floss) = build(&mut fresh);
+        let fresh_grads = fresh.backward(floss);
+
+        let mut arena = Tape::new();
+        let mut ws = Gradients::new();
+        for step in 0..3 {
+            arena.reset();
+            let (ax, aw1, aw2, aloss) = build(&mut arena);
+            prop_assert_eq!((ax, aw1, aw2), (fx, fw1, fw2));
+            arena.backward_into(aloss, &mut ws);
+            prop_assert_eq!(arena.value(aloss), fresh.value(floss), "step {}", step);
+            for (arena_id, fresh_id) in [(ax, fx), (aw1, fw1), (aw2, fw2)] {
+                prop_assert_eq!(ws.get(arena_id), fresh_grads.get(fresh_id), "step {}", step);
+            }
+        }
     }
 
     #[test]

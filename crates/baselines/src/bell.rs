@@ -36,7 +36,10 @@ impl BellModel {
     pub fn fit(points: &[(f64, f64)]) -> Result<Self, FitError> {
         let grouped = mean_by_scale_out(points);
         if grouped.len() < 3 {
-            return Err(FitError::NotEnoughData { needed: 3, got: grouped.len() });
+            return Err(FitError::NotEnoughData {
+                needed: 3,
+                got: grouped.len(),
+            });
         }
 
         let mut err_param = 0.0;

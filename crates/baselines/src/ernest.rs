@@ -99,7 +99,10 @@ mod tests {
         // business, not the API's.
         let m = ErnestModel::fit(&[(4.0, 100.0)]).unwrap();
         let p = m.predict(4.0);
-        assert!((p - 100.0).abs() < 1e-6, "must reproduce the one observation, got {p}");
+        assert!(
+            (p - 100.0).abs() < 1e-6,
+            "must reproduce the one observation, got {p}"
+        );
     }
 
     #[test]

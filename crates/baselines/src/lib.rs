@@ -84,7 +84,13 @@ mod tests {
 
     #[test]
     fn mean_by_scale_out_groups_and_sorts() {
-        let pts = [(4.0, 10.0), (2.0, 20.0), (4.0, 14.0), (2.0, 22.0), (6.0, 8.0)];
+        let pts = [
+            (4.0, 10.0),
+            (2.0, 20.0),
+            (4.0, 14.0),
+            (2.0, 22.0),
+            (6.0, 8.0),
+        ];
         let grouped = mean_by_scale_out(&pts);
         assert_eq!(grouped, vec![(2.0, 21.0), (4.0, 12.0), (6.0, 8.0)]);
     }

@@ -21,7 +21,9 @@ impl NonParametricModel {
         if points.is_empty() {
             return Err(FitError::NotEnoughData { needed: 1, got: 0 });
         }
-        Ok(Self { knots: mean_by_scale_out(points) })
+        Ok(Self {
+            knots: mean_by_scale_out(points),
+        })
     }
 
     /// The interpolation knots.

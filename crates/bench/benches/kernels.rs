@@ -9,7 +9,9 @@ use std::hint::black_box;
 fn deterministic_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
     Matrix::from_fn(rows, cols, |_, _| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
     })
 }
@@ -27,7 +29,9 @@ fn bench_matmul(c: &mut Criterion) {
     let x = deterministic_matrix(64, 40, 3);
     let w = deterministic_matrix(40, 8, 4);
     let dy = deterministic_matrix(64, 8, 5);
-    group.bench_function("layer_forward_64x40x8", |b| b.iter(|| black_box(x.matmul(&w))));
+    group.bench_function("layer_forward_64x40x8", |b| {
+        b.iter(|| black_box(x.matmul(&w)))
+    });
     group.bench_function("layer_dw_xT_dy", |b| {
         b.iter(|| black_box(x.transpose_a_matmul(&dy)))
     });
@@ -46,7 +50,10 @@ fn bench_qr_and_nnls(c: &mut Criterion) {
         let x: f64 = scale_outs[i];
         [1.0, 1.0 / x, x.ln(), x][j]
     });
-    let b: Vec<f64> = scale_outs.iter().map(|&x| 30.0 + 400.0 / x + 5.0 * x.ln() + 2.0 * x).collect();
+    let b: Vec<f64> = scale_outs
+        .iter()
+        .map(|&x| 30.0 + 400.0 / x + 5.0 * x.ln() + 2.0 * x)
+        .collect();
     group.bench_function("nnls_ernest_6x4", |bench| {
         bench.iter(|| black_box(nnls(&a, &b).expect("solvable")))
     });
@@ -74,7 +81,9 @@ fn bench_encoding(c: &mut Criterion) {
     group.bench_function("hashing_vectorizer_job_params", |b| {
         b.iter(|| black_box(hasher.transform("--k 16 --iterations 50 --sampling 0.1")))
     });
-    group.bench_function("binarize_39bit", |b| b.iter(|| black_box(binarize(19_353, 39))));
+    group.bench_function("binarize_39bit", |b| {
+        b.iter(|| black_box(binarize(19_353, 39)))
+    });
 
     let encoder = PropertyEncoder::default();
     let props = [

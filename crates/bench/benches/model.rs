@@ -29,7 +29,10 @@ fn setup() -> Setup {
     bellamy_core::train::pretrain(
         &mut pretrained,
         &history,
-        &PretrainConfig { epochs: 40, ..PretrainConfig::default() },
+        &PretrainConfig {
+            epochs: 40,
+            ..PretrainConfig::default()
+        },
         5,
     );
     let all_samples: Vec<TrainingSample> = data
@@ -38,7 +41,11 @@ fn setup() -> Setup {
         .map(|r| TrainingSample::from_run(target, r))
         .collect();
     let few_samples: Vec<TrainingSample> = all_samples.iter().step_by(10).cloned().collect();
-    Setup { pretrained, few_samples, all_samples }
+    Setup {
+        pretrained,
+        few_samples,
+        all_samples,
+    }
 }
 
 fn bench_forward_backward(c: &mut Criterion) {
@@ -138,7 +145,10 @@ fn bench_pretrain_epoch(c: &mut Criterion) {
                 bellamy_core::train::pretrain(
                     &mut model,
                     &history,
-                    &PretrainConfig { epochs: 1, ..PretrainConfig::default() },
+                    &PretrainConfig {
+                        epochs: 1,
+                        ..PretrainConfig::default()
+                    },
                     3,
                 );
                 black_box(model);
@@ -179,7 +189,7 @@ fn bench_graph_construction(c: &mut Criterion) {
             let wn = g.input(w.clone());
             let h = g.tape.matmul(xn, wn);
             let h = g.tape.activate(h, bellamy_nn::Activation::Selu);
-            let loss = g.tape.mse_loss(h, Matrix::zeros(64, 8));
+            let loss = g.tape.mse_loss(h, &Matrix::zeros(64, 8));
             black_box(g.tape.backward(loss));
         })
     });

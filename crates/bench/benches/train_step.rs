@@ -1,0 +1,41 @@
+//! The train-step benchmark: one pre-training epoch over the standard
+//! 900-sample SGD workload at the default `PretrainConfig` (minibatch 64),
+//! comparing
+//!
+//! - `legacy` — the seed implementation: fresh graph per step,
+//!   per-property auto-encoder passes, libm scalar math, allocating
+//!   backward;
+//! - `optimized_seq` — the zero-allocation arena path, sequential;
+//! - `optimized_par_auto` — the same path with data-parallel shards over
+//!   the worker team (one shard per core).
+//!
+//! The acceptance bar for the zero-allocation rewrite is ≥ 2x over
+//! `legacy` on the sequential path alone; the parallel path adds with the
+//! core count. `bench_snapshot` records the same measurements to
+//! `BENCH_train.json` for cross-PR tracking.
+
+use bench::train_step::{workload, EpochRunner, StepImpl};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_train_step(c: &mut Criterion) {
+    let samples = workload();
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+    for which in [
+        StepImpl::Legacy,
+        StepImpl::Optimized,
+        StepImpl::Parallel { workers: 0 },
+    ] {
+        let mut runner = EpochRunner::new(&samples, which);
+        // Warm the arenas/pools so the steady state is what gets measured.
+        runner.run_epoch();
+        runner.run_epoch();
+        group.bench_function(format!("epoch/{}", which.label()), |b| {
+            b.iter(|| runner.run_epoch())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Snapshots the train-step benchmark to `BENCH_train.json` so successive
+//! PRs can track the trajectory of the training hot path.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_snapshot [-- <output-path>]
+//! ```
+//!
+//! Measures µs per minibatch step (default `PretrainConfig`, 900-sample SGD
+//! workload) for the seed-style legacy step, the zero-allocation sequential
+//! step, and the data-parallel step, and writes a small JSON report.
+
+use bench::train_step::{workload, EpochRunner, StepImpl};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_train.json".to_string());
+    let samples = workload();
+    let threads = bellamy_par::default_threads();
+
+    let impls = [
+        StepImpl::Legacy,
+        StepImpl::Optimized,
+        StepImpl::Parallel { workers: 0 },
+    ];
+    let mut results = Vec::new();
+    for which in impls {
+        let mut runner = EpochRunner::new(&samples, which);
+        let us_per_step = runner.time_per_step(2, 8) * 1e6;
+        eprintln!("{:<22} {us_per_step:9.1} us/step", which.label());
+        results.push((which.label(), us_per_step));
+    }
+
+    let legacy = results[0].1;
+    let entries: Vec<String> = results
+        .iter()
+        .map(|(name, us)| {
+            format!(
+                "    {{\"name\": \"{name}\", \"us_per_step\": {us:.1}, \"speedup_vs_legacy\": {:.2}}}",
+                legacy / us
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"train_step\",\n  \"workload\": \"SGD C3O history, {} samples, \
+         PretrainConfig::default() (batch 64)\",\n  \"machine_threads\": {threads},\n  \
+         \"unit\": \"us_per_minibatch_step\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        samples.len(),
+        entries.join(",\n")
+    );
+    std::fs::write(&path, json).expect("write benchmark snapshot");
+    eprintln!("wrote {path}");
+}

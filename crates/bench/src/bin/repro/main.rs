@@ -72,7 +72,9 @@ fn main() {
             "--json" => {
                 i += 1;
                 json_path = Some(
-                    args.get(i).cloned().unwrap_or_else(|| die("expected --json <path>")),
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("expected --json <path>")),
                 );
             }
             other if experiment.is_none() && !other.starts_with("--") => {
@@ -83,7 +85,8 @@ fn main() {
         i += 1;
     }
 
-    let experiment = experiment.unwrap_or_else(|| die("no experiment given; see --help text in the source"));
+    let experiment =
+        experiment.unwrap_or_else(|| die("no experiment given; see --help text in the source"));
     let start = Instant::now();
     let wb = Workbench::new(seed);
     println!(

@@ -7,8 +7,7 @@ use bellamy_core::{
 use bellamy_data::{generate_c3o, Algorithm, GeneratorConfig};
 use bellamy_eval::figures::{ecdf, fig2_normalized_runtimes, fig4_codes};
 use bellamy_eval::{
-    report, run_adhoc, run_crossenv, AdhocConfig, CrossEnvConfig, PredictionRecord,
-    Profile, Task,
+    report, run_adhoc, run_crossenv, AdhocConfig, CrossEnvConfig, PredictionRecord, Profile, Task,
 };
 use bellamy_linalg::stats;
 use bench::Workbench;
@@ -64,7 +63,10 @@ pub fn fig4(wb: &Workbench, profile: Profile, seed: u64) {
     bellamy_core::train::pretrain(
         &mut model,
         &samples,
-        &PretrainConfig { epochs, ..PretrainConfig::default() },
+        &PretrainConfig {
+            epochs,
+            ..PretrainConfig::default()
+        },
         seed,
     );
 
@@ -239,7 +241,16 @@ pub fn fig7(records: &[PredictionRecord]) {
     println!(
         "{}",
         report::render_table(
-            &["algorithm", "variant", "#runs", "p25", "p50", "p75", "max", "ecdf@min"],
+            &[
+                "algorithm",
+                "variant",
+                "#runs",
+                "p25",
+                "p50",
+                "p75",
+                "max",
+                "ecdf@min"
+            ],
             &rows
         )
     );
@@ -258,7 +269,10 @@ pub fn fit_time(records: &[PredictionRecord], label: &str) {
     for (method, t) in &times {
         rows.push(vec![method.clone(), format!("{:.4} s", t)]);
     }
-    println!("{}", report::render_table(&["method", "mean fit time"], &rows));
+    println!(
+        "{}",
+        report::render_table(&["method", "mean fit time"], &rows)
+    );
     println!(
         "Reading: NNLS/Bell fit in (sub-)milliseconds; Bellamy variants cost seconds,\n\
          with pre-trained variants noticeably cheaper than local thanks to earlier\n\
@@ -298,11 +312,13 @@ pub fn fig8(records: &[PredictionRecord]) {
     );
 }
 
-
 /// Dataset summary (the §IV-B description of the traces).
 pub fn datasets(wb: &Workbench) {
     println!("## Datasets — trace summary (cf. paper \u{a7}IV-B)\n");
-    for (name, ds) in [("C3O (public cloud)", &wb.c3o), ("Bell (private cluster)", &wb.bell)] {
+    for (name, ds) in [
+        ("C3O (public cloud)", &wb.c3o),
+        ("Bell (private cluster)", &wb.bell),
+    ] {
         println!("{name}:");
         let rows: Vec<Vec<String>> = bellamy_data::stats::summarize(ds)
             .iter()
@@ -321,8 +337,15 @@ pub fn datasets(wb: &Workbench) {
         println!(
             "{}",
             report::render_table(
-                &["algorithm", "contexts", "experiments", "runs", "runtime range [s]",
-                  "repeat cv", "monotone contexts"],
+                &[
+                    "algorithm",
+                    "contexts",
+                    "experiments",
+                    "runs",
+                    "runtime range [s]",
+                    "repeat cv",
+                    "monotone contexts"
+                ],
                 &rows
             )
         );
@@ -343,7 +366,10 @@ pub fn allocation(wb: &Workbench, profile: Profile, seed: u64) {
         Profile::Medium | Profile::Paper => bellamy_eval::AllocationConfig {
             contexts_per_algorithm: 3,
             decisions: 10,
-            pretrain: PretrainConfig { epochs: 400, ..PretrainConfig::default() },
+            pretrain: PretrainConfig {
+                epochs: 400,
+                ..PretrainConfig::default()
+            },
             ..bellamy_eval::AllocationConfig::quick(seed)
         },
     };
@@ -364,7 +390,13 @@ pub fn allocation(wb: &Workbench, profile: Profile, seed: u64) {
     println!(
         "{}",
         report::render_table(
-            &["method", "target met", "mean overshoot [machines]", "gave up", "decisions"],
+            &[
+                "method",
+                "target met",
+                "mean overshoot [machines]",
+                "gave up",
+                "decisions"
+            ],
             &rows
         )
     );
@@ -383,18 +415,30 @@ pub fn table1(seed: u64) {
         vec!["Out-Dim.".into(), "1".into()],
         vec!["Decoding-Dim. (N)".into(), c.property_dim.to_string()],
         vec!["Encoding-Dim. (M)".into(), c.code_dim.to_string()],
-        vec!["Scale-out f".into(), format!("3 -> {} -> {}", c.scale_out_hidden_dim, c.scale_out_dim)],
+        vec![
+            "Scale-out f".into(),
+            format!("3 -> {} -> {}", c.scale_out_hidden_dim, c.scale_out_dim),
+        ],
         vec!["Combined r-Dim.".into(), c.combined_dim().to_string()],
         vec!["Batch size".into(), "64".into()],
         vec!["Optimizer".into(), "Adam".into()],
-        vec!["Pre-training loss".into(), "Huber (runtime) + MSE (reconstruction)".into()],
+        vec![
+            "Pre-training loss".into(),
+            "Huber (runtime) + MSE (reconstruction)".into(),
+        ],
         vec!["Pre-training epochs".into(), "2500".into()],
         vec!["Fine-tuning loss".into(), "Huber (runtime)".into()],
         vec!["Fine-tuning dropout".into(), "0%".into()],
-        vec!["Fine-tuning LR".into(), "cyclical annealing in (1e-2, 1e-3)".into()],
+        vec![
+            "Fine-tuning LR".into(),
+            "cyclical annealing in (1e-2, 1e-3)".into(),
+        ],
         vec!["Fine-tuning weight decay".into(), "1e-3".into()],
         vec!["Fine-tuning epochs".into(), "max. 2500".into()],
-        vec!["Stopping criterion".into(), "MAE <= 5, or no improvement in 1000 epochs".into()],
+        vec![
+            "Stopping criterion".into(),
+            "MAE <= 5, or no improvement in 1000 epochs".into(),
+        ],
     ];
     println!("{}", report::render_table(&["parameter", "value"], &rows));
 
@@ -427,7 +471,10 @@ pub fn table1(seed: u64) {
 pub fn table2() {
     println!("## Table II — Reproduction environment\n");
     let rows = vec![
-        vec!["CPU threads".into(), bellamy_par::default_threads().to_string()],
+        vec![
+            "CPU threads".into(),
+            bellamy_par::default_threads().to_string(),
+        ],
         vec!["OS".into(), std::env::consts::OS.to_string()],
         vec!["Arch".into(), std::env::consts::ARCH.to_string()],
         vec![
@@ -447,7 +494,10 @@ pub fn ablate_noise(_profile: Profile, seed: u64) {
     println!("## Ablation — result stability vs. measurement noise\n");
     let mut rows = Vec::new();
     for sigma in [0.01, 0.04, 0.10] {
-        let gen = GeneratorConfig { noise_sigma: sigma, ..GeneratorConfig::seeded(seed) };
+        let gen = GeneratorConfig {
+            noise_sigma: sigma,
+            ..GeneratorConfig::seeded(seed)
+        };
         let c3o = generate_c3o(&gen);
         let cfg = AdhocConfig {
             algorithms: vec![Algorithm::Sgd],
@@ -463,14 +513,24 @@ pub fn ablate_noise(_profile: Profile, seed: u64) {
             format!("{:.1}", get("Bellamy (full)")),
             format!(
                 "{}",
-                if get("Bellamy (full)") < get("NNLS") { "yes" } else { "no" }
+                if get("Bellamy (full)") < get("NNLS") {
+                    "yes"
+                } else {
+                    "no"
+                }
             ),
         ]);
     }
     println!(
         "{}",
         report::render_table(
-            &["noise sigma", "NNLS MAE", "local MAE", "full MAE", "full beats NNLS"],
+            &[
+                "noise sigma",
+                "NNLS MAE",
+                "local MAE",
+                "full MAE",
+                "full beats NNLS"
+            ],
             &rows
         )
     );
@@ -487,10 +547,17 @@ pub fn ablate_target_scaling(wb: &Workbench, seed: u64) {
         .iter()
         .map(|r| TrainingSample::from_run(ctx, r))
         .collect();
-    let ft = FinetuneConfig { max_epochs: 400, patience: 250, ..FinetuneConfig::default() };
+    let ft = FinetuneConfig {
+        max_epochs: 400,
+        patience: 250,
+        ..FinetuneConfig::default()
+    };
     let mut rows = Vec::new();
     for scale in [true, false] {
-        let cfg = BellamyConfig { scale_targets: scale, ..BellamyConfig::default() };
+        let cfg = BellamyConfig {
+            scale_targets: scale,
+            ..BellamyConfig::default()
+        };
         let mut model = Bellamy::new(cfg, seed);
         let report = bellamy_core::finetune::fit_local(&mut model, &samples, &ft, seed);
         rows.push(vec![
@@ -524,7 +591,10 @@ pub fn ablate_unfreeze(wb: &Workbench, seed: u64) {
     bellamy_core::train::pretrain(
         &mut base,
         &pretrain_samples,
-        &PretrainConfig { epochs: 120, ..PretrainConfig::default() },
+        &PretrainConfig {
+            epochs: 120,
+            ..PretrainConfig::default()
+        },
         seed,
     );
     let few: Vec<TrainingSample> = wb
@@ -573,9 +643,17 @@ pub fn ablate_signed_hash() {
     println!("## Ablation — hashing-vectorizer alternate sign\n");
     use bellamy_encoding::HashingVectorizer;
     let inputs = [
-        "m4.xlarge", "m4.2xlarge", "c4.xlarge", "c4.2xlarge", "r4.xlarge", "r4.2xlarge",
-        "--iterations 25", "--iterations 50", "--iterations 100",
-        "--k 4 --iterations 10", "--k 16 --iterations 50",
+        "m4.xlarge",
+        "m4.2xlarge",
+        "c4.xlarge",
+        "c4.2xlarge",
+        "r4.xlarge",
+        "r4.2xlarge",
+        "--iterations 25",
+        "--iterations 50",
+        "--iterations 100",
+        "--k 4 --iterations 10",
+        "--k 16 --iterations 50",
     ];
     let mut rows = Vec::new();
     for signed in [true, false] {
@@ -617,7 +695,6 @@ pub fn ablate_signed_hash() {
     );
 }
 
-
 /// Extension (paper §V future work): one model across algorithms.
 ///
 /// "Since some processing algorithms showed a similar scale-out behavior, we
@@ -627,12 +704,18 @@ pub fn ablate_signed_hash() {
 /// fine-tuned accuracy against per-algorithm pre-training.
 pub fn ext_cross_algorithm(wb: &Workbench, seed: u64) {
     println!("## Extension — cross-algorithm pre-training (paper \u{a7}V future work)\n");
-    let pretrain_cfg = PretrainConfig { epochs: 300, ..PretrainConfig::default() };
-    let ft = FinetuneConfig { max_epochs: 500, patience: 300, ..FinetuneConfig::default() };
+    let pretrain_cfg = PretrainConfig {
+        epochs: 300,
+        ..PretrainConfig::default()
+    };
+    let ft = FinetuneConfig {
+        max_epochs: 500,
+        patience: 300,
+        ..FinetuneConfig::default()
+    };
     let mut rows = Vec::new();
     for algorithm in Algorithm::ALL {
-        let target_id =
-            bellamy_eval::adhoc::choose_contexts(&wb.c3o, algorithm, 1, seed)[0];
+        let target_id = bellamy_eval::adhoc::choose_contexts(&wb.c3o, algorithm, 1, seed)[0];
         let target = &wb.c3o.contexts[target_id];
         let props = bellamy_core::context_properties(target);
 
@@ -691,7 +774,11 @@ pub fn ext_cross_algorithm(wb: &Workbench, seed: u64) {
     println!(
         "{}",
         report::render_table(
-            &["algorithm", "per-algorithm pre-training MAE [s]", "all-algorithms MAE [s]"],
+            &[
+                "algorithm",
+                "per-algorithm pre-training MAE [s]",
+                "all-algorithms MAE [s]"
+            ],
             &rows
         )
     );

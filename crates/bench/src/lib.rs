@@ -1,5 +1,7 @@
 //! Shared helpers for the `repro` binary and the Criterion benches.
 
+pub mod train_step;
+
 use bellamy_data::{generate_bell, generate_c3o, Dataset, GeneratorConfig};
 
 /// The datasets every experiment runs on (seeded, deterministic).
@@ -16,7 +18,11 @@ impl Workbench {
     /// Generates both datasets from a master seed.
     pub fn new(seed: u64) -> Self {
         let gen = GeneratorConfig::seeded(seed);
-        Self { c3o: generate_c3o(&gen), bell: generate_bell(&gen), gen }
+        Self {
+            c3o: generate_c3o(&gen),
+            bell: generate_bell(&gen),
+            gen,
+        }
     }
 }
 

@@ -1,0 +1,104 @@
+//! Shared harness for the train-step benchmark and the `bench_snapshot`
+//! helper: builds the standard pre-training workload (all SGD history of
+//! the synthetic C3O traces, minibatch 64 — the default `PretrainConfig`)
+//! and steps it through either the seed-style legacy path or the
+//! zero-allocation data-parallel path.
+
+use bellamy_core::train::Pretrainer;
+use bellamy_core::{Bellamy, BellamyConfig, PretrainConfig, TrainingSample};
+use bellamy_data::{generate_c3o, Algorithm, GeneratorConfig};
+use std::time::Instant;
+
+/// Which implementation an [`EpochRunner`] exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepImpl {
+    /// The seed implementation: fresh graph per step, per-property
+    /// auto-encoder passes, allocating backward.
+    Legacy,
+    /// The zero-allocation path, sequential (one worker, one shard).
+    Optimized,
+    /// The zero-allocation path with data-parallel shards over the worker
+    /// team (`0` = one shard/worker per core).
+    Parallel {
+        /// Worker/shard count (`0` = auto).
+        workers: usize,
+    },
+}
+
+impl StepImpl {
+    /// Short label used in benchmark ids and the JSON snapshot.
+    pub fn label(self) -> String {
+        match self {
+            StepImpl::Legacy => "legacy".to_string(),
+            StepImpl::Optimized => "optimized_seq".to_string(),
+            StepImpl::Parallel { workers: 0 } => "optimized_par_auto".to_string(),
+            StepImpl::Parallel { workers } => format!("optimized_par_{workers}"),
+        }
+    }
+}
+
+/// The standard workload: every SGD run of the synthetic C3O traces
+/// (810 samples → 13 minibatches of 64 per epoch).
+pub fn workload() -> Vec<TrainingSample> {
+    let data = generate_c3o(&GeneratorConfig::seeded(5));
+    data.runs_for_algorithm_excluding(Algorithm::Sgd, None)
+        .iter()
+        .map(|r| TrainingSample::from_run(&data.contexts[r.context_id], r))
+        .collect()
+}
+
+/// A model + trainer pair stepping one of the implementations.
+pub struct EpochRunner {
+    model: Bellamy,
+    trainer: Pretrainer,
+    which: StepImpl,
+    /// Minibatch steps per epoch (for per-step time conversion).
+    pub steps_per_epoch: usize,
+}
+
+impl EpochRunner {
+    /// Builds the runner over `samples` with the default `PretrainConfig`
+    /// (modulo worker/shard counts implied by `which`).
+    pub fn new(samples: &[TrainingSample], which: StepImpl) -> Self {
+        let (workers, shards) = match which {
+            StepImpl::Legacy | StepImpl::Optimized => (1, 1),
+            StepImpl::Parallel { workers } => (workers, workers),
+        };
+        let cfg = PretrainConfig {
+            epochs: 0,
+            workers,
+            shards,
+            ..PretrainConfig::default()
+        };
+        let mut model = Bellamy::new(BellamyConfig::default(), 5);
+        let trainer = Pretrainer::new(&mut model, samples, &cfg, 5);
+        let steps_per_epoch = samples.len().div_ceil(cfg.batch_size);
+        Self {
+            model,
+            trainer,
+            which,
+            steps_per_epoch,
+        }
+    }
+
+    /// Runs one epoch, returning its mean loss.
+    pub fn run_epoch(&mut self) -> f64 {
+        match self.which {
+            StepImpl::Legacy => self.trainer.run_epoch_legacy(&mut self.model),
+            _ => self.trainer.run_epoch(&mut self.model),
+        }
+    }
+
+    /// Mean seconds per *minibatch step* over `epochs` epochs (after
+    /// `warmup` unmeasured epochs).
+    pub fn time_per_step(&mut self, warmup: usize, epochs: usize) -> f64 {
+        for _ in 0..warmup {
+            self.run_epoch();
+        }
+        let start = Instant::now();
+        for _ in 0..epochs {
+            self.run_epoch();
+        }
+        start.elapsed().as_secs_f64() / (epochs * self.steps_per_epoch) as f64
+    }
+}

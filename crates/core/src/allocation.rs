@@ -103,7 +103,10 @@ mod tests {
         // Cost = x * t(x)/3600; brute-force check optimality.
         for x in 1..=30u32 {
             let cost = x as f64 * curve(x) / 3600.0;
-            assert!(rec.predicted_cost <= cost + 1e-12, "x={x} cheaper than chosen");
+            assert!(
+                rec.predicted_cost <= cost + 1e-12,
+                "x={x} cheaper than chosen"
+            );
         }
         // The cheapest configuration for this curve uses few machines.
         assert!(rec.scale_out <= 5);
@@ -112,9 +115,14 @@ mod tests {
     #[test]
     fn cheapest_respects_target() {
         let unconstrained = cheapest_scale_out(curve, 1.0, None, 1, 30).unwrap();
-        let constrained =
-            cheapest_scale_out(curve, 1.0, Some(unconstrained.predicted_runtime_s * 0.7), 1, 30)
-                .unwrap();
+        let constrained = cheapest_scale_out(
+            curve,
+            1.0,
+            Some(unconstrained.predicted_runtime_s * 0.7),
+            1,
+            30,
+        )
+        .unwrap();
         assert!(constrained.predicted_runtime_s <= unconstrained.predicted_runtime_s * 0.7);
         assert!(constrained.predicted_cost >= unconstrained.predicted_cost);
     }

@@ -72,18 +72,57 @@ pub struct PretrainConfig {
     pub weight_decay: f64,
     /// Alpha-dropout probability inside the auto-encoder.
     pub dropout: f64,
+    /// Worker threads computing minibatch gradients (`0` = one per
+    /// available core). Results are identical for any worker count with the
+    /// same effective shard count.
+    pub workers: usize,
+    /// Data-parallel shards each minibatch is split into (`0` = one per
+    /// worker). Gradients reduce over shards in a fixed binary-tree order,
+    /// so a given shard count yields bit-identical results no matter how
+    /// many workers execute it; pin `shards` explicitly to reproduce runs
+    /// across machines with different core counts.
+    pub shards: usize,
 }
 
 impl Default for PretrainConfig {
     fn default() -> Self {
-        Self { batch_size: 64, epochs: 2500, lr: 1e-2, weight_decay: 1e-3, dropout: 0.1 }
+        Self {
+            batch_size: 64,
+            epochs: 2500,
+            lr: 1e-2,
+            weight_decay: 1e-3,
+            dropout: 0.1,
+            workers: 0,
+            shards: 0,
+        }
     }
 }
 
 impl PretrainConfig {
     /// A short-budget configuration for tests and the quick repro profile.
     pub fn quick() -> Self {
-        Self { epochs: 300, ..Self::default() }
+        Self {
+            epochs: 300,
+            ..Self::default()
+        }
+    }
+
+    /// The effective worker count (resolving `0` to the machine).
+    pub fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            bellamy_par::default_threads()
+        } else {
+            self.workers
+        }
+    }
+
+    /// The effective shard count (resolving `0` to the worker count).
+    pub fn effective_shards(&self) -> usize {
+        if self.shards == 0 {
+            self.effective_workers()
+        } else {
+            self.shards
+        }
     }
 }
 
@@ -132,7 +171,11 @@ impl Default for FinetuneConfig {
 impl FinetuneConfig {
     /// A short-budget configuration for tests and the quick repro profile.
     pub fn quick() -> Self {
-        Self { max_epochs: 400, patience: 200, ..Self::default() }
+        Self {
+            max_epochs: 400,
+            patience: 200,
+            ..Self::default()
+        }
     }
 
     /// Epoch at which `f` unfreezes for a fine-tuning set of `n_samples`.
@@ -177,6 +220,10 @@ mod tests {
         assert_eq!(f.unfreeze_epoch(1), 250);
         assert_eq!(f.unfreeze_epoch(5), 50);
         assert_eq!(f.unfreeze_epoch(6), 42);
-        assert_eq!(f.unfreeze_epoch(0), 250, "zero guards against division by zero");
+        assert_eq!(
+            f.unfreeze_epoch(0),
+            250,
+            "zero guards against division by zero"
+        );
     }
 }

@@ -65,10 +65,7 @@ impl TrainingSample {
 
 /// Converts a set of runs (with their dataset for context lookup) into
 /// training samples.
-pub fn samples_from_runs(
-    dataset: &bellamy_data::Dataset,
-    runs: &[&JobRun],
-) -> Vec<TrainingSample> {
+pub fn samples_from_runs(dataset: &bellamy_data::Dataset, runs: &[&JobRun]) -> Vec<TrainingSample> {
     runs.iter()
         .map(|r| TrainingSample::from_run(&dataset.contexts[r.context_id], r))
         .collect()
@@ -100,7 +97,10 @@ mod tests {
         let props = context_properties(ctx);
         assert_eq!(props.essential.len(), 4);
         assert_eq!(props.optional.len(), 3);
-        assert_eq!(props.essential[0], PropertyValue::Number(ctx.dataset_size_mb));
+        assert_eq!(
+            props.essential[0],
+            PropertyValue::Number(ctx.dataset_size_mb)
+        );
         assert_eq!(props.essential[3], PropertyValue::text(&ctx.node_type.name));
         assert_eq!(props.optional[2], PropertyValue::text(ctx.algorithm.name()));
     }

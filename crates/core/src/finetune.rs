@@ -13,7 +13,8 @@ use crate::config::FinetuneConfig;
 use crate::features::TrainingSample;
 use crate::model::Bellamy;
 use bellamy_nn::{
-    metrics, AnyOptimizer, CyclicalAnnealingLr, EarlyStopping, Graph, LrSchedule, StopDecision,
+    metrics, AnyOptimizer, CyclicalAnnealingLr, EarlyStopping, GradWorkspace, Graph, GraphArena,
+    LrSchedule, StopDecision,
 };
 use std::time::Instant;
 
@@ -117,13 +118,20 @@ pub fn fine_tune(
     let delta = model.config().huber_delta;
 
     let schedule = CyclicalAnnealingLr::new(cfg.max_lr, cfg.min_lr, cfg.lr_period);
-    let mut opt =
-        AnyOptimizer::build(cfg.optimizer, model.params(), cfg.max_lr, cfg.weight_decay);
+    let mut opt = AnyOptimizer::build(cfg.optimizer, model.params(), cfg.max_lr, cfg.weight_decay);
     let mut stopper = EarlyStopping::new(Some(cfg.target_mae), cfg.patience);
     let mut best_state = model.params().clone();
     let mut best_mae = f64::INFINITY;
     let mut epochs = 0;
     let mut stopped_early = false;
+
+    // Fine-tuning is full-batch: assemble the tensors once, then replay the
+    // graph through a recycled arena and gradient workspace every epoch —
+    // the steady-state epoch allocates nothing.
+    let batch = model.make_batch(&encoded, &indices);
+    let mut arena = GraphArena::default();
+    let mut ws = GradWorkspace::new();
+    let mut preds = vec![0.0; encoded.len()];
 
     for epoch in 0..cfg.max_epochs {
         if f_frozen && epoch >= unfreeze_epoch {
@@ -132,36 +140,44 @@ pub fn fine_tune(
         }
         opt.set_lr(schedule.lr_at(epoch));
 
-        let batch = model.make_batch(&encoded, &indices);
-        let mut graph = Graph::new(model.params());
+        let mut graph = Graph::from_arena(arena, model.params());
         let out = model.forward(&mut graph, &batch, None);
-        let loss = graph.tape.huber_loss(out.pred, batch.targets_scaled.clone(), delta);
+        let loss = graph
+            .tape
+            .huber_loss(out.pred, &batch.targets_scaled, delta);
 
         // Track the *current* parameters' error before stepping, so the
         // snapshot corresponds to the measured MAE.
         let scale = model.target_scale();
-        let preds: Vec<f64> =
-            (0..encoded.len()).map(|i| graph.value(out.pred)[(i, 0)] * scale).collect();
+        for (i, p) in preds.iter_mut().enumerate() {
+            *p = graph.value(out.pred)[(i, 0)] * scale;
+        }
         let mae = metrics::mae(&preds, &targets);
+        graph.backward_into(loss, &mut ws);
+        arena = graph.into_arena();
+
         epochs = epoch + 1;
         match stopper.update(mae) {
             StopDecision::Improved => {
                 best_mae = mae;
-                best_state = model.params().clone();
+                best_state
+                    .load_values_from(model.params())
+                    .expect("snapshot shares the parameter layout");
             }
             StopDecision::Continue => {}
             StopDecision::Stop => {
                 if mae < best_mae {
                     best_mae = mae;
-                    best_state = model.params().clone();
+                    best_state
+                        .load_values_from(model.params())
+                        .expect("snapshot shares the parameter layout");
                 }
                 stopped_early = true;
                 break;
             }
         }
 
-        let grads = graph.backward(loss);
-        opt.step(model.params_mut(), &grads);
+        opt.step(model.params_mut(), ws.map());
     }
 
     // Use the best state for inference (paper §IV-A).
@@ -215,7 +231,11 @@ mod tests {
     }
 
     fn quick_ft() -> FinetuneConfig {
-        FinetuneConfig { max_epochs: 200, patience: 120, ..FinetuneConfig::default() }
+        FinetuneConfig {
+            max_epochs: 200,
+            patience: 120,
+            ..FinetuneConfig::default()
+        }
     }
 
     #[test]
@@ -241,13 +261,15 @@ mod tests {
     fn finetune_adapts_pretrained_model_faster_than_local() {
         let ctxs = context_samples(Algorithm::Sgd, 0);
         // Pre-train on contexts 1..4, fine-tune on context 0.
-        let pretrain_samples: Vec<TrainingSample> =
-            ctxs[1..].iter().flatten().cloned().collect();
+        let pretrain_samples: Vec<TrainingSample> = ctxs[1..].iter().flatten().cloned().collect();
         let mut pre = Bellamy::new(BellamyConfig::default(), 5);
         pretrain(
             &mut pre,
             &pretrain_samples,
-            &PretrainConfig { epochs: 120, ..PretrainConfig::default() },
+            &PretrainConfig {
+                epochs: 120,
+                ..PretrainConfig::default()
+            },
             7,
         );
 
@@ -256,7 +278,13 @@ mod tests {
         assert!(few.len() >= 3);
 
         let mut tuned = pre.clone_model();
-        let r_tuned = fine_tune(&mut tuned, &few, &quick_ft(), ReuseStrategy::PartialUnfreeze, 1);
+        let r_tuned = fine_tune(
+            &mut tuned,
+            &few,
+            &quick_ft(),
+            ReuseStrategy::PartialUnfreeze,
+            1,
+        );
 
         let mut local = Bellamy::new(BellamyConfig::default(), 5);
         let r_local = fit_local(&mut local, &few, &quick_ft(), 1);
@@ -297,7 +325,10 @@ mod tests {
         pretrain(
             &mut base,
             &ctxs[1],
-            &PretrainConfig { epochs: 40, ..PretrainConfig::default() },
+            &PretrainConfig {
+                epochs: 40,
+                ..PretrainConfig::default()
+            },
             1,
         );
 
@@ -307,7 +338,10 @@ mod tests {
             let report = fine_tune(
                 &mut m,
                 &samples,
-                &FinetuneConfig { max_epochs: 30, ..FinetuneConfig::default() },
+                &FinetuneConfig {
+                    max_epochs: 30,
+                    ..FinetuneConfig::default()
+                },
                 strategy,
                 3,
             );
@@ -332,7 +366,10 @@ mod tests {
             let id = model.params().find("g.l1.weight").unwrap();
             model.params().get(id).value.clone()
         };
-        assert_eq!(g_before, g_after, "auto-encoder must stay frozen in fine-tuning");
+        assert_eq!(
+            g_before, g_after,
+            "auto-encoder must stay frozen in fine-tuning"
+        );
     }
 
     #[test]
@@ -340,7 +377,12 @@ mod tests {
         let names: Vec<&str> = ReuseStrategy::ALL.iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
-            vec!["partial-unfreeze", "full-unfreeze", "partial-reset", "full-reset"]
+            vec![
+                "partial-unfreeze",
+                "full-unfreeze",
+                "partial-reset",
+                "full-reset"
+            ]
         );
     }
 }

@@ -4,7 +4,7 @@ use crate::config::BellamyConfig;
 use crate::features::{scale_out_features, ContextProperties, TrainingSample};
 use bellamy_autograd::{Activation, NodeId};
 use bellamy_encoding::{MinMaxScaler, PropertyEncoder, PropertyValue};
-use bellamy_linalg::Matrix;
+use bellamy_linalg::{BufferPool, Matrix};
 use bellamy_nn::{AlphaDropout, Checkpoint, CheckpointError, Graph, Linear, ParamSet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,13 +24,33 @@ pub(crate) struct EncodedSample {
 }
 
 /// A batch of encoded samples as matrices ready for the graph.
+///
+/// Property encodings are stacked into **one** `(m + n)·batch x N` matrix
+/// (rows `[k·batch, (k+1)·batch)` hold property `k` for the whole batch), so
+/// the shared auto-encoder runs once over all properties instead of once per
+/// property — fewer, taller matmuls and a fraction of the tape nodes.
+/// The struct is reusable: [`Bellamy::make_batch_into`] refills it in place.
 pub(crate) struct BatchTensors {
     /// `batch x 3` normalized scale-out features.
     pub sx: Matrix,
-    /// `m + n` matrices of `batch x N` property encodings.
-    pub props: Vec<Matrix>,
+    /// `(m + n)·batch x N` property encodings, stacked by property.
+    pub props: Matrix,
     /// `batch x 1` scaled targets.
     pub targets_scaled: Matrix,
+    /// Rows per property block.
+    pub batch: usize,
+}
+
+impl BatchTensors {
+    /// An empty shell to be filled by [`Bellamy::make_batch_into`].
+    pub fn empty() -> Self {
+        Self {
+            sx: Matrix::zeros(0, 0),
+            props: Matrix::zeros(0, 0),
+            targets_scaled: Matrix::zeros(0, 0),
+            batch: 0,
+        }
+    }
 }
 
 /// Output node handles from one forward pass.
@@ -77,14 +97,86 @@ impl Bellamy {
         // §IV-A: every linear layer is followed by an activation — SELU
         // everywhere except the decoder output (tanh). The auto-encoder
         // waives additive biases.
-        let f1 = Linear::new(&mut params, "f.l1", 3, fh, true, Activation::Selu, init, &mut rng);
-        let f2 = Linear::new(&mut params, "f.l2", fh, f_out, true, Activation::Selu, init, &mut rng);
-        let g1 = Linear::new(&mut params, "g.l1", n, hid, false, Activation::Selu, init, &mut rng);
-        let g2 = Linear::new(&mut params, "g.l2", hid, m, false, Activation::Selu, init, &mut rng);
-        let h1 = Linear::new(&mut params, "h.l1", m, hid, false, Activation::Selu, init, &mut rng);
-        let h2 = Linear::new(&mut params, "h.l2", hid, n, false, Activation::Tanh, init, &mut rng);
-        let z1 = Linear::new(&mut params, "z.l1", r_dim, hid, true, Activation::Selu, init, &mut rng);
-        let z2 = Linear::new(&mut params, "z.l2", hid, 1, true, Activation::Selu, init, &mut rng);
+        let f1 = Linear::new(
+            &mut params,
+            "f.l1",
+            3,
+            fh,
+            true,
+            Activation::Selu,
+            init,
+            &mut rng,
+        );
+        let f2 = Linear::new(
+            &mut params,
+            "f.l2",
+            fh,
+            f_out,
+            true,
+            Activation::Selu,
+            init,
+            &mut rng,
+        );
+        let g1 = Linear::new(
+            &mut params,
+            "g.l1",
+            n,
+            hid,
+            false,
+            Activation::Selu,
+            init,
+            &mut rng,
+        );
+        let g2 = Linear::new(
+            &mut params,
+            "g.l2",
+            hid,
+            m,
+            false,
+            Activation::Selu,
+            init,
+            &mut rng,
+        );
+        let h1 = Linear::new(
+            &mut params,
+            "h.l1",
+            m,
+            hid,
+            false,
+            Activation::Selu,
+            init,
+            &mut rng,
+        );
+        let h2 = Linear::new(
+            &mut params,
+            "h.l2",
+            hid,
+            n,
+            false,
+            Activation::Tanh,
+            init,
+            &mut rng,
+        );
+        let z1 = Linear::new(
+            &mut params,
+            "z.l1",
+            r_dim,
+            hid,
+            true,
+            Activation::Selu,
+            init,
+            &mut rng,
+        );
+        let z2 = Linear::new(
+            &mut params,
+            "z.l2",
+            hid,
+            1,
+            true,
+            Activation::Selu,
+            init,
+            &mut rng,
+        );
 
         Self {
             config,
@@ -134,7 +226,10 @@ impl Bellamy {
     /// has never been fitted (the paper reuses pre-training bounds at
     /// fine-tuning time).
     pub(crate) fn fit_normalization(&mut self, samples: &[TrainingSample]) {
-        assert!(!samples.is_empty(), "cannot fit normalization on no samples");
+        assert!(
+            !samples.is_empty(),
+            "cannot fit normalization on no samples"
+        );
         let rows: Vec<Vec<f64>> = samples
             .iter()
             .map(|s| scale_out_features(s.scale_out).to_vec())
@@ -153,7 +248,10 @@ impl Bellamy {
     /// # Panics
     /// Panics if the model has not been fitted.
     pub(crate) fn encode_samples(&self, samples: &[TrainingSample]) -> Vec<EncodedSample> {
-        let scaler = self.scaler.as_ref().expect("model must be fitted before encoding");
+        let scaler = self
+            .scaler
+            .as_ref()
+            .expect("model must be fitted before encoding");
         samples
             .iter()
             .map(|s| {
@@ -192,24 +290,59 @@ impl Bellamy {
 
     /// Assembles a batch from encoded samples (gathered by `indices`).
     pub(crate) fn make_batch(&self, encoded: &[EncodedSample], indices: &[usize]) -> BatchTensors {
+        let mut out = BatchTensors::empty();
+        let mut pool = BufferPool::new();
+        self.make_batch_into(encoded, indices, &mut out, &mut pool);
+        out
+    }
+
+    /// Refills `out` from encoded samples (gathered by `indices`), reusing
+    /// its matrices when the batch size is unchanged and recycling their
+    /// storage through `pool` otherwise — allocation-free once every batch
+    /// size has been seen.
+    pub(crate) fn make_batch_into(
+        &self,
+        encoded: &[EncodedSample],
+        indices: &[usize],
+        out: &mut BatchTensors,
+        pool: &mut BufferPool,
+    ) {
         assert!(!indices.is_empty(), "empty batch");
         let b = indices.len();
+        let n_dim = self.config.property_dim;
         let n_props = self.config.essential_props + self.config.optional_props;
-        let sx = Matrix::from_fn(b, 3, |i, j| encoded[indices[i]].sx[j]);
-        let props = (0..n_props)
-            .map(|k| {
-                Matrix::from_fn(b, self.config.property_dim, |i, j| {
-                    encoded[indices[i]].props[k][j]
-                })
-            })
-            .collect();
-        let targets_scaled =
-            Matrix::from_fn(b, 1, |i, _| encoded[indices[i]].target_s / self.target_scale);
-        BatchTensors { sx, props, targets_scaled }
+        if out.sx.shape() != (b, 3) || out.props.shape() != (n_props * b, n_dim) {
+            let stale = std::mem::replace(out, BatchTensors::empty());
+            pool.put_matrix(stale.sx);
+            pool.put_matrix(stale.props);
+            pool.put_matrix(stale.targets_scaled);
+            out.sx = pool.take_matrix(b, 3);
+            out.props = pool.take_matrix(n_props * b, n_dim);
+            out.targets_scaled = pool.take_matrix(b, 1);
+        }
+        out.batch = b;
+        for (i, &src) in indices.iter().enumerate() {
+            let e = &encoded[src];
+            out.sx.row_mut(i).copy_from_slice(&e.sx);
+            out.targets_scaled[(i, 0)] = e.target_s / self.target_scale;
+        }
+        for k in 0..n_props {
+            for (i, &src) in indices.iter().enumerate() {
+                out.props
+                    .row_mut(k * b + i)
+                    .copy_from_slice(&encoded[src].props[k]);
+            }
+        }
     }
 
     /// Runs the forward pass for a batch. `dropout` applies alpha-dropout
     /// between the auto-encoder layers (pre-training only).
+    ///
+    /// The shared auto-encoder runs **once** over the property-stacked
+    /// matrix (`(m+n)·batch x N`); per-property codes are recovered with row
+    /// slices, and the stacked reconstruction MSE equals the mean of the
+    /// per-property MSEs because all blocks have identical size. The pass
+    /// allocates nothing once the graph's arena is warm.
     pub(crate) fn forward(
         &self,
         g: &mut Graph<'_>,
@@ -223,15 +356,94 @@ impl Bellamy {
         let alpha_dropout = AlphaDropout::new(drop_p);
 
         // Scale-out branch: e = f(sx).
+        let sx = g.input_ref(&batch.sx);
+        let f_hidden = self.f1.forward(g, sx);
+        let e = self.f2.forward(g, f_hidden);
+
+        // Property branch: the shared auto-encoder over all properties at
+        // once.
+        let mut rng = rng;
+        let p_node = g.input_ref(&batch.props);
+        let mut enc_hidden = self.g1.forward(g, p_node);
+        if let Some(r) = rng.as_deref_mut() {
+            enc_hidden = alpha_dropout.forward(g, enc_hidden, true, r);
+        }
+        let codes = self.g2.forward(g, enc_hidden);
+        let mut dec_hidden = self.h1.forward(g, codes);
+        if let Some(r) = rng {
+            dec_hidden = alpha_dropout.forward(g, dec_hidden, true, r);
+        }
+        let recon_out = self.h2.forward(g, dec_hidden);
+        let recon = g.tape.mse_loss(recon_out, &batch.props);
+
+        // r = e ⊕ essential codes ⊕ mean(optional codes)  (Eq. 5/6), with
+        // codes split back out of the stacked matrix by row blocks. Fixed
+        // stack buffers keep the hot path allocation-free.
+        let b = batch.batch;
+        let m = self.config.essential_props;
+        let n_props = m + self.config.optional_props;
+        const MAX_PROPS: usize = 30;
+        assert!(
+            n_props <= MAX_PROPS,
+            "more properties than the forward pass supports"
+        );
+        let mut parts = [0 as NodeId; MAX_PROPS + 2];
+        parts[0] = e;
+        for k in 0..m {
+            parts[1 + k] = g.tape.slice_rows(codes, k * b, (k + 1) * b);
+        }
+        let mut optional = [0 as NodeId; MAX_PROPS];
+        for (j, k) in (m..n_props).enumerate() {
+            optional[j] = g.tape.slice_rows(codes, k * b, (k + 1) * b);
+        }
+        let optional_mean = g.tape.mean_of_nodes(&optional[..n_props - m]);
+        parts[m + 1] = optional_mean;
+        let r = g.tape.concat_cols(&parts[..m + 2]);
+
+        let z_hidden = self.z1.forward(g, r);
+        let pred = self.z2.forward(g, z_hidden);
+
+        ForwardOut { pred, recon }
+    }
+
+    /// The seed implementation's forward pass: one auto-encoder application
+    /// per property, fresh input clones, per-property reconstruction losses.
+    /// Numerically equivalent to [`Bellamy::forward`] (up to floating-point
+    /// association); kept as the baseline the train-step benchmark measures
+    /// the batched zero-allocation path against.
+    #[doc(hidden)]
+    pub(crate) fn forward_legacy(
+        &self,
+        g: &mut Graph<'_>,
+        batch: &BatchTensors,
+        dropout: Option<(f64, &mut StdRng)>,
+    ) -> ForwardOut {
+        let (drop_p, rng) = match dropout {
+            Some((p, rng)) => (p, Some(rng)),
+            None => (0.0, None),
+        };
+        let alpha_dropout = AlphaDropout::new(drop_p);
+
         let sx = g.input(batch.sx.clone());
         let f_hidden = self.f1.forward(g, sx);
         let e = self.f2.forward(g, f_hidden);
 
-        // Property branch: one shared auto-encoder applied per property.
-        let mut codes = Vec::with_capacity(batch.props.len());
-        let mut recon_losses = Vec::with_capacity(batch.props.len());
+        let b = batch.batch;
+        let n_dim = self.config.property_dim;
+        let n_props = self.config.essential_props + self.config.optional_props;
+        let prop_block = |k: usize| {
+            Matrix::from_vec(
+                b,
+                n_dim,
+                batch.props.as_slice()[k * b * n_dim..(k + 1) * b * n_dim].to_vec(),
+            )
+        };
+
+        let mut codes = Vec::with_capacity(n_props);
+        let mut recon_losses = Vec::with_capacity(n_props);
         let mut rng = rng;
-        for p in &batch.props {
+        for k in 0..n_props {
+            let p = prop_block(k);
             let p_node = g.input(p.clone());
             let mut enc_hidden = self.g1.forward(g, p_node);
             if let Some(r) = rng.as_deref_mut() {
@@ -245,10 +457,9 @@ impl Bellamy {
                 dec_hidden = alpha_dropout.forward(g, dec_hidden, true, r);
             }
             let recon = self.h2.forward(g, dec_hidden);
-            recon_losses.push(g.tape.mse_loss(recon, p.clone()));
+            recon_losses.push(g.tape.mse_loss(recon, &p));
         }
 
-        // r = e ⊕ essential codes ⊕ mean(optional codes)  (Eq. 5/6).
         let m = self.config.essential_props;
         let mut parts = vec![e];
         parts.extend_from_slice(&codes[..m]);
@@ -259,7 +470,6 @@ impl Bellamy {
         let z_hidden = self.z1.forward(g, r);
         let pred = self.z2.forward(g, z_hidden);
 
-        // Mean reconstruction loss across properties.
         let mut recon = recon_losses[0];
         for &l in &recon_losses[1..] {
             recon = g.tape.add(recon, l);
@@ -274,7 +484,11 @@ impl Bellamy {
     /// # Panics
     /// Panics if the model has not been fitted or loaded.
     pub fn predict(&self, scale_out: f64, props: &ContextProperties) -> f64 {
-        let sample = TrainingSample { scale_out, runtime_s: 0.0, props: props.clone() };
+        let sample = TrainingSample {
+            scale_out,
+            runtime_s: 0.0,
+            props: props.clone(),
+        };
         let encoded = self.encode_samples(std::slice::from_ref(&sample));
         let batch = self.make_batch(&encoded, &[0]);
         let mut graph = Graph::new(&self.params);
@@ -331,10 +545,22 @@ impl Bellamy {
             "scale_out_hidden_dim".into(),
             self.config.scale_out_hidden_dim.to_string(),
         );
-        meta.insert("scale_out_dim".into(), self.config.scale_out_dim.to_string());
-        meta.insert("essential_props".into(), self.config.essential_props.to_string());
-        meta.insert("optional_props".into(), self.config.optional_props.to_string());
-        meta.insert("scale_targets".into(), self.config.scale_targets.to_string());
+        meta.insert(
+            "scale_out_dim".into(),
+            self.config.scale_out_dim.to_string(),
+        );
+        meta.insert(
+            "essential_props".into(),
+            self.config.essential_props.to_string(),
+        );
+        meta.insert(
+            "optional_props".into(),
+            self.config.optional_props.to_string(),
+        );
+        meta.insert(
+            "scale_targets".into(),
+            self.config.scale_targets.to_string(),
+        );
         meta.insert("huber_delta".into(), self.config.huber_delta.to_string());
         meta.insert("target_scale".into(), format!("{:e}", self.target_scale));
         if let Some(s) = &self.scaler {
@@ -390,11 +616,14 @@ impl Bellamy {
             .get("target_scale")
             .and_then(|v| v.parse().ok())
             .unwrap_or(1.0);
-        if let (Some(mins), Some(maxs)) =
-            (ck.metadata.get("scaler_mins"), ck.metadata.get("scaler_maxs"))
-        {
-            model.scaler =
-                Some(MinMaxScaler::from_bounds(parse_floats(mins), parse_floats(maxs)));
+        if let (Some(mins), Some(maxs)) = (
+            ck.metadata.get("scaler_mins"),
+            ck.metadata.get("scaler_maxs"),
+        ) {
+            model.scaler = Some(MinMaxScaler::from_bounds(
+                parse_floats(mins),
+                parse_floats(maxs),
+            ));
         }
         Ok(model)
     }
@@ -416,7 +645,10 @@ impl Bellamy {
 }
 
 fn join_floats(v: &[f64]) -> String {
-    v.iter().map(|x| format!("{x:e}")).collect::<Vec<_>>().join(",")
+    v.iter()
+        .map(|x| format!("{x:e}"))
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 fn parse_floats(s: &str) -> Vec<f64> {
@@ -452,7 +684,7 @@ mod tests {
             + (4 * 8)
             + (8 * 40)
             + (28 * 8 + 8)
-            + (8 * 1 + 1);
+            + (8 + 1);
         assert_eq!(p.num_scalars(), expected);
         // Auto-encoder has no biases.
         assert!(p.find("g.l1.bias").is_none());
@@ -488,9 +720,8 @@ mod tests {
         let model = Bellamy::new(BellamyConfig::default(), 0);
         let ds = generate_c3o(&GeneratorConfig::default());
         let props = context_properties(&ds.contexts[0]);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            model.predict(4.0, &props)
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| model.predict(4.0, &props)));
         assert!(result.is_err(), "unfitted model must refuse to predict");
     }
 
@@ -502,7 +733,10 @@ mod tests {
         for s in samples.iter().take(3) {
             let a = model.predict(s.scale_out, &s.props);
             let b = restored.predict(s.scale_out, &s.props);
-            assert!((a - b).abs() < 1e-12, "prediction drift after reload: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-12,
+                "prediction drift after reload: {a} vs {b}"
+            );
         }
         assert_eq!(restored.target_scale(), model.target_scale());
     }

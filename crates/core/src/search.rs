@@ -43,7 +43,13 @@ impl SearchSpace {
 
     /// Samples `n` distinct configurations (all of them if `n` exceeds the
     /// grid).
-    pub fn sample(&self, n: usize, epochs: usize, batch_size: usize, seed: u64) -> Vec<PretrainConfig> {
+    pub fn sample(
+        &self,
+        n: usize,
+        epochs: usize,
+        batch_size: usize,
+        seed: u64,
+    ) -> Vec<PretrainConfig> {
         let mut cells: Vec<(f64, f64, f64)> = Vec::with_capacity(self.grid_size());
         for &d in &self.dropouts {
             for &lr in &self.learning_rates {
@@ -67,6 +73,7 @@ impl SearchSpace {
                 lr,
                 weight_decay,
                 dropout,
+                ..PretrainConfig::default()
             })
             .collect()
     }
@@ -102,7 +109,10 @@ pub fn search_pretrain(
     seed: u64,
     threads: usize,
 ) -> (Bellamy, SearchReport) {
-    assert!(samples.len() >= 5, "search needs enough samples for a split");
+    assert!(
+        samples.len() >= 5,
+        "search needs enough samples for a split"
+    );
     let configs = space.sample(n_trials, epochs, 64, seed);
 
     // Shuffled 80/20 split.
@@ -117,32 +127,35 @@ pub fn search_pretrain(
     let val: Vec<TrainingSample> = order[cut..].iter().map(|&i| samples[i].clone()).collect();
     let val_targets: Vec<f64> = val.iter().map(|s| s.runtime_s).collect();
 
-    let trials: Vec<TrialResult> = bellamy_par::par_map_with_threads(
-        &configs,
-        threads.max(1),
-        |cfg| {
+    let trials: Vec<TrialResult> =
+        bellamy_par::par_map_with_threads(&configs, threads.max(1), |cfg| {
             let mut model = Bellamy::new(base.clone(), seed);
             pretrain(&mut model, &train, cfg, seed ^ 0x7E57);
             let preds: Vec<f64> = val
                 .iter()
                 .map(|s| model.predict(s.scale_out, &s.props))
                 .collect();
-            TrialResult { config: *cfg, val_mae_s: metrics::mae(&preds, &val_targets) }
-        },
-    );
+            TrialResult {
+                config: *cfg,
+                val_mae_s: metrics::mae(&preds, &val_targets),
+            }
+        });
 
     let best_index = trials
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| {
-            a.val_mae_s.partial_cmp(&b.val_mae_s).expect("finite MAEs")
-        })
+        .min_by(|(_, a), (_, b)| a.val_mae_s.partial_cmp(&b.val_mae_s).expect("finite MAEs"))
         .map(|(i, _)| i)
         .expect("at least one trial");
 
     // Winner re-trains on everything.
     let mut final_model = Bellamy::new(base.clone(), seed);
-    pretrain(&mut final_model, samples, &trials[best_index].config, seed ^ 0xF17A);
+    pretrain(
+        &mut final_model,
+        samples,
+        &trials[best_index].config,
+        seed ^ 0xF17A,
+    );
 
     (final_model, SearchReport { trials, best_index })
 }
@@ -181,7 +194,10 @@ mod tests {
         let a = space.sample(12, 10, 64, 7);
         let b = space.sample(12, 10, 64, 7);
         for (x, y) in a.iter().zip(b.iter()) {
-            assert_eq!((x.dropout, x.lr, x.weight_decay), (y.dropout, y.lr, y.weight_decay));
+            assert_eq!(
+                (x.dropout, x.lr, x.weight_decay),
+                (y.dropout, y.lr, y.weight_decay)
+            );
         }
     }
 

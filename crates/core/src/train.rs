@@ -4,13 +4,29 @@
 //! algorithm — across contexts — minimizing the joint objective
 //! Huber(runtime) + MSE(reconstruction) with Adam, minibatches of 64, and
 //! alpha-dropout inside the auto-encoder.
+//!
+//! # The zero-allocation, data-parallel step
+//!
+//! [`Pretrainer`] owns all per-step state: each of its gradient **shards**
+//! keeps a reusable graph arena, gradient workspace, and batch tensors.
+//! A step splits the minibatch into `shards` contiguous slices, fans the
+//! forward/backward passes out over a persistent
+//! [`bellamy_par::WorkTeam`], and reduces the per-shard gradient maps on
+//! the coordinating thread in a **fixed binary-tree order** — so results
+//! are bit-identical for any worker count, and deterministic run-to-run
+//! for a fixed seed. After the first epoch warms the arenas and pools, a
+//! step performs zero heap allocations (verified by the counting-allocator
+//! test in `tests/zero_alloc.rs`).
 
 use crate::config::PretrainConfig;
 use crate::features::TrainingSample;
-use crate::model::Bellamy;
-use bellamy_nn::{metrics, Adam, AdamConfig, Graph};
+use crate::model::{BatchTensors, Bellamy, EncodedSample};
+use bellamy_linalg::BufferPool;
+use bellamy_nn::{metrics, Adam, AdamConfig, GradWorkspace, Graph, GraphArena};
+use bellamy_par::WorkTeam;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::cell::UnsafeCell;
 use std::time::Instant;
 
 /// Summary of one pre-training run.
@@ -28,6 +44,266 @@ pub struct PretrainReport {
     pub n_samples: usize,
 }
 
+/// Everything one gradient shard reuses across steps.
+struct Shard {
+    arena: Option<GraphArena>,
+    ws: GradWorkspace,
+    batch: BatchTensors,
+    pool: BufferPool,
+    /// This step's shard loss (weighted into the batch loss).
+    loss: f64,
+    /// This step's sample count (the reduction weight numerator).
+    rows: usize,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            arena: Some(GraphArena::default()),
+            ws: GradWorkspace::new(),
+            batch: BatchTensors::empty(),
+            pool: BufferPool::new(),
+            loss: 0.0,
+            rows: 0,
+        }
+    }
+}
+
+/// Shard cells handed out to the work team; each index is claimed by
+/// exactly one worker per step, giving it exclusive access.
+struct ShardCells(Vec<UnsafeCell<Shard>>);
+
+// SAFETY: `WorkTeam::run` hands every index to exactly one worker, so no
+// cell is ever accessed from two threads at once.
+unsafe impl Sync for ShardCells {}
+
+/// A reusable pre-training driver: owns the encoded dataset, the shard
+/// workspaces, the optimizer, and the worker team. See the module docs.
+pub struct Pretrainer {
+    encoded: Vec<EncodedSample>,
+    indices: Vec<usize>,
+    shards: ShardCells,
+    team: WorkTeam,
+    opt: Adam,
+    rng: StdRng,
+    seed: u64,
+    cfg: PretrainConfig,
+    epoch: usize,
+    dropout: f64,
+}
+
+impl Pretrainer {
+    /// Fits the model's normalization on `samples`, encodes them once, and
+    /// prepares shard workspaces and the worker team.
+    pub fn new(
+        model: &mut Bellamy,
+        samples: &[TrainingSample],
+        cfg: &PretrainConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            !samples.is_empty(),
+            "pre-training needs at least one sample"
+        );
+        assert!(cfg.batch_size > 0, "batch size must be positive");
+        model.fit_normalization(samples);
+        let encoded = model.encode_samples(samples);
+        let n_shards = cfg.effective_shards().max(1);
+        let workers = cfg.effective_workers().clamp(1, n_shards);
+        Self {
+            indices: (0..encoded.len()).collect(),
+            encoded,
+            shards: ShardCells(
+                (0..n_shards)
+                    .map(|_| UnsafeCell::new(Shard::new()))
+                    .collect(),
+            ),
+            team: WorkTeam::new(workers),
+            opt: Adam::new(
+                model.params(),
+                AdamConfig::with_lr(cfg.lr).weight_decay(cfg.weight_decay),
+            ),
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            cfg: *cfg,
+            epoch: 0,
+            dropout: cfg.dropout,
+        }
+    }
+
+    /// Number of encoded training samples.
+    pub fn n_samples(&self) -> usize {
+        self.encoded.len()
+    }
+
+    /// Runs one epoch (shuffle + minibatch steps); returns the mean joint
+    /// loss over the epoch's batches. Allocation-free once warm.
+    pub fn run_epoch(&mut self, model: &mut Bellamy) -> f64 {
+        self.epoch_impl(model, false)
+    }
+
+    /// The seed implementation's epoch — fresh graph and allocating
+    /// backward per step, sequential, per-property auto-encoder passes.
+    /// Kept as the benchmark baseline for the zero-allocation path.
+    #[doc(hidden)]
+    pub fn run_epoch_legacy(&mut self, model: &mut Bellamy) -> f64 {
+        self.epoch_impl(model, true)
+    }
+
+    fn epoch_impl(&mut self, model: &mut Bellamy, legacy: bool) -> f64 {
+        shuffle(&mut self.indices, &mut self.rng);
+        let mut epoch_loss = 0.0;
+        let mut batches = 0usize;
+        let n = self.indices.len();
+        let mut start = 0usize;
+        let mut step = 0usize;
+        while start < n {
+            let end = (start + self.cfg.batch_size).min(n);
+            // Borrow the chunk without holding `self` (step_* take &mut).
+            let (chunk_start, chunk_end) = (start, end);
+            epoch_loss += if legacy {
+                self.step_legacy(model, chunk_start, chunk_end, step)
+            } else {
+                self.step(model, chunk_start, chunk_end, step)
+            };
+            batches += 1;
+            start = end;
+            step += 1;
+        }
+        self.epoch += 1;
+        epoch_loss / batches as f64
+    }
+
+    /// One data-parallel minibatch step over `indices[chunk_start..chunk_end]`.
+    fn step(
+        &mut self,
+        model: &mut Bellamy,
+        chunk_start: usize,
+        chunk_end: usize,
+        step: usize,
+    ) -> f64 {
+        let chunk = &self.indices[chunk_start..chunk_end];
+        let b = chunk.len();
+        let n_shards = self.shards.0.len().min(b);
+        let per_shard = b.div_ceil(n_shards);
+        let delta = model.config().huber_delta;
+        let dropout = self.dropout;
+        let (epoch, seed) = (self.epoch, self.seed);
+
+        {
+            // Fan the shard passes out; exclusive access per claimed index.
+            let model: &Bellamy = model;
+            let encoded = &self.encoded;
+            let shards = &self.shards;
+            self.team.run(n_shards, move |s| {
+                // A short tail batch can leave trailing shards without rows
+                // (lo past the end), hence the saturating width.
+                let lo = (s * per_shard).min(b);
+                let hi = ((s + 1) * per_shard).min(b);
+                // SAFETY: each shard index is claimed exactly once per step.
+                let shard = unsafe { &mut *shards.0[s].get() };
+                shard.rows = hi - lo;
+                if lo >= hi {
+                    shard.loss = 0.0;
+                    return;
+                }
+                model.make_batch_into(encoded, &chunk[lo..hi], &mut shard.batch, &mut shard.pool);
+                let mut graph =
+                    Graph::from_arena(shard.arena.take().expect("arena parked"), model.params());
+                // Dropout masks draw from a per-(epoch, step, shard) stream,
+                // so the trajectory is independent of scheduling.
+                let mut rng = StdRng::seed_from_u64(mix_seed(seed, epoch, step, s));
+                let dropout = (dropout > 0.0).then_some((dropout, &mut rng));
+                let out = model.forward(&mut graph, &shard.batch, dropout);
+                let huber = graph
+                    .tape
+                    .huber_loss(out.pred, &shard.batch.targets_scaled, delta);
+                let loss = graph.tape.add(huber, out.recon);
+                shard.loss = graph.value(loss)[(0, 0)];
+                graph.backward_into(loss, &mut shard.ws);
+                shard.arena = Some(graph.into_arena());
+            });
+        }
+
+        // Deterministic reduction: weight each shard's mean-based gradients
+        // by its share of the batch, then sum in a fixed binary tree. The
+        // same tree runs for any worker count, so results are bit-identical
+        // to the sequential path.
+        let active = &mut self.shards.0[..n_shards];
+        let mut batch_loss = 0.0;
+        for cell in active.iter_mut() {
+            let shard = cell.get_mut();
+            let w = shard.rows as f64 / b as f64;
+            shard.ws.map_mut().scale(w);
+            batch_loss += w * shard.loss;
+        }
+        let mut stride = 1;
+        while stride < n_shards {
+            let mut i = 0;
+            while i + stride < n_shards {
+                let (left, right) = active.split_at_mut(i + stride);
+                let dst = left[i].get_mut();
+                let src = right[0].get_mut();
+                dst.ws.map_mut().axpy(1.0, src.ws.map());
+                i += 2 * stride;
+            }
+            stride *= 2;
+        }
+
+        let total = self.shards.0[0].get_mut();
+        self.opt.step(model.params_mut(), total.ws.map());
+        batch_loss
+    }
+
+    /// One seed-style step: allocate a fresh graph, per-property forward,
+    /// allocating backward — the baseline the benchmark compares against.
+    fn step_legacy(
+        &mut self,
+        model: &mut Bellamy,
+        chunk_start: usize,
+        chunk_end: usize,
+        step: usize,
+    ) -> f64 {
+        let chunk = &self.indices[chunk_start..chunk_end];
+        let delta = model.config().huber_delta;
+        let batch = model.make_batch(&self.encoded, chunk);
+        let mut graph = Graph::new(model.params());
+        graph.tape.set_reference_scalars(true);
+        let mut rng = StdRng::seed_from_u64(mix_seed(self.seed, self.epoch, step, 0));
+        let dropout = (self.dropout > 0.0).then_some((self.dropout, &mut rng));
+        let out = model.forward_legacy(&mut graph, &batch, dropout);
+        let huber = graph
+            .tape
+            .huber_loss(out.pred, &batch.targets_scaled, delta);
+        let loss = graph.tape.add(huber, out.recon);
+        let loss_value = graph.value(loss)[(0, 0)];
+        let grads = graph.backward(loss);
+        drop(graph);
+        self.opt.step(model.params_mut(), &grads);
+        loss_value
+    }
+
+    /// Training MAE (seconds) of the current parameters over the training
+    /// set.
+    pub fn train_mae(&self, model: &Bellamy, samples: &[TrainingSample]) -> f64 {
+        let preds = model.predict_encoded(&self.encoded);
+        let targets: Vec<f64> = samples.iter().map(|s| s.runtime_s).collect();
+        metrics::mae(&preds, &targets)
+    }
+}
+
+/// Derives the dropout stream for one (epoch, step, shard) cell from the
+/// master seed (SplitMix64-style finalizer over the packed coordinates).
+fn mix_seed(seed: u64, epoch: usize, step: usize, shard: usize) -> u64 {
+    let mut z = seed
+        ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (step as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ (shard as u64).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Pre-trains `model` on `samples`, fitting the scale-out normalization and
 /// target scale first (their bounds then persist into fine-tuning and
 /// inference, §IV-A).
@@ -37,47 +313,18 @@ pub fn pretrain(
     cfg: &PretrainConfig,
     seed: u64,
 ) -> PretrainReport {
-    assert!(!samples.is_empty(), "pre-training needs at least one sample");
-    assert!(cfg.batch_size > 0, "batch size must be positive");
     let start = Instant::now();
+    let mut trainer = Pretrainer::new(model, samples, cfg, seed);
 
-    model.fit_normalization(samples);
-    let encoded = model.encode_samples(samples);
-
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut opt = Adam::new(
-        model.params(),
-        AdamConfig::with_lr(cfg.lr).weight_decay(cfg.weight_decay),
-    );
-    let delta = model.config().huber_delta;
-
-    let mut indices: Vec<usize> = (0..encoded.len()).collect();
     let mut final_loss = f64::NAN;
-
     for _epoch in 0..cfg.epochs {
-        shuffle(&mut indices, &mut rng);
-        let mut epoch_loss = 0.0;
-        let mut batches = 0;
-        for chunk in indices.chunks(cfg.batch_size) {
-            let batch = model.make_batch(&encoded, chunk);
-            let mut graph = Graph::new(model.params());
-            let out = model.forward(&mut graph, &batch, Some((cfg.dropout, &mut rng)));
-            let huber = graph.tape.huber_loss(out.pred, batch.targets_scaled.clone(), delta);
-            let loss = graph.tape.add(huber, out.recon);
-            epoch_loss += graph.value(loss)[(0, 0)];
-            batches += 1;
-            let grads = graph.backward(loss);
-            opt.step(model.params_mut(), &grads);
-        }
-        final_loss = epoch_loss / batches as f64;
+        final_loss = trainer.run_epoch(model);
     }
 
-    let preds = model.predict_encoded(&encoded);
-    let targets: Vec<f64> = samples.iter().map(|s| s.runtime_s).collect();
     PretrainReport {
         epochs: cfg.epochs,
         final_loss,
-        train_mae_s: metrics::mae(&preds, &targets),
+        train_mae_s: trainer.train_mae(model, samples),
         elapsed_s: start.elapsed().as_secs_f64(),
         n_samples: samples.len(),
     }
@@ -102,7 +349,11 @@ mod tests {
     fn sgd_cross_context_samples(max_contexts: usize) -> Vec<TrainingSample> {
         let ds = generate_c3o(&GeneratorConfig::default());
         let mut samples = Vec::new();
-        for ctx in ds.contexts_for(Algorithm::Sgd).into_iter().take(max_contexts) {
+        for ctx in ds
+            .contexts_for(Algorithm::Sgd)
+            .into_iter()
+            .take(max_contexts)
+        {
             let runs = ds.runs_for_context(ctx.id);
             samples.extend(samples_from_runs(&ds, &runs));
         }
@@ -121,7 +372,10 @@ mod tests {
         let targets: Vec<f64> = samples.iter().map(|s| s.runtime_s).collect();
         let mae0 = bellamy_nn::metrics::mae(&preds0, &targets);
 
-        let cfg = PretrainConfig { epochs: 150, ..PretrainConfig::default() };
+        let cfg = PretrainConfig {
+            epochs: 150,
+            ..PretrainConfig::default()
+        };
         let report = pretrain(&mut model, &samples, &cfg, 11);
         assert!(report.final_loss.is_finite());
         assert!(
@@ -134,7 +388,10 @@ mod tests {
     #[test]
     fn pretraining_is_deterministic() {
         let samples = sgd_cross_context_samples(2);
-        let cfg = PretrainConfig { epochs: 30, ..PretrainConfig::default() };
+        let cfg = PretrainConfig {
+            epochs: 30,
+            ..PretrainConfig::default()
+        };
         let mut m1 = Bellamy::new(BellamyConfig::default(), 5);
         let mut m2 = Bellamy::new(BellamyConfig::default(), 5);
         let r1 = pretrain(&mut m1, &samples, &cfg, 9);
@@ -146,10 +403,109 @@ mod tests {
     }
 
     #[test]
+    fn sharded_gradients_match_single_shard_bitwise() {
+        // The tree reduction must make the data-parallel path bit-identical
+        // to the sequential (one worker, same shard structure) path, and
+        // shard count 1 must equal a plain full-batch step.
+        let samples = sgd_cross_context_samples(1);
+        let run = |workers: usize, shards: usize| {
+            let cfg = PretrainConfig {
+                epochs: 8,
+                workers,
+                shards,
+                ..PretrainConfig::default()
+            };
+            let mut model = Bellamy::new(BellamyConfig::default(), 17);
+            let report = pretrain(&mut model, &samples, &cfg, 23);
+            (report.final_loss, model.predict(6.0, &samples[0].props))
+        };
+        let sequential = run(1, 4);
+        let parallel = run(4, 4);
+        assert_eq!(sequential, parallel, "worker count must not change results");
+        let two_workers = run(2, 4);
+        assert_eq!(sequential, two_workers);
+    }
+
+    #[test]
+    fn legacy_and_optimized_steps_converge_alike() {
+        // Same schedule, same seeds: the batched zero-allocation step and
+        // the seed-style legacy step follow numerically close trajectories
+        // (identical math, different floating-point association).
+        let samples = sgd_cross_context_samples(1);
+        let cfg = PretrainConfig {
+            epochs: 0,
+            dropout: 0.0,
+            shards: 1,
+            workers: 1,
+            ..PretrainConfig::default()
+        };
+        let mut m1 = Bellamy::new(BellamyConfig::default(), 8);
+        let mut m2 = Bellamy::new(BellamyConfig::default(), 8);
+        let mut t1 = Pretrainer::new(&mut m1, &samples, &cfg, 31);
+        let mut t2 = Pretrainer::new(&mut m2, &samples, &cfg, 31);
+        let mut l1 = 0.0;
+        let mut l2 = 0.0;
+        for _ in 0..5 {
+            l1 = t1.run_epoch(&mut m1);
+            l2 = t2.run_epoch_legacy(&mut m2);
+        }
+        assert!(
+            (l1 - l2).abs() < 1e-6 * l1.abs().max(1.0),
+            "optimized {l1} vs legacy {l2}"
+        );
+        let p1 = m1.predict(6.0, &samples[0].props);
+        let p2 = m2.predict(6.0, &samples[0].props);
+        assert!(
+            (p1 - p2).abs() < 1e-6 * p1.abs().max(1.0),
+            "optimized {p1} vs legacy {p2}"
+        );
+    }
+
+    #[test]
+    fn tail_batch_with_empty_shards_trains_cleanly() {
+        // Regression: 13 samples with batch 8 and 4 shards leaves the tail
+        // batch (5 rows, per-shard 2) with an empty fourth shard — its row
+        // count must clamp to zero (not underflow) and its stale gradients
+        // must not leak into the reduction.
+        let samples: Vec<TrainingSample> =
+            sgd_cross_context_samples(1).into_iter().take(13).collect();
+        let cfg = PretrainConfig {
+            epochs: 4,
+            batch_size: 8,
+            workers: 2,
+            shards: 4,
+            ..PretrainConfig::default()
+        };
+        let mut model = Bellamy::new(BellamyConfig::default(), 2);
+        let report = pretrain(&mut model, &samples, &cfg, 6);
+        assert!(report.final_loss.is_finite());
+        let p = model.predict(6.0, &samples[0].props);
+        assert!(
+            p.is_finite(),
+            "empty shards must not corrupt the update: {p}"
+        );
+
+        // And the empty-shard schedule stays bit-identical across worker
+        // counts.
+        let mut sequential = Bellamy::new(BellamyConfig::default(), 2);
+        let seq_report = pretrain(
+            &mut sequential,
+            &samples,
+            &PretrainConfig { workers: 1, ..cfg },
+            6,
+        );
+        assert_eq!(seq_report.final_loss, report.final_loss);
+        assert_eq!(sequential.predict(6.0, &samples[0].props), p);
+    }
+
+    #[test]
     fn report_counts_samples() {
         let samples = sgd_cross_context_samples(1);
         let mut model = Bellamy::new(BellamyConfig::default(), 0);
-        let cfg = PretrainConfig { epochs: 5, ..PretrainConfig::default() };
+        let cfg = PretrainConfig {
+            epochs: 5,
+            ..PretrainConfig::default()
+        };
         let report = pretrain(&mut model, &samples, &cfg, 0);
         assert_eq!(report.n_samples, samples.len());
         assert_eq!(report.epochs, 5);

@@ -1,0 +1,135 @@
+//! Proof that the steady-state training step is allocation-free.
+//!
+//! A counting global allocator tallies every `alloc`/`realloc`; after the
+//! warm-up epochs have sized the tape arenas, gradient workspaces, batch
+//! tensors, and buffer pools, further epochs must not touch the allocator
+//! at all — on the sequential path *and* on the data-parallel path (the
+//! worker team parks persistent jobs, so fanning a step out is signalling
+//! only).
+
+use bellamy_core::train::Pretrainer;
+use bellamy_core::{Bellamy, BellamyConfig, ContextProperties, PretrainConfig, TrainingSample};
+use bellamy_encoding::PropertyValue;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// A small deterministic training set; built by hand so the test does not
+/// depend on the (allocation-heavy) trace generators.
+fn samples(n: usize) -> Vec<TrainingSample> {
+    let node_types = ["m4.xlarge", "c4.2xlarge", "r4.xlarge"];
+    (0..n)
+        .map(|i| {
+            let x = 2.0 + (i % 6) as f64 * 2.0;
+            TrainingSample {
+                scale_out: x,
+                runtime_s: 100.0 + 400.0 / x + 3.0 * (i % 7) as f64,
+                props: ContextProperties {
+                    essential: vec![
+                        PropertyValue::Number(4096 + 512 * (i as u64 % 5)),
+                        PropertyValue::text("dense-features"),
+                        PropertyValue::text("--iterations 50"),
+                        PropertyValue::text(node_types[i % node_types.len()]),
+                    ],
+                    optional: vec![
+                        PropertyValue::Number(16_384),
+                        PropertyValue::Number(8),
+                        PropertyValue::text("sgd"),
+                    ],
+                },
+            }
+        })
+        .collect()
+}
+
+fn allocations_during_epochs(cfg: &PretrainConfig, n_samples: usize, warmup: usize) -> u64 {
+    let samples = samples(n_samples);
+    let mut model = Bellamy::new(BellamyConfig::default(), 7);
+    let mut trainer = Pretrainer::new(&mut model, &samples, cfg, 13);
+    for _ in 0..warmup {
+        trainer.run_epoch(&mut model);
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..5 {
+        trainer.run_epoch(&mut model);
+    }
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn steady_state_step_is_allocation_free_sequential() {
+    let cfg = PretrainConfig {
+        epochs: 0,
+        batch_size: 8,
+        workers: 1,
+        shards: 1,
+        ..PretrainConfig::default()
+    };
+    // 24 samples, batch 8: uniform batch shapes.
+    let allocs = allocations_during_epochs(&cfg, 24, 2);
+    assert_eq!(
+        allocs, 0,
+        "sequential steady-state epochs must not allocate"
+    );
+}
+
+#[test]
+fn steady_state_step_is_allocation_free_with_ragged_tail_batch() {
+    let cfg = PretrainConfig {
+        epochs: 0,
+        batch_size: 8,
+        workers: 1,
+        shards: 2,
+        ..PretrainConfig::default()
+    };
+    // 20 samples, batch 8: epochs alternate 8/8/4-row batches, exercising
+    // the buffer-pool recycling across shape changes.
+    let allocs = allocations_during_epochs(&cfg, 20, 2);
+    assert_eq!(
+        allocs, 0,
+        "tail-batch shape changes must be served by the pools"
+    );
+}
+
+#[test]
+fn steady_state_step_is_allocation_free_data_parallel() {
+    let cfg = PretrainConfig {
+        epochs: 0,
+        batch_size: 8,
+        workers: 2,
+        shards: 2,
+        ..PretrainConfig::default()
+    };
+    let allocs = allocations_during_epochs(&cfg, 24, 2);
+    assert_eq!(
+        allocs, 0,
+        "the worker-team fan-out must be signalling-only in steady state"
+    );
+}

@@ -21,7 +21,11 @@ pub enum CsvError {
     /// A row has the wrong number of fields.
     FieldCount { line: usize, got: usize },
     /// A field failed to parse, with the column name.
-    BadField { line: usize, column: &'static str, value: String },
+    BadField {
+        line: usize,
+        column: &'static str,
+        value: String,
+    },
     /// Context rows with the same id disagree on their fields.
     InconsistentContext { line: usize },
 }
@@ -33,11 +37,18 @@ impl std::fmt::Display for CsvError {
             CsvError::FieldCount { line, got } => {
                 write!(f, "line {line}: expected 13 fields, got {got}")
             }
-            CsvError::BadField { line, column, value } => {
+            CsvError::BadField {
+                line,
+                column,
+                value,
+            } => {
                 write!(f, "line {line}: cannot parse {column} from {value:?}")
             }
             CsvError::InconsistentContext { line } => {
-                write!(f, "line {line}: context fields disagree with an earlier row")
+                write!(
+                    f,
+                    "line {line}: context fields disagree with an earlier row"
+                )
             }
         }
     }
@@ -77,7 +88,9 @@ pub fn to_csv(dataset: &Dataset) -> String {
 /// Parses a dataset from CSV (the inverse of [`to_csv`]).
 pub fn from_csv(text: &str) -> Result<Dataset, CsvError> {
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines.next().ok_or_else(|| CsvError::BadHeader(String::new()))?;
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| CsvError::BadHeader(String::new()))?;
     if header.trim() != HEADER {
         return Err(CsvError::BadHeader(header.to_string()));
     }
@@ -92,7 +105,10 @@ pub fn from_csv(text: &str) -> Result<Dataset, CsvError> {
         }
         let fields = split_row(line);
         if fields.len() != 13 {
-            return Err(CsvError::FieldCount { line: line_no, got: fields.len() });
+            return Err(CsvError::FieldCount {
+                line: line_no,
+                got: fields.len(),
+            });
         }
         let bad = |column: &'static str, value: &str| CsvError::BadField {
             line: line_no,
@@ -100,20 +116,30 @@ pub fn from_csv(text: &str) -> Result<Dataset, CsvError> {
             value: value.to_string(),
         };
 
-        let environment = Environment::from_name(&fields[0])
-            .ok_or_else(|| bad("environment", &fields[0]))?;
+        let environment =
+            Environment::from_name(&fields[0]).ok_or_else(|| bad("environment", &fields[0]))?;
         let algorithm =
             Algorithm::from_name(&fields[1]).ok_or_else(|| bad("algorithm", &fields[1]))?;
-        let context_id: usize = fields[2].parse().map_err(|_| bad("context_id", &fields[2]))?;
+        let context_id: usize = fields[2]
+            .parse()
+            .map_err(|_| bad("context_id", &fields[2]))?;
         let cores: u32 = fields[4].parse().map_err(|_| bad("cores", &fields[4]))?;
-        let memory_mb: u64 = fields[5].parse().map_err(|_| bad("memory_mb", &fields[5]))?;
-        let relative_speed: f64 =
-            fields[6].parse().map_err(|_| bad("relative_speed", &fields[6]))?;
-        let dataset_size_mb: u64 =
-            fields[7].parse().map_err(|_| bad("dataset_size_mb", &fields[7]))?;
-        let scale_out: u32 = fields[10].parse().map_err(|_| bad("scale_out", &fields[10]))?;
+        let memory_mb: u64 = fields[5]
+            .parse()
+            .map_err(|_| bad("memory_mb", &fields[5]))?;
+        let relative_speed: f64 = fields[6]
+            .parse()
+            .map_err(|_| bad("relative_speed", &fields[6]))?;
+        let dataset_size_mb: u64 = fields[7]
+            .parse()
+            .map_err(|_| bad("dataset_size_mb", &fields[7]))?;
+        let scale_out: u32 = fields[10]
+            .parse()
+            .map_err(|_| bad("scale_out", &fields[10]))?;
         let repeat: u32 = fields[11].parse().map_err(|_| bad("repeat", &fields[11]))?;
-        let runtime_s: f64 = fields[12].parse().map_err(|_| bad("runtime_s", &fields[12]))?;
+        let runtime_s: f64 = fields[12]
+            .parse()
+            .map_err(|_| bad("runtime_s", &fields[12]))?;
 
         let ctx = JobContext {
             id: context_id,
@@ -141,7 +167,12 @@ pub fn from_csv(text: &str) -> Result<Dataset, CsvError> {
             return Err(CsvError::InconsistentContext { line: line_no });
         }
 
-        runs.push(JobRun { context_id, scale_out, repeat, runtime_s });
+        runs.push(JobRun {
+            context_id,
+            scale_out,
+            repeat,
+            runtime_s,
+        });
     }
 
     Ok(Dataset { contexts, runs })
@@ -215,7 +246,10 @@ mod tests {
         let mut ds = generate_bell(&GeneratorConfig::seeded(1));
         ds.contexts[0].job_parameters = "--pattern \"a,b\",--verbose".to_string();
         let back = from_csv(&to_csv(&ds)).unwrap();
-        assert_eq!(back.contexts[0].job_parameters, ds.contexts[0].job_parameters);
+        assert_eq!(
+            back.contexts[0].job_parameters,
+            ds.contexts[0].job_parameters
+        );
     }
 
     #[test]
@@ -234,11 +268,13 @@ mod tests {
 
     #[test]
     fn bad_algorithm_reported() {
-        let text = format!(
-            "{HEADER}\nc3o,quicksort,0,m4.xlarge,4,16384,1,1000,text,params,2,0,10.0\n"
-        );
+        let text =
+            format!("{HEADER}\nc3o,quicksort,0,m4.xlarge,4,16384,1,1000,text,params,2,0,10.0\n");
         match from_csv(&text) {
-            Err(CsvError::BadField { column: "algorithm", .. }) => {}
+            Err(CsvError::BadField {
+                column: "algorithm",
+                ..
+            }) => {}
             other => panic!("unexpected {other:?}"),
         }
     }

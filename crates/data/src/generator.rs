@@ -42,7 +42,10 @@ impl Default for GeneratorConfig {
 impl GeneratorConfig {
     /// Default configuration with a specific seed.
     pub fn seeded(seed: u64) -> Self {
-        Self { seed, ..Self::default() }
+        Self {
+            seed,
+            ..Self::default()
+        }
     }
 }
 
@@ -51,8 +54,7 @@ pub const C3O_SCALE_OUTS: [u32; 6] = [2, 4, 6, 8, 10, 12];
 /// C3O repetitions per experiment (§IV-B).
 pub const C3O_REPEATS: u32 = 5;
 /// Bell scale-out grid: 4–60 machines, step 4 (§IV-B).
-pub const BELL_SCALE_OUTS: [u32; 15] =
-    [4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60];
+pub const BELL_SCALE_OUTS: [u32; 15] = [4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60];
 /// Bell repetitions per experiment (§IV-B).
 pub const BELL_REPEATS: u32 = 7;
 
@@ -88,10 +90,16 @@ fn parameter_choices(algorithm: Algorithm) -> Vec<String> {
             .iter()
             .map(|it| format!("--iterations {it} --damping 0.85"))
             .collect(),
-        Algorithm::Grep => ["error", "warn", "exception", "failed.*timeout", "href=.*html"]
-            .iter()
-            .map(|p| format!("--pattern {p}"))
-            .collect(),
+        Algorithm::Grep => [
+            "error",
+            "warn",
+            "exception",
+            "failed.*timeout",
+            "href=.*html",
+        ]
+        .iter()
+        .map(|p| format!("--pattern {p}"))
+        .collect(),
         Algorithm::Sort => [64, 128, 256]
             .iter()
             .map(|p| format!("--partitions {p}"))
@@ -171,7 +179,12 @@ pub fn generate_bell(config: &GeneratorConfig) -> Dataset {
     let specs: [(Algorithm, u64, &str, &str); 3] = [
         (Algorithm::Grep, 153_600, "text-logs", "--pattern exception"),
         (Algorithm::Sgd, 61_440, "dense-features", "--iterations 100"),
-        (Algorithm::PageRank, 81_920, "web-graph", "--iterations 20 --damping 0.85"),
+        (
+            Algorithm::PageRank,
+            81_920,
+            "web-graph",
+            "--iterations 20 --damping 0.85",
+        ),
     ];
 
     let contexts: Vec<JobContext> = specs
@@ -218,7 +231,12 @@ fn sample_runs(
                     let (lo, hi) = config.straggler_slowdown;
                     t *= rng.random_range(lo..hi);
                 }
-                runs.push(JobRun { context_id: ctx.id, scale_out: x, repeat, runtime_s: t });
+                runs.push(JobRun {
+                    context_id: ctx.id,
+                    scale_out: x,
+                    repeat,
+                    runtime_s: t,
+                });
             }
         }
     }

@@ -265,7 +265,13 @@ mod tests {
 
     #[test]
     fn sgd_has_interior_optimum_in_c3o_range() {
-        let ctx = make_ctx(Algorithm::Sgd, "m4.xlarge", 15_360, "dense-features", "--iterations 50");
+        let ctx = make_ctx(
+            Algorithm::Sgd,
+            "m4.xlarge",
+            15_360,
+            "dense-features",
+            "--iterations 50",
+        );
         let p = ground_truth_profile(&ctx);
         let best = p.optimal_scale_out(2, 40);
         assert!(
@@ -278,7 +284,13 @@ mod tests {
 
     #[test]
     fn grep_is_monotone_decreasing_in_c3o_range() {
-        let ctx = make_ctx(Algorithm::Grep, "m4.xlarge", 20_480, "text-logs", "--pattern error");
+        let ctx = make_ctx(
+            Algorithm::Grep,
+            "m4.xlarge",
+            20_480,
+            "text-logs",
+            "--pattern error",
+        );
         let p = ground_truth_profile(&ctx);
         for x in 2..12 {
             assert!(
@@ -290,8 +302,20 @@ mod tests {
 
     #[test]
     fn more_iterations_cost_more() {
-        let short = make_ctx(Algorithm::Sgd, "m4.xlarge", 15_360, "dense-features", "--iterations 25");
-        let long = make_ctx(Algorithm::Sgd, "m4.xlarge", 15_360, "dense-features", "--iterations 100");
+        let short = make_ctx(
+            Algorithm::Sgd,
+            "m4.xlarge",
+            15_360,
+            "dense-features",
+            "--iterations 25",
+        );
+        let long = make_ctx(
+            Algorithm::Sgd,
+            "m4.xlarge",
+            15_360,
+            "dense-features",
+            "--iterations 100",
+        );
         let ps = ground_truth_profile(&short);
         let pl = ground_truth_profile(&long);
         assert!(pl.runtime(6.0) > ps.runtime(6.0));
@@ -299,18 +323,41 @@ mod tests {
 
     #[test]
     fn bigger_dataset_costs_more() {
-        let small = make_ctx(Algorithm::Sort, "m4.xlarge", 5_120, "uniform-keys", "--partitions 128");
-        let large = make_ctx(Algorithm::Sort, "m4.xlarge", 40_960, "uniform-keys", "--partitions 128");
+        let small = make_ctx(
+            Algorithm::Sort,
+            "m4.xlarge",
+            5_120,
+            "uniform-keys",
+            "--partitions 128",
+        );
+        let large = make_ctx(
+            Algorithm::Sort,
+            "m4.xlarge",
+            40_960,
+            "uniform-keys",
+            "--partitions 128",
+        );
         assert!(
-            ground_truth_profile(&large).runtime(6.0)
-                > ground_truth_profile(&small).runtime(6.0)
+            ground_truth_profile(&large).runtime(6.0) > ground_truth_profile(&small).runtime(6.0)
         );
     }
 
     #[test]
     fn faster_nodes_run_faster() {
-        let m4 = make_ctx(Algorithm::Grep, "m4.xlarge", 20_480, "text-logs", "--pattern error");
-        let c4_big = make_ctx(Algorithm::Grep, "c4.2xlarge", 20_480, "text-logs", "--pattern error");
+        let m4 = make_ctx(
+            Algorithm::Grep,
+            "m4.xlarge",
+            20_480,
+            "text-logs",
+            "--pattern error",
+        );
+        let c4_big = make_ctx(
+            Algorithm::Grep,
+            "c4.2xlarge",
+            20_480,
+            "text-logs",
+            "--pattern error",
+        );
         // c4.2xlarge has 2x cores and 1.3x speed; at high scale-out (no
         // spill) it must beat m4.xlarge.
         assert!(
@@ -320,20 +367,38 @@ mod tests {
 
     #[test]
     fn low_memory_nodes_spill_at_small_scale_out() {
-        let c4 = make_ctx(Algorithm::Sort, "c4.xlarge", 30_720, "uniform-keys", "--partitions 128");
+        let c4 = make_ctx(
+            Algorithm::Sort,
+            "c4.xlarge",
+            30_720,
+            "uniform-keys",
+            "--partitions 128",
+        );
         let p = ground_truth_profile(&c4);
         // 30 GB over 2 machines with 7.5 GB memory: heavy pressure.
         assert!(p.spill_factor(2.0) > 1.2);
         // At 12 machines pressure fades.
         assert!(p.spill_factor(12.0) < p.spill_factor(2.0));
         // A memory-optimized node with the same dataset does not spill.
-        let r4 = make_ctx(Algorithm::Sort, "r4.xlarge", 30_720, "uniform-keys", "--partitions 128");
+        let r4 = make_ctx(
+            Algorithm::Sort,
+            "r4.xlarge",
+            30_720,
+            "uniform-keys",
+            "--partitions 128",
+        );
         assert_eq!(ground_truth_profile(&r4).spill_factor(2.0), 1.0);
     }
 
     #[test]
     fn wave_factor_is_quantized_and_fades_with_many_waves() {
-        let ctx = make_ctx(Algorithm::Sgd, "m4.xlarge", 10_240, "dense-features", "--iterations 50");
+        let ctx = make_ctx(
+            Algorithm::Sgd,
+            "m4.xlarge",
+            10_240,
+            "dense-features",
+            "--iterations 50",
+        );
         let p = ground_truth_profile(&ctx);
         // 10 GB / 512 MB = 20 tasks, 4 slots/machine.
         assert_eq!(p.tasks, 20);
@@ -351,8 +416,20 @@ mod tests {
 
     #[test]
     fn iterative_algorithms_have_stronger_waves() {
-        let sgd = make_ctx(Algorithm::Sgd, "m4.xlarge", 10_240, "dense-features", "--iterations 50");
-        let grep = make_ctx(Algorithm::Grep, "m4.xlarge", 10_240, "text-logs", "--pattern error");
+        let sgd = make_ctx(
+            Algorithm::Sgd,
+            "m4.xlarge",
+            10_240,
+            "dense-features",
+            "--iterations 50",
+        );
+        let grep = make_ctx(
+            Algorithm::Grep,
+            "m4.xlarge",
+            10_240,
+            "text-logs",
+            "--pattern error",
+        );
         let ps = ground_truth_profile(&sgd);
         let pg = ground_truth_profile(&grep);
         assert!(ps.wave_share > pg.wave_share);
@@ -363,7 +440,13 @@ mod tests {
 
     #[test]
     fn bell_environment_has_slower_startup() {
-        let mut ctx = make_ctx(Algorithm::Grep, "m4.xlarge", 20_480, "text-logs", "--pattern error");
+        let mut ctx = make_ctx(
+            Algorithm::Grep,
+            "m4.xlarge",
+            20_480,
+            "text-logs",
+            "--pattern error",
+        );
         let c3o = ground_truth_profile(&ctx);
         ctx.environment = Environment::BellPrivateCluster;
         let bell = ground_truth_profile(&ctx);
@@ -373,13 +456,22 @@ mod tests {
     #[test]
     fn parse_numeric_param_extracts() {
         assert_eq!(parse_numeric_param("--k 8 --iterations 20", "k"), Some(8.0));
-        assert_eq!(parse_numeric_param("--k 8 --iterations 20", "iterations"), Some(20.0));
+        assert_eq!(
+            parse_numeric_param("--k 8 --iterations 20", "iterations"),
+            Some(20.0)
+        );
         assert_eq!(parse_numeric_param("--pattern error", "iterations"), None);
     }
 
     #[test]
     fn min_scale_out_meeting_target() {
-        let ctx = make_ctx(Algorithm::Grep, "m4.xlarge", 20_480, "text-logs", "--pattern error");
+        let ctx = make_ctx(
+            Algorithm::Grep,
+            "m4.xlarge",
+            20_480,
+            "text-logs",
+            "--pattern error",
+        );
         let p = ground_truth_profile(&ctx);
         // Some achievable target: runtime at 8 machines.
         let t8 = p.runtime(8.0);

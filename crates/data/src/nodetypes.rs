@@ -24,7 +24,12 @@ pub struct NodeType {
 
 impl NodeType {
     fn new(name: &str, cores: u32, memory_mb: u64, relative_speed: f64) -> Self {
-        Self { name: name.to_string(), cores, memory_mb, relative_speed }
+        Self {
+            name: name.to_string(),
+            cores,
+            memory_mb,
+            relative_speed,
+        }
     }
 
     /// The C3O (public cloud) catalog.

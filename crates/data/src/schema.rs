@@ -185,12 +185,18 @@ pub struct Dataset {
 impl Dataset {
     /// Contexts belonging to `algorithm`.
     pub fn contexts_for(&self, algorithm: Algorithm) -> Vec<&JobContext> {
-        self.contexts.iter().filter(|c| c.algorithm == algorithm).collect()
+        self.contexts
+            .iter()
+            .filter(|c| c.algorithm == algorithm)
+            .collect()
     }
 
     /// Runs executed in context `context_id`.
     pub fn runs_for_context(&self, context_id: usize) -> Vec<&JobRun> {
-        self.runs.iter().filter(|r| r.context_id == context_id).collect()
+        self.runs
+            .iter()
+            .filter(|r| r.context_id == context_id)
+            .collect()
     }
 
     /// Runs of every context of `algorithm` **except** `exclude_context`.
@@ -271,7 +277,14 @@ mod tests {
     use super::*;
     use crate::nodetypes::NodeType;
 
-    fn ctx(id: usize, alg: Algorithm, node: &str, size: u64, chars: &str, params: &str) -> JobContext {
+    fn ctx(
+        id: usize,
+        alg: Algorithm,
+        node: &str,
+        size: u64,
+        chars: &str,
+        params: &str,
+    ) -> JobContext {
         JobContext {
             id,
             environment: Environment::C3oPublicCloud,
@@ -322,29 +335,91 @@ mod tests {
 
     #[test]
     fn substantially_different_requires_all_criteria() {
-        let a = ctx(0, Algorithm::Sgd, "m4.2xlarge", 20_000, "dense", "--iterations 50");
+        let a = ctx(
+            0,
+            Algorithm::Sgd,
+            "m4.2xlarge",
+            20_000,
+            "dense",
+            "--iterations 50",
+        );
         // Same node type -> not different enough.
-        let b = ctx(1, Algorithm::Sgd, "m4.2xlarge", 30_000, "sparse", "--iterations 100");
+        let b = ctx(
+            1,
+            Algorithm::Sgd,
+            "m4.2xlarge",
+            30_000,
+            "sparse",
+            "--iterations 100",
+        );
         assert!(!a.substantially_different(&b));
         // All fields differ and size gap >= 20%.
-        let c = ctx(2, Algorithm::Sgd, "r4.2xlarge", 30_000, "sparse", "--iterations 100");
+        let c = ctx(
+            2,
+            Algorithm::Sgd,
+            "r4.2xlarge",
+            30_000,
+            "sparse",
+            "--iterations 100",
+        );
         assert!(a.substantially_different(&c));
         // Size too close (10%).
-        let d = ctx(3, Algorithm::Sgd, "r4.2xlarge", 22_000, "sparse", "--iterations 100");
+        let d = ctx(
+            3,
+            Algorithm::Sgd,
+            "r4.2xlarge",
+            22_000,
+            "sparse",
+            "--iterations 100",
+        );
         assert!(!a.substantially_different(&d));
     }
 
     #[test]
     fn dataset_queries() {
         let contexts = vec![
-            ctx(0, Algorithm::Grep, "m4.xlarge", 10_000, "text", "--pattern err"),
-            ctx(1, Algorithm::Sgd, "m4.xlarge", 12_000, "dense", "--iterations 50"),
+            ctx(
+                0,
+                Algorithm::Grep,
+                "m4.xlarge",
+                10_000,
+                "text",
+                "--pattern err",
+            ),
+            ctx(
+                1,
+                Algorithm::Sgd,
+                "m4.xlarge",
+                12_000,
+                "dense",
+                "--iterations 50",
+            ),
         ];
         let runs = vec![
-            JobRun { context_id: 0, scale_out: 2, repeat: 0, runtime_s: 100.0 },
-            JobRun { context_id: 0, scale_out: 4, repeat: 0, runtime_s: 60.0 },
-            JobRun { context_id: 0, scale_out: 4, repeat: 1, runtime_s: 62.0 },
-            JobRun { context_id: 1, scale_out: 2, repeat: 0, runtime_s: 200.0 },
+            JobRun {
+                context_id: 0,
+                scale_out: 2,
+                repeat: 0,
+                runtime_s: 100.0,
+            },
+            JobRun {
+                context_id: 0,
+                scale_out: 4,
+                repeat: 0,
+                runtime_s: 60.0,
+            },
+            JobRun {
+                context_id: 0,
+                scale_out: 4,
+                repeat: 1,
+                runtime_s: 62.0,
+            },
+            JobRun {
+                context_id: 1,
+                scale_out: 2,
+                repeat: 0,
+                runtime_s: 200.0,
+            },
         ];
         let ds = Dataset { contexts, runs };
         assert!(ds.validate().is_ok());
@@ -354,7 +429,8 @@ mod tests {
         assert_eq!(ds.unique_experiments(), 3);
         assert_eq!(ds.algorithms(), vec![Algorithm::Grep, Algorithm::Sgd]);
         assert_eq!(
-            ds.runs_for_algorithm_excluding(Algorithm::Grep, Some(0)).len(),
+            ds.runs_for_algorithm_excluding(Algorithm::Grep, Some(0))
+                .len(),
             0
         );
         assert_eq!(
@@ -367,12 +443,22 @@ mod tests {
     fn validate_rejects_bad_runs() {
         let ds = Dataset {
             contexts: vec![ctx(0, Algorithm::Grep, "m4.xlarge", 1, "t", "p")],
-            runs: vec![JobRun { context_id: 5, scale_out: 2, repeat: 0, runtime_s: 1.0 }],
+            runs: vec![JobRun {
+                context_id: 5,
+                scale_out: 2,
+                repeat: 0,
+                runtime_s: 1.0,
+            }],
         };
         assert!(ds.validate().is_err());
         let ds2 = Dataset {
             contexts: vec![ctx(0, Algorithm::Grep, "m4.xlarge", 1, "t", "p")],
-            runs: vec![JobRun { context_id: 0, scale_out: 2, repeat: 0, runtime_s: -3.0 }],
+            runs: vec![JobRun {
+                context_id: 0,
+                scale_out: 2,
+                repeat: 0,
+                runtime_s: -3.0,
+            }],
         };
         assert!(ds2.validate().is_err());
     }

@@ -103,8 +103,12 @@ mod tests {
         for s in &stats {
             assert!(s.min_runtime_s > 0.0);
             assert!(s.max_runtime_s > s.min_runtime_s);
-            assert!(s.mean_repeat_cv > 0.0 && s.mean_repeat_cv < 0.2,
-                "{}: repeat noise {} out of calibration", s.algorithm, s.mean_repeat_cv);
+            assert!(
+                s.mean_repeat_cv > 0.0 && s.mean_repeat_cv < 0.2,
+                "{}: repeat noise {} out of calibration",
+                s.algorithm,
+                s.mean_repeat_cv
+            );
         }
     }
 

@@ -25,17 +25,22 @@ fn arb_context() -> impl Strategy<Value = JobContext> {
             Just(Algorithm::KMeans),
             Just(Algorithm::PageRank),
         ],
-        prop_oneof![Just(Environment::C3oPublicCloud), Just(Environment::BellPrivateCluster)],
+        prop_oneof![
+            Just(Environment::C3oPublicCloud),
+            Just(Environment::BellPrivateCluster)
+        ],
     )
-        .prop_map(|(node, size, chars, params, algorithm, environment)| JobContext {
-            id: 0,
-            environment,
-            algorithm,
-            node_type: NodeType::by_name(node).expect("catalog name"),
-            dataset_size_mb: size,
-            dataset_characteristics: chars,
-            job_parameters: params,
-        })
+        .prop_map(
+            |(node, size, chars, params, algorithm, environment)| JobContext {
+                id: 0,
+                environment,
+                algorithm,
+                node_type: NodeType::by_name(node).expect("catalog name"),
+                dataset_size_mb: size,
+                dataset_characteristics: chars,
+                job_parameters: params,
+            },
+        )
 }
 
 proptest! {

@@ -28,7 +28,13 @@ impl HashingVectorizer {
     pub fn new(n_features: usize, min_n: usize, max_n: usize, alternate_sign: bool) -> Self {
         assert!(n_features > 0, "need at least one feature bucket");
         assert!(min_n >= 1 && min_n <= max_n, "invalid n-gram range");
-        Self { n_features, min_n, max_n, alternate_sign, vocabulary: Vocabulary::default() }
+        Self {
+            n_features,
+            min_n,
+            max_n,
+            alternate_sign,
+            vocabulary: Vocabulary::default(),
+        }
     }
 
     /// The paper's configuration: 39 buckets (`N - 1` with `N = 40`),
@@ -122,6 +128,9 @@ mod tests {
         // bucket but differ in sign cancel; just verify signs occur at all.
         let h = HashingVectorizer::paper_default();
         let v = h.transform("grep --pattern foo/bar.txt");
-        assert!(v.iter().any(|&x| x < 0.0), "alternate sign should produce negatives");
+        assert!(
+            v.iter().any(|&x| x < 0.0),
+            "alternate sign should produce negatives"
+        );
     }
 }

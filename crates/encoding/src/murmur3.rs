@@ -74,7 +74,10 @@ mod tests {
         assert_eq!(murmur3_32(b"", 0xFFFFFFFF), 0x81F16F39);
         assert_eq!(murmur3_32(b"test", 0), 0xBA6BD213);
         assert_eq!(murmur3_32(b"Hello, world!", 0), 0xC0363E43);
-        assert_eq!(murmur3_32(b"The quick brown fox jumps over the lazy dog", 0), 0x2E4FF723);
+        assert_eq!(
+            murmur3_32(b"The quick brown fox jumps over the lazy dog", 0),
+            0x2E4FF723
+        );
         assert_eq!(murmur3_32(b"aaaa", 0x9747B28C), 0x5A97808A);
         assert_eq!(murmur3_32(b"abc", 0), 0xB3DD93FA);
     }

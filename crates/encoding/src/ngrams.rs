@@ -16,14 +16,18 @@ pub struct Vocabulary {
 
 impl Default for Vocabulary {
     fn default() -> Self {
-        Self { specials: DEFAULT_SPECIALS.to_vec() }
+        Self {
+            specials: DEFAULT_SPECIALS.to_vec(),
+        }
     }
 }
 
 impl Vocabulary {
     /// A vocabulary of `[a-z0-9]` plus the given special characters.
     pub fn with_specials(specials: &[char]) -> Self {
-        Self { specials: specials.to_vec() }
+        Self {
+            specials: specials.to_vec(),
+        }
     }
 
     /// True if the (already lower-cased) character is in the vocabulary.
@@ -44,7 +48,10 @@ impl Vocabulary {
 /// cleaned character sequence, in order of occurrence (duplicates included —
 /// the vectorizer counts them).
 pub fn char_ngrams(chars: &[char], min_n: usize, max_n: usize) -> Vec<String> {
-    assert!(min_n >= 1 && min_n <= max_n, "invalid n-gram range {min_n}..={max_n}");
+    assert!(
+        min_n >= 1 && min_n <= max_n,
+        "invalid n-gram range {min_n}..={max_n}"
+    );
     let mut grams = Vec::new();
     for n in min_n..=max_n {
         if chars.len() < n {
@@ -97,7 +104,10 @@ mod tests {
     fn short_input_yields_short_grams_only() {
         let chars: Vec<char> = "ab".chars().collect();
         let grams = char_ngrams(&chars, 1, 3);
-        assert_eq!(grams, vec!["a".to_string(), "b".to_string(), "ab".to_string()]);
+        assert_eq!(
+            grams,
+            vec!["a".to_string(), "b".to_string(), "ab".to_string()]
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl Default for PropertyEncoder {
 impl PropertyEncoder {
     /// An encoder producing vectors of `vector_size` (`>= 2`) elements.
     pub fn new(vector_size: usize) -> Self {
-        assert!(vector_size >= 2, "need room for the prefix and at least one feature");
+        assert!(
+            vector_size >= 2,
+            "need room for the prefix and at least one feature"
+        );
         Self {
             vector_size,
             hasher: HashingVectorizer::new(vector_size - 1, 1, 3, true),

@@ -1,6 +1,9 @@
 //! Property-based tests for the property encoders.
 
-use bellamy_encoding::{binarize, binarizer::debinarize, HashingVectorizer, MinMaxScaler, PropertyEncoder, PropertyValue};
+use bellamy_encoding::{
+    binarize, binarizer::debinarize, HashingVectorizer, MinMaxScaler, PropertyEncoder,
+    PropertyValue,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -47,8 +47,15 @@ impl AdhocConfig {
             contexts_per_algorithm: 2,
             max_splits: 8,
             max_n_train: 4,
-            pretrain: PretrainConfig { epochs: 100, ..PretrainConfig::default() },
-            finetune: FinetuneConfig { max_epochs: 250, patience: 150, ..FinetuneConfig::default() },
+            pretrain: PretrainConfig {
+                epochs: 100,
+                ..PretrainConfig::default()
+            },
+            finetune: FinetuneConfig {
+                max_epochs: 250,
+                patience: 150,
+                ..FinetuneConfig::default()
+            },
             algorithms: Algorithm::ALL.to_vec(),
             threads: bellamy_par::default_threads(),
         }
@@ -63,8 +70,15 @@ impl AdhocConfig {
             contexts_per_algorithm: 4,
             max_splits: 30,
             max_n_train: 5,
-            pretrain: PretrainConfig { epochs: 400, ..PretrainConfig::default() },
-            finetune: FinetuneConfig { max_epochs: 800, patience: 400, ..FinetuneConfig::default() },
+            pretrain: PretrainConfig {
+                epochs: 400,
+                ..PretrainConfig::default()
+            },
+            finetune: FinetuneConfig {
+                max_epochs: 800,
+                patience: 400,
+                ..FinetuneConfig::default()
+            },
             algorithms: Algorithm::ALL.to_vec(),
             threads: bellamy_par::default_threads(),
         }
@@ -113,9 +127,10 @@ pub fn choose_contexts(
         if chosen.len() >= count {
             break;
         }
-        if let Some(&pick) = order.iter().find(|&&i| {
-            ctxs[i].node_type.name == node.name && !chosen.contains(&ctxs[i].id)
-        }) {
+        if let Some(&pick) = order
+            .iter()
+            .find(|&&i| ctxs[i].node_type.name == node.name && !chosen.contains(&ctxs[i].id))
+        {
             chosen.push(ctxs[pick].id);
         }
     }
@@ -146,7 +161,9 @@ pub fn run_adhoc(dataset: &Dataset, cfg: &AdhocConfig) -> AdhocResults {
             evaluate_context(dataset, algorithm, ctx_id, cfg)
         });
 
-    AdhocResults { records: per_context.into_iter().flatten().collect() }
+    AdhocResults {
+        records: per_context.into_iter().flatten().collect(),
+    }
 }
 
 /// Pre-trains the `filtered`/`full` variants for one target context and
@@ -187,8 +204,17 @@ fn evaluate_context(
     // the full corpus in that case (and note it in the record stream via the
     // identical model behaviour).
     let mut model_filtered = Bellamy::new(BellamyConfig::default(), ctx_seed ^ 1);
-    let filtered_ref = if filtered_samples.is_empty() { &full_samples } else { &filtered_samples };
-    bellamy_core::train::pretrain(&mut model_filtered, filtered_ref, &cfg.pretrain, ctx_seed ^ 1);
+    let filtered_ref = if filtered_samples.is_empty() {
+        &full_samples
+    } else {
+        &filtered_samples
+    };
+    bellamy_core::train::pretrain(
+        &mut model_filtered,
+        filtered_ref,
+        &cfg.pretrain,
+        ctx_seed ^ 1,
+    );
 
     let mut records = Vec::new();
     let mut emit = |method: Method,
@@ -215,9 +241,10 @@ fn evaluate_context(
     let mut rng = StdRng::seed_from_u64(ctx_seed ^ 0xD1D1);
     for _ in 0..cfg.max_splits.min(runs.len()) {
         let test = runs[rng.random_range(0..runs.len())];
-        for (method, model) in
-            [(Method::BellamyFiltered, &model_filtered), (Method::BellamyFull, &model_full)]
-        {
+        for (method, model) in [
+            (Method::BellamyFiltered, &model_filtered),
+            (Method::BellamyFull, &model_full),
+        ] {
             let eval = eval_bellamy(
                 Some(model),
                 ReuseStrategy::PartialUnfreeze,
@@ -249,8 +276,11 @@ fn evaluate_context(
             let splits =
                 generate_task_splits(&runs, n, split_task, cfg.max_splits, ctx_seed ^ n as u64);
             for (split_no, split) in splits.iter().enumerate() {
-                let train_pts: Vec<(f64, f64)> =
-                    split.train.iter().map(|&i| (runs[i].0 as f64, runs[i].1)).collect();
+                let train_pts: Vec<(f64, f64)> = split
+                    .train
+                    .iter()
+                    .map(|&i| (runs[i].0 as f64, runs[i].1))
+                    .collect();
                 let train_samples: Vec<TrainingSample> = split
                     .train
                     .iter()
@@ -313,8 +343,15 @@ mod tests {
             contexts_per_algorithm: 1,
             max_splits: 2,
             max_n_train: 3,
-            pretrain: PretrainConfig { epochs: 15, ..PretrainConfig::default() },
-            finetune: FinetuneConfig { max_epochs: 40, patience: 30, ..FinetuneConfig::default() },
+            pretrain: PretrainConfig {
+                epochs: 15,
+                ..PretrainConfig::default()
+            },
+            finetune: FinetuneConfig {
+                max_epochs: 40,
+                patience: 30,
+                ..FinetuneConfig::default()
+            },
             algorithms: vec![Algorithm::Grep],
             threads: 2,
         }
@@ -359,8 +396,7 @@ mod tests {
             .filter(|r| r.method == Method::Bell)
             .all(|r| r.n_train >= 3));
         // 0-data-points extrapolation exists for pre-trained variants only.
-        let zero: Vec<_> =
-            results.records.iter().filter(|r| r.n_train == 0).collect();
+        let zero: Vec<_> = results.records.iter().filter(|r| r.n_train == 0).collect();
         assert!(!zero.is_empty());
         assert!(zero
             .iter()

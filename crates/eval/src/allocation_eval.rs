@@ -51,8 +51,15 @@ impl AllocationConfig {
             n_train: 3,
             decisions: 5,
             target_slack: 1.15,
-            pretrain: PretrainConfig { epochs: 100, ..PretrainConfig::default() },
-            finetune: FinetuneConfig { max_epochs: 250, patience: 150, ..FinetuneConfig::default() },
+            pretrain: PretrainConfig {
+                epochs: 100,
+                ..PretrainConfig::default()
+            },
+            finetune: FinetuneConfig {
+                max_epochs: 250,
+                patience: 150,
+                ..FinetuneConfig::default()
+            },
             threads: bellamy_par::default_threads(),
         }
     }
@@ -151,13 +158,21 @@ fn evaluate_context(
         .collect();
     // Reuse the split machinery for sampling training subsets; the test
     // point is irrelevant here, only the training sets are used.
-    let splits =
-        generate_task_splits(&runs, cfg.n_train, SplitTask::Extrapolation, cfg.decisions, seed);
+    let splits = generate_task_splits(
+        &runs,
+        cfg.n_train,
+        SplitTask::Extrapolation,
+        cfg.decisions,
+        seed,
+    );
 
     let mut records = Vec::new();
     for (split_no, split) in splits.iter().enumerate() {
-        let train_pts: Vec<(f64, f64)> =
-            split.train.iter().map(|&i| (runs[i].0 as f64, runs[i].1)).collect();
+        let train_pts: Vec<(f64, f64)> = split
+            .train
+            .iter()
+            .map(|&i| (runs[i].0 as f64, runs[i].1))
+            .collect();
         let train_samples: Vec<TrainingSample> = split
             .train
             .iter()
@@ -170,8 +185,7 @@ fn evaluate_context(
         let split_seed = seed ^ ((split_no as u64) << 24);
 
         let mut judge = |method: Method, predict: &dyn Fn(u32) -> f64| {
-            let chosen =
-                min_scale_out_meeting(predict, target_s, lo, hi).map(|r| r.scale_out);
+            let chosen = min_scale_out_meeting(predict, target_s, lo, hi).map(|r| r.scale_out);
             let met = chosen
                 .map(|x| truth.runtime(x as f64) <= target_s)
                 .unwrap_or(false);
@@ -211,11 +225,7 @@ fn evaluate_context(
     records
 }
 
-fn eval_local_model(
-    train: &[TrainingSample],
-    cfg: &AllocationConfig,
-    seed: u64,
-) -> Bellamy {
+fn eval_local_model(train: &[TrainingSample], cfg: &AllocationConfig, seed: u64) -> Bellamy {
     let mut model = Bellamy::new(BellamyConfig::default(), seed);
     bellamy_core::finetune::fit_local(&mut model, train, &cfg.finetune, seed);
     model
@@ -234,8 +244,7 @@ pub fn summarize_allocation(records: &[AllocationRecord]) -> Vec<AllocationSumma
         .map(|method| {
             let rs: Vec<&AllocationRecord> =
                 records.iter().filter(|r| r.method == method).collect();
-            let successes: Vec<&&AllocationRecord> =
-                rs.iter().filter(|r| r.met_target).collect();
+            let successes: Vec<&&AllocationRecord> = rs.iter().filter(|r| r.met_target).collect();
             AllocationSummary {
                 method,
                 success_rate: successes.len() as f64 / rs.len() as f64,
@@ -264,8 +273,15 @@ mod tests {
         let cfg = AllocationConfig {
             contexts_per_algorithm: 1,
             decisions: 2,
-            pretrain: PretrainConfig { epochs: 10, ..PretrainConfig::default() },
-            finetune: FinetuneConfig { max_epochs: 30, patience: 20, ..FinetuneConfig::default() },
+            pretrain: PretrainConfig {
+                epochs: 10,
+                ..PretrainConfig::default()
+            },
+            finetune: FinetuneConfig {
+                max_epochs: 30,
+                patience: 20,
+                ..FinetuneConfig::default()
+            },
             ..AllocationConfig::quick(3)
         };
         let records = run_allocation(&ds, &cfg);
@@ -298,7 +314,9 @@ mod tests {
         let ds = generate_c3o(&GeneratorConfig::default());
         let ctx = &ds.contexts[0];
         let truth = ground_truth_profile(ctx);
-        let best = (2..=12u32).map(|x| truth.runtime(x as f64)).fold(f64::INFINITY, f64::min);
+        let best = (2..=12u32)
+            .map(|x| truth.runtime(x as f64))
+            .fold(f64::INFINITY, f64::min);
         let target = best * 1.2;
         let optimal = truth.min_scale_out_meeting(target, 2, 12).unwrap();
         let rec = min_scale_out_meeting(|x| truth.runtime(x as f64), target, 2, 12).unwrap();

@@ -39,8 +39,15 @@ impl CrossEnvConfig {
             seed,
             max_splits: 8,
             max_n_train: 4,
-            pretrain: PretrainConfig { epochs: 100, ..PretrainConfig::default() },
-            finetune: FinetuneConfig { max_epochs: 250, patience: 150, ..FinetuneConfig::default() },
+            pretrain: PretrainConfig {
+                epochs: 100,
+                ..PretrainConfig::default()
+            },
+            finetune: FinetuneConfig {
+                max_epochs: 250,
+                patience: 150,
+                ..FinetuneConfig::default()
+            },
             threads: bellamy_par::default_threads(),
         }
     }
@@ -51,8 +58,15 @@ impl CrossEnvConfig {
             seed,
             max_splits: 50,
             max_n_train: 6,
-            pretrain: PretrainConfig { epochs: 400, ..PretrainConfig::default() },
-            finetune: FinetuneConfig { max_epochs: 800, patience: 400, ..FinetuneConfig::default() },
+            pretrain: PretrainConfig {
+                epochs: 400,
+                ..PretrainConfig::default()
+            },
+            finetune: FinetuneConfig {
+                max_epochs: 800,
+                patience: 400,
+                ..FinetuneConfig::default()
+            },
             threads: bellamy_par::default_threads(),
         }
     }
@@ -79,7 +93,10 @@ pub struct CrossEnvResults {
 
 /// The Bellamy variants compared in Fig. 8, with their reuse strategies.
 const STRATEGY_METHODS: [(Method, ReuseStrategy); 4] = [
-    (Method::BellamyPartialUnfreeze, ReuseStrategy::PartialUnfreeze),
+    (
+        Method::BellamyPartialUnfreeze,
+        ReuseStrategy::PartialUnfreeze,
+    ),
     (Method::BellamyFullUnfreeze, ReuseStrategy::FullUnfreeze),
     (Method::BellamyPartialReset, ReuseStrategy::PartialReset),
     (Method::BellamyFullReset, ReuseStrategy::FullReset),
@@ -92,7 +109,9 @@ pub fn run_crossenv(c3o: &Dataset, bell: &Dataset, cfg: &CrossEnvConfig) -> Cros
         bellamy_par::par_map_with_threads(&jobs, cfg.threads, |&algorithm| {
             evaluate_algorithm(c3o, bell, algorithm, cfg)
         });
-    CrossEnvResults { records: per_algorithm.into_iter().flatten().collect() }
+    CrossEnvResults {
+        records: per_algorithm.into_iter().flatten().collect(),
+    }
 }
 
 fn evaluate_algorithm(
@@ -131,10 +150,14 @@ fn evaluate_algorithm(
             (Task::Interpolation, SplitTask::Interpolation),
             (Task::Extrapolation, SplitTask::Extrapolation),
         ] {
-            let splits = generate_task_splits(&runs, n, split_task, cfg.max_splits, seed ^ n as u64);
+            let splits =
+                generate_task_splits(&runs, n, split_task, cfg.max_splits, seed ^ n as u64);
             for (split_no, split) in splits.iter().enumerate() {
-                let train_pts: Vec<(f64, f64)> =
-                    split.train.iter().map(|&i| (runs[i].0 as f64, runs[i].1)).collect();
+                let train_pts: Vec<(f64, f64)> = split
+                    .train
+                    .iter()
+                    .map(|&i| (runs[i].0 as f64, runs[i].1))
+                    .collect();
                 let train_samples: Vec<TrainingSample> = split
                     .train
                     .iter()
@@ -178,7 +201,12 @@ fn evaluate_algorithm(
                     split_seed,
                     split_seed ^ 0xBEEF,
                 );
-                emit(Method::BellamyLocal, local.predicted_s, local.fit_time_s, Some(local.epochs));
+                emit(
+                    Method::BellamyLocal,
+                    local.predicted_s,
+                    local.fit_time_s,
+                    Some(local.epochs),
+                );
                 // Pre-trained model under each reuse strategy.
                 for (method, strategy) in STRATEGY_METHODS {
                     let eval = eval_bellamy(
@@ -213,8 +241,15 @@ mod tests {
             seed: 1,
             max_splits: 2,
             max_n_train: 3,
-            pretrain: PretrainConfig { epochs: 10, ..PretrainConfig::default() },
-            finetune: FinetuneConfig { max_epochs: 30, patience: 20, ..FinetuneConfig::default() },
+            pretrain: PretrainConfig {
+                epochs: 10,
+                ..PretrainConfig::default()
+            },
+            finetune: FinetuneConfig {
+                max_epochs: 30,
+                patience: 20,
+                ..FinetuneConfig::default()
+            },
             threads: 3,
         };
         let results = run_crossenv(&c3o, &bell, &cfg);

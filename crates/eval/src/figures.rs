@@ -85,9 +85,11 @@ pub struct Fig4Context {
 /// trained model: node type, job parameters and dataset size, in the
 /// paper's row order (top to bottom).
 pub fn fig4_codes(model: &Bellamy, ctx: &JobContext) -> Fig4Context {
-    let properties = [PropertyValue::text(&ctx.node_type.name),
+    let properties = [
+        PropertyValue::text(&ctx.node_type.name),
         PropertyValue::text(&ctx.job_parameters),
-        PropertyValue::Number(ctx.dataset_size_mb)];
+        PropertyValue::Number(ctx.dataset_size_mb),
+    ];
     Fig4Context {
         properties: properties.iter().map(|p| p.display()).collect(),
         codes: properties.iter().map(|p| model.code_for(p)).collect(),
@@ -169,7 +171,10 @@ mod tests {
         bellamy_core::train::pretrain(
             &mut model,
             &samples,
-            &PretrainConfig { epochs: 5, ..PretrainConfig::default() },
+            &PretrainConfig {
+                epochs: 5,
+                ..PretrainConfig::default()
+            },
             0,
         );
         let fig = fig4_codes(&model, ctxs[0]);

@@ -28,7 +28,10 @@ pub fn mre_series(
             .or_default()
             .push(r.rel_error());
     }
-    buckets.into_iter().map(|(k, v)| (k, stats::mean(&v))).collect()
+    buckets
+        .into_iter()
+        .map(|(k, v)| (k, stats::mean(&v)))
+        .collect()
 }
 
 /// Mean absolute error per method for one algorithm and task, aggregated
@@ -49,18 +52,30 @@ pub fn mae_by_method(
                 continue;
             }
         }
-        buckets.entry(r.method.name().to_string()).or_default().push(r.abs_error());
+        buckets
+            .entry(r.method.name().to_string())
+            .or_default()
+            .push(r.abs_error());
     }
-    buckets.into_iter().map(|(k, v)| (k, stats::mean(&v))).collect()
+    buckets
+        .into_iter()
+        .map(|(k, v)| (k, stats::mean(&v)))
+        .collect()
 }
 
 /// Mean fitting time per method (the §IV-C "training time" numbers).
 pub fn fit_time_by_method(records: &[PredictionRecord]) -> BTreeMap<String, f64> {
     let mut buckets: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     for r in records {
-        buckets.entry(r.method.name().to_string()).or_default().push(r.fit_time_s);
+        buckets
+            .entry(r.method.name().to_string())
+            .or_default()
+            .push(r.fit_time_s);
     }
-    buckets.into_iter().map(|(k, v)| (k, stats::mean(&v))).collect()
+    buckets
+        .into_iter()
+        .map(|(k, v)| (k, stats::mean(&v)))
+        .collect()
 }
 
 /// Fine-tuning epoch samples per `(algorithm, method)` — Fig. 7's inputs.
@@ -74,7 +89,9 @@ pub fn epochs_by_algorithm_and_method(
             continue;
         }
         if let Some(e) = r.epochs {
-            out.entry((r.algorithm, r.method)).or_default().push(e as f64);
+            out.entry((r.algorithm, r.method))
+                .or_default()
+                .push(e as f64);
         }
     }
     out
@@ -138,7 +155,14 @@ pub fn records_to_json(records: &[PredictionRecord]) -> String {
 mod tests {
     use super::*;
 
-    fn rec(method: Method, alg: Algorithm, n: usize, task: Task, pred: f64, actual: f64) -> PredictionRecord {
+    fn rec(
+        method: Method,
+        alg: Algorithm,
+        n: usize,
+        task: Task,
+        pred: f64,
+        actual: f64,
+    ) -> PredictionRecord {
         PredictionRecord {
             method,
             algorithm: alg,
@@ -155,10 +179,38 @@ mod tests {
     #[test]
     fn mre_series_groups_correctly() {
         let records = vec![
-            rec(Method::Nnls, Algorithm::Grep, 2, Task::Interpolation, 110.0, 100.0),
-            rec(Method::Nnls, Algorithm::Grep, 2, Task::Interpolation, 90.0, 100.0),
-            rec(Method::Nnls, Algorithm::Grep, 3, Task::Interpolation, 150.0, 100.0),
-            rec(Method::Nnls, Algorithm::Grep, 2, Task::Extrapolation, 500.0, 100.0),
+            rec(
+                Method::Nnls,
+                Algorithm::Grep,
+                2,
+                Task::Interpolation,
+                110.0,
+                100.0,
+            ),
+            rec(
+                Method::Nnls,
+                Algorithm::Grep,
+                2,
+                Task::Interpolation,
+                90.0,
+                100.0,
+            ),
+            rec(
+                Method::Nnls,
+                Algorithm::Grep,
+                3,
+                Task::Interpolation,
+                150.0,
+                100.0,
+            ),
+            rec(
+                Method::Nnls,
+                Algorithm::Grep,
+                2,
+                Task::Extrapolation,
+                500.0,
+                100.0,
+            ),
         ];
         let series = mre_series(&records, Some(Algorithm::Grep), Task::Interpolation);
         assert!((series[&("NNLS".to_string(), 2)] - 0.1).abs() < 1e-12);
@@ -169,8 +221,22 @@ mod tests {
     #[test]
     fn mae_by_method_aggregates() {
         let records = vec![
-            rec(Method::Nnls, Algorithm::Sgd, 2, Task::Interpolation, 110.0, 100.0),
-            rec(Method::BellamyFull, Algorithm::Sgd, 2, Task::Interpolation, 102.0, 100.0),
+            rec(
+                Method::Nnls,
+                Algorithm::Sgd,
+                2,
+                Task::Interpolation,
+                110.0,
+                100.0,
+            ),
+            rec(
+                Method::BellamyFull,
+                Algorithm::Sgd,
+                2,
+                Task::Interpolation,
+                102.0,
+                100.0,
+            ),
         ];
         let mae = mae_by_method(&records, None, Task::Interpolation);
         assert_eq!(mae["NNLS"], 10.0);
@@ -179,9 +245,23 @@ mod tests {
 
     #[test]
     fn epochs_exclude_direct_application() {
-        let mut direct = rec(Method::BellamyFull, Algorithm::Sgd, 0, Task::Extrapolation, 1.0, 1.0);
+        let mut direct = rec(
+            Method::BellamyFull,
+            Algorithm::Sgd,
+            0,
+            Task::Extrapolation,
+            1.0,
+            1.0,
+        );
         direct.epochs = Some(0);
-        let tuned = rec(Method::BellamyFull, Algorithm::Sgd, 3, Task::Interpolation, 1.0, 1.0);
+        let tuned = rec(
+            Method::BellamyFull,
+            Algorithm::Sgd,
+            3,
+            Task::Interpolation,
+            1.0,
+            1.0,
+        );
         let map = epochs_by_algorithm_and_method(&[direct, tuned]);
         let v = &map[&(Algorithm::Sgd, Method::BellamyFull)];
         assert_eq!(v, &vec![30.0]);
@@ -207,10 +287,7 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_width() {
-        let chart = render_bar_chart(
-            &[("a".to_string(), 10.0), ("b".to_string(), 5.0)],
-            20,
-        );
+        let chart = render_bar_chart(&[("a".to_string(), 10.0), ("b".to_string(), 5.0)], 20);
         let lines: Vec<&str> = chart.lines().collect();
         assert_eq!(lines[0].matches('#').count(), 20);
         assert_eq!(lines[1].matches('#').count(), 10);
@@ -218,7 +295,14 @@ mod tests {
 
     #[test]
     fn json_is_valid() {
-        let records = vec![rec(Method::Bell, Algorithm::KMeans, 3, Task::Interpolation, 5.0, 4.0)];
+        let records = vec![rec(
+            Method::Bell,
+            Algorithm::KMeans,
+            3,
+            Task::Interpolation,
+            5.0,
+            4.0,
+        )];
         let json = records_to_json(&records);
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed[0]["n_train"], 3);

@@ -157,8 +157,7 @@ pub fn eval_bellamy(
     match pretrained {
         None => {
             assert!(!train.is_empty(), "the local variant needs training data");
-            let mut model =
-                Bellamy::new(bellamy_core::BellamyConfig::default(), model_seed);
+            let mut model = Bellamy::new(bellamy_core::BellamyConfig::default(), model_seed);
             let report = bellamy_core::finetune::fit_local(&mut model, train, ft, seed);
             BellamyEval {
                 predicted_s: model.predict(test_x, props),
@@ -195,7 +194,10 @@ mod tests {
     fn method_names_match_figures() {
         assert_eq!(Method::Nnls.name(), "NNLS");
         assert_eq!(Method::BellamyFull.name(), "Bellamy (full)");
-        assert_eq!(Method::BellamyPartialReset.name(), "Bellamy (partial-reset)");
+        assert_eq!(
+            Method::BellamyPartialReset.name(),
+            "Bellamy (partial-reset)"
+        );
         assert!(Method::BellamyLocal.is_bellamy());
         assert!(!Method::Bell.is_bellamy());
     }
@@ -243,8 +245,20 @@ mod tests {
             .map(|r| bellamy_core::TrainingSample::from_run(ctx, r))
             .collect();
         assert!(train.len() >= 3);
-        let ft = FinetuneConfig { max_epochs: 60, ..FinetuneConfig::default() };
-        let eval = eval_bellamy(None, ReuseStrategy::PartialUnfreeze, &train, 6.0, &props, &ft, 1, 2);
+        let ft = FinetuneConfig {
+            max_epochs: 60,
+            ..FinetuneConfig::default()
+        };
+        let eval = eval_bellamy(
+            None,
+            ReuseStrategy::PartialUnfreeze,
+            &train,
+            6.0,
+            &props,
+            &ft,
+            1,
+            2,
+        );
         assert!(eval.predicted_s.is_finite());
         assert!(eval.epochs > 0);
         assert!(eval.fit_time_s > 0.0);
@@ -264,7 +278,10 @@ mod tests {
         bellamy_core::train::pretrain(
             &mut model,
             &samples,
-            &bellamy_core::PretrainConfig { epochs: 10, ..Default::default() },
+            &bellamy_core::PretrainConfig {
+                epochs: 10,
+                ..Default::default()
+            },
             0,
         );
         let ft = FinetuneConfig::default();

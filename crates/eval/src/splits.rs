@@ -38,7 +38,10 @@ pub fn generate_splits(
     max_splits: usize,
     seed: u64,
 ) -> Vec<Split> {
-    assert!(n_train >= 1, "use extrapolation-only evaluation for n_train = 0");
+    assert!(
+        n_train >= 1,
+        "use extrapolation-only evaluation for n_train = 0"
+    );
     let mut scale_outs: Vec<u32> = runs.iter().map(|r| r.0).collect();
     scale_outs.sort_unstable();
     scale_outs.dedup();
@@ -74,8 +77,16 @@ pub fn generate_splits(
             chosen.swap(i, j);
         }
         let train_xs: Vec<usize> = chosen[..n_train].to_vec();
-        let lo = train_xs.iter().map(|&i| per_scale_out[i].0).min().expect("non-empty");
-        let hi = train_xs.iter().map(|&i| per_scale_out[i].0).max().expect("non-empty");
+        let lo = train_xs
+            .iter()
+            .map(|&i| per_scale_out[i].0)
+            .min()
+            .expect("non-empty");
+        let hi = train_xs
+            .iter()
+            .map(|&i| per_scale_out[i].0)
+            .max()
+            .expect("non-empty");
 
         // Candidate test scale-outs.
         let interp_candidates: Vec<usize> = (0..per_scale_out.len())
@@ -153,7 +164,10 @@ pub fn generate_task_splits(
     max_splits: usize,
     seed: u64,
 ) -> Vec<TaskSplit> {
-    assert!(n_train >= 1, "n_train = 0 has no training set; evaluate directly");
+    assert!(
+        n_train >= 1,
+        "n_train = 0 has no training set; evaluate directly"
+    );
     let mut scale_outs: Vec<u32> = runs.iter().map(|r| r.0).collect();
     scale_outs.sort_unstable();
     scale_outs.dedup();
@@ -183,8 +197,16 @@ pub fn generate_task_splits(
             chosen.swap(i, j);
         }
         let train_xs: Vec<usize> = chosen[..n_train].to_vec();
-        let lo = train_xs.iter().map(|&i| per_scale_out[i].0).min().expect("non-empty");
-        let hi = train_xs.iter().map(|&i| per_scale_out[i].0).max().expect("non-empty");
+        let lo = train_xs
+            .iter()
+            .map(|&i| per_scale_out[i].0)
+            .min()
+            .expect("non-empty");
+        let hi = train_xs
+            .iter()
+            .map(|&i| per_scale_out[i].0)
+            .max()
+            .expect("non-empty");
         let candidates: Vec<usize> = (0..per_scale_out.len())
             .filter(|i| {
                 let x = per_scale_out[*i].0;
@@ -230,7 +252,9 @@ pub fn validate_split(runs: &[(u32, f64)], split: &Split) -> Result<(), String> 
     let hi = *dedup.last().expect("non-empty train");
     let interp_x = runs[split.interp_test].0;
     if !(interp_x > lo && interp_x < hi) || train_xs.contains(&interp_x) {
-        return Err(format!("interpolation test {interp_x} not strictly inside ({lo},{hi})"));
+        return Err(format!(
+            "interpolation test {interp_x} not strictly inside ({lo},{hi})"
+        ));
     }
     let extrap_x = runs[split.extrap_test].0;
     if (lo..=hi).contains(&extrap_x) {
@@ -358,11 +382,19 @@ mod tests {
     fn validate_split_catches_violations() {
         let runs = c3o_runs();
         // Duplicate training scale-outs (runs 0 and 1 are both x=2).
-        let bad = Split { train: vec![0, 1], interp_test: 10, extrap_test: 29 };
+        let bad = Split {
+            train: vec![0, 1],
+            interp_test: 10,
+            extrap_test: 29,
+        };
         assert!(validate_split(&runs, &bad).is_err());
         // Interpolation point outside the range: train x={2,6} (runs 0, 10),
         // test x=12 (run 29).
-        let bad2 = Split { train: vec![0, 10], interp_test: 29, extrap_test: 29 };
+        let bad2 = Split {
+            train: vec![0, 10],
+            interp_test: 29,
+            extrap_test: 29,
+        };
         assert!(validate_split(&runs, &bad2).is_err());
     }
 }

@@ -1,9 +1,7 @@
 //! Property-based tests for the split protocol and aggregation helpers.
 
 use bellamy_eval::figures::ecdf;
-use bellamy_eval::splits::{
-    generate_splits, generate_task_splits, validate_split, SplitTask,
-};
+use bellamy_eval::splits::{generate_splits, generate_task_splits, validate_split, SplitTask};
 use proptest::prelude::*;
 
 /// Strategy: a C3O- or Bell-like run table with `k` distinct scale-outs and

@@ -5,9 +5,15 @@
 //! the autodiff engine (`bellamy-autograd`), the neural-network toolkit
 //! (`bellamy-nn`), and the baseline models (`bellamy-baselines`):
 //!
-//! - elementwise and broadcast arithmetic,
+//! - elementwise and broadcast arithmetic, in allocating *and*
+//!   output-parameter (`*_into`) forms — the `*_into` kernels are
+//!   bit-identical to their allocating counterparts and back the
+//!   zero-allocation training hot path,
 //! - cache-blocked matrix multiplication (plus the transposed variants used by
-//!   back-propagation),
+//!   back-propagation), also with `*_into` variants,
+//! - a [`pool::BufferPool`] recycling `Vec<f64>` backing stores by capacity,
+//!   so steady-state training never touches the global allocator (see the
+//!   [`pool`] module docs for the take/use/put lifecycle),
 //! - Householder QR decomposition and least-squares solving,
 //! - a Lawson–Hanson non-negative least squares (NNLS) solver, the same
 //!   algorithm scipy's `nnls` implements, which Ernest's parametric runtime
@@ -19,9 +25,11 @@
 
 pub mod matrix;
 pub mod nnls;
+pub mod pool;
 pub mod qr;
 pub mod stats;
 
 pub use matrix::Matrix;
 pub use nnls::{nnls, NnlsError, NnlsSolution};
+pub use pool::BufferPool;
 pub use qr::{lstsq, QrDecomposition};

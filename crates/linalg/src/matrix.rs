@@ -24,12 +24,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -68,10 +76,19 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "row {i} has length {} but expected {cols}", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "row {i} has length {} but expected {cols}",
+                r.len()
+            );
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a matrix by evaluating `f(i, j)` for every element.
@@ -158,7 +175,11 @@ impl Matrix {
 
     /// Copy of column `j`.
     pub fn col(&self, j: usize) -> Vec<f64> {
-        assert!(j < self.cols, "column {j} out of bounds for {} columns", self.cols);
+        assert!(
+            j < self.cols,
+            "column {j} out of bounds for {} columns",
+            self.cols
+        );
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
@@ -208,9 +229,44 @@ impl Matrix {
         }
     }
 
+    /// Output-parameter elementwise combination:
+    /// `out[i] = f(self[i], other[i])`. Bit-identical to [`Matrix::zip_map`].
+    pub fn zip_apply_into(&self, other: &Matrix, out: &mut Matrix, f: impl Fn(f64, f64) -> f64) {
+        self.assert_same_shape(other, "zip_apply_into");
+        self.assert_same_shape(out, "zip_apply_into (out)");
+        for ((o, &a), &b) in out
+            .data
+            .iter_mut()
+            .zip(self.data.iter())
+            .zip(other.data.iter())
+        {
+            *o = f(a, b);
+        }
+    }
+
+    /// Output-parameter elementwise map: `out[i] = f(self[i])`. Bit-identical
+    /// to [`Matrix::map`].
+    pub fn map_into(&self, out: &mut Matrix, f: impl Fn(f64) -> f64) {
+        self.assert_same_shape(out, "map_into");
+        for (o, &a) in out.data.iter_mut().zip(self.data.iter()) {
+            *o = f(a);
+        }
+    }
+
+    /// Overwrites `self` with `src` (same shape; no allocation).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.assert_same_shape(src, "copy_from");
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Elementwise sum.
     pub fn add(&self, other: &Matrix) -> Matrix {
         self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Output-parameter elementwise sum. Bit-identical to [`Matrix::add`].
+    pub fn add_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.zip_apply_into(other, out, |a, b| a + b);
     }
 
     /// In-place elementwise sum.
@@ -218,12 +274,26 @@ impl Matrix {
         self.zip_apply(other, |a, b| a + b);
     }
 
-    /// In-place `self += alpha * other` (axpy).
-    pub fn add_scaled(&mut self, other: &Matrix, alpha: f64) {
-        self.assert_same_shape(other, "add_scaled");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += alpha * b;
+    /// In-place `self += alpha * x` (BLAS axpy). The gradient-accumulation
+    /// kernel: with `alpha = 1` it is bit-identical to [`Matrix::add_assign`].
+    pub fn axpy(&mut self, alpha: f64, x: &Matrix) {
+        self.assert_same_shape(x, "axpy");
+        if alpha == 1.0 {
+            // Bit-compatibility with add_assign: no multiply by one.
+            for (a, &b) in self.data.iter_mut().zip(x.data.iter()) {
+                *a += b;
+            }
+        } else {
+            for (a, &b) in self.data.iter_mut().zip(x.data.iter()) {
+                *a += alpha * b;
+            }
         }
+    }
+
+    /// In-place `self += alpha * other` ([`Matrix::axpy`] with its
+    /// historical argument order).
+    pub fn add_scaled(&mut self, other: &Matrix, alpha: f64) {
+        self.axpy(alpha, other);
     }
 
     /// Elementwise difference.
@@ -239,6 +309,11 @@ impl Matrix {
     /// Scalar multiple as a new matrix.
     pub fn scale(&self, alpha: f64) -> Matrix {
         self.map(|v| v * alpha)
+    }
+
+    /// Output-parameter scalar multiple. Bit-identical to [`Matrix::scale`].
+    pub fn scale_into(&self, alpha: f64, out: &mut Matrix) {
+        self.map_into(out, |v| v * alpha);
     }
 
     /// In-place scalar multiply.
@@ -274,17 +349,48 @@ impl Matrix {
         out
     }
 
+    /// Output-parameter bias broadcast: `out = self + broadcast(bias)`.
+    /// Bit-identical to [`Matrix::broadcast_add_row`].
+    pub fn broadcast_add_row_into(&self, bias: &Matrix, out: &mut Matrix) {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(
+            bias.cols, self.cols,
+            "bias has {} columns but matrix has {}",
+            bias.cols, self.cols
+        );
+        self.assert_same_shape(out, "broadcast_add_row_into");
+        for i in 0..self.rows {
+            let src = &self.data[i * self.cols..(i + 1) * self.cols];
+            let dst = &mut out.data[i * self.cols..(i + 1) * self.cols];
+            for ((o, &v), &b) in dst.iter_mut().zip(src.iter()).zip(bias.data.iter()) {
+                *o = v + b;
+            }
+        }
+    }
+
     /// Sum over rows, producing a `1 x cols` row vector. This is the adjoint
     /// of [`Matrix::broadcast_add_row`].
     pub fn sum_rows(&self) -> Matrix {
         let mut out = Matrix::zeros(1, self.cols);
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// Output-parameter row sum; `out` must be `1 x self.cols()` and is
+    /// overwritten. Bit-identical to [`Matrix::sum_rows`].
+    pub fn sum_rows_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            (out.rows, out.cols),
+            (1, self.cols),
+            "sum_rows_into output shape mismatch"
+        );
+        out.data.fill(0.0);
         for i in 0..self.rows {
-            let row = self.row(i);
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
             for (o, &v) in out.data.iter_mut().zip(row.iter()) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Mean over rows, producing a `1 x cols` row vector.
@@ -335,19 +441,51 @@ impl Matrix {
     /// Panics if `self.cols() != other.rows()`.
     #[allow(clippy::needless_range_loop)] // index-based blocking is the kernel's shape
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Output-parameter matrix product. `out` must be
+    /// `self.rows() x other.cols()`; its previous contents are overwritten.
+    /// Bit-identical to [`Matrix::matmul`].
+    #[allow(clippy::needless_range_loop)] // index-based blocking is the kernel's shape
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m, n);
+        assert_eq!(
+            (out.rows, out.cols),
+            (m, n),
+            "matmul_into output shape mismatch"
+        );
+        // Specialized register-accumulator kernel for the narrow outputs
+        // that dominate this workspace (hidden width 8): the whole output
+        // row lives in registers across the k loop.
+        if n == 8 && k > 0 {
+            for i in 0..m {
+                let arow = &self.data[i * k..(i + 1) * k];
+                let mut acc = [0.0f64; 8];
+                for (kk, &a) in arow.iter().enumerate() {
+                    let brow = &other.data[kk * 8..kk * 8 + 8];
+                    for j in 0..8 {
+                        acc[j] += a * brow[j];
+                    }
+                }
+                out.data[i * 8..i * 8 + 8].copy_from_slice(&acc);
+            }
+            return;
+        }
+        out.data.fill(0.0);
         for ib in (0..m).step_by(MATMUL_BLOCK) {
             let imax = (ib + MATMUL_BLOCK).min(m);
             for kb in (0..k).step_by(MATMUL_BLOCK) {
                 let kmax = (kb + MATMUL_BLOCK).min(k);
                 for i in ib..imax {
-                    let arow = self.row(i);
+                    let arow = &self.data[i * k..(i + 1) * k];
                     let orow = &mut out.data[i * n..(i + 1) * n];
                     for kk in kb..kmax {
                         let a = arow[kk];
@@ -362,49 +500,140 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// `self * other^T` without materializing the transpose.
     ///
     /// This is the back-propagation kernel `dX = dY * W^T`.
     pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_transpose_b_into(other, &mut out);
+        out
+    }
+
+    /// Output-parameter `self * other^T`. `out` must be
+    /// `self.rows() x other.rows()`; contents are overwritten. Bit-identical
+    /// to [`Matrix::matmul_transpose_b`].
+    pub fn matmul_transpose_b_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_transpose_b shape mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
-        let mut out = Matrix::zeros(m, n);
+        assert_eq!(
+            (out.rows, out.cols),
+            (m, n),
+            "matmul_transpose_b_into output shape mismatch"
+        );
+        // This is the hottest backward kernel (dX = dY·Wᵀ). For the weight
+        // shapes of this workspace, materialize Wᵀ in a stack buffer and run
+        // the cache-friendly i-k-j row-axpy form: long independent adds
+        // vectorize, unlike a latency-bound dot product per element.
+        const STACK_BT: usize = 4096;
+        if k * n <= STACK_BT && k > 0 {
+            let mut bt = [0.0f64; STACK_BT];
+            for (j, brow) in other.data.chunks_exact(k).enumerate() {
+                for (kk, &b) in brow.iter().enumerate() {
+                    bt[kk * n + j] = b;
+                }
+            }
+            if n == 8 {
+                // Register-accumulator variant (as in `matmul_into`).
+                for i in 0..m {
+                    let arow = &self.data[i * k..(i + 1) * k];
+                    let mut acc = [0.0f64; 8];
+                    for (kk, &a) in arow.iter().enumerate() {
+                        let btrow = &bt[kk * 8..kk * 8 + 8];
+                        for j in 0..8 {
+                            acc[j] += a * btrow[j];
+                        }
+                    }
+                    out.data[i * 8..i * 8 + 8].copy_from_slice(&acc);
+                }
+                return;
+            }
+            for i in 0..m {
+                let arow = &self.data[i * k..(i + 1) * k];
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                orow.fill(0.0);
+                for (kk, &a) in arow.iter().enumerate() {
+                    let btrow = &bt[kk * n..(kk + 1) * n];
+                    for (o, &b) in orow.iter_mut().zip(btrow.iter()) {
+                        *o += a * b;
+                    }
+                }
+            }
+            return;
+        }
         for i in 0..m {
-            let arow = self.row(i);
+            let arow = &self.data[i * k..(i + 1) * k];
             let orow = &mut out.data[i * n..(i + 1) * n];
             for (j, o) in orow.iter_mut().enumerate() {
                 let brow = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (&a, &b) in arow.iter().zip(brow.iter()) {
-                    acc += a * b;
+                // Four independent accumulators break the FP add dependency
+                // chain.
+                let mut acc = [0.0f64; 4];
+                let mut a4 = arow.chunks_exact(4);
+                let mut b4 = brow.chunks_exact(4);
+                for (ac, bc) in (&mut a4).zip(&mut b4) {
+                    acc[0] += ac[0] * bc[0];
+                    acc[1] += ac[1] * bc[1];
+                    acc[2] += ac[2] * bc[2];
+                    acc[3] += ac[3] * bc[3];
                 }
-                *o = acc;
+                let mut tail = 0.0;
+                for (&a, &b) in a4.remainder().iter().zip(b4.remainder()) {
+                    tail += a * b;
+                }
+                *o = (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail;
             }
         }
-        out
     }
 
     /// `self^T * other` without materializing the transpose.
     ///
     /// This is the back-propagation kernel `dW = X^T * dY`.
     pub fn transpose_a_matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.transpose_a_matmul_into(other, &mut out);
+        out
+    }
+
+    /// Output-parameter `self^T * other`. `out` must be
+    /// `self.cols() x other.cols()`; contents are overwritten. Bit-identical
+    /// to [`Matrix::transpose_a_matmul`].
+    pub fn transpose_a_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, other.rows,
             "transpose_a_matmul shape mismatch: ({}x{})^T * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
         let (k, m, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m, n);
-        for r in 0..k {
-            let arow = self.row(r);
-            let brow = other.row(r);
+        assert_eq!(
+            (out.rows, out.cols),
+            (m, n),
+            "transpose_a_matmul_into output shape mismatch"
+        );
+        out.data.fill(0.0);
+        // Tile the shared (row) dimension by 4: each pass over `out` folds
+        // four rank-1 updates, quartering memory traffic on the hot
+        // dW = Xᵀ·dY backward kernel.
+        let tiles = k / 4 * 4;
+        for r in (0..tiles).step_by(4) {
+            let a = &self.data[r * m..(r + 4) * m];
+            let b = &other.data[r * n..(r + 4) * n];
+            for i in 0..m {
+                let (x0, x1, x2, x3) = (a[i], a[m + i], a[2 * m + i], a[3 * m + i]);
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o += x0 * b[j] + x1 * b[n + j] + x2 * b[2 * n + j] + x3 * b[3 * n + j];
+                }
+            }
+        }
+        for r in tiles..k {
+            let arow = &self.data[r * m..(r + 1) * m];
+            let brow = &other.data[r * n..(r + 1) * n];
             for (i, &a) in arow.iter().enumerate() {
                 if a == 0.0 {
                     continue;
@@ -415,7 +644,59 @@ impl Matrix {
                 }
             }
         }
-        out
+    }
+
+    /// The seed implementation's matmul kernel (cache-blocked i-k-j, no
+    /// width specialization). Kept verbatim so the train-step benchmark can
+    /// measure the original code as its baseline.
+    #[doc(hidden)]
+    #[allow(clippy::needless_range_loop)] // index-based blocking is the kernel's shape
+    pub fn matmul_reference_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        assert_eq!((out.rows, out.cols), (m, n), "output shape mismatch");
+        out.data.fill(0.0);
+        for ib in (0..m).step_by(MATMUL_BLOCK) {
+            let imax = (ib + MATMUL_BLOCK).min(m);
+            for kb in (0..k).step_by(MATMUL_BLOCK) {
+                let kmax = (kb + MATMUL_BLOCK).min(k);
+                for i in ib..imax {
+                    let arow = &self.data[i * k..(i + 1) * k];
+                    let orow = &mut out.data[i * n..(i + 1) * n];
+                    for kk in kb..kmax {
+                        let a = arow[kk];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let brow = &other.data[kk * n..(kk + 1) * n];
+                        for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The seed implementation's `self * otherᵀ` kernel (one latency-bound
+    /// dot product per output element). Benchmark baseline only.
+    #[doc(hidden)]
+    pub fn matmul_transpose_b_reference_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.cols, "matmul_transpose_b shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        assert_eq!((out.rows, out.cols), (m, n), "output shape mismatch");
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&a, &b) in arow.iter().zip(brow.iter()) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
     }
 
     /// Matrix-vector product `self * v` where `v.len() == self.cols()`.
@@ -466,12 +747,27 @@ impl Matrix {
 
     /// Copies the half-open column range `[start, end)` into a new matrix.
     pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.cols, "slice_cols range out of bounds");
-        let mut out = Matrix::zeros(self.rows, end - start);
+        let mut out = Matrix::zeros(self.rows, end.saturating_sub(start));
+        self.slice_cols_into(start, end, &mut out);
+        out
+    }
+
+    /// Output-parameter column slice; `out` must be
+    /// `self.rows() x (end - start)`. Bit-identical to
+    /// [`Matrix::slice_cols`].
+    pub fn slice_cols_into(&self, start: usize, end: usize, out: &mut Matrix) {
+        assert!(
+            start <= end && end <= self.cols,
+            "slice_cols range out of bounds"
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, end - start),
+            "slice_cols_into output shape mismatch"
+        );
         for i in 0..self.rows {
             out.row_mut(i).copy_from_slice(&self.row(i)[start..end]);
         }
-        out
     }
 
     /// Copies the rows with the given indices into a new matrix (gather).
@@ -512,7 +808,10 @@ impl Index<(usize, usize)> for Matrix {
 
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -520,7 +819,10 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -591,7 +893,10 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
         let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]);
         let c = a.matmul(&b);
-        assert_eq!(c, Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]]));
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]])
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ const DUAL_TOLERANCE: f64 = 1e-10;
 pub fn nnls(a: &Matrix, b: &[f64]) -> Result<NnlsSolution, NnlsError> {
     let (m, n) = a.shape();
     if b.len() != m {
-        return Err(NnlsError::DimensionMismatch { rows: m, rhs: b.len() });
+        return Err(NnlsError::DimensionMismatch {
+            rows: m,
+            rhs: b.len(),
+        });
     }
 
     let mut x = vec![0.0; n];
@@ -66,7 +69,11 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Result<NnlsSolution, NnlsError> {
     loop {
         // Dual vector w = A^T (b - A x).
         let ax = a.matvec(&x);
-        let resid: Vec<f64> = b.iter().zip(ax.iter()).map(|(&bi, &axi)| bi - axi).collect();
+        let resid: Vec<f64> = b
+            .iter()
+            .zip(ax.iter())
+            .map(|(&bi, &axi)| bi - axi)
+            .collect();
         let w = a.transpose().matvec(&resid);
 
         // Pick the most positive dual among active variables.
@@ -82,7 +89,11 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Result<NnlsSolution, NnlsError> {
         let Some((enter, _)) = best else {
             // KKT satisfied: done.
             let norm = resid.iter().map(|r| r * r).sum::<f64>().sqrt();
-            return Ok(NnlsSolution { x, residual_norm: norm, iterations });
+            return Ok(NnlsSolution {
+                x,
+                residual_norm: norm,
+                iterations,
+            });
         };
         passive[enter] = true;
 
@@ -169,7 +180,11 @@ mod tests {
     use super::*;
 
     fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> Vec<f64> {
-        a.matvec(x).iter().zip(b.iter()).map(|(ax, bi)| bi - ax).collect()
+        a.matvec(x)
+            .iter()
+            .zip(b.iter())
+            .map(|(ax, bi)| bi - ax)
+            .collect()
     }
 
     #[test]
@@ -220,7 +235,12 @@ mod tests {
             .collect();
         let sol = nnls(&a, &b).unwrap();
         for (got, want) in sol.x.iter().zip(truth.iter()) {
-            assert!((got - want).abs() < 1e-6, "coefficients {:?} != {:?}", sol.x, truth);
+            assert!(
+                (got - want).abs() < 1e-6,
+                "coefficients {:?} != {:?}",
+                sol.x,
+                truth
+            );
         }
     }
 
@@ -245,7 +265,9 @@ mod tests {
         // feasibility plus complementary slackness.
         let mut seed = 42u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for _ in 0..20 {
@@ -254,6 +276,7 @@ mod tests {
             let sol = nnls(&a, &b).unwrap();
             let r = residual(&a, &sol.x, &b);
             let w = a.transpose().matvec(&r);
+            #[allow(clippy::needless_range_loop)] // j indexes sol.x and w in lockstep
             for j in 0..4 {
                 assert!(sol.x[j] >= 0.0, "primal infeasible");
                 if sol.x[j] > 1e-10 {

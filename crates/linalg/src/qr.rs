@@ -74,7 +74,12 @@ impl QrDecomposition {
             }
         }
 
-        Self { qr, betas, rows: m, cols: n }
+        Self {
+            qr,
+            betas,
+            rows: m,
+            cols: n,
+        }
     }
 
     /// Returns the upper-triangular factor `R` (`n x n`).
@@ -184,7 +189,10 @@ mod tests {
         ]);
         let qr = QrDecomposition::new(&a);
         let rec = qr.q().matmul(&qr.r());
-        assert!(rec.max_abs_diff(&a) < 1e-10, "QR reconstruction failed: {rec:?}");
+        assert!(
+            rec.max_abs_diff(&a) < 1e-10,
+            "QR reconstruction failed: {rec:?}"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based tests for the linear algebra kernels.
 
-use bellamy_linalg::{lstsq, nnls, Matrix, QrDecomposition};
+use bellamy_linalg::{lstsq, nnls, BufferPool, Matrix, QrDecomposition};
 use proptest::prelude::*;
 
 /// Strategy: a matrix with the given shape and bounded elements.
@@ -85,6 +85,93 @@ proptest! {
     }
 
     #[test]
+    fn matmul_into_matches_allocating_bitwise((a, b) in
+        (1usize..12, 1usize..12, 1usize..12).prop_flat_map(|(m, k, n)| {
+            (matrix(m, k), matrix(k, n))
+        })
+    ) {
+        // A dirty output buffer must not leak into the result.
+        let mut out = Matrix::filled(a.rows(), b.cols(), f64::MAX);
+        a.matmul_into(&b, &mut out);
+        prop_assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn transpose_variant_into_kernels_match_bitwise((a, b, c) in
+        (1usize..10, 1usize..10, 1usize..10).prop_flat_map(|(m, k, n)| {
+            (matrix(m, k), matrix(n, k), matrix(m, n))
+        })
+    ) {
+        let mut out = Matrix::filled(a.rows(), b.rows(), -9.9);
+        a.matmul_transpose_b_into(&b, &mut out);
+        prop_assert_eq!(out, a.matmul_transpose_b(&b));
+
+        let mut out2 = Matrix::filled(a.cols(), c.cols(), 7.7);
+        a.transpose_a_matmul_into(&c, &mut out2);
+        prop_assert_eq!(out2, a.transpose_a_matmul(&c));
+    }
+
+    #[test]
+    fn elementwise_into_kernels_match_bitwise((a, b) in
+        (1usize..8, 1usize..8).prop_flat_map(|(r, c)| (matrix(r, c), matrix(r, c))),
+        alpha in -3.0f64..3.0
+    ) {
+        let mut out = Matrix::filled(a.rows(), a.cols(), 0.123);
+        a.add_into(&b, &mut out);
+        prop_assert_eq!(&out, &a.add(&b));
+
+        a.scale_into(alpha, &mut out);
+        prop_assert_eq!(&out, &a.scale(alpha));
+
+        a.zip_apply_into(&b, &mut out, |x, y| x * y - 0.5 * x);
+        prop_assert_eq!(&out, &a.zip_map(&b, |x, y| x * y - 0.5 * x));
+
+        a.map_into(&mut out, |x| x * x + 1.0);
+        prop_assert_eq!(&out, &a.map(|x| x * x + 1.0));
+
+        let mut bias_out = Matrix::zeros(1, a.cols());
+        a.sum_rows_into(&mut bias_out);
+        prop_assert_eq!(&bias_out, &a.sum_rows());
+    }
+
+    #[test]
+    fn axpy_matches_add_scaled_and_add_assign_bitwise((a, b) in
+        (1usize..8, 1usize..8).prop_flat_map(|(r, c)| (matrix(r, c), matrix(r, c))),
+        alpha in -2.0f64..2.0
+    ) {
+        let mut via_axpy = a.clone();
+        via_axpy.axpy(alpha, &b);
+        let mut via_add_scaled = a.clone();
+        via_add_scaled.add_scaled(&b, alpha);
+        prop_assert_eq!(&via_axpy, &via_add_scaled);
+
+        let mut unit_axpy = a.clone();
+        unit_axpy.axpy(1.0, &b);
+        let mut via_add_assign = a.clone();
+        via_add_assign.add_assign(&b);
+        prop_assert_eq!(&unit_axpy, &via_add_assign);
+    }
+
+    #[test]
+    fn buffer_pool_serves_zeroed_exact_lengths(lens in proptest::collection::vec(1usize..200, 1..12)) {
+        let mut pool = BufferPool::new();
+        // Cycle everything through the pool twice; every take must be
+        // zeroed and exactly sized regardless of what was pooled before.
+        for _ in 0..2 {
+            let taken: Vec<Vec<f64>> = lens.iter().map(|&l| {
+                let mut buf = pool.take(l);
+                prop_assert_eq!(buf.len(), l);
+                prop_assert!(buf.iter().all(|&v| v == 0.0));
+                buf.fill(f64::MIN);
+                Ok(buf)
+            }).collect::<Result<_, TestCaseError>>()?;
+            for buf in taken {
+                pool.put(buf);
+            }
+        }
+    }
+
+    #[test]
     fn qr_reconstruction((m, n) in (1usize..8, 1usize..8).prop_filter("m>=n", |(m, n)| m >= n)) {
         // Deterministic well-conditioned test matrix per shape.
         let a = Matrix::from_fn(m, n, |i, j| {
@@ -121,6 +208,7 @@ proptest! {
         let ax = a.matvec(&sol.x);
         let resid: Vec<f64> = rhs.iter().zip(ax.iter()).map(|(&b, &v)| b - v).collect();
         let w = a.transpose().matvec(&resid);
+        #[allow(clippy::needless_range_loop)] // j indexes sol.x and w in lockstep
         for j in 0..3 {
             if sol.x[j] > 1e-9 {
                 prop_assert!(w[j].abs() < 1e-5, "stationarity: w[{}]={}", j, w[j]);

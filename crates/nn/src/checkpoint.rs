@@ -127,9 +127,7 @@ impl Checkpoint {
             let trainable = data.get_u8() != 0;
             let rows = data.get_u64_le() as usize;
             let cols = data.get_u64_le() as usize;
-            let count = rows
-                .checked_mul(cols)
-                .ok_or(CheckpointError::Truncated)?;
+            let count = rows.checked_mul(cols).ok_or(CheckpointError::Truncated)?;
             if data.remaining() < count * 8 {
                 return Err(CheckpointError::Truncated);
             }
@@ -235,7 +233,10 @@ mod tests {
         for cut in [5, 9, 20, bytes.len() - 3] {
             let err = Checkpoint::from_bytes(&bytes[..cut]).unwrap_err();
             assert!(
-                matches!(err, CheckpointError::Truncated | CheckpointError::InvalidUtf8),
+                matches!(
+                    err,
+                    CheckpointError::Truncated | CheckpointError::InvalidUtf8
+                ),
                 "cut at {cut}: unexpected error {err:?}"
             );
         }

@@ -8,7 +8,6 @@
 
 use crate::graph::Graph;
 use bellamy_autograd::NodeId;
-use bellamy_linalg::Matrix;
 use rand::{Rng, RngExt};
 
 /// Standard (inverted) dropout: zeroes with probability `p`, scales kept
@@ -24,7 +23,10 @@ impl Dropout {
     /// # Panics
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability {p} outside [0,1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability {p} outside [0,1)"
+        );
         Self { p }
     }
 
@@ -45,10 +47,8 @@ impl Dropout {
             return x;
         }
         let keep = 1.0 - self.p;
-        let shape = g.value(x).shape();
-        let mask = bernoulli_mask(shape, keep, rng);
-        let shift = Matrix::zeros(shape.0, shape.1);
-        g.tape.dropout(x, mask, 1.0 / keep, &shift)
+        g.tape
+            .dropout(x, 1.0 / keep, 0.0, 0.0, || bernoulli(keep, rng))
     }
 }
 
@@ -69,7 +69,10 @@ impl AlphaDropout {
     /// # Panics
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability {p} outside [0,1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability {p} outside [0,1)"
+        );
         Self { p }
     }
 
@@ -101,23 +104,27 @@ impl AlphaDropout {
         let q = 1.0 - self.p;
         let (a, b) = self.affine_constants();
         let alpha_prime = bellamy_autograd::ops::SELU_ALPHA_PRIME;
-        let shape = g.value(x).shape();
-        let mask = bernoulli_mask(shape, q, rng);
-        // y = a·(x⊙mask) + [a·α'·(1-mask) + b]  — the bracket is constant.
-        let shift = mask.map(|m| a * alpha_prime * (1.0 - m) + b);
-        g.tape.dropout(x, mask, a, &shift)
+        // y = a·(x⊙mask) + a·α'·(1-mask) + b — the shift is constant, so it
+        // maps onto the tape's affine dropout with shift0 = b, shift1 = a·α'.
+        g.tape
+            .dropout(x, a, b, a * alpha_prime, || bernoulli(q, rng))
     }
 }
 
-/// A 0/1 mask keeping each element with probability `keep`.
-fn bernoulli_mask(shape: (usize, usize), keep: f64, rng: &mut impl Rng) -> Matrix {
-    Matrix::from_fn(shape.0, shape.1, |_, _| if rng.random::<f64>() < keep { 1.0 } else { 0.0 })
+/// One 0/1 Bernoulli draw keeping with probability `keep`.
+fn bernoulli(keep: f64, rng: &mut impl Rng) -> f64 {
+    if rng.random::<f64>() < keep {
+        1.0
+    } else {
+        0.0
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::params::ParamSet;
+    use bellamy_linalg::Matrix;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -155,7 +162,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let y = Dropout::new(0.2).forward(&mut g, x, true, &mut rng);
         let mean = g.value(y).mean();
-        assert!((mean - 1.0).abs() < 0.02, "inverted dropout mean {mean} should be ~1");
+        assert!(
+            (mean - 1.0).abs() < 0.02,
+            "inverted dropout mean {mean} should be ~1"
+        );
     }
 
     #[test]
@@ -177,7 +187,10 @@ mod tests {
             .sum::<f64>()
             / (out.len() - 1) as f64;
         assert!(mean.abs() < 0.02, "alpha dropout mean {mean} should be ~0");
-        assert!((var - 1.0).abs() < 0.06, "alpha dropout variance {var} should be ~1");
+        assert!(
+            (var - 1.0).abs() < 0.06,
+            "alpha dropout variance {var} should be ~1"
+        );
     }
 
     #[test]

@@ -1,5 +1,12 @@
-//! Per-step graph builder: binds [`ParamSet`] parameters onto a fresh
-//! autodiff tape and maps gradients back to parameter handles.
+//! Per-step graph builder: binds [`ParamSet`] parameters onto an autodiff
+//! tape and maps gradients back to parameter handles.
+//!
+//! Training loops should recycle one [`GraphArena`] across steps
+//! ([`Graph::from_arena`] / [`Graph::into_arena`]): the underlying tape then
+//! replays into retained storage, parameters are rebound by copying into
+//! existing arena leaves (no per-step cloning or allocation), and
+//! [`Graph::backward_into`] reuses a [`GradWorkspace`] so the whole
+//! forward/backward round trip is allocation-free once warm.
 
 use crate::params::{ParamId, ParamSet};
 use bellamy_autograd::{Gradients, NodeId, Tape};
@@ -9,6 +16,7 @@ use bellamy_linalg::Matrix;
 ///
 /// Parameters the loss does not depend on (e.g. a frozen branch that was
 /// never used in the forward pass) have no entry.
+#[derive(Default)]
 pub struct GradMap {
     by_param: Vec<Option<Matrix>>,
 }
@@ -31,9 +39,89 @@ impl GradMap {
             .sum::<f64>()
             .sqrt()
     }
+
+    /// Overwrites this map with the gradients of every bound parameter,
+    /// reusing entry storage of matching shape.
+    fn fill(&mut self, bound: &[Option<NodeId>], grads: &Gradients) {
+        self.by_param.resize_with(bound.len(), || None);
+        self.by_param.truncate(bound.len());
+        for (entry, slot) in self.by_param.iter_mut().zip(bound) {
+            match slot.and_then(|node| grads.get(node)) {
+                Some(g) => match entry {
+                    Some(m) if m.shape() == g.shape() => m.copy_from(g),
+                    _ => *entry = Some(g.clone()),
+                },
+                None => *entry = None,
+            }
+        }
+    }
+
+    /// In-place `self += alpha * other`, entrywise over present entries.
+    ///
+    /// Entries present in `other` but absent here are cloned in (scaled);
+    /// this is the deterministic reduction kernel for data-parallel shards.
+    pub fn axpy(&mut self, alpha: f64, other: &GradMap) {
+        if self.by_param.len() < other.by_param.len() {
+            self.by_param.resize_with(other.by_param.len(), || None);
+        }
+        for (entry, src) in self.by_param.iter_mut().zip(other.by_param.iter()) {
+            match (entry, src) {
+                (Some(m), Some(g)) => m.axpy(alpha, g),
+                (entry @ None, Some(g)) => {
+                    let mut m = g.clone();
+                    m.fill(0.0);
+                    m.axpy(alpha, g);
+                    *entry = Some(m);
+                }
+                (_, None) => {}
+            }
+        }
+    }
+
+    /// Scales every present entry in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for entry in self.by_param.iter_mut().flatten() {
+            entry.scale_in_place(alpha);
+        }
+    }
 }
 
-/// A one-shot forward graph over a parameter set.
+/// Recycled storage for [`Graph`]: the tape arena plus the parameter-binding
+/// table. Obtain one with [`Graph::into_arena`] and rebuild the next step's
+/// graph with [`Graph::from_arena`].
+#[derive(Default)]
+pub struct GraphArena {
+    tape: Tape,
+    bound: Vec<Option<NodeId>>,
+}
+
+/// A reusable gradient workspace for [`Graph::backward_into`]: the tape-side
+/// [`Gradients`] plus the parameter-keyed [`GradMap`], both retained across
+/// steps.
+#[derive(Default)]
+pub struct GradWorkspace {
+    grads: Gradients,
+    map: GradMap,
+}
+
+impl GradWorkspace {
+    /// An empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The parameter-keyed gradients of the last backward sweep.
+    pub fn map(&self) -> &GradMap {
+        &self.map
+    }
+
+    /// Mutable access (used by shard reduction).
+    pub fn map_mut(&mut self) -> &mut GradMap {
+        &mut self.map
+    }
+}
+
+/// A forward graph over a parameter set.
 ///
 /// Parameters are bound lazily: the first [`Graph::param`] call for a handle
 /// copies its current value onto the tape as a leaf. After building a scalar
@@ -46,9 +134,35 @@ pub struct Graph<'p> {
 }
 
 impl<'p> Graph<'p> {
-    /// Starts a new graph over `params`.
+    /// Starts a new graph over `params` with fresh storage.
     pub fn new(params: &'p ParamSet) -> Self {
-        Self { tape: Tape::new(), params, bound: vec![None; params.len()] }
+        Self::from_arena(GraphArena::default(), params)
+    }
+
+    /// Starts a graph over `params` reusing a recycled arena: the tape
+    /// replays into retained node storage and parameter rebinding copies
+    /// values without allocating.
+    pub fn from_arena(arena: GraphArena, params: &'p ParamSet) -> Self {
+        let GraphArena {
+            mut tape,
+            mut bound,
+        } = arena;
+        tape.reset();
+        bound.clear();
+        bound.resize(params.len(), None);
+        Self {
+            tape,
+            params,
+            bound,
+        }
+    }
+
+    /// Releases the graph's storage for reuse by the next step.
+    pub fn into_arena(self) -> GraphArena {
+        GraphArena {
+            tape: self.tape,
+            bound: self.bound,
+        }
     }
 
     /// Node for a parameter, binding it as a leaf on first use.
@@ -56,7 +170,7 @@ impl<'p> Graph<'p> {
         if let Some(node) = self.bound[id.index()] {
             return node;
         }
-        let node = self.tape.leaf(self.params.get(id).value.clone());
+        let node = self.tape.leaf_ref(&self.params.get(id).value);
         self.bound[id.index()] = Some(node);
         node
     }
@@ -66,21 +180,31 @@ impl<'p> Graph<'p> {
         self.tape.leaf(value)
     }
 
+    /// Registers a constant input by reference, copying it into arena
+    /// storage (no allocation once warm).
+    pub fn input_ref(&mut self, value: &Matrix) -> NodeId {
+        self.tape.leaf_ref(value)
+    }
+
     /// Forward value of any node.
     pub fn value(&self, node: NodeId) -> &Matrix {
         self.tape.value(node)
     }
 
     /// Runs the backward sweep from the scalar `loss` node and gathers
-    /// gradients for every bound parameter.
+    /// gradients for every bound parameter into a fresh [`GradMap`].
+    /// Prefer [`Graph::backward_into`] in loops.
     pub fn backward(&self, loss: NodeId) -> GradMap {
-        let grads: Gradients = self.tape.backward(loss);
-        let by_param = self
-            .bound
-            .iter()
-            .map(|slot| slot.and_then(|node| grads.get(node).cloned()))
-            .collect();
-        GradMap { by_param }
+        let mut ws = GradWorkspace::new();
+        self.backward_into(loss, &mut ws);
+        ws.map
+    }
+
+    /// Runs the backward sweep into a reusable workspace; allocation-free
+    /// once the workspace is warm.
+    pub fn backward_into(&self, loss: NodeId, ws: &mut GradWorkspace) {
+        self.tape.backward_into(loss, &mut ws.grads);
+        ws.map.fill(&self.bound, &ws.grads);
     }
 }
 
@@ -113,7 +237,7 @@ mod tests {
         let x = g.input(Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
         let w_node = g.param(w);
         let y = g.tape.matmul(x, w_node);
-        let loss = g.tape.mse_loss(y, Matrix::col_vector(&[1.0, 1.0]));
+        let loss = g.tape.mse_loss(y, &Matrix::col_vector(&[1.0, 1.0]));
         let grads = g.backward(loss);
 
         assert!(grads.get(w).is_some());
@@ -129,5 +253,65 @@ mod tests {
         let mut g = Graph::new(&ps);
         let node = g.param(w);
         assert_eq!(g.value(node)[(0, 0)], 5.0);
+    }
+
+    #[test]
+    fn arena_recycling_matches_fresh_graphs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ps = ParamSet::new();
+        let w = ps.register_init("w", 3, 2, Init::HeNormal, &mut rng);
+        let x = Matrix::from_fn(5, 3, |i, j| (i + j) as f64 * 0.2 - 0.5);
+        let t = Matrix::zeros(5, 2);
+
+        let run = |g: &mut Graph<'_>| {
+            let xn = g.input_ref(&x);
+            let wn = g.param(w);
+            let y = g.tape.matmul(xn, wn);
+            g.tape.mse_loss(y, &t)
+        };
+
+        let mut fresh = Graph::new(&ps);
+        let loss_fresh = run(&mut fresh);
+        let grads_fresh = fresh.backward(loss_fresh);
+
+        let mut arena = GraphArena::default();
+        let mut ws = GradWorkspace::new();
+        for step in 0..4 {
+            let mut g = Graph::from_arena(arena, &ps);
+            let loss = run(&mut g);
+            g.backward_into(loss, &mut ws);
+            assert_eq!(
+                g.value(loss),
+                fresh.value(loss_fresh),
+                "step {step}: recycled graph must be bit-identical"
+            );
+            assert_eq!(ws.map().get(w), grads_fresh.get(w), "step {step}");
+            arena = g.into_arena();
+        }
+    }
+
+    #[test]
+    fn gradmap_axpy_reduces_shards() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Matrix::row_vector(&[1.0, -2.0]));
+
+        let shard = |scale: f64| {
+            let mut g = Graph::new(&ps);
+            let wn = g.param(w);
+            let s = g.tape.scale(wn, scale);
+            let loss = g.tape.sum(s);
+            g.backward(loss)
+        };
+        let mut total = shard(1.0);
+        total.scale(0.25);
+        total.axpy(0.75, &shard(3.0));
+        // d/dw [0.25 * sum(w) + 0.75 * sum(3w)] = 0.25 + 2.25 = 2.5.
+        assert!(
+            total
+                .get(w)
+                .unwrap()
+                .max_abs_diff(&Matrix::row_vector(&[2.5, 2.5]))
+                < 1e-12
+        );
     }
 }

@@ -95,7 +95,11 @@ mod tests {
         let fan_in = 64;
         let m = Init::HeNormal.sample(fan_in, 400, &mut rng);
         let mean = m.mean();
-        let var = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
             / (m.len() - 1) as f64;
         let want = 2.0 / fan_in as f64;
         assert!(mean.abs() < 0.01, "mean {mean} too far from 0");
@@ -116,7 +120,10 @@ mod tests {
 
     #[test]
     fn xavier_symmetric_in_fans() {
-        assert_eq!(Init::XavierNormal.std_dev(8, 24), Init::XavierNormal.std_dev(24, 8));
+        assert_eq!(
+            Init::XavierNormal.std_dev(8, 24),
+            Init::XavierNormal.std_dev(24, 8)
+        );
     }
 
     #[test]

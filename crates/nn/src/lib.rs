@@ -31,7 +31,7 @@ pub mod stopping;
 pub use bellamy_autograd::Activation;
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use dropout::{AlphaDropout, Dropout};
-pub use graph::{GradMap, Graph};
+pub use graph::{GradMap, GradWorkspace, Graph, GraphArena};
 pub use init::Init;
 pub use linear::Linear;
 pub use optim::{Adam, AdamConfig, AnyOptimizer, OptimizerChoice, Sgd, SgdConfig};

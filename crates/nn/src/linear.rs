@@ -35,24 +35,31 @@ impl Linear {
         init: Init,
         rng: &mut impl Rng,
     ) -> Self {
-        let weight =
-            params.register_init(format!("{name}.weight"), in_dim, out_dim, init, rng);
+        let weight = params.register_init(format!("{name}.weight"), in_dim, out_dim, init, rng);
         let bias = with_bias
             .then(|| params.register_init(format!("{name}.bias"), 1, out_dim, Init::Zeros, rng));
-        Self { weight, bias, activation, in_dim, out_dim }
+        Self {
+            weight,
+            bias,
+            activation,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Reconstructs the handle from an existing parameter set (after loading
     /// a checkpoint). Returns `None` when the expected names are missing.
-    pub fn from_existing(
-        params: &ParamSet,
-        name: &str,
-        activation: Activation,
-    ) -> Option<Self> {
+    pub fn from_existing(params: &ParamSet, name: &str, activation: Activation) -> Option<Self> {
         let weight = params.find(&format!("{name}.weight"))?;
         let bias = params.find(&format!("{name}.bias"));
         let (in_dim, out_dim) = params.get(weight).value.shape();
-        Some(Self { weight, bias, activation, in_dim, out_dim })
+        Some(Self {
+            weight,
+            bias,
+            activation,
+            in_dim,
+            out_dim,
+        })
     }
 
     /// Applies the layer within a graph.
@@ -106,7 +113,16 @@ mod tests {
     fn forward_shapes_and_bias() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut ps = ParamSet::new();
-        let layer = Linear::new(&mut ps, "l", 3, 4, true, Activation::Identity, Init::HeNormal, &mut rng);
+        let layer = Linear::new(
+            &mut ps,
+            "l",
+            3,
+            4,
+            true,
+            Activation::Identity,
+            Init::HeNormal,
+            &mut rng,
+        );
         assert_eq!(layer.in_dim(), 3);
         assert_eq!(layer.out_dim(), 4);
         assert!(ps.find("l.weight").is_some());
@@ -124,7 +140,16 @@ mod tests {
     fn no_bias_layer_registers_single_param() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut ps = ParamSet::new();
-        let layer = Linear::new(&mut ps, "enc", 40, 8, false, Activation::Selu, Init::HeNormal, &mut rng);
+        let layer = Linear::new(
+            &mut ps,
+            "enc",
+            40,
+            8,
+            false,
+            Activation::Selu,
+            Init::HeNormal,
+            &mut rng,
+        );
         assert!(layer.bias().is_none());
         assert_eq!(ps.len(), 1);
     }
@@ -144,8 +169,16 @@ mod tests {
     fn from_existing_round_trip() {
         let mut rng = StdRng::seed_from_u64(4);
         let mut ps = ParamSet::new();
-        let original =
-            Linear::new(&mut ps, "f.l1", 3, 16, true, Activation::Selu, Init::HeNormal, &mut rng);
+        let original = Linear::new(
+            &mut ps,
+            "f.l1",
+            3,
+            16,
+            true,
+            Activation::Selu,
+            Init::HeNormal,
+            &mut rng,
+        );
         let restored = Linear::from_existing(&ps, "f.l1", Activation::Selu).unwrap();
         assert_eq!(restored.weight(), original.weight());
         assert_eq!(restored.bias(), original.bias());

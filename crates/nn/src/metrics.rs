@@ -32,7 +32,8 @@ pub fn mre(pred: &[f64], target: &[f64]) -> f64 {
 /// Root mean squared error.
 pub fn rmse(pred: &[f64], target: &[f64]) -> f64 {
     check(pred, target);
-    (pred.iter()
+    (pred
+        .iter()
         .zip(target.iter())
         .map(|(p, t)| (p - t) * (p - t))
         .sum::<f64>()
@@ -41,7 +42,11 @@ pub fn rmse(pred: &[f64], target: &[f64]) -> f64 {
 }
 
 fn check(pred: &[f64], target: &[f64]) {
-    assert_eq!(pred.len(), target.len(), "prediction/target length mismatch");
+    assert_eq!(
+        pred.len(),
+        target.len(),
+        "prediction/target length mismatch"
+    );
     assert!(!pred.is_empty(), "metrics need at least one sample");
 }
 

@@ -6,7 +6,7 @@
 //! first/second moments drive the update.
 
 use crate::graph::GradMap;
-use crate::params::ParamSet;
+use crate::params::{ParamId, ParamSet};
 use bellamy_linalg::Matrix;
 
 /// Hyperparameters for [`Adam`].
@@ -26,14 +26,23 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        Self { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+        Self {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
     }
 }
 
 impl AdamConfig {
     /// Config with the given learning rate, PyTorch-default betas/eps.
     pub fn with_lr(lr: f64) -> Self {
-        Self { lr, ..Self::default() }
+        Self {
+            lr,
+            ..Self::default()
+        }
     }
 
     /// Builder-style weight decay.
@@ -94,6 +103,10 @@ impl Adam {
 
     /// Applies one update. Frozen parameters and parameters without a
     /// gradient entry are skipped (their moment buffers stay untouched).
+    ///
+    /// The update is one fused in-place pass per parameter — moment update,
+    /// bias correction, and weight write happen in a single traversal with
+    /// no temporaries, so stepping is allocation-free.
     pub fn step(&mut self, params: &mut ParamSet, grads: &GradMap) {
         self.t += 1;
         let t = self.t as i32;
@@ -101,27 +114,26 @@ impl Adam {
         let bias1 = 1.0 - c.beta1.powi(t);
         let bias2 = 1.0 - c.beta2.powi(t);
 
-        let ids: Vec<_> = params.iter().map(|(id, _)| id).collect();
-        for id in ids {
+        for idx in 0..params.len() {
+            let id = ParamId(idx);
             let Some(grad) = grads.get(id) else { continue };
             let p = params.get_mut(id);
             if !p.trainable {
                 continue;
             }
-            let idx = id.index();
-            let m = &mut self.m[idx];
-            let v = &mut self.v[idx];
-            let value = p.value.as_mut_slice();
             let g = grad.as_slice();
-            for i in 0..value.len() {
-                let gi = g[i] + c.weight_decay * value[i];
-                let mi = c.beta1 * m.as_slice()[i] + (1.0 - c.beta1) * gi;
-                let vi = c.beta2 * v.as_slice()[i] + (1.0 - c.beta2) * gi * gi;
-                m.as_mut_slice()[i] = mi;
-                v.as_mut_slice()[i] = vi;
+            let value = p.value.as_mut_slice();
+            let ms = self.m[idx].as_mut_slice();
+            let vs = self.v[idx].as_mut_slice();
+            for (((w, &gi), m), v) in value.iter_mut().zip(g).zip(ms).zip(vs) {
+                let gi = gi + c.weight_decay * *w;
+                let mi = c.beta1 * *m + (1.0 - c.beta1) * gi;
+                let vi = c.beta2 * *v + (1.0 - c.beta2) * gi * gi;
+                *m = mi;
+                *v = vi;
                 let m_hat = mi / bias1;
                 let v_hat = vi / bias2;
-                value[i] -= c.lr * m_hat / (v_hat.sqrt() + c.eps);
+                *w -= c.lr * m_hat / (v_hat.sqrt() + c.eps);
             }
         }
     }
@@ -140,7 +152,11 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        Self { lr: 1e-2, momentum: 0.9, weight_decay: 0.0 }
+        Self {
+            lr: 1e-2,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -174,24 +190,25 @@ impl Sgd {
         self.config.lr = lr;
     }
 
-    /// Applies one update (skips frozen / gradient-less parameters).
+    /// Applies one update (skips frozen / gradient-less parameters) as a
+    /// single fused in-place pass per parameter.
     pub fn step(&mut self, params: &mut ParamSet, grads: &GradMap) {
         let c = self.config;
-        let ids: Vec<_> = params.iter().map(|(id, _)| id).collect();
-        for id in ids {
+        for idx in 0..params.len() {
+            let id = ParamId(idx);
             let Some(grad) = grads.get(id) else { continue };
             let p = params.get_mut(id);
             if !p.trainable {
                 continue;
             }
-            let v = &mut self.velocity[id.index()];
-            let value = p.value.as_mut_slice();
             let g = grad.as_slice();
-            for i in 0..value.len() {
-                let gi = g[i] + c.weight_decay * value[i];
-                let vi = c.momentum * v.as_slice()[i] + gi;
-                v.as_mut_slice()[i] = vi;
-                value[i] -= c.lr * vi;
+            let value = p.value.as_mut_slice();
+            let vs = self.velocity[idx].as_mut_slice();
+            for ((w, &gi), v) in value.iter_mut().zip(g).zip(vs) {
+                let gi = gi + c.weight_decay * *w;
+                let vi = c.momentum * *v + gi;
+                *v = vi;
+                *w -= c.lr * vi;
             }
         }
     }
@@ -219,19 +236,19 @@ pub enum AnyOptimizer {
 
 impl AnyOptimizer {
     /// Builds the chosen optimizer with a shared `(lr, weight_decay)` pair.
-    pub fn build(
-        choice: OptimizerChoice,
-        params: &ParamSet,
-        lr: f64,
-        weight_decay: f64,
-    ) -> Self {
+    pub fn build(choice: OptimizerChoice, params: &ParamSet, lr: f64, weight_decay: f64) -> Self {
         match choice {
-            OptimizerChoice::Adam => {
-                AnyOptimizer::Adam(Adam::new(params, AdamConfig::with_lr(lr).weight_decay(weight_decay)))
-            }
+            OptimizerChoice::Adam => AnyOptimizer::Adam(Adam::new(
+                params,
+                AdamConfig::with_lr(lr).weight_decay(weight_decay),
+            )),
             OptimizerChoice::Sgd { momentum } => AnyOptimizer::Sgd(Sgd::new(
                 params,
-                SgdConfig { lr, momentum, weight_decay },
+                SgdConfig {
+                    lr,
+                    momentum,
+                    weight_decay,
+                },
             )),
         }
     }
@@ -288,7 +305,7 @@ mod tests {
         for _ in 0..2000 {
             let mut g = Graph::new(&ps);
             let w_node = g.param(w);
-            let loss = g.tape.mse_loss(w_node, target.clone());
+            let loss = g.tape.mse_loss(w_node, &target);
             let grads = g.backward(loss);
             opt.step(&mut ps, &grads);
         }
@@ -350,11 +367,18 @@ mod tests {
         let mut ps = ParamSet::new();
         let w = ps.register("w", Matrix::row_vector(&[5.0, -3.0]));
         let target = Matrix::row_vector(&[2.0, 1.0]);
-        let mut opt = Sgd::new(&ps, SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 0.0 });
+        let mut opt = Sgd::new(
+            &ps,
+            SgdConfig {
+                lr: 0.05,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
+        );
         for _ in 0..500 {
             let mut g = Graph::new(&ps);
             let w_node = g.param(w);
-            let loss = g.tape.mse_loss(w_node, target.clone());
+            let loss = g.tape.mse_loss(w_node, &target);
             let grads = g.backward(loss);
             opt.step(&mut ps, &grads);
         }
@@ -365,7 +389,14 @@ mod tests {
     fn sgd_without_momentum_first_step_is_lr_times_grad() {
         let mut ps = ParamSet::new();
         let w = ps.register("w", Matrix::row_vector(&[1.0]));
-        let mut opt = Sgd::new(&ps, SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.0 });
+        let mut opt = Sgd::new(
+            &ps,
+            SgdConfig {
+                lr: 0.1,
+                momentum: 0.0,
+                weight_decay: 0.0,
+            },
+        );
         // loss = w^2, grad = 2w = 2 at w=1; step = 0.1*2 = 0.2.
         let mut g = Graph::new(&ps);
         let w_node = g.param(w);
@@ -382,7 +413,14 @@ mod tests {
         // moves further than the first.
         let mut ps = ParamSet::new();
         let w = ps.register("w", Matrix::row_vector(&[0.0]));
-        let mut opt = Sgd::new(&ps, SgdConfig { lr: 0.1, momentum: 0.9, weight_decay: 0.0 });
+        let mut opt = Sgd::new(
+            &ps,
+            SgdConfig {
+                lr: 0.1,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
+        );
         let mut positions = vec![0.0];
         for _ in 0..3 {
             let mut g = Graph::new(&ps);
@@ -396,21 +434,27 @@ mod tests {
         }
         let step1 = positions[0] - positions[1];
         let step2 = positions[1] - positions[2];
-        assert!(step2 > step1 * 1.5, "momentum should accelerate: {positions:?}");
+        assert!(
+            step2 > step1 * 1.5,
+            "momentum should accelerate: {positions:?}"
+        );
     }
 
     #[test]
     fn any_optimizer_dispatch() {
         let mut ps = ParamSet::new();
         let w = ps.register("w", Matrix::row_vector(&[4.0]));
-        for choice in [OptimizerChoice::Adam, OptimizerChoice::Sgd { momentum: 0.5 }] {
+        for choice in [
+            OptimizerChoice::Adam,
+            OptimizerChoice::Sgd { momentum: 0.5 },
+        ] {
             let mut ps_local = ps.clone();
             let mut opt = AnyOptimizer::build(choice, &ps_local, 0.05, 0.0);
             opt.set_lr(0.02);
             for _ in 0..50 {
                 let mut g = Graph::new(&ps_local);
                 let w_node = g.param(w);
-                let loss = g.tape.mse_loss(w_node, Matrix::row_vector(&[1.0]));
+                let loss = g.tape.mse_loss(w_node, &Matrix::row_vector(&[1.0]));
                 let grads = g.backward(loss);
                 opt.step(&mut ps_local, &grads);
             }

@@ -57,7 +57,11 @@ impl ParamSet {
             self.find(&name).is_none(),
             "duplicate parameter name: {name}"
         );
-        self.params.push(Parameter { name, value, trainable: true });
+        self.params.push(Parameter {
+            name,
+            value,
+            trainable: true,
+        });
         ParamId(self.params.len() - 1)
     }
 
@@ -171,7 +175,9 @@ impl ParamSet {
                     src.value.shape()
                 ));
             }
-            p.value = src.value.clone();
+            // In place: snapshot/restore cycles in training loops must not
+            // churn the allocator.
+            p.value.copy_from(&src.value);
         }
         Ok(())
     }
@@ -230,7 +236,10 @@ mod tests {
         assert_eq!(n, 2);
         let after = &ps.get(id).value;
         assert_eq!(after.shape(), before.shape());
-        assert!(before.max_abs_diff(after) > 1e-9, "reinit must redraw values");
+        assert!(
+            before.max_abs_diff(after) > 1e-9,
+            "reinit must redraw values"
+        );
     }
 
     #[test]
@@ -241,7 +250,9 @@ mod tests {
         for (_, p) in src.iter() {
             assert!(p.value.all_finite());
         }
-        src.get_mut(src.find("f.l1.weight").unwrap()).value.fill(7.0);
+        src.get_mut(src.find("f.l1.weight").unwrap())
+            .value
+            .fill(7.0);
         dst.load_values_from(&src).unwrap();
         let id = dst.find("f.l1.weight").unwrap();
         assert_eq!(dst.get(id).value, Matrix::filled(3, 16, 7.0));
@@ -253,7 +264,10 @@ mod tests {
         let mut src = ParamSet::new();
         src.register("f.l1.weight", Matrix::zeros(2, 2));
         let err = dst.load_values_from(&src).unwrap_err();
-        assert!(err.contains("shape mismatch") || err.contains("missing"), "{err}");
+        assert!(
+            err.contains("shape mismatch") || err.contains("missing"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -41,7 +41,11 @@ impl CyclicalAnnealingLr {
     pub fn new(max_lr: f64, min_lr: f64, period: usize) -> Self {
         assert!(max_lr >= min_lr, "max_lr {max_lr} below min_lr {min_lr}");
         assert!(period > 0, "period must be positive");
-        Self { max_lr, min_lr, period }
+        Self {
+            max_lr,
+            min_lr,
+            period,
+        }
     }
 
     /// The paper's fine-tuning schedule: `(1e-2, 1e-3)` with a 100-epoch
@@ -86,9 +90,12 @@ mod tests {
         let mut prev = f64::INFINITY;
         for e in 0..50 {
             let lr = s.lr_at(e);
-            assert!(lr <= prev + 1e-15, "schedule must not increase within a cycle");
             assert!(
-                lr >= 1e-3 - 1e-12 && lr <= 1e-2 + 1e-12,
+                lr <= prev + 1e-15,
+                "schedule must not increase within a cycle"
+            );
+            assert!(
+                (1e-3 - 1e-12..=1e-2 + 1e-12).contains(&lr),
                 "lr {lr} escaped bounds"
             );
             prev = lr;

@@ -32,7 +32,12 @@ impl EarlyStopping {
     /// improvement.
     pub fn new(target: Option<f64>, patience: usize) -> Self {
         assert!(patience > 0, "patience must be positive");
-        Self { target, patience, best: f64::INFINITY, epochs_since_best: 0 }
+        Self {
+            target,
+            patience,
+            best: f64::INFINITY,
+            epochs_since_best: 0,
+        }
     }
 
     /// The paper's fine-tuning criterion: MAE ≤ 5 s or 1000 epochs without

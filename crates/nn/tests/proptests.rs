@@ -80,7 +80,7 @@ proptest! {
         for _ in 0..300 {
             let mut g = Graph::new(&ps);
             let w_node = g.param(w);
-            let loss = g.tape.mse_loss(w_node, t.clone());
+            let loss = g.tape.mse_loss(w_node, &t);
             let grads = g.backward(loss);
             opt.step(&mut ps, &grads);
         }

@@ -9,20 +9,28 @@
 //! - [`par_map`] / [`par_map_with_threads`] — order-preserving parallel map
 //!   over a slice with atomic work claiming (no per-item locking),
 //! - [`par_for_each_mut`] — parallel in-place mutation of disjoint elements,
-//! - [`ThreadPool`] — a long-lived pool for irregular task graphs.
+//! - [`ThreadPool`] — a long-lived pool for irregular task graphs,
+//! - [`WorkTeam`] — a persistent, allocation-free fan-out over pool workers
+//!   for hot loops that fan out every step (the data-parallel minibatch
+//!   sharding in `bellamy-core`).
 //!
-//! All closures run on scoped threads: no `'static` bounds, data-race
-//! freedom enforced by `Sync` bounds, panics propagate to the caller.
+//! The map/for-each helpers run on scoped threads: no `'static` bounds,
+//! data-race freedom enforced by `Sync` bounds, panics propagate to the
+//! caller.
 
 pub mod pool;
+pub mod team;
 
 pub use pool::ThreadPool;
+pub use team::WorkTeam;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default parallelism: the machine's available cores.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Maps `f` over `items` in parallel, preserving order, with

@@ -18,6 +18,20 @@ struct PendingCount {
     idle: Condvar,
 }
 
+/// Decrements the pending count on drop — including during unwinding, so a
+/// panicking job still counts as finished.
+struct PendingGuard<'a>(&'a PendingCount);
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        let mut count = self.0.count.lock();
+        *count -= 1;
+        if *count == 0 {
+            self.0.idle.notify_all();
+        }
+    }
+}
+
 /// A fixed-size worker pool.
 ///
 /// Jobs are `'static` closures; results should travel back over channels or
@@ -37,24 +51,30 @@ impl ThreadPool {
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "a pool needs at least one worker");
         let (sender, receiver) = unbounded::<Job>();
-        let pending = Arc::new(PendingCount { count: Mutex::new(0), idle: Condvar::new() });
+        let pending = Arc::new(PendingCount {
+            count: Mutex::new(0),
+            idle: Condvar::new(),
+        });
         let workers = (0..threads)
             .map(|_| {
                 let receiver = receiver.clone();
                 let pending = Arc::clone(&pending);
                 std::thread::spawn(move || {
                     while let Ok(job) = receiver.recv() {
-                        job();
-                        let mut count = pending.count.lock();
-                        *count -= 1;
-                        if *count == 0 {
-                            pending.idle.notify_all();
-                        }
+                        // The guard decrements even when the job panics;
+                        // without it a panicking job would leave the pending
+                        // count stuck and deadlock `wait_idle` forever.
+                        let _guard = PendingGuard(&pending);
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                     }
                 })
             })
             .collect();
-        Self { sender: Some(sender), workers, pending }
+        Self {
+            sender: Some(sender),
+            workers,
+            pending,
+        }
     }
 
     /// Number of workers.
@@ -178,5 +198,31 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_rejected() {
         let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn panicking_job_does_not_deadlock_wait_idle() {
+        // Regression: a panicking job used to kill its worker without
+        // decrementing the pending count, wedging wait_idle forever.
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..16 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                if i % 4 == 0 {
+                    panic!("job {i} failed");
+                }
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 12);
+        // Workers survive the panics and keep serving jobs.
+        let c = Arc::clone(&counter);
+        pool.execute(move || {
+            c.fetch_add(100, Ordering::Relaxed);
+        });
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 112);
     }
 }

@@ -23,7 +23,10 @@ fn main() {
     let report = pretrain(
         &mut base,
         &history,
-        &PretrainConfig { epochs: 300, ..Default::default() },
+        &PretrainConfig {
+            epochs: 300,
+            ..Default::default()
+        },
         3,
     );
     println!(
@@ -66,7 +69,13 @@ fn main() {
     );
     for strategy in ReuseStrategy::ALL {
         let mut model = base.clone_model();
-        let r = fine_tune(&mut model, &observed, &FinetuneConfig::default(), strategy, 9);
+        let r = fine_tune(
+            &mut model,
+            &observed,
+            &FinetuneConfig::default(),
+            strategy,
+            9,
+        );
         println!(
             "{:<28} {:>10.1} {:>10} {:>13.1}",
             strategy.name(),

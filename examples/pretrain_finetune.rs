@@ -27,10 +27,16 @@ fn main() {
         4,   // paper: 12 trials; reduced for example runtime
         120, // paper: 2500 epochs
         21,
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     );
     for (i, t) in report.trials.iter().enumerate() {
-        let marker = if i == report.best_index { " <- best" } else { "" };
+        let marker = if i == report.best_index {
+            " <- best"
+        } else {
+            ""
+        };
         println!(
             "  trial {}: dropout {:>4.0}% lr {:<7} wd {:<7} -> val MAE {:>7.1}s{}",
             i + 1,
@@ -74,7 +80,10 @@ fn main() {
 
     // --- Predict and compare to the held-out truth --------------------------
     let props = context_properties(target);
-    println!("\n{:<10} {:>12} {:>12}", "scale-out", "predicted", "actual(mean)");
+    println!(
+        "\n{:<10} {:>12} {:>12}",
+        "scale-out", "predicted", "actual(mean)"
+    );
     for x in [2u32, 6, 8, 12] {
         let actual: Vec<f64> = data
             .runs_for_context(target.id)

@@ -18,7 +18,10 @@ fn main() {
         "historical traces: {} contexts, {} runs across {:?}",
         data.contexts.len(),
         data.runs.len(),
-        data.algorithms().iter().map(|a| a.name()).collect::<Vec<_>>()
+        data.algorithms()
+            .iter()
+            .map(|a| a.name())
+            .collect::<Vec<_>>()
     );
 
     // The "new" context we pretend to encounter for the first time.
@@ -41,7 +44,10 @@ fn main() {
     let report = pretrain(
         &mut model,
         &history,
-        &PretrainConfig { epochs: 300, ..PretrainConfig::default() },
+        &PretrainConfig {
+            epochs: 300,
+            ..PretrainConfig::default()
+        },
         7,
     );
     println!(
@@ -76,7 +82,10 @@ fn main() {
 
     // --- 4. Predict at unseen scale-outs ------------------------------------
     let props = context_properties(target);
-    println!("\n{:<10} {:>12} {:>12} {:>8}", "scale-out", "predicted", "actual", "error");
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>8}",
+        "scale-out", "predicted", "actual", "error"
+    );
     for x in [4u32, 8, 12] {
         let actual: Vec<f64> = data
             .runs_for_context(target.id)

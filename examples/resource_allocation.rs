@@ -23,14 +23,28 @@ fn main() {
         .map(|r| TrainingSample::from_run(&data.contexts[r.context_id], r))
         .collect();
     let mut model = Bellamy::new(BellamyConfig::default(), 11);
-    pretrain(&mut model, &history, &PretrainConfig { epochs: 300, ..Default::default() }, 11);
+    pretrain(
+        &mut model,
+        &history,
+        &PretrainConfig {
+            epochs: 300,
+            ..Default::default()
+        },
+        11,
+    );
     let observed: Vec<TrainingSample> = data
         .runs_for_context(target.id)
         .iter()
         .filter(|r| [2, 6, 12].contains(&r.scale_out) && r.repeat == 0)
         .map(|r| TrainingSample::from_run(target, r))
         .collect();
-    fine_tune(&mut model, &observed, &FinetuneConfig::default(), ReuseStrategy::PartialUnfreeze, 11);
+    fine_tune(
+        &mut model,
+        &observed,
+        &FinetuneConfig::default(),
+        ReuseStrategy::PartialUnfreeze,
+        11,
+    );
 
     let props = context_properties(target);
     let predict = |x: u32| model.predict(x as f64, &props);
@@ -39,7 +53,12 @@ fn main() {
     println!("\npredicted runtime curve:");
     for x in (2..=12).step_by(2) {
         let bar_len = (predict(x) / 8.0) as usize;
-        println!("  {:>2} machines | {:<60} {:>7.1}s", x, "#".repeat(bar_len.min(60)), predict(x));
+        println!(
+            "  {:>2} machines | {:<60} {:>7.1}s",
+            x,
+            "#".repeat(bar_len.min(60)),
+            predict(x)
+        );
     }
 
     // Scenario A: meet a runtime target with as few machines as possible.

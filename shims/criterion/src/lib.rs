@@ -1,0 +1,289 @@
+//! Offline shim for `criterion`.
+//!
+//! A small wall-clock benchmark harness exposing the API the workspace's
+//! bench targets use: `Criterion`, benchmark groups, `iter`/`iter_batched`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Reporting: every measurement prints a `name  time: [...]` line, and when
+//! the `BELLAMY_BENCH_JSON` environment variable names a file, one JSON line
+//! per benchmark (`{"name": ..., "mean_ns": ..., "samples": ...}`) is
+//! appended to it — the hook the `bench_snapshot` helper builds
+//! `BENCH_train.json` from.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Collects and reports measurements.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_samples: 20,
+        }
+    }
+}
+
+/// How batched inputs are sized; accepted for API compatibility (the shim
+/// always times one routine invocation per setup).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs cheap enough to batch aggressively.
+    SmallInput,
+    /// Inputs too large to hold many of in memory.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier with a parameter, e.g. `square/64`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a displayable parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            full: format!("{}/{parameter}", name.into()),
+        }
+    }
+}
+
+/// Runs timed closures for one benchmark.
+pub struct Bencher<'a> {
+    samples: usize,
+    result: &'a mut Sample,
+}
+
+#[derive(Default)]
+struct Sample {
+    total: Duration,
+    iters: u64,
+}
+
+/// Per-bench time budget: stop sampling once this much time is spent.
+const BUDGET: Duration = Duration::from_millis(1500);
+/// Minimum time we try to cover with timed iterations for stable means.
+const TARGET: Duration = Duration::from_millis(120);
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warmup + calibration: find an iteration count that covers a
+        // meaningful time slice.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let per_sample = (TARGET.as_nanos() / self.samples.max(1) as u128)
+            .div_ceil(once.as_nanos())
+            .clamp(1, 1_000_000) as u64;
+
+        let began = Instant::now();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.result.total += t.elapsed();
+            self.result.iters += per_sample;
+            if began.elapsed() > BUDGET {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup is untimed.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let began = Instant::now();
+        for _ in 0..self.samples.max(1) {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.result.total += t.elapsed();
+            self.result.iters += 1;
+            if began.elapsed() > BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn report(name: &str, sample: &Sample) {
+    if sample.iters == 0 {
+        println!("{name:<50} time: [no samples]");
+        return;
+    }
+    let mean_ns = sample.total.as_nanos() as f64 / sample.iters as f64;
+    println!("{name:<50} time: [{}]", format_ns(mean_ns));
+    if let Ok(path) = std::env::var("BELLAMY_BENCH_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"name\": \"{name}\", \"mean_ns\": {mean_ns}, \"samples\": {}}}",
+                sample.iters
+            );
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+impl Criterion {
+    fn run_one(&mut self, name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut sample = Sample::default();
+        f(&mut Bencher {
+            samples,
+            result: &mut sample,
+        });
+        report(name, &sample);
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        self.run_one(&name, self.default_samples, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.into(),
+            samples: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for subsequent benches in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n);
+        self
+    }
+
+    /// Benchmarks a function under `group/name`.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name.into());
+        let samples = self.samples.unwrap_or(self.criterion.default_samples);
+        self.criterion.run_one(&full, samples, &mut f);
+        self
+    }
+
+    /// Benchmarks a function over an explicit input.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, id.full);
+        let samples = self.samples.unwrap_or(self.criterion.default_samples);
+        self.criterion.run_one(&full, samples, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 16],
+                |v| calls += v.len() as u64,
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("sized", 4), &4usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,195 @@
+//! Offline shim for `crossbeam`.
+//!
+//! Provides the `channel::unbounded` MPMC channel the worker pool is built
+//! on: cloneable senders *and* receivers, blocking `recv` that drains
+//! remaining messages after all senders disconnect, and a blocking iterator.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<ChannelState<T>>,
+        ready: Condvar,
+    }
+
+    struct ChannelState<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            // Like the real crate: the payload may not be Debug.
+            write!(f, "SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is closed and
+    /// drained.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(ChannelState {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; fails only when every receiver is dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.items.push_back(value);
+            drop(state);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.senders -= 1;
+            let disconnected = state.senders == 0;
+            drop(state);
+            if disconnected {
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message; errors once the channel is closed
+        /// *and* empty (pending messages are always delivered first).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.0.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Blocking iterator over messages until disconnection.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers -= 1;
+        }
+    }
+
+    /// Blocking message iterator (see [`Receiver::iter`]).
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+
+    #[test]
+    fn fan_in_fan_out() {
+        let (tx, rx) = unbounded::<u32>();
+        let rx2 = rx.clone();
+        let senders: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for j in 0..25 {
+                        tx.send(i * 100 + j).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let collector = std::thread::spawn(move || rx2.iter().count());
+        let direct = rx.iter().count();
+        for s in senders {
+            s.join().unwrap();
+        }
+        assert_eq!(direct + collector.join().unwrap(), 100);
+    }
+
+    #[test]
+    fn recv_drains_after_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+}

@@ -1,0 +1,243 @@
+//! String generation from regex literals.
+//!
+//! proptest treats `&str` strategies as generation regexes; this module
+//! implements the subset the workspace's patterns use: literal characters,
+//! character classes with ranges (`[a-z0-9 -~]`), groups `( ... )`, and the
+//! quantifiers `?`, `*`, `+`, `{n}`, `{m,n}`. Unsupported syntax panics
+//! with the offending pattern, so a new test pattern fails loudly instead of
+//! generating garbage.
+
+use crate::test_runner::TestRng;
+use rand::RngExt;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<(Node, Quant)>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Quant {
+    lo: usize,
+    hi: usize,
+}
+
+const ONCE: Quant = Quant { lo: 1, hi: 1 };
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let seq = parse_sequence(pattern, &chars, &mut pos, false);
+    assert!(pos == chars.len(), "unbalanced ')' in pattern {pattern:?}");
+    let mut out = String::new();
+    emit_sequence(&seq, rng, &mut out);
+    out
+}
+
+fn parse_sequence(
+    pattern: &str,
+    chars: &[char],
+    pos: &mut usize,
+    in_group: bool,
+) -> Vec<(Node, Quant)> {
+    let mut seq = Vec::new();
+    while *pos < chars.len() {
+        let node = match chars[*pos] {
+            ')' if in_group => break,
+            '(' => {
+                *pos += 1;
+                let inner = parse_sequence(pattern, chars, pos, true);
+                assert!(
+                    chars.get(*pos) == Some(&')'),
+                    "unterminated group in pattern {pattern:?}"
+                );
+                *pos += 1;
+                Node::Group(inner)
+            }
+            '[' => {
+                *pos += 1;
+                Node::Class(parse_class(pattern, chars, pos))
+            }
+            '\\' => {
+                *pos += 1;
+                let c = *chars
+                    .get(*pos)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                *pos += 1;
+                match c {
+                    'd' => Node::Class(vec![('0', '9')]),
+                    'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    c => Node::Literal(c),
+                }
+            }
+            '.' => {
+                *pos += 1;
+                // "Any character", narrowed to printable ASCII.
+                Node::Class(vec![(' ', '~')])
+            }
+            c @ ('|' | '^' | '$') => {
+                panic!("regex feature {c:?} not supported by the proptest shim: {pattern:?}")
+            }
+            c => {
+                *pos += 1;
+                Node::Literal(c)
+            }
+        };
+        // '(' and '[' handle their own cursor; literals advanced above.
+        let quant = parse_quant(pattern, chars, pos);
+        seq.push((node, quant));
+    }
+    seq
+}
+
+fn parse_class(pattern: &str, chars: &[char], pos: &mut usize) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    assert!(
+        chars.get(*pos) != Some(&'^'),
+        "negated classes not supported by the proptest shim: {pattern:?}"
+    );
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let lo = chars[*pos];
+        *pos += 1;
+        if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&c| c != ']') {
+            let hi = chars[*pos + 1];
+            assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+            ranges.push((lo, hi));
+            *pos += 2;
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    assert!(
+        chars.get(*pos) == Some(&']'),
+        "unterminated class in pattern {pattern:?}"
+    );
+    *pos += 1;
+    assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+    ranges
+}
+
+fn parse_quant(pattern: &str, chars: &[char], pos: &mut usize) -> Quant {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            Quant { lo: 0, hi: 1 }
+        }
+        Some('*') => {
+            *pos += 1;
+            Quant { lo: 0, hi: 8 }
+        }
+        Some('+') => {
+            *pos += 1;
+            Quant { lo: 1, hi: 8 }
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut lo = String::new();
+            while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+                lo.push(chars[*pos]);
+                *pos += 1;
+            }
+            let lo: usize = lo
+                .parse()
+                .unwrap_or_else(|_| panic!("malformed {{m,n}} quantifier in pattern {pattern:?}"));
+            let hi = if chars.get(*pos) == Some(&',') {
+                *pos += 1;
+                let mut hi = String::new();
+                while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+                    hi.push(chars[*pos]);
+                    *pos += 1;
+                }
+                hi.parse().unwrap_or_else(|_| {
+                    panic!("open-ended {{m,}} quantifier not supported: {pattern:?}")
+                })
+            } else {
+                lo
+            };
+            assert!(
+                chars.get(*pos) == Some(&'}') && lo <= hi,
+                "malformed quantifier in pattern {pattern:?}"
+            );
+            *pos += 1;
+            Quant { lo, hi }
+        }
+        _ => ONCE,
+    }
+}
+
+fn emit_sequence(seq: &[(Node, Quant)], rng: &mut TestRng, out: &mut String) {
+    for (node, quant) in seq {
+        let reps = rng.rng().random_range(quant.lo..=quant.hi);
+        for _ in 0..reps {
+            match node {
+                Node::Literal(c) => out.push(*c),
+                Node::Class(ranges) => {
+                    let idx = rng.rng().random_range(0..ranges.len());
+                    let (lo, hi) = ranges[idx];
+                    let c = rng.rng().random_range(lo as u32..=hi as u32);
+                    out.push(char::from_u32(c).expect("class ranges are valid chars"));
+                }
+                Node::Group(inner) => emit_sequence(inner, rng, out),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("string_gen")
+    }
+
+    #[test]
+    fn class_with_repetition() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-z]{3,12}", &mut r);
+            assert!((3..=12).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[ -~]{0,32}", &mut r);
+            assert!(s.len() <= 32);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn optional_group() {
+        let mut r = rng();
+        let mut with = false;
+        let mut without = false;
+        for _ in 0..200 {
+            let s = generate("[a-z]{3,12}(-[a-z]{3,10})?", &mut r);
+            match s.split_once('-') {
+                Some((head, tail)) => {
+                    with = true;
+                    assert!((3..=12).contains(&head.len()), "{s:?}");
+                    assert!((3..=10).contains(&tail.len()), "{s:?}");
+                }
+                None => {
+                    without = true;
+                    assert!((3..=12).contains(&s.len()), "{s:?}");
+                }
+            }
+        }
+        assert!(with && without, "both branches of '?' must occur");
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn unsupported_syntax_is_loud() {
+        let _ = generate("a|b", &mut rng());
+    }
+}

@@ -1,0 +1,275 @@
+//! Offline shim for the `rand` crate (0.10 API subset).
+//!
+//! Provides a deterministic, seedable generator ([`rngs::StdRng`], a
+//! xoshiro256++ seeded through SplitMix64) plus the [`Rng`] core trait, the
+//! [`RngExt`] extension trait carrying `random`/`random_range`/`random_bool`,
+//! and [`SeedableRng::seed_from_u64`]. Determinism is the only contract the
+//! workspace relies on: the same seed yields the same stream on every
+//! platform and build. The algorithm intentionally differs from upstream
+//! rand's ChaCha12 — nothing here requires cryptographic strength, and
+//! xoshiro keeps the training loop's mask draws cheap.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source: everything is derived from `next_u64`.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types drawable uniformly from an [`Rng`] via [`RngExt::random`].
+pub trait StandardUniform: Sized {
+    /// Draws one value.
+    fn draw(rng: &mut impl Rng) -> Self;
+}
+
+impl StandardUniform for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn draw(rng: &mut impl Rng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for u64 {
+    fn draw(rng: &mut impl Rng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardUniform for u32 {
+    fn draw(rng: &mut impl Rng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardUniform for u8 {
+    fn draw(rng: &mut impl Rng) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl StandardUniform for bool {
+    fn draw(rng: &mut impl Rng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// Ranges usable with [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    fn sample_from(self, rng: &mut impl Rng) -> T;
+}
+
+/// Unbiased integer draw from `[0, span)` via Lemire-style rejection.
+fn uniform_below(rng: &mut impl Rng, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Rejection zone keeps the modulo unbiased.
+    let zone = u64::MAX - u64::MAX.wrapping_rem(span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone || zone == 0 {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut impl Rng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut impl Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + uniform_below(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, u16, u8, i64, i32);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, rng: &mut impl Rng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::draw(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from(self, rng: &mut impl Rng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + f64::draw(rng) * (hi - lo)
+    }
+}
+
+/// Convenience drawing methods; blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// A uniform draw of `T` (see [`StandardUniform`]).
+    fn random<T: StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// A uniform draw from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        f64::draw(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Deterministic construction from integer seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// state-initialized with SplitMix64, per Blackman & Vigna's reference
+    /// seeding procedure.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(43);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v: f64 = r.random();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_cover_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[r.random_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        let mut hit_hi = false;
+        for _ in 0..200 {
+            let v = r.random_range(0..=3u64);
+            assert!(v <= 3);
+            hit_hi |= v == 3;
+        }
+        assert!(hit_hi, "inclusive upper bound must be reachable");
+        for _ in 0..100 {
+            let v = r.random_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02);
+    }
+}

@@ -1,0 +1,119 @@
+//! Offline shim for `rand_distr`: the [`Distribution`] trait plus the
+//! [`Normal`] and [`LogNormal`] distributions the synthetic trace generators
+//! draw measurement noise from. Normal deviates come from the Box–Muller
+//! transform (one fresh pair of uniforms per draw, so streams stay
+//! reproducible under any call pattern).
+
+use rand::{Rng, StandardUniform};
+
+/// A distribution over `T` sampled with an external generator.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter error for distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, std_dev²)`; `std_dev` must be finite and
+    /// non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !(mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0) {
+            return Err(Error);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let mut rng = rng;
+        // Box–Muller; reject u1 == 0 to keep ln finite.
+        let u1 = loop {
+            let u = f64::draw(&mut rng);
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2 = f64::draw(&mut rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    normal: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with the given parameters of the underlying
+    /// normal.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        Ok(Self {
+            normal: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.normal.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let n = 40_000;
+        let draws: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_mean_one_parameterization() {
+        // mu = -sigma^2/2 gives a mean-one multiplicative noise.
+        let sigma = 0.25f64;
+        let d = LogNormal::new(-sigma * sigma / 2.0, sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 40_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        let positive = (0..1000).all(|_| d.sample(&mut rng) > 0.0);
+        assert!(positive);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+    }
+}

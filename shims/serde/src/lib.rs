@@ -1,0 +1,313 @@
+//! Offline shim for `serde`.
+//!
+//! The real serde abstracts over data formats; this workspace only ever
+//! serializes to JSON (via the sibling `serde_json` shim), so the shim
+//! collapses the data model to one tree type, [`Value`], and two traits:
+//! [`Serialize`] renders a type into a `Value`, [`Deserialize`] rebuilds it.
+//! The `#[derive(Serialize, Deserialize)]` macros (re-exported from the
+//! `serde_derive` shim) generate those impls for plain structs and enums,
+//! honouring `#[serde(skip, default)]` on fields.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree.
+///
+/// Objects preserve insertion order (serde_json's default map preserves
+/// order only with a feature flag; for deterministic output the shim always
+/// does).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integral values print without a
+    /// fractional part).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Object field lookup.
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, when a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Array element access; anything out of shape yields `Null` (matching
+    /// serde_json's forgiving `Index`).
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Object field access; anything out of shape yields `Null`.
+    fn index(&self, key: &str) -> &Value {
+        self.get_field(key).unwrap_or(&NULL)
+    }
+}
+
+macro_rules! value_eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                matches!(self, Value::Number(n) if *n == *other as f64)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+value_eq_num!(i32, i64, u32, u64, usize, f64);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+/// Renders a value into the JSON data model.
+pub trait Serialize {
+    /// The JSON shape of `self`.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Rebuilds a value from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a value tree.
+    fn from_json_value(v: &Value) -> Result<Self, String>;
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, String> {
+                match v {
+                    Value::Number(n) => Ok(*n as $t),
+                    other => Err(format!("expected number, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_json_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Array(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_json_value(item)?;
+                }
+                Ok(out)
+            }
+            other => Err(format!("expected array of length {N}, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_json_value(v)?)))
+                .collect(),
+            other => Err(format!("expected object, got {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_forgiving() {
+        let v = Value::Array(vec![Value::Object(vec![(
+            "k".to_string(),
+            Value::Number(3.0),
+        )])]);
+        assert_eq!(v[0]["k"], 3);
+        assert_eq!(v[0]["missing"], Value::Null);
+        assert_eq!(v[9], Value::Null);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        for n in [0u64, 1, 153_600, 1 << 52] {
+            let v = n.to_json_value();
+            assert_eq!(u64::from_json_value(&v).unwrap(), n);
+        }
+        let v = Some("hi".to_string()).to_json_value();
+        assert_eq!(
+            Option::<String>::from_json_value(&v).unwrap().as_deref(),
+            Some("hi")
+        );
+        assert_eq!(
+            Option::<String>::from_json_value(&Value::Null).unwrap(),
+            None
+        );
+    }
+}

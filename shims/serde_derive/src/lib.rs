@@ -1,0 +1,281 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Hand-rolled derive macros (the build has no `syn`/`quote`): the input
+//! token stream is walked directly and the generated impl is assembled as a
+//! string. Supported shapes — everything this workspace derives on:
+//!
+//! - structs with named fields (no generics),
+//! - enums with unit variants and/or single-field tuple variants,
+//! - the `#[serde(skip)]` / `#[serde(skip, default)]` field attribute
+//!   (skipped on serialize, `Default::default()` on deserialize).
+//!
+//! Unit variants serialize as `"VariantName"`; single-field tuple variants
+//! use serde's external tagging, `{"VariantName": value}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Variant {
+    Unit(String),
+    Newtype(String),
+}
+
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// True when an attribute body (the tokens inside `#[...]`) is a
+/// `serde(...)` list containing the `skip` flag.
+fn attr_has_serde_skip(tokens: &[TokenTree]) -> bool {
+    let mut iter = tokens.iter();
+    match (iter.next(), iter.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Consumes leading `#[...]` attributes, reporting whether any was
+/// `#[serde(skip)]`.
+fn eat_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut skip = false;
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                skip |= attr_has_serde_skip(&inner);
+            }
+            other => panic!("malformed attribute after '#': {other:?}"),
+        }
+    }
+    skip
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn eat_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+fn parse_struct_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        let skip = eat_attrs(&mut tokens);
+        eat_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field {name}, got {other:?}"),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        for t in tokens.by_ref() {
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_enum_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        let _ = eat_attrs(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = 1 + g
+                    .stream()
+                    .into_iter()
+                    .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ',' ))
+                    .count();
+                assert_eq!(
+                    arity, 1,
+                    "derive shim supports single-field tuple variants only ({name} has {arity})"
+                );
+                tokens.next();
+                variants.push(Variant::Newtype(name));
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        // Consume up to (and including) the separating comma.
+        for t in tokens.by_ref() {
+            if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+    let _ = eat_attrs(&mut tokens);
+    eat_visibility(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected 'struct' or 'enum', got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "derive shim supports non-generic brace-bodied types only; after {name}: {other:?}"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Shape::Struct {
+            name,
+            fields: parse_struct_fields(body),
+        },
+        "enum" => Shape::Enum {
+            name,
+            variants: parse_enum_variants(body),
+        },
+        other => panic!("cannot derive for '{other}'"),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n"
+            ));
+            for f in fields.iter().filter(|f| !f.skip) {
+                out.push_str(&format!(
+                    "fields.push((\"{0}\".to_string(), ::serde::Serialize::to_json_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            out.push_str("::serde::Value::Object(fields)\n}\n}\n");
+        }
+        Shape::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n"
+            ));
+            for v in &variants {
+                match v {
+                    Variant::Unit(vn) => out.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    Variant::Newtype(vn) => out.push_str(&format!(
+                        "{name}::{vn}(inner) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_json_value(inner))]),\n"
+                    )),
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json_value(v: &::serde::Value) -> Result<Self, String> {{\n\
+                 Ok({name} {{\n"
+            ));
+            for f in &fields {
+                if f.skip {
+                    out.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "{0}: ::serde::Deserialize::from_json_value(\
+                         v.get_field(\"{0}\").unwrap_or(&::serde::Value::Null))\
+                         .map_err(|e| format!(\"field {0}: {{e}}\"))?,\n",
+                        f.name
+                    ));
+                }
+            }
+            out.push_str("})\n}\n}\n");
+        }
+        Shape::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json_value(v: &::serde::Value) -> Result<Self, String> {{\n\
+                 match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n"
+            ));
+            for v in &variants {
+                if let Variant::Unit(vn) = v {
+                    out.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                }
+            }
+            out.push_str(&format!(
+                "other => Err(format!(\"unknown {name} variant {{other}}\")),\n}},\n"
+            ));
+            out.push_str(
+                "::serde::Value::Object(fields) if fields.len() == 1 => {\n\
+                 let (tag, inner) = &fields[0];\n\
+                 match tag.as_str() {\n",
+            );
+            for v in &variants {
+                if let Variant::Newtype(vn) = v {
+                    out.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_json_value(inner)?)),\n"
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "other => Err(format!(\"unknown {name} variant {{other}}\")),\n}}\n}},\n\
+                 other => Err(format!(\"cannot deserialize {name} from {{other:?}}\")),\n\
+                 }}\n}}\n}}\n"
+            ));
+        }
+    }
+    out.parse().expect("generated Deserialize impl parses")
+}

@@ -4,11 +4,7 @@
 
 use bellamy::prelude::*;
 
-fn history_for(
-    data: &Dataset,
-    algorithm: Algorithm,
-    exclude: usize,
-) -> Vec<TrainingSample> {
+fn history_for(data: &Dataset, algorithm: Algorithm, exclude: usize) -> Vec<TrainingSample> {
     data.runs_for_algorithm_excluding(algorithm, Some(exclude))
         .iter()
         .map(|r| TrainingSample::from_run(&data.contexts[r.context_id], r))
@@ -33,7 +29,10 @@ fn pretrain_save_load_finetune_predict() {
     let pre = pretrain(
         &mut model,
         &history,
-        &PretrainConfig { epochs: 80, ..Default::default() },
+        &PretrainConfig {
+            epochs: 80,
+            ..Default::default()
+        },
         3,
     );
     assert!(pre.final_loss.is_finite());
@@ -56,7 +55,11 @@ fn pretrain_save_load_finetune_predict() {
     let report = fine_tune(
         &mut restored,
         &few,
-        &FinetuneConfig { max_epochs: 250, patience: 150, ..Default::default() },
+        &FinetuneConfig {
+            max_epochs: 250,
+            patience: 150,
+            ..Default::default()
+        },
         ReuseStrategy::PartialUnfreeze,
         5,
     );
@@ -79,10 +82,15 @@ fn pretrained_beats_untrained_on_new_context() {
     let history = history_for(&data, Algorithm::KMeans, target.id);
 
     let mut pretrained = Bellamy::new(BellamyConfig::default(), 1);
+    // 300 epochs: the 120-epoch budget this test shipped with was tuned to
+    // a specific RNG stream; direct application needs the loss to flatten.
     pretrain(
         &mut pretrained,
         &history,
-        &PretrainConfig { epochs: 120, ..Default::default() },
+        &PretrainConfig {
+            epochs: 300,
+            ..Default::default()
+        },
         1,
     );
 
@@ -106,7 +114,11 @@ fn pretrained_beats_untrained_on_new_context() {
 fn baselines_and_bellamy_agree_on_clean_curves() {
     // On a noise-free Ernest-shaped curve every method should interpolate
     // well; this guards against systematic bias in any of the pipelines.
-    let gen = GeneratorConfig { noise_sigma: 1e-9, straggler_prob: 0.0, ..GeneratorConfig::seeded(4) };
+    let gen = GeneratorConfig {
+        noise_sigma: 1e-9,
+        straggler_prob: 0.0,
+        ..GeneratorConfig::seeded(4)
+    };
     let data = generate_c3o(&gen);
     let target = data.contexts_for(Algorithm::Grep)[0];
     let all = context_samples(&data, target);
@@ -117,8 +129,7 @@ fn baselines_and_bellamy_agree_on_clean_curves() {
         .filter(|s| [2.0, 6.0, 12.0].contains(&s.scale_out))
         .cloned()
         .collect();
-    let test: Vec<&TrainingSample> =
-        all.iter().filter(|s| s.scale_out == 8.0).collect();
+    let test: Vec<&TrainingSample> = all.iter().filter(|s| s.scale_out == 8.0).collect();
     let expected = test[0].runtime_s;
 
     let points: Vec<(f64, f64)> = train.iter().map(|s| (s.scale_out, s.runtime_s)).collect();
@@ -131,7 +142,11 @@ fn baselines_and_bellamy_agree_on_clean_curves() {
     fit_local(
         &mut local,
         &train,
-        &FinetuneConfig { max_epochs: 400, patience: 250, ..Default::default() },
+        &FinetuneConfig {
+            max_epochs: 400,
+            patience: 250,
+            ..Default::default()
+        },
         2,
     );
     let pred = local.predict(8.0, &context_properties(target));
@@ -150,7 +165,11 @@ fn allocation_uses_model_predictions() {
     fit_local(
         &mut model,
         &all,
-        &FinetuneConfig { max_epochs: 300, patience: 200, ..Default::default() },
+        &FinetuneConfig {
+            max_epochs: 300,
+            patience: 200,
+            ..Default::default()
+        },
         6,
     );
     let props = context_properties(target);
@@ -197,7 +216,15 @@ fn reuse_strategies_are_all_viable_cross_environment() {
         .map(|r| TrainingSample::from_run(&c3o.contexts[r.context_id], r))
         .collect();
     let mut base = Bellamy::new(BellamyConfig::default(), 13);
-    pretrain(&mut base, &history, &PretrainConfig { epochs: 60, ..Default::default() }, 13);
+    pretrain(
+        &mut base,
+        &history,
+        &PretrainConfig {
+            epochs: 60,
+            ..Default::default()
+        },
+        13,
+    );
 
     let target = bell.contexts_for(Algorithm::Grep)[0];
     let few: Vec<TrainingSample> = bell
@@ -214,12 +241,20 @@ fn reuse_strategies_are_all_viable_cross_environment() {
         let report = fine_tune(
             &mut model,
             &few,
-            &FinetuneConfig { max_epochs: 200, patience: 120, ..Default::default() },
+            &FinetuneConfig {
+                max_epochs: 200,
+                patience: 120,
+                ..Default::default()
+            },
             strategy,
             3,
         );
         assert!(report.best_mae_s.is_finite(), "{}", strategy.name());
         let p = model.predict(40.0, &props);
-        assert!(p.is_finite() && p > 0.0, "{}: prediction {p}", strategy.name());
+        assert!(
+            p.is_finite() && p > 0.0,
+            "{}: prediction {p}",
+            strategy.name()
+        );
     }
 }
