@@ -30,5 +30,5 @@ pub mod gradcheck;
 pub mod ops;
 pub mod tape;
 
-pub use ops::Activation;
+pub use ops::{fast_exp_slice_in_place, fast_tanh_slice_in_place, Activation};
 pub use tape::{Gradients, NodeId, Tape};

@@ -21,6 +21,18 @@ pub const SELU_ALPHA_PRIME: f64 = -SELU_LAMBDA * SELU_ALPHA;
 /// alone evaluates tens of thousands of these per training step.
 #[inline]
 pub fn fast_exp(x: f64) -> f64 {
+    if !(-708.0..=708.0).contains(&x) {
+        // Overflow/underflow/NaN edges: defer to libm (rare).
+        return x.exp();
+    }
+    fast_exp_core(x)
+}
+
+/// The branch-free polynomial core of [`fast_exp`]: valid only for
+/// `x ∈ [-708, 708]` (callers clamp), which is what lets the slice kernels
+/// below stay free of per-element range branches and auto-vectorize.
+#[inline(always)]
+fn fast_exp_core(x: f64) -> f64 {
     const LOG2E: f64 = std::f64::consts::LOG2_E;
     const C1: f64 = 6.931_457_519_531_25e-1;
     const C2: f64 = 1.428_606_820_309_417_2e-6;
@@ -35,10 +47,6 @@ pub fn fast_exp(x: f64) -> f64 {
         2.272_655_482_081_550_3e-1,
         2.0,
     ];
-    if !(-708.0..=708.0).contains(&x) {
-        // Overflow/underflow/NaN edges: defer to libm (rare).
-        return x.exp();
-    }
     // Round-to-nearest via the 2^52 magic constant — `f64::floor` would be
     // a libm call on baseline x86-64 and dominate the whole kernel.
     const MAGIC: f64 = 6_755_399_441_055_744.0; // 1.5 * 2^52
@@ -57,6 +65,42 @@ pub fn fast_exp(x: f64) -> f64 {
             .wrapping_add(1023)
             << 52,
     )
+}
+
+/// In-place `exp` over a slice. The per-element range check of [`fast_exp`]
+/// becomes a clamp, so the loop body is branch-free and vectorizes.
+/// Bit-identical to `fast_exp` per element on `[-708, 708]`; outside it the
+/// result saturates to `exp(±708)` (≈ 3.3e-308 / 3.0e+307) instead of
+/// 0/∞ — callers that care about the extreme tails use the scalar.
+/// NaN propagates.
+pub fn fast_exp_slice_in_place(xs: &mut [f64]) {
+    for x in xs.iter_mut() {
+        *x = fast_exp_core(x.clamp(-708.0, 708.0));
+    }
+}
+
+/// In-place `tanh` over a slice; [`fast_tanh`] is already branch-free, so
+/// this is the straightforward vectorizable loop. Bit-identical to
+/// `fast_tanh` per element, NaN propagates.
+pub fn fast_tanh_slice_in_place(xs: &mut [f64]) {
+    for x in xs.iter_mut() {
+        *x = fast_tanh(*x);
+    }
+}
+
+/// In-place SELU over a slice, bit-identical to
+/// `Activation::Selu.apply` per element: the negative branch clamps its
+/// argument into the polynomial core's domain (for `x ≤ -37.7` the factor
+/// `e^x - 1` is exactly `-1.0` in f64 either way) and the positive branch
+/// is a select, so the loop body has no branches. NaN propagates (clamp
+/// keeps NaN, and NaN fails the `> 0` select into the NaN branch).
+fn selu_slice_in_place(xs: &mut [f64]) {
+    for x in xs.iter_mut() {
+        let v = *x;
+        let e = fast_exp_core(v.clamp(-708.0, 0.0));
+        let neg = SELU_LAMBDA * SELU_ALPHA * (e - 1.0);
+        *x = if v > 0.0 { SELU_LAMBDA * v } else { neg };
+    }
 }
 
 /// `tanh` via the same Padé `exp` core as [`fast_exp`], algebraically fused
@@ -139,6 +183,24 @@ impl Activation {
             Activation::Tanh => fast_tanh(x),
             Activation::Sigmoid => 1.0 / (1.0 + fast_exp(-x)),
             Activation::Relu => x.max(0.0),
+        }
+    }
+
+    /// Applies the activation to a whole slice in place, routing through the
+    /// branch-free slice kernels so the elementwise loops vectorize instead
+    /// of paying a per-scalar range branch. Bit-identical to mapping
+    /// [`Activation::apply`] over the slice (including NaN propagation).
+    #[inline]
+    pub fn apply_slice_in_place(self, xs: &mut [f64]) {
+        match self {
+            Activation::Identity => {}
+            Activation::Selu => selu_slice_in_place(xs),
+            Activation::Tanh => fast_tanh_slice_in_place(xs),
+            Activation::Sigmoid | Activation::Relu => {
+                for x in xs.iter_mut() {
+                    *x = self.apply(*x);
+                }
+            }
         }
     }
 
@@ -225,6 +287,36 @@ impl Activation {
             Activation::Sigmoid => y * (1.0 - y),
             Activation::Relu => {
                 if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* `y = apply(x)` alone —
+    /// what the fused linear op uses, since it never materializes the
+    /// pre-activation. Bit-identical to
+    /// [`Activation::derivative_from`] for every activation here: the
+    /// input-sign branches of SELU and ReLU are recoverable from the output
+    /// sign (`selu(x) > 0 ⇔ x > 0`, and `relu(x) > 0 ⇔ x > 0` with the
+    /// `x = 0` boundary landing on the same zero-derivative branch).
+    #[inline]
+    pub fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Selu => {
+                if y > 0.0 {
+                    SELU_LAMBDA
+                } else {
+                    y + SELU_LAMBDA * SELU_ALPHA
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Relu => {
+                if y > 0.0 {
                     1.0
                 } else {
                     0.0
@@ -359,6 +451,76 @@ mod tests {
                 assert!(
                     (via_output - reference).abs() < 1e-12,
                     "{act:?} at {x}: {via_output} vs {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exp_slice_matches_scalar_bitwise_in_range() {
+        let xs: Vec<f64> = (-7080..=7080).map(|i| i as f64 * 0.1).collect();
+        let mut slice = xs.clone();
+        fast_exp_slice_in_place(&mut slice);
+        for (&x, &s) in xs.iter().zip(slice.iter()) {
+            assert_eq!(s.to_bits(), fast_exp(x).to_bits(), "exp({x})");
+        }
+        let mut nan = [f64::NAN];
+        fast_exp_slice_in_place(&mut nan);
+        assert!(nan[0].is_nan());
+    }
+
+    #[test]
+    fn tanh_slice_matches_scalar_bitwise() {
+        let xs: Vec<f64> = (-4000..=4000).map(|i| i as f64 * 0.01).collect();
+        let mut slice = xs.clone();
+        fast_tanh_slice_in_place(&mut slice);
+        for (&x, &s) in xs.iter().zip(slice.iter()) {
+            assert_eq!(s.to_bits(), fast_tanh(x).to_bits(), "tanh({x})");
+        }
+    }
+
+    #[test]
+    fn apply_slice_matches_scalar_apply_bitwise() {
+        let xs: Vec<f64> = (-2000..=2000)
+            .map(|i| i as f64 * 0.013)
+            .chain([0.0, -0.0, 1e-300, -1e-300, -50.0, -800.0, 800.0])
+            .collect();
+        for act in ACTS {
+            let mut slice = xs.clone();
+            act.apply_slice_in_place(&mut slice);
+            for (&x, &s) in xs.iter().zip(slice.iter()) {
+                assert_eq!(
+                    s.to_bits(),
+                    act.apply(x).to_bits(),
+                    "{act:?} at {x}: {s} vs {}",
+                    act.apply(x)
+                );
+            }
+        }
+        // NaN handling matches the scalar path exactly (SELU/tanh/sigmoid
+        // propagate NaN; ReLU's `max` maps it to 0 in both paths).
+        for act in ACTS {
+            let mut nan = [f64::NAN];
+            act.apply_slice_in_place(&mut nan);
+            let scalar = act.apply(f64::NAN);
+            assert_eq!(
+                nan[0].to_bits(),
+                scalar.to_bits(),
+                "{act:?} on NaN: slice {} vs scalar {scalar}",
+                nan[0]
+            );
+        }
+    }
+
+    #[test]
+    fn derivative_from_output_matches_derivative_from() {
+        for act in ACTS {
+            for x in [-40.0, -3.1, -0.9, -0.2, 0.0, 1e-12, 0.4, 1.7, 4.2, 40.0] {
+                let y = act.apply(x);
+                assert_eq!(
+                    act.derivative_from_output(y).to_bits(),
+                    act.derivative_from(x, y).to_bits(),
+                    "{act:?} at x = {x}"
                 );
             }
         }

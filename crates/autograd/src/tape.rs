@@ -53,6 +53,17 @@ enum Op {
     AddBias(NodeId, NodeId),
     /// Elementwise activation; saves the input for the derivative.
     Unary(NodeId, Activation),
+    /// Fused linear layer `y = act(x · w (+ bias))`: one node instead of a
+    /// matmul/add-bias/activate chain, with the bias add and activation
+    /// applied in the matmul's output pass. The pre-activation is never
+    /// materialized; the backward pass recovers `act'` from the stored
+    /// output alone ([`Activation::derivative_from_output`]).
+    Linear {
+        x: NodeId,
+        w: NodeId,
+        bias: Option<NodeId>,
+        act: Activation,
+    },
     /// Horizontal concatenation of equally-tall nodes.
     ConcatCols(Vec<NodeId>),
     /// Column slice `[start, end)` of the input.
@@ -377,9 +388,49 @@ impl Tape {
                 .value
                 .map_into(&mut node.value, |v| act.apply_reference(v));
         } else {
-            prev[x].value.map_into(&mut node.value, |v| act.apply(v));
+            node.value.copy_from(&prev[x].value);
+            act.apply_slice_in_place(node.value.as_mut_slice());
         }
         self.finish(id, Op::Unary(x, act))
+    }
+
+    /// Fused linear layer `act(x · w (+ bias))` as a single node: the bias
+    /// broadcast and the activation run in the matmul's output pass while
+    /// each row is still hot, and the tape records one op instead of three.
+    /// Bit-identical to the equivalent
+    /// `matmul` → `add_bias` → `activate` chain, forward and backward.
+    ///
+    /// Under `reference_scalars` (the benchmark's seed baseline) the unfused
+    /// chain is emitted instead, so the baseline keeps measuring the
+    /// original op sequence.
+    pub fn linear(
+        &mut self,
+        x: NodeId,
+        w: NodeId,
+        bias: Option<NodeId>,
+        act: Activation,
+    ) -> NodeId {
+        if self.reference_scalars {
+            let mut y = self.matmul(x, w);
+            if let Some(b) = bias {
+                y = self.add_bias(y, b);
+            }
+            return if act == Activation::Identity {
+                y
+            } else {
+                self.activate(y, act)
+            };
+        }
+        let (m, n) = (self.value(x).rows(), self.value(w).cols());
+        let id = self.begin(m, n);
+        let (prev, node) = self.parts(id);
+        prev[x].value.matmul_bias_rowapply_into(
+            &prev[w].value,
+            bias.map(|b| &prev[b].value),
+            &mut node.value,
+            |row| act.apply_slice_in_place(row),
+        );
+        self.finish(id, Op::Linear { x, w, bias, act })
     }
 
     /// Horizontally concatenates nodes with equal row counts.
@@ -744,6 +795,26 @@ impl Tape {
                     }
                 });
             }
+            Op::Linear { x, w, bias, act } => {
+                // dpre = grad ∘ act'(y), recovered from the stored output
+                // alone, then routed through the same three matmul/row-sum
+                // kernels the unfused chain uses — bit-identical to it.
+                let (xv, wv) = (self.value(*x), self.value(*w));
+                let y = self.value(id);
+                let act = *act;
+                let mut dpre = grads.scratch.take_matrix(grad.rows(), grad.cols());
+                grad.zip_apply_into(y, &mut dpre, |g, yv| g * act.derivative_from_output(yv));
+                Self::accumulate(grads, *x, xv.rows(), xv.cols(), |m| {
+                    dpre.matmul_transpose_b_into(wv, m)
+                });
+                Self::accumulate(grads, *w, wv.rows(), wv.cols(), |m| {
+                    xv.transpose_a_matmul_into(&dpre, m)
+                });
+                if let Some(b) = bias {
+                    Self::accumulate(grads, *b, 1, dpre.cols(), |m| dpre.sum_rows_into(m));
+                }
+                grads.scratch.put_matrix(dpre);
+            }
             Op::ConcatCols(parts) => {
                 let mut offset = 0;
                 for &p in parts {
@@ -1065,6 +1136,91 @@ mod tests {
         let g = grads.get(x).unwrap();
         assert_eq!(g.shape(), (2, 2));
         assert!(g.all_finite());
+    }
+
+    #[test]
+    fn fused_linear_matches_unfused_chain_bitwise() {
+        // Forward values and every gradient must be bit-identical between
+        // the fused Op::Linear node and the matmul/add_bias/activate chain,
+        // for each activation, with and without bias, on the register-kernel
+        // width (8) and a general width.
+        use crate::ops::Activation as A;
+        for act in [A::Identity, A::Selu, A::Tanh, A::Sigmoid, A::Relu] {
+            for (k, n) in [(40usize, 8usize), (8, 40)] {
+                let x = Matrix::from_fn(6, k, |i, j| ((i * 17 + j * 5) % 23) as f64 * 0.11 - 1.2);
+                let w = Matrix::from_fn(k, n, |i, j| ((i * 3 + j * 13) % 19) as f64 * 0.07 - 0.6);
+                let bias_m = Matrix::from_fn(1, n, |_, j| j as f64 * 0.05 - 0.4);
+                let t = Matrix::from_fn(6, n, |i, j| ((i + j) % 5) as f64 * 0.2);
+                for with_bias in [false, true] {
+                    let mut unfused = Tape::new();
+                    let (ux, uw, ub) = (
+                        unfused.leaf_ref(&x),
+                        unfused.leaf_ref(&w),
+                        unfused.leaf_ref(&bias_m),
+                    );
+                    let mut pre = unfused.matmul(ux, uw);
+                    if with_bias {
+                        pre = unfused.add_bias(pre, ub);
+                    }
+                    let uy = if act == A::Identity {
+                        pre
+                    } else {
+                        unfused.activate(pre, act)
+                    };
+                    let uloss = unfused.mse_loss(uy, &t);
+                    let ugrads = unfused.backward(uloss);
+
+                    let mut fused = Tape::new();
+                    let (fx, fw, fb) = (
+                        fused.leaf_ref(&x),
+                        fused.leaf_ref(&w),
+                        fused.leaf_ref(&bias_m),
+                    );
+                    let fy = fused.linear(fx, fw, with_bias.then_some(fb), act);
+                    let floss = fused.mse_loss(fy, &t);
+                    let fgrads = fused.backward(floss);
+
+                    let label = format!("{act:?} k={k} n={n} bias={with_bias}");
+                    assert_eq!(fused.value(fy), unfused.value(uy), "forward {label}");
+                    assert_eq!(fused.value(floss), unfused.value(uloss), "loss {label}");
+                    assert_eq!(fgrads.get(fx), ugrads.get(ux), "dx {label}");
+                    assert_eq!(fgrads.get(fw), ugrads.get(uw), "dw {label}");
+                    if with_bias {
+                        assert_eq!(fgrads.get(fb), ugrads.get(ub), "dbias {label}");
+                    } else {
+                        assert!(fgrads.get(fb).is_none());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_linear_replays_through_arena() {
+        let x = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64 * 0.17 - 0.9);
+        let w = Matrix::from_fn(3, 2, |i, j| ((i + 1) * (j + 2)) as f64 * 0.11);
+        let b = Matrix::row_vector(&[0.1, -0.2]);
+        let t = Matrix::filled(4, 2, 0.4);
+
+        let mut fresh = Tape::new();
+        let (fx, fw, fb) = (fresh.leaf_ref(&x), fresh.leaf_ref(&w), fresh.leaf_ref(&b));
+        let fy = fresh.linear(fx, fw, Some(fb), Activation::Selu);
+        let floss = fresh.mse_loss(fy, &t);
+        let fresh_grads = fresh.backward(floss);
+
+        let mut arena = Tape::new();
+        let mut grads = Gradients::new();
+        for step in 0..4 {
+            arena.reset();
+            let (ax, aw, ab) = (arena.leaf_ref(&x), arena.leaf_ref(&w), arena.leaf_ref(&b));
+            let ay = arena.linear(ax, aw, Some(ab), Activation::Selu);
+            let aloss = arena.mse_loss(ay, &t);
+            arena.backward_into(aloss, &mut grads);
+            assert_eq!(arena.value(aloss), fresh.value(floss), "step {step}");
+            assert_eq!(grads.get(ax), fresh_grads.get(fx), "step {step}: dx");
+            assert_eq!(grads.get(aw), fresh_grads.get(fw), "step {step}: dw");
+            assert_eq!(grads.get(ab), fresh_grads.get(fb), "step {step}: db");
+        }
     }
 
     #[test]

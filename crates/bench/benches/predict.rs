@@ -1,0 +1,49 @@
+//! Prediction-latency benchmark: the seed-style per-query path against the
+//! batched arena-backed `Predictor`, on the standard 64-query scale-out
+//! sweep (see `bench::predict` for the workload definition). The snapshot
+//! equivalent is recorded in `BENCH_predict.json` by `bench_snapshot`.
+
+use bellamy_core::{PredictQuery, Predictor};
+use bench::predict::workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_predict(c: &mut Criterion) {
+    let w = workload();
+    let mut group = c.benchmark_group("predict");
+
+    group.bench_function("seed_style_64_queries", |b| {
+        b.iter(|| black_box(w.run_seed_style()))
+    });
+
+    let mut predictor = Predictor::new();
+    group.bench_function("predictor_sweep_64", |b| {
+        b.iter(|| black_box(w.run_batched(&mut predictor)))
+    });
+
+    // The general mixed-query entry point on the same workload.
+    let queries: Vec<PredictQuery<'_>> = w
+        .scale_outs
+        .iter()
+        .map(|&x| PredictQuery {
+            scale_out: x,
+            props: &w.props,
+        })
+        .collect();
+    group.bench_function("predictor_batch_64", |b| {
+        b.iter(|| {
+            let preds = predictor.predict_batch(&w.model, &queries);
+            black_box(preds.iter().sum::<f64>())
+        })
+    });
+
+    // Single-query latency through the warm thread-local wrapper — what ad
+    // hoc callers (`Bellamy::predict`) pay per call.
+    group.bench_function("predict_single_warm", |b| {
+        b.iter(|| black_box(w.model.predict(6.0, &w.props)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict);
+criterion_main!(benches);

@@ -1,20 +1,35 @@
-//! Snapshots the train-step benchmark to `BENCH_train.json` so successive
-//! PRs can track the trajectory of the training hot path.
+//! Snapshots the train-step and predict benchmarks to `BENCH_train.json` /
+//! `BENCH_predict.json` so successive PRs can track the trajectory of both
+//! hot paths.
 //!
 //! ```text
-//! cargo run --release -p bench --bin bench_snapshot [-- <output-path>]
+//! cargo run --release -p bench --bin bench_snapshot [-- <train-path> [predict-path]]
 //! ```
 //!
-//! Measures µs per minibatch step (default `PretrainConfig`, 900-sample SGD
-//! workload) for the seed-style legacy step, the zero-allocation sequential
-//! step, and the data-parallel step, and writes a small JSON report.
+//! Train step: µs per minibatch step (default `PretrainConfig`, 900-sample
+//! SGD workload) for the seed-style legacy step, the zero-allocation
+//! sequential step, and the data-parallel step.
+//!
+//! Predict: µs per query on a 64-query scale-out sweep of one context, for
+//! the seed-style per-query path (clone + re-encode + fresh graph + full
+//! forward with decoder) and the batched arena-backed `Predictor`.
 
+use bench::predict;
 use bench::train_step::{workload, EpochRunner, StepImpl};
 
 fn main() {
-    let path = std::env::args()
+    let train_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_train.json".to_string());
+    let predict_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_predict.json".to_string());
+
+    snapshot_train(&train_path);
+    snapshot_predict(&predict_path);
+}
+
+fn snapshot_train(path: &str) {
     let samples = workload();
     let threads = bellamy_par::default_threads();
 
@@ -48,6 +63,25 @@ fn main() {
         samples.len(),
         entries.join(",\n")
     );
-    std::fs::write(&path, json).expect("write benchmark snapshot");
+    std::fs::write(path, json).expect("write train benchmark snapshot");
+    eprintln!("wrote {path}");
+}
+
+fn snapshot_predict(path: &str) {
+    let w = predict::workload();
+    let seed_us = w.time_seed_style(2, 10) * 1e6;
+    eprintln!("{:<22} {seed_us:9.2} us/query", "predict_seed_style");
+    let batched_us = w.time_batched(2, 50) * 1e6;
+    eprintln!("{:<22} {batched_us:9.2} us/query", "predict_batched_64");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"predict\",\n  \"workload\": \"64-query scale-out sweep of one \
+         SGD context, pre-trained default model\",\n  \"unit\": \"us_per_query\",\n  \
+         \"results\": [\n    {{\"name\": \"seed_style_single\", \"us_per_query\": {seed_us:.2}, \
+         \"speedup_vs_seed\": 1.00}},\n    {{\"name\": \"predictor_batch_64\", \
+         \"us_per_query\": {batched_us:.2}, \"speedup_vs_seed\": {:.2}}}\n  ]\n}}\n",
+        seed_us / batched_us
+    );
+    std::fs::write(path, json).expect("write predict benchmark snapshot");
     eprintln!("wrote {path}");
 }

@@ -849,7 +849,8 @@ pub fn ablate_search_budget(wb: &Workbench, seed: u64) {
             40,
             seed,
             bellamy_par::default_threads(),
-        );
+        )
+        .expect("the Table I grid has finite trials");
         let best = rep.trials[rep.best_index].val_mae_s;
         rows.push(vec![trials.to_string(), format!("{best:.1}")]);
     }

@@ -1,5 +1,6 @@
 //! Shared helpers for the `repro` binary and the Criterion benches.
 
+pub mod predict;
 pub mod train_step;
 
 use bellamy_data::{generate_bell, generate_c3o, Dataset, GeneratorConfig};

@@ -1,0 +1,118 @@
+//! Shared harness for the prediction benchmark and the `bench_snapshot`
+//! helper: a pre-trained SGD model answering a 64-query scale-out workload
+//! (the §IV allocation-search shape), through either the seed-style
+//! per-query path (`Bellamy::predict_reference`: clone, re-encode, fresh
+//! graph, full forward with decoder) or the batched zero-allocation
+//! [`Predictor`].
+
+use bellamy_core::train::pretrain;
+use bellamy_core::{
+    context_properties, Bellamy, BellamyConfig, ContextProperties, Predictor, PretrainConfig,
+    TrainingSample,
+};
+use bellamy_data::{generate_c3o, Algorithm, GeneratorConfig};
+use std::time::Instant;
+
+/// Queries per batch in the standard workload.
+pub const BATCH: usize = 64;
+
+/// A pre-trained model plus a fixed query workload over one context.
+pub struct PredictWorkload {
+    /// The model under measurement.
+    pub model: Bellamy,
+    /// The queried context's properties.
+    pub props: ContextProperties,
+    /// The queried scale-outs ([`BATCH`] of them, cycling over the C3O
+    /// grid 2–12).
+    pub scale_outs: Vec<f64>,
+}
+
+/// Builds the standard workload: pre-train briefly on the SGD history
+/// (prediction cost is independent of model quality), then query one
+/// held-out context at [`BATCH`] scale-outs.
+pub fn workload() -> PredictWorkload {
+    let data = generate_c3o(&GeneratorConfig::seeded(5));
+    let target = data.contexts_for(Algorithm::Sgd)[0];
+    let history: Vec<TrainingSample> = data
+        .runs_for_algorithm_excluding(Algorithm::Sgd, Some(target.id))
+        .iter()
+        .map(|r| TrainingSample::from_run(&data.contexts[r.context_id], r))
+        .collect();
+    let mut model = Bellamy::new(BellamyConfig::default(), 5);
+    pretrain(
+        &mut model,
+        &history,
+        &PretrainConfig {
+            epochs: 10,
+            ..PretrainConfig::default()
+        },
+        5,
+    );
+    PredictWorkload {
+        model,
+        props: context_properties(target),
+        scale_outs: (0..BATCH).map(|i| 2.0 + (i % 11) as f64).collect(),
+    }
+}
+
+impl PredictWorkload {
+    /// Answers the whole workload seed-style: one
+    /// [`Bellamy::predict_reference`] call per query. Returns the
+    /// prediction sum (an optimization barrier).
+    pub fn run_seed_style(&self) -> f64 {
+        self.scale_outs
+            .iter()
+            .map(|&x| self.model.predict_reference(x, &self.props))
+            .sum()
+    }
+
+    /// Answers the whole workload with one batched sweep through `p`.
+    pub fn run_batched(&self, p: &mut Predictor) -> f64 {
+        p.predict_sweep(&self.model, &self.props, &self.scale_outs)
+            .iter()
+            .sum()
+    }
+
+    /// Mean seconds **per query** for the seed-style path.
+    pub fn time_seed_style(&self, warmup: usize, iters: usize) -> f64 {
+        for _ in 0..warmup {
+            std::hint::black_box(self.run_seed_style());
+        }
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(self.run_seed_style());
+        }
+        start.elapsed().as_secs_f64() / (iters * self.scale_outs.len()) as f64
+    }
+
+    /// Mean seconds **per query** for the batched path (one warm predictor
+    /// across all iterations, as a serving loop would hold it).
+    pub fn time_batched(&self, warmup: usize, iters: usize) -> f64 {
+        let mut p = Predictor::new();
+        for _ in 0..warmup {
+            std::hint::black_box(self.run_batched(&mut p));
+        }
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(self.run_batched(&mut p));
+        }
+        start.elapsed().as_secs_f64() / (iters * self.scale_outs.len()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_paths_agree_on_the_workload() {
+        let w = workload();
+        let seed_style = w.run_seed_style();
+        let batched = w.run_batched(&mut Predictor::new());
+        // Same math up to scalar-kernel association (~ulps per op).
+        assert!(
+            (seed_style - batched).abs() <= 1e-9 * seed_style.abs().max(1.0),
+            "seed-style {seed_style} vs batched {batched}"
+        );
+    }
+}

@@ -141,16 +141,20 @@ pub fn fine_tune(
         opt.set_lr(schedule.lr_at(epoch));
 
         let mut graph = Graph::from_arena(arena, model.params());
-        let out = model.forward(&mut graph, &batch, None);
-        let loss = graph
-            .tape
-            .huber_loss(out.pred, &batch.targets_scaled, delta);
+        // Fine-tuning minimizes the Huber objective only (no reconstruction
+        // term, Table I), so the prediction-only forward applies: the
+        // decoder would be dead weight in both the forward pass and the
+        // tape.
+        let pred = model.forward_predict(&mut graph, &batch.sx, &batch.props, batch.batch);
+        let loss = graph.tape.huber_loss(pred, &batch.targets_scaled, delta);
 
         // Track the *current* parameters' error before stepping, so the
-        // snapshot corresponds to the measured MAE.
+        // snapshot corresponds to the measured MAE — this is the validation
+        // scoring the early-stopping rule consumes, read straight from the
+        // training graph's prediction node.
         let scale = model.target_scale();
         for (i, p) in preds.iter_mut().enumerate() {
-            *p = graph.value(out.pred)[(i, 0)] * scale;
+            *p = graph.value(pred)[(i, 0)] * scale;
         }
         let mae = metrics::mae(&preds, &targets);
         graph.backward_into(loss, &mut ws);

@@ -19,12 +19,18 @@
 //! the few observations available for the context at hand, with most
 //! components frozen (§III-A). Cross-environment reuse strategies
 //! (partial/full unfreeze/reset, §IV-C2) are in [`finetune::ReuseStrategy`].
+//!
+//! Inference runs through the batched, arena-backed [`predictor::Predictor`]
+//! subsystem (allocation-free after warm-up; [`Bellamy::predict`] is a thin
+//! single-query wrapper over a thread-local instance) — see the
+//! [`predictor`] module docs for the lifecycle and reuse rules.
 
 pub mod allocation;
 pub mod config;
 pub mod features;
 pub mod finetune;
 pub mod model;
+pub mod predictor;
 pub mod search;
 pub mod train;
 
@@ -33,5 +39,6 @@ pub use config::{BellamyConfig, FinetuneConfig, PretrainConfig};
 pub use features::{context_properties, scale_out_features, ContextProperties, TrainingSample};
 pub use finetune::{FinetuneReport, ReuseStrategy};
 pub use model::Bellamy;
-pub use search::{search_pretrain, SearchReport, SearchSpace};
+pub use predictor::{PredictQuery, Predictor};
+pub use search::{search_pretrain, SearchError, SearchReport, SearchSpace};
 pub use train::PretrainReport;

@@ -216,6 +216,21 @@ impl Bellamy {
         self.scaler.is_some()
     }
 
+    /// The fitted scale-out scaler.
+    ///
+    /// # Panics
+    /// Panics if the model has not been fitted or loaded.
+    pub(crate) fn scaler_ref(&self) -> &MinMaxScaler {
+        self.scaler
+            .as_ref()
+            .expect("model must be fitted before predicting")
+    }
+
+    /// The property encoder.
+    pub(crate) fn encoder_ref(&self) -> &PropertyEncoder {
+        &self.encoder
+    }
+
     /// The target scale (1.0 until fitted or when scaling is disabled).
     pub fn target_scale(&self) -> f64 {
         self.target_scale
@@ -268,8 +283,10 @@ impl Bellamy {
 
     /// Encodes the `m` essential + `n` optional properties, padding or
     /// truncating to the configured counts (limited knowledge is allowed —
-    /// §III-C; missing optional slots reuse the mean of those present, and a
-    /// completely absent group falls back to zero vectors).
+    /// §III-C): any missing slot, essential or optional, becomes a zero
+    /// vector. [`crate::Predictor`]'s batch assembly mirrors this rule
+    /// exactly — keep them in lockstep or batched and encoded predictions
+    /// drift apart.
     fn encode_property_vectors(&self, props: &ContextProperties) -> Vec<Vec<f64>> {
         let n_dim = self.config.property_dim;
         let mut out = Vec::with_capacity(self.config.essential_props + self.config.optional_props);
@@ -376,10 +393,15 @@ impl Bellamy {
         let recon_out = self.h2.forward(g, dec_hidden);
         let recon = g.tape.mse_loss(recon_out, &batch.props);
 
-        // r = e ⊕ essential codes ⊕ mean(optional codes)  (Eq. 5/6), with
-        // codes split back out of the stacked matrix by row blocks. Fixed
-        // stack buffers keep the hot path allocation-free.
-        let b = batch.batch;
+        let pred = self.combine_and_regress(g, e, codes, batch.batch);
+        ForwardOut { pred, recon }
+    }
+
+    /// `r = e ⊕ essential codes ⊕ mean(optional codes)` (Eq. 5/6) followed
+    /// by the regression head `z`: codes are split back out of the stacked
+    /// auto-encoder output by row blocks, and fixed stack buffers keep the
+    /// hot path allocation-free.
+    fn combine_and_regress(&self, g: &mut Graph<'_>, e: NodeId, codes: NodeId, b: usize) -> NodeId {
         let m = self.config.essential_props;
         let n_props = m + self.config.optional_props;
         const MAX_PROPS: usize = 30;
@@ -401,9 +423,40 @@ impl Bellamy {
         let r = g.tape.concat_cols(&parts[..m + 2]);
 
         let z_hidden = self.z1.forward(g, r);
-        let pred = self.z2.forward(g, z_hidden);
+        self.z2.forward(g, z_hidden)
+    }
 
-        ForwardOut { pred, recon }
+    /// The prediction-only forward pass: scale-out branch, encoder, code
+    /// combination, and regression head — **no decoder and no
+    /// reconstruction loss**, which exist only for the training objective.
+    /// `sx` is `batch x 3` (normalized scale-out features) and `props` is
+    /// the `(m + n)·batch x N` stacked property-encoding matrix. Every op
+    /// here is row-independent, so batched and single-query results agree
+    /// bit-for-bit. Allocation-free once the graph's arena is warm.
+    pub(crate) fn forward_predict(
+        &self,
+        g: &mut Graph<'_>,
+        sx: &Matrix,
+        props: &Matrix,
+        batch: usize,
+    ) -> NodeId {
+        let sx = g.input_ref(sx);
+        let f_hidden = self.f1.forward(g, sx);
+        let e = self.f2.forward(g, f_hidden);
+
+        let p_node = g.input_ref(props);
+        let enc_hidden = self.g1.forward(g, p_node);
+        let codes = self.g2.forward(g, enc_hidden);
+
+        self.combine_and_regress(g, e, codes, batch)
+    }
+
+    /// Encoder-only pass over a `rows x N` property matrix, returning the
+    /// `rows x M` code node (Fig. 4 / [`crate::Predictor::code_for`]).
+    pub(crate) fn encode_code(&self, g: &mut Graph<'_>, props: &Matrix) -> NodeId {
+        let p = g.input_ref(props);
+        let hidden = self.g1.forward(g, p);
+        self.g2.forward(g, hidden)
     }
 
     /// The seed implementation's forward pass: one auto-encoder application
@@ -481,9 +534,38 @@ impl Bellamy {
 
     /// Predicts the runtime (seconds) for a scale-out in a described context.
     ///
+    /// A thin single-query wrapper over the batched [`crate::Predictor`]:
+    /// the properties are borrowed (never cloned) and this thread's shared
+    /// predictor arena is reused, so the call is allocation-free once warm.
+    /// For many queries, prefer [`crate::Predictor::predict_batch`] /
+    /// [`crate::Predictor::predict_sweep`], which also amortize the graph
+    /// setup across the batch.
+    ///
     /// # Panics
     /// Panics if the model has not been fitted or loaded.
     pub fn predict(&self, scale_out: f64, props: &ContextProperties) -> f64 {
+        crate::Predictor::with_thread_local(|p| p.predict_one(self, scale_out, props))
+    }
+
+    /// Predicted runtimes (seconds) for every sample, in order.
+    pub(crate) fn predict_encoded(&self, encoded: &[EncodedSample]) -> Vec<f64> {
+        crate::Predictor::with_thread_local(|p| p.predict_encoded(self, encoded).to_vec())
+    }
+
+    /// The latent code (length `M`) the auto-encoder assigns to one property
+    /// — the vectors visualized in Fig. 4.
+    pub fn code_for(&self, property: &PropertyValue) -> Vec<f64> {
+        crate::Predictor::with_thread_local(|p| p.code_for(self, property))
+    }
+
+    /// The seed implementation's prediction path, kept verbatim as the
+    /// baseline the `predict` benchmark measures the batched predictor
+    /// against: clone the properties into a dummy training sample, encode,
+    /// assemble a one-row batch, build a fresh graph, and run the full
+    /// training forward (per-property auto-encoder passes, decoder and
+    /// reconstruction included) on libm scalar math.
+    #[doc(hidden)]
+    pub fn predict_reference(&self, scale_out: f64, props: &ContextProperties) -> f64 {
         let sample = TrainingSample {
             scale_out,
             runtime_s: 0.0,
@@ -492,33 +574,9 @@ impl Bellamy {
         let encoded = self.encode_samples(std::slice::from_ref(&sample));
         let batch = self.make_batch(&encoded, &[0]);
         let mut graph = Graph::new(&self.params);
-        let out = self.forward(&mut graph, &batch, None);
+        graph.tape.set_reference_scalars(true);
+        let out = self.forward_legacy(&mut graph, &batch, None);
         graph.value(out.pred)[(0, 0)] * self.target_scale
-    }
-
-    /// Predicted runtimes (seconds) for every sample, in order.
-    pub(crate) fn predict_encoded(&self, encoded: &[EncodedSample]) -> Vec<f64> {
-        if encoded.is_empty() {
-            return Vec::new();
-        }
-        let indices: Vec<usize> = (0..encoded.len()).collect();
-        let batch = self.make_batch(encoded, &indices);
-        let mut graph = Graph::new(&self.params);
-        let out = self.forward(&mut graph, &batch, None);
-        (0..encoded.len())
-            .map(|i| graph.value(out.pred)[(i, 0)] * self.target_scale)
-            .collect()
-    }
-
-    /// The latent code (length `M`) the auto-encoder assigns to one property
-    /// — the vectors visualized in Fig. 4.
-    pub fn code_for(&self, property: &PropertyValue) -> Vec<f64> {
-        let encoded = self.encoder.encode(property);
-        let mut graph = Graph::new(&self.params);
-        let p = graph.input(Matrix::row_vector(&encoded));
-        let hidden = self.g1.forward(&mut graph, p);
-        let code = self.g2.forward(&mut graph, hidden);
-        graph.value(code).row(0).to_vec()
     }
 
     /// Freezes/unfreezes a component by prefix (`"f."`, `"g."`, `"h."`,

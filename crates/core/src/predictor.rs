@@ -1,0 +1,328 @@
+//! The batched, arena-backed inference subsystem.
+//!
+//! Bellamy's value proposition is cheap reuse: one pretrained model answers
+//! *many* runtime queries per job submission — the §IV allocation search
+//! evaluates every candidate scale-out, hyperparameter search scores whole
+//! validation sets, and the evaluation harness multiplies both by hundreds
+//! of splits. The seed implementation paid per query: a `ContextProperties`
+//! clone, a fresh property encoding, a fresh batch assembly, a fresh
+//! autograd graph — and it ran the auto-encoder's *decoder* although
+//! predictions never use the reconstruction.
+//!
+//! A [`Predictor`] amortizes all of that:
+//!
+//! - **Graph arena** — one recycled [`GraphArena`]: the tape replays into
+//!   retained node storage, so the forward pass allocates nothing once warm.
+//! - **Encoding cache** — property encodings are deterministic, so they are
+//!   computed once per distinct [`PropertyValue`] and then copied out of a
+//!   hash map (no re-hashing of text n-grams, no fresh `Vec`s).
+//! - **Batch assembly** — the scale-out features and stacked property rows
+//!   are written straight into two reusable matrices recycled through a
+//!   capacity-keyed [`BufferPool`].
+//! - **Prediction-only forward** — [`Bellamy::forward_predict`] skips the
+//!   decoder and reconstruction loss entirely (they exist for the training
+//!   objective only) and runs each linear layer as one fused
+//!   matmul+bias+activation tape op.
+//!
+//! # Lifecycle and reuse rules
+//!
+//! A `Predictor` is a plain reusable workspace: it holds **no** model state,
+//! so one instance can serve any number of models (methods take the model
+//! explicitly). Reuse rules:
+//!
+//! - Keep one `Predictor` per thread and reuse it across calls — that is
+//!   what makes the steady state allocation-free. [`Bellamy::predict`] does
+//!   this automatically through a thread-local instance.
+//! - A `Predictor` is *not* `Sync`; give each worker thread its own (they
+//!   are cheap when cold: all storage grows on demand).
+//! - Batch sizes may vary freely between calls; each distinct shape is
+//!   served from the buffer pool after it has been seen once.
+//! - The encoding cache is capped ([`ENCODE_CACHE_CAP`] distinct property
+//!   values); on overflow it is cleared and re-warms — correctness is never
+//!   affected, only the amortization.
+//!
+//! Batched and one-at-a-time predictions agree **bit-for-bit**: every op in
+//! the prediction path (fused linears, row slicing, concatenation, code
+//! averaging) is row-independent, so a query's result does not depend on
+//! its batch neighbors. The checkpoint/round-trip and batching tests in
+//! `crates/core/tests/predictor.rs` pin this down.
+
+use crate::features::{scale_out_features, ContextProperties};
+use crate::model::{Bellamy, EncodedSample};
+use bellamy_encoding::PropertyValue;
+use bellamy_linalg::{BufferPool, Matrix};
+use bellamy_nn::{Graph, GraphArena};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Upper bound on cached distinct property encodings. Real workloads see a
+/// few properties per context and a few hundred contexts per process; the
+/// cap only guards against pathological unbounded streams. On overflow the
+/// cache is cleared (and re-warms), never grown past the cap.
+pub const ENCODE_CACHE_CAP: usize = 4096;
+
+/// One runtime query: a scale-out in a described context. `Copy`, and the
+/// properties are *borrowed* — building a query never clones context state.
+#[derive(Debug, Clone, Copy)]
+pub struct PredictQuery<'a> {
+    /// Horizontal scale-out (number of machines).
+    pub scale_out: f64,
+    /// Descriptive properties of the execution context.
+    pub props: &'a ContextProperties,
+}
+
+/// Reusable, allocation-free-after-warm-up inference workspace. See the
+/// module docs for the lifecycle.
+pub struct Predictor {
+    arena: GraphArena,
+    pool: BufferPool,
+    /// `batch x 3` normalized scale-out features.
+    sx: Matrix,
+    /// `(m + n)·batch x N` stacked property encodings.
+    props: Matrix,
+    /// Scratch row for `code_for`.
+    code_input: Matrix,
+    /// Output buffer returned by the `predict_*` methods.
+    preds: Vec<f64>,
+    /// Deterministic property-encoding memo.
+    cache: HashMap<PropertyValue, Vec<f64>>,
+}
+
+impl Default for Predictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    static THREAD_PREDICTOR: RefCell<Predictor> = RefCell::new(Predictor::new());
+}
+
+impl Predictor {
+    /// A cold predictor; every buffer grows on first use.
+    pub fn new() -> Self {
+        Self {
+            arena: GraphArena::default(),
+            pool: BufferPool::new(),
+            sx: Matrix::zeros(0, 0),
+            props: Matrix::zeros(0, 0),
+            code_input: Matrix::zeros(0, 0),
+            preds: Vec::new(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Runs `f` with this thread's shared predictor — the zero-setup path
+    /// [`Bellamy::predict`] and friends use so that even ad hoc single
+    /// queries reuse a warm arena.
+    ///
+    /// # Panics
+    /// Panics if `f` re-enters (calls another `with_thread_local`-based
+    /// API); compute inside `f` with the provided instance instead.
+    pub fn with_thread_local<R>(f: impl FnOnce(&mut Predictor) -> R) -> R {
+        THREAD_PREDICTOR.with(|p| f(&mut p.borrow_mut()))
+    }
+
+    /// Predicted runtimes (seconds) for a batch of queries, in query order.
+    /// The returned slice borrows the predictor's output buffer and is valid
+    /// until the next call.
+    ///
+    /// # Panics
+    /// Panics if the model has not been fitted or loaded.
+    pub fn predict_batch(&mut self, model: &Bellamy, queries: &[PredictQuery<'_>]) -> &[f64] {
+        let b = queries.len();
+        if b == 0 {
+            self.preds.clear();
+            return &self.preds;
+        }
+        self.ensure_shapes(model, b);
+        let scaler = model.scaler_ref();
+        for (i, q) in queries.iter().enumerate() {
+            scaler.transform_into(&scale_out_features(q.scale_out), self.sx.row_mut(i));
+        }
+        let (m, n_opt) = (
+            model.config().essential_props,
+            model.config().optional_props,
+        );
+        for (i, q) in queries.iter().enumerate() {
+            for k in 0..m + n_opt {
+                // Mirror `Bellamy::encode_property_vectors`: missing slots
+                // (limited context knowledge, §III-C) become zero rows.
+                let slot = if k < m {
+                    q.props.essential.get(k)
+                } else {
+                    q.props.optional.get(k - m)
+                };
+                Self::fill_prop_row(&mut self.cache, &mut self.props, k * b + i, model, slot);
+            }
+        }
+        self.run_forward(model, b)
+    }
+
+    /// Predicted runtimes for one context swept over many scale-outs — the
+    /// §IV allocation-search shape. The context's properties are encoded
+    /// once (at most once per distinct property ever, via the cache) and
+    /// replicated across the batch.
+    ///
+    /// # Panics
+    /// Panics if the model has not been fitted or loaded.
+    pub fn predict_sweep(
+        &mut self,
+        model: &Bellamy,
+        props: &ContextProperties,
+        scale_outs: &[f64],
+    ) -> &[f64] {
+        let b = scale_outs.len();
+        if b == 0 {
+            self.preds.clear();
+            return &self.preds;
+        }
+        self.ensure_shapes(model, b);
+        let scaler = model.scaler_ref();
+        for (i, &x) in scale_outs.iter().enumerate() {
+            scaler.transform_into(&scale_out_features(x), self.sx.row_mut(i));
+        }
+        let (m, n_opt) = (
+            model.config().essential_props,
+            model.config().optional_props,
+        );
+        let n_dim = model.config().property_dim;
+        for k in 0..m + n_opt {
+            let slot = if k < m {
+                props.essential.get(k)
+            } else {
+                props.optional.get(k - m)
+            };
+            // Encode the property once into the block's first row, then
+            // replicate it down the block.
+            Self::fill_prop_row(&mut self.cache, &mut self.props, k * b, model, slot);
+            let data = self.props.as_mut_slice();
+            let base = k * b * n_dim;
+            for i in 1..b {
+                data.copy_within(base..base + n_dim, base + i * n_dim);
+            }
+        }
+        self.run_forward(model, b)
+    }
+
+    /// Single-query convenience over [`Predictor::predict_batch`].
+    pub fn predict_one(
+        &mut self,
+        model: &Bellamy,
+        scale_out: f64,
+        props: &ContextProperties,
+    ) -> f64 {
+        let q = PredictQuery { scale_out, props };
+        self.predict_batch(model, std::slice::from_ref(&q))[0]
+    }
+
+    /// Predicted runtimes for pre-encoded samples (the training-internal
+    /// path: validation scoring, training MAE).
+    pub(crate) fn predict_encoded(&mut self, model: &Bellamy, encoded: &[EncodedSample]) -> &[f64] {
+        let b = encoded.len();
+        if b == 0 {
+            self.preds.clear();
+            return &self.preds;
+        }
+        self.ensure_shapes(model, b);
+        for (i, e) in encoded.iter().enumerate() {
+            self.sx.row_mut(i).copy_from_slice(&e.sx);
+            for (k, p) in e.props.iter().enumerate() {
+                self.props.row_mut(k * b + i).copy_from_slice(p);
+            }
+        }
+        self.run_forward(model, b)
+    }
+
+    /// The latent code (length `M`) the auto-encoder assigns to one property
+    /// (Fig. 4), computed through the shared arena and encoding cache.
+    pub fn code_for(&mut self, model: &Bellamy, property: &PropertyValue) -> Vec<f64> {
+        let n_dim = model.config().property_dim;
+        if self.code_input.shape() != (1, n_dim) {
+            let stale = std::mem::replace(&mut self.code_input, Matrix::zeros(0, 0));
+            self.pool.put_matrix(stale);
+            self.code_input = self.pool.take_matrix(1, n_dim);
+        }
+        let enc = Self::cached_encoding(&mut self.cache, model, property);
+        self.code_input.row_mut(0).copy_from_slice(enc);
+        let arena = std::mem::take(&mut self.arena);
+        let mut graph = Graph::from_arena(arena, model.params());
+        let code = model.encode_code(&mut graph, &self.code_input);
+        let out = graph.value(code).row(0).to_vec();
+        self.arena = graph.into_arena();
+        out
+    }
+
+    /// Resizes the batch matrices for `b` queries, recycling storage through
+    /// the pool (allocation-free once each batch size has been seen).
+    fn ensure_shapes(&mut self, model: &Bellamy, b: usize) {
+        let n_dim = model.config().property_dim;
+        let n_props = model.config().essential_props + model.config().optional_props;
+        if self.sx.shape() != (b, 3) || self.props.shape() != (n_props * b, n_dim) {
+            let stale_sx = std::mem::replace(&mut self.sx, Matrix::zeros(0, 0));
+            let stale_props = std::mem::replace(&mut self.props, Matrix::zeros(0, 0));
+            self.pool.put_matrix(stale_sx);
+            self.pool.put_matrix(stale_props);
+            self.sx = self.pool.take_matrix(b, 3);
+            self.props = self.pool.take_matrix(n_props * b, n_dim);
+        }
+    }
+
+    /// Writes the encoding of `slot` (or a zero row for a missing property)
+    /// into `props` row `row`.
+    fn fill_prop_row(
+        cache: &mut HashMap<PropertyValue, Vec<f64>>,
+        props: &mut Matrix,
+        row: usize,
+        model: &Bellamy,
+        slot: Option<&PropertyValue>,
+    ) {
+        match slot {
+            Some(p) => {
+                let enc = Self::cached_encoding(cache, model, p);
+                props.row_mut(row).copy_from_slice(enc);
+            }
+            None => props.row_mut(row).fill(0.0),
+        }
+    }
+
+    /// The memoized encoding of `p` (computing and inserting it on miss).
+    ///
+    /// Entries are validated against the model's encoding width: a predictor
+    /// shared across models with different `property_dim` (the thread-local
+    /// one behind [`Bellamy::predict`] can be) re-encodes instead of serving
+    /// a stale-length vector. Alternating such models thrashes the entry —
+    /// correct, just un-amortized.
+    fn cached_encoding<'c>(
+        cache: &'c mut HashMap<PropertyValue, Vec<f64>>,
+        model: &Bellamy,
+        p: &PropertyValue,
+    ) -> &'c [f64] {
+        let n_dim = model.encoder_ref().vector_size();
+        let stale = cache.get(p).map(|e| e.len() != n_dim).unwrap_or(true);
+        if stale {
+            if cache.len() >= ENCODE_CACHE_CAP {
+                cache.clear();
+            }
+            cache.insert(p.clone(), model.encoder_ref().encode(p));
+        }
+        cache.get(p).expect("just inserted")
+    }
+
+    /// Runs the prediction-only forward pass over the filled batch matrices
+    /// and copies the rescaled outputs into the result buffer.
+    fn run_forward(&mut self, model: &Bellamy, b: usize) -> &[f64] {
+        let arena = std::mem::take(&mut self.arena);
+        let mut graph = Graph::from_arena(arena, model.params());
+        let pred = model.forward_predict(&mut graph, &self.sx, &self.props, b);
+        let scale = model.target_scale();
+        let values = graph.value(pred);
+        self.preds.clear();
+        self.preds.reserve(b);
+        for i in 0..b {
+            self.preds.push(values[(i, 0)] * scale);
+        }
+        self.arena = graph.into_arena();
+        &self.preds
+    }
+}

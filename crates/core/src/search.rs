@@ -9,10 +9,12 @@
 use crate::config::{BellamyConfig, PretrainConfig};
 use crate::features::TrainingSample;
 use crate::model::Bellamy;
+use crate::predictor::{PredictQuery, Predictor};
 use crate::train::pretrain;
 use bellamy_nn::metrics;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::fmt;
 
 /// The Table I pre-training search grid.
 #[derive(Debug, Clone)]
@@ -84,8 +86,63 @@ impl SearchSpace {
 pub struct TrialResult {
     /// The configuration tried.
     pub config: PretrainConfig,
-    /// Held-out MAE in seconds.
+    /// Held-out MAE in seconds. NaN when the trial's training diverged
+    /// (non-finite loss or parameters); such trials are skipped — with a
+    /// warning — by the best-candidate selection.
     pub val_mae_s: f64,
+}
+
+/// The search could not produce a usable model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchError {
+    /// Every sampled configuration diverged to a non-finite validation MAE,
+    /// so no winner could be selected.
+    AllTrialsDiverged {
+        /// How many trials were attempted.
+        trials: usize,
+    },
+    /// The winning configuration was finite on the validation split but its
+    /// full-dataset re-train diverged (more steps per epoch, different
+    /// shuffle seed), so the final model cannot be trusted.
+    WinnerDiverged {
+        /// Index of the winning trial whose re-train diverged.
+        best_index: usize,
+    },
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::AllTrialsDiverged { trials } => write!(
+                f,
+                "all {trials} search trials diverged to a non-finite validation MAE; \
+                 widen the grid or lower the learning rates"
+            ),
+            SearchError::WinnerDiverged { best_index } => write!(
+                f,
+                "the winning trial (index {best_index}) diverged when re-trained on \
+                 the full dataset; widen the grid or lower the learning rates"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+/// Index of the best finite-MAE trial, or `None` when every trial is
+/// non-finite. Non-finite candidates are skipped (a diverging
+/// configuration is a legitimate search outcome, not a reason to panic).
+fn best_finite_trial(trials: &[TrialResult]) -> Option<usize> {
+    trials
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.val_mae_s.is_finite())
+        .min_by(|(_, a), (_, b)| {
+            a.val_mae_s
+                .partial_cmp(&b.val_mae_s)
+                .expect("filtered to finite MAEs")
+        })
+        .map(|(i, _)| i)
 }
 
 /// Outcome of the full search.
@@ -98,8 +155,14 @@ pub struct SearchReport {
 }
 
 /// Runs the search: samples `n_trials` configurations, pre-trains each on an
-/// 80/20 split of `samples` (in parallel), scores by validation MAE, then
-/// re-trains the winner on all samples. Returns the final model and report.
+/// 80/20 split of `samples` (in parallel), scores by batched validation MAE,
+/// then re-trains the winner on all samples. Returns the final model and
+/// report.
+///
+/// Trials whose training diverges (non-finite loss or parameters — e.g. a
+/// too-hot learning rate) are recorded with a NaN MAE, warned about, and
+/// skipped by the winner selection; [`SearchError`] is returned only when
+/// *every* trial diverged.
 pub fn search_pretrain(
     base: &BellamyConfig,
     samples: &[TrainingSample],
@@ -108,7 +171,7 @@ pub fn search_pretrain(
     epochs: usize,
     seed: u64,
     threads: usize,
-) -> (Bellamy, SearchReport) {
+) -> Result<(Bellamy, SearchReport), SearchError> {
     assert!(
         samples.len() >= 5,
         "search needs enough samples for a split"
@@ -126,38 +189,62 @@ pub fn search_pretrain(
     let train: Vec<TrainingSample> = order[..cut].iter().map(|&i| samples[i].clone()).collect();
     let val: Vec<TrainingSample> = order[cut..].iter().map(|&i| samples[i].clone()).collect();
     let val_targets: Vec<f64> = val.iter().map(|s| s.runtime_s).collect();
+    let val_queries: Vec<PredictQuery<'_>> = val
+        .iter()
+        .map(|s| PredictQuery {
+            scale_out: s.scale_out,
+            props: &s.props,
+        })
+        .collect();
 
     let trials: Vec<TrialResult> =
         bellamy_par::par_map_with_threads(&configs, threads.max(1), |cfg| {
             let mut model = Bellamy::new(base.clone(), seed);
-            pretrain(&mut model, &train, cfg, seed ^ 0x7E57);
-            let preds: Vec<f64> = val
-                .iter()
-                .map(|s| model.predict(s.scale_out, &s.props))
-                .collect();
+            let report = pretrain(&mut model, &train, cfg, seed ^ 0x7E57);
+            // A diverged trial must not run inference (its parameters are
+            // poisoned); it scores NaN and is skipped at selection time.
+            let val_mae_s = if report.diverged {
+                f64::NAN
+            } else {
+                Predictor::with_thread_local(|p| {
+                    metrics::mae(p.predict_batch(&model, &val_queries), &val_targets)
+                })
+            };
             TrialResult {
                 config: *cfg,
-                val_mae_s: metrics::mae(&preds, &val_targets),
+                val_mae_s,
             }
         });
 
-    let best_index = trials
-        .iter()
-        .enumerate()
-        .min_by(|(_, a), (_, b)| a.val_mae_s.partial_cmp(&b.val_mae_s).expect("finite MAEs"))
-        .map(|(i, _)| i)
-        .expect("at least one trial");
+    for (i, t) in trials.iter().enumerate() {
+        if !t.val_mae_s.is_finite() {
+            eprintln!(
+                "warning: search trial {i} (dropout {}, lr {:e}, weight decay {:e}) \
+                 diverged to a non-finite validation MAE; skipping it",
+                t.config.dropout, t.config.lr, t.config.weight_decay
+            );
+        }
+    }
+    let best_index = best_finite_trial(&trials).ok_or(SearchError::AllTrialsDiverged {
+        trials: trials.len(),
+    })?;
 
-    // Winner re-trains on everything.
+    // Winner re-trains on everything. The full dataset means more steps per
+    // epoch and a different shuffle stream than the trial split, so a
+    // configuration at the stability edge can still diverge here — that must
+    // surface as an error, not as a silently unusable model.
     let mut final_model = Bellamy::new(base.clone(), seed);
-    pretrain(
+    let final_report = pretrain(
         &mut final_model,
         samples,
         &trials[best_index].config,
         seed ^ 0xF17A,
     );
+    if final_report.diverged {
+        return Err(SearchError::WinnerDiverged { best_index });
+    }
 
-    (final_model, SearchReport { trials, best_index })
+    Ok((final_model, SearchReport { trials, best_index }))
 }
 
 #[cfg(test)]
@@ -216,7 +303,8 @@ mod tests {
             25,
             5,
             2,
-        );
+        )
+        .expect("healthy grid has finite trials");
         assert_eq!(report.trials.len(), 3);
         assert!(report.best_index < 3);
         let best = report.trials[report.best_index].val_mae_s;
@@ -226,5 +314,87 @@ mod tests {
         assert!(model.is_fitted());
         let p = model.predict(6.0, &samples[0].props);
         assert!(p.is_finite());
+    }
+
+    fn trial(val_mae_s: f64) -> TrialResult {
+        TrialResult {
+            config: PretrainConfig::default(),
+            val_mae_s,
+        }
+    }
+
+    #[test]
+    fn best_finite_trial_skips_non_finite_candidates() {
+        let trials = vec![
+            trial(f64::NAN),
+            trial(12.5),
+            trial(f64::INFINITY),
+            trial(3.25),
+            trial(7.0),
+        ];
+        assert_eq!(best_finite_trial(&trials), Some(3));
+        assert_eq!(best_finite_trial(&[trial(f64::NAN)]), None);
+        assert_eq!(
+            best_finite_trial(&[trial(f64::NAN), trial(f64::INFINITY)]),
+            None
+        );
+        assert_eq!(best_finite_trial(&[]), None);
+    }
+
+    fn grep_samples() -> Vec<TrainingSample> {
+        let ds = generate_c3o(&GeneratorConfig::default());
+        let mut samples = Vec::new();
+        for ctx in ds.contexts_for(Algorithm::Grep).into_iter().take(2) {
+            samples.extend(samples_from_runs(&ds, &ds.runs_for_context(ctx.id)));
+        }
+        samples
+    }
+
+    #[test]
+    fn search_survives_a_diverging_candidate() {
+        // Regression: a NaN learning rate poisons its trial's parameters on
+        // the first optimizer step. The old selection panicked on the NaN
+        // MAE via `partial_cmp(..).expect(..)`; now the diverged trial is
+        // recorded as NaN and the best *finite* candidate wins.
+        let samples = grep_samples();
+        let space = SearchSpace {
+            dropouts: vec![0.05],
+            learning_rates: vec![1e-2, f64::NAN],
+            weight_decays: vec![1e-3],
+        };
+        let (model, report) =
+            search_pretrain(&BellamyConfig::default(), &samples, &space, 2, 15, 7, 2)
+                .expect("one candidate is healthy");
+        assert_eq!(report.trials.len(), 2);
+        let diverged: Vec<&TrialResult> = report
+            .trials
+            .iter()
+            .filter(|t| !t.val_mae_s.is_finite())
+            .collect();
+        assert_eq!(diverged.len(), 1, "the NaN-lr trial must score NaN");
+        assert!(diverged[0].config.lr.is_nan());
+        let best = &report.trials[report.best_index];
+        assert!(best.val_mae_s.is_finite());
+        assert_eq!(best.config.lr, 1e-2);
+        assert!(model.predict(6.0, &samples[0].props).is_finite());
+    }
+
+    #[test]
+    fn search_errors_when_every_candidate_diverges() {
+        let samples = grep_samples();
+        let space = SearchSpace {
+            dropouts: vec![0.05],
+            learning_rates: vec![f64::NAN],
+            weight_decays: vec![1e-3, 1e-4],
+        };
+        let err = match search_pretrain(&BellamyConfig::default(), &samples, &space, 2, 10, 3, 2) {
+            Err(e) => e,
+            Ok(_) => panic!("all trials diverge; the search must report an error"),
+        };
+        assert_eq!(err, SearchError::AllTrialsDiverged { trials: 2 });
+        assert!(err.to_string().contains("all 2 search trials diverged"));
+        assert!(SearchError::WinnerDiverged { best_index: 1 }
+            .to_string()
+            .contains("winning trial (index 1) diverged"));
     }
 }

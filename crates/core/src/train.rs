@@ -42,6 +42,13 @@ pub struct PretrainReport {
     pub elapsed_s: f64,
     /// Number of training samples.
     pub n_samples: usize,
+    /// True when training was cut short because the loss or the parameters
+    /// went non-finite (e.g. a too-aggressive learning rate in a
+    /// hyperparameter-search trial). `final_loss` and `train_mae_s` are NaN
+    /// in that case, and the model's parameters are the last *finite* state:
+    /// a poisoned gradient skips the update, and an update that itself
+    /// overflows is rolled back from the pre-step snapshot.
+    pub diverged: bool,
 }
 
 /// Everything one gradient shard reuses across steps.
@@ -90,6 +97,12 @@ pub struct Pretrainer {
     cfg: PretrainConfig,
     epoch: usize,
     dropout: f64,
+    diverged: bool,
+    /// Pre-step parameter snapshot: the rollback target when an optimizer
+    /// update overflows to non-finite values (a ~13 KB in-place copy per
+    /// step, <1% of a step; keeps the "parameters are always finite"
+    /// invariant of [`Pretrainer::diverged`]).
+    snapshot: bellamy_nn::ParamSet,
 }
 
 impl Pretrainer {
@@ -128,12 +141,23 @@ impl Pretrainer {
             cfg: *cfg,
             epoch: 0,
             dropout: cfg.dropout,
+            diverged: false,
+            snapshot: model.params().clone(),
         }
     }
 
     /// Number of encoded training samples.
     pub fn n_samples(&self) -> usize {
         self.encoded.len()
+    }
+
+    /// True when a step produced a non-finite loss or would have left
+    /// non-finite parameters. Once set, further epochs are no-ops returning
+    /// NaN: the forward pass must never run on poisoned parameters (it
+    /// would only spread the NaN — and trip the tape's finiteness
+    /// debug-assertions).
+    pub fn diverged(&self) -> bool {
+        self.diverged
     }
 
     /// Runs one epoch (shuffle + minibatch steps); returns the mean joint
@@ -151,6 +175,9 @@ impl Pretrainer {
     }
 
     fn epoch_impl(&mut self, model: &mut Bellamy, legacy: bool) -> f64 {
+        if self.diverged {
+            return f64::NAN;
+        }
         shuffle(&mut self.indices, &mut self.rng);
         let mut epoch_loss = 0.0;
         let mut batches = 0usize;
@@ -166,6 +193,10 @@ impl Pretrainer {
             } else {
                 self.step(model, chunk_start, chunk_end, step)
             };
+            if self.diverged {
+                self.epoch += 1;
+                return f64::NAN;
+            }
             batches += 1;
             start = end;
             step += 1;
@@ -250,8 +281,29 @@ impl Pretrainer {
             stride *= 2;
         }
 
+        // Divergence sentinel (NaN-safe training): a non-finite batch loss
+        // means the gradients are already poisoned — skip the update so the
+        // parameters stay at their last finite state. A finite loss can
+        // still produce non-finite parameters (e.g. a NaN learning rate or
+        // an overflowing update), so snapshot, step, verify, and roll back
+        // on failure — the model never leaves a step with non-finite
+        // parameters.
+        if !batch_loss.is_finite() {
+            self.diverged = true;
+            return batch_loss;
+        }
+        self.snapshot
+            .load_values_from(model.params())
+            .expect("snapshot shares the parameter layout");
         let total = self.shards.0[0].get_mut();
         self.opt.step(model.params_mut(), total.ws.map());
+        if !model.params().values_all_finite() {
+            model
+                .params_mut()
+                .load_values_from(&self.snapshot)
+                .expect("snapshot shares the parameter layout");
+            self.diverged = true;
+        }
         batch_loss
     }
 
@@ -317,16 +369,28 @@ pub fn pretrain(
     let mut trainer = Pretrainer::new(model, samples, cfg, seed);
 
     let mut final_loss = f64::NAN;
+    let mut epochs = 0;
     for _epoch in 0..cfg.epochs {
         final_loss = trainer.run_epoch(model);
+        epochs += 1;
+        if trainer.diverged() {
+            break;
+        }
     }
 
     PretrainReport {
-        epochs: cfg.epochs,
+        epochs,
         final_loss,
-        train_mae_s: trainer.train_mae(model, samples),
+        // Never run inference on poisoned parameters; the MAE of a diverged
+        // run is meaningless anyway.
+        train_mae_s: if trainer.diverged() {
+            f64::NAN
+        } else {
+            trainer.train_mae(model, samples)
+        },
         elapsed_s: start.elapsed().as_secs_f64(),
         n_samples: samples.len(),
+        diverged: trainer.diverged(),
     }
 }
 
@@ -496,6 +560,34 @@ mod tests {
         );
         assert_eq!(seq_report.final_loss, report.final_loss);
         assert_eq!(sequential.predict(6.0, &samples[0].props), p);
+    }
+
+    #[test]
+    fn diverging_run_stops_early_and_keeps_finite_parameters() {
+        // A NaN learning rate poisons the very first optimizer update. The
+        // trainer must detect it, roll the update back, stop training, and
+        // report the divergence — leaving the model's parameters finite.
+        let samples = sgd_cross_context_samples(1);
+        let mut model = Bellamy::new(BellamyConfig::default(), 3);
+        let cfg = PretrainConfig {
+            epochs: 10,
+            lr: f64::NAN,
+            ..PretrainConfig::default()
+        };
+        let report = pretrain(&mut model, &samples, &cfg, 5);
+        assert!(report.diverged);
+        assert!(report.final_loss.is_nan());
+        assert!(report.train_mae_s.is_nan());
+        assert!(
+            report.epochs < cfg.epochs,
+            "training must stop at the diverging epoch, not run the budget"
+        );
+        assert!(
+            model.params().values_all_finite(),
+            "the poisoning update must be rolled back"
+        );
+        // The rolled-back model is still usable for inference.
+        assert!(model.predict(6.0, &samples[0].props).is_finite());
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Equivalence guarantees of the batched inference path.
+//!
+//! Every op in the prediction forward is row-independent, so batched,
+//! swept, and one-at-a-time predictions must agree **bit-for-bit** — and a
+//! checkpoint round trip must not move a single bit either. These are the
+//! invariants that make it safe for every internal caller (grid search,
+//! fine-tune scoring, the eval harness) to share one code path.
+
+use bellamy_core::train::pretrain;
+use bellamy_core::{
+    Bellamy, BellamyConfig, PredictQuery, Predictor, PretrainConfig, TrainingSample,
+};
+use bellamy_data::{generate_c3o, Algorithm, GeneratorConfig};
+
+fn trained_model() -> (Bellamy, Vec<TrainingSample>) {
+    let ds = generate_c3o(&GeneratorConfig::seeded(11));
+    let mut samples = Vec::new();
+    for ctx in ds.contexts_for(Algorithm::Sgd).into_iter().take(3) {
+        samples.extend(
+            ds.runs_for_context(ctx.id)
+                .iter()
+                .map(|r| TrainingSample::from_run(ctx, r)),
+        );
+    }
+    let mut model = Bellamy::new(BellamyConfig::default(), 3);
+    pretrain(
+        &mut model,
+        &samples,
+        &PretrainConfig {
+            epochs: 15,
+            ..PretrainConfig::default()
+        },
+        9,
+    );
+    (model, samples)
+}
+
+#[test]
+fn batched_and_single_predictions_agree_exactly() {
+    let (model, samples) = trained_model();
+    let queries: Vec<PredictQuery<'_>> = samples
+        .iter()
+        .take(64)
+        .map(|s| PredictQuery {
+            scale_out: s.scale_out,
+            props: &s.props,
+        })
+        .collect();
+    assert_eq!(queries.len(), 64);
+
+    let mut predictor = Predictor::new();
+    let batched = predictor.predict_batch(&model, &queries).to_vec();
+
+    for (q, &b) in queries.iter().zip(batched.iter()) {
+        // One-at-a-time through a *fresh* predictor and through the public
+        // single-query API: both must match the batch bit-for-bit.
+        let single = Predictor::new().predict_one(&model, q.scale_out, q.props);
+        assert_eq!(single.to_bits(), b.to_bits(), "x = {}", q.scale_out);
+        let public = model.predict(q.scale_out, q.props);
+        assert_eq!(public.to_bits(), b.to_bits(), "x = {}", q.scale_out);
+    }
+}
+
+#[test]
+fn sweep_matches_general_batch_exactly() {
+    let (model, samples) = trained_model();
+    let props = &samples[0].props;
+    let xs: Vec<f64> = (2..=12).map(|x| x as f64).collect();
+    let queries: Vec<PredictQuery<'_>> = xs
+        .iter()
+        .map(|&x| PredictQuery {
+            scale_out: x,
+            props,
+        })
+        .collect();
+
+    let mut predictor = Predictor::new();
+    let swept = predictor.predict_sweep(&model, props, &xs).to_vec();
+    let batched = predictor.predict_batch(&model, &queries).to_vec();
+    assert_eq!(swept.len(), xs.len());
+    for (i, (&s, &b)) in swept.iter().zip(batched.iter()).enumerate() {
+        assert_eq!(s.to_bits(), b.to_bits(), "x = {}", xs[i]);
+        assert!(s.is_finite());
+    }
+}
+
+#[test]
+fn checkpoint_round_trip_is_bit_identical_under_predict_batch() {
+    let (model, samples) = trained_model();
+    let restored = Bellamy::from_checkpoint(&model.to_checkpoint()).expect("valid round trip");
+
+    let queries: Vec<PredictQuery<'_>> = samples
+        .iter()
+        .step_by(3)
+        .take(48)
+        .map(|s| PredictQuery {
+            scale_out: s.scale_out,
+            props: &s.props,
+        })
+        .collect();
+    assert!(queries.len() >= 16);
+
+    let mut predictor = Predictor::new();
+    let original = predictor.predict_batch(&model, &queries).to_vec();
+    let reloaded = predictor.predict_batch(&restored, &queries).to_vec();
+    for (i, (&a, &b)) in original.iter().zip(reloaded.iter()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "query {i}: {a} vs {b} after checkpoint round trip"
+        );
+    }
+}
+
+#[test]
+fn predictor_survives_interleaved_batch_sizes_and_models() {
+    // The arena and pools must serve alternating shapes and different
+    // models without cross-talk.
+    let (model_a, samples) = trained_model();
+    let model_b = {
+        let mut m = Bellamy::from_checkpoint(&model_a.to_checkpoint()).unwrap();
+        m.reinit_component("z.", 99);
+        m
+    };
+    let props = &samples[0].props;
+    let mut predictor = Predictor::new();
+
+    let a1 = predictor.predict_one(&model_a, 4.0, props);
+    let sweep = predictor
+        .predict_sweep(&model_b, props, &[2.0, 4.0, 8.0])
+        .to_vec();
+    let a2 = predictor.predict_one(&model_a, 4.0, props);
+    assert_eq!(a1.to_bits(), a2.to_bits(), "model A must be unaffected");
+    assert_ne!(
+        sweep[1].to_bits(),
+        a1.to_bits(),
+        "re-initialized z must change model B's prediction"
+    );
+}
+
+#[test]
+fn prediction_only_forward_matches_legacy_full_forward() {
+    // The decoder-free prediction path and the seed-style full forward are
+    // the same function up to floating-point association; they must agree
+    // to tight tolerance (the polynomial scalar kernels are ~2 ulp from
+    // libm).
+    let (model, samples) = trained_model();
+    for s in samples.iter().step_by(17) {
+        let fast = model.predict(s.scale_out, &s.props);
+        let reference = model.predict_reference(s.scale_out, &s.props);
+        assert!(
+            (fast - reference).abs() <= 1e-9 * reference.abs().max(1.0),
+            "x = {}: batched {fast} vs seed-style {reference}",
+            s.scale_out
+        );
+    }
+}
+
+#[test]
+fn shared_predictor_revalidates_encodings_across_property_dims() {
+    // The thread-local predictor behind `Bellamy::predict` outlives any one
+    // model, so the encoding cache must not serve a 40-wide vector to a
+    // 20-wide model (regression: stale-length cache entries panicked in
+    // copy_from_slice).
+    let (model_40, samples) = trained_model();
+    let mut model_20 = Bellamy::new(
+        BellamyConfig {
+            property_dim: 20,
+            ..BellamyConfig::default()
+        },
+        3,
+    );
+    pretrain(
+        &mut model_20,
+        &samples,
+        &PretrainConfig {
+            epochs: 2,
+            ..PretrainConfig::default()
+        },
+        9,
+    );
+
+    let props = &samples[0].props;
+    let mut predictor = Predictor::new();
+    let wide = predictor.predict_one(&model_40, 4.0, props);
+    let narrow = predictor.predict_one(&model_20, 4.0, props);
+    let wide_again = predictor.predict_one(&model_40, 4.0, props);
+    assert!(wide.is_finite() && narrow.is_finite());
+    assert_eq!(
+        wide.to_bits(),
+        wide_again.to_bits(),
+        "re-encoding for another width must not corrupt the original model's path"
+    );
+}
+
+#[test]
+fn empty_batch_is_empty() {
+    let (model, samples) = trained_model();
+    let mut predictor = Predictor::new();
+    assert!(predictor.predict_batch(&model, &[]).is_empty());
+    assert!(predictor
+        .predict_sweep(&model, &samples[0].props, &[])
+        .is_empty());
+}

@@ -1,14 +1,20 @@
-//! Proof that the steady-state training step is allocation-free.
+//! Proof that the steady-state training step *and* the steady-state batched
+//! inference path are allocation-free.
 //!
 //! A counting global allocator tallies every `alloc`/`realloc`; after the
 //! warm-up epochs have sized the tape arenas, gradient workspaces, batch
 //! tensors, and buffer pools, further epochs must not touch the allocator
 //! at all — on the sequential path *and* on the data-parallel path (the
 //! worker team parks persistent jobs, so fanning a step out is signalling
-//! only).
+//! only). Likewise, once a `Predictor` has seen a batch shape and the
+//! context's property encodings, further `predict_batch`/`predict_sweep`/
+//! single-`predict` calls must not allocate.
 
 use bellamy_core::train::Pretrainer;
-use bellamy_core::{Bellamy, BellamyConfig, ContextProperties, PretrainConfig, TrainingSample};
+use bellamy_core::{
+    Bellamy, BellamyConfig, ContextProperties, PredictQuery, Predictor, PretrainConfig,
+    TrainingSample,
+};
 use bellamy_encoding::PropertyValue;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -131,5 +137,71 @@ fn steady_state_step_is_allocation_free_data_parallel() {
     assert_eq!(
         allocs, 0,
         "the worker-team fan-out must be signalling-only in steady state"
+    );
+}
+
+/// A fitted (not necessarily well-trained — irrelevant for allocation
+/// accounting) model plus a query workload over its training contexts.
+fn fitted_model_and_samples() -> (Bellamy, Vec<TrainingSample>) {
+    let samples = samples(24);
+    let mut model = Bellamy::new(BellamyConfig::default(), 7);
+    let mut trainer = Pretrainer::new(&mut model, &samples, &PretrainConfig::default(), 13);
+    trainer.run_epoch(&mut model);
+    (model, samples)
+}
+
+#[test]
+fn steady_state_batched_predict_is_allocation_free() {
+    let (model, samples) = fitted_model_and_samples();
+    let queries: Vec<PredictQuery<'_>> = samples
+        .iter()
+        .map(|s| PredictQuery {
+            scale_out: s.scale_out,
+            props: &s.props,
+        })
+        .collect();
+    let mut predictor = Predictor::new();
+    // Warm-up: size the arena/pools and populate the encoding cache.
+    for _ in 0..2 {
+        predictor.predict_batch(&model, &queries);
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        let preds = predictor.predict_batch(&model, &queries);
+        assert_eq!(preds.len(), queries.len());
+    }
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(allocs, 0, "steady-state predict_batch must not allocate");
+}
+
+#[test]
+fn steady_state_sweep_and_single_predict_are_allocation_free() {
+    let (model, samples) = fitted_model_and_samples();
+    let props = samples[0].props.clone();
+    let xs: Vec<f64> = (2..=12).map(|x| x as f64).collect();
+    let mut predictor = Predictor::new();
+    predictor.predict_sweep(&model, &props, &xs);
+    predictor.predict_one(&model, 6.0, &props);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        predictor.predict_sweep(&model, &props, &xs);
+    }
+    let sweep_allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        sweep_allocs, 0,
+        "steady-state predict_sweep must not allocate"
+    );
+
+    // The alternating sweep/single shapes are both pooled now; the single-
+    // query path (what `Bellamy::predict` wraps) must also be free.
+    predictor.predict_one(&model, 6.0, &props);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        predictor.predict_one(&model, 6.0, &props);
+    }
+    let single_allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        single_allocs, 0,
+        "steady-state single-query predict must not allocate"
     );
 }

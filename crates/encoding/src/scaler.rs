@@ -18,15 +18,24 @@ impl MinMaxScaler {
     /// Fits bounds from rows of feature vectors.
     ///
     /// # Panics
-    /// Panics if `rows` is empty or ragged.
+    /// Panics if `rows` is empty or ragged, or if any feature value is
+    /// non-finite. `f64::min`/`max` silently skip NaN, so a NaN slipping in
+    /// here would fit garbage bounds that only surface later as NaN
+    /// predictions far from the actual bug — reject it at the source with a
+    /// message naming the offending cell instead.
     pub fn fit(rows: &[Vec<f64>]) -> Self {
         assert!(!rows.is_empty(), "cannot fit a scaler on no data");
         let dim = rows[0].len();
         let mut mins = vec![f64::INFINITY; dim];
         let mut maxs = vec![f64::NEG_INFINITY; dim];
-        for row in rows {
+        for (i, row) in rows.iter().enumerate() {
             assert_eq!(row.len(), dim, "ragged feature rows");
             for (j, &v) in row.iter().enumerate() {
+                assert!(
+                    v.is_finite(),
+                    "non-finite feature value {v} at row {i}, feature {j}: \
+                     min-max bounds would be garbage"
+                );
                 mins[j] = mins[j].min(v);
                 maxs[j] = maxs[j].max(v);
             }
@@ -56,13 +65,26 @@ impl MinMaxScaler {
     }
 
     /// Transforms one feature vector. Features whose training bounds are
-    /// degenerate (`max <= min`) map to 0.5.
+    /// degenerate (`max <= min`, or non-finite after a corrupt restore) map
+    /// to 0.5.
     pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; row.len()];
+        self.transform_into(row, &mut out);
+        out
+    }
+
+    /// Transforms one feature vector into caller-owned storage (the
+    /// allocation-free path the batched predictor uses). Bit-identical to
+    /// [`MinMaxScaler::transform`].
+    ///
+    /// # Panics
+    /// Panics if `row` or `out` do not match the fitted dimensionality.
+    pub fn transform_into(&self, row: &[f64], out: &mut [f64]) {
         assert_eq!(row.len(), self.dim(), "feature dimension mismatch");
-        row.iter()
-            .enumerate()
-            .map(|(j, &v)| bellamy_linalg::stats::min_max_normalize(v, self.mins[j], self.maxs[j]))
-            .collect()
+        assert_eq!(out.len(), self.dim(), "output dimension mismatch");
+        for (j, (o, &v)) in out.iter_mut().zip(row.iter()).enumerate() {
+            *o = bellamy_linalg::stats::min_max_normalize(v, self.mins[j], self.maxs[j]);
+        }
     }
 
     /// Transforms many rows.
@@ -125,5 +147,38 @@ mod tests {
     #[should_panic(expected = "no data")]
     fn empty_fit_rejected() {
         let _ = MinMaxScaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite feature value")]
+    fn nan_feature_rejected_at_fit() {
+        let _ = MinMaxScaler::fit(&[vec![1.0, 2.0], vec![1.0, f64::NAN]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite feature value")]
+    fn infinite_feature_rejected_at_fit() {
+        // 1/x with x = 0 is the realistic leak: an infinite scale-out feature.
+        let _ = MinMaxScaler::fit(&[vec![f64::INFINITY, 2.0], vec![0.5, 3.0]]);
+    }
+
+    #[test]
+    fn transform_into_matches_transform() {
+        let s = MinMaxScaler::fit(&[vec![2.0, 10.0], vec![6.0, 30.0]]);
+        for row in [[3.0, 12.0], [9.0, -4.0], [2.0, 30.0]] {
+            let mut out = [0.0; 2];
+            s.transform_into(&row, &mut out);
+            assert_eq!(out.to_vec(), s.transform(&row));
+        }
+    }
+
+    #[test]
+    fn corrupt_restored_bounds_degrade_to_half_not_nan() {
+        // A checkpoint edited by hand (or truncated) can restore non-finite
+        // bounds; transform must stay NaN-free.
+        let s = MinMaxScaler::from_bounds(vec![f64::NAN, 0.0], vec![1.0, 10.0]);
+        let t = s.transform(&[0.3, 5.0]);
+        assert_eq!(t, vec![0.5, 0.5_f64]);
+        assert!(t.iter().all(|v| v.is_finite()));
     }
 }

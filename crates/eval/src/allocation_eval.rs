@@ -14,7 +14,7 @@ use crate::runner::Method;
 use crate::splits::{generate_task_splits, SplitTask};
 use bellamy_baselines::{BellModel, ErnestModel, ScaleOutModel};
 use bellamy_core::{
-    context_properties, min_scale_out_meeting, Bellamy, BellamyConfig, FinetuneConfig,
+    context_properties, min_scale_out_meeting, Bellamy, BellamyConfig, FinetuneConfig, Predictor,
     PretrainConfig, ReuseStrategy, TrainingSample,
 };
 use bellamy_data::{ground_truth_profile, Algorithm, Dataset};
@@ -166,6 +166,13 @@ fn evaluate_context(
         seed,
     );
 
+    // Every method is asked for its full candidate curve up front — the
+    // Bellamy variants through one batched `predict_sweep` per decision
+    // (one graph setup for all 11 candidates instead of one per candidate),
+    // the baselines through their own batch API.
+    let xs: Vec<f64> = (lo..=hi).map(|x| x as f64).collect();
+    let mut predictor = Predictor::new();
+
     let mut records = Vec::new();
     for (split_no, split) in splits.iter().enumerate() {
         let train_pts: Vec<(f64, f64)> = split
@@ -184,8 +191,9 @@ fn evaluate_context(
             .collect();
         let split_seed = seed ^ ((split_no as u64) << 24);
 
-        let mut judge = |method: Method, predict: &dyn Fn(u32) -> f64| {
-            let chosen = min_scale_out_meeting(predict, target_s, lo, hi).map(|r| r.scale_out);
+        let mut judge = |method: Method, curve: &[f64]| {
+            let chosen = min_scale_out_meeting(|x| curve[(x - lo) as usize], target_s, lo, hi)
+                .map(|r| r.scale_out);
             let met = chosen
                 .map(|x| truth.runtime(x as f64) <= target_s)
                 .unwrap_or(false);
@@ -205,13 +213,14 @@ fn evaluate_context(
         };
 
         if let Ok(m) = ErnestModel::fit(&train_pts) {
-            judge(Method::Nnls, &|x| m.predict(x as f64));
+            judge(Method::Nnls, &m.predict_all(&xs));
         }
         if let Ok(m) = BellModel::fit(&train_pts) {
-            judge(Method::Bell, &|x| m.predict(x as f64));
+            judge(Method::Bell, &m.predict_all(&xs));
         }
         let local = eval_local_model(&train_samples, cfg, split_seed);
-        judge(Method::BellamyLocal, &|x| local.predict(x as f64, &props));
+        let local_curve = predictor.predict_sweep(&local, &props, &xs).to_vec();
+        judge(Method::BellamyLocal, &local_curve);
         let mut tuned = pretrained.clone_model();
         bellamy_core::finetune::fine_tune(
             &mut tuned,
@@ -220,7 +229,8 @@ fn evaluate_context(
             ReuseStrategy::PartialUnfreeze,
             split_seed,
         );
-        judge(Method::BellamyFull, &|x| tuned.predict(x as f64, &props));
+        let tuned_curve = predictor.predict_sweep(&tuned, &props, &xs).to_vec();
+        judge(Method::BellamyFull, &tuned_curve);
     }
     records
 }

@@ -142,6 +142,11 @@ pub struct BellamyEval {
 /// from `model_seed` and fitted on the training samples alone. With a
 /// pre-trained model and an empty training set the model is applied
 /// directly (the paper's 0-data-points extrapolation column).
+///
+/// Each split asks for a single test-point prediction, served by
+/// [`Bellamy::predict`] — the thin wrapper over the thread-local
+/// [`bellamy_core::Predictor`] arena, so the hundreds of splits an
+/// experiment sweeps share one warm inference workspace per worker thread.
 #[allow(clippy::too_many_arguments)]
 pub fn eval_bellamy(
     pretrained: Option<&Bellamy>,

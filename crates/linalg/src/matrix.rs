@@ -502,6 +502,75 @@ impl Matrix {
         }
     }
 
+    /// Fused linear-layer forward kernel: `out = finish(self * other + bias)`
+    /// where `bias` (a `1 x n` row vector, optional) is broadcast over rows
+    /// and `row_finish` is applied to each completed output row in place
+    /// (the activation slice pass). The bias add and activation happen while
+    /// the freshly computed row is still in registers/L1 — for the `n == 8`
+    /// register kernel literally on the stack accumulator before it is
+    /// stored — instead of as two further whole-matrix passes.
+    ///
+    /// Equivalent to `matmul_into` + `broadcast_add_row` + an elementwise
+    /// map, bit-for-bit, since all three stages are elementwise per row.
+    pub fn matmul_bias_rowapply_into(
+        &self,
+        other: &Matrix,
+        bias: Option<&Matrix>,
+        out: &mut Matrix,
+        mut row_finish: impl FnMut(&mut [f64]),
+    ) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        assert_eq!(
+            (out.rows, out.cols),
+            (m, n),
+            "matmul_bias_rowapply_into output shape mismatch"
+        );
+        if let Some(b) = bias {
+            assert_eq!(
+                (b.rows, b.cols),
+                (1, n),
+                "bias must be 1x{n}, got {}x{}",
+                b.rows,
+                b.cols
+            );
+        }
+        if n == 8 && k > 0 {
+            for i in 0..m {
+                let arow = &self.data[i * k..(i + 1) * k];
+                let mut acc = [0.0f64; 8];
+                for (kk, &a) in arow.iter().enumerate() {
+                    let brow = &other.data[kk * 8..kk * 8 + 8];
+                    for j in 0..8 {
+                        acc[j] += a * brow[j];
+                    }
+                }
+                if let Some(b) = bias {
+                    for (a, &bv) in acc.iter_mut().zip(b.data.iter()) {
+                        *a += bv;
+                    }
+                }
+                row_finish(&mut acc);
+                out.data[i * 8..i * 8 + 8].copy_from_slice(&acc);
+            }
+            return;
+        }
+        self.matmul_into(other, out);
+        for i in 0..m {
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            if let Some(b) = bias {
+                for (o, &bv) in orow.iter_mut().zip(b.data.iter()) {
+                    *o += bv;
+                }
+            }
+            row_finish(orow);
+        }
+    }
+
     /// `self * other^T` without materializing the transpose.
     ///
     /// This is the back-propagation kernel `dX = dY * W^T`.
@@ -931,6 +1000,34 @@ mod tests {
             }
         }
         assert!(c.max_abs_diff(&r) < 1e-9);
+    }
+
+    #[test]
+    fn fused_linear_kernel_matches_unfused_chain_bitwise() {
+        // Cover both the n == 8 register kernel and the general path, with
+        // and without bias.
+        for (m, k, n) in [(5, 3, 8), (64, 40, 8), (4, 8, 40), (7, 28, 16), (1, 8, 1)] {
+            let a = Matrix::from_fn(m, k, |i, j| ((i * 13 + j * 7) % 19) as f64 * 0.21 - 1.7);
+            let b = Matrix::from_fn(k, n, |i, j| ((i * 5 + j * 11) % 17) as f64 * 0.13 - 0.9);
+            let bias = Matrix::from_fn(1, n, |_, j| j as f64 * 0.3 - 1.0);
+            let act = |v: f64| if v > 0.0 { 2.0 * v } else { v * v };
+
+            for with_bias in [false, true] {
+                let mut reference = a.matmul(&b);
+                if with_bias {
+                    reference = reference.broadcast_add_row(&bias);
+                }
+                reference = reference.map(act);
+
+                let mut fused = Matrix::zeros(m, n);
+                a.matmul_bias_rowapply_into(&b, with_bias.then_some(&bias), &mut fused, |row| {
+                    for v in row.iter_mut() {
+                        *v = act(*v);
+                    }
+                });
+                assert_eq!(fused, reference, "m={m} k={k} n={n} bias={with_bias}");
+            }
+        }
     }
 
     #[test]

@@ -55,9 +55,12 @@ pub fn percentile(values: &[f64], q: f64) -> f64 {
 }
 
 /// Min-max normalization of `v` into `[0, 1]` given training bounds.
-/// Degenerate bounds (`max <= min`) map everything to `0.5`.
+/// Degenerate bounds — `max <= min`, or any non-finite bound (NaN/±inf
+/// bounds carry no scale information and would otherwise poison every
+/// downstream prediction with NaN) — map everything to `0.5`. A non-finite
+/// `v` propagates unchanged so the caller can detect it.
 pub fn min_max_normalize(v: f64, min: f64, max: f64) -> f64 {
-    if max <= min {
+    if !(min.is_finite() && max.is_finite() && max > min) {
         0.5
     } else {
         (v - min) / (max - min)
@@ -109,5 +112,22 @@ mod tests {
         assert_eq!(min_max_normalize(20.0, 0.0, 10.0), 2.0);
         // Degenerate bounds collapse to 0.5.
         assert_eq!(min_max_normalize(7.0, 3.0, 3.0), 0.5);
+    }
+
+    #[test]
+    fn min_max_normalize_guards_non_finite_bounds() {
+        // Unfitted/corrupt bounds must not leak NaN into predictions.
+        assert_eq!(min_max_normalize(7.0, f64::NAN, 3.0), 0.5);
+        assert_eq!(min_max_normalize(7.0, 3.0, f64::NAN), 0.5);
+        assert_eq!(
+            min_max_normalize(7.0, f64::INFINITY, f64::NEG_INFINITY),
+            0.5
+        );
+        assert_eq!(
+            min_max_normalize(7.0, f64::NEG_INFINITY, f64::INFINITY),
+            0.5
+        );
+        // A non-finite value propagates (callers reject it upstream).
+        assert!(min_max_normalize(f64::NAN, 0.0, 1.0).is_nan());
     }
 }

@@ -62,18 +62,13 @@ impl Linear {
         })
     }
 
-    /// Applies the layer within a graph.
+    /// Applies the layer within a graph as one fused tape op (matmul, bias
+    /// broadcast, and activation in a single output pass — bit-identical to
+    /// the unfused chain, forward and backward).
     pub fn forward(&self, g: &mut Graph<'_>, x: NodeId) -> NodeId {
         let w = g.param(self.weight);
-        let mut y = g.tape.matmul(x, w);
-        if let Some(b) = self.bias {
-            let b = g.param(b);
-            y = g.tape.add_bias(y, b);
-        }
-        match self.activation {
-            Activation::Identity => y,
-            act => g.tape.activate(y, act),
-        }
+        let b = self.bias.map(|b| g.param(b));
+        g.tape.linear(x, w, b, self.activation)
     }
 
     /// Weight parameter handle.

@@ -156,6 +156,14 @@ impl ParamSet {
         self.params.iter().map(|p| p.value.len()).sum()
     }
 
+    /// True when every scalar in every parameter is finite. Training loops
+    /// use this as their divergence sentinel after each optimizer step: it
+    /// is a read-only scan of a few thousand scalars (negligible next to a
+    /// forward pass) and catches NaN/∞ before the next forward spreads it.
+    pub fn values_all_finite(&self) -> bool {
+        self.params.iter().all(|p| p.value.all_finite())
+    }
+
     /// Copies all values from `other`, matching parameters by name.
     ///
     /// Returns an error naming the first mismatch (missing name or shape

@@ -30,7 +30,8 @@ fn main() {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
-    );
+    )
+    .expect("the Table I grid has finite trials");
     for (i, t) in report.trials.iter().enumerate() {
         let marker = if i == report.best_index {
             " <- best"

@@ -83,8 +83,8 @@ pub mod prelude {
     pub use bellamy_core::train::pretrain;
     pub use bellamy_core::{
         cheapest_scale_out, context_properties, min_scale_out_meeting, search_pretrain, Bellamy,
-        BellamyConfig, ContextProperties, FinetuneConfig, PretrainConfig, ReuseStrategy,
-        SearchSpace, TrainingSample,
+        BellamyConfig, ContextProperties, FinetuneConfig, PredictQuery, Predictor, PretrainConfig,
+        ReuseStrategy, SearchSpace, TrainingSample,
     };
     pub use bellamy_data::{
         generate_bell, generate_c3o, ground_truth_profile, Algorithm, Dataset, Environment,
