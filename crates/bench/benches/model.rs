@@ -58,8 +58,9 @@ fn bench_forward_backward(c: &mut Criterion) {
     };
 
     let props = &encoded[0].props;
+    let state = s.pretrained.snapshot().expect("pretrained");
     group.bench_function("predict_single", |b| {
-        b.iter(|| black_box(s.pretrained.predict(6.0, props)))
+        b.iter(|| black_box(state.predict(6.0, props)))
     });
 
     // One full-batch fine-tuning epoch: build graph + forward + backward +

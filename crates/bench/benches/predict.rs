@@ -32,15 +32,15 @@ fn bench_predict(c: &mut Criterion) {
         .collect();
     group.bench_function("predictor_batch_64", |b| {
         b.iter(|| {
-            let preds = predictor.predict_batch(&w.model, &queries);
+            let preds = predictor.predict_batch(&w.state, &queries);
             black_box(preds.iter().sum::<f64>())
         })
     });
 
     // Single-query latency through the warm thread-local wrapper — what ad
-    // hoc callers (`Bellamy::predict`) pay per call.
+    // hoc callers (`ModelState::predict`) pay per call.
     group.bench_function("predict_single_warm", |b| {
-        b.iter(|| black_box(w.model.predict(6.0, &w.props)))
+        b.iter(|| black_box(w.state.predict(6.0, &w.props)))
     });
     group.finish();
 }

@@ -1,9 +1,10 @@
-//! Snapshots the train-step and predict benchmarks to `BENCH_train.json` /
-//! `BENCH_predict.json` so successive PRs can track the trajectory of both
-//! hot paths.
+//! Snapshots the train-step, predict, and hub benchmarks to
+//! `BENCH_train.json` / `BENCH_predict.json` / `BENCH_hub.json` so
+//! successive PRs can track the trajectory of the hot paths.
 //!
 //! ```text
-//! cargo run --release -p bench --bin bench_snapshot [-- <train-path> [predict-path]]
+//! cargo run --release -p bench --bin bench_snapshot \
+//!     [-- <train-path> [predict-path [hub-path]]]
 //! ```
 //!
 //! Train step: µs per minibatch step (default `PretrainConfig`, 900-sample
@@ -13,9 +14,12 @@
 //! Predict: µs per query on a 64-query scale-out sweep of one context, for
 //! the seed-style per-query path (clone + re-encode + fresh graph + full
 //! forward with decoder) and the batched arena-backed `Predictor`.
+//!
+//! Hub: recall latency (memory registry vs cold disk) and concurrent
+//! shared-snapshot predict throughput at 1/2/4 threads.
 
-use bench::predict;
 use bench::train_step::{workload, EpochRunner, StepImpl};
+use bench::{hub, predict};
 
 fn main() {
     let train_path = std::env::args()
@@ -24,9 +28,13 @@ fn main() {
     let predict_path = std::env::args()
         .nth(2)
         .unwrap_or_else(|| "BENCH_predict.json".to_string());
+    let hub_path = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| "BENCH_hub.json".to_string());
 
     snapshot_train(&train_path);
     snapshot_predict(&predict_path);
+    snapshot_hub(&hub_path);
 }
 
 fn snapshot_train(path: &str) {
@@ -83,5 +91,29 @@ fn snapshot_predict(path: &str) {
         seed_us / batched_us
     );
     std::fs::write(path, json).expect("write predict benchmark snapshot");
+    eprintln!("wrote {path}");
+}
+
+fn snapshot_hub(path: &str) {
+    let r = hub::run();
+    eprintln!("{:<22} {:9.2} us", "hub_recall_memory", r.recall_memory_us);
+    eprintln!("{:<22} {:9.2} us", "hub_recall_disk", r.recall_disk_us);
+    let mut qps_entries = Vec::new();
+    for (threads, qps) in &r.concurrent_qps {
+        eprintln!("{:<22} {qps:9.0} q/s", format!("predict_{threads}_threads"));
+        qps_entries.push(format!(
+            "    {{\"threads\": {threads}, \"queries_per_second\": {qps:.0}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"hub\",\n  \"workload\": \"recall of one pretrained SGD model + \
+         concurrent 64-query sweeps on one shared Arc<ModelState>\",\n  \"recall\": {{\n    \
+         \"memory_us\": {:.2},\n    \"disk_us\": {:.2}\n  }},\n  \
+         \"concurrent_predict\": [\n{}\n  ]\n}}\n",
+        r.recall_memory_us,
+        r.recall_disk_us,
+        qps_entries.join(",\n")
+    );
+    std::fs::write(path, json).expect("write hub benchmark snapshot");
     eprintln!("wrote {path}");
 }

@@ -83,8 +83,9 @@ pub fn fig4(wb: &Workbench, profile: Profile, seed: u64) {
         .or_else(|| ctxs.iter().find(|c| c.node_type.name == "r4.2xlarge"))
         .expect("r4.2xlarge SGD context exists");
 
+    let state = model.snapshot().expect("pretrained");
     for (label, ctx) in [("SGD-Context 1", *a), ("SGD-Context 2", *b)] {
-        let fig = fig4_codes(&model, ctx);
+        let fig = fig4_codes(&state, ctx);
         println!("{label}:");
         for (prop, code) in fig.properties.iter().zip(fig.codes.iter()) {
             let rendered: Vec<String> = code.iter().map(|v| format!("{v:+.2}")).collect();
@@ -760,7 +761,7 @@ pub fn ext_cross_algorithm(wb: &Workbench, seed: u64) {
             );
             let mae = eval
                 .iter()
-                .map(|s| (model.predict(s.scale_out, &props) - s.runtime_s).abs())
+                .map(|s| (model.predict(s.scale_out, &props).expect("fitted") - s.runtime_s).abs())
                 .sum::<f64>()
                 / eval.len() as f64;
             maes.push(mae);

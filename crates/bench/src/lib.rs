@@ -1,5 +1,6 @@
 //! Shared helpers for the `repro` binary and the Criterion benches.
 
+pub mod hub;
 pub mod predict;
 pub mod train_step;
 

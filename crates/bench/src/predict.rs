@@ -7,10 +7,11 @@
 
 use bellamy_core::train::pretrain;
 use bellamy_core::{
-    context_properties, Bellamy, BellamyConfig, ContextProperties, Predictor, PretrainConfig,
-    TrainingSample,
+    context_properties, Bellamy, BellamyConfig, ContextProperties, ModelState, Predictor,
+    PretrainConfig, TrainingSample,
 };
 use bellamy_data::{generate_c3o, Algorithm, GeneratorConfig};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Queries per batch in the standard workload.
@@ -18,8 +19,10 @@ pub const BATCH: usize = 64;
 
 /// A pre-trained model plus a fixed query workload over one context.
 pub struct PredictWorkload {
-    /// The model under measurement.
+    /// The trainer handle (the seed-style path predicts through it).
     pub model: Bellamy,
+    /// The published snapshot the batched path serves from.
+    pub state: Arc<ModelState>,
     /// The queried context's properties.
     pub props: ContextProperties,
     /// The queried scale-outs ([`BATCH`] of them, cycling over the C3O
@@ -48,8 +51,10 @@ pub fn workload() -> PredictWorkload {
         },
         5,
     );
+    let state = model.snapshot().expect("pretrained");
     PredictWorkload {
         model,
+        state,
         props: context_properties(target),
         scale_outs: (0..BATCH).map(|i| 2.0 + (i % 11) as f64).collect(),
     }
@@ -68,7 +73,7 @@ impl PredictWorkload {
 
     /// Answers the whole workload with one batched sweep through `p`.
     pub fn run_batched(&self, p: &mut Predictor) -> f64 {
-        p.predict_sweep(&self.model, &self.props, &self.scale_outs)
+        p.predict_sweep(&self.state, &self.props, &self.scale_outs)
             .iter()
             .sum()
     }

@@ -338,7 +338,7 @@ mod tests {
 
         for strategy in ReuseStrategy::ALL {
             let mut m = base.clone_model();
-            let before_pred = m.predict(6.0, &samples[0].props);
+            let before_pred = m.predict(6.0, &samples[0].props).unwrap();
             let report = fine_tune(
                 &mut m,
                 &samples,
@@ -350,7 +350,7 @@ mod tests {
                 3,
             );
             assert!(report.epochs > 0, "{}", strategy.name());
-            let after_pred = m.predict(6.0, &samples[0].props);
+            let after_pred = m.predict(6.0, &samples[0].props).unwrap();
             assert!(after_pred.is_finite());
             // Any strategy must actually change the model.
             assert_ne!(before_pred, after_pred, "{}", strategy.name());

@@ -1,0 +1,709 @@
+//! The model hub: cross-context model reuse as a service.
+//!
+//! The paper's workflow (§III-A) is *recall → fine-tune → serve*: one
+//! general model per (algorithm, objective) is pre-trained on historical
+//! executions, persisted, recalled when a job of that algorithm shows up in
+//! a new context, fine-tuned on the handful of observations available
+//! there, and then queried for every candidate scale-out. The
+//! collaborative-repository line of follow-up work shares those pretrained
+//! checkpoints between many users. [`ModelHub`] is that layer:
+//!
+//! ```text
+//!   ModelKey (algorithm ⊕ objective ⊕ config fingerprint)
+//!        │ recall_or_pretrain(key, cfg, seed, samples)
+//!        ▼
+//!   in-memory registry ──miss──► on-disk checkpoints ──miss──► pretrain
+//!   (Arc<ModelState>)            (<key-id>.blmy)              (once, then
+//!        │                                                     persisted)
+//!        │ fine_tuned_for(key, context, samples, ..)
+//!        ▼
+//!   fine-tuned descendant LRU (parent-checkpoint provenance)
+//!        │
+//!        ▼ Arc<ModelState> — lock-free concurrent predict
+//! ```
+//!
+//! # Lifecycle
+//!
+//! 1. **Recall or pretrain.** [`ModelHub::recall_or_pretrain`] resolves a
+//!    [`ModelKey`] against the in-memory registry, then the on-disk
+//!    checkpoint directory, and only pre-trains (then persists) when both
+//!    miss. A second hub instance pointed at the same directory — e.g.
+//!    another process after a restart — recalls from disk without
+//!    re-training, bit-identically.
+//! 2. **Fine-tune.** [`ModelHub::fine_tuned_for`] derives a trainer handle
+//!    from the recalled snapshot ([`Bellamy::from_state`]), fine-tunes it on
+//!    the context's samples, and publishes the result into a bounded LRU of
+//!    descendants keyed by (parent, context, samples, strategy, seed). Each
+//!    descendant records its parent checkpoint key
+//!    ([`ModelState::parent_key`]) — the provenance chain of the reuse.
+//! 3. **Serve.** Every recall returns an `Arc<`[`ModelState`]`>`; prediction
+//!    through it never touches a hub lock — any number of threads predict
+//!    concurrently through their own [`crate::Predictor`] while the hub
+//!    keeps training new descendants.
+//!
+//! Registry lookups take one mutex, released before any training starts.
+//! A miss trains under a *per-key* guard: concurrent requests for the same
+//! key serialize on that key alone (no duplicated pre-training), while
+//! misses for different keys pre-train fully in parallel — the shape the
+//! evaluation harness fans out. Prediction traffic never touches a hub
+//! lock at all; it runs on already-shared snapshots.
+
+use crate::config::{BellamyConfig, FinetuneConfig, PretrainConfig};
+use crate::features::TrainingSample;
+use crate::finetune::{fine_tune, ReuseStrategy};
+use crate::model::Bellamy;
+use crate::state::ModelState;
+use crate::train::pretrain;
+use bellamy_nn::{Checkpoint, CheckpointError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Content-addressed identity of a pretrained model: the algorithm it was
+/// trained for, the training objective, and a fingerprint of the full
+/// encoder/architecture configuration. Two keys collide exactly when a
+/// checkpoint trained under one is servable under the other.
+#[derive(Debug, Clone)]
+pub struct ModelKey {
+    algorithm: String,
+    objective: String,
+    config: BellamyConfig,
+    fingerprint: u64,
+}
+
+impl ModelKey {
+    /// Builds a key for `(algorithm, objective)` under `config`.
+    pub fn new(
+        algorithm: impl Into<String>,
+        objective: impl Into<String>,
+        config: &BellamyConfig,
+    ) -> Self {
+        let algorithm = algorithm.into();
+        let objective = objective.into();
+        let fingerprint = identity_fingerprint(&algorithm, &objective, config);
+        Self {
+            algorithm,
+            objective,
+            config: config.clone(),
+            fingerprint,
+        }
+    }
+
+    /// The algorithm name.
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// The training objective label.
+    pub fn objective(&self) -> &str {
+        &self.objective
+    }
+
+    /// The architecture/encoder configuration the key addresses.
+    pub fn config(&self) -> &BellamyConfig {
+        &self.config
+    }
+
+    /// The stable registry id (also the checkpoint file stem): sanitized
+    /// algorithm and objective plus the identity fingerprint in hex. The
+    /// fingerprint covers the *raw* algorithm/objective strings, so two
+    /// keys that differ only in characters the sanitizer flattens (e.g.
+    /// `"K Means"` vs `"k-means"`) still get distinct ids — the id aliases
+    /// exactly when the keys are equal.
+    pub fn id(&self) -> String {
+        format!(
+            "{}--{}--{:016x}",
+            sanitize(&self.algorithm),
+            sanitize(&self.objective),
+            self.fingerprint
+        )
+    }
+}
+
+impl PartialEq for ModelKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.algorithm == other.algorithm
+            && self.objective == other.objective
+            && self.fingerprint == other.fingerprint
+    }
+}
+
+impl Eq for ModelKey {}
+
+impl std::hash::Hash for ModelKey {
+    fn hash<H: std::hash::Hasher>(&self, h: &mut H) {
+        self.algorithm.hash(h);
+        self.objective.hash(h);
+        self.fingerprint.hash(h);
+    }
+}
+
+impl std::fmt::Display for ModelKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id())
+    }
+}
+
+/// FNV-1a over the full key identity: the raw algorithm and objective
+/// strings (length-prefixed, so concatenation ambiguities cannot collide)
+/// plus every configuration field that changes what a checkpoint *is*
+/// (shapes, encoder width, property counts, target handling, init).
+fn identity_fingerprint(algorithm: &str, objective: &str, c: &BellamyConfig) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    for s in [algorithm, objective] {
+        mix(&(s.len() as u64).to_le_bytes());
+        mix(s.as_bytes());
+    }
+    for dim in [
+        c.property_dim,
+        c.code_dim,
+        c.hidden_dim,
+        c.scale_out_hidden_dim,
+        c.scale_out_dim,
+        c.essential_props,
+        c.optional_props,
+    ] {
+        mix(&(dim as u64).to_le_bytes());
+    }
+    mix(&[c.scale_targets as u8]);
+    mix(&c.huber_delta.to_bits().to_le_bytes());
+    mix(format!("{:?}", c.init).as_bytes());
+    h
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// Errors surfaced by hub operations.
+#[derive(Debug)]
+pub enum HubError {
+    /// The key resolves neither in memory nor on disk, and the operation
+    /// cannot train a replacement.
+    UnknownModel(String),
+    /// A checkpoint was found but describes an unfitted model (no
+    /// normalization state), so it cannot serve.
+    Unfitted(String),
+    /// Pre-training or fine-tuning for this key diverged to non-finite
+    /// parameters; nothing was registered.
+    Diverged(String),
+    /// Reading or writing the on-disk registry failed.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for HubError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HubError::UnknownModel(id) => write!(f, "no model registered under key {id}"),
+            HubError::Unfitted(id) => write!(f, "checkpoint {id} holds an unfitted model"),
+            HubError::Diverged(id) => write!(f, "training for key {id} diverged"),
+            HubError::Checkpoint(e) => write!(f, "registry checkpoint error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HubError {}
+
+impl From<CheckpointError> for HubError {
+    fn from(e: CheckpointError) -> Self {
+        HubError::Checkpoint(e)
+    }
+}
+
+/// Operation counters for observability and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HubStats {
+    /// Recalls served from the in-memory registry.
+    pub memory_recalls: u64,
+    /// Recalls served from the on-disk checkpoint registry.
+    pub disk_recalls: u64,
+    /// Models pre-trained because both registries missed.
+    pub pretrains: u64,
+    /// Fine-tuned descendants served from the LRU.
+    pub finetune_hits: u64,
+    /// Fine-tuning runs performed.
+    pub finetunes: u64,
+}
+
+/// One fine-tuned descendant in the LRU.
+struct FineTunedEntry {
+    /// Cache identity: parent key id, caller's context label, and a
+    /// fingerprint of (samples, strategy, seed, fine-tune budget).
+    parent_id: String,
+    context: String,
+    fingerprint: u64,
+    state: Arc<ModelState>,
+    last_used: u64,
+}
+
+struct FineTunedLru {
+    entries: Vec<FineTunedEntry>,
+    tick: u64,
+}
+
+/// Default capacity of the fine-tuned-descendant LRU.
+pub const DEFAULT_FINETUNED_CAPACITY: usize = 32;
+
+/// A concurrent registry of pretrained models and their fine-tuned
+/// descendants. See the module docs for the recall → fine-tune → serve
+/// lifecycle.
+pub struct ModelHub {
+    dir: Option<PathBuf>,
+    finetuned_capacity: usize,
+    pretrained: Mutex<HashMap<String, Arc<ModelState>>>,
+    /// Per-key training guards: a registry miss trains while holding only
+    /// its key's mutex, so same-key racers wait (then recall the winner's
+    /// snapshot) while distinct keys train concurrently.
+    training: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    finetuned: Mutex<FineTunedLru>,
+    memory_recalls: AtomicU64,
+    disk_recalls: AtomicU64,
+    pretrains: AtomicU64,
+    finetune_hits: AtomicU64,
+    finetunes: AtomicU64,
+}
+
+impl ModelHub {
+    /// A process-local hub with no persistence.
+    pub fn in_memory() -> Self {
+        Self {
+            dir: None,
+            finetuned_capacity: DEFAULT_FINETUNED_CAPACITY,
+            pretrained: Mutex::new(HashMap::new()),
+            training: Mutex::new(HashMap::new()),
+            finetuned: Mutex::new(FineTunedLru {
+                entries: Vec::new(),
+                tick: 0,
+            }),
+            memory_recalls: AtomicU64::new(0),
+            disk_recalls: AtomicU64::new(0),
+            pretrains: AtomicU64::new(0),
+            finetune_hits: AtomicU64::new(0),
+            finetunes: AtomicU64::new(0),
+        }
+    }
+
+    /// A hub backed by an on-disk checkpoint directory (created if absent).
+    /// Two instances pointed at the same directory — across restarts or
+    /// processes — share the pretrained registry.
+    pub fn at(dir: impl Into<PathBuf>) -> Result<Self, HubError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| HubError::Checkpoint(CheckpointError::Io(e.to_string())))?;
+        let mut hub = Self::in_memory();
+        hub.dir = Some(dir);
+        Ok(hub)
+    }
+
+    /// Sets the fine-tuned-descendant LRU capacity (builder style).
+    pub fn with_finetuned_capacity(mut self, capacity: usize) -> Self {
+        self.finetuned_capacity = capacity.max(1);
+        self
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> HubStats {
+        HubStats {
+            memory_recalls: self.memory_recalls.load(Ordering::Relaxed),
+            disk_recalls: self.disk_recalls.load(Ordering::Relaxed),
+            pretrains: self.pretrains.load(Ordering::Relaxed),
+            finetune_hits: self.finetune_hits.load(Ordering::Relaxed),
+            finetunes: self.finetunes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of fine-tuned descendants currently cached.
+    pub fn finetuned_len(&self) -> usize {
+        self.finetuned.lock().entries.len()
+    }
+
+    fn checkpoint_path(&self, key: &ModelKey) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.blmy", key.id())))
+    }
+
+    /// Publishes an externally trained model under `key`: snapshots it with
+    /// registry lineage, persists it when the hub has a directory, and
+    /// registers it in memory. Returns the shared snapshot.
+    ///
+    /// The snapshot build and checkpoint write happen outside the registry
+    /// lock — concurrent recalls (even pure memory hits) never wait on a
+    /// publisher's disk I/O.
+    pub fn publish(&self, key: &ModelKey, model: &Bellamy) -> Result<Arc<ModelState>, HubError> {
+        let mut state = model
+            .build_state()
+            .map_err(|_| HubError::Unfitted(key.id()))?;
+        state.set_lineage(Some(key.id()), None);
+        let state = Arc::new(state);
+        if let Some(path) = self.checkpoint_path(key) {
+            state.save(path)?;
+        }
+        self.pretrained.lock().insert(key.id(), Arc::clone(&state));
+        Ok(state)
+    }
+
+    /// Recalls a pretrained model: in-memory registry first, then the
+    /// on-disk checkpoint directory. Never trains.
+    ///
+    /// The registry mutex is only held for the map lookup/insert; a cold
+    /// disk recall loads and rebuilds the model with no lock held, so it
+    /// cannot stall concurrent memory hits. Racing cold recalls of the
+    /// same key may both load the checkpoint; the first insert wins and
+    /// everyone shares its `Arc`.
+    pub fn recall(&self, key: &ModelKey) -> Result<Arc<ModelState>, HubError> {
+        if let Some(state) = self.pretrained.lock().get(&key.id()) {
+            self.memory_recalls.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(state));
+        }
+        let path = match self.checkpoint_path(key) {
+            Some(p) if p.exists() => p,
+            _ => return Err(HubError::UnknownModel(key.id())),
+        };
+        let ck = Checkpoint::load(&path)?;
+        let model = Bellamy::from_checkpoint(&ck)?;
+        let mut state = model
+            .build_state()
+            .map_err(|_| HubError::Unfitted(key.id()))?;
+        state.set_lineage(Some(key.id()), None);
+        let state = Arc::new(state);
+
+        let mut registry = self.pretrained.lock();
+        if let Some(existing) = registry.get(&key.id()) {
+            // A racer registered first; share its snapshot so every caller
+            // holds the same Arc.
+            self.memory_recalls.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(existing));
+        }
+        registry.insert(key.id(), Arc::clone(&state));
+        self.disk_recalls.fetch_add(1, Ordering::Relaxed);
+        Ok(state)
+    }
+
+    /// The heart of the reuse workflow: recall the model registered under
+    /// `key`, or — when both the in-memory and on-disk registries miss —
+    /// pre-train it on `samples()` (the closure is only invoked on a miss,
+    /// so callers do not materialize training corpora for recalls), persist
+    /// the checkpoint, and register the snapshot.
+    ///
+    /// Training is deterministic in `(key.config(), cfg, seed, samples)`:
+    /// the trained model is bit-identical to a hand-wired
+    /// `Bellamy::new(config, seed)` + [`pretrain`] with the same arguments.
+    pub fn recall_or_pretrain(
+        &self,
+        key: &ModelKey,
+        cfg: &PretrainConfig,
+        seed: u64,
+        samples: impl FnOnce() -> Vec<TrainingSample>,
+    ) -> Result<Arc<ModelState>, HubError> {
+        // Fast path: memory/disk recall, registry lock only.
+        match self.recall(key) {
+            Ok(state) => return Ok(state),
+            Err(HubError::UnknownModel(_)) => {}
+            Err(e) => return Err(e),
+        }
+
+        // Miss: train while holding only this key's guard, so distinct
+        // keys pre-train in parallel. Deadlock-free: the training-map lock
+        // is only ever held to clone or remove an Arc (never while waiting
+        // on a key guard or the registry), so no hold-and-wait cycle can
+        // form.
+        let guard = {
+            let mut training = self.training.lock();
+            Arc::clone(training.entry(key.id()).or_default())
+        };
+        let _token = guard.lock();
+
+        // A same-key racer may have trained while we waited on the guard.
+        match self.recall(key) {
+            Ok(state) => return Ok(state),
+            Err(HubError::UnknownModel(_)) => {}
+            Err(e) => return Err(e),
+        }
+
+        let corpus = samples();
+        let mut model = Bellamy::new(key.config().clone(), seed);
+        let report = pretrain(&mut model, &corpus, cfg, seed);
+        if report.diverged {
+            return Err(HubError::Diverged(key.id()));
+        }
+        self.pretrains.fetch_add(1, Ordering::Relaxed);
+        let published = self.publish(key, &model);
+        // The key is registered; its guard will never be needed again.
+        self.training.lock().remove(&key.id());
+        published
+    }
+
+    /// Recalls (or derives) the fine-tuned descendant of `key` for one
+    /// concrete context: on an LRU miss the parent is recalled, a trainer
+    /// handle is derived from its snapshot, fine-tuned on `samples` under
+    /// `strategy`, and the resulting snapshot — carrying the parent key as
+    /// provenance — is cached. The LRU is keyed by (parent, `context`,
+    /// samples, strategy, seed, budget), so identical requests share one
+    /// descendant and anything else trains its own.
+    ///
+    /// The returned snapshot's predictions are bit-identical to a
+    /// hand-wired [`Bellamy::from_state`] + [`fine_tune`] with the same
+    /// arguments.
+    pub fn fine_tuned_for(
+        &self,
+        key: &ModelKey,
+        context: &str,
+        samples: &[TrainingSample],
+        cfg: &FinetuneConfig,
+        strategy: ReuseStrategy,
+        seed: u64,
+    ) -> Result<Arc<ModelState>, HubError> {
+        let parent_id = key.id();
+        let fingerprint = finetune_fingerprint(samples, cfg, strategy, seed);
+        {
+            let mut lru = self.finetuned.lock();
+            lru.tick += 1;
+            let tick = lru.tick;
+            if let Some(entry) = lru.entries.iter_mut().find(|e| {
+                e.parent_id == parent_id && e.context == context && e.fingerprint == fingerprint
+            }) {
+                entry.last_used = tick;
+                self.finetune_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.state));
+            }
+        }
+
+        let parent = self.recall(key)?;
+        let mut trainer = Bellamy::from_state(&parent);
+        fine_tune(&mut trainer, samples, cfg, strategy, seed);
+        // fine_tune restores the best-MAE parameter state, which is finite
+        // in every normal run; a non-finite outcome means the whole
+        // trajectory diverged and the descendant must not be served.
+        if !trainer.params().values_all_finite() {
+            return Err(HubError::Diverged(parent_id));
+        }
+        self.finetunes.fetch_add(1, Ordering::Relaxed);
+        let mut state = trainer
+            .build_state()
+            .map_err(|_| HubError::Unfitted(parent_id.clone()))?;
+        state.set_lineage(
+            Some(format!("{parent_id}@{}", sanitize(context))),
+            Some(parent_id.clone()),
+        );
+        let state = Arc::new(state);
+
+        let mut lru = self.finetuned.lock();
+        lru.tick += 1;
+        let tick = lru.tick;
+        // A racer may have derived the same descendant while we trained
+        // (training is deterministic, so the results are interchangeable);
+        // keep its entry instead of inserting a duplicate.
+        if let Some(entry) = lru.entries.iter_mut().find(|e| {
+            e.parent_id == parent_id && e.context == context && e.fingerprint == fingerprint
+        }) {
+            entry.last_used = tick;
+            return Ok(Arc::clone(&entry.state));
+        }
+        if lru.entries.len() >= self.finetuned_capacity {
+            // Evict the least-recently-used descendant (parents stay: they
+            // live in the pretrained registry).
+            if let Some(pos) = lru
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+            {
+                lru.entries.swap_remove(pos);
+            }
+        }
+        lru.entries.push(FineTunedEntry {
+            parent_id,
+            context: context.to_string(),
+            fingerprint,
+            state: Arc::clone(&state),
+            last_used: tick,
+        });
+        Ok(state)
+    }
+}
+
+/// Fingerprint of everything besides the parent/context label that changes
+/// what a fine-tuned descendant *is*: the samples (exact bits), the reuse
+/// strategy, the seed, and the fine-tuning budget.
+fn finetune_fingerprint(
+    samples: &[TrainingSample],
+    cfg: &FinetuneConfig,
+    strategy: ReuseStrategy,
+    seed: u64,
+) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    mix(strategy.name().as_bytes());
+    mix(&seed.to_le_bytes());
+    mix(&(cfg.max_epochs as u64).to_le_bytes());
+    mix(&cfg.target_mae.to_bits().to_le_bytes());
+    mix(&(cfg.patience as u64).to_le_bytes());
+    mix(&cfg.max_lr.to_bits().to_le_bytes());
+    mix(&cfg.min_lr.to_bits().to_le_bytes());
+    mix(&(cfg.lr_period as u64).to_le_bytes());
+    mix(&cfg.weight_decay.to_bits().to_le_bytes());
+    mix(&(cfg.unfreeze_budget as u64).to_le_bytes());
+    mix(format!("{:?}", cfg.optimizer).as_bytes());
+    // Samples are mixed with explicit structure — counts, per-list
+    // lengths, a variant tag and length prefix per property — so distinct
+    // sample sets cannot collide by concatenation ambiguity (e.g.
+    // ["ab"] vs ["a", "b"], or Number(5) vs Text("5")).
+    mix(&(samples.len() as u64).to_le_bytes());
+    let mut mix_props = |props: &[bellamy_encoding::PropertyValue]| {
+        mix(&(props.len() as u64).to_le_bytes());
+        for p in props {
+            match p {
+                bellamy_encoding::PropertyValue::Number(n) => {
+                    mix(&[0u8]);
+                    mix(&n.to_le_bytes());
+                }
+                bellamy_encoding::PropertyValue::Text(t) => {
+                    mix(&[1u8]);
+                    mix(&(t.len() as u64).to_le_bytes());
+                    mix(t.as_bytes());
+                }
+            }
+        }
+    };
+    for s in samples {
+        mix_props(&s.props.essential);
+        mix_props(&s.props.optional);
+    }
+    for s in samples {
+        mix(&s.scale_out.to_bits().to_le_bytes());
+        mix(&s.runtime_s.to_bits().to_le_bytes());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_identity_is_algorithm_objective_config() {
+        let cfg = BellamyConfig::default();
+        let a = ModelKey::new("SGD", "runtime", &cfg);
+        let b = ModelKey::new("SGD", "runtime", &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_ne!(a, ModelKey::new("Grep", "runtime", &cfg));
+        assert_ne!(a, ModelKey::new("SGD", "latency", &cfg));
+        let other_cfg = BellamyConfig {
+            property_dim: 20,
+            ..BellamyConfig::default()
+        };
+        let c = ModelKey::new("SGD", "runtime", &other_cfg);
+        assert_ne!(a, c, "encoder config must be part of the identity");
+        assert_ne!(a.id(), c.id());
+    }
+
+    #[test]
+    fn keys_that_sanitize_identically_keep_distinct_ids() {
+        // The sanitizer flattens "K Means" and "k-means" to the same stem;
+        // the identity fingerprint over the raw strings must keep the ids
+        // (and so the registry/disk entries) apart.
+        let cfg = BellamyConfig::default();
+        let a = ModelKey::new("K Means", "runtime", &cfg);
+        let b = ModelKey::new("k-means", "runtime", &cfg);
+        assert_ne!(a, b);
+        assert_ne!(a.id(), b.id(), "sanitization must not alias keys");
+        // Concatenation ambiguity across the algorithm/objective boundary.
+        let c = ModelKey::new("sgd-run", "time", &cfg);
+        let d = ModelKey::new("sgd", "run-time", &cfg);
+        assert_ne!(c.id(), d.id());
+    }
+
+    #[test]
+    fn finetune_fingerprints_distinguish_structurally_close_samples() {
+        use crate::features::{ContextProperties, TrainingSample};
+        use bellamy_encoding::PropertyValue;
+        let cfg = FinetuneConfig::default();
+        let sample = |essential: Vec<PropertyValue>| TrainingSample {
+            scale_out: 4.0,
+            runtime_s: 100.0,
+            props: ContextProperties {
+                essential,
+                optional: vec![],
+            },
+        };
+        let ab = [sample(vec![PropertyValue::text("ab")])];
+        let a_b = [sample(vec![
+            PropertyValue::text("a"),
+            PropertyValue::text("b"),
+        ])];
+        let num = [sample(vec![PropertyValue::Number(5)])];
+        let txt = [sample(vec![PropertyValue::text("5")])];
+        let strategy = ReuseStrategy::PartialUnfreeze;
+        assert_ne!(
+            finetune_fingerprint(&ab, &cfg, strategy, 0),
+            finetune_fingerprint(&a_b, &cfg, strategy, 0),
+            "list splits must not collide"
+        );
+        assert_ne!(
+            finetune_fingerprint(&num, &cfg, strategy, 0),
+            finetune_fingerprint(&txt, &cfg, strategy, 0),
+            "variant tags must separate Number(5) from Text(\"5\")"
+        );
+    }
+
+    #[test]
+    fn key_id_is_filename_safe() {
+        let key = ModelKey::new("K-Means", "runtime / §IV", &BellamyConfig::default());
+        let id = key.id();
+        assert!(id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_'));
+        assert!(id.starts_with("k-means--runtime"));
+        assert_eq!(key.to_string(), id);
+    }
+
+    #[test]
+    fn recall_of_unknown_key_errors() {
+        let hub = ModelHub::in_memory();
+        let key = ModelKey::new("sgd", "runtime", &BellamyConfig::default());
+        match hub.recall(&key) {
+            Err(HubError::UnknownModel(id)) => assert_eq!(id, key.id()),
+            other => panic!("expected UnknownModel, got {other:?}"),
+        }
+        assert!(hub
+            .recall(&key)
+            .unwrap_err()
+            .to_string()
+            .contains("no model"));
+    }
+
+    #[test]
+    fn publish_rejects_unfitted_models() {
+        let hub = ModelHub::in_memory();
+        let key = ModelKey::new("sgd", "runtime", &BellamyConfig::default());
+        let unfitted = Bellamy::new(BellamyConfig::default(), 0);
+        assert!(matches!(
+            hub.publish(&key, &unfitted),
+            Err(HubError::Unfitted(_))
+        ));
+    }
+}

@@ -20,25 +20,36 @@
 //! components frozen (§III-A). Cross-environment reuse strategies
 //! (partial/full unfreeze/reset, §IV-C2) are in [`finetune::ReuseStrategy`].
 //!
-//! Inference runs through the batched, arena-backed [`predictor::Predictor`]
-//! subsystem (allocation-free after warm-up; [`Bellamy::predict`] is a thin
-//! single-query wrapper over a thread-local instance) — see the
-//! [`predictor`] module docs for the lifecycle and reuse rules.
+//! # Training / serving split
+//!
+//! [`Bellamy`] is the mutable *trainer handle*; [`Bellamy::snapshot`]
+//! publishes an immutable, `Arc`-shared [`ModelState`] that any number of
+//! threads serve concurrently through the batched, arena-backed
+//! [`predictor::Predictor`] (allocation-free after warm-up, with a
+//! lock-sharded property-encoding cache shared across threads). The
+//! [`hub::ModelHub`] builds the paper's *recall → fine-tune → serve* reuse
+//! workflow on top: a content-addressed registry of pretrained snapshots
+//! (in memory + on disk) plus an LRU of fine-tuned descendants with
+//! parent-checkpoint provenance. See the [`state`] and [`hub`] module docs.
 
 pub mod allocation;
 pub mod config;
 pub mod features;
 pub mod finetune;
+pub mod hub;
 pub mod model;
 pub mod predictor;
 pub mod search;
+pub mod state;
 pub mod train;
 
 pub use allocation::{cheapest_scale_out, min_scale_out_meeting, ScaleOutRecommendation};
 pub use config::{BellamyConfig, FinetuneConfig, PretrainConfig};
 pub use features::{context_properties, scale_out_features, ContextProperties, TrainingSample};
 pub use finetune::{FinetuneReport, ReuseStrategy};
-pub use model::Bellamy;
+pub use hub::{HubError, HubStats, ModelHub, ModelKey};
+pub use model::{Bellamy, PredictError};
 pub use predictor::{PredictQuery, Predictor};
 pub use search::{search_pretrain, SearchError, SearchReport, SearchSpace};
+pub use state::ModelState;
 pub use train::PretrainReport;

@@ -1,14 +1,48 @@
 //! The Bellamy model: parameters, forward pass, prediction, persistence.
+//!
+//! Since the model-state split, `Bellamy` is the *trainer handle*: it owns
+//! the mutable [`ParamSet`], normalization state, and layer handles, and the
+//! training loops in sibling modules drive it. Serving never reads the
+//! handle directly — [`Bellamy::snapshot`] publishes an immutable,
+//! `Arc`-shared [`ModelState`] that any number of threads predict through
+//! (see [`crate::state`] for the split's rationale and [`crate::hub`] for
+//! the registry built on top of it).
 
 use crate::config::BellamyConfig;
 use crate::features::{scale_out_features, ContextProperties, TrainingSample};
+use crate::state::ModelState;
 use bellamy_autograd::{Activation, NodeId};
 use bellamy_encoding::{MinMaxScaler, PropertyEncoder, PropertyValue};
 use bellamy_linalg::{BufferPool, Matrix};
 use bellamy_nn::{AlphaDropout, Checkpoint, CheckpointError, Graph, Linear, ParamSet};
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Inference was requested from a model that cannot serve it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictError {
+    /// The model has never been fitted (no pre-training, fine-tuning, or
+    /// checkpoint load has established normalization bounds), so there is no
+    /// state to predict with.
+    NotFitted,
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::NotFitted => write!(
+                f,
+                "model is not fitted: pre-train, fine-tune, or load a checkpoint first"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
 
 /// A sample with all encodings precomputed (encoding is deterministic, so it
 /// is done once per sample, not once per epoch).
@@ -61,31 +95,26 @@ pub(crate) struct ForwardOut {
     pub recon: NodeId,
 }
 
-/// The Bellamy model (see the crate docs for the architecture diagram).
-pub struct Bellamy {
-    config: BellamyConfig,
-    params: ParamSet,
-    f1: Linear,
-    f2: Linear,
-    g1: Linear,
-    g2: Linear,
-    h1: Linear,
-    h2: Linear,
-    z1: Linear,
-    z2: Linear,
-    encoder: PropertyEncoder,
-    /// Fitted on first training; `None` means the model has never seen data.
-    scaler: Option<MinMaxScaler>,
-    /// Targets are divided by this during training and multiplied back at
-    /// inference (1.0 when `config.scale_targets` is off).
-    target_scale: f64,
+/// The four two-layer networks of the architecture (§IV-A), as parameter
+/// handles into a [`ParamSet`]. The struct is pure *wiring*: it holds no
+/// values, so the trainer handle and every published [`ModelState`] share
+/// one `Layers` (handles stay valid because snapshots clone the parameter
+/// set with an identical layout).
+#[derive(Debug, Clone)]
+pub(crate) struct Layers {
+    pub f1: Linear,
+    pub f2: Linear,
+    pub g1: Linear,
+    pub g2: Linear,
+    pub h1: Linear,
+    pub h2: Linear,
+    pub z1: Linear,
+    pub z2: Linear,
 }
 
-impl Bellamy {
-    /// Creates a freshly-initialized model.
-    pub fn new(config: BellamyConfig, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut params = ParamSet::new();
+impl Layers {
+    /// Registers all layer parameters (He/LeCun per `config.init`).
+    fn new(params: &mut ParamSet, config: &BellamyConfig, rng: &mut StdRng) -> Self {
         let init = config.init;
         let n = config.property_dim;
         let m = config.code_dim;
@@ -97,101 +126,272 @@ impl Bellamy {
         // §IV-A: every linear layer is followed by an activation — SELU
         // everywhere except the decoder output (tanh). The auto-encoder
         // waives additive biases.
-        let f1 = Linear::new(
-            &mut params,
-            "f.l1",
-            3,
-            fh,
-            true,
-            Activation::Selu,
-            init,
-            &mut rng,
-        );
-        let f2 = Linear::new(
-            &mut params,
-            "f.l2",
-            fh,
-            f_out,
-            true,
-            Activation::Selu,
-            init,
-            &mut rng,
-        );
-        let g1 = Linear::new(
-            &mut params,
-            "g.l1",
-            n,
-            hid,
-            false,
-            Activation::Selu,
-            init,
-            &mut rng,
-        );
-        let g2 = Linear::new(
-            &mut params,
-            "g.l2",
-            hid,
-            m,
-            false,
-            Activation::Selu,
-            init,
-            &mut rng,
-        );
-        let h1 = Linear::new(
-            &mut params,
-            "h.l1",
-            m,
-            hid,
-            false,
-            Activation::Selu,
-            init,
-            &mut rng,
-        );
-        let h2 = Linear::new(
-            &mut params,
-            "h.l2",
-            hid,
-            n,
-            false,
-            Activation::Tanh,
-            init,
-            &mut rng,
-        );
-        let z1 = Linear::new(
-            &mut params,
-            "z.l1",
-            r_dim,
-            hid,
-            true,
-            Activation::Selu,
-            init,
-            &mut rng,
-        );
-        let z2 = Linear::new(
-            &mut params,
-            "z.l2",
-            hid,
-            1,
-            true,
-            Activation::Selu,
-            init,
-            &mut rng,
-        );
+        Self {
+            f1: Linear::new(params, "f.l1", 3, fh, true, Activation::Selu, init, rng),
+            f2: Linear::new(params, "f.l2", fh, f_out, true, Activation::Selu, init, rng),
+            g1: Linear::new(params, "g.l1", n, hid, false, Activation::Selu, init, rng),
+            g2: Linear::new(params, "g.l2", hid, m, false, Activation::Selu, init, rng),
+            h1: Linear::new(params, "h.l1", m, hid, false, Activation::Selu, init, rng),
+            h2: Linear::new(params, "h.l2", hid, n, false, Activation::Tanh, init, rng),
+            z1: Linear::new(
+                params,
+                "z.l1",
+                r_dim,
+                hid,
+                true,
+                Activation::Selu,
+                init,
+                rng,
+            ),
+            z2: Linear::new(params, "z.l2", hid, 1, true, Activation::Selu, init, rng),
+        }
+    }
 
+    /// Runs the training forward pass for a batch. `dropout` applies
+    /// alpha-dropout between the auto-encoder layers (pre-training only).
+    ///
+    /// The shared auto-encoder runs **once** over the property-stacked
+    /// matrix (`(m+n)·batch x N`); per-property codes are recovered with row
+    /// slices, and the stacked reconstruction MSE equals the mean of the
+    /// per-property MSEs because all blocks have identical size. The pass
+    /// allocates nothing once the graph's arena is warm.
+    pub fn forward(
+        &self,
+        config: &BellamyConfig,
+        g: &mut Graph<'_>,
+        batch: &BatchTensors,
+        dropout: Option<(f64, &mut StdRng)>,
+    ) -> ForwardOut {
+        let (drop_p, rng) = match dropout {
+            Some((p, rng)) => (p, Some(rng)),
+            None => (0.0, None),
+        };
+        let alpha_dropout = AlphaDropout::new(drop_p);
+
+        // Scale-out branch: e = f(sx).
+        let sx = g.input_ref(&batch.sx);
+        let f_hidden = self.f1.forward(g, sx);
+        let e = self.f2.forward(g, f_hidden);
+
+        // Property branch: the shared auto-encoder over all properties at
+        // once.
+        let mut rng = rng;
+        let p_node = g.input_ref(&batch.props);
+        let mut enc_hidden = self.g1.forward(g, p_node);
+        if let Some(r) = rng.as_deref_mut() {
+            enc_hidden = alpha_dropout.forward(g, enc_hidden, true, r);
+        }
+        let codes = self.g2.forward(g, enc_hidden);
+        let mut dec_hidden = self.h1.forward(g, codes);
+        if let Some(r) = rng {
+            dec_hidden = alpha_dropout.forward(g, dec_hidden, true, r);
+        }
+        let recon_out = self.h2.forward(g, dec_hidden);
+        let recon = g.tape.mse_loss(recon_out, &batch.props);
+
+        let pred = self.combine_and_regress(config, g, e, codes, batch.batch);
+        ForwardOut { pred, recon }
+    }
+
+    /// `r = e ⊕ essential codes ⊕ mean(optional codes)` (Eq. 5/6) followed
+    /// by the regression head `z`: codes are split back out of the stacked
+    /// auto-encoder output by row blocks, and fixed stack buffers keep the
+    /// hot path allocation-free.
+    fn combine_and_regress(
+        &self,
+        config: &BellamyConfig,
+        g: &mut Graph<'_>,
+        e: NodeId,
+        codes: NodeId,
+        b: usize,
+    ) -> NodeId {
+        let m = config.essential_props;
+        let n_props = m + config.optional_props;
+        const MAX_PROPS: usize = 30;
+        assert!(
+            n_props <= MAX_PROPS,
+            "more properties than the forward pass supports"
+        );
+        let mut parts = [0 as NodeId; MAX_PROPS + 2];
+        parts[0] = e;
+        for k in 0..m {
+            parts[1 + k] = g.tape.slice_rows(codes, k * b, (k + 1) * b);
+        }
+        let mut optional = [0 as NodeId; MAX_PROPS];
+        for (j, k) in (m..n_props).enumerate() {
+            optional[j] = g.tape.slice_rows(codes, k * b, (k + 1) * b);
+        }
+        let optional_mean = g.tape.mean_of_nodes(&optional[..n_props - m]);
+        parts[m + 1] = optional_mean;
+        let r = g.tape.concat_cols(&parts[..m + 2]);
+
+        let z_hidden = self.z1.forward(g, r);
+        self.z2.forward(g, z_hidden)
+    }
+
+    /// The prediction-only forward pass: scale-out branch, encoder, code
+    /// combination, and regression head — **no decoder and no
+    /// reconstruction loss**, which exist only for the training objective.
+    /// `sx` is `batch x 3` (normalized scale-out features) and `props` is
+    /// the `(m + n)·batch x N` stacked property-encoding matrix. Every op
+    /// here is row-independent, so batched and single-query results agree
+    /// bit-for-bit. Allocation-free once the graph's arena is warm.
+    pub fn forward_predict(
+        &self,
+        config: &BellamyConfig,
+        g: &mut Graph<'_>,
+        sx: &Matrix,
+        props: &Matrix,
+        batch: usize,
+    ) -> NodeId {
+        let sx = g.input_ref(sx);
+        let f_hidden = self.f1.forward(g, sx);
+        let e = self.f2.forward(g, f_hidden);
+
+        let p_node = g.input_ref(props);
+        let enc_hidden = self.g1.forward(g, p_node);
+        let codes = self.g2.forward(g, enc_hidden);
+
+        self.combine_and_regress(config, g, e, codes, batch)
+    }
+
+    /// Encoder-only pass over a `rows x N` property matrix, returning the
+    /// `rows x M` code node (Fig. 4 / [`crate::Predictor::code_for`]).
+    pub fn encode_code(&self, g: &mut Graph<'_>, props: &Matrix) -> NodeId {
+        let p = g.input_ref(props);
+        let hidden = self.g1.forward(g, p);
+        self.g2.forward(g, hidden)
+    }
+
+    /// The seed implementation's forward pass: one auto-encoder application
+    /// per property, fresh input clones, per-property reconstruction losses.
+    /// Numerically equivalent to [`Layers::forward`] (up to floating-point
+    /// association); kept as the baseline the train-step benchmark measures
+    /// the batched zero-allocation path against.
+    #[doc(hidden)]
+    pub fn forward_legacy(
+        &self,
+        config: &BellamyConfig,
+        g: &mut Graph<'_>,
+        batch: &BatchTensors,
+        dropout: Option<(f64, &mut StdRng)>,
+    ) -> ForwardOut {
+        let (drop_p, rng) = match dropout {
+            Some((p, rng)) => (p, Some(rng)),
+            None => (0.0, None),
+        };
+        let alpha_dropout = AlphaDropout::new(drop_p);
+
+        let sx = g.input(batch.sx.clone());
+        let f_hidden = self.f1.forward(g, sx);
+        let e = self.f2.forward(g, f_hidden);
+
+        let b = batch.batch;
+        let n_dim = config.property_dim;
+        let n_props = config.essential_props + config.optional_props;
+        let prop_block = |k: usize| {
+            Matrix::from_vec(
+                b,
+                n_dim,
+                batch.props.as_slice()[k * b * n_dim..(k + 1) * b * n_dim].to_vec(),
+            )
+        };
+
+        let mut codes = Vec::with_capacity(n_props);
+        let mut recon_losses = Vec::with_capacity(n_props);
+        let mut rng = rng;
+        for k in 0..n_props {
+            let p = prop_block(k);
+            let p_node = g.input(p.clone());
+            let mut enc_hidden = self.g1.forward(g, p_node);
+            if let Some(r) = rng.as_deref_mut() {
+                enc_hidden = alpha_dropout.forward(g, enc_hidden, true, r);
+            }
+            let code = self.g2.forward(g, enc_hidden);
+            codes.push(code);
+
+            let mut dec_hidden = self.h1.forward(g, code);
+            if let Some(r) = rng.as_deref_mut() {
+                dec_hidden = alpha_dropout.forward(g, dec_hidden, true, r);
+            }
+            let recon = self.h2.forward(g, dec_hidden);
+            recon_losses.push(g.tape.mse_loss(recon, &p));
+        }
+
+        let m = config.essential_props;
+        let mut parts = vec![e];
+        parts.extend_from_slice(&codes[..m]);
+        let optional_mean = g.tape.mean_of_nodes(&codes[m..]);
+        parts.push(optional_mean);
+        let r = g.tape.concat_cols(&parts);
+
+        let z_hidden = self.z1.forward(g, r);
+        let pred = self.z2.forward(g, z_hidden);
+
+        let mut recon = recon_losses[0];
+        for &l in &recon_losses[1..] {
+            recon = g.tape.add(recon, l);
+        }
+        let recon = g.tape.scale(recon, 1.0 / recon_losses.len() as f64);
+
+        ForwardOut { pred, recon }
+    }
+}
+
+/// The Bellamy trainer handle (see the crate docs for the architecture
+/// diagram and [`ModelState`] for the serving half of the split).
+pub struct Bellamy {
+    config: BellamyConfig,
+    params: ParamSet,
+    layers: Layers,
+    encoder: PropertyEncoder,
+    /// Fitted on first training; `None` means the model has never seen data.
+    scaler: Option<MinMaxScaler>,
+    /// Targets are divided by this during training and multiplied back at
+    /// inference (1.0 when `config.scale_targets` is off).
+    target_scale: f64,
+    /// Mutation counter: bumped by every path that can change what a
+    /// snapshot would contain, so [`Bellamy::snapshot`] knows when its
+    /// cached `Arc` is still current (copy-on-write publishing).
+    version: AtomicU64,
+    /// The last published snapshot, keyed by the version it was taken at.
+    snapshot_cache: Mutex<Option<(u64, Arc<ModelState>)>>,
+}
+
+impl Bellamy {
+    /// Creates a freshly-initialized model.
+    pub fn new(config: BellamyConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = ParamSet::new();
+        let layers = Layers::new(&mut params, &config, &mut rng);
+        let encoder = PropertyEncoder::new(config.property_dim);
         Self {
             config,
             params,
-            f1,
-            f2,
-            g1,
-            g2,
-            h1,
-            h2,
-            z1,
-            z2,
-            encoder: PropertyEncoder::new(n),
+            layers,
+            encoder,
             scaler: None,
             target_scale: 1.0,
+            version: AtomicU64::new(0),
+            snapshot_cache: Mutex::new(None),
+        }
+    }
+
+    /// Reconstructs a mutable trainer handle from a published snapshot —
+    /// the "recall" direction of the model-reuse workflow: take a shared
+    /// immutable state and derive a private handle to fine-tune. The
+    /// handle's parameters are a bit-identical copy; the snapshot is never
+    /// affected by anything done to the handle.
+    pub fn from_state(state: &ModelState) -> Self {
+        Self {
+            config: state.config().clone(),
+            params: state.params().clone(),
+            layers: state.layers().clone(),
+            encoder: state.encoder().clone(),
+            scaler: Some(state.scaler().clone()),
+            target_scale: state.target_scale(),
+            version: AtomicU64::new(0),
+            snapshot_cache: Mutex::new(None),
         }
     }
 
@@ -200,9 +400,16 @@ impl Bellamy {
         &self.config
     }
 
+    /// Marks the handle mutated: the next [`Bellamy::snapshot`] call must
+    /// rebuild instead of serving the cached `Arc`.
+    fn bump_version(&mut self) {
+        *self.version.get_mut() += 1;
+    }
+
     /// Mutable access to the parameters (training loops live in sibling
-    /// modules).
+    /// modules). Taking this invalidates the cached snapshot.
     pub(crate) fn params_mut(&mut self) -> &mut ParamSet {
+        self.bump_version();
         &mut self.params
     }
 
@@ -216,19 +423,48 @@ impl Bellamy {
         self.scaler.is_some()
     }
 
-    /// The fitted scale-out scaler.
+    /// Publishes the current fitted state as an immutable, `Arc`-shared
+    /// [`ModelState`] for serving.
     ///
-    /// # Panics
-    /// Panics if the model has not been fitted or loaded.
-    pub(crate) fn scaler_ref(&self) -> &MinMaxScaler {
-        self.scaler
-            .as_ref()
-            .expect("model must be fitted before predicting")
+    /// Publishing is copy-on-write: the first call after a mutation clones
+    /// the parameters and scalers once; further calls on an unchanged
+    /// handle return the same `Arc` (a reference-count bump, no copy, no
+    /// allocation). Training the handle afterwards never moves a snapshot
+    /// that is already out.
+    pub fn snapshot(&self) -> Result<Arc<ModelState>, PredictError> {
+        if self.scaler.is_none() {
+            return Err(PredictError::NotFitted);
+        }
+        let version = self.version.load(Ordering::Acquire);
+        let mut cached = self.snapshot_cache.lock();
+        if let Some((v, state)) = cached.as_ref() {
+            if *v == version {
+                return Ok(Arc::clone(state));
+            }
+        }
+        let state = Arc::new(self.build_state()?);
+        *cached = Some((version, Arc::clone(&state)));
+        Ok(state)
     }
 
-    /// The property encoder.
-    pub(crate) fn encoder_ref(&self) -> &PropertyEncoder {
-        &self.encoder
+    /// The fitted state, or `None` when the model has never been fitted —
+    /// the question the old API answered with a documented panic.
+    pub fn fitted(&self) -> Option<Arc<ModelState>> {
+        self.snapshot().ok()
+    }
+
+    /// Builds a fresh (uncached, un-shared) state — the hub uses this to
+    /// attach lineage before publishing.
+    pub(crate) fn build_state(&self) -> Result<ModelState, PredictError> {
+        let scaler = self.scaler.clone().ok_or(PredictError::NotFitted)?;
+        Ok(ModelState::new(
+            self.config.clone(),
+            self.layers.clone(),
+            self.params.clone(),
+            self.encoder.clone(),
+            scaler,
+            self.target_scale,
+        ))
     }
 
     /// The target scale (1.0 until fitted or when scaling is disabled).
@@ -245,6 +481,7 @@ impl Bellamy {
             !samples.is_empty(),
             "cannot fit normalization on no samples"
         );
+        self.bump_version();
         let rows: Vec<Vec<f64>> = samples
             .iter()
             .map(|s| scale_out_features(s.scale_out).to_vec())
@@ -352,87 +589,17 @@ impl Bellamy {
         }
     }
 
-    /// Runs the forward pass for a batch. `dropout` applies alpha-dropout
-    /// between the auto-encoder layers (pre-training only).
-    ///
-    /// The shared auto-encoder runs **once** over the property-stacked
-    /// matrix (`(m+n)·batch x N`); per-property codes are recovered with row
-    /// slices, and the stacked reconstruction MSE equals the mean of the
-    /// per-property MSEs because all blocks have identical size. The pass
-    /// allocates nothing once the graph's arena is warm.
+    /// Training forward pass (see [`Layers::forward`]).
     pub(crate) fn forward(
         &self,
         g: &mut Graph<'_>,
         batch: &BatchTensors,
         dropout: Option<(f64, &mut StdRng)>,
     ) -> ForwardOut {
-        let (drop_p, rng) = match dropout {
-            Some((p, rng)) => (p, Some(rng)),
-            None => (0.0, None),
-        };
-        let alpha_dropout = AlphaDropout::new(drop_p);
-
-        // Scale-out branch: e = f(sx).
-        let sx = g.input_ref(&batch.sx);
-        let f_hidden = self.f1.forward(g, sx);
-        let e = self.f2.forward(g, f_hidden);
-
-        // Property branch: the shared auto-encoder over all properties at
-        // once.
-        let mut rng = rng;
-        let p_node = g.input_ref(&batch.props);
-        let mut enc_hidden = self.g1.forward(g, p_node);
-        if let Some(r) = rng.as_deref_mut() {
-            enc_hidden = alpha_dropout.forward(g, enc_hidden, true, r);
-        }
-        let codes = self.g2.forward(g, enc_hidden);
-        let mut dec_hidden = self.h1.forward(g, codes);
-        if let Some(r) = rng {
-            dec_hidden = alpha_dropout.forward(g, dec_hidden, true, r);
-        }
-        let recon_out = self.h2.forward(g, dec_hidden);
-        let recon = g.tape.mse_loss(recon_out, &batch.props);
-
-        let pred = self.combine_and_regress(g, e, codes, batch.batch);
-        ForwardOut { pred, recon }
+        self.layers.forward(&self.config, g, batch, dropout)
     }
 
-    /// `r = e ⊕ essential codes ⊕ mean(optional codes)` (Eq. 5/6) followed
-    /// by the regression head `z`: codes are split back out of the stacked
-    /// auto-encoder output by row blocks, and fixed stack buffers keep the
-    /// hot path allocation-free.
-    fn combine_and_regress(&self, g: &mut Graph<'_>, e: NodeId, codes: NodeId, b: usize) -> NodeId {
-        let m = self.config.essential_props;
-        let n_props = m + self.config.optional_props;
-        const MAX_PROPS: usize = 30;
-        assert!(
-            n_props <= MAX_PROPS,
-            "more properties than the forward pass supports"
-        );
-        let mut parts = [0 as NodeId; MAX_PROPS + 2];
-        parts[0] = e;
-        for k in 0..m {
-            parts[1 + k] = g.tape.slice_rows(codes, k * b, (k + 1) * b);
-        }
-        let mut optional = [0 as NodeId; MAX_PROPS];
-        for (j, k) in (m..n_props).enumerate() {
-            optional[j] = g.tape.slice_rows(codes, k * b, (k + 1) * b);
-        }
-        let optional_mean = g.tape.mean_of_nodes(&optional[..n_props - m]);
-        parts[m + 1] = optional_mean;
-        let r = g.tape.concat_cols(&parts[..m + 2]);
-
-        let z_hidden = self.z1.forward(g, r);
-        self.z2.forward(g, z_hidden)
-    }
-
-    /// The prediction-only forward pass: scale-out branch, encoder, code
-    /// combination, and regression head — **no decoder and no
-    /// reconstruction loss**, which exist only for the training objective.
-    /// `sx` is `batch x 3` (normalized scale-out features) and `props` is
-    /// the `(m + n)·batch x N` stacked property-encoding matrix. Every op
-    /// here is row-independent, so batched and single-query results agree
-    /// bit-for-bit. Allocation-free once the graph's arena is warm.
+    /// Prediction-only forward pass (see [`Layers::forward_predict`]).
     pub(crate) fn forward_predict(
         &self,
         g: &mut Graph<'_>,
@@ -440,30 +607,11 @@ impl Bellamy {
         props: &Matrix,
         batch: usize,
     ) -> NodeId {
-        let sx = g.input_ref(sx);
-        let f_hidden = self.f1.forward(g, sx);
-        let e = self.f2.forward(g, f_hidden);
-
-        let p_node = g.input_ref(props);
-        let enc_hidden = self.g1.forward(g, p_node);
-        let codes = self.g2.forward(g, enc_hidden);
-
-        self.combine_and_regress(g, e, codes, batch)
+        self.layers
+            .forward_predict(&self.config, g, sx, props, batch)
     }
 
-    /// Encoder-only pass over a `rows x N` property matrix, returning the
-    /// `rows x M` code node (Fig. 4 / [`crate::Predictor::code_for`]).
-    pub(crate) fn encode_code(&self, g: &mut Graph<'_>, props: &Matrix) -> NodeId {
-        let p = g.input_ref(props);
-        let hidden = self.g1.forward(g, p);
-        self.g2.forward(g, hidden)
-    }
-
-    /// The seed implementation's forward pass: one auto-encoder application
-    /// per property, fresh input clones, per-property reconstruction losses.
-    /// Numerically equivalent to [`Bellamy::forward`] (up to floating-point
-    /// association); kept as the baseline the train-step benchmark measures
-    /// the batched zero-allocation path against.
+    /// Seed-style forward pass (see [`Layers::forward_legacy`]).
     #[doc(hidden)]
     pub(crate) fn forward_legacy(
         &self,
@@ -471,91 +619,28 @@ impl Bellamy {
         batch: &BatchTensors,
         dropout: Option<(f64, &mut StdRng)>,
     ) -> ForwardOut {
-        let (drop_p, rng) = match dropout {
-            Some((p, rng)) => (p, Some(rng)),
-            None => (0.0, None),
-        };
-        let alpha_dropout = AlphaDropout::new(drop_p);
-
-        let sx = g.input(batch.sx.clone());
-        let f_hidden = self.f1.forward(g, sx);
-        let e = self.f2.forward(g, f_hidden);
-
-        let b = batch.batch;
-        let n_dim = self.config.property_dim;
-        let n_props = self.config.essential_props + self.config.optional_props;
-        let prop_block = |k: usize| {
-            Matrix::from_vec(
-                b,
-                n_dim,
-                batch.props.as_slice()[k * b * n_dim..(k + 1) * b * n_dim].to_vec(),
-            )
-        };
-
-        let mut codes = Vec::with_capacity(n_props);
-        let mut recon_losses = Vec::with_capacity(n_props);
-        let mut rng = rng;
-        for k in 0..n_props {
-            let p = prop_block(k);
-            let p_node = g.input(p.clone());
-            let mut enc_hidden = self.g1.forward(g, p_node);
-            if let Some(r) = rng.as_deref_mut() {
-                enc_hidden = alpha_dropout.forward(g, enc_hidden, true, r);
-            }
-            let code = self.g2.forward(g, enc_hidden);
-            codes.push(code);
-
-            let mut dec_hidden = self.h1.forward(g, code);
-            if let Some(r) = rng.as_deref_mut() {
-                dec_hidden = alpha_dropout.forward(g, dec_hidden, true, r);
-            }
-            let recon = self.h2.forward(g, dec_hidden);
-            recon_losses.push(g.tape.mse_loss(recon, &p));
-        }
-
-        let m = self.config.essential_props;
-        let mut parts = vec![e];
-        parts.extend_from_slice(&codes[..m]);
-        let optional_mean = g.tape.mean_of_nodes(&codes[m..]);
-        parts.push(optional_mean);
-        let r = g.tape.concat_cols(&parts);
-
-        let z_hidden = self.z1.forward(g, r);
-        let pred = self.z2.forward(g, z_hidden);
-
-        let mut recon = recon_losses[0];
-        for &l in &recon_losses[1..] {
-            recon = g.tape.add(recon, l);
-        }
-        let recon = g.tape.scale(recon, 1.0 / recon_losses.len() as f64);
-
-        ForwardOut { pred, recon }
+        self.layers.forward_legacy(&self.config, g, batch, dropout)
     }
 
-    /// Predicts the runtime (seconds) for a scale-out in a described context.
+    /// Predicts the runtime (seconds) for a scale-out in a described
+    /// context, or [`PredictError::NotFitted`] for a model that has never
+    /// been fitted or loaded.
     ///
-    /// A thin single-query wrapper over the batched [`crate::Predictor`]:
-    /// the properties are borrowed (never cloned) and this thread's shared
-    /// predictor arena is reused, so the call is allocation-free once warm.
-    /// For many queries, prefer [`crate::Predictor::predict_batch`] /
-    /// [`crate::Predictor::predict_sweep`], which also amortize the graph
-    /// setup across the batch.
-    ///
-    /// # Panics
-    /// Panics if the model has not been fitted or loaded.
-    pub fn predict(&self, scale_out: f64, props: &ContextProperties) -> f64 {
-        crate::Predictor::with_thread_local(|p| p.predict_one(self, scale_out, props))
-    }
-
-    /// Predicted runtimes (seconds) for every sample, in order.
-    pub(crate) fn predict_encoded(&self, encoded: &[EncodedSample]) -> Vec<f64> {
-        crate::Predictor::with_thread_local(|p| p.predict_encoded(self, encoded).to_vec())
+    /// A convenience over `self.snapshot()?.predict(..)`: for repeated
+    /// queries, snapshot once and predict through the [`ModelState`] (which
+    /// is also what can be shared across threads). The call is
+    /// allocation-free once the snapshot cache and this thread's predictor
+    /// arena are warm; for many queries at once, prefer
+    /// [`crate::Predictor::predict_batch`] / [`crate::Predictor::predict_sweep`].
+    pub fn predict(&self, scale_out: f64, props: &ContextProperties) -> Result<f64, PredictError> {
+        Ok(self.snapshot()?.predict(scale_out, props))
     }
 
     /// The latent code (length `M`) the auto-encoder assigns to one property
-    /// — the vectors visualized in Fig. 4.
-    pub fn code_for(&self, property: &PropertyValue) -> Vec<f64> {
-        crate::Predictor::with_thread_local(|p| p.code_for(self, property))
+    /// — the vectors visualized in Fig. 4 — or [`PredictError::NotFitted`]
+    /// for a model that has never been fitted or loaded.
+    pub fn code_for(&self, property: &PropertyValue) -> Result<Vec<f64>, PredictError> {
+        Ok(self.snapshot()?.code_for(property))
     }
 
     /// The seed implementation's prediction path, kept verbatim as the
@@ -582,11 +667,13 @@ impl Bellamy {
     /// Freezes/unfreezes a component by prefix (`"f."`, `"g."`, `"h."`,
     /// `"z."`). Returns the number of affected parameters.
     pub fn set_component_trainable(&mut self, prefix: &str, trainable: bool) -> usize {
+        self.bump_version();
         self.params.set_trainable_by_prefix(prefix, trainable)
     }
 
     /// Re-initializes a component (used by the reset reuse strategies).
     pub fn reinit_component(&mut self, prefix: &str, seed: u64) -> usize {
+        self.bump_version();
         let init = self.config.init;
         let mut rng = StdRng::seed_from_u64(seed);
         self.params.reinit_by_prefix(prefix, init, &mut rng)
@@ -594,42 +681,12 @@ impl Bellamy {
 
     /// Serializes the model (weights + normalization state + dims).
     pub fn to_checkpoint(&self) -> Checkpoint {
-        let mut meta = BTreeMap::new();
-        meta.insert("model".into(), "bellamy".into());
-        meta.insert("property_dim".into(), self.config.property_dim.to_string());
-        meta.insert("code_dim".into(), self.config.code_dim.to_string());
-        meta.insert("hidden_dim".into(), self.config.hidden_dim.to_string());
-        meta.insert(
-            "scale_out_hidden_dim".into(),
-            self.config.scale_out_hidden_dim.to_string(),
-        );
-        meta.insert(
-            "scale_out_dim".into(),
-            self.config.scale_out_dim.to_string(),
-        );
-        meta.insert(
-            "essential_props".into(),
-            self.config.essential_props.to_string(),
-        );
-        meta.insert(
-            "optional_props".into(),
-            self.config.optional_props.to_string(),
-        );
-        meta.insert(
-            "scale_targets".into(),
-            self.config.scale_targets.to_string(),
-        );
-        meta.insert("huber_delta".into(), self.config.huber_delta.to_string());
-        meta.insert("target_scale".into(), format!("{:e}", self.target_scale));
-        if let Some(s) = &self.scaler {
-            meta.insert("scaler_mins".into(), join_floats(s.mins()));
-            meta.insert("scaler_maxs".into(), join_floats(s.maxs()));
-        }
+        let meta = checkpoint_metadata(&self.config, self.scaler.as_ref(), self.target_scale);
         Checkpoint::new(self.params.clone(), meta)
     }
 
     /// Restores a model from a checkpoint produced by
-    /// [`Bellamy::to_checkpoint`].
+    /// [`Bellamy::to_checkpoint`] (or [`ModelState::to_checkpoint`]).
     pub fn from_checkpoint(ck: &Checkpoint) -> Result<Self, CheckpointError> {
         let get_dim = |key: &str| -> Result<usize, CheckpointError> {
             ck.metadata
@@ -655,7 +712,17 @@ impl Bellamy {
                 .get("huber_delta")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(1.0),
-            ..BellamyConfig::default()
+            // Older checkpoints (pre-PR 4) carry no init entry; they were
+            // all written by He-initialized default configs. A *present but
+            // unrecognized* value is a different situation — substituting a
+            // default there would silently change reset-strategy redraws —
+            // so it is rejected instead.
+            init: match ck.metadata.get("init") {
+                None => BellamyConfig::default().init,
+                Some(v) => parse_init(v).ok_or_else(|| {
+                    CheckpointError::Io(format!("unrecognized init scheme in checkpoint: {v}"))
+                })?,
+            },
         };
 
         let mut model = Bellamy::new(config, 0);
@@ -699,6 +766,50 @@ impl Bellamy {
     /// Deep-copies the model (fresh parameter storage).
     pub fn clone_model(&self) -> Self {
         Self::from_checkpoint(&self.to_checkpoint()).expect("round trip of a valid model")
+    }
+}
+
+/// Checkpoint metadata shared by the handle and [`ModelState`] (both
+/// serialize to the same format, so either side can restore from either).
+pub(crate) fn checkpoint_metadata(
+    config: &BellamyConfig,
+    scaler: Option<&MinMaxScaler>,
+    target_scale: f64,
+) -> BTreeMap<String, String> {
+    let mut meta = BTreeMap::new();
+    meta.insert("model".into(), "bellamy".into());
+    meta.insert("property_dim".into(), config.property_dim.to_string());
+    meta.insert("code_dim".into(), config.code_dim.to_string());
+    meta.insert("hidden_dim".into(), config.hidden_dim.to_string());
+    meta.insert(
+        "scale_out_hidden_dim".into(),
+        config.scale_out_hidden_dim.to_string(),
+    );
+    meta.insert("scale_out_dim".into(), config.scale_out_dim.to_string());
+    meta.insert("essential_props".into(), config.essential_props.to_string());
+    meta.insert("optional_props".into(), config.optional_props.to_string());
+    meta.insert("scale_targets".into(), config.scale_targets.to_string());
+    meta.insert("huber_delta".into(), config.huber_delta.to_string());
+    meta.insert("init".into(), format!("{:?}", config.init));
+    meta.insert("target_scale".into(), format!("{target_scale:e}"));
+    if let Some(s) = scaler {
+        meta.insert("scaler_mins".into(), join_floats(s.mins()));
+        meta.insert("scaler_maxs".into(), join_floats(s.maxs()));
+    }
+    meta
+}
+
+/// Inverse of the `{:?}` rendering `checkpoint_metadata` writes. The reset
+/// reuse strategies re-draw components with `config.init`, so losing it on
+/// reload would silently change `partial-reset`/`full-reset` trajectories
+/// for non-default configurations.
+fn parse_init(s: &str) -> Option<bellamy_nn::Init> {
+    match s {
+        "HeNormal" => Some(bellamy_nn::Init::HeNormal),
+        "LecunNormal" => Some(bellamy_nn::Init::LecunNormal),
+        "XavierNormal" => Some(bellamy_nn::Init::XavierNormal),
+        "Zeros" => Some(bellamy_nn::Init::Zeros),
+        _ => None,
     }
 }
 
@@ -767,20 +878,67 @@ mod tests {
     #[test]
     fn predict_is_deterministic_and_finite() {
         let (model, samples) = fitted_model();
-        let p1 = model.predict(6.0, &samples[0].props);
-        let p2 = model.predict(6.0, &samples[0].props);
+        let p1 = model.predict(6.0, &samples[0].props).unwrap();
+        let p2 = model.predict(6.0, &samples[0].props).unwrap();
         assert_eq!(p1, p2);
         assert!(p1.is_finite());
     }
 
     #[test]
-    fn untrained_model_panics_on_predict() {
+    fn untrained_model_reports_not_fitted() {
         let model = Bellamy::new(BellamyConfig::default(), 0);
         let ds = generate_c3o(&GeneratorConfig::default());
         let props = context_properties(&ds.contexts[0]);
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| model.predict(4.0, &props)));
-        assert!(result.is_err(), "unfitted model must refuse to predict");
+        assert_eq!(model.predict(4.0, &props), Err(PredictError::NotFitted));
+        assert_eq!(
+            model.code_for(&PropertyValue::text("m4.2xlarge")),
+            Err(PredictError::NotFitted)
+        );
+        assert!(model.fitted().is_none());
+        assert!(model.snapshot().is_err());
+        assert!(PredictError::NotFitted.to_string().contains("not fitted"));
+    }
+
+    #[test]
+    fn snapshot_is_copy_on_write() {
+        let (mut model, samples) = fitted_model();
+        let s1 = model.snapshot().unwrap();
+        let s2 = model.snapshot().unwrap();
+        assert!(
+            Arc::ptr_eq(&s1, &s2),
+            "unchanged handle must republish the same Arc"
+        );
+        let before = s1.predict(4.0, &samples[0].props);
+
+        // Mutating the handle must not move the published snapshot, and the
+        // next snapshot must be a fresh one.
+        model.reinit_component("z.", 99);
+        let s3 = model.snapshot().unwrap();
+        assert!(!Arc::ptr_eq(&s1, &s3), "mutation must invalidate the cache");
+        assert_eq!(
+            before,
+            s1.predict(4.0, &samples[0].props),
+            "published snapshots are immutable"
+        );
+        assert_ne!(before, s3.predict(4.0, &samples[0].props));
+    }
+
+    #[test]
+    fn from_state_round_trip_is_bit_identical_and_independent() {
+        let (model, samples) = fitted_model();
+        let state = model.snapshot().unwrap();
+        let mut handle = Bellamy::from_state(&state);
+        assert_eq!(
+            handle.params().values_fingerprint(),
+            model.params().values_fingerprint(),
+            "recalled handle must carry bit-identical weights"
+        );
+        let a = state.predict(6.0, &samples[0].props);
+        let b = handle.predict(6.0, &samples[0].props).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        // Mutating the handle must not disturb the state it came from.
+        handle.reinit_component("z.", 1);
+        assert_eq!(a.to_bits(), state.predict(6.0, &samples[0].props).to_bits());
     }
 
     #[test]
@@ -789,8 +947,8 @@ mod tests {
         let ck = model.to_checkpoint();
         let restored = Bellamy::from_checkpoint(&ck).unwrap();
         for s in samples.iter().take(3) {
-            let a = model.predict(s.scale_out, &s.props);
-            let b = restored.predict(s.scale_out, &s.props);
+            let a = model.predict(s.scale_out, &s.props).unwrap();
+            let b = restored.predict(s.scale_out, &s.props).unwrap();
             assert!(
                 (a - b).abs() < 1e-12,
                 "prediction drift after reload: {a} vs {b}"
@@ -800,21 +958,50 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_round_trip_preserves_init_scheme() {
+        // The reset reuse strategies re-draw components with config.init;
+        // a reload that silently fell back to the default init would change
+        // partial-reset/full-reset trajectories for non-default configs.
+        let ds = generate_c3o(&GeneratorConfig::default());
+        let ctx = ds.contexts_for(Algorithm::Sgd)[0];
+        let samples = crate::features::samples_from_runs(&ds, &ds.runs_for_context(ctx.id));
+        let mut model = Bellamy::new(
+            BellamyConfig {
+                init: bellamy_nn::Init::LecunNormal,
+                ..BellamyConfig::default()
+            },
+            7,
+        );
+        model.fit_normalization(&samples);
+        let mut restored = Bellamy::from_checkpoint(&model.to_checkpoint()).unwrap();
+        assert_eq!(restored.config().init, bellamy_nn::Init::LecunNormal);
+        // Reinit draws the same values on both sides — same scheme, same
+        // seed, same shapes.
+        model.reinit_component("z.", 3);
+        restored.reinit_component("z.", 3);
+        assert_eq!(
+            model.params().values_fingerprint(),
+            restored.params().values_fingerprint(),
+            "reinit after reload must follow the original init scheme"
+        );
+    }
+
+    #[test]
     fn clone_model_is_independent() {
         let (mut model, samples) = fitted_model();
         let copy = model.clone_model();
-        let before = copy.predict(4.0, &samples[0].props);
+        let before = copy.predict(4.0, &samples[0].props).unwrap();
         // Mutate the original; the copy must not move.
         model.reinit_component("z.", 99);
-        let after = copy.predict(4.0, &samples[0].props);
+        let after = copy.predict(4.0, &samples[0].props).unwrap();
         assert_eq!(before, after);
     }
 
     #[test]
     fn codes_distinguish_contexts() {
         let (model, _) = fitted_model();
-        let a = model.code_for(&PropertyValue::text("m4.2xlarge"));
-        let b = model.code_for(&PropertyValue::text("r4.2xlarge"));
+        let a = model.code_for(&PropertyValue::text("m4.2xlarge")).unwrap();
+        let b = model.code_for(&PropertyValue::text("r4.2xlarge")).unwrap();
         assert_eq!(a.len(), 4);
         let diff: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum();
         assert!(diff > 1e-9, "distinct properties must get distinct codes");
@@ -834,7 +1021,7 @@ mod tests {
         let mut props = samples[0].props.clone();
         props.optional.clear();
         // Must not panic; zero vectors stand in.
-        let p = model.predict(4.0, &props);
+        let p = model.predict(4.0, &props).unwrap();
         assert!(p.is_finite());
     }
 }

@@ -13,53 +13,52 @@
 //!
 //! - **Graph arena** — one recycled [`GraphArena`]: the tape replays into
 //!   retained node storage, so the forward pass allocates nothing once warm.
-//! - **Encoding cache** — property encodings are deterministic, so they are
-//!   computed once per distinct [`PropertyValue`] and then copied out of a
-//!   hash map (no re-hashing of text n-grams, no fresh `Vec`s).
+//! - **Shared encoding cache** — property encodings are deterministic, so
+//!   they are computed once per distinct [`PropertyValue`] *per model* and
+//!   served from the lock-sharded cache inside [`ModelState`] — one thread's
+//!   warm-up benefits every thread serving the same snapshot.
 //! - **Batch assembly** — the scale-out features and stacked property rows
 //!   are written straight into two reusable matrices recycled through a
 //!   capacity-keyed [`BufferPool`].
-//! - **Prediction-only forward** — [`Bellamy::forward_predict`] skips the
-//!   decoder and reconstruction loss entirely (they exist for the training
-//!   objective only) and runs each linear layer as one fused
-//!   matmul+bias+activation tape op.
+//! - **Prediction-only forward** — the forward pass skips the decoder and
+//!   reconstruction loss entirely (they exist for the training objective
+//!   only) and runs each linear layer as one fused matmul+bias+activation
+//!   tape op.
 //!
 //! # Lifecycle and reuse rules
 //!
 //! A `Predictor` is a plain reusable workspace: it holds **no** model state,
-//! so one instance can serve any number of models (methods take the model
-//! explicitly). Reuse rules:
+//! so one instance can serve any number of models (methods take an
+//! `&`[`ModelState`] explicitly). Reuse rules:
 //!
 //! - Keep one `Predictor` per thread and reuse it across calls — that is
-//!   what makes the steady state allocation-free. [`Bellamy::predict`] does
-//!   this automatically through a thread-local instance.
+//!   what makes the steady state allocation-free. [`ModelState::predict`]
+//!   does this automatically through a thread-local instance.
 //! - A `Predictor` is *not* `Sync`; give each worker thread its own (they
-//!   are cheap when cold: all storage grows on demand).
+//!   are cheap when cold: all storage grows on demand). The `ModelState`
+//!   *is* `Sync` — share one `Arc` across all workers.
 //! - Batch sizes may vary freely between calls; each distinct shape is
 //!   served from the buffer pool after it has been seen once.
-//! - The encoding cache is capped ([`ENCODE_CACHE_CAP`] distinct property
-//!   values); on overflow it is cleared and re-warms — correctness is never
+//! - The shared encoding cache is capped
+//!   ([`crate::state::ENCODE_CACHE_CAP`] distinct property values); on
+//!   overflow a shard is cleared and re-warms — correctness is never
 //!   affected, only the amortization.
 //!
 //! Batched and one-at-a-time predictions agree **bit-for-bit**: every op in
 //! the prediction path (fused linears, row slicing, concatenation, code
 //! averaging) is row-independent, so a query's result does not depend on
 //! its batch neighbors. The checkpoint/round-trip and batching tests in
-//! `crates/core/tests/predictor.rs` pin this down.
+//! `crates/core/tests/predictor.rs` pin this down, and
+//! `crates/core/tests/concurrency.rs` extends the guarantee across threads
+//! hammering one shared snapshot.
 
 use crate::features::{scale_out_features, ContextProperties};
-use crate::model::{Bellamy, EncodedSample};
+use crate::model::EncodedSample;
+use crate::state::ModelState;
 use bellamy_encoding::PropertyValue;
 use bellamy_linalg::{BufferPool, Matrix};
 use bellamy_nn::{Graph, GraphArena};
 use std::cell::RefCell;
-use std::collections::HashMap;
-
-/// Upper bound on cached distinct property encodings. Real workloads see a
-/// few properties per context and a few hundred contexts per process; the
-/// cap only guards against pathological unbounded streams. On overflow the
-/// cache is cleared (and re-warms), never grown past the cap.
-pub const ENCODE_CACHE_CAP: usize = 4096;
 
 /// One runtime query: a scale-out in a described context. `Copy`, and the
 /// properties are *borrowed* — building a query never clones context state.
@@ -84,8 +83,6 @@ pub struct Predictor {
     code_input: Matrix,
     /// Output buffer returned by the `predict_*` methods.
     preds: Vec<f64>,
-    /// Deterministic property-encoding memo.
-    cache: HashMap<PropertyValue, Vec<f64>>,
 }
 
 impl Default for Predictor {
@@ -108,12 +105,11 @@ impl Predictor {
             props: Matrix::zeros(0, 0),
             code_input: Matrix::zeros(0, 0),
             preds: Vec::new(),
-            cache: HashMap::new(),
         }
     }
 
     /// Runs `f` with this thread's shared predictor — the zero-setup path
-    /// [`Bellamy::predict`] and friends use so that even ad hoc single
+    /// [`ModelState::predict`] and friends use so that even ad hoc single
     /// queries reuse a warm arena.
     ///
     /// # Panics
@@ -126,23 +122,20 @@ impl Predictor {
     /// Predicted runtimes (seconds) for a batch of queries, in query order.
     /// The returned slice borrows the predictor's output buffer and is valid
     /// until the next call.
-    ///
-    /// # Panics
-    /// Panics if the model has not been fitted or loaded.
-    pub fn predict_batch(&mut self, model: &Bellamy, queries: &[PredictQuery<'_>]) -> &[f64] {
+    pub fn predict_batch(&mut self, state: &ModelState, queries: &[PredictQuery<'_>]) -> &[f64] {
         let b = queries.len();
         if b == 0 {
             self.preds.clear();
             return &self.preds;
         }
-        self.ensure_shapes(model, b);
-        let scaler = model.scaler_ref();
+        self.ensure_shapes(state, b);
+        let scaler = state.scaler();
         for (i, q) in queries.iter().enumerate() {
             scaler.transform_into(&scale_out_features(q.scale_out), self.sx.row_mut(i));
         }
         let (m, n_opt) = (
-            model.config().essential_props,
-            model.config().optional_props,
+            state.config().essential_props,
+            state.config().optional_props,
         );
         for (i, q) in queries.iter().enumerate() {
             for k in 0..m + n_opt {
@@ -153,22 +146,19 @@ impl Predictor {
                 } else {
                     q.props.optional.get(k - m)
                 };
-                Self::fill_prop_row(&mut self.cache, &mut self.props, k * b + i, model, slot);
+                Self::fill_prop_row(&mut self.props, k * b + i, state, slot);
             }
         }
-        self.run_forward(model, b)
+        self.run_forward(state, b)
     }
 
     /// Predicted runtimes for one context swept over many scale-outs — the
     /// §IV allocation-search shape. The context's properties are encoded
-    /// once (at most once per distinct property ever, via the cache) and
-    /// replicated across the batch.
-    ///
-    /// # Panics
-    /// Panics if the model has not been fitted or loaded.
+    /// once (at most once per distinct property per model, via the shared
+    /// cache) and replicated across the batch.
     pub fn predict_sweep(
         &mut self,
-        model: &Bellamy,
+        state: &ModelState,
         props: &ContextProperties,
         scale_outs: &[f64],
     ) -> &[f64] {
@@ -177,16 +167,16 @@ impl Predictor {
             self.preds.clear();
             return &self.preds;
         }
-        self.ensure_shapes(model, b);
-        let scaler = model.scaler_ref();
+        self.ensure_shapes(state, b);
+        let scaler = state.scaler();
         for (i, &x) in scale_outs.iter().enumerate() {
             scaler.transform_into(&scale_out_features(x), self.sx.row_mut(i));
         }
         let (m, n_opt) = (
-            model.config().essential_props,
-            model.config().optional_props,
+            state.config().essential_props,
+            state.config().optional_props,
         );
-        let n_dim = model.config().property_dim;
+        let n_dim = state.config().property_dim;
         for k in 0..m + n_opt {
             let slot = if k < m {
                 props.essential.get(k)
@@ -195,59 +185,65 @@ impl Predictor {
             };
             // Encode the property once into the block's first row, then
             // replicate it down the block.
-            Self::fill_prop_row(&mut self.cache, &mut self.props, k * b, model, slot);
+            Self::fill_prop_row(&mut self.props, k * b, state, slot);
             let data = self.props.as_mut_slice();
             let base = k * b * n_dim;
             for i in 1..b {
                 data.copy_within(base..base + n_dim, base + i * n_dim);
             }
         }
-        self.run_forward(model, b)
+        self.run_forward(state, b)
     }
 
     /// Single-query convenience over [`Predictor::predict_batch`].
     pub fn predict_one(
         &mut self,
-        model: &Bellamy,
+        state: &ModelState,
         scale_out: f64,
         props: &ContextProperties,
     ) -> f64 {
         let q = PredictQuery { scale_out, props };
-        self.predict_batch(model, std::slice::from_ref(&q))[0]
+        self.predict_batch(state, std::slice::from_ref(&q))[0]
     }
 
     /// Predicted runtimes for pre-encoded samples (the training-internal
     /// path: validation scoring, training MAE).
-    pub(crate) fn predict_encoded(&mut self, model: &Bellamy, encoded: &[EncodedSample]) -> &[f64] {
+    pub(crate) fn predict_encoded(
+        &mut self,
+        state: &ModelState,
+        encoded: &[EncodedSample],
+    ) -> &[f64] {
         let b = encoded.len();
         if b == 0 {
             self.preds.clear();
             return &self.preds;
         }
-        self.ensure_shapes(model, b);
+        self.ensure_shapes(state, b);
         for (i, e) in encoded.iter().enumerate() {
             self.sx.row_mut(i).copy_from_slice(&e.sx);
             for (k, p) in e.props.iter().enumerate() {
                 self.props.row_mut(k * b + i).copy_from_slice(p);
             }
         }
-        self.run_forward(model, b)
+        self.run_forward(state, b)
     }
 
     /// The latent code (length `M`) the auto-encoder assigns to one property
     /// (Fig. 4), computed through the shared arena and encoding cache.
-    pub fn code_for(&mut self, model: &Bellamy, property: &PropertyValue) -> Vec<f64> {
-        let n_dim = model.config().property_dim;
+    pub fn code_for(&mut self, state: &ModelState, property: &PropertyValue) -> Vec<f64> {
+        let n_dim = state.config().property_dim;
         if self.code_input.shape() != (1, n_dim) {
             let stale = std::mem::replace(&mut self.code_input, Matrix::zeros(0, 0));
             self.pool.put_matrix(stale);
             self.code_input = self.pool.take_matrix(1, n_dim);
         }
-        let enc = Self::cached_encoding(&mut self.cache, model, property);
-        self.code_input.row_mut(0).copy_from_slice(enc);
+        let code_input = &mut self.code_input;
+        state.with_encoding(property, |enc| {
+            code_input.row_mut(0).copy_from_slice(enc);
+        });
         let arena = std::mem::take(&mut self.arena);
-        let mut graph = Graph::from_arena(arena, model.params());
-        let code = model.encode_code(&mut graph, &self.code_input);
+        let mut graph = Graph::from_arena(arena, state.params());
+        let code = state.layers().encode_code(&mut graph, &self.code_input);
         let out = graph.value(code).row(0).to_vec();
         self.arena = graph.into_arena();
         out
@@ -255,9 +251,9 @@ impl Predictor {
 
     /// Resizes the batch matrices for `b` queries, recycling storage through
     /// the pool (allocation-free once each batch size has been seen).
-    fn ensure_shapes(&mut self, model: &Bellamy, b: usize) {
-        let n_dim = model.config().property_dim;
-        let n_props = model.config().essential_props + model.config().optional_props;
+    fn ensure_shapes(&mut self, state: &ModelState, b: usize) {
+        let n_dim = state.config().property_dim;
+        let n_props = state.config().essential_props + state.config().optional_props;
         if self.sx.shape() != (b, 3) || self.props.shape() != (n_props * b, n_dim) {
             let stale_sx = std::mem::replace(&mut self.sx, Matrix::zeros(0, 0));
             let stale_props = std::mem::replace(&mut self.props, Matrix::zeros(0, 0));
@@ -269,53 +265,31 @@ impl Predictor {
     }
 
     /// Writes the encoding of `slot` (or a zero row for a missing property)
-    /// into `props` row `row`.
+    /// into `props` row `row`, through the model's shared cache.
     fn fill_prop_row(
-        cache: &mut HashMap<PropertyValue, Vec<f64>>,
         props: &mut Matrix,
         row: usize,
-        model: &Bellamy,
+        state: &ModelState,
         slot: Option<&PropertyValue>,
     ) {
         match slot {
-            Some(p) => {
-                let enc = Self::cached_encoding(cache, model, p);
+            Some(p) => state.with_encoding(p, |enc| {
                 props.row_mut(row).copy_from_slice(enc);
-            }
+            }),
             None => props.row_mut(row).fill(0.0),
         }
     }
 
-    /// The memoized encoding of `p` (computing and inserting it on miss).
-    ///
-    /// Entries are validated against the model's encoding width: a predictor
-    /// shared across models with different `property_dim` (the thread-local
-    /// one behind [`Bellamy::predict`] can be) re-encodes instead of serving
-    /// a stale-length vector. Alternating such models thrashes the entry —
-    /// correct, just un-amortized.
-    fn cached_encoding<'c>(
-        cache: &'c mut HashMap<PropertyValue, Vec<f64>>,
-        model: &Bellamy,
-        p: &PropertyValue,
-    ) -> &'c [f64] {
-        let n_dim = model.encoder_ref().vector_size();
-        let stale = cache.get(p).map(|e| e.len() != n_dim).unwrap_or(true);
-        if stale {
-            if cache.len() >= ENCODE_CACHE_CAP {
-                cache.clear();
-            }
-            cache.insert(p.clone(), model.encoder_ref().encode(p));
-        }
-        cache.get(p).expect("just inserted")
-    }
-
     /// Runs the prediction-only forward pass over the filled batch matrices
     /// and copies the rescaled outputs into the result buffer.
-    fn run_forward(&mut self, model: &Bellamy, b: usize) -> &[f64] {
+    fn run_forward(&mut self, state: &ModelState, b: usize) -> &[f64] {
         let arena = std::mem::take(&mut self.arena);
-        let mut graph = Graph::from_arena(arena, model.params());
-        let pred = model.forward_predict(&mut graph, &self.sx, &self.props, b);
-        let scale = model.target_scale();
+        let mut graph = Graph::from_arena(arena, state.params());
+        let pred =
+            state
+                .layers()
+                .forward_predict(state.config(), &mut graph, &self.sx, &self.props, b);
+        let scale = state.target_scale();
         let values = graph.value(pred);
         self.preds.clear();
         self.preds.reserve(b);

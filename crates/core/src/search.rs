@@ -206,8 +206,11 @@ pub fn search_pretrain(
             let val_mae_s = if report.diverged {
                 f64::NAN
             } else {
+                // Score through a published snapshot — the same shared-state
+                // path the serving side uses.
+                let state = model.snapshot().expect("pretrain fitted the model");
                 Predictor::with_thread_local(|p| {
-                    metrics::mae(p.predict_batch(&model, &val_queries), &val_targets)
+                    metrics::mae(p.predict_batch(&state, &val_queries), &val_targets)
                 })
             };
             TrialResult {
@@ -312,7 +315,7 @@ mod tests {
             assert!(best <= t.val_mae_s);
         }
         assert!(model.is_fitted());
-        let p = model.predict(6.0, &samples[0].props);
+        let p = model.predict(6.0, &samples[0].props).unwrap();
         assert!(p.is_finite());
     }
 
@@ -376,7 +379,7 @@ mod tests {
         let best = &report.trials[report.best_index];
         assert!(best.val_mae_s.is_finite());
         assert_eq!(best.config.lr, 1e-2);
-        assert!(model.predict(6.0, &samples[0].props).is_finite());
+        assert!(model.predict(6.0, &samples[0].props).unwrap().is_finite());
     }
 
     #[test]

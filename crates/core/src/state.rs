@@ -1,0 +1,304 @@
+//! The immutable, shareable half of a model: [`ModelState`].
+//!
+//! Bellamy's reuse story — one pretrained model per (algorithm, objective)
+//! recalled and served across contexts — needs a clean split between
+//! *training* (mutation) and *serving* (concurrent reads):
+//!
+//! - [`crate::Bellamy`] is the **trainer handle**: it owns the mutable
+//!   parameters and is driven by `pretrain`/`fine_tune`.
+//! - `ModelState` is an **immutable snapshot** of a fitted model — weights,
+//!   fitted scalers, target scale, and configuration — published behind an
+//!   `Arc` by [`crate::Bellamy::snapshot`] (copy-on-write: republishing an
+//!   unchanged handle is a reference-count bump).
+//!
+//! Any number of threads predict through one `Arc<ModelState>` with no
+//! locking on the hot path: a [`crate::Predictor`] per thread holds the
+//! mutable scratch (graph arena, batch matrices), while the state carries
+//! everything threads can *share* — including the memoized
+//! property-encoding cache, which is lock-sharded so that one thread
+//! encoding `"m4.2xlarge"` warms it for every other thread serving the same
+//! model. Batched, swept, and single-query predictions through the same
+//! state agree bit-for-bit (`tests/predictor.rs`, `tests/concurrency.rs`).
+
+use crate::config::BellamyConfig;
+use crate::features::ContextProperties;
+use crate::model::{checkpoint_metadata, Layers};
+use bellamy_encoding::{MinMaxScaler, PropertyEncoder, PropertyValue};
+use bellamy_nn::{Checkpoint, ParamSet};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Upper bound on cached distinct property encodings per model state. Real
+/// workloads see a few properties per context and a few hundred contexts per
+/// process; the cap only guards against pathological unbounded streams. On
+/// overflow the offending shard is cleared (and re-warms) — correctness is
+/// never affected, only the amortization.
+pub const ENCODE_CACHE_CAP: usize = 4096;
+
+/// Lock shards in the encoding cache. Sharding keeps writer stalls local:
+/// a miss inserting into one shard never blocks readers of the other seven.
+const CACHE_SHARDS: usize = 8;
+
+/// The lock-sharded, bounded property-encoding memo shared by every thread
+/// serving one model. Encodings are deterministic per (encoder, property),
+/// so a cached vector is valid for the lifetime of the state.
+struct EncodingCache {
+    shards: Vec<RwLock<HashMap<PropertyValue, Vec<f64>>>>,
+}
+
+impl EncodingCache {
+    fn new() -> Self {
+        Self {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard_for(&self, p: &PropertyValue) -> &RwLock<HashMap<PropertyValue, Vec<f64>>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        p.hash(&mut h);
+        &self.shards[(h.finish() as usize) % CACHE_SHARDS]
+    }
+
+    /// Runs `f` on the cached encoding of `p`, computing and inserting it
+    /// first on a miss. The hit path takes one shard read lock and performs
+    /// no allocation; the miss path encodes outside any lock and takes the
+    /// shard write lock only to insert.
+    fn with_encoding(&self, encoder: &PropertyEncoder, p: &PropertyValue, f: impl FnOnce(&[f64])) {
+        let shard = self.shard_for(p);
+        {
+            let read = shard.read();
+            if let Some(enc) = read.get(p) {
+                f(enc);
+                return;
+            }
+        }
+        let enc = encoder.encode(p);
+        let mut write = shard.write();
+        if write.len() >= ENCODE_CACHE_CAP / CACHE_SHARDS {
+            write.clear();
+        }
+        let entry = write.entry(p.clone()).or_insert(enc);
+        f(entry);
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+}
+
+/// Where a state came from, when it was produced through a
+/// [`crate::hub::ModelHub`]: its registry key and (for fine-tuned
+/// descendants) the key of the pretrained parent checkpoint it was derived
+/// from.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Lineage {
+    pub key: Option<String>,
+    pub parent: Option<String>,
+}
+
+/// An immutable snapshot of a fitted Bellamy model — everything inference
+/// needs, nothing training can move. See the module docs for the
+/// trainer/serving split and the concurrency contract.
+pub struct ModelState {
+    config: BellamyConfig,
+    layers: Layers,
+    params: ParamSet,
+    encoder: PropertyEncoder,
+    scaler: MinMaxScaler,
+    target_scale: f64,
+    lineage: Lineage,
+    cache: EncodingCache,
+}
+
+impl std::fmt::Debug for ModelState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelState")
+            .field("config", &self.config)
+            .field("target_scale", &self.target_scale)
+            .field("lineage", &self.lineage)
+            .field("cached_encodings", &self.cache.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ModelState {
+    pub(crate) fn new(
+        config: BellamyConfig,
+        layers: Layers,
+        params: ParamSet,
+        encoder: PropertyEncoder,
+        scaler: MinMaxScaler,
+        target_scale: f64,
+    ) -> Self {
+        Self {
+            config,
+            layers,
+            params,
+            encoder,
+            scaler,
+            target_scale,
+            lineage: Lineage::default(),
+            cache: EncodingCache::new(),
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &BellamyConfig {
+        &self.config
+    }
+
+    /// The target scale applied to predictions.
+    pub fn target_scale(&self) -> f64 {
+        self.target_scale
+    }
+
+    pub(crate) fn layers(&self) -> &Layers {
+        &self.layers
+    }
+
+    pub(crate) fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    pub(crate) fn encoder(&self) -> &PropertyEncoder {
+        &self.encoder
+    }
+
+    pub(crate) fn scaler(&self) -> &MinMaxScaler {
+        &self.scaler
+    }
+
+    pub(crate) fn set_lineage(&mut self, key: Option<String>, parent: Option<String>) {
+        self.lineage = Lineage { key, parent };
+    }
+
+    /// The hub registry key this state was published under, if any.
+    pub fn registry_key(&self) -> Option<&str> {
+        self.lineage.key.as_deref()
+    }
+
+    /// For fine-tuned descendants: the registry key of the pretrained
+    /// parent checkpoint (provenance).
+    pub fn parent_key(&self) -> Option<&str> {
+        self.lineage.parent.as_deref()
+    }
+
+    /// Content fingerprint of the weights (exact bits). Two states with
+    /// equal fingerprints serve bit-identical predictions.
+    pub fn params_fingerprint(&self) -> u64 {
+        self.params.values_fingerprint()
+    }
+
+    /// Runs `f` on the shared cached encoding of `slot` (a zero row is the
+    /// caller's business for missing properties).
+    pub(crate) fn with_encoding(&self, p: &PropertyValue, f: impl FnOnce(&[f64])) {
+        self.cache.with_encoding(&self.encoder, p, f);
+    }
+
+    /// Number of distinct property encodings currently cached (bounded by
+    /// [`ENCODE_CACHE_CAP`]).
+    pub fn encoding_cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Predicts the runtime (seconds) for a scale-out in a described
+    /// context. Total — a `ModelState` is always fitted. Served through
+    /// this thread's shared predictor arena; for many queries, prefer
+    /// [`crate::Predictor::predict_batch`] / [`crate::Predictor::predict_sweep`].
+    pub fn predict(&self, scale_out: f64, props: &ContextProperties) -> f64 {
+        crate::Predictor::with_thread_local(|p| p.predict_one(self, scale_out, props))
+    }
+
+    /// The latent code (length `M`) the auto-encoder assigns to one
+    /// property — the vectors visualized in Fig. 4.
+    pub fn code_for(&self, property: &PropertyValue) -> Vec<f64> {
+        crate::Predictor::with_thread_local(|p| p.code_for(self, property))
+    }
+
+    /// Serializes the state (same format as [`crate::Bellamy::to_checkpoint`],
+    /// so either side restores from either).
+    pub fn to_checkpoint(&self) -> Checkpoint {
+        let meta = checkpoint_metadata(&self.config, Some(&self.scaler), self.target_scale);
+        Checkpoint::new(self.params.clone(), meta)
+    }
+
+    /// Saves to a file.
+    pub fn save(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), bellamy_nn::CheckpointError> {
+        self.to_checkpoint().save(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bellamy, TrainingSample};
+    use bellamy_encoding::PropertyValue;
+
+    fn tiny_samples() -> Vec<TrainingSample> {
+        (0..6)
+            .map(|i| TrainingSample {
+                scale_out: 2.0 + i as f64,
+                runtime_s: 100.0 - 5.0 * i as f64,
+                props: ContextProperties {
+                    essential: vec![PropertyValue::Number(1024 + i as u64)],
+                    optional: vec![PropertyValue::text(format!("opt-{i}"))],
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encoding_cache_is_shared_bounded_and_deterministic() {
+        let samples = tiny_samples();
+        let mut model = Bellamy::new(BellamyConfig::default(), 1);
+        model.fit_normalization(&samples);
+        let state = model.snapshot().unwrap();
+        assert_eq!(state.encoding_cache_len(), 0, "cold cache");
+
+        let p1 = state.predict(4.0, &samples[0].props);
+        let warm = state.encoding_cache_len();
+        assert!(warm > 0, "serving must populate the shared cache");
+        let p2 = state.predict(4.0, &samples[0].props);
+        assert_eq!(p1.to_bits(), p2.to_bits());
+        assert_eq!(
+            state.encoding_cache_len(),
+            warm,
+            "repeat queries must hit, not grow"
+        );
+    }
+
+    #[test]
+    fn encoding_cache_stays_under_the_cap() {
+        let samples = tiny_samples();
+        let mut model = Bellamy::new(BellamyConfig::default(), 2);
+        model.fit_normalization(&samples);
+        let state = model.snapshot().unwrap();
+        // A pathological stream of distinct properties (more than the cap).
+        for i in 0..(ENCODE_CACHE_CAP + 512) {
+            state.with_encoding(&PropertyValue::Number(i as u64), |enc| {
+                assert_eq!(enc.len(), state.config().property_dim);
+            });
+        }
+        assert!(
+            state.encoding_cache_len() <= ENCODE_CACHE_CAP,
+            "cache exceeded its cap: {}",
+            state.encoding_cache_len()
+        );
+    }
+
+    #[test]
+    fn lineage_defaults_to_none() {
+        let samples = tiny_samples();
+        let mut model = Bellamy::new(BellamyConfig::default(), 3);
+        model.fit_normalization(&samples);
+        let state = model.snapshot().unwrap();
+        assert!(state.registry_key().is_none());
+        assert!(state.parent_key().is_none());
+    }
+}

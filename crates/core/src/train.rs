@@ -336,9 +336,12 @@ impl Pretrainer {
     }
 
     /// Training MAE (seconds) of the current parameters over the training
-    /// set.
+    /// set, scored through a snapshot of the handle.
     pub fn train_mae(&self, model: &Bellamy, samples: &[TrainingSample]) -> f64 {
-        let preds = model.predict_encoded(&self.encoded);
+        let state = model.snapshot().expect("pretrainer fitted normalization");
+        let preds = crate::Predictor::with_thread_local(|p| {
+            p.predict_encoded(&state, &self.encoded).to_vec()
+        });
         let targets: Vec<f64> = samples.iter().map(|s| s.runtime_s).collect();
         metrics::mae(&preds, &targets)
     }
@@ -432,7 +435,9 @@ mod tests {
         // Error of the untrained (but normalized) model.
         model.fit_normalization(&samples);
         let encoded = model.encode_samples(&samples);
-        let preds0 = model.predict_encoded(&encoded);
+        let state0 = model.snapshot().unwrap();
+        let preds0 =
+            crate::Predictor::with_thread_local(|p| p.predict_encoded(&state0, &encoded).to_vec());
         let targets: Vec<f64> = samples.iter().map(|s| s.runtime_s).collect();
         let mae0 = bellamy_nn::metrics::mae(&preds0, &targets);
 
@@ -461,8 +466,8 @@ mod tests {
         let r1 = pretrain(&mut m1, &samples, &cfg, 9);
         let r2 = pretrain(&mut m2, &samples, &cfg, 9);
         assert_eq!(r1.final_loss, r2.final_loss);
-        let p1 = m1.predict(6.0, &samples[0].props);
-        let p2 = m2.predict(6.0, &samples[0].props);
+        let p1 = m1.predict(6.0, &samples[0].props).unwrap();
+        let p2 = m2.predict(6.0, &samples[0].props).unwrap();
         assert_eq!(p1, p2);
     }
 
@@ -481,7 +486,10 @@ mod tests {
             };
             let mut model = Bellamy::new(BellamyConfig::default(), 17);
             let report = pretrain(&mut model, &samples, &cfg, 23);
-            (report.final_loss, model.predict(6.0, &samples[0].props))
+            (
+                report.final_loss,
+                model.predict(6.0, &samples[0].props).unwrap(),
+            )
         };
         let sequential = run(1, 4);
         let parallel = run(4, 4);
@@ -517,8 +525,8 @@ mod tests {
             (l1 - l2).abs() < 1e-6 * l1.abs().max(1.0),
             "optimized {l1} vs legacy {l2}"
         );
-        let p1 = m1.predict(6.0, &samples[0].props);
-        let p2 = m2.predict(6.0, &samples[0].props);
+        let p1 = m1.predict(6.0, &samples[0].props).unwrap();
+        let p2 = m2.predict(6.0, &samples[0].props).unwrap();
         assert!(
             (p1 - p2).abs() < 1e-6 * p1.abs().max(1.0),
             "optimized {p1} vs legacy {p2}"
@@ -543,7 +551,7 @@ mod tests {
         let mut model = Bellamy::new(BellamyConfig::default(), 2);
         let report = pretrain(&mut model, &samples, &cfg, 6);
         assert!(report.final_loss.is_finite());
-        let p = model.predict(6.0, &samples[0].props);
+        let p = model.predict(6.0, &samples[0].props).unwrap();
         assert!(
             p.is_finite(),
             "empty shards must not corrupt the update: {p}"
@@ -559,7 +567,7 @@ mod tests {
             6,
         );
         assert_eq!(seq_report.final_loss, report.final_loss);
-        assert_eq!(sequential.predict(6.0, &samples[0].props), p);
+        assert_eq!(sequential.predict(6.0, &samples[0].props).unwrap(), p);
     }
 
     #[test]
@@ -587,7 +595,7 @@ mod tests {
             "the poisoning update must be rolled back"
         );
         // The rolled-back model is still usable for inference.
-        assert!(model.predict(6.0, &samples[0].props).is_finite());
+        assert!(model.predict(6.0, &samples[0].props).unwrap().is_finite());
     }
 
     #[test]

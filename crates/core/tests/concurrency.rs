@@ -1,0 +1,178 @@
+//! Concurrency regression tests for the shared-snapshot serving path.
+//!
+//! One `Arc<ModelState>` is hammered by N threads, each with its own
+//! `Predictor` workspace. The model-state split promises that concurrency
+//! is *free*: no thread can observe anything but the immutable published
+//! weights, so every thread's results must be bit-identical to the
+//! single-threaded run, no matter how the shared lock-sharded encoding
+//! cache interleaves.
+
+use bellamy_core::state::ENCODE_CACHE_CAP;
+use bellamy_core::train::pretrain;
+use bellamy_core::{
+    Bellamy, BellamyConfig, ModelState, PredictQuery, Predictor, PretrainConfig, TrainingSample,
+};
+use bellamy_data::{generate_c3o, Algorithm, GeneratorConfig};
+use std::sync::Arc;
+
+fn trained_state() -> (Arc<ModelState>, Vec<TrainingSample>) {
+    let ds = generate_c3o(&GeneratorConfig::seeded(29));
+    let mut samples = Vec::new();
+    for ctx in ds.contexts_for(Algorithm::KMeans).into_iter().take(3) {
+        samples.extend(
+            ds.runs_for_context(ctx.id)
+                .iter()
+                .map(|r| TrainingSample::from_run(ctx, r)),
+        );
+    }
+    let mut model = Bellamy::new(BellamyConfig::default(), 5);
+    pretrain(
+        &mut model,
+        &samples,
+        &PretrainConfig {
+            epochs: 10,
+            ..PretrainConfig::default()
+        },
+        5,
+    );
+    (model.snapshot().expect("pretrained"), samples)
+}
+
+#[test]
+fn concurrent_predict_batch_is_bit_identical_to_single_threaded() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 25;
+    let (state, samples) = trained_state();
+    let samples = Arc::new(samples);
+
+    // Single-threaded reference on a cold cache.
+    let reference: Vec<u64> = {
+        let queries: Vec<PredictQuery<'_>> = samples
+            .iter()
+            .map(|s| PredictQuery {
+                scale_out: s.scale_out,
+                props: &s.props,
+            })
+            .collect();
+        Predictor::new()
+            .predict_batch(&state, &queries)
+            .iter()
+            .map(|p| p.to_bits())
+            .collect()
+    };
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let state = Arc::clone(&state);
+            let samples = Arc::clone(&samples);
+            std::thread::spawn(move || {
+                let queries: Vec<PredictQuery<'_>> = samples
+                    .iter()
+                    .map(|s| PredictQuery {
+                        scale_out: s.scale_out,
+                        props: &s.props,
+                    })
+                    .collect();
+                let mut predictor = Predictor::new();
+                let mut last = Vec::new();
+                // Stagger the batch shapes a little so threads interleave
+                // differently every round.
+                for round in 0..ROUNDS {
+                    let cut = 1 + (t + round) % queries.len();
+                    predictor.predict_batch(&state, &queries[..cut]);
+                    last = predictor
+                        .predict_batch(&state, &queries)
+                        .iter()
+                        .map(|p| p.to_bits())
+                        .collect();
+                }
+                last
+            })
+        })
+        .collect();
+
+    for (t, w) in workers.into_iter().enumerate() {
+        let bits = w.join().expect("worker panicked");
+        assert_eq!(
+            bits, reference,
+            "thread {t} diverged from the single-threaded reference"
+        );
+    }
+    assert!(
+        state.encoding_cache_len() <= ENCODE_CACHE_CAP,
+        "shared cache exceeded its bound: {}",
+        state.encoding_cache_len()
+    );
+}
+
+#[test]
+fn concurrent_sweeps_and_codes_share_one_snapshot() {
+    const THREADS: usize = 6;
+    let (state, samples) = trained_state();
+    let props = Arc::new(samples[0].props.clone());
+    let xs: Vec<f64> = (2..=12).map(|x| x as f64).collect();
+
+    let reference: Vec<u64> = Predictor::new()
+        .predict_sweep(&state, &props, &xs)
+        .iter()
+        .map(|p| p.to_bits())
+        .collect();
+    let code_reference = state.code_for(&props.essential[0]);
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let state = Arc::clone(&state);
+            let props = Arc::clone(&props);
+            let xs = xs.clone();
+            std::thread::spawn(move || {
+                let mut predictor = Predictor::new();
+                let sweep: Vec<u64> = predictor
+                    .predict_sweep(&state, &props, &xs)
+                    .iter()
+                    .map(|p| p.to_bits())
+                    .collect();
+                let code = predictor.code_for(&state, &props.essential[0]);
+                (sweep, code)
+            })
+        })
+        .collect();
+
+    for w in workers {
+        let (sweep, code) = w.join().expect("worker panicked");
+        assert_eq!(sweep, reference);
+        assert_eq!(code, code_reference);
+    }
+}
+
+#[test]
+fn training_a_recalled_handle_never_moves_a_served_snapshot() {
+    // The reuse workflow in one test: while worker threads serve a
+    // published snapshot, the main thread derives a trainer handle from it
+    // and mutates away. The served results must not move.
+    let (state, samples) = trained_state();
+    let props = samples[0].props.clone();
+    let before = state.predict(6.0, &props);
+
+    let server = {
+        let state = Arc::clone(&state);
+        let props = props.clone();
+        std::thread::spawn(move || {
+            let mut predictor = Predictor::new();
+            let mut bits = Vec::new();
+            for _ in 0..50 {
+                bits.push(predictor.predict_one(&state, 6.0, &props).to_bits());
+            }
+            bits
+        })
+    };
+
+    let mut trainer = Bellamy::from_state(&state);
+    trainer.reinit_component("z.", 4242);
+    let mutated = trainer.predict(6.0, &props).unwrap();
+    assert_ne!(mutated.to_bits(), before.to_bits());
+
+    for bits in server.join().expect("server panicked") {
+        assert_eq!(bits, before.to_bits(), "served snapshot moved under load");
+    }
+    assert_eq!(state.predict(6.0, &props).to_bits(), before.to_bits());
+}

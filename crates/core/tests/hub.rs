@@ -1,0 +1,348 @@
+//! End-to-end guarantees of the `ModelHub` reuse layer: disk persistence
+//! round trips bit-identically, recalls never re-train, fine-tuned
+//! descendants match hand-wired fine-tuning bit-for-bit and carry
+//! provenance, and the descendant LRU evicts.
+
+use bellamy_core::finetune::fine_tune;
+use bellamy_core::train::pretrain;
+use bellamy_core::{
+    Bellamy, BellamyConfig, FinetuneConfig, HubError, ModelHub, ModelKey, PredictQuery, Predictor,
+    PretrainConfig, ReuseStrategy, TrainingSample,
+};
+use bellamy_data::{generate_c3o, Algorithm, GeneratorConfig};
+use std::sync::Arc;
+
+fn corpus() -> (Vec<TrainingSample>, Vec<TrainingSample>) {
+    let ds = generate_c3o(&GeneratorConfig::seeded(17));
+    let ctxs = ds.contexts_for(Algorithm::Grep);
+    let mut history = Vec::new();
+    for ctx in ctxs.iter().skip(1).take(3) {
+        history.extend(
+            ds.runs_for_context(ctx.id)
+                .iter()
+                .map(|r| TrainingSample::from_run(ctx, r)),
+        );
+    }
+    let target: Vec<TrainingSample> = ds
+        .runs_for_context(ctxs[0].id)
+        .iter()
+        .step_by(9)
+        .map(|r| TrainingSample::from_run(ctxs[0], r))
+        .collect();
+    (history, target)
+}
+
+fn quick_pretrain() -> PretrainConfig {
+    PretrainConfig {
+        epochs: 12,
+        ..PretrainConfig::default()
+    }
+}
+
+fn quick_finetune() -> FinetuneConfig {
+    FinetuneConfig {
+        max_epochs: 60,
+        patience: 40,
+        ..FinetuneConfig::default()
+    }
+}
+
+fn unique_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("bellamy-hub-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn recall_or_pretrain_persists_and_a_second_hub_recalls_bit_identically() {
+    let (history, target) = corpus();
+    let dir = unique_dir("roundtrip");
+    let _ = std::fs::remove_dir_all(&dir);
+    let key = ModelKey::new("grep", "runtime", &BellamyConfig::default());
+
+    // First instance: miss everywhere -> pretrain once, persist.
+    let hub1 = ModelHub::at(&dir).unwrap();
+    let state1 = hub1
+        .recall_or_pretrain(&key, &quick_pretrain(), 7, || history.clone())
+        .unwrap();
+    assert_eq!(hub1.stats().pretrains, 1);
+    assert_eq!(state1.registry_key(), Some(key.id()).as_deref());
+
+    // Same instance again: memory hit, same Arc, the samples closure must
+    // not even run.
+    let again = hub1
+        .recall_or_pretrain(&key, &quick_pretrain(), 7, || {
+            panic!("a memory recall must not materialize training data")
+        })
+        .unwrap();
+    assert!(Arc::ptr_eq(&state1, &again));
+    assert_eq!(hub1.stats().memory_recalls, 1);
+
+    // A *second* hub instance on the same directory (simulated restart /
+    // other process): recalls from disk, never re-trains, and serves
+    // bit-identical predictions — the machinery predictor.rs pins for
+    // checkpoints, here across the whole hub path.
+    let hub2 = ModelHub::at(&dir).unwrap();
+    let state2 = hub2
+        .recall_or_pretrain(&key, &quick_pretrain(), 7, || {
+            panic!("a disk recall must not re-pretrain")
+        })
+        .unwrap();
+    assert_eq!(hub2.stats().disk_recalls, 1);
+    assert_eq!(hub2.stats().pretrains, 0);
+    assert_eq!(state1.params_fingerprint(), state2.params_fingerprint());
+
+    let queries: Vec<PredictQuery<'_>> = target
+        .iter()
+        .map(|s| PredictQuery {
+            scale_out: s.scale_out,
+            props: &s.props,
+        })
+        .collect();
+    let mut predictor = Predictor::new();
+    let first = predictor.predict_batch(&state1, &queries).to_vec();
+    let second = predictor.predict_batch(&state2, &queries).to_vec();
+    for (a, b) in first.iter().zip(second.iter()) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "hub restart must not move predictions"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fine_tuned_for_matches_hand_wired_fine_tune_bit_for_bit() {
+    let (history, target) = corpus();
+    let hub = ModelHub::in_memory();
+    let key = ModelKey::new("grep", "runtime-ft", &BellamyConfig::default());
+    let parent = hub
+        .recall_or_pretrain(&key, &quick_pretrain(), 3, || history.clone())
+        .unwrap();
+
+    let tuned = hub
+        .fine_tuned_for(
+            &key,
+            "grep-target-ctx",
+            &target,
+            &quick_finetune(),
+            ReuseStrategy::PartialUnfreeze,
+            11,
+        )
+        .unwrap();
+
+    // Hand-wired: identical pretrain (shared via the recalled parent) +
+    // identical fine-tune on a privately derived handle.
+    let mut hand = Bellamy::from_state(&parent);
+    fine_tune(
+        &mut hand,
+        &target,
+        &quick_finetune(),
+        ReuseStrategy::PartialUnfreeze,
+        11,
+    );
+    let hand_state = hand.snapshot().unwrap();
+
+    assert_eq!(
+        tuned.params_fingerprint(),
+        hand_state.params_fingerprint(),
+        "hub fine-tune must be bit-identical to the hand-wired path"
+    );
+    for s in &target {
+        let a = tuned.predict(s.scale_out, &s.props);
+        let b = hand_state.predict(s.scale_out, &s.props);
+        assert_eq!(a.to_bits(), b.to_bits(), "x = {}", s.scale_out);
+    }
+
+    // Provenance: the descendant records its parent checkpoint.
+    assert_eq!(tuned.parent_key(), Some(key.id()).as_deref());
+    assert!(tuned
+        .registry_key()
+        .expect("descendants are labelled")
+        .contains("grep-target-ctx"));
+
+    // Identical request: LRU hit, same Arc.
+    let cached = hub
+        .fine_tuned_for(
+            &key,
+            "grep-target-ctx",
+            &target,
+            &quick_finetune(),
+            ReuseStrategy::PartialUnfreeze,
+            11,
+        )
+        .unwrap();
+    assert!(Arc::ptr_eq(&tuned, &cached));
+    assert_eq!(hub.stats().finetune_hits, 1);
+    assert_eq!(hub.stats().finetunes, 1);
+
+    // A different strategy is a different descendant.
+    let full = hub
+        .fine_tuned_for(
+            &key,
+            "grep-target-ctx",
+            &target,
+            &quick_finetune(),
+            ReuseStrategy::FullUnfreeze,
+            11,
+        )
+        .unwrap();
+    assert!(!Arc::ptr_eq(&tuned, &full));
+    assert_eq!(hub.finetuned_len(), 2);
+}
+
+#[test]
+fn finetuned_descendants_are_evicted_lru() {
+    let (history, target) = corpus();
+    let hub = ModelHub::in_memory().with_finetuned_capacity(2);
+    let key = ModelKey::new("grep", "runtime-lru", &BellamyConfig::default());
+    hub.recall_or_pretrain(&key, &quick_pretrain(), 5, || history.clone())
+        .unwrap();
+
+    let tune = |ctx: &str| {
+        hub.fine_tuned_for(
+            &key,
+            ctx,
+            &target,
+            &quick_finetune(),
+            ReuseStrategy::PartialUnfreeze,
+            2,
+        )
+        .unwrap()
+    };
+
+    let a = tune("ctx-a");
+    let _b = tune("ctx-b");
+    assert_eq!(hub.finetuned_len(), 2);
+
+    // Touch A so B becomes the least recently used, then insert C.
+    let a_again = tune("ctx-a");
+    assert!(Arc::ptr_eq(&a, &a_again), "touching must be a cache hit");
+    let _c = tune("ctx-c");
+    assert_eq!(hub.finetuned_len(), 2, "capacity must hold");
+
+    // A survived (recently used): recalling it is still a hit.
+    let a_third = tune("ctx-a");
+    assert!(
+        Arc::ptr_eq(&a, &a_third),
+        "recently-used entry must survive"
+    );
+
+    // B was evicted: recalling it re-tunes (new Arc), evicting the next LRU.
+    let before = hub.stats().finetunes;
+    let b_again = tune("ctx-b");
+    assert_eq!(
+        hub.stats().finetunes,
+        before + 1,
+        "evicted descendant must be re-derived"
+    );
+    assert!(b_again.parent_key().is_some());
+    assert_eq!(hub.finetuned_len(), 2);
+}
+
+#[test]
+fn concurrent_recalls_train_once_per_key_and_in_parallel_across_keys() {
+    let (history, _) = corpus();
+    let hub = std::sync::Arc::new(ModelHub::in_memory());
+    let same_key = ModelKey::new("grep", "concurrent-same", &BellamyConfig::default());
+
+    // Four threads race the same key: exactly one pre-training must run,
+    // and everyone must end up sharing the same snapshot.
+    let states: Vec<_> = std::thread::scope(|scope| {
+        (0..4)
+            .map(|_| {
+                let hub = std::sync::Arc::clone(&hub);
+                let key = same_key.clone();
+                let history = history.clone();
+                scope.spawn(move || {
+                    hub.recall_or_pretrain(&key, &quick_pretrain(), 9, || history)
+                        .unwrap()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert_eq!(hub.stats().pretrains, 1, "same-key racers must train once");
+    for s in &states[1..] {
+        assert!(Arc::ptr_eq(&states[0], s), "racers must share one Arc");
+    }
+
+    // Distinct keys trained concurrently must each get their own model
+    // (this also exercises the parallel-miss path end to end).
+    let results: Vec<_> = std::thread::scope(|scope| {
+        (0..3)
+            .map(|i| {
+                let hub = std::sync::Arc::clone(&hub);
+                let history = history.clone();
+                scope.spawn(move || {
+                    let key = ModelKey::new(
+                        "grep",
+                        format!("concurrent-distinct-{i}"),
+                        &BellamyConfig::default(),
+                    );
+                    (
+                        key.id(),
+                        hub.recall_or_pretrain(&key, &quick_pretrain(), 10 + i, || history)
+                            .unwrap(),
+                    )
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert_eq!(hub.stats().pretrains, 4, "each distinct key trains once");
+    for (id, state) in &results {
+        assert_eq!(state.registry_key(), Some(id.as_str()));
+    }
+}
+
+#[test]
+fn fine_tuned_for_unknown_parent_errors() {
+    let (_, target) = corpus();
+    let hub = ModelHub::in_memory();
+    let key = ModelKey::new("grep", "never-registered", &BellamyConfig::default());
+    match hub.fine_tuned_for(
+        &key,
+        "ctx",
+        &target,
+        &quick_finetune(),
+        ReuseStrategy::PartialUnfreeze,
+        0,
+    ) {
+        Err(HubError::UnknownModel(id)) => assert_eq!(id, key.id()),
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+}
+
+#[test]
+fn publish_registers_an_externally_trained_model() {
+    let (history, target) = corpus();
+    let dir = unique_dir("publish");
+    let _ = std::fs::remove_dir_all(&dir);
+    let key = ModelKey::new("grep", "published", &BellamyConfig::default());
+
+    let mut model = Bellamy::new(BellamyConfig::default(), 21);
+    pretrain(&mut model, &history, &quick_pretrain(), 21);
+
+    {
+        let hub = ModelHub::at(&dir).unwrap();
+        let published = hub.publish(&key, &model).unwrap();
+        assert_eq!(published.registry_key(), Some(key.id()).as_deref());
+    }
+
+    // A fresh hub recalls the published model from disk and serves the
+    // same predictions as the original handle.
+    let hub = ModelHub::at(&dir).unwrap();
+    let recalled = hub.recall(&key).unwrap();
+    for s in target.iter().take(5) {
+        let a = model.predict(s.scale_out, &s.props).unwrap();
+        let b = recalled.predict(s.scale_out, &s.props);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

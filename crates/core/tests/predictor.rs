@@ -4,13 +4,16 @@
 //! swept, and one-at-a-time predictions must agree **bit-for-bit** — and a
 //! checkpoint round trip must not move a single bit either. These are the
 //! invariants that make it safe for every internal caller (grid search,
-//! fine-tune scoring, the eval harness) to share one code path.
+//! fine-tune scoring, the eval harness) to share one code path. Predictions
+//! run through `Arc`-shared [`ModelState`] snapshots — the same objects the
+//! concurrency tests hammer from many threads.
 
 use bellamy_core::train::pretrain;
 use bellamy_core::{
-    Bellamy, BellamyConfig, PredictQuery, Predictor, PretrainConfig, TrainingSample,
+    Bellamy, BellamyConfig, ModelState, PredictQuery, Predictor, PretrainConfig, TrainingSample,
 };
 use bellamy_data::{generate_c3o, Algorithm, GeneratorConfig};
+use std::sync::Arc;
 
 fn trained_model() -> (Bellamy, Vec<TrainingSample>) {
     let ds = generate_c3o(&GeneratorConfig::seeded(11));
@@ -35,9 +38,15 @@ fn trained_model() -> (Bellamy, Vec<TrainingSample>) {
     (model, samples)
 }
 
+fn trained_state() -> (Arc<ModelState>, Vec<TrainingSample>) {
+    let (model, samples) = trained_model();
+    (model.snapshot().expect("pretrained"), samples)
+}
+
 #[test]
 fn batched_and_single_predictions_agree_exactly() {
     let (model, samples) = trained_model();
+    let state = model.snapshot().unwrap();
     let queries: Vec<PredictQuery<'_>> = samples
         .iter()
         .take(64)
@@ -49,21 +58,24 @@ fn batched_and_single_predictions_agree_exactly() {
     assert_eq!(queries.len(), 64);
 
     let mut predictor = Predictor::new();
-    let batched = predictor.predict_batch(&model, &queries).to_vec();
+    let batched = predictor.predict_batch(&state, &queries).to_vec();
 
     for (q, &b) in queries.iter().zip(batched.iter()) {
-        // One-at-a-time through a *fresh* predictor and through the public
-        // single-query API: both must match the batch bit-for-bit.
-        let single = Predictor::new().predict_one(&model, q.scale_out, q.props);
+        // One-at-a-time through a *fresh* predictor, through the state's
+        // thread-local convenience, and through the handle's fallible API:
+        // all must match the batch bit-for-bit.
+        let single = Predictor::new().predict_one(&state, q.scale_out, q.props);
         assert_eq!(single.to_bits(), b.to_bits(), "x = {}", q.scale_out);
-        let public = model.predict(q.scale_out, q.props);
+        let from_state = state.predict(q.scale_out, q.props);
+        assert_eq!(from_state.to_bits(), b.to_bits(), "x = {}", q.scale_out);
+        let public = model.predict(q.scale_out, q.props).unwrap();
         assert_eq!(public.to_bits(), b.to_bits(), "x = {}", q.scale_out);
     }
 }
 
 #[test]
 fn sweep_matches_general_batch_exactly() {
-    let (model, samples) = trained_model();
+    let (state, samples) = trained_state();
     let props = &samples[0].props;
     let xs: Vec<f64> = (2..=12).map(|x| x as f64).collect();
     let queries: Vec<PredictQuery<'_>> = xs
@@ -75,8 +87,8 @@ fn sweep_matches_general_batch_exactly() {
         .collect();
 
     let mut predictor = Predictor::new();
-    let swept = predictor.predict_sweep(&model, props, &xs).to_vec();
-    let batched = predictor.predict_batch(&model, &queries).to_vec();
+    let swept = predictor.predict_sweep(&state, props, &xs).to_vec();
+    let batched = predictor.predict_batch(&state, &queries).to_vec();
     assert_eq!(swept.len(), xs.len());
     for (i, (&s, &b)) in swept.iter().zip(batched.iter()).enumerate() {
         assert_eq!(s.to_bits(), b.to_bits(), "x = {}", xs[i]);
@@ -87,7 +99,14 @@ fn sweep_matches_general_batch_exactly() {
 #[test]
 fn checkpoint_round_trip_is_bit_identical_under_predict_batch() {
     let (model, samples) = trained_model();
+    let state = model.snapshot().unwrap();
     let restored = Bellamy::from_checkpoint(&model.to_checkpoint()).expect("valid round trip");
+    let restored_state = restored.snapshot().unwrap();
+    assert_eq!(
+        state.params_fingerprint(),
+        restored_state.params_fingerprint(),
+        "round trip must preserve exact weight bits"
+    );
 
     let queries: Vec<PredictQuery<'_>> = samples
         .iter()
@@ -101,8 +120,8 @@ fn checkpoint_round_trip_is_bit_identical_under_predict_batch() {
     assert!(queries.len() >= 16);
 
     let mut predictor = Predictor::new();
-    let original = predictor.predict_batch(&model, &queries).to_vec();
-    let reloaded = predictor.predict_batch(&restored, &queries).to_vec();
+    let original = predictor.predict_batch(&state, &queries).to_vec();
+    let reloaded = predictor.predict_batch(&restored_state, &queries).to_vec();
     for (i, (&a, &b)) in original.iter().zip(reloaded.iter()).enumerate() {
         assert_eq!(
             a.to_bits(),
@@ -117,19 +136,20 @@ fn predictor_survives_interleaved_batch_sizes_and_models() {
     // The arena and pools must serve alternating shapes and different
     // models without cross-talk.
     let (model_a, samples) = trained_model();
-    let model_b = {
+    let state_a = model_a.snapshot().unwrap();
+    let state_b = {
         let mut m = Bellamy::from_checkpoint(&model_a.to_checkpoint()).unwrap();
         m.reinit_component("z.", 99);
-        m
+        m.snapshot().unwrap()
     };
     let props = &samples[0].props;
     let mut predictor = Predictor::new();
 
-    let a1 = predictor.predict_one(&model_a, 4.0, props);
+    let a1 = predictor.predict_one(&state_a, 4.0, props);
     let sweep = predictor
-        .predict_sweep(&model_b, props, &[2.0, 4.0, 8.0])
+        .predict_sweep(&state_b, props, &[2.0, 4.0, 8.0])
         .to_vec();
-    let a2 = predictor.predict_one(&model_a, 4.0, props);
+    let a2 = predictor.predict_one(&state_a, 4.0, props);
     assert_eq!(a1.to_bits(), a2.to_bits(), "model A must be unaffected");
     assert_ne!(
         sweep[1].to_bits(),
@@ -146,7 +166,7 @@ fn prediction_only_forward_matches_legacy_full_forward() {
     // libm).
     let (model, samples) = trained_model();
     for s in samples.iter().step_by(17) {
-        let fast = model.predict(s.scale_out, &s.props);
+        let fast = model.predict(s.scale_out, &s.props).unwrap();
         let reference = model.predict_reference(s.scale_out, &s.props);
         assert!(
             (fast - reference).abs() <= 1e-9 * reference.abs().max(1.0),
@@ -157,12 +177,13 @@ fn prediction_only_forward_matches_legacy_full_forward() {
 }
 
 #[test]
-fn shared_predictor_revalidates_encodings_across_property_dims() {
-    // The thread-local predictor behind `Bellamy::predict` outlives any one
-    // model, so the encoding cache must not serve a 40-wide vector to a
-    // 20-wide model (regression: stale-length cache entries panicked in
-    // copy_from_slice).
+fn one_predictor_serves_models_with_different_property_dims() {
+    // A predictor workspace outlives any one model; its pooled matrices
+    // must serve a 40-wide and a 20-wide model alternately without
+    // cross-talk (each state carries its own encoding cache now, so stale
+    // encodings across widths are structurally impossible).
     let (model_40, samples) = trained_model();
+    let state_40 = model_40.snapshot().unwrap();
     let mut model_20 = Bellamy::new(
         BellamyConfig {
             property_dim: 20,
@@ -179,26 +200,27 @@ fn shared_predictor_revalidates_encodings_across_property_dims() {
         },
         9,
     );
+    let state_20 = model_20.snapshot().unwrap();
 
     let props = &samples[0].props;
     let mut predictor = Predictor::new();
-    let wide = predictor.predict_one(&model_40, 4.0, props);
-    let narrow = predictor.predict_one(&model_20, 4.0, props);
-    let wide_again = predictor.predict_one(&model_40, 4.0, props);
+    let wide = predictor.predict_one(&state_40, 4.0, props);
+    let narrow = predictor.predict_one(&state_20, 4.0, props);
+    let wide_again = predictor.predict_one(&state_40, 4.0, props);
     assert!(wide.is_finite() && narrow.is_finite());
     assert_eq!(
         wide.to_bits(),
         wide_again.to_bits(),
-        "re-encoding for another width must not corrupt the original model's path"
+        "serving another width must not corrupt the original model's path"
     );
 }
 
 #[test]
 fn empty_batch_is_empty() {
-    let (model, samples) = trained_model();
+    let (state, samples) = trained_state();
     let mut predictor = Predictor::new();
-    assert!(predictor.predict_batch(&model, &[]).is_empty());
+    assert!(predictor.predict_batch(&state, &[]).is_empty());
     assert!(predictor
-        .predict_sweep(&model, &samples[0].props, &[])
+        .predict_sweep(&state, &samples[0].props, &[])
         .is_empty());
 }

@@ -12,7 +12,7 @@
 
 use bellamy_core::train::Pretrainer;
 use bellamy_core::{
-    Bellamy, BellamyConfig, ContextProperties, PredictQuery, Predictor, PretrainConfig,
+    Bellamy, BellamyConfig, ContextProperties, ModelState, PredictQuery, Predictor, PretrainConfig,
     TrainingSample,
 };
 use bellamy_encoding::PropertyValue;
@@ -141,18 +141,19 @@ fn steady_state_step_is_allocation_free_data_parallel() {
 }
 
 /// A fitted (not necessarily well-trained — irrelevant for allocation
-/// accounting) model plus a query workload over its training contexts.
-fn fitted_model_and_samples() -> (Bellamy, Vec<TrainingSample>) {
+/// accounting) model snapshot plus a query workload over its training
+/// contexts.
+fn fitted_state_and_samples() -> (std::sync::Arc<ModelState>, Vec<TrainingSample>) {
     let samples = samples(24);
     let mut model = Bellamy::new(BellamyConfig::default(), 7);
     let mut trainer = Pretrainer::new(&mut model, &samples, &PretrainConfig::default(), 13);
     trainer.run_epoch(&mut model);
-    (model, samples)
+    (model.snapshot().expect("fitted"), samples)
 }
 
 #[test]
 fn steady_state_batched_predict_is_allocation_free() {
-    let (model, samples) = fitted_model_and_samples();
+    let (state, samples) = fitted_state_and_samples();
     let queries: Vec<PredictQuery<'_>> = samples
         .iter()
         .map(|s| PredictQuery {
@@ -161,13 +162,13 @@ fn steady_state_batched_predict_is_allocation_free() {
         })
         .collect();
     let mut predictor = Predictor::new();
-    // Warm-up: size the arena/pools and populate the encoding cache.
+    // Warm-up: size the arena/pools and populate the shared encoding cache.
     for _ in 0..2 {
-        predictor.predict_batch(&model, &queries);
+        predictor.predict_batch(&state, &queries);
     }
     let before = ALLOCATIONS.load(Ordering::SeqCst);
     for _ in 0..10 {
-        let preds = predictor.predict_batch(&model, &queries);
+        let preds = predictor.predict_batch(&state, &queries);
         assert_eq!(preds.len(), queries.len());
     }
     let allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
@@ -176,15 +177,15 @@ fn steady_state_batched_predict_is_allocation_free() {
 
 #[test]
 fn steady_state_sweep_and_single_predict_are_allocation_free() {
-    let (model, samples) = fitted_model_and_samples();
+    let (state, samples) = fitted_state_and_samples();
     let props = samples[0].props.clone();
     let xs: Vec<f64> = (2..=12).map(|x| x as f64).collect();
     let mut predictor = Predictor::new();
-    predictor.predict_sweep(&model, &props, &xs);
-    predictor.predict_one(&model, 6.0, &props);
+    predictor.predict_sweep(&state, &props, &xs);
+    predictor.predict_one(&state, 6.0, &props);
     let before = ALLOCATIONS.load(Ordering::SeqCst);
     for _ in 0..10 {
-        predictor.predict_sweep(&model, &props, &xs);
+        predictor.predict_sweep(&state, &props, &xs);
     }
     let sweep_allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
     assert_eq!(
@@ -193,15 +194,68 @@ fn steady_state_sweep_and_single_predict_are_allocation_free() {
     );
 
     // The alternating sweep/single shapes are both pooled now; the single-
-    // query path (what `Bellamy::predict` wraps) must also be free.
-    predictor.predict_one(&model, 6.0, &props);
+    // query path (what `ModelState::predict` wraps) must also be free.
+    predictor.predict_one(&state, 6.0, &props);
     let before = ALLOCATIONS.load(Ordering::SeqCst);
     for _ in 0..10 {
-        predictor.predict_one(&model, 6.0, &props);
+        predictor.predict_one(&state, 6.0, &props);
     }
     let single_allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
     assert_eq!(
         single_allocs, 0,
         "steady-state single-query predict must not allocate"
     );
+}
+
+#[test]
+fn steady_state_shared_cache_predict_is_allocation_free_and_bounded() {
+    // The encoding memo moved out of the per-thread predictor into the
+    // lock-sharded cache inside `ModelState`. The steady-state hit path
+    // (read lock + copy) must stay allocation-free, the cache must not
+    // grow under a repeating workload, and a *second* predictor serving
+    // the same snapshot must benefit from the first one's warm-up (its
+    // first batch only pays arena growth, never re-encoding — proven by
+    // the cache size staying flat).
+    let (state, samples) = fitted_state_and_samples();
+    let queries: Vec<PredictQuery<'_>> = samples
+        .iter()
+        .map(|s| PredictQuery {
+            scale_out: s.scale_out,
+            props: &s.props,
+        })
+        .collect();
+
+    let mut first = Predictor::new();
+    for _ in 0..2 {
+        first.predict_batch(&state, &queries);
+    }
+    let warm = state.encoding_cache_len();
+    assert!(warm > 0, "the workload must populate the shared cache");
+    assert!(
+        warm <= bellamy_core::state::ENCODE_CACHE_CAP,
+        "cache must stay bounded"
+    );
+
+    // A second workspace on the same shared state: warm its arena, then
+    // demand zero allocations at steady state too.
+    let mut second = Predictor::new();
+    for _ in 0..2 {
+        second.predict_batch(&state, &queries);
+    }
+    assert_eq!(
+        state.encoding_cache_len(),
+        warm,
+        "a second predictor must reuse the shared encodings, not re-insert"
+    );
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        first.predict_batch(&state, &queries);
+        second.predict_batch(&state, &queries);
+    }
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        allocs, 0,
+        "steady-state shared-cache predict path must not allocate"
+    );
+    assert_eq!(state.encoding_cache_len(), warm, "cache must stay flat");
 }

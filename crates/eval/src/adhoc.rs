@@ -215,6 +215,10 @@ fn evaluate_context(
         &cfg.pretrain,
         ctx_seed ^ 1,
     );
+    // Publish both variants as shared snapshots: every split below reuses
+    // them read-only (fine-tuning derives private handles).
+    let state_full = model_full.snapshot().expect("pretrained");
+    let state_filtered = model_filtered.snapshot().expect("pretrained");
 
     let mut records = Vec::new();
     let mut emit = |method: Method,
@@ -242,8 +246,8 @@ fn evaluate_context(
     for _ in 0..cfg.max_splits.min(runs.len()) {
         let test = runs[rng.random_range(0..runs.len())];
         for (method, model) in [
-            (Method::BellamyFiltered, &model_filtered),
-            (Method::BellamyFull, &model_full),
+            (Method::BellamyFiltered, &state_filtered),
+            (Method::BellamyFull, &state_full),
         ] {
             let eval = eval_bellamy(
                 Some(model),
@@ -302,8 +306,8 @@ fn evaluate_context(
                 }
                 for (method, pretrained) in [
                     (Method::BellamyLocal, None),
-                    (Method::BellamyFiltered, Some(&model_filtered)),
-                    (Method::BellamyFull, Some(&model_full)),
+                    (Method::BellamyFiltered, Some(&*state_filtered)),
+                    (Method::BellamyFull, Some(&*state_full)),
                 ] {
                     let eval = eval_bellamy(
                         pretrained,

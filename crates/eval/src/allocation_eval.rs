@@ -14,8 +14,8 @@ use crate::runner::Method;
 use crate::splits::{generate_task_splits, SplitTask};
 use bellamy_baselines::{BellModel, ErnestModel, ScaleOutModel};
 use bellamy_core::{
-    context_properties, min_scale_out_meeting, Bellamy, BellamyConfig, FinetuneConfig, Predictor,
-    PretrainConfig, ReuseStrategy, TrainingSample,
+    context_properties, min_scale_out_meeting, Bellamy, BellamyConfig, FinetuneConfig, ModelHub,
+    ModelKey, Predictor, PretrainConfig, ReuseStrategy, TrainingSample,
 };
 use bellamy_data::{ground_truth_profile, Algorithm, Dataset};
 use serde::Serialize;
@@ -104,8 +104,12 @@ pub struct AllocationSummary {
     pub decisions: usize,
 }
 
-/// Runs the allocation experiment on the C3O grid (scale-outs 2–12).
+/// Runs the allocation experiment on the C3O grid (scale-outs 2–12). The
+/// per-context pretrained models are recalled from one shared [`ModelHub`]
+/// (keyed by algorithm and held-out context) instead of being trained into
+/// worker-local `&mut Bellamy`s.
 pub fn run_allocation(dataset: &Dataset, cfg: &AllocationConfig) -> Vec<AllocationRecord> {
+    let hub = ModelHub::in_memory();
     let mut jobs: Vec<(Algorithm, usize)> = Vec::new();
     for algorithm in Algorithm::ALL {
         let seed = cfg.seed ^ (algorithm as u64).wrapping_mul(0xA110C);
@@ -117,7 +121,7 @@ pub fn run_allocation(dataset: &Dataset, cfg: &AllocationConfig) -> Vec<Allocati
     }
     let per_context: Vec<Vec<AllocationRecord>> =
         bellamy_par::par_map_with_threads(&jobs, cfg.threads, |&(algorithm, ctx_id)| {
-            evaluate_context(dataset, algorithm, ctx_id, cfg)
+            evaluate_context(dataset, algorithm, ctx_id, cfg, &hub)
         });
     per_context.into_iter().flatten().collect()
 }
@@ -127,6 +131,7 @@ fn evaluate_context(
     algorithm: Algorithm,
     ctx_id: usize,
     cfg: &AllocationConfig,
+    hub: &ModelHub,
 ) -> Vec<AllocationRecord> {
     let ctx = &dataset.contexts[ctx_id];
     let props = context_properties(ctx);
@@ -142,14 +147,26 @@ fn evaluate_context(
         .min_scale_out_meeting(target_s, lo, hi)
         .expect("slack > 1 makes the target reachable");
 
-    // Pre-train the full variant once per context.
-    let full_samples: Vec<TrainingSample> = dataset
-        .runs_for_algorithm_excluding(algorithm, Some(ctx_id))
-        .iter()
-        .map(|r| TrainingSample::from_run(&dataset.contexts[r.context_id], r))
-        .collect();
-    let mut pretrained = Bellamy::new(BellamyConfig::default(), seed);
-    bellamy_core::train::pretrain(&mut pretrained, &full_samples, &cfg.pretrain, seed);
+    // Recall the full variant for this (algorithm, held-out context) —
+    // pre-trained at most once per key, shared thereafter.
+    let key = ModelKey::new(
+        algorithm.name(),
+        format!(
+            "allocation-excl-ctx{ctx_id}-seed{}-{}",
+            cfg.seed,
+            crate::runner::pretrain_tag(&cfg.pretrain)
+        ),
+        &BellamyConfig::default(),
+    );
+    let pretrained = hub
+        .recall_or_pretrain(&key, &cfg.pretrain, seed, || {
+            dataset
+                .runs_for_algorithm_excluding(algorithm, Some(ctx_id))
+                .iter()
+                .map(|r| TrainingSample::from_run(&dataset.contexts[r.context_id], r))
+                .collect()
+        })
+        .expect("allocation pre-training converges");
 
     let runs: Vec<(u32, f64)> = dataset
         .runs_for_context(ctx_id)
@@ -221,7 +238,7 @@ fn evaluate_context(
         let local = eval_local_model(&train_samples, cfg, split_seed);
         let local_curve = predictor.predict_sweep(&local, &props, &xs).to_vec();
         judge(Method::BellamyLocal, &local_curve);
-        let mut tuned = pretrained.clone_model();
+        let mut tuned = Bellamy::from_state(&pretrained);
         bellamy_core::finetune::fine_tune(
             &mut tuned,
             &train_samples,
@@ -229,16 +246,21 @@ fn evaluate_context(
             ReuseStrategy::PartialUnfreeze,
             split_seed,
         );
-        let tuned_curve = predictor.predict_sweep(&tuned, &props, &xs).to_vec();
+        let tuned_state = tuned.snapshot().expect("fine-tuned model fits");
+        let tuned_curve = predictor.predict_sweep(&tuned_state, &props, &xs).to_vec();
         judge(Method::BellamyFull, &tuned_curve);
     }
     records
 }
 
-fn eval_local_model(train: &[TrainingSample], cfg: &AllocationConfig, seed: u64) -> Bellamy {
+fn eval_local_model(
+    train: &[TrainingSample],
+    cfg: &AllocationConfig,
+    seed: u64,
+) -> std::sync::Arc<bellamy_core::ModelState> {
     let mut model = Bellamy::new(BellamyConfig::default(), seed);
     bellamy_core::finetune::fit_local(&mut model, train, &cfg.finetune, seed);
-    model
+    model.snapshot().expect("fit_local fits")
 }
 
 /// Aggregates records per method.

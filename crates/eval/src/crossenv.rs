@@ -10,8 +10,8 @@
 use crate::runner::{eval_bell, eval_bellamy, eval_nnls, Method, PredictionRecord, Task};
 use crate::splits::{generate_task_splits, SplitTask};
 use bellamy_core::{
-    context_properties, Bellamy, BellamyConfig, FinetuneConfig, PretrainConfig, ReuseStrategy,
-    TrainingSample,
+    context_properties, BellamyConfig, FinetuneConfig, ModelHub, ModelKey, PretrainConfig,
+    ReuseStrategy, TrainingSample,
 };
 use bellamy_data::{Algorithm, Dataset};
 
@@ -103,11 +103,27 @@ const STRATEGY_METHODS: [(Method, ReuseStrategy); 4] = [
 ];
 
 /// Runs the experiment: pre-train per algorithm on C3O, evaluate on Bell.
+/// Pretrained models live in one shared [`ModelHub`] — each worker recalls
+/// its algorithm's model instead of threading a `&mut Bellamy` through the
+/// experiment, and repeated runs against a persistent hub skip the
+/// pre-training entirely.
 pub fn run_crossenv(c3o: &Dataset, bell: &Dataset, cfg: &CrossEnvConfig) -> CrossEnvResults {
+    let hub = ModelHub::in_memory();
+    run_crossenv_with_hub(c3o, bell, cfg, &hub)
+}
+
+/// [`run_crossenv`] against a caller-provided hub (e.g. a disk-backed one
+/// shared across experiment invocations).
+pub fn run_crossenv_with_hub(
+    c3o: &Dataset,
+    bell: &Dataset,
+    cfg: &CrossEnvConfig,
+    hub: &ModelHub,
+) -> CrossEnvResults {
     let jobs: Vec<Algorithm> = Algorithm::BELL.to_vec();
     let per_algorithm: Vec<Vec<PredictionRecord>> =
         bellamy_par::par_map_with_threads(&jobs, cfg.threads, |&algorithm| {
-            evaluate_algorithm(c3o, bell, algorithm, cfg)
+            evaluate_algorithm(c3o, bell, algorithm, cfg, hub)
         });
     CrossEnvResults {
         records: per_algorithm.into_iter().flatten().collect(),
@@ -119,17 +135,30 @@ fn evaluate_algorithm(
     bell: &Dataset,
     algorithm: Algorithm,
     cfg: &CrossEnvConfig,
+    hub: &ModelHub,
 ) -> Vec<PredictionRecord> {
     let seed = cfg.seed ^ (algorithm as u64).wrapping_mul(0xC0FFEE);
 
-    // Pre-train on every C3O execution of this algorithm.
-    let pretrain_samples: Vec<TrainingSample> = c3o
-        .runs_for_algorithm_excluding(algorithm, None)
-        .iter()
-        .map(|r| TrainingSample::from_run(&c3o.contexts[r.context_id], r))
-        .collect();
-    let mut pretrained = Bellamy::new(BellamyConfig::default(), seed);
-    bellamy_core::train::pretrain(&mut pretrained, &pretrain_samples, &cfg.pretrain, seed);
+    // Recall the general model for this algorithm — pre-training on every
+    // C3O execution of it only when the hub has never seen the key (the
+    // corpus closure is not even materialized on a recall).
+    let key = ModelKey::new(
+        algorithm.name(),
+        format!(
+            "crossenv-runtime-seed{}-{}",
+            cfg.seed,
+            crate::runner::pretrain_tag(&cfg.pretrain)
+        ),
+        &BellamyConfig::default(),
+    );
+    let pretrained = hub
+        .recall_or_pretrain(&key, &cfg.pretrain, seed, || {
+            c3o.runs_for_algorithm_excluding(algorithm, None)
+                .iter()
+                .map(|r| TrainingSample::from_run(&c3o.contexts[r.context_id], r))
+                .collect()
+        })
+        .expect("cross-environment pre-training converges");
 
     // The single Bell context for this algorithm.
     let ctx = bell

@@ -1,7 +1,7 @@
 //! Data preparation for the descriptive figures: Fig. 2 (runtime variance
 //! across contexts) and Fig. 4 (auto-encoder codes of two SGD contexts).
 
-use bellamy_core::Bellamy;
+use bellamy_core::ModelState;
 use bellamy_data::{Algorithm, Dataset, JobContext};
 use bellamy_encoding::PropertyValue;
 use bellamy_linalg::stats;
@@ -82,9 +82,9 @@ pub struct Fig4Context {
 }
 
 /// Computes the Fig. 4 code visualization for one context using a (pre-)
-/// trained model: node type, job parameters and dataset size, in the
-/// paper's row order (top to bottom).
-pub fn fig4_codes(model: &Bellamy, ctx: &JobContext) -> Fig4Context {
+/// trained model snapshot: node type, job parameters and dataset size, in
+/// the paper's row order (top to bottom).
+pub fn fig4_codes(model: &ModelState, ctx: &JobContext) -> Fig4Context {
     let properties = [
         PropertyValue::text(&ctx.node_type.name),
         PropertyValue::text(&ctx.job_parameters),
@@ -167,7 +167,7 @@ mod tests {
             .iter()
             .map(|r| TrainingSample::from_run(ctxs[0], r))
             .collect();
-        let mut model = Bellamy::new(BellamyConfig::default(), 4);
+        let mut model = bellamy_core::Bellamy::new(BellamyConfig::default(), 4);
         bellamy_core::train::pretrain(
             &mut model,
             &samples,
@@ -177,12 +177,13 @@ mod tests {
             },
             0,
         );
-        let fig = fig4_codes(&model, ctxs[0]);
+        let state = model.snapshot().expect("pretrained");
+        let fig = fig4_codes(&state, ctxs[0]);
         assert_eq!(fig.codes.len(), 3);
         assert!(fig.codes.iter().all(|c| c.len() == 4));
         assert_eq!(fig.properties.len(), 3);
         // Distinct contexts produce distinct code matrices.
-        let fig2 = fig4_codes(&model, ctxs[1]);
+        let fig2 = fig4_codes(&state, ctxs[1]);
         assert_ne!(fig.codes, fig2.codes);
     }
 

@@ -2,7 +2,9 @@
 //! the record type every experiment emits.
 
 use bellamy_baselines::{BellModel, ErnestModel, ScaleOutModel};
-use bellamy_core::{Bellamy, ContextProperties, FinetuneConfig, ReuseStrategy, TrainingSample};
+use bellamy_core::{
+    Bellamy, ContextProperties, FinetuneConfig, ModelState, ReuseStrategy, TrainingSample,
+};
 use bellamy_data::Algorithm;
 use serde::Serialize;
 use std::time::Instant;
@@ -106,6 +108,18 @@ impl PredictionRecord {
     }
 }
 
+/// A compact objective-string tag for every [`PretrainConfig`] field that
+/// changes what a pretrained model *is*. Experiment hub keys must embed
+/// this: against a persistent hub, a key that omitted the training budget
+/// would silently recall a model trained under an older configuration and
+/// misattribute the results.
+pub fn pretrain_tag(cfg: &bellamy_core::PretrainConfig) -> String {
+    format!(
+        "ep{}-bs{}-lr{:e}-wd{:e}-do{}-sh{}",
+        cfg.epochs, cfg.batch_size, cfg.lr, cfg.weight_decay, cfg.dropout, cfg.shards
+    )
+}
+
 /// Fits Ernest/NNLS on `(scale_out, runtime)` points and predicts at
 /// `test_x`. Returns `None` when the model cannot be fitted.
 pub fn eval_nnls(train: &[(f64, f64)], test_x: f64) -> Option<(f64, f64)> {
@@ -139,17 +153,21 @@ pub struct BellamyEval {
 /// Evaluates a Bellamy variant on one split.
 ///
 /// `pretrained = None` is the `local` variant: a fresh model is initialized
-/// from `model_seed` and fitted on the training samples alone. With a
-/// pre-trained model and an empty training set the model is applied
-/// directly (the paper's 0-data-points extrapolation column).
+/// from `model_seed` and fitted on the training samples alone. A
+/// pre-trained variant receives the *shared snapshot* recalled from the hub
+/// — with an empty training set the snapshot is applied directly (the
+/// paper's 0-data-points extrapolation column, zero copies); otherwise a
+/// private trainer handle is derived from it ([`Bellamy::from_state`]) and
+/// fine-tuned, leaving the shared snapshot untouched for every other split
+/// evaluating in parallel.
 ///
 /// Each split asks for a single test-point prediction, served by
-/// [`Bellamy::predict`] — the thin wrapper over the thread-local
+/// [`ModelState::predict`] — the thin wrapper over the thread-local
 /// [`bellamy_core::Predictor`] arena, so the hundreds of splits an
 /// experiment sweeps share one warm inference workspace per worker thread.
 #[allow(clippy::too_many_arguments)]
 pub fn eval_bellamy(
-    pretrained: Option<&Bellamy>,
+    pretrained: Option<&ModelState>,
     strategy: ReuseStrategy,
     train: &[TrainingSample],
     test_x: f64,
@@ -165,7 +183,7 @@ pub fn eval_bellamy(
             let mut model = Bellamy::new(bellamy_core::BellamyConfig::default(), model_seed);
             let report = bellamy_core::finetune::fit_local(&mut model, train, ft, seed);
             BellamyEval {
-                predicted_s: model.predict(test_x, props),
+                predicted_s: model.predict(test_x, props).expect("fit_local fits"),
                 fit_time_s: start.elapsed().as_secs_f64(),
                 epochs: report.epochs,
             }
@@ -178,10 +196,10 @@ pub fn eval_bellamy(
                     epochs: 0,
                 };
             }
-            let mut model = base.clone_model();
+            let mut model = Bellamy::from_state(base);
             let report = bellamy_core::finetune::fine_tune(&mut model, train, ft, strategy, seed);
             BellamyEval {
-                predicted_s: model.predict(test_x, props),
+                predicted_s: model.predict(test_x, props).expect("fine-tuned model fits"),
                 fit_time_s: start.elapsed().as_secs_f64(),
                 epochs: report.epochs,
             }
@@ -289,9 +307,10 @@ mod tests {
             },
             0,
         );
+        let state = model.snapshot().expect("pretrained");
         let ft = FinetuneConfig::default();
         let eval = eval_bellamy(
-            Some(&model),
+            Some(&state),
             ReuseStrategy::PartialUnfreeze,
             &[],
             6.0,

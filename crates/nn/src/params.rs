@@ -164,6 +164,38 @@ impl ParamSet {
         self.params.iter().all(|p| p.value.all_finite())
     }
 
+    /// A content fingerprint over parameter names and exact value bits
+    /// (FNV-1a). Two sets with the same layout and bit-identical weights
+    /// fingerprint equally, which is what model registries use to assert
+    /// that a recalled snapshot is *the same* model — not merely a close
+    /// one — after a persistence round trip.
+    pub fn values_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for p in &self.params {
+            // Length-prefix the name and value stream so differently
+            // partitioned layouts cannot alias by concatenation.
+            for b in (p.name.len() as u64).to_le_bytes() {
+                mix(b);
+            }
+            for b in p.name.as_bytes() {
+                mix(*b);
+            }
+            for b in (p.value.len() as u64).to_le_bytes() {
+                mix(b);
+            }
+            for v in p.value.as_slice() {
+                for b in v.to_bits().to_le_bytes() {
+                    mix(b);
+                }
+            }
+        }
+        h
+    }
+
     /// Copies all values from `other`, matching parameters by name.
     ///
     /// Returns an error naming the first mismatch (missing name or shape
@@ -276,6 +308,25 @@ mod tests {
             err.contains("shape mismatch") || err.contains("missing"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn values_fingerprint_tracks_content() {
+        let a = sample_set();
+        let b = sample_set();
+        assert_eq!(
+            a.values_fingerprint(),
+            b.values_fingerprint(),
+            "identical sets fingerprint equally"
+        );
+        let mut c = sample_set();
+        let id = c.find("z.l2.weight").unwrap();
+        c.get_mut(id).value.fill(0.5);
+        assert_ne!(a.values_fingerprint(), c.values_fingerprint());
+        // Trainability is not content.
+        let mut d = sample_set();
+        d.set_trainable_by_prefix("f.", false);
+        assert_eq!(a.values_fingerprint(), d.values_fingerprint());
     }
 
     #[test]

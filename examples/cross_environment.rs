@@ -1,6 +1,8 @@
 //! Reusing a model across environments (§IV-C2): pre-train in the public
 //! cloud (C3O traces), migrate to a private cluster (Bell traces), and
-//! compare the four reuse strategies against training from scratch.
+//! compare the four reuse strategies against training from scratch. The
+//! pre-trained model is recalled from a hub and every strategy derives its
+//! own fine-tuned descendant through `fine_tuned_for`.
 //!
 //! ```sh
 //! cargo run --release --example cross_environment
@@ -13,25 +15,30 @@ fn main() {
     let cloud = generate_c3o(&gen);
     let cluster = generate_bell(&gen);
 
-    // Pre-train a general SGD model on every cloud execution.
-    let history: Vec<TrainingSample> = cloud
-        .runs_for_algorithm_excluding(Algorithm::Sgd, None)
-        .iter()
-        .map(|r| TrainingSample::from_run(&cloud.contexts[r.context_id], r))
-        .collect();
-    let mut base = Bellamy::new(BellamyConfig::default(), 3);
-    let report = pretrain(
-        &mut base,
-        &history,
-        &PretrainConfig {
-            epochs: 300,
-            ..Default::default()
-        },
-        3,
-    );
+    // Recall-or-pretrain a general SGD model on every cloud execution.
+    let hub = ModelHub::in_memory();
+    let key = ModelKey::new("sgd", "cloud-runtime", &BellamyConfig::default());
+    let start = std::time::Instant::now();
+    let base = hub
+        .recall_or_pretrain(
+            &key,
+            &PretrainConfig {
+                epochs: 300,
+                ..Default::default()
+            },
+            3,
+            || {
+                cloud
+                    .runs_for_algorithm_excluding(Algorithm::Sgd, None)
+                    .iter()
+                    .map(|r| TrainingSample::from_run(&cloud.contexts[r.context_id], r))
+                    .collect()
+            },
+        )
+        .expect("pre-training converges");
     println!(
-        "pre-trained SGD model on {} public-cloud runs ({:.1}s)",
-        report.n_samples, report.elapsed_s
+        "pre-trained SGD model registered as {key} ({:.1}s)",
+        start.elapsed().as_secs_f64()
     );
 
     // The private-cluster context: different hardware, software, and scale.
@@ -55,46 +62,57 @@ fn main() {
         .map(|r| (r.scale_out as f64, r.runtime_s))
         .collect();
     let props = context_properties(target);
-    let mae = |model: &Bellamy| -> f64 {
+    let mae = |state: &ModelState| -> f64 {
         eval_points
             .iter()
-            .map(|&(x, y)| (model.predict(x, &props) - y).abs())
+            .map(|&(x, y)| (state.predict(x, &props) - y).abs())
             .sum::<f64>()
             / eval_points.len() as f64
     };
 
     println!(
-        "{:<28} {:>10} {:>10} {:>13}",
-        "variant", "MAE [s]", "epochs", "fit time [ms]"
+        "{:<28} {:>10} {:>13} {:>24}",
+        "variant", "MAE [s]", "fit time [ms]", "provenance"
     );
     for strategy in ReuseStrategy::ALL {
-        let mut model = base.clone_model();
-        let r = fine_tune(
-            &mut model,
-            &observed,
-            &FinetuneConfig::default(),
-            strategy,
-            9,
-        );
+        let start = std::time::Instant::now();
+        let tuned = hub
+            .fine_tuned_for(
+                &key,
+                "bell-sgd-cluster",
+                &observed,
+                &FinetuneConfig::default(),
+                strategy,
+                9,
+            )
+            .expect("fine-tuning succeeds");
         println!(
-            "{:<28} {:>10.1} {:>10} {:>13.1}",
+            "{:<28} {:>10.1} {:>13.1} {:>24}",
             strategy.name(),
-            mae(&model),
-            r.epochs,
-            r.elapsed_s * 1e3
+            mae(&tuned),
+            start.elapsed().as_secs_f64() * 1e3,
+            tuned.parent_key().unwrap_or("-")
         );
     }
+    println!(
+        "(hub now caches {} fine-tuned descendants of {})",
+        hub.finetuned_len(),
+        key
+    );
 
     // Baseline: a local model trained from scratch on the same points.
     let mut local = Bellamy::new(BellamyConfig::default(), 3);
-    let r = fit_local(&mut local, &observed, &FinetuneConfig::default(), 9);
+    let start = std::time::Instant::now();
+    fit_local(&mut local, &observed, &FinetuneConfig::default(), 9);
+    let local_state = local.snapshot().expect("fitted");
     println!(
-        "{:<28} {:>10.1} {:>10} {:>13.1}",
+        "{:<28} {:>10.1} {:>13.1} {:>24}",
         "local (from scratch)",
-        mae(&local),
-        r.epochs,
-        r.elapsed_s * 1e3
+        mae(&local_state),
+        start.elapsed().as_secs_f64() * 1e3,
+        "-"
     );
+    let _ = base;
 
     println!(
         "\nExpectation (paper §IV-C2): under this extreme context shift the reuse\n\

@@ -1,7 +1,9 @@
 //! The full production workflow with model persistence and hyperparameter
-//! search: search → pre-train → checkpoint to disk → (later, elsewhere)
-//! load → fine-tune → predict. This mirrors how the paper's prototype would
-//! serve many users sharing pre-trained models per algorithm (§V).
+//! search: search → pre-train → publish into an on-disk hub → (later, in
+//! another process) recall from the hub → fine-tune → serve. This mirrors
+//! how the paper's prototype would serve many users sharing pre-trained
+//! models per algorithm (§V) — the second hub instance stands in for a
+//! fresh process reusing a colleague's checkpoint.
 //!
 //! ```sh
 //! cargo run --release --example pretrain_finetune
@@ -49,34 +51,55 @@ fn main() {
         );
     }
 
-    // --- Persist the pre-trained model --------------------------------------
-    let dir = std::env::temp_dir().join("bellamy-example");
-    std::fs::create_dir_all(&dir).expect("create temp dir");
-    let path = dir.join("pagerank.blmy");
-    model.save(&path).expect("save checkpoint");
-    let size = std::fs::metadata(&path).expect("stat checkpoint").len();
-    println!("\ncheckpoint written: {} ({size} bytes)", path.display());
+    // --- Publish the winner into an on-disk hub ------------------------------
+    let dir = std::env::temp_dir().join("bellamy-example-hub");
+    let key = ModelKey::new("pagerank", "runtime", &BellamyConfig::default());
+    {
+        let hub = ModelHub::at(&dir).expect("create hub directory");
+        let published = hub.publish(&key, &model).expect("publish search winner");
+        println!(
+            "\npublished {} into {} (weights fingerprint {:016x})",
+            key,
+            dir.display(),
+            published.params_fingerprint()
+        );
+    } // hub dropped: everything in memory is gone, only the disk registry remains
 
-    // --- Later, in another process: load and fine-tune ----------------------
-    let mut restored = Bellamy::load(&path).expect("load checkpoint");
+    // --- Later, in another process: recall from the hub and fine-tune -------
+    let hub = ModelHub::at(&dir).expect("open hub directory");
+    let recalled = hub
+        .recall_or_pretrain(&key, &PretrainConfig::default(), 0, || {
+            unreachable!("the disk registry has this key: no re-pretraining")
+        })
+        .expect("recall from disk");
+    println!(
+        "recalled {key} from disk (disk recalls: {}, pretrains: {})",
+        hub.stats().disk_recalls,
+        hub.stats().pretrains
+    );
+
     let observed: Vec<TrainingSample> = data
         .runs_for_context(target.id)
         .iter()
         .filter(|r| r.repeat == 0 && [4, 10].contains(&r.scale_out))
         .map(|r| TrainingSample::from_run(target, r))
         .collect();
-    let ft = fine_tune(
-        &mut restored,
-        &observed,
-        &FinetuneConfig::default(),
-        ReuseStrategy::PartialUnfreeze,
-        5,
-    );
+    let start = std::time::Instant::now();
+    let tuned = hub
+        .fine_tuned_for(
+            &key,
+            "pagerank-target",
+            &observed,
+            &FinetuneConfig::default(),
+            ReuseStrategy::PartialUnfreeze,
+            5,
+        )
+        .expect("fine-tune the recalled model");
     println!(
-        "fine-tuned the restored model on {} points: {} epochs, {:.1}ms",
+        "fine-tuned the recalled model on {} points in {:.1}ms (parent: {})",
         observed.len(),
-        ft.epochs,
-        ft.elapsed_s * 1e3
+        start.elapsed().as_secs_f64() * 1e3,
+        tuned.parent_key().unwrap_or("-")
     );
 
     // --- Predict and compare to the held-out truth --------------------------
@@ -95,10 +118,15 @@ fn main() {
         println!(
             "{:<10} {:>10.1}s {:>10.1}s",
             x,
-            restored.predict(x as f64, &props),
+            tuned.predict(x as f64, &props),
             actual.iter().sum::<f64>() / actual.len() as f64
         );
     }
 
-    std::fs::remove_file(&path).ok();
+    // Check the recalled model still predicts (recalled is the shared
+    // parent; tuned is its descendant).
+    let direct = recalled.predict(8.0, &props);
+    println!("\ndirect application of the recalled parent at x=8: {direct:.1}s");
+
+    std::fs::remove_dir_all(&dir).ok();
 }

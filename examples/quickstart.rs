@@ -1,9 +1,12 @@
-//! Quickstart: the Bellamy workflow end to end.
+//! Quickstart: the Bellamy reuse workflow end to end, through the hub.
 //!
 //! 1. Load (here: generate) historical execution data.
-//! 2. Pre-train a general model for an algorithm across contexts.
-//! 3. Fine-tune it on a handful of runs from a *new* context.
-//! 4. Predict runtimes at unseen scale-outs and compare against actuals.
+//! 2. **Recall or pre-train** the general model for an algorithm from a
+//!    `ModelHub` (trained once per key, shared thereafter).
+//! 3. **Fine-tune** it through the hub on a handful of runs from a *new*
+//!    context (the descendant records its parent for provenance).
+//! 4. **Serve**: predict runtimes at unseen scale-outs through the shared
+//!    snapshot and compare against actuals.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -34,28 +37,42 @@ fn main() {
         target.job_parameters
     );
 
-    // --- 2. Pre-train across all *other* K-Means contexts ------------------
-    let history: Vec<TrainingSample> = data
-        .runs_for_algorithm_excluding(Algorithm::KMeans, Some(target.id))
-        .iter()
-        .map(|r| TrainingSample::from_run(&data.contexts[r.context_id], r))
-        .collect();
-    let mut model = Bellamy::new(BellamyConfig::default(), 7);
-    let report = pretrain(
-        &mut model,
-        &history,
-        &PretrainConfig {
-            epochs: 300,
-            ..PretrainConfig::default()
-        },
-        7,
-    );
+    // --- 2. Recall or pre-train across all *other* K-Means contexts --------
+    let hub = ModelHub::in_memory();
+    let key = ModelKey::new("kmeans", "runtime", &BellamyConfig::default());
+    let start = std::time::Instant::now();
+    let general = hub
+        .recall_or_pretrain(
+            &key,
+            &PretrainConfig {
+                epochs: 300,
+                ..PretrainConfig::default()
+            },
+            7,
+            || {
+                data.runs_for_algorithm_excluding(Algorithm::KMeans, Some(target.id))
+                    .iter()
+                    .map(|r| TrainingSample::from_run(&data.contexts[r.context_id], r))
+                    .collect()
+            },
+        )
+        .expect("pre-training converges");
     println!(
-        "\npre-trained on {} runs from {} other contexts in {:.1}s (train MAE {:.1}s)",
-        report.n_samples,
-        data.contexts_for(Algorithm::KMeans).len() - 1,
-        report.elapsed_s,
-        report.train_mae_s
+        "\nrecall_or_pretrain({key}): trained + registered in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+
+    // A second request is a pure recall — shared snapshot, no training.
+    let start = std::time::Instant::now();
+    let recalled = hub
+        .recall_or_pretrain(&key, &PretrainConfig::default(), 7, || {
+            unreachable!("the registry has this key")
+        })
+        .expect("recall");
+    println!(
+        "recall_or_pretrain({key}): recalled in {:.1}us (same model: {})",
+        start.elapsed().as_secs_f64() * 1e6,
+        std::sync::Arc::ptr_eq(&general, &recalled),
     );
 
     // --- 3. Fine-tune on three observed runs of the new context ------------
@@ -65,22 +82,25 @@ fn main() {
         .filter(|r| [2, 6, 10].contains(&r.scale_out) && r.repeat == 0)
         .map(|r| TrainingSample::from_run(target, r))
         .collect();
-    let ft_report = fine_tune(
-        &mut model,
-        &observed,
-        &FinetuneConfig::default(),
-        ReuseStrategy::PartialUnfreeze,
-        7,
-    );
+    let start = std::time::Instant::now();
+    let tuned = hub
+        .fine_tuned_for(
+            &key,
+            "kmeans-new-context",
+            &observed,
+            &FinetuneConfig::default(),
+            ReuseStrategy::PartialUnfreeze,
+            7,
+        )
+        .expect("fine-tuning succeeds");
     println!(
-        "fine-tuned on {} points in {:.1}ms / {} epochs (best MAE {:.1}s)",
+        "fine_tuned_for: {} points in {:.1}ms (parent: {})",
         observed.len(),
-        ft_report.elapsed_s * 1e3,
-        ft_report.epochs,
-        ft_report.best_mae_s
+        start.elapsed().as_secs_f64() * 1e3,
+        tuned.parent_key().unwrap_or("-")
     );
 
-    // --- 4. Predict at unseen scale-outs ------------------------------------
+    // --- 4. Serve: predict at unseen scale-outs -----------------------------
     let props = context_properties(target);
     println!(
         "\n{:<10} {:>12} {:>12} {:>8}",
@@ -94,7 +114,7 @@ fn main() {
             .map(|r| r.runtime_s)
             .collect();
         let actual_mean = actual.iter().sum::<f64>() / actual.len() as f64;
-        let predicted = model.predict(x as f64, &props);
+        let predicted = tuned.predict(x as f64, &props);
         println!(
             "{:<10} {:>10.1}s {:>10.1}s {:>7.1}%",
             x,

@@ -47,7 +47,10 @@ fn main() {
     );
 
     let props = context_properties(target);
-    let predict = |x: u32| model.predict(x as f64, &props);
+    // Serve through the published snapshot (a sweep would batch this; the
+    // closure shape is what the allocation API consumes).
+    let state = model.snapshot().expect("fitted");
+    let predict = |x: u32| state.predict(x as f64, &props);
 
     // The predicted runtime curve over the candidate scale-outs.
     println!("\npredicted runtime curve:");

@@ -44,11 +44,17 @@
 //!     7,
 //! );
 //!
-//! // ... and predict the runtime at an unseen scale-out.
+//! // ... publish an immutable snapshot and predict at an unseen scale-out.
+//! let state = model.snapshot().expect("fitted");
 //! let props = context_properties(target);
-//! let predicted = model.predict(8.0, &props);
+//! let predicted = state.predict(8.0, &props);
 //! assert!(predicted.is_finite() && predicted > 0.0);
 //! ```
+//!
+//! For the full *recall → fine-tune → serve* reuse workflow (shared
+//! pretrained models, on-disk registry, fine-tuned-descendant cache), go
+//! through [`core::hub::ModelHub`] — see the `quickstart` and
+//! `pretrain_finetune` examples.
 //!
 //! ## Crate map
 //!
@@ -83,8 +89,9 @@ pub mod prelude {
     pub use bellamy_core::train::pretrain;
     pub use bellamy_core::{
         cheapest_scale_out, context_properties, min_scale_out_meeting, search_pretrain, Bellamy,
-        BellamyConfig, ContextProperties, FinetuneConfig, PredictQuery, Predictor, PretrainConfig,
-        ReuseStrategy, SearchSpace, TrainingSample,
+        BellamyConfig, ContextProperties, FinetuneConfig, HubError, ModelHub, ModelKey, ModelState,
+        PredictError, PredictQuery, Predictor, PretrainConfig, ReuseStrategy, SearchSpace,
+        TrainingSample,
     };
     pub use bellamy_data::{
         generate_bell, generate_c3o, ground_truth_profile, Algorithm, Dataset, Environment,

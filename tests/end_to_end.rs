@@ -47,7 +47,10 @@ fn pretrain_save_load_finetune_predict() {
 
     // The restored model predicts identically.
     let props = context_properties(target);
-    assert_eq!(model.predict(6.0, &props), restored.predict(6.0, &props));
+    assert_eq!(
+        model.predict(6.0, &props).unwrap(),
+        restored.predict(6.0, &props).unwrap()
+    );
 
     // Fine-tune the restored model on three points of the unseen context.
     let all = context_samples(&data, target);
@@ -69,7 +72,9 @@ fn pretrain_save_load_finetune_predict() {
     // average (few-shot adaptation on noisy data).
     let mre = all
         .iter()
-        .map(|s| (restored.predict(s.scale_out, &s.props) - s.runtime_s).abs() / s.runtime_s)
+        .map(|s| {
+            (restored.predict(s.scale_out, &s.props).unwrap() - s.runtime_s).abs() / s.runtime_s
+        })
         .sum::<f64>()
         / all.len() as f64;
     assert!(mre < 0.3, "few-shot MRE too high: {mre}");
@@ -77,24 +82,31 @@ fn pretrain_save_load_finetune_predict() {
 
 #[test]
 fn pretrained_beats_untrained_on_new_context() {
+    // The flagship reuse test runs the *real* workflow: the general model
+    // is recalled from a ModelHub (pre-trained exactly once, shared
+    // thereafter) and the context adaptation goes through fine_tuned_for.
     let data = generate_c3o(&GeneratorConfig::seeded(11));
     let target = data.contexts_for(Algorithm::KMeans)[2];
     let history = history_for(&data, Algorithm::KMeans, target.id);
 
-    let mut pretrained = Bellamy::new(BellamyConfig::default(), 1);
+    let hub = ModelHub::in_memory();
+    let key = ModelKey::new("kmeans", "e2e-runtime", &BellamyConfig::default());
     // 300 epochs: the 120-epoch budget this test shipped with was tuned to
     // a specific RNG stream; direct application needs the loss to flatten.
-    pretrain(
-        &mut pretrained,
-        &history,
-        &PretrainConfig {
-            epochs: 300,
-            ..Default::default()
-        },
-        1,
-    );
+    let pretrained = hub
+        .recall_or_pretrain(
+            &key,
+            &PretrainConfig {
+                epochs: 300,
+                ..Default::default()
+            },
+            1,
+            || history.clone(),
+        )
+        .expect("pre-training converges");
 
-    // Direct application (0 fine-tuning points) on the unseen context.
+    // Direct application (0 fine-tuning points) on the unseen context, via
+    // the shared snapshot.
     let all = context_samples(&data, target);
     let props = context_properties(target);
     let mre_pretrained = all
@@ -108,6 +120,49 @@ fn pretrained_beats_untrained_on_new_context() {
         mre_pretrained < 0.6,
         "direct application too weak: MRE {mre_pretrained}"
     );
+
+    // Asking again must recall, never re-train — same shared Arc, and the
+    // training corpus is not even materialized.
+    let recalled = hub
+        .recall_or_pretrain(&key, &PretrainConfig::default(), 1, || {
+            panic!("a recall must not re-pretrain")
+        })
+        .expect("recall");
+    assert!(std::sync::Arc::ptr_eq(&pretrained, &recalled));
+    assert_eq!(hub.stats().pretrains, 1);
+
+    // Few-shot adaptation through the hub: the descendant must carry its
+    // parent's provenance and match the hand-wired fine-tune bit-for-bit.
+    let few: Vec<TrainingSample> = all.iter().step_by(10).cloned().collect();
+    let ft = FinetuneConfig {
+        max_epochs: 250,
+        patience: 150,
+        ..Default::default()
+    };
+    let tuned = hub
+        .fine_tuned_for(
+            &key,
+            "kmeans-ctx2",
+            &few,
+            &ft,
+            ReuseStrategy::PartialUnfreeze,
+            5,
+        )
+        .expect("fine-tuning succeeds");
+    assert_eq!(tuned.parent_key(), Some(key.id()).as_deref());
+
+    let mut hand = Bellamy::from_state(&pretrained);
+    fine_tune(&mut hand, &few, &ft, ReuseStrategy::PartialUnfreeze, 5);
+    for s in all.iter().step_by(7) {
+        let a = tuned.predict(s.scale_out, &s.props);
+        let b = hand.predict(s.scale_out, &s.props).unwrap();
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "hub fine-tune must equal the hand-wired path at x = {}",
+            s.scale_out
+        );
+    }
 }
 
 #[test]
@@ -149,7 +204,7 @@ fn baselines_and_bellamy_agree_on_clean_curves() {
         },
         2,
     );
-    let pred = local.predict(8.0, &context_properties(target));
+    let pred = local.predict(8.0, &context_properties(target)).unwrap();
     assert!(
         (pred - expected).abs() / expected < 0.3,
         "local Bellamy off: {pred} vs {expected}"
@@ -173,7 +228,8 @@ fn allocation_uses_model_predictions() {
         6,
     );
     let props = context_properties(target);
-    let predict = |x: u32| model.predict(x as f64, &props);
+    let state = model.snapshot().expect("fitted");
+    let predict = |x: u32| state.predict(x as f64, &props);
 
     // Grep scales down smoothly: a generous target is met by some x, and the
     // recommended x is minimal.
@@ -250,7 +306,7 @@ fn reuse_strategies_are_all_viable_cross_environment() {
             3,
         );
         assert!(report.best_mae_s.is_finite(), "{}", strategy.name());
-        let p = model.predict(40.0, &props);
+        let p = model.predict(40.0, &props).unwrap();
         assert!(
             p.is_finite() && p > 0.0,
             "{}: prediction {p}",

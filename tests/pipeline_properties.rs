@@ -83,7 +83,7 @@ proptest! {
             &FinetuneConfig { max_epochs: 20, patience: 15, ..Default::default() },
             seed,
         );
-        let p = model.predict(8.0, &context_properties(&ctx));
+        let p = model.predict(8.0, &context_properties(&ctx)).expect("fitted");
         prop_assert!(p.is_finite());
     }
 
