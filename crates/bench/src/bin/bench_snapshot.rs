@@ -1,10 +1,11 @@
-//! Snapshots the train-step, predict, and hub benchmarks to
-//! `BENCH_train.json` / `BENCH_predict.json` / `BENCH_hub.json` so
-//! successive PRs can track the trajectory of the hot paths.
+//! Snapshots the train-step, predict, hub, and serve benchmarks to
+//! `BENCH_train.json` / `BENCH_predict.json` / `BENCH_hub.json` /
+//! `BENCH_serve.json` so successive PRs can track the trajectory of the
+//! hot paths.
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_snapshot \
-//!     [-- <train-path> [predict-path [hub-path]]]
+//!     [-- <train-path> [predict-path [hub-path [serve-path]]]]
 //! ```
 //!
 //! Train step: µs per minibatch step (default `PretrainConfig`, 900-sample
@@ -17,9 +18,13 @@
 //!
 //! Hub: recall latency (memory registry vs cold disk) and concurrent
 //! shared-snapshot predict throughput at 1/2/4 threads.
+//!
+//! Serve: per-query latency and queries/s of single-query serving at
+//! 1/2/4 submitting threads — direct per-thread predictor vs the
+//! `Service` front door's cross-caller micro-batcher.
 
 use bench::train_step::{workload, EpochRunner, StepImpl};
-use bench::{hub, predict};
+use bench::{hub, predict, serve};
 
 fn main() {
     let train_path = std::env::args()
@@ -31,10 +36,14 @@ fn main() {
     let hub_path = std::env::args()
         .nth(3)
         .unwrap_or_else(|| "BENCH_hub.json".to_string());
+    let serve_path = std::env::args()
+        .nth(4)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
 
     snapshot_train(&train_path);
     snapshot_predict(&predict_path);
     snapshot_hub(&hub_path);
+    snapshot_serve(&serve_path);
 }
 
 fn snapshot_train(path: &str) {
@@ -115,5 +124,40 @@ fn snapshot_hub(path: &str) {
         qps_entries.join(",\n")
     );
     std::fs::write(path, json).expect("write hub benchmark snapshot");
+    eprintln!("wrote {path}");
+}
+
+fn snapshot_serve(path: &str) {
+    let r = serve::run();
+    let mut entries = Vec::new();
+    for row in &r.rows {
+        eprintln!(
+            "{:<26} {:9.2} us/query {:9.0} q/s (mean batch {:.1})",
+            format!("{}_{}_threads", row.mode, row.threads),
+            row.us_per_query,
+            row.qps,
+            row.mean_batch
+        );
+        entries.push(format!(
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"us_per_query\": {:.2}, \
+             \"queries_per_second\": {:.0}, \"mean_batch\": {:.2}}}",
+            row.mode, row.threads, row.us_per_query, row.qps, row.mean_batch
+        ));
+    }
+    let speedup_4t = r
+        .qps_pair(4)
+        .map(|(direct, batched)| batched / direct)
+        .unwrap_or(f64::NAN);
+    eprintln!("{:<26} {speedup_4t:9.2}x", "microbatched_vs_direct_4t");
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve\",\n  \"workload\": \"single-query serving of one \
+         pre-trained SGD model, {} queries/thread, direct per-thread Predictor vs \
+         cross-caller micro-batched Service client\",\n  \
+         \"microbatched_vs_direct_qps_at_4_threads\": {speedup_4t:.2},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        serve::QUERIES_PER_THREAD,
+        entries.join(",\n")
+    );
+    std::fs::write(path, json).expect("write serve benchmark snapshot");
     eprintln!("wrote {path}");
 }

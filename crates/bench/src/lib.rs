@@ -2,6 +2,7 @@
 
 pub mod hub;
 pub mod predict;
+pub mod serve;
 pub mod train_step;
 
 use bellamy_data::{generate_bell, generate_c3o, Dataset, GeneratorConfig};

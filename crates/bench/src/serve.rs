@@ -1,0 +1,187 @@
+//! Serving benchmark harness for `bench_snapshot` and `benches/serve.rs`:
+//! per-query latency and total throughput of single-query serving at
+//! 1/2/4 submitting threads, comparing the direct per-thread-predictor
+//! path against the cross-caller micro-batched [`Service`] path.
+//!
+//! Direct serving is the per-thread optimum (no handoffs, no locks);
+//! micro-batching pays two condvar handoffs per query to amortize graph
+//! setup across callers. On one core the two roughly tie; with real
+//! parallelism the batcher wins because concurrent callers' queries
+//! coalesce into one forward pass.
+
+use crate::predict::{workload, PredictWorkload};
+use bellamy_core::{Predictor, Service};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Queries each submitting thread issues per measurement.
+pub const QUERIES_PER_THREAD: usize = 2000;
+
+/// One (mode, thread-count) measurement.
+#[derive(Debug, Clone)]
+pub struct ServeBenchRow {
+    /// `"direct"` or `"microbatched"`.
+    pub mode: &'static str,
+    /// Submitting threads.
+    pub threads: usize,
+    /// Mean wall-clock µs per query, per submitting thread.
+    pub us_per_query: f64,
+    /// Total queries per second across all threads.
+    pub qps: f64,
+    /// Mean queries per flushed batch (1.0 for direct serving).
+    pub mean_batch: f64,
+}
+
+/// All rows of one serving benchmark run.
+pub struct ServeBenchResult {
+    /// Measurements for both modes at 1/2/4 threads.
+    pub rows: Vec<ServeBenchRow>,
+}
+
+impl ServeBenchResult {
+    /// The `(direct, microbatched)` qps pair at `threads`.
+    pub fn qps_pair(&self, threads: usize) -> Option<(f64, f64)> {
+        let find = |mode: &str| {
+            self.rows
+                .iter()
+                .find(|r| r.mode == mode && r.threads == threads)
+                .map(|r| r.qps)
+        };
+        Some((find("direct")?, find("microbatched")?))
+    }
+}
+
+/// Runs the serving benchmark on the standard pre-trained SGD workload.
+pub fn run() -> ServeBenchResult {
+    let w = workload();
+    let mut rows = Vec::new();
+    for &threads in &[1usize, 2, 4] {
+        rows.push(run_direct(&w, threads));
+        rows.push(run_microbatched(&w, threads));
+    }
+    ServeBenchResult { rows }
+}
+
+/// Direct serving: each thread owns a `Predictor` and queries the shared
+/// snapshot one call at a time.
+fn run_direct(w: &PredictWorkload, threads: usize) -> ServeBenchRow {
+    let state = Arc::clone(&w.state);
+    let props = &w.props;
+    // Per-thread warm-up, then a barrier-free timed run (threads start
+    // within microseconds of each other; the workload dwarfs the skew).
+    let elapsed = std::thread::scope(|scope| {
+        let start = Instant::now();
+        for _ in 0..threads {
+            let state = Arc::clone(&state);
+            scope.spawn(move || {
+                let mut predictor = Predictor::new();
+                for i in 0..200 {
+                    std::hint::black_box(predictor.predict_one(
+                        &state,
+                        2.0 + (i % 11) as f64,
+                        props,
+                    ));
+                }
+                let mut acc = 0.0;
+                for i in 0..QUERIES_PER_THREAD {
+                    acc += predictor.predict_one(&state, 2.0 + (i % 11) as f64, props);
+                }
+                std::hint::black_box(acc);
+            });
+        }
+        drop(state);
+        ScopeTimer { start }
+    })
+    .elapsed();
+    row("direct", threads, elapsed, 1.0)
+}
+
+/// Micro-batched serving: every thread submits single queries through
+/// clones of one [`Service`] client; the serving loop coalesces them.
+fn run_microbatched(w: &PredictWorkload, threads: usize) -> ServeBenchRow {
+    let service = Service::builder().build().expect("in-memory service");
+    let client = service.client_for_state(Arc::clone(&w.state));
+    let props = &w.props;
+    let before = client.batcher_stats();
+    let elapsed = std::thread::scope(|scope| {
+        let start = Instant::now();
+        for _ in 0..threads {
+            let client = client.clone();
+            scope.spawn(move || {
+                for i in 0..200 {
+                    std::hint::black_box(
+                        client
+                            .predict(2.0 + (i % 11) as f64, props)
+                            .expect("service is live"),
+                    );
+                }
+                let mut acc = 0.0;
+                for i in 0..QUERIES_PER_THREAD {
+                    acc += client
+                        .predict(2.0 + (i % 11) as f64, props)
+                        .expect("service is live");
+                }
+                std::hint::black_box(acc);
+            });
+        }
+        ScopeTimer { start }
+    })
+    .elapsed();
+    let stats = client.batcher_stats();
+    let batches = (stats.batches - before.batches).max(1);
+    let queries = stats.queries - before.queries;
+    row(
+        "microbatched",
+        threads,
+        elapsed,
+        queries as f64 / batches as f64,
+    )
+}
+
+/// Captures the scope start so the join (implicit at scope end) is part of
+/// the measured window.
+struct ScopeTimer {
+    start: Instant,
+}
+
+impl ScopeTimer {
+    fn elapsed(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+fn row(mode: &'static str, threads: usize, elapsed_s: f64, mean_batch: f64) -> ServeBenchRow {
+    // Warm-up queries are inside the window; subtract them from neither
+    // side — they are the same 10% for both modes.
+    let per_thread = QUERIES_PER_THREAD + 200;
+    ServeBenchRow {
+        mode,
+        threads,
+        us_per_query: elapsed_s / per_thread as f64 * 1e6,
+        qps: (threads * per_thread) as f64 / elapsed_s,
+        mean_batch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_bench_produces_sane_numbers() {
+        let r = run();
+        assert_eq!(r.rows.len(), 6);
+        for row in &r.rows {
+            assert!(
+                row.qps > 0.0,
+                "{} @ {}: no throughput",
+                row.mode,
+                row.threads
+            );
+            assert!(row.us_per_query > 0.0);
+            assert!(row.mean_batch >= 1.0);
+        }
+        let (direct, batched) = r.qps_pair(4).expect("4-thread rows exist");
+        assert!(direct > 0.0 && batched > 0.0);
+    }
+}

@@ -41,12 +41,13 @@
 //!    concurrently through their own [`crate::Predictor`] while the hub
 //!    keeps training new descendants.
 //!
-//! Registry lookups take one mutex, released before any training starts.
-//! A miss trains under a *per-key* guard: concurrent requests for the same
-//! key serialize on that key alone (no duplicated pre-training), while
-//! misses for different keys pre-train fully in parallel — the shape the
-//! evaluation harness fans out. Prediction traffic never touches a hub
-//! lock at all; it runs on already-shared snapshots.
+//! Registry lookups take one mutex, held only for the map access. The
+//! whole miss path — disk probe and pre-training alike — runs under a
+//! *per-key* guard: concurrent requests for the same key serialize on that
+//! key alone (one checkpoint load, one pre-training), while misses for
+//! different keys probe the disk and pre-train fully in parallel — the
+//! shape the evaluation harness fans out. Prediction traffic never touches
+//! a hub lock at all; it runs on already-shared snapshots.
 
 use crate::config::{BellamyConfig, FinetuneConfig, PretrainConfig};
 use crate::features::TrainingSample;
@@ -71,6 +72,10 @@ pub struct ModelKey {
     objective: String,
     config: BellamyConfig,
     fingerprint: u64,
+    /// The sanitized registry id, cached at construction: hot hub paths
+    /// (every recall, every batcher lookup) read it per call, and building
+    /// it fresh allocated a `String` each time.
+    id: String,
 }
 
 impl ModelKey {
@@ -83,11 +88,17 @@ impl ModelKey {
         let algorithm = algorithm.into();
         let objective = objective.into();
         let fingerprint = identity_fingerprint(&algorithm, &objective, config);
+        let id = format!(
+            "{}--{}--{fingerprint:016x}",
+            sanitize(&algorithm),
+            sanitize(&objective),
+        );
         Self {
             algorithm,
             objective,
             config: config.clone(),
             fingerprint,
+            id,
         }
     }
 
@@ -111,14 +122,10 @@ impl ModelKey {
     /// fingerprint covers the *raw* algorithm/objective strings, so two
     /// keys that differ only in characters the sanitizer flattens (e.g.
     /// `"K Means"` vs `"k-means"`) still get distinct ids — the id aliases
-    /// exactly when the keys are equal.
-    pub fn id(&self) -> String {
-        format!(
-            "{}--{}--{:016x}",
-            sanitize(&self.algorithm),
-            sanitize(&self.objective),
-            self.fingerprint
-        )
+    /// exactly when the keys are equal. Cached at construction; this
+    /// accessor never allocates.
+    pub fn id(&self) -> &str {
+        &self.id
     }
 }
 
@@ -267,10 +274,12 @@ pub struct ModelHub {
     dir: Option<PathBuf>,
     finetuned_capacity: usize,
     pretrained: Mutex<HashMap<String, Arc<ModelState>>>,
-    /// Per-key training guards: a registry miss trains while holding only
-    /// its key's mutex, so same-key racers wait (then recall the winner's
-    /// snapshot) while distinct keys train concurrently.
-    training: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    /// Per-key miss guards: after a memory miss, the disk probe *and* any
+    /// pre-training run while holding only that key's mutex, so same-key
+    /// racers coalesce on one checkpoint load / one training run while
+    /// distinct keys resolve their misses fully in parallel. The registry
+    /// mutex above is only ever held for map lookups and inserts.
+    misses: Mutex<HashMap<String, Arc<Mutex<()>>>>,
     finetuned: Mutex<FineTunedLru>,
     memory_recalls: AtomicU64,
     disk_recalls: AtomicU64,
@@ -286,7 +295,7 @@ impl ModelHub {
             dir: None,
             finetuned_capacity: DEFAULT_FINETUNED_CAPACITY,
             pretrained: Mutex::new(HashMap::new()),
-            training: Mutex::new(HashMap::new()),
+            misses: Mutex::new(HashMap::new()),
             finetuned: Mutex::new(FineTunedLru {
                 entries: Vec::new(),
                 tick: 0,
@@ -349,51 +358,94 @@ impl ModelHub {
     pub fn publish(&self, key: &ModelKey, model: &Bellamy) -> Result<Arc<ModelState>, HubError> {
         let mut state = model
             .build_state()
-            .map_err(|_| HubError::Unfitted(key.id()))?;
-        state.set_lineage(Some(key.id()), None);
+            .map_err(|_| HubError::Unfitted(key.id().to_string()))?;
+        state.set_lineage(Some(key.id().to_string()), None);
         let state = Arc::new(state);
         if let Some(path) = self.checkpoint_path(key) {
             state.save(path)?;
         }
-        self.pretrained.lock().insert(key.id(), Arc::clone(&state));
+        self.pretrained
+            .lock()
+            .insert(key.id().to_string(), Arc::clone(&state));
         Ok(state)
     }
 
-    /// Recalls a pretrained model: in-memory registry first, then the
-    /// on-disk checkpoint directory. Never trains.
-    ///
-    /// The registry mutex is only held for the map lookup/insert; a cold
-    /// disk recall loads and rebuilds the model with no lock held, so it
-    /// cannot stall concurrent memory hits. Racing cold recalls of the
-    /// same key may both load the checkpoint; the first insert wins and
-    /// everyone shares its `Arc`.
-    pub fn recall(&self, key: &ModelKey) -> Result<Arc<ModelState>, HubError> {
-        if let Some(state) = self.pretrained.lock().get(&key.id()) {
-            self.memory_recalls.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(state));
-        }
+    /// The pure in-memory lookup: registry lock only, bump the hit counter.
+    fn recall_memory(&self, key: &ModelKey) -> Option<Arc<ModelState>> {
+        let registry = self.pretrained.lock();
+        let state = registry.get(key.id())?;
+        self.memory_recalls.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::clone(state))
+    }
+
+    /// The miss guard for `key`. The miss-map mutex is only ever held to
+    /// clone or remove an `Arc` — never while waiting on a key guard or the
+    /// registry — so no hold-and-wait cycle can form.
+    fn miss_guard(&self, key: &ModelKey) -> Arc<Mutex<()>> {
+        let mut misses = self.misses.lock();
+        Arc::clone(misses.entry(key.id().to_string()).or_default())
+    }
+
+    /// Drops the miss guard entry once the key is registered (waiters
+    /// already holding the `Arc` re-check the registry and hit in memory).
+    fn clear_miss_guard(&self, key: &ModelKey) {
+        self.misses.lock().remove(key.id());
+    }
+
+    /// Loads the checkpoint for `key` and registers its snapshot. Must be
+    /// called with the key's miss guard held; returns `None` when the hub
+    /// has no directory or no checkpoint exists for the key.
+    fn recall_disk_locked(&self, key: &ModelKey) -> Result<Option<Arc<ModelState>>, HubError> {
         let path = match self.checkpoint_path(key) {
             Some(p) if p.exists() => p,
-            _ => return Err(HubError::UnknownModel(key.id())),
+            _ => return Ok(None),
         };
         let ck = Checkpoint::load(&path)?;
         let model = Bellamy::from_checkpoint(&ck)?;
         let mut state = model
             .build_state()
-            .map_err(|_| HubError::Unfitted(key.id()))?;
-        state.set_lineage(Some(key.id()), None);
+            .map_err(|_| HubError::Unfitted(key.id().to_string()))?;
+        state.set_lineage(Some(key.id().to_string()), None);
         let state = Arc::new(state);
-
-        let mut registry = self.pretrained.lock();
-        if let Some(existing) = registry.get(&key.id()) {
-            // A racer registered first; share its snapshot so every caller
-            // holds the same Arc.
-            self.memory_recalls.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(existing));
-        }
-        registry.insert(key.id(), Arc::clone(&state));
+        self.pretrained
+            .lock()
+            .insert(key.id().to_string(), Arc::clone(&state));
         self.disk_recalls.fetch_add(1, Ordering::Relaxed);
-        Ok(state)
+        Ok(Some(state))
+    }
+
+    /// Recalls a pretrained model: in-memory registry first, then the
+    /// on-disk checkpoint directory. Never trains.
+    ///
+    /// The registry mutex is only held for the map lookup/insert. A cold
+    /// disk recall runs under the key's *miss guard*: same-key racers
+    /// coalesce on a single checkpoint load (the losers re-check the
+    /// registry and hit in memory), while distinct keys load from disk
+    /// fully in parallel — and neither ever stalls a memory hit.
+    pub fn recall(&self, key: &ModelKey) -> Result<Arc<ModelState>, HubError> {
+        if let Some(state) = self.recall_memory(key) {
+            return Ok(state);
+        }
+        if self.dir.is_none() {
+            return Err(HubError::UnknownModel(key.id().to_string()));
+        }
+        let guard = self.miss_guard(key);
+        let _token = guard.lock();
+        // A same-key racer may have loaded while we waited on the guard.
+        if let Some(state) = self.recall_memory(key) {
+            return Ok(state);
+        }
+        // Clear the guard entry whatever the outcome — pure recalls never
+        // train, so an unknown or unreadable key must not leave a map
+        // entry behind (a prober polling for a yet-unpublished key would
+        // otherwise grow the miss map without bound). Racers holding the
+        // guard `Arc` still serialize; the next miss re-inserts.
+        let outcome = self.recall_disk_locked(key);
+        self.clear_miss_guard(key);
+        match outcome? {
+            Some(state) => Ok(state),
+            None => Err(HubError::UnknownModel(key.id().to_string())),
+        }
     }
 
     /// The heart of the reuse workflow: recall the model registered under
@@ -401,6 +453,12 @@ impl ModelHub {
     /// pre-train it on `samples()` (the closure is only invoked on a miss,
     /// so callers do not materialize training corpora for recalls), persist
     /// the checkpoint, and register the snapshot.
+    ///
+    /// The whole miss path (disk probe *and* training) runs under the
+    /// per-key miss guard: concurrent requests for the same key serialize
+    /// on that key alone (one disk load, one pre-training — no duplicated
+    /// work), while misses for different keys probe the disk and pre-train
+    /// fully in parallel — the shape the evaluation harness fans out.
     ///
     /// Training is deterministic in `(key.config(), cfg, seed, samples)`:
     /// the trained model is bit-identical to a hand-wired
@@ -412,41 +470,35 @@ impl ModelHub {
         seed: u64,
         samples: impl FnOnce() -> Vec<TrainingSample>,
     ) -> Result<Arc<ModelState>, HubError> {
-        // Fast path: memory/disk recall, registry lock only.
-        match self.recall(key) {
-            Ok(state) => return Ok(state),
-            Err(HubError::UnknownModel(_)) => {}
-            Err(e) => return Err(e),
+        // Fast path: memory hit, registry lock only.
+        if let Some(state) = self.recall_memory(key) {
+            return Ok(state);
         }
 
-        // Miss: train while holding only this key's guard, so distinct
-        // keys pre-train in parallel. Deadlock-free: the training-map lock
-        // is only ever held to clone or remove an Arc (never while waiting
-        // on a key guard or the registry), so no hold-and-wait cycle can
-        // form.
-        let guard = {
-            let mut training = self.training.lock();
-            Arc::clone(training.entry(key.id()).or_default())
-        };
+        let guard = self.miss_guard(key);
         let _token = guard.lock();
 
-        // A same-key racer may have trained while we waited on the guard.
-        match self.recall(key) {
-            Ok(state) => return Ok(state),
-            Err(HubError::UnknownModel(_)) => {}
-            Err(e) => return Err(e),
+        // A same-key racer may have resolved the miss while we waited.
+        if let Some(state) = self.recall_memory(key) {
+            return Ok(state);
+        }
+        if let Some(state) = self.recall_disk_locked(key)? {
+            self.clear_miss_guard(key);
+            return Ok(state);
         }
 
         let corpus = samples();
         let mut model = Bellamy::new(key.config().clone(), seed);
         let report = pretrain(&mut model, &corpus, cfg, seed);
         if report.diverged {
-            return Err(HubError::Diverged(key.id()));
+            // Leave the guard entry in place: the next requester for this
+            // key recreates or reuses it and may retry with another budget.
+            return Err(HubError::Diverged(key.id().to_string()));
         }
         self.pretrains.fetch_add(1, Ordering::Relaxed);
         let published = self.publish(key, &model);
         // The key is registered; its guard will never be needed again.
-        self.training.lock().remove(&key.id());
+        self.clear_miss_guard(key);
         published
     }
 
@@ -470,7 +522,7 @@ impl ModelHub {
         strategy: ReuseStrategy,
         seed: u64,
     ) -> Result<Arc<ModelState>, HubError> {
-        let parent_id = key.id();
+        let parent_id = key.id().to_string();
         let fingerprint = finetune_fingerprint(samples, cfg, strategy, seed);
         {
             let mut lru = self.finetuned.lock();
@@ -694,6 +746,26 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("no model"));
+    }
+
+    #[test]
+    fn unknown_key_probes_do_not_grow_the_miss_guard_map() {
+        // A client polling for a yet-unpublished key takes the per-key
+        // miss guard on every probe; failed recalls must remove the map
+        // entry again or the map grows without bound.
+        let dir = std::env::temp_dir().join(format!("bellamy-missmap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let hub = ModelHub::at(&dir).unwrap();
+        for i in 0..10 {
+            let key = ModelKey::new(format!("algo-{i}"), "runtime", &BellamyConfig::default());
+            assert!(matches!(hub.recall(&key), Err(HubError::UnknownModel(_))));
+        }
+        assert_eq!(
+            hub.misses.lock().len(),
+            0,
+            "failed recalls must clear their miss-guard entries"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -31,25 +31,37 @@
 //! workflow on top: a content-addressed registry of pretrained snapshots
 //! (in memory + on disk) plus an LRU of fine-tuned descendants with
 //! parent-checkpoint provenance. See the [`state`] and [`hub`] module docs.
+//!
+//! The [`serve`] module is the unified front door over all of it: a
+//! [`serve::Service`] hands out cheap [`serve::ModelClient`] handles whose
+//! single-query predictions are micro-batched *across callers* into one
+//! arena-backed forward pass per flush, and every layer's error surfaces
+//! as one [`error::BellamyError`]. New callers should start there.
 
 pub mod allocation;
 pub mod config;
+pub mod error;
 pub mod features;
 pub mod finetune;
 pub mod hub;
 pub mod model;
 pub mod predictor;
 pub mod search;
+pub mod serve;
 pub mod state;
 pub mod train;
 
 pub use allocation::{cheapest_scale_out, min_scale_out_meeting, ScaleOutRecommendation};
 pub use config::{BellamyConfig, FinetuneConfig, PretrainConfig};
+pub use error::BellamyError;
 pub use features::{context_properties, scale_out_features, ContextProperties, TrainingSample};
 pub use finetune::{FinetuneReport, ReuseStrategy};
 pub use hub::{HubError, HubStats, ModelHub, ModelKey};
 pub use model::{Bellamy, PredictError};
 pub use predictor::{PredictQuery, Predictor};
 pub use search::{search_pretrain, SearchError, SearchReport, SearchSpace};
+pub use serve::{
+    BatcherConfig, BatcherStats, FinetunePolicy, FlushPolicy, ModelClient, Service, ServiceBuilder,
+};
 pub use state::ModelState;
 pub use train::PretrainReport;

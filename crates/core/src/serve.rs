@@ -1,0 +1,1134 @@
+//! `bellamy::serve` — the unified serving front door.
+//!
+//! Everything below this module already exists as parts: the [`ModelHub`]
+//! registry, `Arc`-shared [`ModelState`] snapshots, the allocation-free
+//! [`Predictor`]. What callers had to do by hand — build a key, recall,
+//! snapshot, keep a per-thread predictor, drive fine-tune strategies — is
+//! one object here: a [`Service`] built via [`Service::builder`] hands out
+//! cheap, cloneable [`ModelClient`] handles per [`ModelKey`], and every
+//! client serves through the same shared machinery.
+//!
+//! # Caller → batcher → predictor lifecycle
+//!
+//! ```text
+//!   caller A ──predict()──┐                       ┌────────────────────┐
+//!   caller B ──predict()──┼──► pending slots ───► │ serving loop       │
+//!   caller C ──predict()──┘    (per-key queue)    │ (bellamy_par pool) │
+//!        ▲                                        │  Predictor::       │
+//!        │        flush on capacity or timeout ──►│  predict_batch     │
+//!        └──── per-caller result slots ◄──────────┴────────────────────┘
+//! ```
+//!
+//! 1. **Submit.** [`ModelClient::predict`] writes the query into its
+//!    model's pending queue (a preallocated slot ring — no allocation on
+//!    the steady-state submit path) and waits on a stack-local result slot
+//!    (spin-polling with yields, parking on a condvar only when the result
+//!    is slow).
+//! 2. **Collect.** The *micro-batcher*'s persistent serving loop — one
+//!    parked job on a [`bellamy_par::ThreadPool`] per served model —
+//!    collects queries from any number of submitting threads until the
+//!    batch is full ([`BatcherConfig::max_batch`]), arrivals quiesce
+//!    (under the default [`FlushPolicy::Eager`]), or the oldest query has
+//!    waited [`BatcherConfig::max_wait`].
+//! 3. **Predict.** The whole batch runs through one arena-backed
+//!    [`Predictor::predict_batch`] call. Every op in the prediction path is
+//!    row-independent, so micro-batched results are **bit-identical** to
+//!    direct per-query calls — batching changes latency and throughput,
+//!    never values (proven under ≥ 8 concurrent submitters in
+//!    `crates/core/tests/serve.rs`).
+//! 4. **Deliver.** Results land in the per-caller slots; each submitter
+//!    wakes and returns its own prediction.
+//!
+//! When the serving loop is starved of CPU — the normal condition on a
+//! single-core host, where the loop cannot run while submitters hold the
+//! core — eager-policy submitters *assist* (flat combining): a submitter
+//! whose result has not landed claims the entire pending batch under the
+//! queue lock and serves it inline on its own thread, through the same
+//! batched predictor math. With free cores the spin-polling loop claims
+//! new work first and assists stay rare; without them the batcher degrades
+//! gracefully toward direct serving instead of paying two context switches
+//! per query. [`FlushPolicy::Deadline`] disables assists — the loop alone
+//! decides when to flush, maximizing coalescing.
+//!
+//! Batched work that is already batched — [`ModelClient::predict_batch`],
+//! [`ModelClient::predict_sweep`], [`ModelClient::recommend_scale_out`] —
+//! bypasses the micro-batcher and runs directly on this thread's warm
+//! predictor arena; coalescing exists for the many-callers-one-query-each
+//! serving shape, not for callers that batch themselves.
+//!
+//! Errors from every layer surface as one [`BellamyError`].
+
+use crate::allocation::{cheapest_scale_out, min_scale_out_meeting, ScaleOutRecommendation};
+use crate::config::{FinetuneConfig, PretrainConfig};
+use crate::error::BellamyError;
+use crate::features::{ContextProperties, TrainingSample};
+use crate::finetune::ReuseStrategy;
+use crate::hub::{HubStats, ModelHub, ModelKey};
+use crate::model::Bellamy;
+use crate::predictor::{PredictQuery, Predictor};
+use crate::state::ModelState;
+use bellamy_par::ThreadPool;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// When the serving loop flushes a non-empty, non-full batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Flush as soon as arrivals *quiesce* — one scheduler yield passes
+    /// with no new query — or at `max_wait`, whichever comes first.
+    /// Minimizes latency; batches form from natural arrival bursts (the
+    /// queries that accumulate while the loop is busy predicting).
+    #[default]
+    Eager,
+    /// Hold the batch the full `max_wait` unless it fills to `max_batch`.
+    /// Maximizes coalescing at a bounded latency cost — for throughput-
+    /// over-latency deployments with many more submitters than cores.
+    Deadline,
+}
+
+/// Micro-batcher tuning: when a collecting batch is flushed to the
+/// predictor.
+#[derive(Debug, Clone, Copy)]
+pub struct BatcherConfig {
+    /// Flush as soon as this many queries are pending. Also sizes the
+    /// preallocated pending-slot ring, so it bounds submit-side memory.
+    pub max_batch: usize,
+    /// Flush once the *oldest* pending query has waited this long, even if
+    /// the batch is neither full nor (under [`FlushPolicy::Eager`])
+    /// quiesced.
+    pub max_wait: Duration,
+    /// When to flush a partial batch (see [`FlushPolicy`]).
+    pub policy: FlushPolicy,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_wait: Duration::from_micros(100),
+            policy: FlushPolicy::Eager,
+        }
+    }
+}
+
+/// Operation counters of one model's micro-batcher.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatcherStats {
+    /// Queries served through the batcher.
+    pub queries: u64,
+    /// Batches flushed to the predictor.
+    pub batches: u64,
+    /// Batches flushed because they filled to `max_batch`.
+    pub capacity_flushes: u64,
+    /// Batches flushed because the oldest query aged past `max_wait`.
+    pub timeout_flushes: u64,
+    /// Batches flushed because arrivals quiesced ([`FlushPolicy::Eager`]).
+    pub quiesce_flushes: u64,
+    /// Batches served inline by an assisting submitter (flat combining,
+    /// [`FlushPolicy::Eager`] only) because the serving loop was starved
+    /// of CPU.
+    pub assist_flushes: u64,
+}
+
+/// Why the serving loop decided to flush the collecting batch.
+enum FlushReason {
+    Capacity,
+    Timeout,
+    Quiesce,
+    Shutdown,
+}
+
+/// Scheduler yields the serving loop spends polling for new work before
+/// parking on the condvar, and a submitter spends polling its result slot
+/// before parking. Yield-polling keeps the steady-state handoff free of
+/// futex syscalls on both sides; the parked path only pays when traffic
+/// actually pauses.
+const IDLE_SPINS: usize = 256;
+const SLOT_SPINS: usize = 256;
+
+/// One caller's parked query. The raw pointers refer to the submitting
+/// caller's stack frame; they stay valid because `submit` blocks until the
+/// serving loop has delivered the result into the slot (the same contract
+/// `bellamy_par::WorkTeam` uses for its type-erased tasks).
+struct Request {
+    scale_out: f64,
+    props: *const ContextProperties,
+    slot: *const ResponseSlot,
+}
+
+// SAFETY: the pointers are only dereferenced by the serving loop while the
+// submitting caller is parked inside `submit`, so the referents outlive
+// every access. The slot's interior is coordinated by its atomic status
+// protocol (see `ResponseSlot`).
+unsafe impl Send for Request {}
+
+const SLOT_EMPTY: u32 = 0;
+const SLOT_PARKED: u32 = 1;
+const SLOT_READY: u32 = 2;
+const SLOT_FAILED: u32 = 3;
+
+/// Stack-local rendezvous cell for one query's result: the submitter
+/// spin-polls `status` (yielding between polls), parking on the condvar
+/// only when the result is slow; the serving loop publishes the value with
+/// one release-swap and only touches the futex when a waiter is parked.
+struct ResponseSlot {
+    value: std::cell::UnsafeCell<f64>,
+    status: std::sync::atomic::AtomicU32,
+    park: Mutex<()>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Self {
+        Self {
+            value: std::cell::UnsafeCell::new(0.0),
+            status: std::sync::atomic::AtomicU32::new(SLOT_EMPTY),
+            park: Mutex::new(()),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Submitter side: spin briefly, then park until delivery.
+    fn wait(&self) -> Result<f64, BellamyError> {
+        for _ in 0..SLOT_SPINS {
+            if self.status.load(Ordering::Acquire) >= SLOT_READY {
+                return self.take();
+            }
+            std::thread::yield_now();
+        }
+        let mut guard = self.park.lock();
+        if self
+            .status
+            .compare_exchange(SLOT_EMPTY, SLOT_PARKED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            while self.status.load(Ordering::Acquire) == SLOT_PARKED {
+                self.ready.wait(&mut guard);
+            }
+        }
+        drop(guard);
+        self.take()
+    }
+
+    fn take(&self) -> Result<f64, BellamyError> {
+        match self.status.load(Ordering::Acquire) {
+            // SAFETY: READY is only published (release) after the loop
+            // wrote the value; our acquire load sees that write.
+            SLOT_READY => Ok(unsafe { *self.value.get() }),
+            _ => Err(BellamyError::ServiceStopped),
+        }
+    }
+
+    /// Loop side: publish a result (`None`: the loop is dying and the
+    /// query will never be served) and wake the waiter if it parked.
+    fn deliver(&self, result: Option<f64>) {
+        let status = match result {
+            Some(v) => {
+                // SAFETY: the submitter only reads after observing READY.
+                unsafe { *self.value.get() = v };
+                SLOT_READY
+            }
+            None => SLOT_FAILED,
+        };
+        if self.status.swap(status, Ordering::AcqRel) == SLOT_PARKED {
+            // Taking the park lock orders this notify after the waiter is
+            // inside `wait` (or it re-checks status before sleeping).
+            let _guard = self.park.lock();
+            self.ready.notify_one();
+        }
+    }
+}
+
+struct BatchQueue {
+    /// The collecting batch; capacity fixed at `max_batch`, so pushes never
+    /// reallocate.
+    pending: Vec<Request>,
+    /// Arrival time of the oldest pending query (the flush-deadline anchor).
+    oldest: Option<Instant>,
+    shutdown: bool,
+}
+
+struct BatcherShared {
+    cfg: BatcherConfig,
+    /// The served snapshot (the loop and assisting submitters predict
+    /// against it).
+    state: Arc<ModelState>,
+    queue: Mutex<BatchQueue>,
+    /// Wakes the serving loop when it is parked (new work or shutdown).
+    work: Condvar,
+    /// True while the serving loop is parked on `work` — submitters skip
+    /// the notify syscall entirely while the loop is spinning.
+    loop_parked: std::sync::atomic::AtomicBool,
+    /// Wakes submitters waiting for a free pending slot.
+    space: Condvar,
+    queries: AtomicU64,
+    batches: AtomicU64,
+    capacity_flushes: AtomicU64,
+    timeout_flushes: AtomicU64,
+    quiesce_flushes: AtomicU64,
+    assist_flushes: AtomicU64,
+}
+
+thread_local! {
+    /// Reusable scratch for the assist path (flat combining): claimed
+    /// requests, their query views, and the copied-out results. Grows to
+    /// the largest claimed batch once, then steady-state assists are
+    /// allocation-free.
+    #[allow(clippy::type_complexity)]
+    static ASSIST_SCRATCH: std::cell::RefCell<(Vec<Request>, Vec<PredictQuery<'static>>, Vec<f64>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+}
+
+impl BatcherShared {
+    /// Serves one claimed batch on *this* thread — the flat-combining
+    /// fallback for when the serving loop is starved of CPU (the common
+    /// case on single-core hosts: the loop cannot run while submitters
+    /// hold the core). Returns false when there was nothing to claim.
+    ///
+    /// Safe to run concurrently with the loop and other assisters: the
+    /// queue mutex makes claims disjoint, and whoever claims a request
+    /// delivers it. Results stay bit-identical — the same
+    /// [`Predictor::predict_batch`] math runs, just on a different thread.
+    /// A panicking forward pass fails the whole claimed batch (every
+    /// submitter gets [`BellamyError::ServiceStopped`] instead of hanging,
+    /// and no stale request pointers survive in the scratch) before the
+    /// panic resumes.
+    fn assist_once(&self) -> bool {
+        ASSIST_SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            let (requests, queries, results) = &mut *scratch;
+            {
+                let mut q = self.queue.lock();
+                if q.pending.is_empty() {
+                    return false;
+                }
+                // Append (not swap): `pending` keeps its preallocated
+                // capacity so loop-side pushes never reallocate.
+                requests.append(&mut q.pending);
+                q.oldest = None;
+            }
+            self.space.notify_all();
+            for r in requests.iter() {
+                queries.push(PredictQuery {
+                    scale_out: r.scale_out,
+                    // SAFETY: the owning submitter is blocked until this
+                    // batch delivers (see `Request`).
+                    props: unsafe { &*r.props },
+                });
+            }
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Predictor::with_thread_local(|p| {
+                    results.extend_from_slice(p.predict_batch(&self.state, queries));
+                });
+            }));
+            match outcome {
+                Ok(()) => {
+                    for (r, &pred) in requests.iter().zip(results.iter()) {
+                        // SAFETY: as above — the submitter is blocked.
+                        unsafe { &*r.slot }.deliver(Some(pred));
+                    }
+                }
+                Err(payload) => {
+                    // No request was delivered yet (delivery is the step
+                    // after the forward pass): fail them all so their
+                    // submitters unblock, clear the raw-pointer scratch,
+                    // and let the panic continue on this caller.
+                    for r in requests.iter() {
+                        // SAFETY: as above — the submitter is blocked.
+                        unsafe { &*r.slot }.deliver(None);
+                    }
+                    requests.clear();
+                    queries.clear();
+                    results.clear();
+                    std::panic::resume_unwind(payload);
+                }
+            }
+            self.queries
+                .fetch_add(requests.len() as u64, Ordering::Relaxed);
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            self.assist_flushes.fetch_add(1, Ordering::Relaxed);
+            requests.clear();
+            queries.clear();
+            results.clear();
+            true
+        })
+    }
+
+    /// Eager-policy wait: serve unclaimed work ourselves until our own
+    /// result lands. No grace yields before assisting — a yield on a busy
+    /// single-core host costs two context switches, more than serving the
+    /// claimable batch inline, while with free cores the spin-polling loop
+    /// claims new work before our first status check anyway, so assists
+    /// naturally fire only when the loop is starved of CPU.
+    fn wait_with_assist(&self, slot: &ResponseSlot) -> Result<f64, BellamyError> {
+        while slot.status.load(Ordering::Acquire) < SLOT_READY {
+            if !self.assist_once() {
+                // Nothing claimable: our query is already in flight on the
+                // loop (or another assister); park until it delivers.
+                return slot.wait();
+            }
+        }
+        slot.take()
+    }
+}
+
+/// The cross-caller micro-batcher for one served model: a preallocated
+/// pending queue plus a persistent serving loop parked on a
+/// [`bellamy_par::ThreadPool`]. See the module docs for the lifecycle.
+struct MicroBatcher {
+    shared: Arc<BatcherShared>,
+    /// Owns the parked serving-loop job; dropped (and joined) after
+    /// shutdown is signalled in [`MicroBatcher::drop`].
+    _pool: ThreadPool,
+}
+
+impl MicroBatcher {
+    fn new(state: Arc<ModelState>, cfg: BatcherConfig) -> Self {
+        let cfg = BatcherConfig {
+            max_batch: cfg.max_batch.max(1),
+            ..cfg
+        };
+        let shared = Arc::new(BatcherShared {
+            cfg,
+            state,
+            queue: Mutex::new(BatchQueue {
+                pending: Vec::with_capacity(cfg.max_batch),
+                oldest: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            loop_parked: std::sync::atomic::AtomicBool::new(false),
+            space: Condvar::new(),
+            queries: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            capacity_flushes: AtomicU64::new(0),
+            timeout_flushes: AtomicU64::new(0),
+            quiesce_flushes: AtomicU64::new(0),
+            assist_flushes: AtomicU64::new(0),
+        });
+        let pool = ThreadPool::named("bellamy-serve", 1);
+        {
+            let shared = Arc::clone(&shared);
+            pool.execute(move || serve_loop(shared));
+        }
+        Self {
+            shared,
+            _pool: pool,
+        }
+    }
+
+    /// Submits one query and blocks until its result is delivered.
+    /// Allocation-free at steady state: the pending push stays within the
+    /// preallocated capacity and the result slot lives on this stack frame.
+    fn submit(&self, scale_out: f64, props: &ContextProperties) -> Result<f64, BellamyError> {
+        let slot = ResponseSlot::new();
+        {
+            let mut q = self.shared.queue.lock();
+            loop {
+                if q.shutdown {
+                    return Err(BellamyError::ServiceStopped);
+                }
+                if q.pending.len() < self.shared.cfg.max_batch {
+                    break;
+                }
+                // The batch is full and mid-flush; wait for slots to free.
+                if self.shared.loop_parked.load(Ordering::Acquire) {
+                    self.shared.work.notify_one();
+                }
+                self.shared.space.wait(&mut q);
+            }
+            if q.pending.is_empty() {
+                q.oldest = Some(Instant::now());
+            }
+            q.pending.push(Request {
+                scale_out,
+                props,
+                slot: &slot,
+            });
+        }
+        // The loop normally yield-polls the queue; pay the notify syscall
+        // only when it actually parked.
+        if self.shared.loop_parked.load(Ordering::Acquire) {
+            self.shared.work.notify_one();
+        }
+        match self.shared.cfg.policy {
+            // Eager: combine on this thread when the loop is starved.
+            FlushPolicy::Eager => self.shared.wait_with_assist(&slot),
+            // Deadline: the loop alone decides when to flush.
+            FlushPolicy::Deadline => slot.wait(),
+        }
+    }
+
+    fn stats(&self) -> BatcherStats {
+        BatcherStats {
+            queries: self.shared.queries.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            capacity_flushes: self.shared.capacity_flushes.load(Ordering::Relaxed),
+            timeout_flushes: self.shared.timeout_flushes.load(Ordering::Relaxed),
+            quiesce_flushes: self.shared.quiesce_flushes.load(Ordering::Relaxed),
+            assist_flushes: self.shared.assist_flushes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for MicroBatcher {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock();
+            q.shutdown = true;
+        }
+        // Wake the loop (to drain and exit) and any slot waiters (to error
+        // out); then `_pool` drops and joins the loop job.
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+    }
+}
+
+/// Marks the batcher stopped when the serving loop exits — including by
+/// panic — so parked and future submitters error out instead of hanging.
+struct LoopGuard(Arc<BatcherShared>);
+
+impl Drop for LoopGuard {
+    fn drop(&mut self) {
+        let drained = {
+            let mut q = self.0.queue.lock();
+            q.shutdown = true;
+            std::mem::take(&mut q.pending)
+        };
+        for request in &drained {
+            // SAFETY: the submitter is still blocked in `submit`.
+            let slot = unsafe { &*request.slot };
+            slot.deliver(None);
+        }
+        self.0.space.notify_all();
+    }
+}
+
+/// The persistent serving loop: collect → flush → predict → deliver.
+fn serve_loop(shared: Arc<BatcherShared>) {
+    let guard = LoopGuard(Arc::clone(&shared));
+    let cap = shared.cfg.max_batch;
+    let eager = shared.cfg.policy == FlushPolicy::Eager;
+    let mut predictor = Predictor::new();
+    let mut processing: Vec<Request> = Vec::with_capacity(cap);
+    let mut queries: Vec<PredictQuery<'static>> = Vec::with_capacity(cap);
+    let mut results: Vec<f64> = Vec::with_capacity(cap);
+
+    loop {
+        // Collect until a flush condition holds. The lock is dropped
+        // between polls so submitters enqueue while we yield.
+        let mut idle_spins = 0usize;
+        let mut seen_len = 0usize;
+        let (mut q, reason) = loop {
+            let mut q = shared.queue.lock();
+            if q.shutdown {
+                if q.pending.is_empty() {
+                    drop(q);
+                    drop(guard);
+                    return;
+                }
+                break (q, FlushReason::Shutdown);
+            }
+            let len = q.pending.len();
+            if len >= cap {
+                break (q, FlushReason::Capacity);
+            }
+            if len == 0 {
+                seen_len = 0;
+                if idle_spins < IDLE_SPINS {
+                    idle_spins += 1;
+                    drop(q);
+                    std::thread::yield_now();
+                    continue;
+                }
+                // Traffic paused: park until a submitter notifies. The
+                // flag is set under the lock, so a submitter either sees
+                // it (and notifies) or pushed before we sleep (and we see
+                // the non-empty queue on the next iteration).
+                shared.loop_parked.store(true, Ordering::Release);
+                shared.work.wait(&mut q);
+                shared.loop_parked.store(false, Ordering::Release);
+                idle_spins = 0;
+                drop(q);
+                continue;
+            }
+            idle_spins = 0;
+            let deadline = q.oldest.expect("non-empty queue has an oldest") + shared.cfg.max_wait;
+            let now = Instant::now();
+            if now >= deadline {
+                break (q, FlushReason::Timeout);
+            }
+            if eager {
+                if len == seen_len {
+                    // One yield passed with no new arrival: quiesced.
+                    break (q, FlushReason::Quiesce);
+                }
+                seen_len = len;
+                drop(q);
+                std::thread::yield_now();
+            } else {
+                // Parked in the timed wait too: submitters must notify so
+                // a capacity fill flushes now, not at the deadline.
+                shared.loop_parked.store(true, Ordering::Release);
+                let _ = shared.work.wait_for(&mut q, deadline - now);
+                shared.loop_parked.store(false, Ordering::Release);
+                drop(q);
+            }
+        };
+        std::mem::swap(&mut q.pending, &mut processing);
+        q.oldest = None;
+        drop(q);
+        shared.space.notify_all();
+
+        // One batched forward pass for the whole flush. The 'static
+        // lifetime is a local fiction: the queries only live for this call,
+        // while every referenced caller is blocked in `submit`.
+        for request in &processing {
+            queries.push(PredictQuery {
+                scale_out: request.scale_out,
+                props: unsafe { &*request.props },
+            });
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            results.extend_from_slice(predictor.predict_batch(&shared.state, &queries));
+        }));
+        if let Err(payload) = outcome {
+            // The claimed batch never reached delivery (delivery is the
+            // step after the forward pass). Fail every claimed submitter
+            // so no one hangs — `LoopGuard` only covers still-pending
+            // requests — then let the panic end the loop (the guard marks
+            // the batcher stopped for everyone else).
+            for request in &processing {
+                // SAFETY: the submitter is blocked in `submit`.
+                unsafe { &*request.slot }.deliver(None);
+            }
+            std::panic::resume_unwind(payload);
+        }
+
+        shared
+            .queries
+            .fetch_add(processing.len() as u64, Ordering::Relaxed);
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        match reason {
+            FlushReason::Capacity => shared.capacity_flushes.fetch_add(1, Ordering::Relaxed),
+            FlushReason::Timeout => shared.timeout_flushes.fetch_add(1, Ordering::Relaxed),
+            FlushReason::Quiesce => shared.quiesce_flushes.fetch_add(1, Ordering::Relaxed),
+            FlushReason::Shutdown => 0,
+        };
+
+        for (request, &pred) in processing.iter().zip(results.iter()) {
+            // SAFETY: the submitter is blocked in `submit` until this
+            // delivery.
+            let slot = unsafe { &*request.slot };
+            slot.deliver(Some(pred));
+        }
+        results.clear();
+        queries.clear();
+        processing.clear();
+    }
+}
+
+/// The service's fine-tuning defaults, applied by
+/// [`Service::finetuned_client`].
+#[derive(Debug, Clone)]
+pub struct FinetunePolicy {
+    /// Fine-tuning budget and optimizer settings.
+    pub config: FinetuneConfig,
+    /// Which components to freeze/reset (paper §IV-C2).
+    pub strategy: ReuseStrategy,
+    /// Seed for the fine-tuning run.
+    pub seed: u64,
+}
+
+impl Default for FinetunePolicy {
+    fn default() -> Self {
+        Self {
+            config: FinetuneConfig::default(),
+            strategy: ReuseStrategy::PartialUnfreeze,
+            seed: 0,
+        }
+    }
+}
+
+struct ServiceInner {
+    hub: Arc<ModelHub>,
+    batcher_cfg: BatcherConfig,
+    finetune: FinetunePolicy,
+    /// One micro-batcher per served model, keyed by snapshot identity
+    /// (`Arc` address — stable because each batcher holds its state alive).
+    /// Created lazily on the first single-query `predict` through a client;
+    /// clients that only run batched calls never spawn one.
+    batchers: Mutex<HashMap<usize, Arc<MicroBatcher>>>,
+}
+
+impl ServiceInner {
+    fn batcher_for(self: &Arc<Self>, state: &Arc<ModelState>) -> Arc<MicroBatcher> {
+        let id = Arc::as_ptr(state) as usize;
+        let mut batchers = self.batchers.lock();
+        // Reap batchers no client references anymore (strong count 1 =
+        // registry only; clients cache the Arc in their OnceLock, and the
+        // map lock serializes every clone out of the registry, so the
+        // check cannot race a new borrower). Without this, a long-running
+        // service creating clients per context would pin one serving
+        // thread + one ModelState per served snapshot forever.
+        let dead: Vec<usize> = batchers
+            .iter()
+            .filter(|(&key, batcher)| key != id && Arc::strong_count(batcher) == 1)
+            .map(|(&key, _)| key)
+            .collect();
+        let reaped: Vec<Arc<MicroBatcher>> =
+            dead.iter().filter_map(|key| batchers.remove(key)).collect();
+        let batcher =
+            Arc::clone(batchers.entry(id).or_insert_with(|| {
+                Arc::new(MicroBatcher::new(Arc::clone(state), self.batcher_cfg))
+            }));
+        drop(batchers);
+        // Dropping joins each reaped serving loop — off the lock, so other
+        // clients are never blocked on a thread wind-down.
+        drop(reaped);
+        batcher
+    }
+}
+
+/// Builder for [`Service`]; see [`Service::builder`].
+#[derive(Default)]
+pub struct ServiceBuilder {
+    hub: Option<Arc<ModelHub>>,
+    hub_dir: Option<PathBuf>,
+    batcher: Option<BatcherConfig>,
+    finetune: Option<FinetunePolicy>,
+}
+
+impl ServiceBuilder {
+    /// Serves from an existing hub (shared with other services or direct
+    /// hub users). Overrides [`ServiceBuilder::hub_dir`].
+    pub fn hub(mut self, hub: Arc<ModelHub>) -> Self {
+        self.hub = Some(hub);
+        self
+    }
+
+    /// Serves from a disk-backed hub at `dir` (created if absent); two
+    /// services pointed at the same directory share the pretrained
+    /// registry across processes and restarts.
+    pub fn hub_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.hub_dir = Some(dir.into());
+        self
+    }
+
+    /// Overrides the micro-batcher flush bounds.
+    pub fn batcher(mut self, cfg: BatcherConfig) -> Self {
+        self.batcher = Some(cfg);
+        self
+    }
+
+    /// Sets the fine-tuning defaults used by [`Service::finetuned_client`].
+    pub fn finetune_policy(mut self, policy: FinetunePolicy) -> Self {
+        self.finetune = Some(policy);
+        self
+    }
+
+    /// Builds the service. Fails only when a [`ServiceBuilder::hub_dir`]
+    /// cannot be created.
+    pub fn build(self) -> Result<Service, BellamyError> {
+        let hub = match (self.hub, self.hub_dir) {
+            (Some(hub), _) => hub,
+            (None, Some(dir)) => Arc::new(ModelHub::at(dir)?),
+            (None, None) => Arc::new(ModelHub::in_memory()),
+        };
+        Ok(Service {
+            inner: Arc::new(ServiceInner {
+                hub,
+                batcher_cfg: self.batcher.unwrap_or_default(),
+                finetune: self.finetune.unwrap_or_default(),
+                batchers: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+}
+
+/// The serving front door: one shared hub, one micro-batcher per served
+/// model, cheap [`ModelClient`] handles for callers. Cloning a `Service`
+/// clones a handle to the same service. See the module docs.
+#[derive(Clone)]
+pub struct Service {
+    inner: Arc<ServiceInner>,
+}
+
+impl Service {
+    /// Starts building a service.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::default()
+    }
+
+    /// A service over a fresh in-memory hub with default batching and
+    /// fine-tuning policies.
+    pub fn in_memory() -> Self {
+        Self::builder()
+            .build()
+            .expect("in-memory build cannot fail")
+    }
+
+    /// The underlying model hub (for direct registry operations).
+    pub fn hub(&self) -> &ModelHub {
+        &self.inner.hub
+    }
+
+    /// Hub operation counters.
+    pub fn stats(&self) -> HubStats {
+        self.inner.hub.stats()
+    }
+
+    /// A client for the model registered under `key` (memory, then disk).
+    /// Never trains.
+    pub fn client(&self, key: &ModelKey) -> Result<ModelClient, BellamyError> {
+        Ok(self.client_for_state(self.inner.hub.recall(key)?))
+    }
+
+    /// A client for `key`, pre-training on `samples()` when the hub has
+    /// never seen the key (see [`ModelHub::recall_or_pretrain`]).
+    pub fn client_or_pretrain(
+        &self,
+        key: &ModelKey,
+        cfg: &PretrainConfig,
+        seed: u64,
+        samples: impl FnOnce() -> Vec<TrainingSample>,
+    ) -> Result<ModelClient, BellamyError> {
+        let state = self.inner.hub.recall_or_pretrain(key, cfg, seed, samples)?;
+        Ok(self.client_for_state(state))
+    }
+
+    /// Publishes an externally trained model under `key` and returns a
+    /// client serving it.
+    pub fn publish(&self, key: &ModelKey, model: &Bellamy) -> Result<ModelClient, BellamyError> {
+        Ok(self.client_for_state(self.inner.hub.publish(key, model)?))
+    }
+
+    /// A client for the fine-tuned descendant of `key` in `context`, using
+    /// the service's [`FinetunePolicy`] (see
+    /// [`ServiceBuilder::finetune_policy`]). Descendants are cached in the
+    /// hub's LRU, so identical requests share one fine-tuning run.
+    pub fn finetuned_client(
+        &self,
+        key: &ModelKey,
+        context: &str,
+        samples: &[TrainingSample],
+    ) -> Result<ModelClient, BellamyError> {
+        let policy = self.inner.finetune.clone();
+        self.finetuned_client_with(
+            key,
+            context,
+            samples,
+            &policy.config,
+            policy.strategy,
+            policy.seed,
+        )
+    }
+
+    /// [`Service::finetuned_client`] with explicit fine-tuning settings
+    /// overriding the service policy.
+    pub fn finetuned_client_with(
+        &self,
+        key: &ModelKey,
+        context: &str,
+        samples: &[TrainingSample],
+        cfg: &FinetuneConfig,
+        strategy: ReuseStrategy,
+        seed: u64,
+    ) -> Result<ModelClient, BellamyError> {
+        let state = self
+            .inner
+            .hub
+            .fine_tuned_for(key, context, samples, cfg, strategy, seed)?;
+        Ok(self.client_for_state(state))
+    }
+
+    /// A client serving an arbitrary snapshot — models that live outside
+    /// the hub (locally trained baselines, ad hoc states). Clients for the
+    /// same `Arc` share one micro-batcher.
+    pub fn client_for_state(&self, state: Arc<ModelState>) -> ModelClient {
+        ModelClient {
+            state,
+            service: Arc::clone(&self.inner),
+            batcher: OnceLock::new(),
+        }
+    }
+}
+
+/// A cheap, cloneable handle serving one model through the service: single
+/// queries are micro-batched across all callers of that model; batched
+/// entry points run directly on this thread's predictor arena. Create via
+/// [`Service::client`] and friends; clone freely (clones share the same
+/// underlying state and batcher).
+pub struct ModelClient {
+    state: Arc<ModelState>,
+    service: Arc<ServiceInner>,
+    /// Lazily resolved micro-batcher (shared through the service registry,
+    /// cached here so steady-state submits skip the registry lock).
+    batcher: OnceLock<Arc<MicroBatcher>>,
+}
+
+impl Clone for ModelClient {
+    fn clone(&self) -> Self {
+        let batcher = OnceLock::new();
+        if let Some(b) = self.batcher.get() {
+            let _ = batcher.set(Arc::clone(b));
+        }
+        Self {
+            state: Arc::clone(&self.state),
+            service: Arc::clone(&self.service),
+            batcher,
+        }
+    }
+}
+
+impl std::fmt::Debug for ModelClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelClient")
+            .field("registry_key", &self.state.registry_key())
+            .field("params_fingerprint", &self.state.params_fingerprint())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ModelClient {
+    /// The served snapshot.
+    pub fn state(&self) -> &Arc<ModelState> {
+        &self.state
+    }
+
+    /// The hub registry key of the served model, if it has one.
+    pub fn registry_key(&self) -> Option<&str> {
+        self.state.registry_key()
+    }
+
+    fn batcher(&self) -> &Arc<MicroBatcher> {
+        self.batcher
+            .get_or_init(|| self.service.batcher_for(&self.state))
+    }
+
+    /// Predicts the runtime (seconds) for one scale-out in a described
+    /// context, routed through the cross-caller micro-batcher: concurrent
+    /// callers' queries coalesce into one batched forward pass, with
+    /// results bit-identical to a direct [`Predictor::predict_one`] call.
+    /// Allocation-free at steady state.
+    pub fn predict(&self, scale_out: f64, props: &ContextProperties) -> Result<f64, BellamyError> {
+        self.batcher().submit(scale_out, props)
+    }
+
+    /// Predicted runtimes for a caller-assembled batch, in query order.
+    /// Already batched, so it bypasses the micro-batcher and runs on this
+    /// thread's warm predictor arena.
+    pub fn predict_batch(&self, queries: &[PredictQuery<'_>]) -> Vec<f64> {
+        Predictor::with_thread_local(|p| p.predict_batch(&self.state, queries).to_vec())
+    }
+
+    /// Predicted runtimes for one context swept over many scale-outs (the
+    /// §IV allocation-search shape). Bypasses the micro-batcher.
+    pub fn predict_sweep(&self, props: &ContextProperties, scale_outs: &[f64]) -> Vec<f64> {
+        Predictor::with_thread_local(|p| p.predict_sweep(&self.state, props, scale_outs).to_vec())
+    }
+
+    /// The smallest scale-out in `[lo, hi]` predicted to meet `target_s`,
+    /// or `None` when no candidate does. The candidate curve is evaluated
+    /// in one batched sweep.
+    pub fn recommend_scale_out(
+        &self,
+        props: &ContextProperties,
+        target_s: f64,
+        lo: u32,
+        hi: u32,
+    ) -> Option<ScaleOutRecommendation> {
+        let xs: Vec<f64> = (lo..=hi).map(f64::from).collect();
+        let curve = self.predict_sweep(props, &xs);
+        min_scale_out_meeting(|x| curve[(x - lo) as usize], target_s, lo, hi)
+    }
+
+    /// The cheapest scale-out in `[lo, hi]` under a per-machine-hour price,
+    /// optionally subject to a runtime deadline. One batched sweep.
+    pub fn cheapest_scale_out(
+        &self,
+        props: &ContextProperties,
+        price_per_machine_hour: f64,
+        target_s: Option<f64>,
+        lo: u32,
+        hi: u32,
+    ) -> Option<ScaleOutRecommendation> {
+        let xs: Vec<f64> = (lo..=hi).map(f64::from).collect();
+        let curve = self.predict_sweep(props, &xs);
+        cheapest_scale_out(
+            |x| curve[(x - lo) as usize],
+            price_per_machine_hour,
+            target_s,
+            lo,
+            hi,
+        )
+    }
+
+    /// Micro-batcher counters for this model (zeros until the first
+    /// single-query [`ModelClient::predict`] — through *any* client of the
+    /// state — spins the batcher up).
+    pub fn batcher_stats(&self) -> BatcherStats {
+        if let Some(b) = self.batcher.get() {
+            return b.stats();
+        }
+        // This handle never submitted, but a clone may have: consult the
+        // service registry without creating a batcher.
+        let id = Arc::as_ptr(&self.state) as usize;
+        match self.service.batchers.lock().get(&id) {
+            Some(b) => b.stats(),
+            None => BatcherStats::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BellamyConfig;
+    use bellamy_encoding::PropertyValue;
+
+    fn tiny_state() -> Arc<ModelState> {
+        let samples: Vec<TrainingSample> = (0..6)
+            .map(|i| TrainingSample {
+                scale_out: 2.0 + i as f64,
+                runtime_s: 100.0 - 5.0 * i as f64,
+                props: ContextProperties {
+                    essential: vec![PropertyValue::Number(1024 + i as u64)],
+                    optional: vec![],
+                },
+            })
+            .collect();
+        let mut model = Bellamy::new(BellamyConfig::default(), 1);
+        model.fit_normalization(&samples);
+        model.snapshot().expect("fitted")
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let service = Service::builder()
+            .batcher(BatcherConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(1),
+                ..BatcherConfig::default()
+            })
+            .finetune_policy(FinetunePolicy {
+                seed: 42,
+                ..FinetunePolicy::default()
+            })
+            .build()
+            .expect("in-memory service");
+        assert_eq!(service.inner.batcher_cfg.max_batch, 8);
+        assert_eq!(service.inner.finetune.seed, 42);
+        assert_eq!(service.stats(), HubStats::default());
+    }
+
+    #[test]
+    fn client_of_unknown_key_errors() {
+        let service = Service::in_memory();
+        let key = ModelKey::new("sgd", "runtime", &BellamyConfig::default());
+        assert!(matches!(
+            service.client(&key),
+            Err(BellamyError::Hub(crate::hub::HubError::UnknownModel(_)))
+        ));
+    }
+
+    #[test]
+    fn clients_for_one_state_share_a_batcher() {
+        let service = Service::in_memory();
+        let state = tiny_state();
+        let props = ContextProperties {
+            essential: vec![PropertyValue::Number(1024)],
+            optional: vec![],
+        };
+        let a = service.client_for_state(Arc::clone(&state));
+        let b = a.clone();
+        let c = service.client_for_state(state);
+        let direct = a.predict(4.0, &props).unwrap();
+        let clone_pred = b.predict(4.0, &props).unwrap();
+        let fresh = c.predict(4.0, &props).unwrap();
+        assert_eq!(direct.to_bits(), clone_pred.to_bits());
+        assert_eq!(direct.to_bits(), fresh.to_bits());
+        // All three handles route through one batcher.
+        assert!(Arc::ptr_eq(a.batcher(), b.batcher()));
+        assert!(Arc::ptr_eq(a.batcher(), c.batcher()));
+        assert_eq!(a.batcher_stats().queries, 3);
+        assert_eq!(service.inner.batchers.lock().len(), 1);
+    }
+
+    #[test]
+    fn dead_batchers_are_reaped_when_new_ones_spin_up() {
+        let service = Service::in_memory();
+        let props = ContextProperties {
+            essential: vec![PropertyValue::Number(1024)],
+            optional: vec![],
+        };
+        {
+            let first = service.client_for_state(tiny_state());
+            first.predict(4.0, &props).unwrap();
+            assert_eq!(service.inner.batchers.lock().len(), 1);
+        } // `first` (and its cached batcher Arc) dropped: registry-only now.
+        let second = service.client_for_state(tiny_state());
+        second.predict(4.0, &props).unwrap();
+        assert_eq!(
+            service.inner.batchers.lock().len(),
+            1,
+            "spinning up a new batcher must reap client-less ones"
+        );
+    }
+
+    #[test]
+    fn submit_after_shutdown_errors_instead_of_hanging() {
+        let state = tiny_state();
+        let batcher = MicroBatcher::new(state, BatcherConfig::default());
+        batcher.shared.queue.lock().shutdown = true;
+        let props = ContextProperties {
+            essential: vec![PropertyValue::Number(7)],
+            optional: vec![],
+        };
+        assert!(matches!(
+            batcher.submit(4.0, &props),
+            Err(BellamyError::ServiceStopped)
+        ));
+    }
+
+    #[test]
+    fn recommendations_come_from_the_swept_curve() {
+        let service = Service::in_memory();
+        let client = service.client_for_state(tiny_state());
+        let props = ContextProperties {
+            essential: vec![PropertyValue::Number(2048)],
+            optional: vec![],
+        };
+        let xs: Vec<f64> = (2..=12).map(f64::from).collect();
+        let curve = client.predict_sweep(&props, &xs);
+        // A target below the whole curve is unreachable; the max is always
+        // reachable.
+        let max = curve.iter().cloned().fold(f64::MIN, f64::max);
+        let min = curve.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(client
+            .recommend_scale_out(&props, min - 1.0, 2, 12)
+            .is_none());
+        let rec = client
+            .recommend_scale_out(&props, max, 2, 12)
+            .expect("max is reachable");
+        assert_eq!(
+            rec.predicted_runtime_s.to_bits(),
+            curve[(rec.scale_out - 2) as usize].to_bits(),
+            "recommendation must quote the swept curve"
+        );
+        let cheapest = client
+            .cheapest_scale_out(&props, 1.0, None, 2, 12)
+            .expect("unconstrained cheapest exists");
+        // Untrained weights may predict negative runtimes; the cost just
+        // has to be the curve's minimum, finite, and curve-derived.
+        assert!(cheapest.predicted_cost.is_finite());
+        assert_eq!(
+            cheapest.predicted_runtime_s.to_bits(),
+            curve[(cheapest.scale_out - 2) as usize].to_bits()
+        );
+    }
+}

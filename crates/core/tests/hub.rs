@@ -64,7 +64,7 @@ fn recall_or_pretrain_persists_and_a_second_hub_recalls_bit_identically() {
         .recall_or_pretrain(&key, &quick_pretrain(), 7, || history.clone())
         .unwrap();
     assert_eq!(hub1.stats().pretrains, 1);
-    assert_eq!(state1.registry_key(), Some(key.id()).as_deref());
+    assert_eq!(state1.registry_key(), Some(key.id()));
 
     // Same instance again: memory hit, same Arc, the samples closure must
     // not even run.
@@ -155,7 +155,7 @@ fn fine_tuned_for_matches_hand_wired_fine_tune_bit_for_bit() {
     }
 
     // Provenance: the descendant records its parent checkpoint.
-    assert_eq!(tuned.parent_key(), Some(key.id()).as_deref());
+    assert_eq!(tuned.parent_key(), Some(key.id()));
     assert!(tuned
         .registry_key()
         .expect("descendants are labelled")
@@ -283,7 +283,7 @@ fn concurrent_recalls_train_once_per_key_and_in_parallel_across_keys() {
                         &BellamyConfig::default(),
                     );
                     (
-                        key.id(),
+                        key.id().to_string(),
                         hub.recall_or_pretrain(&key, &quick_pretrain(), 10 + i, || history)
                             .unwrap(),
                     )
@@ -331,7 +331,7 @@ fn publish_registers_an_externally_trained_model() {
     {
         let hub = ModelHub::at(&dir).unwrap();
         let published = hub.publish(&key, &model).unwrap();
-        assert_eq!(published.registry_key(), Some(key.id()).as_deref());
+        assert_eq!(published.registry_key(), Some(key.id()));
     }
 
     // A fresh hub recalls the published model from disk and serves the
@@ -344,5 +344,105 @@ fn publish_registers_an_externally_trained_model() {
         assert_eq!(a.to_bits(), b.to_bits());
     }
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A rendezvous that fails loudly instead of deadlocking: both parties
+/// must arrive within the timeout, which only happens when the two hub
+/// misses run concurrently.
+fn rendezvous(sync: &(std::sync::Mutex<usize>, std::sync::Condvar), parties: usize) {
+    let (lock, cv) = sync;
+    let mut arrived = lock.lock().unwrap();
+    *arrived += 1;
+    cv.notify_all();
+    let deadline = std::time::Duration::from_secs(30);
+    while *arrived < parties {
+        let (guard, timeout) = cv.wait_timeout(arrived, deadline).unwrap();
+        arrived = guard;
+        assert!(
+            !timeout.timed_out(),
+            "rendezvous timed out: hub misses for distinct keys are \
+             serialized instead of running in parallel"
+        );
+    }
+}
+
+#[test]
+fn two_slow_distinct_key_misses_resolve_in_parallel() {
+    // Regression for miss coalescing granularity: the registry mutex must
+    // only be held for map lookups/inserts, so two *distinct* keys whose
+    // misses are slow (here: the samples closures rendezvous, standing in
+    // for slow disk probes / corpus materialization) make progress
+    // concurrently. If any hub-wide lock were held across the miss path,
+    // both closures could never be inside the hub at once and the
+    // rendezvous would time out.
+    let (history, _) = corpus();
+    let hub = ModelHub::at(unique_dir("parallel-miss")).unwrap();
+    let sync = (std::sync::Mutex::new(0usize), std::sync::Condvar::new());
+
+    std::thread::scope(|scope| {
+        for i in 0..2u64 {
+            let hub = &hub;
+            let history = history.clone();
+            let sync = &sync;
+            scope.spawn(move || {
+                let key =
+                    ModelKey::new("grep", format!("slow-miss-{i}"), &BellamyConfig::default());
+                let state = hub
+                    .recall_or_pretrain(&key, &quick_pretrain(), 40 + i, move || {
+                        // Both misses must be in here at the same time.
+                        rendezvous(sync, 2);
+                        history
+                    })
+                    .unwrap();
+                assert_eq!(state.registry_key(), Some(key.id()));
+            });
+        }
+    });
+    assert_eq!(hub.stats().pretrains, 2, "each key trains exactly once");
+    std::fs::remove_dir_all(unique_dir("parallel-miss")).ok();
+}
+
+#[test]
+fn racing_cold_disk_recalls_coalesce_on_one_checkpoint_load() {
+    // Same-key racers after a restart: the per-key miss guard must let
+    // exactly one thread pay the checkpoint load while the others wait and
+    // then hit in memory — no duplicated disk work, one shared Arc.
+    let (history, _) = corpus();
+    let dir = unique_dir("disk-coalesce");
+    let _ = std::fs::remove_dir_all(&dir);
+    let key = ModelKey::new("grep", "disk-coalesce", &BellamyConfig::default());
+    {
+        let hub = ModelHub::at(&dir).unwrap();
+        hub.recall_or_pretrain(&key, &quick_pretrain(), 9, || history)
+            .unwrap();
+    }
+
+    let hub = ModelHub::at(&dir).unwrap();
+    let states: Vec<_> = std::thread::scope(|scope| {
+        (0..4)
+            .map(|_| {
+                let hub = &hub;
+                let key = key.clone();
+                scope.spawn(move || hub.recall(&key).unwrap())
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    for s in &states[1..] {
+        assert!(Arc::ptr_eq(&states[0], s), "racers must share one Arc");
+    }
+    assert_eq!(
+        hub.stats().disk_recalls,
+        1,
+        "exactly one racer may pay the checkpoint load"
+    );
+    assert_eq!(
+        hub.stats().memory_recalls,
+        3,
+        "the losers must be served from memory after waiting on the guard"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -12,8 +12,8 @@
 
 use bellamy_core::train::Pretrainer;
 use bellamy_core::{
-    Bellamy, BellamyConfig, ContextProperties, ModelState, PredictQuery, Predictor, PretrainConfig,
-    TrainingSample,
+    BatcherConfig, Bellamy, BellamyConfig, ContextProperties, FlushPolicy, ModelState,
+    PredictQuery, Predictor, PretrainConfig, Service, TrainingSample,
 };
 use bellamy_encoding::PropertyValue;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -204,6 +204,45 @@ fn steady_state_sweep_and_single_predict_are_allocation_free() {
     assert_eq!(
         single_allocs, 0,
         "steady-state single-query predict must not allocate"
+    );
+}
+
+#[test]
+fn steady_state_micro_batched_submit_is_allocation_free() {
+    // The serve front door's single-query path: submit into the pending
+    // ring (preallocated), park on a stack slot, serving loop flushes
+    // through a warm predictor, result lands back in the slot. After the
+    // warm-up sized the arena, pool matrices, and the shared encoding
+    // cache, a steady-state submit must not touch the allocator — on the
+    // submitting side *or* inside the serving loop (the counter is global,
+    // so this window covers both threads).
+    let (state, samples) = fitted_state_and_samples();
+    let props = samples[0].props.clone();
+    let service = Service::builder()
+        .batcher(BatcherConfig {
+            max_batch: 4,
+            // Deadline policy with a zero deadline: the serving loop
+            // flushes every submission immediately — deterministic 1-query
+            // batches through the loop alone, so the warm-up covers
+            // exactly the steady-state path.
+            max_wait: std::time::Duration::ZERO,
+            policy: FlushPolicy::Deadline,
+        })
+        .build()
+        .expect("in-memory service");
+    let client = service.client_for_state(state);
+    for _ in 0..4 {
+        client.predict(6.0, &props).expect("warm-up");
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        let pred = client.predict(6.0, &props).expect("steady state");
+        assert!(pred.is_finite());
+    }
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        allocs, 0,
+        "steady-state micro-batched submit path must not allocate"
     );
 }
 

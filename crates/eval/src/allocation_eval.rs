@@ -14,8 +14,8 @@ use crate::runner::Method;
 use crate::splits::{generate_task_splits, SplitTask};
 use bellamy_baselines::{BellModel, ErnestModel, ScaleOutModel};
 use bellamy_core::{
-    context_properties, min_scale_out_meeting, Bellamy, BellamyConfig, FinetuneConfig, ModelHub,
-    ModelKey, Predictor, PretrainConfig, ReuseStrategy, TrainingSample,
+    context_properties, min_scale_out_meeting, Bellamy, BellamyConfig, FinetuneConfig, ModelKey,
+    PretrainConfig, ReuseStrategy, Service, TrainingSample,
 };
 use bellamy_data::{ground_truth_profile, Algorithm, Dataset};
 use serde::Serialize;
@@ -105,11 +105,12 @@ pub struct AllocationSummary {
 }
 
 /// Runs the allocation experiment on the C3O grid (scale-outs 2–12). The
-/// per-context pretrained models are recalled from one shared [`ModelHub`]
+/// per-context pretrained models are served through one shared [`Service`]
 /// (keyed by algorithm and held-out context) instead of being trained into
-/// worker-local `&mut Bellamy`s.
+/// worker-local `&mut Bellamy`s, and every candidate curve is swept
+/// through a [`bellamy_core::ModelClient`].
 pub fn run_allocation(dataset: &Dataset, cfg: &AllocationConfig) -> Vec<AllocationRecord> {
-    let hub = ModelHub::in_memory();
+    let service = Service::in_memory();
     let mut jobs: Vec<(Algorithm, usize)> = Vec::new();
     for algorithm in Algorithm::ALL {
         let seed = cfg.seed ^ (algorithm as u64).wrapping_mul(0xA110C);
@@ -121,7 +122,7 @@ pub fn run_allocation(dataset: &Dataset, cfg: &AllocationConfig) -> Vec<Allocati
     }
     let per_context: Vec<Vec<AllocationRecord>> =
         bellamy_par::par_map_with_threads(&jobs, cfg.threads, |&(algorithm, ctx_id)| {
-            evaluate_context(dataset, algorithm, ctx_id, cfg, &hub)
+            evaluate_context(dataset, algorithm, ctx_id, cfg, &service)
         });
     per_context.into_iter().flatten().collect()
 }
@@ -131,7 +132,7 @@ fn evaluate_context(
     algorithm: Algorithm,
     ctx_id: usize,
     cfg: &AllocationConfig,
-    hub: &ModelHub,
+    service: &Service,
 ) -> Vec<AllocationRecord> {
     let ctx = &dataset.contexts[ctx_id];
     let props = context_properties(ctx);
@@ -147,8 +148,8 @@ fn evaluate_context(
         .min_scale_out_meeting(target_s, lo, hi)
         .expect("slack > 1 makes the target reachable");
 
-    // Recall the full variant for this (algorithm, held-out context) —
-    // pre-trained at most once per key, shared thereafter.
+    // A serving client for the full variant of this (algorithm, held-out
+    // context) — pre-trained at most once per key, shared thereafter.
     let key = ModelKey::new(
         algorithm.name(),
         format!(
@@ -158,8 +159,8 @@ fn evaluate_context(
         ),
         &BellamyConfig::default(),
     );
-    let pretrained = hub
-        .recall_or_pretrain(&key, &cfg.pretrain, seed, || {
+    let pretrained = service
+        .client_or_pretrain(&key, &cfg.pretrain, seed, || {
             dataset
                 .runs_for_algorithm_excluding(algorithm, Some(ctx_id))
                 .iter()
@@ -184,11 +185,10 @@ fn evaluate_context(
     );
 
     // Every method is asked for its full candidate curve up front — the
-    // Bellamy variants through one batched `predict_sweep` per decision
-    // (one graph setup for all 11 candidates instead of one per candidate),
+    // Bellamy variants through one batched client sweep per decision (one
+    // graph setup for all 11 candidates instead of one per candidate),
     // the baselines through their own batch API.
     let xs: Vec<f64> = (lo..=hi).map(|x| x as f64).collect();
-    let mut predictor = Predictor::new();
 
     let mut records = Vec::new();
     for (split_no, split) in splits.iter().enumerate() {
@@ -235,10 +235,11 @@ fn evaluate_context(
         if let Ok(m) = BellModel::fit(&train_pts) {
             judge(Method::Bell, &m.predict_all(&xs));
         }
-        let local = eval_local_model(&train_samples, cfg, split_seed);
-        let local_curve = predictor.predict_sweep(&local, &props, &xs).to_vec();
-        judge(Method::BellamyLocal, &local_curve);
-        let mut tuned = Bellamy::from_state(&pretrained);
+        // Locally trained states live outside the hub; `client_for_state`
+        // serves them through the same front door.
+        let local = service.client_for_state(eval_local_model(&train_samples, cfg, split_seed));
+        judge(Method::BellamyLocal, &local.predict_sweep(&props, &xs));
+        let mut tuned = Bellamy::from_state(pretrained.state());
         bellamy_core::finetune::fine_tune(
             &mut tuned,
             &train_samples,
@@ -247,8 +248,11 @@ fn evaluate_context(
             split_seed,
         );
         let tuned_state = tuned.snapshot().expect("fine-tuned model fits");
-        let tuned_curve = predictor.predict_sweep(&tuned_state, &props, &xs).to_vec();
-        judge(Method::BellamyFull, &tuned_curve);
+        let tuned_client = service.client_for_state(tuned_state);
+        judge(
+            Method::BellamyFull,
+            &tuned_client.predict_sweep(&props, &xs),
+        );
     }
     records
 }

@@ -10,8 +10,8 @@
 use crate::runner::{eval_bell, eval_bellamy, eval_nnls, Method, PredictionRecord, Task};
 use crate::splits::{generate_task_splits, SplitTask};
 use bellamy_core::{
-    context_properties, BellamyConfig, FinetuneConfig, ModelHub, ModelKey, PretrainConfig,
-    ReuseStrategy, TrainingSample,
+    context_properties, BellamyConfig, FinetuneConfig, ModelKey, PretrainConfig, ReuseStrategy,
+    Service, TrainingSample,
 };
 use bellamy_data::{Algorithm, Dataset};
 
@@ -103,27 +103,27 @@ const STRATEGY_METHODS: [(Method, ReuseStrategy); 4] = [
 ];
 
 /// Runs the experiment: pre-train per algorithm on C3O, evaluate on Bell.
-/// Pretrained models live in one shared [`ModelHub`] — each worker recalls
-/// its algorithm's model instead of threading a `&mut Bellamy` through the
-/// experiment, and repeated runs against a persistent hub skip the
-/// pre-training entirely.
+/// Pretrained models are served through one shared [`Service`] — each
+/// worker asks the front door for its algorithm's client instead of
+/// threading a `&mut Bellamy` through the experiment, and repeated runs
+/// against a service over a persistent hub skip the pre-training entirely.
 pub fn run_crossenv(c3o: &Dataset, bell: &Dataset, cfg: &CrossEnvConfig) -> CrossEnvResults {
-    let hub = ModelHub::in_memory();
-    run_crossenv_with_hub(c3o, bell, cfg, &hub)
+    let service = Service::in_memory();
+    run_crossenv_with_service(c3o, bell, cfg, &service)
 }
 
-/// [`run_crossenv`] against a caller-provided hub (e.g. a disk-backed one
-/// shared across experiment invocations).
-pub fn run_crossenv_with_hub(
+/// [`run_crossenv`] against a caller-provided service (e.g. one over a
+/// disk-backed hub shared across experiment invocations).
+pub fn run_crossenv_with_service(
     c3o: &Dataset,
     bell: &Dataset,
     cfg: &CrossEnvConfig,
-    hub: &ModelHub,
+    service: &Service,
 ) -> CrossEnvResults {
     let jobs: Vec<Algorithm> = Algorithm::BELL.to_vec();
     let per_algorithm: Vec<Vec<PredictionRecord>> =
         bellamy_par::par_map_with_threads(&jobs, cfg.threads, |&algorithm| {
-            evaluate_algorithm(c3o, bell, algorithm, cfg, hub)
+            evaluate_algorithm(c3o, bell, algorithm, cfg, service)
         });
     CrossEnvResults {
         records: per_algorithm.into_iter().flatten().collect(),
@@ -135,13 +135,14 @@ fn evaluate_algorithm(
     bell: &Dataset,
     algorithm: Algorithm,
     cfg: &CrossEnvConfig,
-    hub: &ModelHub,
+    service: &Service,
 ) -> Vec<PredictionRecord> {
     let seed = cfg.seed ^ (algorithm as u64).wrapping_mul(0xC0FFEE);
 
-    // Recall the general model for this algorithm — pre-training on every
-    // C3O execution of it only when the hub has never seen the key (the
-    // corpus closure is not even materialized on a recall).
+    // A serving client for this algorithm's general model — pre-training
+    // on every C3O execution of it only when the hub behind the service
+    // has never seen the key (the corpus closure is not even materialized
+    // on a recall).
     let key = ModelKey::new(
         algorithm.name(),
         format!(
@@ -151,14 +152,15 @@ fn evaluate_algorithm(
         ),
         &BellamyConfig::default(),
     );
-    let pretrained = hub
-        .recall_or_pretrain(&key, &cfg.pretrain, seed, || {
+    let client = service
+        .client_or_pretrain(&key, &cfg.pretrain, seed, || {
             c3o.runs_for_algorithm_excluding(algorithm, None)
                 .iter()
                 .map(|r| TrainingSample::from_run(&c3o.contexts[r.context_id], r))
                 .collect()
         })
         .expect("cross-environment pre-training converges");
+    let pretrained = client.state();
 
     // The single Bell context for this algorithm.
     let ctx = bell
@@ -239,7 +241,7 @@ fn evaluate_algorithm(
                 // Pre-trained model under each reuse strategy.
                 for (method, strategy) in STRATEGY_METHODS {
                     let eval = eval_bellamy(
-                        Some(&pretrained),
+                        Some(pretrained),
                         strategy,
                         &train_samples,
                         test_x,

@@ -29,7 +29,7 @@ pub mod splits;
 
 pub use adhoc::{run_adhoc, AdhocConfig, AdhocResults};
 pub use allocation_eval::{run_allocation, summarize_allocation, AllocationConfig};
-pub use crossenv::{run_crossenv, CrossEnvConfig, CrossEnvResults};
+pub use crossenv::{run_crossenv, run_crossenv_with_service, CrossEnvConfig, CrossEnvResults};
 pub use runner::{Method, PredictionRecord, Task};
 pub use splits::{generate_splits, Split};
 

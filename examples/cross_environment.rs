@@ -1,8 +1,9 @@
 //! Reusing a model across environments (§IV-C2): pre-train in the public
 //! cloud (C3O traces), migrate to a private cluster (Bell traces), and
-//! compare the four reuse strategies against training from scratch. The
-//! pre-trained model is recalled from a hub and every strategy derives its
-//! own fine-tuned descendant through `fine_tuned_for`.
+//! compare the four reuse strategies against training from scratch — all
+//! through one [`Service`]: the pre-trained model is recalled once, every
+//! strategy derives its own fine-tuned client, and even the locally
+//! trained baseline serves through the same front door.
 //!
 //! ```sh
 //! cargo run --release --example cross_environment
@@ -15,12 +16,12 @@ fn main() {
     let cloud = generate_c3o(&gen);
     let cluster = generate_bell(&gen);
 
-    // Recall-or-pretrain a general SGD model on every cloud execution.
-    let hub = ModelHub::in_memory();
+    // A serving client for the general SGD model over every cloud execution.
+    let service = Service::builder().build().expect("in-memory service");
     let key = ModelKey::new("sgd", "cloud-runtime", &BellamyConfig::default());
     let start = std::time::Instant::now();
-    let base = hub
-        .recall_or_pretrain(
+    let base = service
+        .client_or_pretrain(
             &key,
             &PretrainConfig {
                 epochs: 300,
@@ -62,10 +63,15 @@ fn main() {
         .map(|r| (r.scale_out as f64, r.runtime_s))
         .collect();
     let props = context_properties(target);
-    let mae = |state: &ModelState| -> f64 {
+    let mae = |client: &ModelClient| -> f64 {
+        // One batched sweep over the held-out grid instead of per-point
+        // queries.
+        let xs: Vec<f64> = eval_points.iter().map(|&(x, _)| x).collect();
+        let preds = client.predict_sweep(&props, &xs);
         eval_points
             .iter()
-            .map(|&(x, y)| (state.predict(x, &props) - y).abs())
+            .zip(&preds)
+            .map(|(&(_, y), &p)| (p - y).abs())
             .sum::<f64>()
             / eval_points.len() as f64
     };
@@ -76,8 +82,8 @@ fn main() {
     );
     for strategy in ReuseStrategy::ALL {
         let start = std::time::Instant::now();
-        let tuned = hub
-            .fine_tuned_for(
+        let tuned = service
+            .finetuned_client_with(
                 &key,
                 "bell-sgd-cluster",
                 &observed,
@@ -91,24 +97,25 @@ fn main() {
             strategy.name(),
             mae(&tuned),
             start.elapsed().as_secs_f64() * 1e3,
-            tuned.parent_key().unwrap_or("-")
+            tuned.state().parent_key().unwrap_or("-")
         );
     }
     println!(
-        "(hub now caches {} fine-tuned descendants of {})",
-        hub.finetuned_len(),
+        "(service now caches {} fine-tuned descendants of {})",
+        service.hub().finetuned_len(),
         key
     );
 
-    // Baseline: a local model trained from scratch on the same points.
+    // Baseline: a local model trained from scratch on the same points,
+    // served through the same front door via client_for_state.
     let mut local = Bellamy::new(BellamyConfig::default(), 3);
     let start = std::time::Instant::now();
     fit_local(&mut local, &observed, &FinetuneConfig::default(), 9);
-    let local_state = local.snapshot().expect("fitted");
+    let local_client = service.client_for_state(local.snapshot().expect("fitted"));
     println!(
         "{:<28} {:>10.1} {:>13.1} {:>24}",
         "local (from scratch)",
-        mae(&local_state),
+        mae(&local_client),
         start.elapsed().as_secs_f64() * 1e3,
         "-"
     );

@@ -1,9 +1,9 @@
 //! The full production workflow with model persistence and hyperparameter
-//! search: search → pre-train → publish into an on-disk hub → (later, in
-//! another process) recall from the hub → fine-tune → serve. This mirrors
-//! how the paper's prototype would serve many users sharing pre-trained
-//! models per algorithm (§V) — the second hub instance stands in for a
-//! fresh process reusing a colleague's checkpoint.
+//! search: search → pre-train → publish into a disk-backed service →
+//! (later, in another process) recall through a fresh service → fine-tune
+//! → serve. This mirrors how the paper's prototype would serve many users
+//! sharing pre-trained models per algorithm (§V) — the second service
+//! stands in for a fresh process reusing a colleague's checkpoint.
 //!
 //! ```sh
 //! cargo run --release --example pretrain_finetune
@@ -51,31 +51,35 @@ fn main() {
         );
     }
 
-    // --- Publish the winner into an on-disk hub ------------------------------
+    // --- Publish the winner through a disk-backed service --------------------
     let dir = std::env::temp_dir().join("bellamy-example-hub");
     let key = ModelKey::new("pagerank", "runtime", &BellamyConfig::default());
     {
-        let hub = ModelHub::at(&dir).expect("create hub directory");
-        let published = hub.publish(&key, &model).expect("publish search winner");
+        let service = Service::builder()
+            .hub_dir(&dir)
+            .build()
+            .expect("create disk-backed service");
+        let published = service
+            .publish(&key, &model)
+            .expect("publish search winner");
         println!(
             "\npublished {} into {} (weights fingerprint {:016x})",
             key,
             dir.display(),
-            published.params_fingerprint()
+            published.state().params_fingerprint()
         );
-    } // hub dropped: everything in memory is gone, only the disk registry remains
+    } // service dropped: everything in memory is gone, only the disk registry remains
 
-    // --- Later, in another process: recall from the hub and fine-tune -------
-    let hub = ModelHub::at(&dir).expect("open hub directory");
-    let recalled = hub
-        .recall_or_pretrain(&key, &PretrainConfig::default(), 0, || {
-            unreachable!("the disk registry has this key: no re-pretraining")
-        })
-        .expect("recall from disk");
+    // --- Later, in another process: recall through a fresh service ----------
+    let service = Service::builder()
+        .hub_dir(&dir)
+        .build()
+        .expect("open disk-backed service");
+    let recalled = service.client(&key).expect("recall from disk");
     println!(
         "recalled {key} from disk (disk recalls: {}, pretrains: {})",
-        hub.stats().disk_recalls,
-        hub.stats().pretrains
+        service.stats().disk_recalls,
+        service.stats().pretrains
     );
 
     let observed: Vec<TrainingSample> = data
@@ -85,8 +89,8 @@ fn main() {
         .map(|r| TrainingSample::from_run(target, r))
         .collect();
     let start = std::time::Instant::now();
-    let tuned = hub
-        .fine_tuned_for(
+    let tuned = service
+        .finetuned_client_with(
             &key,
             "pagerank-target",
             &observed,
@@ -99,7 +103,7 @@ fn main() {
         "fine-tuned the recalled model on {} points in {:.1}ms (parent: {})",
         observed.len(),
         start.elapsed().as_secs_f64() * 1e3,
-        tuned.parent_key().unwrap_or("-")
+        tuned.state().parent_key().unwrap_or("-")
     );
 
     // --- Predict and compare to the held-out truth --------------------------
@@ -118,14 +122,14 @@ fn main() {
         println!(
             "{:<10} {:>10.1}s {:>10.1}s",
             x,
-            tuned.predict(x as f64, &props),
+            tuned.predict(x as f64, &props).expect("service is live"),
             actual.iter().sum::<f64>() / actual.len() as f64
         );
     }
 
-    // Check the recalled model still predicts (recalled is the shared
-    // parent; tuned is its descendant).
-    let direct = recalled.predict(8.0, &props);
+    // The recalled client still serves the shared parent; tuned is its
+    // descendant.
+    let direct = recalled.predict(8.0, &props).expect("service is live");
     println!("\ndirect application of the recalled parent at x=8: {direct:.1}s");
 
     std::fs::remove_dir_all(&dir).ok();

@@ -1,12 +1,14 @@
-//! Quickstart: the Bellamy reuse workflow end to end, through the hub.
+//! Quickstart: the Bellamy reuse workflow end to end, through the serving
+//! front door.
 //!
 //! 1. Load (here: generate) historical execution data.
-//! 2. **Recall or pre-train** the general model for an algorithm from a
-//!    `ModelHub` (trained once per key, shared thereafter).
-//! 3. **Fine-tune** it through the hub on a handful of runs from a *new*
+//! 2. Build a [`Service`] and ask it for a **client** of the general model
+//!    for an algorithm (`client_or_pretrain`: trained once per key, shared
+//!    thereafter).
+//! 3. **Fine-tune** through the service on a handful of runs from a *new*
 //!    context (the descendant records its parent for provenance).
-//! 4. **Serve**: predict runtimes at unseen scale-outs through the shared
-//!    snapshot and compare against actuals.
+//! 4. **Serve**: predict runtimes at unseen scale-outs through the client —
+//!    single queries are micro-batched across all concurrent callers.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -37,12 +39,12 @@ fn main() {
         target.job_parameters
     );
 
-    // --- 2. Recall or pre-train across all *other* K-Means contexts --------
-    let hub = ModelHub::in_memory();
+    // --- 2. A serving client for the general K-Means model ------------------
+    let service = Service::builder().build().expect("in-memory service");
     let key = ModelKey::new("kmeans", "runtime", &BellamyConfig::default());
     let start = std::time::Instant::now();
-    let general = hub
-        .recall_or_pretrain(
+    let general = service
+        .client_or_pretrain(
             &key,
             &PretrainConfig {
                 epochs: 300,
@@ -58,21 +60,17 @@ fn main() {
         )
         .expect("pre-training converges");
     println!(
-        "\nrecall_or_pretrain({key}): trained + registered in {:.1}s",
+        "\nclient_or_pretrain({key}): trained + registered in {:.1}s",
         start.elapsed().as_secs_f64()
     );
 
-    // A second request is a pure recall — shared snapshot, no training.
+    // A second request is a pure recall — same shared snapshot, no training.
     let start = std::time::Instant::now();
-    let recalled = hub
-        .recall_or_pretrain(&key, &PretrainConfig::default(), 7, || {
-            unreachable!("the registry has this key")
-        })
-        .expect("recall");
+    let recalled = service.client(&key).expect("recall");
     println!(
-        "recall_or_pretrain({key}): recalled in {:.1}us (same model: {})",
+        "client({key}): recalled in {:.1}us (same model: {})",
         start.elapsed().as_secs_f64() * 1e6,
-        std::sync::Arc::ptr_eq(&general, &recalled),
+        std::sync::Arc::ptr_eq(general.state(), recalled.state()),
     );
 
     // --- 3. Fine-tune on three observed runs of the new context ------------
@@ -83,8 +81,8 @@ fn main() {
         .map(|r| TrainingSample::from_run(target, r))
         .collect();
     let start = std::time::Instant::now();
-    let tuned = hub
-        .fine_tuned_for(
+    let tuned = service
+        .finetuned_client_with(
             &key,
             "kmeans-new-context",
             &observed,
@@ -94,10 +92,10 @@ fn main() {
         )
         .expect("fine-tuning succeeds");
     println!(
-        "fine_tuned_for: {} points in {:.1}ms (parent: {})",
+        "finetuned_client: {} points in {:.1}ms (parent: {})",
         observed.len(),
         start.elapsed().as_secs_f64() * 1e3,
-        tuned.parent_key().unwrap_or("-")
+        tuned.state().parent_key().unwrap_or("-")
     );
 
     // --- 4. Serve: predict at unseen scale-outs -----------------------------
@@ -114,7 +112,8 @@ fn main() {
             .map(|r| r.runtime_s)
             .collect();
         let actual_mean = actual.iter().sum::<f64>() / actual.len() as f64;
-        let predicted = tuned.predict(x as f64, &props);
+        // Single queries route through the cross-caller micro-batcher.
+        let predicted = tuned.predict(x as f64, &props).expect("service is live");
         println!(
             "{:<10} {:>10.1}s {:>10.1}s {:>7.1}%",
             x,
@@ -123,4 +122,9 @@ fn main() {
             100.0 * (predicted - actual_mean).abs() / actual_mean
         );
     }
+    let stats = tuned.batcher_stats();
+    println!(
+        "\n(served {} queries in {} micro-batches)",
+        stats.queries, stats.batches
+    );
 }

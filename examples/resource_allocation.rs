@@ -1,6 +1,8 @@
 //! Choosing cluster resources from runtime predictions — the use case that
 //! motivates the paper (§I): meet a runtime target without over-provisioning,
-//! or minimize cost subject to a deadline.
+//! or minimize cost subject to a deadline. The whole decision runs through
+//! a [`ModelClient`]: one batched sweep per candidate curve, and the
+//! allocation helpers directly on the client.
 //!
 //! ```sh
 //! cargo run --release --example resource_allocation
@@ -16,57 +18,63 @@ fn main() {
         target.node_type.name, target.dataset_size_mb, target.job_parameters
     );
 
-    // Pre-train across contexts, fine-tune on three observations.
-    let history: Vec<TrainingSample> = data
-        .runs_for_algorithm_excluding(Algorithm::Sgd, Some(target.id))
-        .iter()
-        .map(|r| TrainingSample::from_run(&data.contexts[r.context_id], r))
-        .collect();
-    let mut model = Bellamy::new(BellamyConfig::default(), 11);
-    pretrain(
-        &mut model,
-        &history,
-        &PretrainConfig {
-            epochs: 300,
-            ..Default::default()
-        },
-        11,
-    );
+    // Pre-train across contexts through the service, fine-tune on three
+    // observations.
+    let service = Service::builder().build().expect("in-memory service");
+    let key = ModelKey::new("sgd", "allocation-runtime", &BellamyConfig::default());
+    service
+        .client_or_pretrain(
+            &key,
+            &PretrainConfig {
+                epochs: 300,
+                ..Default::default()
+            },
+            11,
+            || {
+                data.runs_for_algorithm_excluding(Algorithm::Sgd, Some(target.id))
+                    .iter()
+                    .map(|r| TrainingSample::from_run(&data.contexts[r.context_id], r))
+                    .collect()
+            },
+        )
+        .expect("pre-training converges");
     let observed: Vec<TrainingSample> = data
         .runs_for_context(target.id)
         .iter()
         .filter(|r| [2, 6, 12].contains(&r.scale_out) && r.repeat == 0)
         .map(|r| TrainingSample::from_run(target, r))
         .collect();
-    fine_tune(
-        &mut model,
-        &observed,
-        &FinetuneConfig::default(),
-        ReuseStrategy::PartialUnfreeze,
-        11,
-    );
+    let client = service
+        .finetuned_client_with(
+            &key,
+            "sgd-target",
+            &observed,
+            &FinetuneConfig::default(),
+            ReuseStrategy::PartialUnfreeze,
+            11,
+        )
+        .expect("fine-tuning succeeds");
 
     let props = context_properties(target);
-    // Serve through the published snapshot (a sweep would batch this; the
-    // closure shape is what the allocation API consumes).
-    let state = model.snapshot().expect("fitted");
-    let predict = |x: u32| state.predict(x as f64, &props);
-
-    // The predicted runtime curve over the candidate scale-outs.
+    // The predicted runtime curve over the candidate scale-outs — one
+    // batched sweep through the client.
+    let xs: Vec<f64> = (2..=12).step_by(2).map(|x| x as f64).collect();
+    let curve = client.predict_sweep(&props, &xs);
     println!("\npredicted runtime curve:");
-    for x in (2..=12).step_by(2) {
-        let bar_len = (predict(x) / 8.0) as usize;
+    for (&x, &t) in xs.iter().zip(&curve) {
+        let bar_len = (t / 8.0) as usize;
         println!(
             "  {:>2} machines | {:<60} {:>7.1}s",
             x,
             "#".repeat(bar_len.min(60)),
-            predict(x)
+            t
         );
     }
 
     // Scenario A: meet a runtime target with as few machines as possible.
-    let target_s = predict(12) * 1.15;
-    match min_scale_out_meeting(predict, target_s, 2, 12) {
+    let at_12 = client.predict(12.0, &props).expect("service is live");
+    let target_s = at_12 * 1.15;
+    match client.recommend_scale_out(&props, target_s, 2, 12) {
         Some(rec) => println!(
             "\nA) smallest allocation meeting {:.0}s: {} machines (predicted {:.1}s)",
             target_s, rec.scale_out, rec.predicted_runtime_s
@@ -76,7 +84,7 @@ fn main() {
 
     // Scenario B: cheapest allocation under a deadline, at $0.40/machine-hour.
     let deadline = target_s * 1.5;
-    match cheapest_scale_out(predict, 0.40, Some(deadline), 2, 12) {
+    match client.cheapest_scale_out(&props, 0.40, Some(deadline), 2, 12) {
         Some(rec) => println!(
             "B) cheapest under a {:.0}s deadline: {} machines, predicted {:.1}s, ${:.4}",
             deadline, rec.scale_out, rec.predicted_runtime_s, rec.predicted_cost

@@ -52,6 +52,18 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 #[derive(Default, Debug)]
 pub struct Condvar(StdCondvar);
 
+/// Outcome of a timed wait: whether the timeout elapsed before a
+/// notification arrived (same shape as parking_lot's type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait returned because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 impl Condvar {
     /// Creates a condition variable.
     pub const fn new() -> Self {
@@ -63,6 +75,23 @@ impl Condvar {
         let inner = guard.inner.take().expect("guard holds the lock");
         let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(inner);
+    }
+
+    /// Blocks until notified or until `timeout` elapses, releasing the
+    /// guard's lock while waiting. Spurious wake-ups are possible, exactly
+    /// as with [`Condvar::wait`] — callers must re-check their predicate.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard holds the lock");
+        let (inner, result) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+        WaitTimeoutResult(result.timed_out())
     }
 
     /// Wakes one waiter.
@@ -163,6 +192,37 @@ mod tests {
         let mut ready = m.lock();
         while !*ready {
             cv.wait(&mut ready);
+        }
+        drop(ready);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notification() {
+        let m = Mutex::new(0u32);
+        let cv = Condvar::new();
+        let mut guard = m.lock();
+        let result = cv.wait_for(&mut guard, std::time::Duration::from_millis(5));
+        assert!(result.timed_out());
+        // The guard still holds the lock afterwards.
+        *guard += 1;
+        drop(guard);
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn wait_for_wakes_on_notification() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock();
+        while !*ready {
+            let _ = cv.wait_for(&mut ready, std::time::Duration::from_secs(5));
         }
         drop(ready);
         t.join().unwrap();

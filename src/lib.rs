@@ -52,9 +52,11 @@
 //! ```
 //!
 //! For the full *recall → fine-tune → serve* reuse workflow (shared
-//! pretrained models, on-disk registry, fine-tuned-descendant cache), go
-//! through [`core::hub::ModelHub`] — see the `quickstart` and
-//! `pretrain_finetune` examples.
+//! pretrained models, on-disk registry, fine-tuned-descendant cache,
+//! cross-caller micro-batched serving), go through the
+//! [`core::serve::Service`] front door — see the [`prelude`] docs for the
+//! 5-line quickstart and the `quickstart` / `pretrain_finetune` examples
+//! for the long form.
 //!
 //! ## Crate map
 //!
@@ -83,15 +85,52 @@ pub use bellamy_nn as nn;
 pub use bellamy_par as par;
 
 /// The most common imports in one place.
+///
+/// The serving front door is five lines end to end — build a [`Service`](bellamy_core::Service),
+/// get a client (pre-training only on the first request for the key),
+/// fine-tune for the context at hand, predict:
+///
+/// ```
+/// use bellamy::prelude::*;
+///
+/// # let data = generate_c3o(&GeneratorConfig::seeded(1));
+/// # let target = data.contexts_for(Algorithm::Grep)[0];
+/// # let history = || data
+/// #     .runs_for_algorithm_excluding(Algorithm::Grep, Some(target.id))
+/// #     .iter().take(60)
+/// #     .map(|r| TrainingSample::from_run(&data.contexts[r.context_id], r))
+/// #     .collect::<Vec<_>>();
+/// # let observed: Vec<TrainingSample> = data.runs_for_context(target.id)
+/// #     .iter().take(3).map(|r| TrainingSample::from_run(target, r)).collect();
+/// # let props = context_properties(target);
+/// # let quick = PretrainConfig { epochs: 5, ..PretrainConfig::default() };
+/// # let policy = FinetunePolicy {
+/// #     config: FinetuneConfig { max_epochs: 20, patience: 10, ..FinetuneConfig::default() },
+/// #     ..FinetunePolicy::default()
+/// # };
+/// let service = Service::builder().finetune_policy(policy).build()?;
+/// let key = ModelKey::new("grep", "runtime", &BellamyConfig::default());
+/// let general = service.client_or_pretrain(&key, &quick, 7, history)?;
+/// let tuned = service.finetuned_client(&key, "new-context", &observed)?;
+/// let runtime_s = tuned.predict(8.0, &props)?;
+/// # assert!(runtime_s.is_finite());
+/// # Ok::<(), BellamyError>(())
+/// ```
+///
+/// Single-query `predict` calls are micro-batched **across callers**: any
+/// number of threads share one clonable client (or clones of it), and the
+/// serving loop coalesces their queries into one batched forward pass —
+/// bit-identical to direct [`Predictor`](bellamy_core::Predictor) calls.
 pub mod prelude {
     pub use bellamy_baselines::{BellModel, ErnestModel, ScaleOutModel};
     pub use bellamy_core::finetune::{fine_tune, fit_local};
     pub use bellamy_core::train::pretrain;
     pub use bellamy_core::{
-        cheapest_scale_out, context_properties, min_scale_out_meeting, search_pretrain, Bellamy,
-        BellamyConfig, ContextProperties, FinetuneConfig, HubError, ModelHub, ModelKey, ModelState,
-        PredictError, PredictQuery, Predictor, PretrainConfig, ReuseStrategy, SearchSpace,
-        TrainingSample,
+        cheapest_scale_out, context_properties, min_scale_out_meeting, search_pretrain,
+        BatcherConfig, BatcherStats, Bellamy, BellamyConfig, BellamyError, ContextProperties,
+        FinetuneConfig, FinetunePolicy, HubError, ModelClient, ModelHub, ModelKey, ModelState,
+        PredictError, PredictQuery, Predictor, PretrainConfig, ReuseStrategy, SearchSpace, Service,
+        ServiceBuilder, TrainingSample,
     };
     pub use bellamy_data::{
         generate_bell, generate_c3o, ground_truth_profile, Algorithm, Dataset, Environment,

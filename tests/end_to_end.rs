@@ -149,7 +149,7 @@ fn pretrained_beats_untrained_on_new_context() {
             5,
         )
         .expect("fine-tuning succeeds");
-    assert_eq!(tuned.parent_key(), Some(key.id()).as_deref());
+    assert_eq!(tuned.parent_key(), Some(key.id()));
 
     let mut hand = Bellamy::from_state(&pretrained);
     fine_tune(&mut hand, &few, &ft, ReuseStrategy::PartialUnfreeze, 5);
