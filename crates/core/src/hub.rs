@@ -482,9 +482,21 @@ impl ModelHub {
         if let Some(state) = self.recall_memory(key) {
             return Ok(state);
         }
-        if let Some(state) = self.recall_disk_locked(key)? {
-            self.clear_miss_guard(key);
-            return Ok(state);
+        match self.recall_disk_locked(key) {
+            Ok(Some(state)) => {
+                self.clear_miss_guard(key);
+                return Ok(state);
+            }
+            Ok(None) => {}
+            Err(e) => {
+                // An unreadable checkpoint must not leave a stale guard
+                // entry behind (mirrors `recall`): repeated failing probes
+                // of distinct keys would otherwise grow the miss map
+                // without bound. Racers holding the guard `Arc` still
+                // serialize; the next miss re-inserts.
+                self.clear_miss_guard(key);
+                return Err(e);
+            }
         }
 
         let corpus = samples();
@@ -764,6 +776,32 @@ mod tests {
             hub.misses.lock().len(),
             0,
             "failed recalls must clear their miss-guard entries"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failing_disk_recalls_through_recall_or_pretrain_clear_the_miss_guard() {
+        // A corrupt checkpoint makes the disk probe inside
+        // `recall_or_pretrain` error before training; the per-key guard
+        // entry must still be removed, or repeated failing probes of
+        // distinct keys grow the miss map without bound.
+        let dir = std::env::temp_dir().join(format!("bellamy-badck-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let hub = ModelHub::at(&dir).unwrap();
+        for i in 0..4 {
+            let key = ModelKey::new(format!("bad-{i}"), "runtime", &BellamyConfig::default());
+            std::fs::write(dir.join(format!("{}.blmy", key.id())), b"not a checkpoint").unwrap();
+            assert!(
+                hub.recall_or_pretrain(&key, &PretrainConfig::default(), 0, Vec::new)
+                    .is_err(),
+                "corrupt checkpoint must surface as an error, not train"
+            );
+        }
+        assert_eq!(
+            hub.misses.lock().len(),
+            0,
+            "erroring disk recalls must clear their miss-guard entries"
         );
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -22,7 +22,7 @@
 //! 1. **Submit.** [`ModelClient::predict`] writes the query into its
 //!    model's pending queue (a preallocated slot ring — no allocation on
 //!    the steady-state submit path) and waits on a stack-local result slot
-//!    (spin-polling with yields, parking on a condvar only when the result
+//!    (spin-polling with yields, parking the thread only when the result
 //!    is slow).
 //! 2. **Collect.** The *micro-batcher*'s persistent serving loop — one
 //!    parked job on a [`bellamy_par::ThreadPool`] per served model —
@@ -120,7 +120,10 @@ impl Default for BatcherConfig {
 pub struct BatcherStats {
     /// Queries served through the batcher.
     pub queries: u64,
-    /// Batches flushed to the predictor.
+    /// Batches flushed to the predictor. At quiescence (no flush in
+    /// flight) the per-reason counters below (capacity + timeout +
+    /// quiesce + assist + shutdown) sum to this; a snapshot taken while a
+    /// flush is being counted may transiently be off by one.
     pub batches: u64,
     /// Batches flushed because they filled to `max_batch`.
     pub capacity_flushes: u64,
@@ -132,6 +135,9 @@ pub struct BatcherStats {
     /// [`FlushPolicy::Eager`] only) because the serving loop was starved
     /// of CPU.
     pub assist_flushes: u64,
+    /// Batches drained because the batcher was shutting down (queries that
+    /// were pending when the service dropped are still served, once).
+    pub shutdown_flushes: u64,
 }
 
 /// Why the serving loop decided to flush the collecting batch.
@@ -168,18 +174,27 @@ unsafe impl Send for Request {}
 
 const SLOT_EMPTY: u32 = 0;
 const SLOT_PARKED: u32 = 1;
-const SLOT_READY: u32 = 2;
-const SLOT_FAILED: u32 = 3;
+/// Deliverer mid-publish: the result is decided but the final status has
+/// not landed. A waiter observing this spins in [`ResponseSlot::take`]
+/// instead of returning, which keeps the slot's stack frame alive for the
+/// deliverer's last store.
+const SLOT_DELIVERING: u32 = 2;
+const SLOT_READY: u32 = 3;
+const SLOT_FAILED: u32 = 4;
 
 /// Stack-local rendezvous cell for one query's result: the submitter
-/// spin-polls `status` (yielding between polls), parking on the condvar
-/// only when the result is slow; the serving loop publishes the value with
-/// one release-swap and only touches the futex when a waiter is parked.
+/// spin-polls `status` (yielding between polls), parking its thread only
+/// when the result is slow; the serving loop publishes the value in two
+/// phases (`DELIVERING`, then the final status) so its last access to the
+/// slot is an atomic store — the wakeup itself goes through a cloned,
+/// internally refcounted [`std::thread::Thread`] handle that stays valid
+/// even after the submitter returns and pops the frame owning this slot.
 struct ResponseSlot {
     value: std::cell::UnsafeCell<f64>,
     status: std::sync::atomic::AtomicU32,
-    park: Mutex<()>,
-    ready: Condvar,
+    /// The parked submitter's handle; written before `PARKED` is
+    /// advertised, read by the deliverer only after observing `PARKED`.
+    waiter: std::cell::UnsafeCell<Option<std::thread::Thread>>,
 }
 
 impl ResponseSlot {
@@ -187,46 +202,65 @@ impl ResponseSlot {
         Self {
             value: std::cell::UnsafeCell::new(0.0),
             status: std::sync::atomic::AtomicU32::new(SLOT_EMPTY),
-            park: Mutex::new(()),
-            ready: Condvar::new(),
+            waiter: std::cell::UnsafeCell::new(None),
         }
     }
 
     /// Submitter side: spin briefly, then park until delivery.
     fn wait(&self) -> Result<f64, BellamyError> {
         for _ in 0..SLOT_SPINS {
-            if self.status.load(Ordering::Acquire) >= SLOT_READY {
+            if self.status.load(Ordering::Acquire) >= SLOT_DELIVERING {
                 return self.take();
             }
             std::thread::yield_now();
         }
-        let mut guard = self.park.lock();
+        // Publish the park handle before advertising PARKED: the deliverer
+        // reads it only after its swap observes PARKED (acquire), which
+        // orders that read after this write.
+        unsafe { *self.waiter.get() = Some(std::thread::current()) };
         if self
             .status
             .compare_exchange(SLOT_EMPTY, SLOT_PARKED, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
         {
             while self.status.load(Ordering::Acquire) == SLOT_PARKED {
-                self.ready.wait(&mut guard);
+                // Spurious returns (including a stale unpark token from an
+                // earlier slot) just re-check the status.
+                std::thread::park();
             }
         }
-        drop(guard);
         self.take()
     }
 
+    /// Callable only once `status >= SLOT_DELIVERING`.
     fn take(&self) -> Result<f64, BellamyError> {
-        match self.status.load(Ordering::Acquire) {
-            // SAFETY: READY is only published (release) after the loop
-            // wrote the value; our acquire load sees that write.
-            SLOT_READY => Ok(unsafe { *self.value.get() }),
-            _ => Err(BellamyError::ServiceStopped),
+        let mut spins = 0usize;
+        loop {
+            match self.status.load(Ordering::Acquire) {
+                // Mid-publish: the final status lands within a few
+                // instructions — unless the deliverer was preempted, so
+                // after a bounded spin yield the core to let it finish
+                // (a pure spin could stall a whole quantum, or livelock
+                // under real-time priorities, on a single-core host).
+                // Staying in this loop is what keeps the slot alive for
+                // the deliverer's last store.
+                SLOT_DELIVERING if spins < SLOT_SPINS => {
+                    spins += 1;
+                    std::hint::spin_loop();
+                }
+                SLOT_DELIVERING => std::thread::yield_now(),
+                // SAFETY: READY is only published (release) after the
+                // deliverer wrote the value; our acquire load sees it.
+                SLOT_READY => return Ok(unsafe { *self.value.get() }),
+                _ => return Err(BellamyError::ServiceStopped),
+            }
         }
     }
 
     /// Loop side: publish a result (`None`: the loop is dying and the
     /// query will never be served) and wake the waiter if it parked.
     fn deliver(&self, result: Option<f64>) {
-        let status = match result {
+        let final_status = match result {
             Some(v) => {
                 // SAFETY: the submitter only reads after observing READY.
                 unsafe { *self.value.get() = v };
@@ -234,11 +268,25 @@ impl ResponseSlot {
             }
             None => SLOT_FAILED,
         };
-        if self.status.swap(status, Ordering::AcqRel) == SLOT_PARKED {
-            // Taking the park lock orders this notify after the waiter is
-            // inside `wait` (or it re-checks status before sleeping).
-            let _guard = self.park.lock();
-            self.ready.notify_one();
+        // Two-phase publish. DELIVERING freezes the slot: a waiter that
+        // wakes now spins in `take` instead of returning, so neither the
+        // handle read nor the final store below can race the submitter
+        // popping the stack frame that owns this slot.
+        let was = self.status.swap(SLOT_DELIVERING, Ordering::AcqRel);
+        let waiter = if was == SLOT_PARKED {
+            // SAFETY: PARKED is advertised (release) only after the
+            // submitter wrote the handle, and the submitter cannot return
+            // while the status is DELIVERING.
+            unsafe { (*self.waiter.get()).take() }
+        } else {
+            None
+        };
+        // The deliverer's LAST access to the slot: after this store the
+        // submitter may return at any moment. `Thread` is internally
+        // refcounted, so the unpark below stays safe even then.
+        self.status.store(final_status, Ordering::Release);
+        if let Some(thread) = waiter {
+            thread.unpark();
         }
     }
 }
@@ -271,6 +319,7 @@ struct BatcherShared {
     timeout_flushes: AtomicU64,
     quiesce_flushes: AtomicU64,
     assist_flushes: AtomicU64,
+    shutdown_flushes: AtomicU64,
 }
 
 thread_local! {
@@ -327,6 +376,13 @@ impl BatcherShared {
             }));
             match outcome {
                 Ok(()) => {
+                    // Count before delivering, matching the serving loop:
+                    // a caller whose query this assist served must never
+                    // read stats that omit its own completed query.
+                    self.queries
+                        .fetch_add(requests.len() as u64, Ordering::Relaxed);
+                    self.batches.fetch_add(1, Ordering::Relaxed);
+                    self.assist_flushes.fetch_add(1, Ordering::Relaxed);
                     for (r, &pred) in requests.iter().zip(results.iter()) {
                         // SAFETY: as above — the submitter is blocked.
                         unsafe { &*r.slot }.deliver(Some(pred));
@@ -347,10 +403,6 @@ impl BatcherShared {
                     std::panic::resume_unwind(payload);
                 }
             }
-            self.queries
-                .fetch_add(requests.len() as u64, Ordering::Relaxed);
-            self.batches.fetch_add(1, Ordering::Relaxed);
-            self.assist_flushes.fetch_add(1, Ordering::Relaxed);
             requests.clear();
             queries.clear();
             results.clear();
@@ -365,7 +417,7 @@ impl BatcherShared {
     /// claims new work before our first status check anyway, so assists
     /// naturally fire only when the loop is starved of CPU.
     fn wait_with_assist(&self, slot: &ResponseSlot) -> Result<f64, BellamyError> {
-        while slot.status.load(Ordering::Acquire) < SLOT_READY {
+        while slot.status.load(Ordering::Acquire) < SLOT_DELIVERING {
             if !self.assist_once() {
                 // Nothing claimable: our query is already in flight on the
                 // loop (or another assister); park until it delivers.
@@ -409,6 +461,7 @@ impl MicroBatcher {
             timeout_flushes: AtomicU64::new(0),
             quiesce_flushes: AtomicU64::new(0),
             assist_flushes: AtomicU64::new(0),
+            shutdown_flushes: AtomicU64::new(0),
         });
         let pool = ThreadPool::named("bellamy-serve", 1);
         {
@@ -471,6 +524,7 @@ impl MicroBatcher {
             timeout_flushes: self.shared.timeout_flushes.load(Ordering::Relaxed),
             quiesce_flushes: self.shared.quiesce_flushes.load(Ordering::Relaxed),
             assist_flushes: self.shared.assist_flushes.load(Ordering::Relaxed),
+            shutdown_flushes: self.shared.shutdown_flushes.load(Ordering::Relaxed),
         }
     }
 }
@@ -617,7 +671,7 @@ fn serve_loop(shared: Arc<BatcherShared>) {
             FlushReason::Capacity => shared.capacity_flushes.fetch_add(1, Ordering::Relaxed),
             FlushReason::Timeout => shared.timeout_flushes.fetch_add(1, Ordering::Relaxed),
             FlushReason::Quiesce => shared.quiesce_flushes.fetch_add(1, Ordering::Relaxed),
-            FlushReason::Shutdown => 0,
+            FlushReason::Shutdown => shared.shutdown_flushes.fetch_add(1, Ordering::Relaxed),
         };
 
         for (request, &pred) in processing.iter().zip(results.iter()) {
