@@ -132,16 +132,25 @@ fn snapshot_serve(path: &str) {
     let mut entries = Vec::new();
     for row in &r.rows {
         eprintln!(
-            "{:<26} {:9.2} us/query {:9.0} q/s (mean batch {:.1})",
+            "{:<26} {:9.2} us/query (p50 {:.1} p99 {:.1}) {:9.0} q/s (mean batch {:.1})",
             format!("{}_{}_threads", row.mode, row.threads),
             row.us_per_query,
+            row.p50_us,
+            row.p99_us,
             row.qps,
             row.mean_batch
         );
         entries.push(format!(
             "    {{\"mode\": \"{}\", \"threads\": {}, \"us_per_query\": {:.2}, \
+             \"p50_us\": {:.2}, \"p99_us\": {:.2}, \
              \"queries_per_second\": {:.0}, \"mean_batch\": {:.2}}}",
-            row.mode, row.threads, row.us_per_query, row.qps, row.mean_batch
+            row.mode,
+            row.threads,
+            row.us_per_query,
+            row.p50_us,
+            row.p99_us,
+            row.qps,
+            row.mean_batch
         ));
     }
     let speedup_4t = r
@@ -149,13 +158,23 @@ fn snapshot_serve(path: &str) {
         .map(|(direct, batched)| batched / direct)
         .unwrap_or(f64::NAN);
     eprintln!("{:<26} {speedup_4t:9.2}x", "microbatched_vs_direct_4t");
+    eprintln!(
+        "{:<26} shed {} deadline_expired {} panics {} restarts {}",
+        "robustness_counters", r.shed, r.deadline_expired, r.panics, r.restarts
+    );
     let json = format!(
         "{{\n  \"benchmark\": \"serve\",\n  \"workload\": \"single-query serving of one \
          pre-trained SGD model, {} queries/thread, direct per-thread Predictor vs \
          cross-caller micro-batched Service client\",\n  \
          \"microbatched_vs_direct_qps_at_4_threads\": {speedup_4t:.2},\n  \
+         \"robustness\": {{\"shed\": {}, \"deadline_expired\": {}, \"panics\": {}, \
+         \"restarts\": {}}},\n  \
          \"results\": [\n{}\n  ]\n}}\n",
         serve::QUERIES_PER_THREAD,
+        r.shed,
+        r.deadline_expired,
+        r.panics,
+        r.restarts,
         entries.join(",\n")
     );
     std::fs::write(path, json).expect("write serve benchmark snapshot");

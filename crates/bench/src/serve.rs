@@ -1,16 +1,21 @@
 //! Serving benchmark harness for `bench_snapshot` and `benches/serve.rs`:
-//! per-query latency and total throughput of single-query serving at
-//! 1/2/4 submitting threads, comparing the direct per-thread-predictor
-//! path against the cross-caller micro-batched [`Service`] path.
+//! per-query latency (mean, p50, p99) and total throughput of single-query
+//! serving at 1/2/4 submitting threads, comparing the direct
+//! per-thread-predictor path against the cross-caller micro-batched
+//! [`Service`] path.
 //!
 //! Direct serving is the per-thread optimum (no handoffs, no locks);
 //! micro-batching pays two condvar handoffs per query to amortize graph
 //! setup across callers. On one core the two roughly tie; with real
 //! parallelism the batcher wins because concurrent callers' queries
-//! coalesce into one forward pass.
+//! coalesce into one forward pass. The tail percentiles are what the
+//! robustness layer watches: shedding and deadline budgets are tuned
+//! against p99, not the mean. The batcher's robustness counters (shed /
+//! panics / restarts) ride along in the result — all zero in a healthy
+//! run, so any non-zero value in a snapshot is itself a regression signal.
 
 use crate::predict::{workload, PredictWorkload};
-use bellamy_core::{Predictor, Service};
+use bellamy_core::{BatcherStats, Predictor, Service};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -26,6 +31,10 @@ pub struct ServeBenchRow {
     pub threads: usize,
     /// Mean wall-clock µs per query, per submitting thread.
     pub us_per_query: f64,
+    /// Median per-query latency in µs (across all threads' queries).
+    pub p50_us: f64,
+    /// 99th-percentile per-query latency in µs.
+    pub p99_us: f64,
     /// Total queries per second across all threads.
     pub qps: f64,
     /// Mean queries per flushed batch (1.0 for direct serving).
@@ -36,6 +45,17 @@ pub struct ServeBenchRow {
 pub struct ServeBenchResult {
     /// Measurements for both modes at 1/2/4 threads.
     pub rows: Vec<ServeBenchRow>,
+    /// Robustness counters summed over the micro-batched runs: queries
+    /// shed at admission, deadline revocations, absorbed forward-pass
+    /// panics, and supervisor loop restarts. A healthy benchmark records
+    /// zeros; anything else is a regression worth investigating.
+    pub shed: u64,
+    /// See [`ServeBenchResult::shed`].
+    pub deadline_expired: u64,
+    /// See [`ServeBenchResult::shed`].
+    pub panics: u64,
+    /// See [`ServeBenchResult::shed`].
+    pub restarts: u64,
 }
 
 impl ServeBenchResult {
@@ -55,11 +75,23 @@ impl ServeBenchResult {
 pub fn run() -> ServeBenchResult {
     let w = workload();
     let mut rows = Vec::new();
+    let mut counters = BatcherStats::default();
     for &threads in &[1usize, 2, 4] {
         rows.push(run_direct(&w, threads));
-        rows.push(run_microbatched(&w, threads));
+        let (row, stats) = run_microbatched(&w, threads);
+        rows.push(row);
+        counters.shed += stats.shed;
+        counters.deadline_expired += stats.deadline_expired;
+        counters.panics += stats.panics;
+        counters.restarts += stats.restarts;
     }
-    ServeBenchResult { rows }
+    ServeBenchResult {
+        rows,
+        shed: counters.shed,
+        deadline_expired: counters.deadline_expired,
+        panics: counters.panics,
+        restarts: counters.restarts,
+    }
 }
 
 /// Direct serving: each thread owns a `Predictor` and queries the shared
@@ -67,90 +99,125 @@ pub fn run() -> ServeBenchResult {
 fn run_direct(w: &PredictWorkload, threads: usize) -> ServeBenchRow {
     let state = Arc::clone(&w.state);
     let props = &w.props;
+    let mut latencies: Vec<u64> = Vec::with_capacity(threads * QUERIES_PER_THREAD);
     // Per-thread warm-up, then a barrier-free timed run (threads start
     // within microseconds of each other; the workload dwarfs the skew).
-    let elapsed = std::thread::scope(|scope| {
+    let mut elapsed = 0.0;
+    std::thread::scope(|scope| {
         let start = Instant::now();
-        for _ in 0..threads {
-            let state = Arc::clone(&state);
-            scope.spawn(move || {
-                let mut predictor = Predictor::new();
-                for i in 0..200 {
-                    std::hint::black_box(predictor.predict_one(
-                        &state,
-                        2.0 + (i % 11) as f64,
-                        props,
-                    ));
-                }
-                let mut acc = 0.0;
-                for i in 0..QUERIES_PER_THREAD {
-                    acc += predictor.predict_one(&state, 2.0 + (i % 11) as f64, props);
-                }
-                std::hint::black_box(acc);
-            });
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let state = Arc::clone(&state);
+                scope.spawn(move || {
+                    let mut predictor = Predictor::new();
+                    for i in 0..200 {
+                        std::hint::black_box(predictor.predict_one(
+                            &state,
+                            2.0 + (i % 11) as f64,
+                            props,
+                        ));
+                    }
+                    let mut lat = Vec::with_capacity(QUERIES_PER_THREAD);
+                    let mut acc = 0.0;
+                    for i in 0..QUERIES_PER_THREAD {
+                        let issued = Instant::now();
+                        acc += predictor.predict_one(&state, 2.0 + (i % 11) as f64, props);
+                        lat.push(issued.elapsed().as_nanos() as u64);
+                    }
+                    std::hint::black_box(acc);
+                    lat
+                })
+            })
+            .collect();
+        for handle in handles {
+            latencies.extend(handle.join().expect("bench thread"));
         }
-        drop(state);
-        ScopeTimer { start }
-    })
-    .elapsed();
-    row("direct", threads, elapsed, 1.0)
+        elapsed = start.elapsed().as_secs_f64();
+    });
+    row("direct", threads, elapsed, 1.0, &mut latencies)
 }
 
 /// Micro-batched serving: every thread submits single queries through
 /// clones of one [`Service`] client; the serving loop coalesces them.
-fn run_microbatched(w: &PredictWorkload, threads: usize) -> ServeBenchRow {
+/// Also returns the batcher's counter delta for the robustness summary.
+fn run_microbatched(w: &PredictWorkload, threads: usize) -> (ServeBenchRow, BatcherStats) {
     let service = Service::builder().build().expect("in-memory service");
     let client = service.client_for_state(Arc::clone(&w.state));
     let props = &w.props;
     let before = client.batcher_stats();
-    let elapsed = std::thread::scope(|scope| {
+    let mut latencies: Vec<u64> = Vec::with_capacity(threads * QUERIES_PER_THREAD);
+    let mut elapsed = 0.0;
+    std::thread::scope(|scope| {
         let start = Instant::now();
-        for _ in 0..threads {
-            let client = client.clone();
-            scope.spawn(move || {
-                for i in 0..200 {
-                    std::hint::black_box(
-                        client
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let client = client.clone();
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        std::hint::black_box(
+                            client
+                                .predict(2.0 + (i % 11) as f64, props)
+                                .expect("service is live"),
+                        );
+                    }
+                    let mut lat = Vec::with_capacity(QUERIES_PER_THREAD);
+                    let mut acc = 0.0;
+                    for i in 0..QUERIES_PER_THREAD {
+                        let issued = Instant::now();
+                        acc += client
                             .predict(2.0 + (i % 11) as f64, props)
-                            .expect("service is live"),
-                    );
-                }
-                let mut acc = 0.0;
-                for i in 0..QUERIES_PER_THREAD {
-                    acc += client
-                        .predict(2.0 + (i % 11) as f64, props)
-                        .expect("service is live");
-                }
-                std::hint::black_box(acc);
-            });
+                            .expect("service is live");
+                        lat.push(issued.elapsed().as_nanos() as u64);
+                    }
+                    std::hint::black_box(acc);
+                    lat
+                })
+            })
+            .collect();
+        for handle in handles {
+            latencies.extend(handle.join().expect("bench thread"));
         }
-        ScopeTimer { start }
-    })
-    .elapsed();
+        elapsed = start.elapsed().as_secs_f64();
+    });
     let stats = client.batcher_stats();
     let batches = (stats.batches - before.batches).max(1);
     let queries = stats.queries - before.queries;
-    row(
-        "microbatched",
-        threads,
-        elapsed,
-        queries as f64 / batches as f64,
+    let delta = BatcherStats {
+        shed: stats.shed - before.shed,
+        deadline_expired: stats.deadline_expired - before.deadline_expired,
+        panics: stats.panics - before.panics,
+        restarts: stats.restarts - before.restarts,
+        ..BatcherStats::default()
+    };
+    (
+        row(
+            "microbatched",
+            threads,
+            elapsed,
+            queries as f64 / batches as f64,
+            &mut latencies,
+        ),
+        delta,
     )
 }
 
-/// Captures the scope start so the join (implicit at scope end) is part of
-/// the measured window.
-struct ScopeTimer {
-    start: Instant,
-}
-
-impl ScopeTimer {
-    fn elapsed(&self) -> f64 {
-        self.start.elapsed().as_secs_f64()
+/// Nearest-rank percentile over an (unsorted) nanosecond sample, in µs.
+fn percentile_us(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
     }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)] as f64 / 1e3
 }
 
-fn row(mode: &'static str, threads: usize, elapsed_s: f64, mean_batch: f64) -> ServeBenchRow {
+fn row(
+    mode: &'static str,
+    threads: usize,
+    elapsed_s: f64,
+    mean_batch: f64,
+    latencies: &mut [u64],
+) -> ServeBenchRow {
+    latencies.sort_unstable();
     // Warm-up queries are inside the window; subtract them from neither
     // side — they are the same 10% for both modes.
     let per_thread = QUERIES_PER_THREAD + 200;
@@ -158,6 +225,8 @@ fn row(mode: &'static str, threads: usize, elapsed_s: f64, mean_batch: f64) -> S
         mode,
         threads,
         us_per_query: elapsed_s / per_thread as f64 * 1e6,
+        p50_us: percentile_us(latencies, 0.50),
+        p99_us: percentile_us(latencies, 0.99),
         qps: (threads * per_thread) as f64 / elapsed_s,
         mean_batch,
     }
@@ -179,9 +248,38 @@ mod tests {
                 row.threads
             );
             assert!(row.us_per_query > 0.0);
+            assert!(
+                row.p50_us > 0.0,
+                "{} @ {}: empty p50",
+                row.mode,
+                row.threads
+            );
+            assert!(
+                row.p99_us >= row.p50_us,
+                "{} @ {}: p99 below p50",
+                row.mode,
+                row.threads
+            );
             assert!(row.mean_batch >= 1.0);
         }
         let (direct, batched) = r.qps_pair(4).expect("4-thread rows exist");
         assert!(direct > 0.0 && batched > 0.0);
+        // A healthy benchmark never sheds, revokes, or panics.
+        assert_eq!(
+            (r.shed, r.deadline_expired, r.panics, r.restarts),
+            (0, 0, 0, 0),
+            "robustness counters must stay zero under benchmark load"
+        );
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut lat: Vec<u64> = (0..=100).map(|i| i * 1000).collect();
+        lat.sort_unstable();
+        assert_eq!(percentile_us(&lat, 0.0), 0.0);
+        assert_eq!(percentile_us(&lat, 0.50), 50.0);
+        assert_eq!(percentile_us(&lat, 0.99), 99.0);
+        assert_eq!(percentile_us(&lat, 1.0), 100.0);
+        assert_eq!(percentile_us(&[], 0.99), 0.0);
     }
 }

@@ -50,6 +50,7 @@
 //! a hub lock at all; it runs on already-shared snapshots.
 
 use crate::config::{BellamyConfig, FinetuneConfig, PretrainConfig};
+use crate::faults::{self, Injected};
 use crate::features::TrainingSample;
 use crate::finetune::{fine_tune, ReuseStrategy};
 use crate::model::Bellamy;
@@ -58,9 +59,10 @@ use crate::train::pretrain;
 use bellamy_nn::{Checkpoint, CheckpointError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Content-addressed identity of a pretrained model: the algorithm it was
 /// trained for, the training objective, and a fingerprint of the full
@@ -212,6 +214,18 @@ pub enum HubError {
     Diverged(String),
     /// Reading or writing the on-disk registry failed.
     Checkpoint(CheckpointError),
+    /// The on-disk checkpoint for this key was corrupt and has been
+    /// quarantined (renamed to `<id>.blmy.corrupt`). This error surfaces
+    /// exactly once per bad file: subsequent recalls see the key as absent
+    /// — `recall` reports [`HubError::UnknownModel`] and
+    /// [`ModelHub::recall_or_pretrain`] trains a replacement instead of
+    /// re-failing on the poison file forever.
+    Corrupt {
+        /// The key whose checkpoint was quarantined.
+        id: String,
+        /// Why decoding failed.
+        source: CheckpointError,
+    },
 }
 
 impl std::fmt::Display for HubError {
@@ -221,11 +235,22 @@ impl std::fmt::Display for HubError {
             HubError::Unfitted(id) => write!(f, "checkpoint {id} holds an unfitted model"),
             HubError::Diverged(id) => write!(f, "training for key {id} diverged"),
             HubError::Checkpoint(e) => write!(f, "registry checkpoint error: {e}"),
+            HubError::Corrupt { id, source } => write!(
+                f,
+                "checkpoint for key {id} was corrupt ({source}) and has been quarantined"
+            ),
         }
     }
 }
 
-impl std::error::Error for HubError {}
+impl std::error::Error for HubError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HubError::Checkpoint(e) | HubError::Corrupt { source: e, .. } => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<CheckpointError> for HubError {
     fn from(e: CheckpointError) -> Self {
@@ -246,6 +271,11 @@ pub struct HubStats {
     pub finetune_hits: u64,
     /// Fine-tuning runs performed.
     pub finetunes: u64,
+    /// Transient checkpoint-read failures retried (each retry counts one).
+    pub disk_retries: u64,
+    /// Corrupt checkpoints renamed to `*.blmy.corrupt` so they stop
+    /// failing every future recall of their key.
+    pub quarantined: u64,
 }
 
 /// One fine-tuned descendant in the LRU.
@@ -286,6 +316,30 @@ pub struct ModelHub {
     pretrains: AtomicU64,
     finetune_hits: AtomicU64,
     finetunes: AtomicU64,
+    disk_retries: AtomicU64,
+    quarantined: AtomicU64,
+}
+
+/// Attempts a checkpoint read makes before giving up on transient I/O
+/// errors (the first attempt plus `DISK_READ_ATTEMPTS - 1` retries).
+const DISK_READ_ATTEMPTS: usize = 3;
+
+/// Base backoff between checkpoint-read retries; attempt `n` sleeps
+/// `n * DISK_RETRY_BACKOFF` (1 ms, then 2 ms) — long enough to ride out a
+/// transient hiccup, short enough that a genuinely dead disk fails a
+/// recall in single-digit milliseconds.
+const DISK_RETRY_BACKOFF: Duration = Duration::from_millis(1);
+
+/// What probing the on-disk registry for one key produced.
+enum DiskProbe {
+    /// Loaded and registered: the recall is served.
+    Loaded(Arc<ModelState>),
+    /// The hub has no directory or no checkpoint file for the key.
+    Absent,
+    /// The checkpoint decoded as garbage and was quarantined; the key is
+    /// now effectively absent on disk. `recall` surfaces this once as
+    /// [`HubError::Corrupt`]; `recall_or_pretrain` trains a replacement.
+    Quarantined(CheckpointError),
 }
 
 impl ModelHub {
@@ -305,6 +359,8 @@ impl ModelHub {
             pretrains: AtomicU64::new(0),
             finetune_hits: AtomicU64::new(0),
             finetunes: AtomicU64::new(0),
+            disk_retries: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         }
     }
 
@@ -334,6 +390,8 @@ impl ModelHub {
             pretrains: self.pretrains.load(Ordering::Relaxed),
             finetune_hits: self.finetune_hits.load(Ordering::Relaxed),
             finetunes: self.finetunes.load(Ordering::Relaxed),
+            disk_retries: self.disk_retries.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 
@@ -362,7 +420,20 @@ impl ModelHub {
         state.set_lineage(Some(key.id().to_string()), None);
         let state = Arc::new(state);
         if let Some(path) = self.checkpoint_path(key) {
-            state.save(path)?;
+            match faults::HUB_DISK_PERSIST.check() {
+                Some(Injected::Error) => {
+                    return Err(HubError::Checkpoint(CheckpointError::Io(
+                        "injected persist fault".to_string(),
+                    )))
+                }
+                // A crash mid-write, as a later recall will find it:
+                // garbage bytes land where the checkpoint should be.
+                Some(Injected::Corrupt) => {
+                    std::fs::write(&path, b"BLMY\x7f\x7f\x7f\x7finjected-corruption")
+                        .map_err(|e| HubError::Checkpoint(CheckpointError::Io(e.to_string())))?;
+                }
+                None => state.save(path)?,
+            }
         }
         self.pretrained
             .lock()
@@ -392,15 +463,80 @@ impl ModelHub {
         self.misses.lock().remove(key.id());
     }
 
-    /// Loads the checkpoint for `key` and registers its snapshot. Must be
-    /// called with the key's miss guard held; returns `None` when the hub
-    /// has no directory or no checkpoint exists for the key.
-    fn recall_disk_locked(&self, key: &ModelKey) -> Result<Option<Arc<ModelState>>, HubError> {
+    /// Reads the checkpoint file, retrying transient I/O failures with
+    /// bounded backoff (a flaky network disk should not fail a recall that
+    /// a millisecond-later read would serve). Corruption is *not* retried
+    /// here — the caller classifies it after decoding.
+    fn read_checkpoint_bytes(&self, path: &Path) -> Result<Vec<u8>, HubError> {
+        let mut attempt = 1usize;
+        loop {
+            let read: Result<Vec<u8>, String> = match faults::HUB_DISK_PROBE.check() {
+                Some(Injected::Error) => Err("injected read fault".to_string()),
+                Some(Injected::Corrupt) => Ok(b"BLMY\x7f\x7f\x7f\x7finjected-corruption".to_vec()),
+                None => match std::fs::read(path) {
+                    Ok(bytes) => Ok(bytes),
+                    // The file vanished between the existence probe and the
+                    // read (a concurrent quarantine or cleanup): permanent
+                    // for this recall, never worth a retry.
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                        return Err(HubError::Checkpoint(CheckpointError::Io(e.to_string())))
+                    }
+                    Err(e) => Err(e.to_string()),
+                },
+            };
+            match read {
+                Ok(bytes) => return Ok(bytes),
+                Err(_) if attempt < DISK_READ_ATTEMPTS => {
+                    self.disk_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(DISK_RETRY_BACKOFF * attempt as u32);
+                    attempt += 1;
+                }
+                Err(e) => return Err(HubError::Checkpoint(CheckpointError::Io(e))),
+            }
+        }
+    }
+
+    /// Renames a corrupt checkpoint to `<file>.corrupt` so it stops
+    /// resolving for its key: one bad file fails one recall (typed as
+    /// [`HubError::Corrupt`]), not every future recall of that key. The
+    /// quarantined bytes stay on disk for forensics. Best-effort — if the
+    /// rename itself fails the poison file survives, but the recall error
+    /// still surfaces.
+    fn quarantine(&self, path: &Path) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        let mut quarantine_name = path.as_os_str().to_os_string();
+        quarantine_name.push(".corrupt");
+        let _ = std::fs::rename(path, PathBuf::from(quarantine_name));
+    }
+
+    /// Probes the on-disk registry for `key`: loads, decodes, and registers
+    /// its snapshot, quarantining the file when the bytes are corrupt. Must
+    /// be called with the key's miss guard held.
+    fn recall_disk_locked(&self, key: &ModelKey) -> Result<DiskProbe, HubError> {
         let path = match self.checkpoint_path(key) {
             Some(p) if p.exists() => p,
-            _ => return Ok(None),
+            _ => return Ok(DiskProbe::Absent),
         };
-        let ck = Checkpoint::load(&path)?;
+        let bytes = self.read_checkpoint_bytes(&path)?;
+        let bytes = match faults::CHECKPOINT_DECODE.check() {
+            // Mangle the magic: the decoder sees garbage where a
+            // checkpoint should be.
+            Some(Injected::Corrupt) => b"XXXX-injected-decode-corruption".to_vec(),
+            Some(Injected::Error) => {
+                return Err(HubError::Checkpoint(CheckpointError::Io(
+                    "injected decode fault".to_string(),
+                )))
+            }
+            None => bytes,
+        };
+        let ck = match Checkpoint::from_bytes(&bytes) {
+            Ok(ck) => ck,
+            Err(e) if e.is_corruption() => {
+                self.quarantine(&path);
+                return Ok(DiskProbe::Quarantined(e));
+            }
+            Err(e) => return Err(e.into()),
+        };
         let model = Bellamy::from_checkpoint(&ck)?;
         let mut state = model
             .build_state()
@@ -411,7 +547,7 @@ impl ModelHub {
             .lock()
             .insert(key.id().to_string(), Arc::clone(&state));
         self.disk_recalls.fetch_add(1, Ordering::Relaxed);
-        Ok(Some(state))
+        Ok(DiskProbe::Loaded(state))
     }
 
     /// Recalls a pretrained model: in-memory registry first, then the
@@ -443,8 +579,12 @@ impl ModelHub {
         let outcome = self.recall_disk_locked(key);
         self.clear_miss_guard(key);
         match outcome? {
-            Some(state) => Ok(state),
-            None => Err(HubError::UnknownModel(key.id().to_string())),
+            DiskProbe::Loaded(state) => Ok(state),
+            DiskProbe::Absent => Err(HubError::UnknownModel(key.id().to_string())),
+            DiskProbe::Quarantined(source) => Err(HubError::Corrupt {
+                id: key.id().to_string(),
+                source,
+            }),
         }
     }
 
@@ -483,11 +623,15 @@ impl ModelHub {
             return Ok(state);
         }
         match self.recall_disk_locked(key) {
-            Ok(Some(state)) => {
+            Ok(DiskProbe::Loaded(state)) => {
                 self.clear_miss_guard(key);
                 return Ok(state);
             }
-            Ok(None) => {}
+            // Absent: nothing on disk, fall through to pre-training. A
+            // quarantined checkpoint is the same thing with a rename — the
+            // poison file is out of the way, so train the replacement now
+            // instead of failing this and every future request.
+            Ok(DiskProbe::Absent) | Ok(DiskProbe::Quarantined(_)) => {}
             Err(e) => {
                 // An unreadable checkpoint must not leave a stale guard
                 // entry behind (mirrors `recall`): repeated failing probes
@@ -782,20 +926,22 @@ mod tests {
 
     #[test]
     fn failing_disk_recalls_through_recall_or_pretrain_clear_the_miss_guard() {
-        // A corrupt checkpoint makes the disk probe inside
-        // `recall_or_pretrain` error before training; the per-key guard
-        // entry must still be removed, or repeated failing probes of
-        // distinct keys grow the miss map without bound.
+        // An unreadable checkpoint (here: the path is a directory, an I/O
+        // error that is not NotFound and not corruption, so no quarantine
+        // rescues it) makes the disk probe inside `recall_or_pretrain`
+        // error before training; the per-key guard entry must still be
+        // removed, or repeated failing probes of distinct keys grow the
+        // miss map without bound.
         let dir = std::env::temp_dir().join(format!("bellamy-badck-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let hub = ModelHub::at(&dir).unwrap();
         for i in 0..4 {
             let key = ModelKey::new(format!("bad-{i}"), "runtime", &BellamyConfig::default());
-            std::fs::write(dir.join(format!("{}.blmy", key.id())), b"not a checkpoint").unwrap();
+            std::fs::create_dir_all(dir.join(format!("{}.blmy", key.id()))).unwrap();
             assert!(
                 hub.recall_or_pretrain(&key, &PretrainConfig::default(), 0, Vec::new)
                     .is_err(),
-                "corrupt checkpoint must surface as an error, not train"
+                "unreadable checkpoint must surface as an error, not train"
             );
         }
         assert_eq!(

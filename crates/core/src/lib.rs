@@ -41,6 +41,7 @@
 pub mod allocation;
 pub mod config;
 pub mod error;
+pub mod faults;
 pub mod features;
 pub mod finetune;
 pub mod hub;
@@ -54,6 +55,7 @@ pub mod train;
 pub use allocation::{cheapest_scale_out, min_scale_out_meeting, ScaleOutRecommendation};
 pub use config::{BellamyConfig, FinetuneConfig, PretrainConfig};
 pub use error::BellamyError;
+pub use faults::{ArmedGuard, Failpoint, Fault, FaultPlan};
 pub use features::{context_properties, scale_out_features, ContextProperties, TrainingSample};
 pub use finetune::{FinetuneReport, ReuseStrategy};
 pub use hub::{HubError, HubStats, ModelHub, ModelKey};

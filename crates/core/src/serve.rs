@@ -56,11 +56,52 @@
 //! predictor arena; coalescing exists for the many-callers-one-query-each
 //! serving shape, not for callers that batch themselves.
 //!
+//! # Failure semantics
+//!
+//! The front door is built to *degrade*, never to hang or go dark. Every
+//! failure is typed, counted, and tells the caller what to do next:
+//!
+//! | error | cause | caller action | counter |
+//! |---|---|---|---|
+//! | [`BellamyError::Overloaded`] | admission window ([`BatcherConfig::max_inflight`]) full — submitters outran the predictor | back off `retry_after_hint`, retry | [`BatcherStats::shed`] |
+//! | [`BellamyError::DeadlineExceeded`] | the query's budget ([`BatcherConfig::deadline`] / [`ModelClient::predict_with_deadline`]) elapsed while still queued | retry with a larger budget or at lower load | [`BatcherStats::deadline_expired`] |
+//! | [`BellamyError::BatchPanicked`] | the forward pass panicked mid-batch; only that batch failed, the supervised loop restarts | retry (the next batch serves normally) | [`BatcherStats::panics`], [`BatcherStats::restarts`] |
+//! | [`BellamyError::ServiceStopped`] | the service was dropped / shut down | rebuild the client from a live service | [`BatcherStats::shutdown_flushes`] |
+//!
+//! The pieces behind the table:
+//!
+//! - **Admission control.** At most [`BatcherConfig::max_inflight`] queries
+//!   are admitted (queued or mid-flush) per model. Beyond that, `submit`
+//!   *sheds* — fails fast with [`BellamyError::Overloaded`] instead of
+//!   parking an unbounded convoy of threads behind a saturated predictor.
+//! - **Deadline budgets.** Every query can carry a budget. A submitter
+//!   whose budget elapses while its query is still *queued* revokes the
+//!   query (removal and batch claims serialize on the queue mutex, so a
+//!   racing deliverer can never touch the revoked — popped — stack slot)
+//!   and returns [`BellamyError::DeadlineExceeded`]. Once a batch has
+//!   *claimed* the query, delivery is guaranteed (normal, panic-failed, or
+//!   shutdown-failed), so the submitter waits it out — and even a lost
+//!   unpark costs at most one bounded park interval, never a hang.
+//! - **Supervised serving loop.** A panic in the forward pass fails only
+//!   the in-flight batch ([`BellamyError::BatchPanicked`]); the supervisor
+//!   records it and restarts the loop with capped exponential backoff.
+//!   [`PANIC_DEGRADE_LIMIT`] panics within [`PANIC_WINDOW`] degrade the
+//!   batcher: submitters switch to direct per-caller prediction
+//!   ([`BatcherStats::degraded`]) — reduced coalescing, but the model
+//!   keeps serving instead of going dark. (Assist flushes run on the
+//!   submitter's own thread, so a panicking assist surfaces on that caller
+//!   directly, like any direct prediction.)
+//! - **Fault injection.** The flush path hits the
+//!   [`crate::faults::SERVE_FLUSH`] failpoint once per batch, so tests
+//!   inject mid-batch panics and artificial latency deterministically; the
+//!   hub's disk paths carry their own failpoints.
+//!
 //! Errors from every layer surface as one [`BellamyError`].
 
 use crate::allocation::{cheapest_scale_out, min_scale_out_meeting, ScaleOutRecommendation};
 use crate::config::{FinetuneConfig, PretrainConfig};
 use crate::error::BellamyError;
+use crate::faults;
 use crate::features::{ContextProperties, TrainingSample};
 use crate::finetune::ReuseStrategy;
 use crate::hub::{HubStats, ModelHub, ModelKey};
@@ -71,7 +112,7 @@ use bellamy_par::ThreadPool;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -103,6 +144,16 @@ pub struct BatcherConfig {
     pub max_wait: Duration,
     /// When to flush a partial batch (see [`FlushPolicy`]).
     pub policy: FlushPolicy,
+    /// Admission window: the most queries allowed in flight (queued or
+    /// mid-flush) before `submit` sheds with [`BellamyError::Overloaded`]
+    /// instead of parking yet another thread behind a saturated predictor.
+    /// `0` (the default) derives the window as `4 * max_batch` — the
+    /// collecting batch plus a few flushes' worth of headroom.
+    pub max_inflight: usize,
+    /// Default per-query deadline budget. `None` (the default): queries
+    /// wait indefinitely. [`ModelClient::predict_with_deadline`] overrides
+    /// this per call.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for BatcherConfig {
@@ -111,6 +162,8 @@ impl Default for BatcherConfig {
             max_batch: 64,
             max_wait: Duration::from_micros(100),
             policy: FlushPolicy::Eager,
+            max_inflight: 0,
+            deadline: None,
         }
     }
 }
@@ -138,6 +191,22 @@ pub struct BatcherStats {
     /// Batches drained because the batcher was shutting down (queries that
     /// were pending when the service dropped are still served, once).
     pub shutdown_flushes: u64,
+    /// Queries shed at admission because [`BatcherConfig::max_inflight`]
+    /// was reached ([`BellamyError::Overloaded`]). Shed queries never enter
+    /// the pending queue and are not counted in `queries`.
+    pub shed: u64,
+    /// Queries revoked because their deadline budget elapsed while still
+    /// queued ([`BellamyError::DeadlineExceeded`]).
+    pub deadline_expired: u64,
+    /// Forward-pass panics absorbed by the supervised serving loop (each
+    /// failed exactly one batch with [`BellamyError::BatchPanicked`]).
+    pub panics: u64,
+    /// Times the supervisor respawned the serving loop after a panic.
+    pub restarts: u64,
+    /// True once repeated panics ([`PANIC_DEGRADE_LIMIT`] within
+    /// [`PANIC_WINDOW`]) degraded this batcher to direct per-caller
+    /// prediction.
+    pub degraded: bool,
 }
 
 /// Why the serving loop decided to flush the collecting batch.
@@ -155,6 +224,26 @@ enum FlushReason {
 /// actually pauses.
 const IDLE_SPINS: usize = 256;
 const SLOT_SPINS: usize = 256;
+
+/// Forward-pass panics within [`PANIC_WINDOW`] that degrade the batcher to
+/// direct per-caller prediction instead of restarting the loop again.
+pub const PANIC_DEGRADE_LIMIT: usize = 5;
+/// The sliding window over which panics count toward
+/// [`PANIC_DEGRADE_LIMIT`].
+pub const PANIC_WINDOW: Duration = Duration::from_secs(30);
+
+/// Supervisor restart backoff: doubles per panic inside the window,
+/// starting at the base, never exceeding the cap. Kept small — the backoff
+/// exists to stop a deterministically panicking model from spinning a core,
+/// not to make callers wait.
+const RESTART_BACKOFF_BASE: Duration = Duration::from_millis(1);
+const RESTART_BACKOFF_CAP: Duration = Duration::from_millis(100);
+
+/// Upper bound on any single park while waiting for delivery. Delivery
+/// normally ends the park via `unpark`; the backstop means a lost wakeup
+/// (or an unpark token consumed by an unrelated park) costs one bounded
+/// re-check instead of hanging the submitter forever.
+const PARK_BACKSTOP: Duration = Duration::from_millis(100);
 
 /// One caller's parked query. The raw pointers refer to the submitting
 /// caller's stack frame; they stay valid because `submit` blocks until the
@@ -181,6 +270,9 @@ const SLOT_PARKED: u32 = 1;
 const SLOT_DELIVERING: u32 = 2;
 const SLOT_READY: u32 = 3;
 const SLOT_FAILED: u32 = 4;
+/// The batch containing this query panicked mid-forward-pass; the query
+/// was never served but the service survives ([`BellamyError::BatchPanicked`]).
+const SLOT_PANICKED: u32 = 5;
 
 /// Stack-local rendezvous cell for one query's result: the submitter
 /// spin-polls `status` (yielding between polls), parking its thread only
@@ -206,32 +298,6 @@ impl ResponseSlot {
         }
     }
 
-    /// Submitter side: spin briefly, then park until delivery.
-    fn wait(&self) -> Result<f64, BellamyError> {
-        for _ in 0..SLOT_SPINS {
-            if self.status.load(Ordering::Acquire) >= SLOT_DELIVERING {
-                return self.take();
-            }
-            std::thread::yield_now();
-        }
-        // Publish the park handle before advertising PARKED: the deliverer
-        // reads it only after its swap observes PARKED (acquire), which
-        // orders that read after this write.
-        unsafe { *self.waiter.get() = Some(std::thread::current()) };
-        if self
-            .status
-            .compare_exchange(SLOT_EMPTY, SLOT_PARKED, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
-        {
-            while self.status.load(Ordering::Acquire) == SLOT_PARKED {
-                // Spurious returns (including a stale unpark token from an
-                // earlier slot) just re-check the status.
-                std::thread::park();
-            }
-        }
-        self.take()
-    }
-
     /// Callable only once `status >= SLOT_DELIVERING`.
     fn take(&self) -> Result<f64, BellamyError> {
         let mut spins = 0usize;
@@ -252,21 +318,34 @@ impl ResponseSlot {
                 // SAFETY: READY is only published (release) after the
                 // deliverer wrote the value; our acquire load sees it.
                 SLOT_READY => return Ok(unsafe { *self.value.get() }),
+                SLOT_PANICKED => return Err(BellamyError::BatchPanicked),
                 _ => return Err(BellamyError::ServiceStopped),
             }
         }
     }
 
-    /// Loop side: publish a result (`None`: the loop is dying and the
-    /// query will never be served) and wake the waiter if it parked.
+    /// Loop side: publish a result (`None`: the batcher is shutting down
+    /// and the query will never be served) and wake the waiter if it
+    /// parked.
     fn deliver(&self, result: Option<f64>) {
+        self.finish(result, SLOT_FAILED);
+    }
+
+    /// Loop side: fail the query because its batch's forward pass panicked.
+    /// The service itself survives (the supervisor restarts the loop), so
+    /// the waiter gets the retryable [`BellamyError::BatchPanicked`].
+    fn deliver_panicked(&self) {
+        self.finish(None, SLOT_PANICKED);
+    }
+
+    fn finish(&self, result: Option<f64>, failure: u32) {
         let final_status = match result {
             Some(v) => {
                 // SAFETY: the submitter only reads after observing READY.
                 unsafe { *self.value.get() = v };
                 SLOT_READY
             }
-            None => SLOT_FAILED,
+            None => failure,
         };
         // Two-phase publish. DELIVERING freezes the slot: a waiter that
         // wakes now spins in `take` instead of returning, so neither the
@@ -313,6 +392,19 @@ struct BatcherShared {
     loop_parked: std::sync::atomic::AtomicBool,
     /// Wakes submitters waiting for a free pending slot.
     space: Condvar,
+    /// Resolved admission window (config value, or `4 * max_batch` when the
+    /// config said `0`), never less than `max_batch` so a full batch can
+    /// always form.
+    max_inflight: u64,
+    /// Queries currently admitted: incremented at admission, decremented on
+    /// every submit exit (delivered, revoked, failed).
+    inflight: AtomicU64,
+    /// True once repeated panics degraded this batcher; submitters then
+    /// predict directly on their own threads and never enqueue.
+    degraded: AtomicBool,
+    /// EWMA of batch service time in nanoseconds (feeds the
+    /// [`BellamyError::Overloaded`] retry hint).
+    flush_nanos: AtomicU64,
     queries: AtomicU64,
     batches: AtomicU64,
     capacity_flushes: AtomicU64,
@@ -320,6 +412,10 @@ struct BatcherShared {
     quiesce_flushes: AtomicU64,
     assist_flushes: AtomicU64,
     shutdown_flushes: AtomicU64,
+    shed: AtomicU64,
+    deadline_expired: AtomicU64,
+    panics: AtomicU64,
+    restarts: AtomicU64,
 }
 
 thread_local! {
@@ -333,6 +429,119 @@ thread_local! {
 }
 
 impl BatcherShared {
+    /// Folds one batch service time into the EWMA (weight 1/4 — responsive
+    /// to load shifts, stable against single outliers).
+    fn record_flush(&self, elapsed: Duration) {
+        let sample = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let old = self.flush_nanos.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample
+        } else {
+            old - old / 4 + sample / 4
+        };
+        self.flush_nanos.store(new, Ordering::Relaxed);
+    }
+
+    /// How long a shed caller should back off: one flush wait plus the
+    /// recently observed batch service time — roughly when the current
+    /// congestion will have drained one batch.
+    fn retry_after_hint(&self) -> Duration {
+        let service = Duration::from_nanos(self.flush_nanos.load(Ordering::Relaxed));
+        (self.cfg.max_wait + service).max(Duration::from_micros(50))
+    }
+
+    /// Direct per-caller prediction — the degraded-mode path (no batching,
+    /// no queue, no admission; a panicking model surfaces on this caller
+    /// like any direct `Predictor` use).
+    fn predict_direct(&self, scale_out: f64, props: &ContextProperties) -> f64 {
+        Predictor::with_thread_local(|p| p.predict_one(&self.state, scale_out, props))
+    }
+
+    /// Removes this submitter's still-queued request. Every claim — the
+    /// serving loop's swap, an assister's append — and this removal run
+    /// under the queue mutex, so exactly one of two things is true when it
+    /// returns:
+    ///
+    /// - `true`: the request was still queued and is now gone. No
+    ///   deliverer has seen it or ever will, so the caller may pop the
+    ///   slot's stack frame immediately.
+    /// - `false`: a batch already claimed the request. Delivery into the
+    ///   slot is then guaranteed (normal, panic-failed, or shutdown-failed)
+    ///   and the caller must keep the frame alive until it lands.
+    ///
+    /// This lock-serialized handoff is what keeps a racing deliverer from
+    /// ever touching a revoked — popped — stack slot.
+    fn try_revoke(&self, slot: &ResponseSlot) -> bool {
+        let mut q = self.queue.lock();
+        let before = q.pending.len();
+        q.pending
+            .retain(|r| !std::ptr::eq(r.slot, slot as *const _));
+        let revoked = q.pending.len() < before;
+        if revoked && q.pending.is_empty() {
+            q.oldest = None;
+        }
+        revoked
+    }
+
+    /// Submitter side: spin briefly, then park until delivery — bounded by
+    /// the query's deadline while it is still revocable, and by
+    /// [`PARK_BACKSTOP`] always (a lost unpark costs one re-check, never a
+    /// hang).
+    fn wait_slot(
+        &self,
+        slot: &ResponseSlot,
+        deadline_at: Option<Instant>,
+    ) -> Result<f64, BellamyError> {
+        for _ in 0..SLOT_SPINS {
+            if slot.status.load(Ordering::Acquire) >= SLOT_DELIVERING {
+                return slot.take();
+            }
+            // An expired budget ends the spin phase early: on a crowded
+            // host a full yield round can outlast a short budget, and the
+            // revocation machinery below must get its turn.
+            if deadline_at.is_some_and(|at| Instant::now() >= at) {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        // Publish the park handle before advertising PARKED: the deliverer
+        // reads it only after its swap observes PARKED (acquire), which
+        // orders that read after this write.
+        unsafe { *slot.waiter.get() = Some(std::thread::current()) };
+        if slot
+            .status
+            .compare_exchange(SLOT_EMPTY, SLOT_PARKED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            let mut deadline_at = deadline_at;
+            while slot.status.load(Ordering::Acquire) == SLOT_PARKED {
+                let wait = match deadline_at {
+                    Some(at) => {
+                        let now = Instant::now();
+                        if now >= at {
+                            if self.try_revoke(slot) {
+                                self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                                return Err(BellamyError::DeadlineExceeded);
+                            }
+                            // Already claimed by a batch: delivery is
+                            // guaranteed, so stop watching the clock and
+                            // wait it out on the backstop alone.
+                            deadline_at = None;
+                            PARK_BACKSTOP
+                        } else {
+                            (at - now).min(PARK_BACKSTOP)
+                        }
+                    }
+                    None => PARK_BACKSTOP,
+                };
+                // Spurious returns (timeouts, stale unpark tokens from an
+                // earlier slot) just re-check the status.
+                std::thread::park_timeout(wait);
+            }
+        }
+        slot.take()
+    }
+
     /// Serves one claimed batch on *this* thread — the flat-combining
     /// fallback for when the serving loop is starved of CPU (the common
     /// case on single-core hosts: the loop cannot run while submitters
@@ -343,9 +552,9 @@ impl BatcherShared {
     /// delivers it. Results stay bit-identical — the same
     /// [`Predictor::predict_batch`] math runs, just on a different thread.
     /// A panicking forward pass fails the whole claimed batch (every
-    /// submitter gets [`BellamyError::ServiceStopped`] instead of hanging,
-    /// and no stale request pointers survive in the scratch) before the
-    /// panic resumes.
+    /// submitter gets the retryable [`BellamyError::BatchPanicked`] instead
+    /// of hanging, and no stale request pointers survive in the scratch)
+    /// before the panic resumes on this caller.
     fn assist_once(&self) -> bool {
         ASSIST_SCRATCH.with(|scratch| {
             let mut scratch = scratch.borrow_mut();
@@ -369,13 +578,16 @@ impl BatcherShared {
                     props: unsafe { &*r.props },
                 });
             }
+            let flush_started = Instant::now();
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = faults::SERVE_FLUSH.check();
                 Predictor::with_thread_local(|p| {
                     results.extend_from_slice(p.predict_batch(&self.state, queries));
                 });
             }));
             match outcome {
                 Ok(()) => {
+                    self.record_flush(flush_started.elapsed());
                     // Count before delivering, matching the serving loop:
                     // a caller whose query this assist served must never
                     // read stats that omit its own completed query.
@@ -393,9 +605,10 @@ impl BatcherShared {
                     // after the forward pass): fail them all so their
                     // submitters unblock, clear the raw-pointer scratch,
                     // and let the panic continue on this caller.
+                    self.panics.fetch_add(1, Ordering::Relaxed);
                     for r in requests.iter() {
                         // SAFETY: as above — the submitter is blocked.
-                        unsafe { &*r.slot }.deliver(None);
+                        unsafe { &*r.slot }.deliver_panicked();
                     }
                     requests.clear();
                     queries.clear();
@@ -416,12 +629,27 @@ impl BatcherShared {
     /// claimable batch inline, while with free cores the spin-polling loop
     /// claims new work before our first status check anyway, so assists
     /// naturally fire only when the loop is starved of CPU.
-    fn wait_with_assist(&self, slot: &ResponseSlot) -> Result<f64, BellamyError> {
+    fn wait_with_assist(
+        &self,
+        slot: &ResponseSlot,
+        deadline_at: Option<Instant>,
+    ) -> Result<f64, BellamyError> {
         while slot.status.load(Ordering::Acquire) < SLOT_DELIVERING {
+            if let Some(at) = deadline_at {
+                if Instant::now() >= at {
+                    if self.try_revoke(slot) {
+                        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                        return Err(BellamyError::DeadlineExceeded);
+                    }
+                    // Claimed (possibly by this thread's own last assist):
+                    // delivery is guaranteed, wait it out.
+                    return self.wait_slot(slot, None);
+                }
+            }
             if !self.assist_once() {
                 // Nothing claimable: our query is already in flight on the
                 // loop (or another assister); park until it delivers.
-                return slot.wait();
+                return self.wait_slot(slot, deadline_at);
             }
         }
         slot.take()
@@ -444,6 +672,12 @@ impl MicroBatcher {
             max_batch: cfg.max_batch.max(1),
             ..cfg
         };
+        let max_inflight = if cfg.max_inflight == 0 {
+            cfg.max_batch.saturating_mul(4)
+        } else {
+            // Never smaller than the batch, so a full batch can form.
+            cfg.max_inflight.max(cfg.max_batch)
+        } as u64;
         let shared = Arc::new(BatcherShared {
             cfg,
             state,
@@ -455,6 +689,10 @@ impl MicroBatcher {
             work: Condvar::new(),
             loop_parked: std::sync::atomic::AtomicBool::new(false),
             space: Condvar::new(),
+            max_inflight,
+            inflight: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
+            flush_nanos: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             capacity_flushes: AtomicU64::new(0),
@@ -462,11 +700,15 @@ impl MicroBatcher {
             quiesce_flushes: AtomicU64::new(0),
             assist_flushes: AtomicU64::new(0),
             shutdown_flushes: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
         });
         let pool = ThreadPool::named("bellamy-serve", 1);
         {
             let shared = Arc::clone(&shared);
-            pool.execute(move || serve_loop(shared));
+            pool.execute(move || supervised_loop(shared));
         }
         Self {
             shared,
@@ -474,25 +716,66 @@ impl MicroBatcher {
         }
     }
 
-    /// Submits one query and blocks until its result is delivered.
+    /// Submits one query and blocks until its result is delivered, it is
+    /// shed at admission, or its deadline budget runs out.
     /// Allocation-free at steady state: the pending push stays within the
     /// preallocated capacity and the result slot lives on this stack frame.
     fn submit(&self, scale_out: f64, props: &ContextProperties) -> Result<f64, BellamyError> {
+        self.submit_with_deadline(scale_out, props, self.shared.cfg.deadline)
+    }
+
+    fn submit_with_deadline(
+        &self,
+        scale_out: f64,
+        props: &ContextProperties,
+        deadline: Option<Duration>,
+    ) -> Result<f64, BellamyError> {
+        let shared = &*self.shared;
+        // Degraded (repeated forward-pass panics): predict directly on this
+        // thread — no queue, no admission window to consume.
+        if shared.degraded.load(Ordering::Acquire) {
+            return Ok(shared.predict_direct(scale_out, props));
+        }
+        // Admission control: shed instead of joining an unbounded convoy.
+        if shared.inflight.fetch_add(1, Ordering::AcqRel) >= shared.max_inflight {
+            shared.inflight.fetch_sub(1, Ordering::AcqRel);
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(BellamyError::Overloaded {
+                retry_after_hint: shared.retry_after_hint(),
+            });
+        }
+        let _admission = AdmissionGuard(&shared.inflight);
+        let deadline_at = deadline.map(|d| Instant::now() + d);
         let slot = ResponseSlot::new();
         {
-            let mut q = self.shared.queue.lock();
+            let mut q = shared.queue.lock();
             loop {
+                if shared.degraded.load(Ordering::Acquire) {
+                    drop(q);
+                    return Ok(shared.predict_direct(scale_out, props));
+                }
                 if q.shutdown {
                     return Err(BellamyError::ServiceStopped);
                 }
-                if q.pending.len() < self.shared.cfg.max_batch {
+                if q.pending.len() < shared.cfg.max_batch {
                     break;
                 }
-                // The batch is full and mid-flush; wait for slots to free.
-                if self.shared.loop_parked.load(Ordering::Acquire) {
-                    self.shared.work.notify_one();
+                // The batch is full and mid-flush; wait for slots to free —
+                // within the deadline budget, if the query carries one.
+                if shared.loop_parked.load(Ordering::Acquire) {
+                    shared.work.notify_one();
                 }
-                self.shared.space.wait(&mut q);
+                match deadline_at {
+                    Some(at) => {
+                        let now = Instant::now();
+                        if now >= at {
+                            shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                            return Err(BellamyError::DeadlineExceeded);
+                        }
+                        let _ = shared.space.wait_for(&mut q, at - now);
+                    }
+                    None => shared.space.wait(&mut q),
+                }
             }
             if q.pending.is_empty() {
                 q.oldest = Some(Instant::now());
@@ -505,14 +788,14 @@ impl MicroBatcher {
         }
         // The loop normally yield-polls the queue; pay the notify syscall
         // only when it actually parked.
-        if self.shared.loop_parked.load(Ordering::Acquire) {
-            self.shared.work.notify_one();
+        if shared.loop_parked.load(Ordering::Acquire) {
+            shared.work.notify_one();
         }
-        match self.shared.cfg.policy {
+        match shared.cfg.policy {
             // Eager: combine on this thread when the loop is starved.
-            FlushPolicy::Eager => self.shared.wait_with_assist(&slot),
+            FlushPolicy::Eager => shared.wait_with_assist(&slot, deadline_at),
             // Deadline: the loop alone decides when to flush.
-            FlushPolicy::Deadline => slot.wait(),
+            FlushPolicy::Deadline => shared.wait_slot(&slot, deadline_at),
         }
     }
 
@@ -525,7 +808,23 @@ impl MicroBatcher {
             quiesce_flushes: self.shared.quiesce_flushes.load(Ordering::Relaxed),
             assist_flushes: self.shared.assist_flushes.load(Ordering::Relaxed),
             shutdown_flushes: self.shared.shutdown_flushes.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            deadline_expired: self.shared.deadline_expired.load(Ordering::Relaxed),
+            panics: self.shared.panics.load(Ordering::Relaxed),
+            restarts: self.shared.restarts.load(Ordering::Relaxed),
+            degraded: self.shared.degraded.load(Ordering::Acquire),
         }
+    }
+}
+
+/// Decrements the admission window on every `submit` exit — delivered,
+/// deadline-revoked, or failed — including panics propagating out of an
+/// assist flush.
+struct AdmissionGuard<'a>(&'a AtomicU64);
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -544,27 +843,124 @@ impl Drop for MicroBatcher {
 
 /// Marks the batcher stopped when the serving loop exits — including by
 /// panic — so parked and future submitters error out instead of hanging.
+/// On a *degraded* exit the stragglers are served one final time (direct
+/// batch on this thread) instead of failed: their submitters enqueued
+/// before the degrade flag diverted traffic, and nobody else will ever
+/// claim them.
 struct LoopGuard(Arc<BatcherShared>);
 
 impl Drop for LoopGuard {
     fn drop(&mut self) {
+        let degraded = self.0.degraded.load(Ordering::Acquire);
         let drained = {
             let mut q = self.0.queue.lock();
             q.shutdown = true;
+            q.oldest = None;
             std::mem::take(&mut q.pending)
         };
-        for request in &drained {
-            // SAFETY: the submitter is still blocked in `submit`.
-            let slot = unsafe { &*request.slot };
-            slot.deliver(None);
+        if degraded {
+            serve_drained(&self.0, &drained);
+        } else {
+            for request in &drained {
+                // SAFETY: the submitter is still blocked in `submit`.
+                let slot = unsafe { &*request.slot };
+                slot.deliver(None);
+            }
         }
         self.0.space.notify_all();
     }
 }
 
+/// Best-effort final drain: one direct batched pass over `requests`,
+/// delivering results — or panic-failures, should the model panic once
+/// more — so every straggler's submitter unblocks.
+fn serve_drained(shared: &BatcherShared, requests: &[Request]) {
+    if requests.is_empty() {
+        return;
+    }
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Predictor::with_thread_local(|p| {
+            let queries: Vec<PredictQuery<'_>> = requests
+                .iter()
+                .map(|r| PredictQuery {
+                    scale_out: r.scale_out,
+                    // SAFETY: the submitter is blocked in `submit` until
+                    // this drain delivers.
+                    props: unsafe { &*r.props },
+                })
+                .collect();
+            p.predict_batch(&shared.state, &queries).to_vec()
+        })
+    }));
+    match outcome {
+        Ok(results) => {
+            shared
+                .queries
+                .fetch_add(requests.len() as u64, Ordering::Relaxed);
+            shared.batches.fetch_add(1, Ordering::Relaxed);
+            shared.shutdown_flushes.fetch_add(1, Ordering::Relaxed);
+            for (r, &pred) in requests.iter().zip(results.iter()) {
+                // SAFETY: as above — the submitter is blocked.
+                unsafe { &*r.slot }.deliver(Some(pred));
+            }
+        }
+        Err(_) => {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+            for r in requests {
+                // SAFETY: as above — the submitter is blocked.
+                unsafe { &*r.slot }.deliver_panicked();
+            }
+        }
+    }
+}
+
+/// Supervises the serving loop. A panicking forward pass has already
+/// failed its own batch (see `serve_rounds`); here the panic is absorbed,
+/// counted, and the loop respawned with capped exponential backoff — one
+/// bad batch never takes the service down. [`PANIC_DEGRADE_LIMIT`] panics
+/// within [`PANIC_WINDOW`] stop the respawning: the batcher *degrades* to
+/// direct per-caller prediction (reduced coalescing, but a deterministically
+/// panicking model fails only the callers that hit it, and a recovering one
+/// keeps serving) instead of burning a core on a crash loop.
+fn supervised_loop(shared: Arc<BatcherShared>) {
+    // The guard lives on the *supervisor* frame: an inner panic must not
+    // mark the batcher stopped — only a real exit (shutdown or degrade)
+    // drains stragglers and turns submitters away.
+    let _guard = LoopGuard(Arc::clone(&shared));
+    let mut recent: Vec<Instant> = Vec::new();
+    loop {
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| serve_rounds(&shared)));
+        match outcome {
+            // Clean shutdown; the guard drains any stragglers.
+            Ok(()) => return,
+            Err(_) => {
+                shared.panics.fetch_add(1, Ordering::Relaxed);
+                let now = Instant::now();
+                recent.retain(|t| now.duration_since(*t) <= PANIC_WINDOW);
+                recent.push(now);
+                if recent.len() >= PANIC_DEGRADE_LIMIT {
+                    // Divert future submitters to direct prediction, then
+                    // exit: the `LoopGuard` serves whatever is still queued
+                    // one final time on this thread.
+                    shared.degraded.store(true, Ordering::Release);
+                    return;
+                }
+                shared.restarts.fetch_add(1, Ordering::Relaxed);
+                let exp = (recent.len() - 1).min(16) as u32;
+                let backoff = RESTART_BACKOFF_BASE
+                    .saturating_mul(1 << exp)
+                    .min(RESTART_BACKOFF_CAP);
+                std::thread::sleep(backoff);
+            }
+        }
+    }
+}
+
 /// The persistent serving loop: collect → flush → predict → deliver.
-fn serve_loop(shared: Arc<BatcherShared>) {
-    let guard = LoopGuard(Arc::clone(&shared));
+/// Returns on shutdown; panics propagate to `supervised_loop` *after*
+/// failing the in-flight batch.
+fn serve_rounds(shared: &BatcherShared) {
     let cap = shared.cfg.max_batch;
     let eager = shared.cfg.policy == FlushPolicy::Eager;
     let mut predictor = Predictor::new();
@@ -582,7 +978,6 @@ fn serve_loop(shared: Arc<BatcherShared>) {
             if q.shutdown {
                 if q.pending.is_empty() {
                     drop(q);
-                    drop(guard);
                     return;
                 }
                 break (q, FlushReason::Shutdown);
@@ -647,21 +1042,24 @@ fn serve_loop(shared: Arc<BatcherShared>) {
                 props: unsafe { &*request.props },
             });
         }
+        let flush_started = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = faults::SERVE_FLUSH.check();
             results.extend_from_slice(predictor.predict_batch(&shared.state, &queries));
         }));
         if let Err(payload) = outcome {
             // The claimed batch never reached delivery (delivery is the
             // step after the forward pass). Fail every claimed submitter
             // so no one hangs — `LoopGuard` only covers still-pending
-            // requests — then let the panic end the loop (the guard marks
-            // the batcher stopped for everyone else).
+            // requests — then hand the panic to `supervised_loop`, which
+            // counts it and respawns this loop.
             for request in &processing {
                 // SAFETY: the submitter is blocked in `submit`.
-                unsafe { &*request.slot }.deliver(None);
+                unsafe { &*request.slot }.deliver_panicked();
             }
             std::panic::resume_unwind(payload);
         }
+        shared.record_flush(flush_started.elapsed());
 
         shared
             .queries
@@ -971,6 +1369,24 @@ impl ModelClient {
     /// Allocation-free at steady state.
     pub fn predict(&self, scale_out: f64, props: &ContextProperties) -> Result<f64, BellamyError> {
         self.batcher().submit(scale_out, props)
+    }
+
+    /// [`ModelClient::predict`] with an explicit deadline budget overriding
+    /// [`BatcherConfig::deadline`]. If the budget elapses while the query
+    /// is still queued (a full admission window ahead of it, a saturated
+    /// predictor), the query is revoked and
+    /// [`BellamyError::DeadlineExceeded`] returned; once a batch has
+    /// claimed the query, its result is returned even if delivery lands
+    /// marginally past the budget. See the module docs' failure-semantics
+    /// table.
+    pub fn predict_with_deadline(
+        &self,
+        scale_out: f64,
+        props: &ContextProperties,
+        deadline: Duration,
+    ) -> Result<f64, BellamyError> {
+        self.batcher()
+            .submit_with_deadline(scale_out, props, Some(deadline))
     }
 
     /// Predicted runtimes for a caller-assembled batch, in query order.

@@ -1,0 +1,406 @@
+//! Fault-injection tests for the serving stack's robustness layer: a
+//! panicking forward pass fails only its own batch and the supervised loop
+//! restarts (bit-identical afterwards); repeated panics degrade to direct
+//! per-caller prediction; overload sheds at the admission window and
+//! recovers; deadline-expired submitters never race the deliverer; corrupt
+//! checkpoints are quarantined instead of poisoning their key forever.
+//!
+//! The failpoints (`bellamy_core::faults`) are process-global statics, so
+//! every test that arms one holds [`fault_lock`] for its whole body — the
+//! tests serialize among themselves while the rest of the workspace's
+//! suites run in their own processes, unaffected.
+
+use bellamy_core::faults::{self, Fault, FaultPlan};
+use bellamy_core::hub::HubError;
+use bellamy_core::serve::PANIC_DEGRADE_LIMIT;
+use bellamy_core::train::pretrain;
+use bellamy_core::{
+    BatcherConfig, Bellamy, BellamyConfig, BellamyError, ContextProperties, FlushPolicy, ModelHub,
+    ModelKey, ModelState, Predictor, PretrainConfig, Service, TrainingSample,
+};
+use bellamy_encoding::PropertyValue;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Serializes tests that arm the global failpoints. A panicking test must
+/// not wedge the rest of the suite, so poisoning is ignored.
+fn fault_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn corpus() -> Vec<TrainingSample> {
+    (0..18)
+        .map(|i| {
+            let x = 2.0 + (i % 6) as f64 * 2.0;
+            TrainingSample {
+                scale_out: x,
+                runtime_s: 90.0 + 350.0 / x + 2.0 * (i % 5) as f64,
+                props: ContextProperties {
+                    essential: vec![
+                        PropertyValue::Number(2048 + 256 * (i as u64 % 4)),
+                        PropertyValue::text("c4.2xlarge"),
+                    ],
+                    optional: vec![],
+                },
+            }
+        })
+        .collect()
+}
+
+fn pretrained() -> (Arc<ModelState>, Vec<TrainingSample>) {
+    let samples = corpus();
+    let mut model = Bellamy::new(BellamyConfig::default(), 23);
+    pretrain(
+        &mut model,
+        &samples,
+        &PretrainConfig {
+            epochs: 3,
+            ..PretrainConfig::default()
+        },
+        23,
+    );
+    (model.snapshot().expect("fitted"), samples)
+}
+
+fn direct_bits(state: &Arc<ModelState>, scale_out: f64, props: &ContextProperties) -> u64 {
+    Predictor::with_thread_local(|p| p.predict_one(state, scale_out, props)).to_bits()
+}
+
+/// A deadline-policy service (all flushing through the supervised loop, no
+/// caller assists — panics must land on the loop for these tests).
+fn loop_only_service(cfg: BatcherConfig) -> Service {
+    Service::builder()
+        .batcher(BatcherConfig {
+            policy: FlushPolicy::Deadline,
+            ..cfg
+        })
+        .build()
+        .expect("in-memory service")
+}
+
+#[test]
+fn panic_mid_batch_fails_only_that_batch_and_the_loop_restarts() {
+    let _serial = fault_lock();
+    let (state, samples) = pretrained();
+    let service = loop_only_service(BatcherConfig {
+        max_batch: 4,
+        max_wait: Duration::from_micros(200),
+        ..BatcherConfig::default()
+    });
+    let client = service.client_for_state(Arc::clone(&state));
+    let props = &samples[0].props;
+
+    let _armed = faults::SERVE_FLUSH.arm(FaultPlan::once(Fault::Panic));
+    assert!(
+        matches!(client.predict(4.0, props), Err(BellamyError::BatchPanicked)),
+        "the query in the panicked batch must get the typed, retryable error"
+    );
+
+    // The loop restarted: the very next query serves normally and stays
+    // bit-identical to a direct predictor call.
+    let after = client.predict(4.0, props).expect("restarted loop serves");
+    assert_eq!(after.to_bits(), direct_bits(&state, 4.0, props));
+
+    let stats = client.batcher_stats();
+    assert_eq!(stats.panics, 1);
+    assert_eq!(stats.restarts, 1);
+    assert!(!stats.degraded, "one panic must not degrade the batcher");
+}
+
+#[test]
+fn repeated_panics_degrade_to_direct_serving() {
+    let _serial = fault_lock();
+    let (state, samples) = pretrained();
+    let service = loop_only_service(BatcherConfig {
+        max_batch: 4,
+        max_wait: Duration::from_micros(200),
+        ..BatcherConfig::default()
+    });
+    let client = service.client_for_state(Arc::clone(&state));
+    let props = &samples[1].props;
+
+    let _armed =
+        faults::SERVE_FLUSH.arm(FaultPlan::times(Fault::Panic, PANIC_DEGRADE_LIMIT as u64));
+    for i in 0..PANIC_DEGRADE_LIMIT {
+        assert!(
+            matches!(client.predict(6.0, props), Err(BellamyError::BatchPanicked)),
+            "panic {i} must fail its own batch"
+        );
+    }
+
+    // The degrade threshold is reached: serving continues *directly* with
+    // values bit-identical to the batched path.
+    let after = client.predict(6.0, props).expect("degraded mode serves");
+    assert_eq!(after.to_bits(), direct_bits(&state, 6.0, props));
+    let stats = client.batcher_stats();
+    assert!(stats.degraded, "batcher must report degraded mode");
+    assert_eq!(stats.panics, PANIC_DEGRADE_LIMIT as u64);
+    assert_eq!(stats.restarts, PANIC_DEGRADE_LIMIT as u64 - 1);
+
+    // Degraded serving works from many threads at once.
+    let ok = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for _ in 0..8 {
+                    let got = client.predict(6.0, props).expect("degraded predict");
+                    assert_eq!(got.to_bits(), direct_bits(&state, 6.0, props));
+                    ok.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(ok.load(Ordering::Relaxed), 32);
+}
+
+#[test]
+fn overload_sheds_at_the_admission_window_and_recovers() {
+    let _serial = fault_lock();
+    let (state, samples) = pretrained();
+    let service = loop_only_service(BatcherConfig {
+        max_batch: 2,
+        max_wait: Duration::from_micros(500),
+        max_inflight: 4,
+        ..BatcherConfig::default()
+    });
+    let client = service.client_for_state(Arc::clone(&state));
+    let props = &samples[2].props;
+    let expected = direct_bits(&state, 8.0, props);
+
+    let shed = AtomicU64::new(0);
+    let served = AtomicU64::new(0);
+    {
+        // A slow model: each flush takes ~20ms, so 16 simultaneous callers
+        // pile far past the window of 4.
+        let _armed =
+            faults::SERVE_FLUSH.arm(FaultPlan::always(Fault::Delay(Duration::from_millis(20))));
+        let barrier = Barrier::new(16);
+        std::thread::scope(|scope| {
+            for _ in 0..16 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    match client.predict(8.0, props) {
+                        Ok(v) => {
+                            assert_eq!(v.to_bits(), expected, "served results stay bit-identical");
+                            served.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(BellamyError::Overloaded { retry_after_hint }) => {
+                            assert!(retry_after_hint > Duration::ZERO);
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("unexpected error under overload: {other}"),
+                    }
+                });
+            }
+        });
+    }
+    let (shed, served) = (shed.load(Ordering::Relaxed), served.load(Ordering::Relaxed));
+    assert_eq!(shed + served, 16);
+    assert!(shed > 0, "16 callers against a window of 4 must shed");
+    assert!(served > 0, "admitted callers must still be served");
+    let stats = client.batcher_stats();
+    assert_eq!(stats.shed, shed);
+
+    // The overload was load, not damage: with the slow-model fault gone the
+    // next query is admitted and served normally.
+    let after = client.predict(8.0, props).expect("recovered");
+    assert_eq!(after.to_bits(), expected);
+    assert_eq!(client.batcher_stats().shed, shed, "no new shedding at idle");
+}
+
+#[test]
+fn deadline_expiry_never_races_the_deliverer() {
+    let _serial = fault_lock();
+    let (state, samples) = pretrained();
+    let service = loop_only_service(BatcherConfig {
+        max_batch: 64,
+        max_wait: Duration::from_micros(300),
+        ..BatcherConfig::default()
+    });
+    let client = service.client_for_state(Arc::clone(&state));
+    let props = &samples[0].props;
+    let expected = direct_bits(&state, 5.0, props);
+
+    // Every flush takes ≥1ms while most budgets are far shorter: expiry
+    // constantly races batch claims. The revocation contract says every
+    // outcome is either a bit-identical result or a clean DeadlineExceeded
+    // — never a hang, a stale read, or a crash (a revoked slot touched by
+    // the deliverer would be a use-after-free; run under the release-mode
+    // stress CI job to shake the interleavings).
+    let _armed = faults::SERVE_FLUSH.arm(FaultPlan::always(Fault::Delay(Duration::from_millis(1))));
+    let iterations: u64 = if cfg!(debug_assertions) { 40 } else { 150 };
+    let expired = AtomicU64::new(0);
+    let delivered = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..8u64 {
+            let (expired, delivered) = (&expired, &delivered);
+            let client = &client;
+            scope.spawn(move || {
+                for i in 0..iterations {
+                    // Budgets straddle the flush time so both outcomes occur.
+                    let budget = Duration::from_micros(100 + 150 * ((t + i) % 5));
+                    match client.predict_with_deadline(5.0, props, budget) {
+                        Ok(v) => {
+                            assert_eq!(v.to_bits(), expected);
+                            delivered.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(BellamyError::DeadlineExceeded) => {
+                            expired.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("unexpected error: {other}"),
+                    }
+                }
+            });
+        }
+    });
+    let (expired, delivered) = (
+        expired.load(Ordering::Relaxed),
+        delivered.load(Ordering::Relaxed),
+    );
+    assert_eq!(expired + delivered, 8 * iterations);
+    assert!(
+        expired > 0,
+        "sub-flush budgets against a 1ms flush must expire sometimes"
+    );
+    assert_eq!(client.batcher_stats().deadline_expired, expired);
+
+    // Deadline-free serving is untouched afterwards.
+    let after = client.predict(5.0, props).expect("no-deadline predict");
+    assert_eq!(after.to_bits(), expected);
+}
+
+#[test]
+fn corrupt_checkpoints_are_quarantined_not_poisonous() {
+    let _serial = fault_lock();
+    let dir = std::env::temp_dir().join(format!("bellamy-quarantine-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let samples = corpus();
+    let key = ModelKey::new("grep", "runtime", &BellamyConfig::default());
+    let quick = PretrainConfig {
+        epochs: 2,
+        ..PretrainConfig::default()
+    };
+
+    // Publish a good checkpoint, then corrupt it on disk.
+    {
+        let hub = ModelHub::at(&dir).expect("disk hub");
+        let mut model = Bellamy::new(BellamyConfig::default(), 5);
+        pretrain(&mut model, &samples, &quick, 5);
+        hub.publish(&key, &model).expect("publish");
+    }
+    let ckpt = dir.join(format!("{}.blmy", key.id()));
+    assert!(ckpt.is_file(), "publish must write the checkpoint");
+    std::fs::write(&ckpt, b"BLMY but definitely not a checkpoint").unwrap();
+
+    // A fresh hub (cold memory registry) hits the corrupt file: the recall
+    // fails *once*, typed, and the file is quarantined out of the way.
+    let hub = ModelHub::at(&dir).expect("disk hub");
+    match hub.recall(&key) {
+        Err(HubError::Corrupt { id, .. }) => assert_eq!(id, key.id()),
+        other => panic!("corrupt checkpoint must surface as Corrupt, got {other:?}"),
+    }
+    assert!(!ckpt.exists(), "the corrupt file must be renamed away");
+    let quarantined = ckpt.with_extension("blmy.corrupt");
+    assert!(
+        quarantined.is_file(),
+        "the corrupt bytes must survive at *.blmy.corrupt for forensics"
+    );
+    assert_eq!(hub.stats().quarantined, 1);
+
+    // The key is now simply absent — not an eternal error.
+    assert!(matches!(hub.recall(&key), Err(HubError::UnknownModel(_))));
+
+    // recall_or_pretrain treats the quarantined slot like a cold miss and
+    // trains a usable replacement.
+    let replacement = hub
+        .recall_or_pretrain(&key, &quick, 5, || samples.clone())
+        .expect("quarantined key must retrain, not fail forever");
+    assert!(replacement.predict(6.0, &samples[0].props).is_finite());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_persist_corruption_round_trips_through_quarantine() {
+    let _serial = fault_lock();
+    let dir = std::env::temp_dir().join(format!("bellamy-persistfault-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let samples = corpus();
+    let key = ModelKey::new("pagerank", "runtime", &BellamyConfig::default());
+    let quick = PretrainConfig {
+        epochs: 2,
+        ..PretrainConfig::default()
+    };
+
+    // A crash mid-write: garbage lands on disk in place of the checkpoint.
+    {
+        let hub = ModelHub::at(&dir).expect("disk hub");
+        let mut model = Bellamy::new(BellamyConfig::default(), 9);
+        pretrain(&mut model, &samples, &quick, 9);
+        let _armed = faults::HUB_DISK_PERSIST.arm(FaultPlan::once(Fault::Corrupt));
+        hub.publish(&key, &model).expect("publish survives");
+    }
+
+    // The next process finds the damage, quarantines it, and recovers.
+    let hub = ModelHub::at(&dir).expect("disk hub");
+    assert!(matches!(hub.recall(&key), Err(HubError::Corrupt { .. })));
+    assert_eq!(hub.stats().quarantined, 1);
+    hub.recall_or_pretrain(&key, &quick, 9, || samples.clone())
+        .expect("retrain after quarantine");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn transient_read_failures_are_retried_with_bounded_backoff() {
+    let _serial = fault_lock();
+    let dir = std::env::temp_dir().join(format!("bellamy-retry-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let samples = corpus();
+    let key = ModelKey::new("sgd", "runtime", &BellamyConfig::default());
+    {
+        let hub = ModelHub::at(&dir).expect("disk hub");
+        let mut model = Bellamy::new(BellamyConfig::default(), 3);
+        pretrain(
+            &mut model,
+            &samples,
+            &PretrainConfig {
+                epochs: 2,
+                ..PretrainConfig::default()
+            },
+            3,
+        );
+        hub.publish(&key, &model).expect("publish");
+    }
+
+    // Two transient read failures, then the disk recovers: the recall
+    // succeeds and the retries are visible in the stats.
+    {
+        let hub = ModelHub::at(&dir).expect("disk hub");
+        let _armed = faults::HUB_DISK_PROBE.arm(FaultPlan::times(Fault::Error, 2));
+        hub.recall(&key)
+            .expect("two transient failures are within the retry budget");
+        assert_eq!(hub.stats().disk_retries, 2);
+        assert_eq!(
+            hub.stats().quarantined,
+            0,
+            "transient I/O is never quarantined"
+        );
+    }
+
+    // A persistently failing disk exhausts the bounded retries and surfaces
+    // an I/O error — the checkpoint file itself is left untouched.
+    {
+        let hub = ModelHub::at(&dir).expect("disk hub");
+        let _armed = faults::HUB_DISK_PROBE.arm(FaultPlan::always(Fault::Error));
+        assert!(matches!(hub.recall(&key), Err(HubError::Checkpoint(_))));
+    }
+    assert!(
+        dir.join(format!("{}.blmy", key.id())).is_file(),
+        "an I/O-failing checkpoint must not be quarantined"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -60,6 +60,7 @@ fn eight_concurrent_submitters_get_bit_identical_results() {
             // genuinely coalesce queries from different callers (the
             // eager policy would let each submitter serve itself here).
             policy: FlushPolicy::Deadline,
+            ..BatcherConfig::default()
         })
         .build()
         .expect("in-memory service");
@@ -133,6 +134,7 @@ fn capacity_flush_fires_when_the_batch_fills() {
             // submitters quickly.
             max_wait: Duration::from_secs(30),
             policy: FlushPolicy::Deadline,
+            ..BatcherConfig::default()
         })
         .build()
         .expect("in-memory service");
@@ -165,6 +167,7 @@ fn timeout_flush_fires_for_a_lone_query() {
             max_batch: 1024,
             max_wait: Duration::from_millis(2),
             policy: FlushPolicy::Deadline,
+            ..BatcherConfig::default()
         })
         .build()
         .expect("in-memory service");
@@ -191,6 +194,7 @@ fn eager_policy_quiesce_flushes_a_lone_query_quickly() {
             // a lone query promptly under the eager policy.
             max_wait: Duration::from_secs(3600),
             policy: FlushPolicy::Eager,
+            ..BatcherConfig::default()
         })
         .build()
         .expect("in-memory service");

@@ -227,6 +227,7 @@ fn steady_state_micro_batched_submit_is_allocation_free() {
             // exactly the steady-state path.
             max_wait: std::time::Duration::ZERO,
             policy: FlushPolicy::Deadline,
+            ..BatcherConfig::default()
         })
         .build()
         .expect("in-memory service");

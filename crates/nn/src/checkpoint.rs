@@ -63,6 +63,24 @@ impl std::fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
+impl CheckpointError {
+    /// True when the checkpoint's *content* is bad — wrong magic, an
+    /// unknown version, truncation, invalid UTF-8 — as opposed to a
+    /// transient I/O failure. Content errors are permanent for a given
+    /// file: retrying the read cannot help, so callers (the hub's disk
+    /// recall) quarantine the file instead of retrying, while `Io` errors
+    /// are worth a bounded retry.
+    pub fn is_corruption(&self) -> bool {
+        match self {
+            CheckpointError::BadMagic
+            | CheckpointError::UnsupportedVersion(_)
+            | CheckpointError::Truncated
+            | CheckpointError::InvalidUtf8 => true,
+            CheckpointError::Io(_) => false,
+        }
+    }
+}
+
 impl Checkpoint {
     /// Creates a checkpoint from a parameter set and metadata.
     pub fn new(params: ParamSet, metadata: BTreeMap<String, String>) -> Self {
@@ -240,6 +258,15 @@ mod tests {
                 "cut at {cut}: unexpected error {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn corruption_classifier_separates_content_from_io() {
+        assert!(CheckpointError::BadMagic.is_corruption());
+        assert!(CheckpointError::UnsupportedVersion(9).is_corruption());
+        assert!(CheckpointError::Truncated.is_corruption());
+        assert!(CheckpointError::InvalidUtf8.is_corruption());
+        assert!(!CheckpointError::Io("disk on fire".into()).is_corruption());
     }
 
     #[test]

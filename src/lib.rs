@@ -128,9 +128,9 @@ pub mod prelude {
     pub use bellamy_core::{
         cheapest_scale_out, context_properties, min_scale_out_meeting, search_pretrain,
         BatcherConfig, BatcherStats, Bellamy, BellamyConfig, BellamyError, ContextProperties,
-        FinetuneConfig, FinetunePolicy, HubError, ModelClient, ModelHub, ModelKey, ModelState,
-        PredictError, PredictQuery, Predictor, PretrainConfig, ReuseStrategy, SearchSpace, Service,
-        ServiceBuilder, TrainingSample,
+        FinetuneConfig, FinetunePolicy, FlushPolicy, HubError, ModelClient, ModelHub, ModelKey,
+        ModelState, PredictError, PredictQuery, Predictor, PretrainConfig, ReuseStrategy,
+        SearchSpace, Service, ServiceBuilder, TrainingSample,
     };
     pub use bellamy_data::{
         generate_bell, generate_c3o, ground_truth_profile, Algorithm, Dataset, Environment,
