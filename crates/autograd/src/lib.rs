@@ -28,6 +28,7 @@
 
 pub mod gradcheck;
 pub mod ops;
+pub mod simd;
 pub mod tape;
 
 pub use ops::{fast_exp_slice_in_place, fast_tanh_slice_in_place, Activation};

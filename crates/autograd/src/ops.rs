@@ -13,6 +13,27 @@ pub const SELU_ALPHA: f64 = 1.6732632423543772;
 /// `-λ·α`, the limit of SELU as its input goes to negative infinity.
 pub const SELU_ALPHA_PRIME: f64 = -SELU_LAMBDA * SELU_ALPHA;
 
+// Shared constants of the Cephes-style exp/tanh cores. Module-level so the
+// lane-parallel kernels in [`crate::simd`] evaluate the *same* polynomial
+// with the same coefficients — the bit-identity of the SIMD activations
+// depends on it.
+pub(crate) const EXP_LOG2E: f64 = std::f64::consts::LOG2_E;
+pub(crate) const EXP_C1: f64 = 6.931_457_519_531_25e-1;
+pub(crate) const EXP_C2: f64 = 1.428_606_820_309_417_2e-6;
+pub(crate) const EXP_P: [f64; 3] = [
+    1.261_771_930_748_105_9e-4,
+    3.029_944_077_074_419_6e-2,
+    9.999_999_999_999_999e-1,
+];
+pub(crate) const EXP_Q: [f64; 4] = [
+    3.001_985_051_386_644_6e-6,
+    2.524_483_403_496_841e-3,
+    2.272_655_482_081_550_3e-1,
+    2.0,
+];
+/// Round-to-nearest magic constant, `1.5 * 2^52`.
+pub(crate) const EXP_MAGIC: f64 = 6_755_399_441_055_744.0;
+
 /// Polynomial `exp` after Cephes' `exp.c` (the algorithm Eigen and SLEEF
 /// vectorize): Cody–Waite range reduction to `[-ln2/2, ln2/2]`, a [2/3]
 /// Padé approximant, and an exponent-bit reconstruction. Accurate to ~2 ulp
@@ -32,24 +53,15 @@ pub fn fast_exp(x: f64) -> f64 {
 /// `x ∈ [-708, 708]` (callers clamp), which is what lets the slice kernels
 /// below stay free of per-element range branches and auto-vectorize.
 #[inline(always)]
-fn fast_exp_core(x: f64) -> f64 {
-    const LOG2E: f64 = std::f64::consts::LOG2_E;
-    const C1: f64 = 6.931_457_519_531_25e-1;
-    const C2: f64 = 1.428_606_820_309_417_2e-6;
-    const P: [f64; 3] = [
-        1.261_771_930_748_105_9e-4,
-        3.029_944_077_074_419_6e-2,
-        9.999_999_999_999_999e-1,
-    ];
-    const Q: [f64; 4] = [
-        3.001_985_051_386_644_6e-6,
-        2.524_483_403_496_841e-3,
-        2.272_655_482_081_550_3e-1,
-        2.0,
-    ];
+pub(crate) fn fast_exp_core(x: f64) -> f64 {
+    const LOG2E: f64 = EXP_LOG2E;
+    const C1: f64 = EXP_C1;
+    const C2: f64 = EXP_C2;
+    const P: [f64; 3] = EXP_P;
+    const Q: [f64; 4] = EXP_Q;
     // Round-to-nearest via the 2^52 magic constant — `f64::floor` would be
     // a libm call on baseline x86-64 and dominate the whole kernel.
-    const MAGIC: f64 = 6_755_399_441_055_744.0; // 1.5 * 2^52
+    const MAGIC: f64 = EXP_MAGIC; // 1.5 * 2^52
     let t = LOG2E * x + MAGIC;
     let n = t - MAGIC;
     let r = x - n * C1 - n * C2;
@@ -73,16 +85,38 @@ fn fast_exp_core(x: f64) -> f64 {
 /// result saturates to `exp(±708)` (≈ 3.3e-308 / 3.0e+307) instead of
 /// 0/∞ — callers that care about the extreme tails use the scalar.
 /// NaN propagates.
+///
+/// When the SIMD kernel backend is active (see
+/// [`bellamy_linalg::kernels`]) the loop runs four (AVX2) or two (NEON)
+/// lanes at a time — still bit-identical, see [`crate::simd`].
 pub fn fast_exp_slice_in_place(xs: &mut [f64]) {
+    if crate::simd::dispatch_exp_slice(xs) {
+        return;
+    }
+    fast_exp_slice_scalar(xs);
+}
+
+/// Scalar loop body of [`fast_exp_slice_in_place`] (always available; also
+/// handles the SIMD path's ragged tail).
+pub(crate) fn fast_exp_slice_scalar(xs: &mut [f64]) {
     for x in xs.iter_mut() {
         *x = fast_exp_core(x.clamp(-708.0, 708.0));
     }
 }
 
 /// In-place `tanh` over a slice; [`fast_tanh`] is already branch-free, so
-/// this is the straightforward vectorizable loop. Bit-identical to
-/// `fast_tanh` per element, NaN propagates.
+/// this is the straightforward vectorizable loop (lane-parallel under the
+/// SIMD backend). Bit-identical to `fast_tanh` per element, NaN propagates.
 pub fn fast_tanh_slice_in_place(xs: &mut [f64]) {
+    if crate::simd::dispatch_tanh_slice(xs) {
+        return;
+    }
+    fast_tanh_slice_scalar(xs);
+}
+
+/// Scalar loop body of [`fast_tanh_slice_in_place`] (always available; also
+/// handles the SIMD path's ragged tail).
+pub(crate) fn fast_tanh_slice_scalar(xs: &mut [f64]) {
     for x in xs.iter_mut() {
         *x = fast_tanh(*x);
     }
@@ -94,7 +128,17 @@ pub fn fast_tanh_slice_in_place(xs: &mut [f64]) {
 /// `e^x - 1` is exactly `-1.0` in f64 either way) and the positive branch
 /// is a select, so the loop body has no branches. NaN propagates (clamp
 /// keeps NaN, and NaN fails the `> 0` select into the NaN branch).
+/// Lane-parallel under the SIMD backend.
 fn selu_slice_in_place(xs: &mut [f64]) {
+    if crate::simd::dispatch_selu_slice(xs) {
+        return;
+    }
+    selu_slice_scalar(xs);
+}
+
+/// Scalar loop body of the SELU slice kernel (always available; also
+/// handles the SIMD path's ragged tail).
+pub(crate) fn selu_slice_scalar(xs: &mut [f64]) {
     for x in xs.iter_mut() {
         let v = *x;
         let e = fast_exp_core(v.clamp(-708.0, 0.0));
@@ -110,25 +154,16 @@ fn selu_slice_in_place(xs: &mut [f64]) {
 /// Agrees with libm tanh to ~1e-15 relative error at a fraction of the cost.
 #[inline]
 pub fn fast_tanh(x: f64) -> f64 {
-    const LOG2E: f64 = std::f64::consts::LOG2_E;
-    const C1: f64 = 6.931_457_519_531_25e-1;
-    const C2: f64 = 1.428_606_820_309_417_2e-6;
-    const P: [f64; 3] = [
-        1.261_771_930_748_105_9e-4,
-        3.029_944_077_074_419_6e-2,
-        9.999_999_999_999_999e-1,
-    ];
-    const Q: [f64; 4] = [
-        3.001_985_051_386_644_6e-6,
-        2.524_483_403_496_841e-3,
-        2.272_655_482_081_550_3e-1,
-        2.0,
-    ];
+    const LOG2E: f64 = EXP_LOG2E;
+    const C1: f64 = EXP_C1;
+    const C2: f64 = EXP_C2;
+    const P: [f64; 3] = EXP_P;
+    const Q: [f64; 4] = EXP_Q;
     // Branch-free body (NaN resolved by one final select): saturate the
     // argument instead of early-returning — at z = -40, e^z vanishes in f64
     // and the formula yields exactly ±1.
     let z = (-2.0 * x.abs()).max(-40.0);
-    const MAGIC: f64 = 6_755_399_441_055_744.0; // 1.5 * 2^52
+    const MAGIC: f64 = EXP_MAGIC; // 1.5 * 2^52
     let t = LOG2E * z + MAGIC;
     let n = t - MAGIC;
     let r = z - n * C1 - n * C2;

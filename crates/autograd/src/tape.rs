@@ -340,9 +340,7 @@ impl Tape {
         let (r, c) = self.value(a).shape();
         let id = self.begin(r, c);
         let (prev, node) = self.parts(id);
-        prev[a]
-            .value
-            .zip_apply_into(&prev[b].value, &mut node.value, |x, y| x - y);
+        prev[a].value.sub_into(&prev[b].value, &mut node.value);
         self.finish(id, Op::Sub(a, b))
     }
 
@@ -351,9 +349,7 @@ impl Tape {
         let (r, c) = self.value(a).shape();
         let id = self.begin(r, c);
         let (prev, node) = self.parts(id);
-        prev[a]
-            .value
-            .zip_apply_into(&prev[b].value, &mut node.value, |x, y| x * y);
+        prev[a].value.hadamard_into(&prev[b].value, &mut node.value);
         self.finish(id, Op::Mul(a, b))
     }
 
@@ -758,10 +754,10 @@ impl Tape {
             Op::Mul(a, b) => {
                 let (av, bv) = (self.value(*a), self.value(*b));
                 Self::accumulate(grads, *a, grad.rows(), grad.cols(), |m| {
-                    grad.zip_apply_into(bv, m, |g, v| g * v)
+                    grad.hadamard_into(bv, m)
                 });
                 Self::accumulate(grads, *b, grad.rows(), grad.cols(), |m| {
-                    grad.zip_apply_into(av, m, |g, v| g * v)
+                    grad.hadamard_into(av, m)
                 });
             }
             Op::Scale(a, alpha) => {

@@ -26,6 +26,13 @@
 use bench::train_step::{workload, EpochRunner, StepImpl};
 use bench::{hub, predict, serve};
 
+/// The kernel backend every snapshot ran on, recorded in each JSON so a
+/// number is never compared against one taken with a different backend
+/// (`BELLAMY_KERNEL` can force scalar).
+fn backend() -> &'static str {
+    bellamy_linalg::kernels::backend_name()
+}
+
 fn main() {
     let train_path = std::env::args()
         .nth(1)
@@ -76,8 +83,10 @@ fn snapshot_train(path: &str) {
     let json = format!(
         "{{\n  \"benchmark\": \"train_step\",\n  \"workload\": \"SGD C3O history, {} samples, \
          PretrainConfig::default() (batch 64)\",\n  \"machine_threads\": {threads},\n  \
+         \"kernel_backend\": \"{}\",\n  \
          \"unit\": \"us_per_minibatch_step\",\n  \"results\": [\n{}\n  ]\n}}\n",
         samples.len(),
+        backend(),
         entries.join(",\n")
     );
     std::fs::write(path, json).expect("write train benchmark snapshot");
@@ -93,10 +102,12 @@ fn snapshot_predict(path: &str) {
 
     let json = format!(
         "{{\n  \"benchmark\": \"predict\",\n  \"workload\": \"64-query scale-out sweep of one \
-         SGD context, pre-trained default model\",\n  \"unit\": \"us_per_query\",\n  \
+         SGD context, pre-trained default model\",\n  \"kernel_backend\": \"{}\",\n  \
+         \"unit\": \"us_per_query\",\n  \
          \"results\": [\n    {{\"name\": \"seed_style_single\", \"us_per_query\": {seed_us:.2}, \
          \"speedup_vs_seed\": 1.00}},\n    {{\"name\": \"predictor_batch_64\", \
          \"us_per_query\": {batched_us:.2}, \"speedup_vs_seed\": {:.2}}}\n  ]\n}}\n",
+        backend(),
         seed_us / batched_us
     );
     std::fs::write(path, json).expect("write predict benchmark snapshot");
@@ -116,9 +127,11 @@ fn snapshot_hub(path: &str) {
     }
     let json = format!(
         "{{\n  \"benchmark\": \"hub\",\n  \"workload\": \"recall of one pretrained SGD model + \
-         concurrent 64-query sweeps on one shared Arc<ModelState>\",\n  \"recall\": {{\n    \
+         concurrent 64-query sweeps on one shared Arc<ModelState>\",\n  \
+         \"kernel_backend\": \"{}\",\n  \"recall\": {{\n    \
          \"memory_us\": {:.2},\n    \"disk_us\": {:.2}\n  }},\n  \
          \"concurrent_predict\": [\n{}\n  ]\n}}\n",
+        backend(),
         r.recall_memory_us,
         r.recall_disk_us,
         qps_entries.join(",\n")
@@ -166,11 +179,13 @@ fn snapshot_serve(path: &str) {
         "{{\n  \"benchmark\": \"serve\",\n  \"workload\": \"single-query serving of one \
          pre-trained SGD model, {} queries/thread, direct per-thread Predictor vs \
          cross-caller micro-batched Service client\",\n  \
+         \"kernel_backend\": \"{}\",\n  \
          \"microbatched_vs_direct_qps_at_4_threads\": {speedup_4t:.2},\n  \
          \"robustness\": {{\"shed\": {}, \"deadline_expired\": {}, \"panics\": {}, \
          \"restarts\": {}}},\n  \
          \"results\": [\n{}\n  ]\n}}\n",
         serve::QUERIES_PER_THREAD,
+        backend(),
         r.shed,
         r.deadline_expired,
         r.panics,

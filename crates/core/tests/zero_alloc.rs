@@ -248,6 +248,43 @@ fn steady_state_micro_batched_submit_is_allocation_free() {
 }
 
 #[test]
+fn kernel_dispatch_is_allocation_free_in_steady_state() {
+    // The SIMD dispatch layer resolves the kernel table once (a `OnceLock`
+    // the first call may initialize — that's warm-up); after that, routing
+    // every matrix operation through the table must not touch the
+    // allocator. This pins down that the dispatch indirection is free, not
+    // just amortized.
+    use bellamy_linalg::{kernels, Matrix};
+
+    let a = Matrix::from_fn(9, 7, |i, j| (i as f64 * 0.3) - j as f64);
+    let b = Matrix::from_fn(7, 9, |i, j| (j as f64 * 0.7) - i as f64);
+    let c = Matrix::from_fn(9, 9, |i, j| (i + j) as f64 * 0.1);
+    let mut out = Matrix::zeros(9, 9);
+    let mut acc = Matrix::zeros(9, 9);
+
+    // Warm-up: forces the one-time backend resolution and any lazy init.
+    let _ = kernels::active_backend();
+    a.matmul_into(&b, &mut out);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        a.matmul_into(&b, &mut out);
+        out.add_into(&c, &mut acc);
+        acc.hadamard_into(&c, &mut out);
+        out.sub_into(&c, &mut acc);
+        acc.scale_into(0.5, &mut out);
+        acc.axpy(1.25, &out);
+    }
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        allocs,
+        0,
+        "kernel dispatch must not allocate in steady state (backend: {})",
+        kernels::backend_name()
+    );
+}
+
+#[test]
 fn steady_state_shared_cache_predict_is_allocation_free_and_bounded() {
     // The encoding memo moved out of the per-thread predictor into the
     // lock-sharded cache inside `ModelState`. The steady-state hit path

@@ -11,9 +11,9 @@
 //!   zero-allocation training hot path,
 //! - cache-blocked matrix multiplication (plus the transposed variants used by
 //!   back-propagation), also with `*_into` variants,
-//! - a [`pool::BufferPool`] recycling `Vec<f64>` backing stores by capacity,
-//!   so steady-state training never touches the global allocator (see the
-//!   [`pool`] module docs for the take/use/put lifecycle),
+//! - a [`pool::BufferPool`] recycling 32-byte-aligned backing stores by
+//!   capacity, so steady-state training never touches the global allocator
+//!   (see the [`pool`] module docs for the take/use/put lifecycle),
 //! - Householder QR decomposition and least-squares solving,
 //! - a Lawson–Hanson non-negative least squares (NNLS) solver, the same
 //!   algorithm scipy's `nnls` implements, which Ernest's parametric runtime
@@ -22,13 +22,36 @@
 //! Everything is implemented from scratch on `std` (no BLAS), with `f64`
 //! precision throughout — the matrices in this project are small (at most a few
 //! hundred rows), so numerical robustness matters more than GEMM throughput.
+//!
+//! # Kernel dispatch
+//!
+//! The hot kernels run through the [`kernels`] dispatch table: a scalar set
+//! that is always available, and an AVX2 (`x86_64`) / NEON (`aarch64`)
+//! `f64x4`/`f64x2` set selected **once per process** via runtime CPU feature
+//! detection, overridable with `BELLAMY_KERNEL={auto,scalar,simd}`. All
+//! backends are bit-identical — no FMA contraction, same per-element
+//! accumulation order — so the choice never changes results, only
+//! throughput. See the [`kernels`] module docs for the full determinism
+//! argument.
+//!
+//! # Alignment contract
+//!
+//! Every buffer that backs a [`Matrix`] — freshly allocated or recycled
+//! through a [`BufferPool`] — is an [`aligned::AlignedBuf`], whose data
+//! pointer is **always 32-byte aligned** (one AVX2 vector, two NEON
+//! vectors). The guarantee is structural (storage is composed of
+//! `align(32)` chunks), so it holds for ragged lengths and across pool
+//! round-trips.
 
+pub mod aligned;
+pub mod kernels;
 pub mod matrix;
 pub mod nnls;
 pub mod pool;
 pub mod qr;
 pub mod stats;
 
+pub use aligned::AlignedBuf;
 pub use matrix::Matrix;
 pub use nnls::{nnls, NnlsError, NnlsSolution};
 pub use pool::BufferPool;

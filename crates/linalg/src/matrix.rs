@@ -1,5 +1,7 @@
 //! Row-major dense `f64` matrix with the kernel set used across the workspace.
 
+use crate::aligned::AlignedBuf;
+use crate::kernels;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -14,11 +16,18 @@ const MATMUL_BLOCK: usize = 64;
 /// shape-changing operations allocate a fresh matrix; in-place variants are
 /// provided where the training loop is hot (`add_assign`, `scale_in_place`,
 /// `zip_apply`).
+///
+/// Storage is an [`AlignedBuf`], so `data` always starts on a 32-byte
+/// boundary (the SIMD kernels' alignment contract — see the
+/// [`kernels`] module docs). The hot kernels (`matmul_into` and friends,
+/// `axpy`, `add_into`/`sub_into`/`hadamard_into`, `scale_into`) dispatch
+/// through [`kernels::active()`]; results are bit-identical on every
+/// backend.
 #[derive(Clone, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: AlignedBuf,
 }
 
 impl Matrix {
@@ -27,17 +36,15 @@ impl Matrix {
         Self {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: AlignedBuf::zeroed(rows * cols),
         }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Self {
-            rows,
-            cols,
-            data: vec![value; rows * cols],
-        }
+        let mut m = Self::zeros(rows, cols);
+        m.data.fill(value);
+        m
     }
 
     /// Creates the `n x n` identity matrix.
@@ -62,7 +69,34 @@ impl Matrix {
             rows,
             cols
         );
+        Self {
+            rows,
+            cols,
+            data: AlignedBuf::from(data),
+        }
+    }
+
+    /// Builds a matrix directly over an aligned buffer (pool recycle path:
+    /// no copy, alignment already guaranteed).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub(crate) fn from_aligned(rows: usize, cols: usize, data: AlignedBuf) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
         Self { rows, cols, data }
+    }
+
+    /// Consumes the matrix, returning its aligned backing buffer (pool
+    /// recycle path: no copy).
+    pub(crate) fn into_aligned(self) -> AlignedBuf {
+        self.data
     }
 
     /// Builds a matrix from nested row slices.
@@ -74,7 +108,7 @@ impl Matrix {
             return Self::zeros(0, 0);
         }
         let cols = rows[0].len();
-        let mut data = Vec::with_capacity(rows.len() * cols);
+        let mut m = Self::zeros(rows.len(), cols);
         for (i, r) in rows.iter().enumerate() {
             assert_eq!(
                 r.len(),
@@ -82,24 +116,20 @@ impl Matrix {
                 "row {i} has length {} but expected {cols}",
                 r.len()
             );
-            data.extend_from_slice(r);
+            m.row_mut(i).copy_from_slice(r);
         }
-        Self {
-            rows: rows.len(),
-            cols,
-            data,
-        }
+        m
     }
 
     /// Builds a matrix by evaluating `f(i, j)` for every element.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut m = Self::zeros(rows, cols);
         for i in 0..rows {
-            for j in 0..cols {
-                data.push(f(i, j));
+            for (j, v) in m.data[i * cols..(i + 1) * cols].iter_mut().enumerate() {
+                *v = f(i, j);
             }
         }
-        Self { rows, cols, data }
+        m
     }
 
     /// A `1 x n` row vector.
@@ -142,21 +172,22 @@ impl Matrix {
         self.data.is_empty()
     }
 
-    /// Raw row-major data slice.
+    /// Raw row-major data slice (32-byte aligned).
     #[inline]
     pub fn as_slice(&self) -> &[f64] {
-        &self.data
+        self.data.as_slice()
     }
 
-    /// Mutable raw row-major data slice.
+    /// Mutable raw row-major data slice (32-byte aligned).
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
-        &mut self.data
+        self.data.as_mut_slice()
     }
 
-    /// Consumes the matrix, returning the row-major data vector.
+    /// Consumes the matrix, returning the row-major data as a plain vector
+    /// (copies out of the aligned backing store).
     pub fn into_vec(self) -> Vec<f64> {
-        self.data
+        self.data.to_vec()
     }
 
     /// Borrow of row `i` as a slice.
@@ -173,14 +204,41 @@ impl Matrix {
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
-    /// Copy of column `j`.
+    /// Copy of column `j` as a fresh vector. Allocates; hot callers should
+    /// use [`Matrix::col_iter`] or [`Matrix::col_into`] instead.
     pub fn col(&self, j: usize) -> Vec<f64> {
+        self.col_iter(j).collect()
+    }
+
+    /// Strided, allocation-free iterator over column `j` (top to bottom).
+    ///
+    /// # Panics
+    /// Panics if `j >= self.cols()`.
+    #[inline]
+    pub fn col_iter(&self, j: usize) -> impl ExactSizeIterator<Item = f64> + '_ {
         assert!(
             j < self.cols,
             "column {j} out of bounds for {} columns",
             self.cols
         );
-        (0..self.rows).map(|i| self[(i, j)]).collect()
+        self.data[j..].iter().step_by(self.cols.max(1)).copied()
+    }
+
+    /// Copies column `j` into `out` without allocating.
+    ///
+    /// # Panics
+    /// Panics if `j >= self.cols()` or `out.len() != self.rows()`.
+    pub fn col_into(&self, j: usize, out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            self.rows,
+            "col_into output length {} does not match {} rows",
+            out.len(),
+            self.rows
+        );
+        for (o, v) in out.iter_mut().zip(self.col_iter(j)) {
+            *o = v;
+        }
     }
 
     /// Returns the transposed matrix.
@@ -196,11 +254,11 @@ impl Matrix {
 
     /// Elementwise map into a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for (o, &v) in out.data.iter_mut().zip(self.data.iter()) {
+            *o = f(v);
         }
+        out
     }
 
     /// Elementwise combination of two equally-shaped matrices.
@@ -209,16 +267,16 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn zip_map(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
         self.assert_same_shape(other, "zip_map");
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for ((o, &a), &b) in out
+            .data
+            .iter_mut()
+            .zip(self.data.iter())
+            .zip(other.data.iter())
+        {
+            *o = f(a, b);
         }
+        out
     }
 
     /// In-place elementwise combination: `self[i] = f(self[i], other[i])`.
@@ -266,28 +324,22 @@ impl Matrix {
 
     /// Output-parameter elementwise sum. Bit-identical to [`Matrix::add`].
     pub fn add_into(&self, other: &Matrix, out: &mut Matrix) {
-        self.zip_apply_into(other, out, |a, b| a + b);
+        self.assert_same_shape(other, "add_into");
+        self.assert_same_shape(out, "add_into (out)");
+        kernels::active().add(&self.data, &other.data, &mut out.data);
     }
 
     /// In-place elementwise sum.
     pub fn add_assign(&mut self, other: &Matrix) {
-        self.zip_apply(other, |a, b| a + b);
+        self.assert_same_shape(other, "add_assign");
+        kernels::active().axpy(1.0, &other.data, &mut self.data);
     }
 
     /// In-place `self += alpha * x` (BLAS axpy). The gradient-accumulation
     /// kernel: with `alpha = 1` it is bit-identical to [`Matrix::add_assign`].
     pub fn axpy(&mut self, alpha: f64, x: &Matrix) {
         self.assert_same_shape(x, "axpy");
-        if alpha == 1.0 {
-            // Bit-compatibility with add_assign: no multiply by one.
-            for (a, &b) in self.data.iter_mut().zip(x.data.iter()) {
-                *a += b;
-            }
-        } else {
-            for (a, &b) in self.data.iter_mut().zip(x.data.iter()) {
-                *a += alpha * b;
-            }
-        }
+        kernels::active().axpy(alpha, &x.data, &mut self.data);
     }
 
     /// In-place `self += alpha * other` ([`Matrix::axpy`] with its
@@ -301,9 +353,25 @@ impl Matrix {
         self.zip_map(other, |a, b| a - b)
     }
 
+    /// Output-parameter elementwise difference. Bit-identical to
+    /// [`Matrix::sub`].
+    pub fn sub_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.assert_same_shape(other, "sub_into");
+        self.assert_same_shape(out, "sub_into (out)");
+        kernels::active().sub(&self.data, &other.data, &mut out.data);
+    }
+
     /// Elementwise (Hadamard) product.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
         self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Output-parameter Hadamard product. Bit-identical to
+    /// [`Matrix::hadamard`].
+    pub fn hadamard_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.assert_same_shape(other, "hadamard_into");
+        self.assert_same_shape(out, "hadamard_into (out)");
+        kernels::active().mul(&self.data, &other.data, &mut out.data);
     }
 
     /// Scalar multiple as a new matrix.
@@ -313,12 +381,13 @@ impl Matrix {
 
     /// Output-parameter scalar multiple. Bit-identical to [`Matrix::scale`].
     pub fn scale_into(&self, alpha: f64, out: &mut Matrix) {
-        self.map_into(out, |v| v * alpha);
+        self.assert_same_shape(out, "scale_into");
+        kernels::active().scale(&self.data, alpha, &mut out.data);
     }
 
     /// In-place scalar multiply.
     pub fn scale_in_place(&mut self, alpha: f64) {
-        for v in &mut self.data {
+        for v in self.data.iter_mut() {
             *v *= alpha;
         }
     }
@@ -439,7 +508,6 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if `self.cols() != other.rows()`.
-    #[allow(clippy::needless_range_loop)] // index-based blocking is the kernel's shape
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(self.rows, other.cols);
         self.matmul_into(other, &mut out);
@@ -449,7 +517,6 @@ impl Matrix {
     /// Output-parameter matrix product. `out` must be
     /// `self.rows() x other.cols()`; its previous contents are overwritten.
     /// Bit-identical to [`Matrix::matmul`].
-    #[allow(clippy::needless_range_loop)] // index-based blocking is the kernel's shape
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
@@ -462,44 +529,7 @@ impl Matrix {
             (m, n),
             "matmul_into output shape mismatch"
         );
-        // Specialized register-accumulator kernel for the narrow outputs
-        // that dominate this workspace (hidden width 8): the whole output
-        // row lives in registers across the k loop.
-        if n == 8 && k > 0 {
-            for i in 0..m {
-                let arow = &self.data[i * k..(i + 1) * k];
-                let mut acc = [0.0f64; 8];
-                for (kk, &a) in arow.iter().enumerate() {
-                    let brow = &other.data[kk * 8..kk * 8 + 8];
-                    for j in 0..8 {
-                        acc[j] += a * brow[j];
-                    }
-                }
-                out.data[i * 8..i * 8 + 8].copy_from_slice(&acc);
-            }
-            return;
-        }
-        out.data.fill(0.0);
-        for ib in (0..m).step_by(MATMUL_BLOCK) {
-            let imax = (ib + MATMUL_BLOCK).min(m);
-            for kb in (0..k).step_by(MATMUL_BLOCK) {
-                let kmax = (kb + MATMUL_BLOCK).min(k);
-                for i in ib..imax {
-                    let arow = &self.data[i * k..(i + 1) * k];
-                    let orow = &mut out.data[i * n..(i + 1) * n];
-                    for kk in kb..kmax {
-                        let a = arow[kk];
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let brow = &other.data[kk * n..(kk + 1) * n];
-                        for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                            *o += a * b;
-                        }
-                    }
-                }
-            }
-        }
+        kernels::active().matmul(&self.data, &other.data, &mut out.data, m, k, n);
     }
 
     /// Fused linear-layer forward kernel: `out = finish(self * other + bias)`
@@ -539,36 +569,16 @@ impl Matrix {
                 b.cols
             );
         }
-        if n == 8 && k > 0 {
-            for i in 0..m {
-                let arow = &self.data[i * k..(i + 1) * k];
-                let mut acc = [0.0f64; 8];
-                for (kk, &a) in arow.iter().enumerate() {
-                    let brow = &other.data[kk * 8..kk * 8 + 8];
-                    for j in 0..8 {
-                        acc[j] += a * brow[j];
-                    }
-                }
-                if let Some(b) = bias {
-                    for (a, &bv) in acc.iter_mut().zip(b.data.iter()) {
-                        *a += bv;
-                    }
-                }
-                row_finish(&mut acc);
-                out.data[i * 8..i * 8 + 8].copy_from_slice(&acc);
-            }
-            return;
-        }
-        self.matmul_into(other, out);
-        for i in 0..m {
-            let orow = &mut out.data[i * n..(i + 1) * n];
-            if let Some(b) = bias {
-                for (o, &bv) in orow.iter_mut().zip(b.data.iter()) {
-                    *o += bv;
-                }
-            }
-            row_finish(orow);
-        }
+        kernels::active().matmul_bias_rowapply(
+            &self.data,
+            &other.data,
+            bias.map(|b| b.data.as_slice()),
+            &mut out.data,
+            m,
+            k,
+            n,
+            &mut row_finish,
+        );
     }
 
     /// `self * other^T` without materializing the transpose.
@@ -595,69 +605,7 @@ impl Matrix {
             (m, n),
             "matmul_transpose_b_into output shape mismatch"
         );
-        // This is the hottest backward kernel (dX = dY·Wᵀ). For the weight
-        // shapes of this workspace, materialize Wᵀ in a stack buffer and run
-        // the cache-friendly i-k-j row-axpy form: long independent adds
-        // vectorize, unlike a latency-bound dot product per element.
-        const STACK_BT: usize = 4096;
-        if k * n <= STACK_BT && k > 0 {
-            let mut bt = [0.0f64; STACK_BT];
-            for (j, brow) in other.data.chunks_exact(k).enumerate() {
-                for (kk, &b) in brow.iter().enumerate() {
-                    bt[kk * n + j] = b;
-                }
-            }
-            if n == 8 {
-                // Register-accumulator variant (as in `matmul_into`).
-                for i in 0..m {
-                    let arow = &self.data[i * k..(i + 1) * k];
-                    let mut acc = [0.0f64; 8];
-                    for (kk, &a) in arow.iter().enumerate() {
-                        let btrow = &bt[kk * 8..kk * 8 + 8];
-                        for j in 0..8 {
-                            acc[j] += a * btrow[j];
-                        }
-                    }
-                    out.data[i * 8..i * 8 + 8].copy_from_slice(&acc);
-                }
-                return;
-            }
-            for i in 0..m {
-                let arow = &self.data[i * k..(i + 1) * k];
-                let orow = &mut out.data[i * n..(i + 1) * n];
-                orow.fill(0.0);
-                for (kk, &a) in arow.iter().enumerate() {
-                    let btrow = &bt[kk * n..(kk + 1) * n];
-                    for (o, &b) in orow.iter_mut().zip(btrow.iter()) {
-                        *o += a * b;
-                    }
-                }
-            }
-            return;
-        }
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out.data[i * n..(i + 1) * n];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &other.data[j * k..(j + 1) * k];
-                // Four independent accumulators break the FP add dependency
-                // chain.
-                let mut acc = [0.0f64; 4];
-                let mut a4 = arow.chunks_exact(4);
-                let mut b4 = brow.chunks_exact(4);
-                for (ac, bc) in (&mut a4).zip(&mut b4) {
-                    acc[0] += ac[0] * bc[0];
-                    acc[1] += ac[1] * bc[1];
-                    acc[2] += ac[2] * bc[2];
-                    acc[3] += ac[3] * bc[3];
-                }
-                let mut tail = 0.0;
-                for (&a, &b) in a4.remainder().iter().zip(b4.remainder()) {
-                    tail += a * b;
-                }
-                *o = (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail;
-            }
-        }
+        kernels::active().matmul_tb(&self.data, &other.data, &mut out.data, m, k, n);
     }
 
     /// `self^T * other` without materializing the transpose.
@@ -684,35 +632,7 @@ impl Matrix {
             (m, n),
             "transpose_a_matmul_into output shape mismatch"
         );
-        out.data.fill(0.0);
-        // Tile the shared (row) dimension by 4: each pass over `out` folds
-        // four rank-1 updates, quartering memory traffic on the hot
-        // dW = Xᵀ·dY backward kernel.
-        let tiles = k / 4 * 4;
-        for r in (0..tiles).step_by(4) {
-            let a = &self.data[r * m..(r + 4) * m];
-            let b = &other.data[r * n..(r + 4) * n];
-            for i in 0..m {
-                let (x0, x1, x2, x3) = (a[i], a[m + i], a[2 * m + i], a[3 * m + i]);
-                let orow = &mut out.data[i * n..(i + 1) * n];
-                for (j, o) in orow.iter_mut().enumerate() {
-                    *o += x0 * b[j] + x1 * b[n + j] + x2 * b[2 * n + j] + x3 * b[3 * n + j];
-                }
-            }
-        }
-        for r in tiles..k {
-            let arow = &self.data[r * m..(r + 1) * m];
-            let brow = &other.data[r * n..(r + 1) * n];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernels::active().ta_matmul(&self.data, &other.data, &mut out.data, k, m, n);
     }
 
     /// The seed implementation's matmul kernel (cache-blocked i-k-j, no
@@ -777,6 +697,34 @@ impl Matrix {
             .collect()
     }
 
+    /// Allocation-free matrix-vector product: `out = self * v`. Bit-identical
+    /// to [`Matrix::matvec`].
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.cols, "matvec length mismatch");
+        assert_eq!(out.len(), self.rows, "matvec output length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.row(i).iter().zip(v.iter()).map(|(&a, &b)| a * b).sum();
+        }
+    }
+
+    /// Allocation-free transposed matrix-vector product: `out = selfᵀ * v`
+    /// (`v.len() == self.rows()`, `out.len() == self.cols()`), without
+    /// materializing the transpose. Bit-identical to
+    /// `self.transpose().matvec(v)` for the shapes the NNLS solver uses
+    /// (each output element accumulates top-to-bottom over the rows in both
+    /// formulations).
+    pub fn transpose_matvec_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.rows, "transpose_matvec length mismatch");
+        assert_eq!(
+            out.len(),
+            self.cols,
+            "transpose_matvec output length mismatch"
+        );
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = self.col_iter(j).zip(v.iter()).map(|(a, &b)| a * b).sum();
+        }
+    }
+
     /// Horizontally concatenates matrices with equal row counts.
     ///
     /// # Panics
@@ -804,14 +752,20 @@ impl Matrix {
     pub fn concat_rows(parts: &[&Matrix]) -> Matrix {
         assert!(!parts.is_empty(), "concat_rows of no matrices");
         let cols = parts[0].cols;
-        let mut data = Vec::new();
-        let mut rows = 0;
+        let rows = parts
+            .iter()
+            .map(|p| {
+                assert_eq!(p.cols, cols, "concat_rows column mismatch");
+                p.rows
+            })
+            .sum();
+        let mut out = Matrix::zeros(rows, cols);
+        let mut offset = 0;
         for p in parts {
-            assert_eq!(p.cols, cols, "concat_rows column mismatch");
-            data.extend_from_slice(&p.data);
-            rows += p.rows;
+            out.data[offset..offset + p.data.len()].copy_from_slice(&p.data);
+            offset += p.data.len();
         }
-        Matrix { rows, cols, data }
+        out
     }
 
     /// Copies the half-open column range `[start, end)` into a new matrix.

@@ -66,15 +66,19 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Result<NnlsSolution, NnlsError> {
     let max_iterations = 3 * n.max(8);
     let mut iterations = 0;
 
+    // Dual-vector workspaces, reused across outer iterations; the transposed
+    // matvec reads A through the strided column iterator, so no per-iteration
+    // transpose is ever materialized.
+    let mut resid = vec![0.0; m];
+    let mut w = vec![0.0; n];
+
     loop {
         // Dual vector w = A^T (b - A x).
-        let ax = a.matvec(&x);
-        let resid: Vec<f64> = b
-            .iter()
-            .zip(ax.iter())
-            .map(|(&bi, &axi)| bi - axi)
-            .collect();
-        let w = a.transpose().matvec(&resid);
+        a.matvec_into(&x, &mut resid);
+        for (r, &bi) in resid.iter_mut().zip(b.iter()) {
+            *r = bi - *r;
+        }
+        a.transpose_matvec_into(&resid, &mut w);
 
         // Pick the most positive dual among active variables.
         let mut best: Option<(usize, f64)> = None;

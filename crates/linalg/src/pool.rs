@@ -1,4 +1,4 @@
-//! A buffer pool recycling `Vec<f64>` backing stores by capacity.
+//! A buffer pool recycling aligned `f64` backing stores by capacity.
 //!
 //! # Lifecycle
 //!
@@ -24,15 +24,25 @@
 //! pool and the allocator is never touched again. Shape *changes* (epoch
 //! boundaries) cycle between already-pooled capacities, so they are
 //! allocation-free too once each distinct shape has been seen once.
+//!
+//! # Alignment contract
+//!
+//! Pooled stores are [`AlignedBuf`]s: the data pointer of every store this
+//! pool hands out — fresh or recycled, any length — is **32-byte aligned**,
+//! matching the [`kernels`](crate::kernels) subsystem's alignment contract
+//! for matrix backing storage. Reshaping on `take` happens inside the
+//! aligned buffer, so recycling never degrades alignment.
 
+use crate::aligned::AlignedBuf;
 use crate::matrix::Matrix;
 
-/// Recycles `Vec<f64>` backing stores by capacity (see the module docs).
+/// Recycles 32-byte-aligned backing stores by capacity (see the module
+/// docs).
 #[derive(Debug, Default)]
 pub struct BufferPool {
     /// Retired stores, kept sorted by capacity (ascending) for best-fit
     /// lookup.
-    buffers: Vec<Vec<f64>>,
+    buffers: Vec<AlignedBuf>,
 }
 
 impl BufferPool {
@@ -53,27 +63,26 @@ impl BufferPool {
 
     /// A zero-filled store of exactly `len` elements: the smallest pooled
     /// store with `capacity >= len`, or a fresh allocation when none fits.
-    pub fn take(&mut self, len: usize) -> Vec<f64> {
+    pub fn take(&mut self, len: usize) -> AlignedBuf {
         // Best fit: buffers are sorted by capacity, so the first store that
         // fits is the tightest one.
         match self.buffers.iter().position(|b| b.capacity() >= len) {
             Some(idx) => {
                 let mut buf = self.buffers.remove(idx);
-                buf.clear();
-                buf.resize(len, 0.0);
+                buf.reset_zeroed(len);
                 buf
             }
-            None => vec![0.0; len],
+            None => AlignedBuf::zeroed(len),
         }
     }
 
     /// A zero-filled `rows x cols` matrix backed by pooled storage.
     pub fn take_matrix(&mut self, rows: usize, cols: usize) -> Matrix {
-        Matrix::from_vec(rows, cols, self.take(rows * cols))
+        Matrix::from_aligned(rows, cols, self.take(rows * cols))
     }
 
     /// Returns a store to the pool.
-    pub fn put(&mut self, buf: Vec<f64>) {
+    pub fn put(&mut self, buf: AlignedBuf) {
         if buf.capacity() == 0 {
             return;
         }
@@ -85,7 +94,7 @@ impl BufferPool {
 
     /// Returns a matrix's backing store to the pool.
     pub fn put_matrix(&mut self, m: Matrix) {
-        self.put(m.into_vec());
+        self.put(m.into_aligned());
     }
 }
 
@@ -96,9 +105,9 @@ mod tests {
     #[test]
     fn take_prefers_tightest_fit() {
         let mut pool = BufferPool::new();
-        pool.put(Vec::with_capacity(100));
-        pool.put(Vec::with_capacity(10));
-        pool.put(Vec::with_capacity(40));
+        pool.put(AlignedBuf::with_capacity(100));
+        pool.put(AlignedBuf::with_capacity(10));
+        pool.put(AlignedBuf::with_capacity(40));
         let buf = pool.take(12);
         assert!(
             buf.capacity() >= 12 && buf.capacity() < 100,
@@ -113,7 +122,7 @@ mod tests {
     #[test]
     fn take_falls_back_to_fresh_allocation() {
         let mut pool = BufferPool::new();
-        pool.put(Vec::with_capacity(4));
+        pool.put(AlignedBuf::with_capacity(4));
         let buf = pool.take(1000);
         assert_eq!(buf.len(), 1000);
         assert_eq!(pool.len(), 1, "undersized store must stay pooled");
@@ -122,9 +131,19 @@ mod tests {
     #[test]
     fn recycled_stores_are_zeroed() {
         let mut pool = BufferPool::new();
-        pool.put(vec![7.0; 32]);
+        pool.put(AlignedBuf::from_slice(&[7.0; 32]));
         let buf = pool.take(16);
         assert!(buf.iter().all(|&v| v == 0.0), "stale values must not leak");
+    }
+
+    #[test]
+    fn stores_are_32_byte_aligned_across_recycling() {
+        let mut pool = BufferPool::new();
+        for len in [1usize, 5, 12, 64, 33] {
+            let buf = pool.take(len);
+            assert_eq!(buf.as_slice().as_ptr() as usize % 32, 0, "len {len}");
+            pool.put(buf);
+        }
     }
 
     #[test]
@@ -173,7 +192,7 @@ mod tests {
     #[test]
     fn empty_stores_are_not_pooled() {
         let mut pool = BufferPool::new();
-        pool.put(Vec::new());
+        pool.put(AlignedBuf::new());
         assert!(pool.is_empty());
     }
 }

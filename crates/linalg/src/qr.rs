@@ -35,10 +35,12 @@ impl QrDecomposition {
         let mut betas = vec![0.0; n];
 
         for k in 0..n {
-            // Norm of the k-th column below (and including) the diagonal.
+            // Norm of the k-th column below (and including) the diagonal
+            // (strided column iterator: no per-element index arithmetic, no
+            // column copy).
             let mut norm = 0.0;
-            for i in k..m {
-                norm += qr[(i, k)] * qr[(i, k)];
+            for v in qr.col_iter(k).skip(k) {
+                norm += v * v;
             }
             let norm = norm.sqrt();
             if norm == 0.0 {
@@ -53,8 +55,8 @@ impl QrDecomposition {
             qr[(k, k)] = alpha;
             // v = [vk, qr[k+1..m, k]]; normalize applications by vtv.
             let mut vtv = vk * vk;
-            for i in (k + 1)..m {
-                vtv += qr[(i, k)] * qr[(i, k)];
+            for v in qr.col_iter(k).skip(k + 1) {
+                vtv += v * v;
             }
             if vtv == 0.0 {
                 continue;
@@ -62,8 +64,8 @@ impl QrDecomposition {
             // Apply H = I - 2 v v^T / (v^T v) to the remaining columns.
             for j in (k + 1)..n {
                 let mut dot = vk * qr[(k, j)];
-                for i in (k + 1)..m {
-                    dot += qr[(i, k)] * qr[(i, j)];
+                for (v, w) in qr.col_iter(k).skip(k + 1).zip(qr.col_iter(j).skip(k + 1)) {
+                    dot += v * w;
                 }
                 let factor = 2.0 * dot / vtv;
                 qr[(k, j)] -= factor * vk;
@@ -114,26 +116,27 @@ impl QrDecomposition {
         q
     }
 
-    /// Applies reflector `k` to the vector `x` in place.
-    #[allow(clippy::needless_range_loop)]
+    /// Applies reflector `k` to the vector `x` in place. The reflector tail
+    /// is read through the strided column iterator — no allocation, no
+    /// per-element index arithmetic.
     fn apply_reflector(&self, k: usize, x: &mut [f64]) {
-        let m = self.rows;
         let vk = self.betas[k];
+        let tail = || self.qr.col_iter(k).skip(k + 1);
         let mut vtv = vk * vk;
-        for i in (k + 1)..m {
-            vtv += self.qr[(i, k)] * self.qr[(i, k)];
+        for v in tail() {
+            vtv += v * v;
         }
         if vtv == 0.0 {
             return;
         }
         let mut dot = vk * x[k];
-        for i in (k + 1)..m {
-            dot += self.qr[(i, k)] * x[i];
+        for (v, &xi) in tail().zip(x[k + 1..].iter()) {
+            dot += v * xi;
         }
         let factor = 2.0 * dot / vtv;
         x[k] -= factor * vk;
-        for i in (k + 1)..m {
-            x[i] -= factor * self.qr[(i, k)];
+        for (xi, v) in x[k + 1..].iter_mut().zip(tail()) {
+            *xi -= factor * v;
         }
     }
 

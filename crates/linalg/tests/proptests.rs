@@ -1,6 +1,6 @@
 //! Property-based tests for the linear algebra kernels.
 
-use bellamy_linalg::{lstsq, nnls, BufferPool, Matrix, QrDecomposition};
+use bellamy_linalg::{lstsq, nnls, AlignedBuf, BufferPool, Matrix, QrDecomposition};
 use proptest::prelude::*;
 
 /// Strategy: a matrix with the given shape and bounded elements.
@@ -158,7 +158,7 @@ proptest! {
         // Cycle everything through the pool twice; every take must be
         // zeroed and exactly sized regardless of what was pooled before.
         for _ in 0..2 {
-            let taken: Vec<Vec<f64>> = lens.iter().map(|&l| {
+            let taken: Vec<AlignedBuf> = lens.iter().map(|&l| {
                 let mut buf = pool.take(l);
                 prop_assert_eq!(buf.len(), l);
                 prop_assert!(buf.iter().all(|&v| v == 0.0));
