@@ -54,7 +54,7 @@ use crate::faults::{self, Injected};
 use crate::features::TrainingSample;
 use crate::finetune::{fine_tune, ReuseStrategy};
 use crate::model::Bellamy;
-use crate::state::ModelState;
+use crate::state::{ModelState, StateFromCheckpointError};
 use crate::train::pretrain;
 use bellamy_nn::{Checkpoint, CheckpointError};
 use parking_lot::Mutex;
@@ -278,6 +278,33 @@ pub struct HubStats {
     pub quarantined: u64,
 }
 
+/// How disk recalls materialize a checkpoint's tensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecallMode {
+    /// Read the whole file and deserialize into freshly allocated, owned
+    /// tensors (the pre-v2 behavior; works for any checkpoint version).
+    Deserialize,
+    /// Memory-map the file and serve the weights as read-only views into
+    /// the OS page cache — recall is a header parse plus page faults, many
+    /// processes mapping one file share a single physical copy, and hub
+    /// RSS stays bounded by page-cache eviction instead of growing with
+    /// every model held. v1 files transparently fall back to deserialize.
+    /// Predictions are bit-identical to [`RecallMode::Deserialize`]
+    /// (`tests/mmap_store.rs`).
+    #[default]
+    Mmap,
+}
+
+impl RecallMode {
+    /// Stable label for benchmarks and logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecallMode::Deserialize => "deserialize",
+            RecallMode::Mmap => "mmap",
+        }
+    }
+}
+
 /// One fine-tuned descendant in the LRU.
 struct FineTunedEntry {
     /// Cache identity: parent key id, caller's context label, and a
@@ -303,6 +330,7 @@ pub const DEFAULT_FINETUNED_CAPACITY: usize = 32;
 pub struct ModelHub {
     dir: Option<PathBuf>,
     finetuned_capacity: usize,
+    recall_mode: RecallMode,
     pretrained: Mutex<HashMap<String, Arc<ModelState>>>,
     /// Per-key miss guards: after a memory miss, the disk probe *and* any
     /// pre-training run while holding only that key's mutex, so same-key
@@ -330,6 +358,18 @@ const DISK_READ_ATTEMPTS: usize = 3;
 /// recall in single-digit milliseconds.
 const DISK_RETRY_BACKOFF: Duration = Duration::from_millis(1);
 
+/// Outcome of one checkpoint load attempt, classified for the retry loop.
+enum AttemptError {
+    /// The file disappeared mid-recall (concurrent quarantine/cleanup):
+    /// permanent for this recall, never retried.
+    Vanished(String),
+    /// An I/O failure a later attempt might not see: retried with backoff.
+    Transient(String),
+    /// The bytes decoded as garbage: surfaced for corruption handling,
+    /// never retried.
+    Decode(CheckpointError),
+}
+
 /// What probing the on-disk registry for one key produced.
 enum DiskProbe {
     /// Loaded and registered: the recall is served.
@@ -348,6 +388,7 @@ impl ModelHub {
         Self {
             dir: None,
             finetuned_capacity: DEFAULT_FINETUNED_CAPACITY,
+            recall_mode: RecallMode::default(),
             pretrained: Mutex::new(HashMap::new()),
             misses: Mutex::new(HashMap::new()),
             finetuned: Mutex::new(FineTunedLru {
@@ -380,6 +421,19 @@ impl ModelHub {
     pub fn with_finetuned_capacity(mut self, capacity: usize) -> Self {
         self.finetuned_capacity = capacity.max(1);
         self
+    }
+
+    /// Sets how disk recalls materialize checkpoints (builder style). The
+    /// default is [`RecallMode::Mmap`]; [`RecallMode::Deserialize`] forces
+    /// the classic owned-copy path.
+    pub fn with_recall_mode(mut self, mode: RecallMode) -> Self {
+        self.recall_mode = mode;
+        self
+    }
+
+    /// The configured disk-recall mode.
+    pub fn recall_mode(&self) -> RecallMode {
+        self.recall_mode
     }
 
     /// Operation counters.
@@ -421,10 +475,16 @@ impl ModelHub {
         let state = Arc::new(state);
         if let Some(path) = self.checkpoint_path(key) {
             match faults::HUB_DISK_PERSIST.check() {
+                // A crash mid-write, as the atomic writer would leave it: a
+                // torn temp file next to the (untouched) published path.
+                // Recalls must keep serving the previous checkpoint.
                 Some(Injected::Error) => {
+                    let mut tmp = path.as_os_str().to_os_string();
+                    tmp.push(".tmp");
+                    let _ = std::fs::write(PathBuf::from(tmp), b"BLMY\x02\x00\x00\x00torn");
                     return Err(HubError::Checkpoint(CheckpointError::Io(
                         "injected persist fault".to_string(),
-                    )))
+                    )));
                 }
                 // A crash mid-write, as a later recall will find it:
                 // garbage bytes land where the checkpoint should be.
@@ -463,36 +523,71 @@ impl ModelHub {
         self.misses.lock().remove(key.id());
     }
 
-    /// Reads the checkpoint file, retrying transient I/O failures with
-    /// bounded backoff (a flaky network disk should not fail a recall that
-    /// a millisecond-later read would serve). Corruption is *not* retried
-    /// here — the caller classifies it after decoding.
-    fn read_checkpoint_bytes(&self, path: &Path) -> Result<Vec<u8>, HubError> {
+    /// Loads the checkpoint at `path` in the configured [`RecallMode`],
+    /// retrying transient I/O failures with bounded backoff (a flaky
+    /// network disk should not fail a recall that a millisecond-later
+    /// attempt would serve). Both modes share one loop, so the retry
+    /// budget, the `NotFound` short-circuit (the file vanished between the
+    /// existence probe and the open — a concurrent quarantine or cleanup,
+    /// permanent for this recall), and the `disk_retries` counter behave
+    /// identically whether the bytes are read or mapped.
+    ///
+    /// Decode failures (corrupt content) are returned for the caller to
+    /// classify — corruption is never retried here.
+    fn load_checkpoint(&self, path: &Path) -> Result<Checkpoint, HubError> {
         let mut attempt = 1usize;
         loop {
-            let read: Result<Vec<u8>, String> = match faults::HUB_DISK_PROBE.check() {
-                Some(Injected::Error) => Err("injected read fault".to_string()),
-                Some(Injected::Corrupt) => Ok(b"BLMY\x7f\x7f\x7f\x7finjected-corruption".to_vec()),
-                None => match std::fs::read(path) {
-                    Ok(bytes) => Ok(bytes),
-                    // The file vanished between the existence probe and the
-                    // read (a concurrent quarantine or cleanup): permanent
-                    // for this recall, never worth a retry.
-                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                        return Err(HubError::Checkpoint(CheckpointError::Io(e.to_string())))
-                    }
-                    Err(e) => Err(e.to_string()),
-                },
+            let result: Result<Checkpoint, AttemptError> = match faults::HUB_DISK_PROBE.check() {
+                Some(Injected::Error) => {
+                    Err(AttemptError::Transient("injected read fault".to_string()))
+                }
+                Some(Injected::Corrupt) => {
+                    Checkpoint::from_bytes(b"BLMY\x7f\x7f\x7f\x7finjected-corruption")
+                        .map_err(AttemptError::Decode)
+                }
+                None => self.load_checkpoint_once(path),
             };
-            match read {
-                Ok(bytes) => return Ok(bytes),
-                Err(_) if attempt < DISK_READ_ATTEMPTS => {
+            match result {
+                Ok(ck) => return Ok(ck),
+                Err(AttemptError::Decode(e)) => return Err(e.into()),
+                Err(AttemptError::Vanished(msg)) => {
+                    return Err(HubError::Checkpoint(CheckpointError::Io(msg)))
+                }
+                Err(AttemptError::Transient(_)) if attempt < DISK_READ_ATTEMPTS => {
                     self.disk_retries.fetch_add(1, Ordering::Relaxed);
                     std::thread::sleep(DISK_RETRY_BACKOFF * attempt as u32);
                     attempt += 1;
                 }
-                Err(e) => return Err(HubError::Checkpoint(CheckpointError::Io(e))),
+                Err(AttemptError::Transient(msg)) => {
+                    return Err(HubError::Checkpoint(CheckpointError::Io(msg)))
+                }
             }
+        }
+    }
+
+    /// One load attempt in the configured mode.
+    fn load_checkpoint_once(&self, path: &Path) -> Result<Checkpoint, AttemptError> {
+        match self.recall_mode {
+            RecallMode::Deserialize => match std::fs::read(path) {
+                Ok(bytes) => Checkpoint::from_bytes(&bytes).map_err(AttemptError::Decode),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    Err(AttemptError::Vanished(e.to_string()))
+                }
+                Err(e) => Err(AttemptError::Transient(e.to_string())),
+            },
+            RecallMode::Mmap => match std::fs::File::open(path) {
+                Ok(file) => match Checkpoint::map_file(&file) {
+                    Ok(ck) => Ok(ck),
+                    // `map_file` surfaces OS mapping failures as `Io` —
+                    // transient, same retry budget as a failed read.
+                    Err(CheckpointError::Io(msg)) => Err(AttemptError::Transient(msg)),
+                    Err(e) => Err(AttemptError::Decode(e)),
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    Err(AttemptError::Vanished(e.to_string()))
+                }
+                Err(e) => Err(AttemptError::Transient(e.to_string())),
+            },
         }
     }
 
@@ -517,30 +612,33 @@ impl ModelHub {
             Some(p) if p.exists() => p,
             _ => return Ok(DiskProbe::Absent),
         };
-        let bytes = self.read_checkpoint_bytes(&path)?;
-        let bytes = match faults::CHECKPOINT_DECODE.check() {
+        let loaded = self.load_checkpoint(&path);
+        let loaded = match faults::CHECKPOINT_DECODE.check() {
             // Mangle the magic: the decoder sees garbage where a
             // checkpoint should be.
-            Some(Injected::Corrupt) => b"XXXX-injected-decode-corruption".to_vec(),
-            Some(Injected::Error) => {
-                return Err(HubError::Checkpoint(CheckpointError::Io(
-                    "injected decode fault".to_string(),
-                )))
+            Some(Injected::Corrupt) => {
+                Checkpoint::from_bytes(b"XXXX-injected-decode-corruption").map_err(HubError::from)
             }
-            None => bytes,
+            Some(Injected::Error) => Err(HubError::Checkpoint(CheckpointError::Io(
+                "injected decode fault".to_string(),
+            ))),
+            None => loaded,
         };
-        let ck = match Checkpoint::from_bytes(&bytes) {
+        let ck = match loaded {
             Ok(ck) => ck,
-            Err(e) if e.is_corruption() => {
+            Err(HubError::Checkpoint(e)) if e.is_corruption() => {
                 self.quarantine(&path);
                 return Ok(DiskProbe::Quarantined(e));
             }
-            Err(e) => return Err(e.into()),
+            Err(e) => return Err(e),
         };
-        let model = Bellamy::from_checkpoint(&ck)?;
-        let mut state = model
-            .build_state()
-            .map_err(|_| HubError::Unfitted(key.id().to_string()))?;
+        // Zero-copy: the state takes ownership of the decoded tensors —
+        // mapped views for a mapped v2 checkpoint — instead of copying
+        // them into a fresh model.
+        let mut state = ModelState::from_checkpoint(ck).map_err(|e| match e {
+            StateFromCheckpointError::Unfitted => HubError::Unfitted(key.id().to_string()),
+            StateFromCheckpointError::Invalid(e) => HubError::Checkpoint(e),
+        })?;
         state.set_lineage(Some(key.id().to_string()), None);
         let state = Arc::new(state);
         self.pretrained

@@ -147,6 +147,44 @@ impl Layers {
         }
     }
 
+    /// Rebuilds the wiring over an **existing** parameter set (a decoded
+    /// checkpoint) without touching any values — the zero-copy recall path:
+    /// where [`Bellamy::from_checkpoint`] constructs a fresh model and
+    /// copies weights into it, this validates that the named tensors match
+    /// the architecture `config` describes and wires handles straight to
+    /// them (mapped or owned alike). Returns `None` when a layer is
+    /// missing, has the wrong shape, or has the wrong bias arity.
+    pub(crate) fn from_existing(params: &ParamSet, config: &BellamyConfig) -> Option<Self> {
+        let n = config.property_dim;
+        let m = config.code_dim;
+        let hid = config.hidden_dim;
+        let fh = config.scale_out_hidden_dim;
+        let f_out = config.scale_out_dim;
+        let r_dim = config.combined_dim();
+
+        let layer = |name: &str,
+                     in_dim: usize,
+                     out_dim: usize,
+                     bias: bool,
+                     act: Activation|
+         -> Option<Linear> {
+            let l = Linear::from_existing(params, name, act)?;
+            (l.in_dim() == in_dim && l.out_dim() == out_dim && l.bias().is_some() == bias)
+                .then_some(l)
+        };
+
+        Some(Self {
+            f1: layer("f.l1", 3, fh, true, Activation::Selu)?,
+            f2: layer("f.l2", fh, f_out, true, Activation::Selu)?,
+            g1: layer("g.l1", n, hid, false, Activation::Selu)?,
+            g2: layer("g.l2", hid, m, false, Activation::Selu)?,
+            h1: layer("h.l1", m, hid, false, Activation::Selu)?,
+            h2: layer("h.l2", hid, n, false, Activation::Tanh)?,
+            z1: layer("z.l1", r_dim, hid, true, Activation::Selu)?,
+            z2: layer("z.l2", hid, 1, true, Activation::Selu)?,
+        })
+    }
+
     /// Runs the training forward pass for a batch. `dropout` applies
     /// alpha-dropout between the auto-encoder layers (pre-training only).
     ///
@@ -688,43 +726,7 @@ impl Bellamy {
     /// Restores a model from a checkpoint produced by
     /// [`Bellamy::to_checkpoint`] (or [`ModelState::to_checkpoint`]).
     pub fn from_checkpoint(ck: &Checkpoint) -> Result<Self, CheckpointError> {
-        let get_dim = |key: &str| -> Result<usize, CheckpointError> {
-            ck.metadata
-                .get(key)
-                .and_then(|v| v.parse().ok())
-                .ok_or_else(|| CheckpointError::Io(format!("missing/invalid metadata {key}")))
-        };
-        let config = BellamyConfig {
-            property_dim: get_dim("property_dim")?,
-            code_dim: get_dim("code_dim")?,
-            hidden_dim: get_dim("hidden_dim")?,
-            scale_out_hidden_dim: get_dim("scale_out_hidden_dim")?,
-            scale_out_dim: get_dim("scale_out_dim")?,
-            essential_props: get_dim("essential_props")?,
-            optional_props: get_dim("optional_props")?,
-            scale_targets: ck
-                .metadata
-                .get("scale_targets")
-                .map(|v| v == "true")
-                .unwrap_or(true),
-            huber_delta: ck
-                .metadata
-                .get("huber_delta")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(1.0),
-            // Older checkpoints (pre-PR 4) carry no init entry; they were
-            // all written by He-initialized default configs. A *present but
-            // unrecognized* value is a different situation — substituting a
-            // default there would silently change reset-strategy redraws —
-            // so it is rejected instead.
-            init: match ck.metadata.get("init") {
-                None => BellamyConfig::default().init,
-                Some(v) => parse_init(v).ok_or_else(|| {
-                    CheckpointError::Io(format!("unrecognized init scheme in checkpoint: {v}"))
-                })?,
-            },
-        };
-
+        let config = config_from_metadata(ck)?;
         let mut model = Bellamy::new(config, 0);
         model
             .params
@@ -736,20 +738,8 @@ impl Bellamy {
                 model.params.get_mut(id).trainable = p.trainable;
             }
         }
-        model.target_scale = ck
-            .metadata
-            .get("target_scale")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(1.0);
-        if let (Some(mins), Some(maxs)) = (
-            ck.metadata.get("scaler_mins"),
-            ck.metadata.get("scaler_maxs"),
-        ) {
-            model.scaler = Some(MinMaxScaler::from_bounds(
-                parse_floats(mins),
-                parse_floats(maxs),
-            ));
-        }
+        model.target_scale = target_scale_from_metadata(ck);
+        model.scaler = scaler_from_metadata(ck);
         Ok(model)
     }
 
@@ -767,6 +757,71 @@ impl Bellamy {
     pub fn clone_model(&self) -> Self {
         Self::from_checkpoint(&self.to_checkpoint()).expect("round trip of a valid model")
     }
+}
+
+/// Reconstructs the [`BellamyConfig`] a checkpoint's metadata describes —
+/// shared by [`Bellamy::from_checkpoint`] (fresh model + value copy) and
+/// [`ModelState::from_checkpoint`] (zero-copy wiring over the decoded
+/// parameters).
+pub(crate) fn config_from_metadata(ck: &Checkpoint) -> Result<BellamyConfig, CheckpointError> {
+    let get_dim = |key: &str| -> Result<usize, CheckpointError> {
+        ck.metadata
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| CheckpointError::Io(format!("missing/invalid metadata {key}")))
+    };
+    Ok(BellamyConfig {
+        property_dim: get_dim("property_dim")?,
+        code_dim: get_dim("code_dim")?,
+        hidden_dim: get_dim("hidden_dim")?,
+        scale_out_hidden_dim: get_dim("scale_out_hidden_dim")?,
+        scale_out_dim: get_dim("scale_out_dim")?,
+        essential_props: get_dim("essential_props")?,
+        optional_props: get_dim("optional_props")?,
+        scale_targets: ck
+            .metadata
+            .get("scale_targets")
+            .map(|v| v == "true")
+            .unwrap_or(true),
+        huber_delta: ck
+            .metadata
+            .get("huber_delta")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0),
+        // Older checkpoints (pre-PR 4) carry no init entry; they were
+        // all written by He-initialized default configs. A *present but
+        // unrecognized* value is a different situation — substituting a
+        // default there would silently change reset-strategy redraws —
+        // so it is rejected instead.
+        init: match ck.metadata.get("init") {
+            None => BellamyConfig::default().init,
+            Some(v) => parse_init(v).ok_or_else(|| {
+                CheckpointError::Io(format!("unrecognized init scheme in checkpoint: {v}"))
+            })?,
+        },
+    })
+}
+
+/// Parses the fitted scale-out scaler from checkpoint metadata, if present.
+pub(crate) fn scaler_from_metadata(ck: &Checkpoint) -> Option<MinMaxScaler> {
+    match (
+        ck.metadata.get("scaler_mins"),
+        ck.metadata.get("scaler_maxs"),
+    ) {
+        (Some(mins), Some(maxs)) => Some(MinMaxScaler::from_bounds(
+            parse_floats(mins),
+            parse_floats(maxs),
+        )),
+        _ => None,
+    }
+}
+
+/// Parses the target scale from checkpoint metadata (1.0 when absent).
+pub(crate) fn target_scale_from_metadata(ck: &Checkpoint) -> f64 {
+    ck.metadata
+        .get("target_scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// Checkpoint metadata shared by the handle and [`ModelState`] (both

@@ -104,7 +104,7 @@ use crate::error::BellamyError;
 use crate::faults;
 use crate::features::{ContextProperties, TrainingSample};
 use crate::finetune::ReuseStrategy;
-use crate::hub::{HubStats, ModelHub, ModelKey};
+use crate::hub::{HubStats, ModelHub, ModelKey, RecallMode};
 use crate::model::Bellamy;
 use crate::predictor::{PredictQuery, Predictor};
 use crate::state::ModelState;
@@ -1151,6 +1151,7 @@ impl ServiceInner {
 pub struct ServiceBuilder {
     hub: Option<Arc<ModelHub>>,
     hub_dir: Option<PathBuf>,
+    recall_mode: Option<RecallMode>,
     batcher: Option<BatcherConfig>,
     finetune: Option<FinetunePolicy>,
 }
@@ -1171,6 +1172,14 @@ impl ServiceBuilder {
         self
     }
 
+    /// How a [`ServiceBuilder::hub_dir`] hub recalls checkpoints from
+    /// disk (mmap by default; see [`RecallMode`]). Ignored when an
+    /// existing hub is supplied via [`ServiceBuilder::hub`].
+    pub fn recall_mode(mut self, mode: RecallMode) -> Self {
+        self.recall_mode = Some(mode);
+        self
+    }
+
     /// Overrides the micro-batcher flush bounds.
     pub fn batcher(mut self, cfg: BatcherConfig) -> Self {
         self.batcher = Some(cfg);
@@ -1188,7 +1197,13 @@ impl ServiceBuilder {
     pub fn build(self) -> Result<Service, BellamyError> {
         let hub = match (self.hub, self.hub_dir) {
             (Some(hub), _) => hub,
-            (None, Some(dir)) => Arc::new(ModelHub::at(dir)?),
+            (None, Some(dir)) => {
+                let mut hub = ModelHub::at(dir)?;
+                if let Some(mode) = self.recall_mode {
+                    hub = hub.with_recall_mode(mode);
+                }
+                Arc::new(hub)
+            }
             (None, None) => Arc::new(ModelHub::in_memory()),
         };
         Ok(Service {

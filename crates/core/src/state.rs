@@ -22,9 +22,12 @@
 
 use crate::config::BellamyConfig;
 use crate::features::ContextProperties;
-use crate::model::{checkpoint_metadata, Layers};
+use crate::model::{
+    checkpoint_metadata, config_from_metadata, scaler_from_metadata, target_scale_from_metadata,
+    Layers,
+};
 use bellamy_encoding::{MinMaxScaler, PropertyEncoder, PropertyValue};
-use bellamy_nn::{Checkpoint, ParamSet};
+use bellamy_nn::{Checkpoint, CheckpointError, ParamSet};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -99,6 +102,32 @@ pub(crate) struct Lineage {
     pub parent: Option<String>,
 }
 
+/// Why a checkpoint could not be turned into a serving state directly.
+#[derive(Debug)]
+pub enum StateFromCheckpointError {
+    /// The checkpoint's metadata or parameters don't describe a valid
+    /// Bellamy model (missing dims, tensors that don't match the
+    /// architecture, ...).
+    Invalid(CheckpointError),
+    /// The checkpoint is structurally valid but was written before the
+    /// model was ever fitted (no scaler bounds) — there is nothing to
+    /// serve.
+    Unfitted,
+}
+
+impl std::fmt::Display for StateFromCheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateFromCheckpointError::Invalid(e) => write!(f, "invalid checkpoint: {e}"),
+            StateFromCheckpointError::Unfitted => {
+                write!(f, "checkpoint holds an unfitted model (no scaler bounds)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateFromCheckpointError {}
+
 /// An immutable snapshot of a fitted Bellamy model — everything inference
 /// needs, nothing training can move. See the module docs for the
 /// trainer/serving split and the concurrency contract.
@@ -143,6 +172,37 @@ impl ModelState {
             lineage: Lineage::default(),
             cache: EncodingCache::new(),
         }
+    }
+
+    /// Builds a serving state **directly** from a decoded checkpoint,
+    /// taking ownership of its tensors without copying a single element.
+    ///
+    /// This is the zero-copy recall path: when the checkpoint came from
+    /// [`Checkpoint::map`], the parameter matrices are read-only views into
+    /// the shared file mapping, and the resulting state serves straight
+    /// from the OS page cache. (It is equally valid for owned checkpoints —
+    /// it simply skips the fresh-model-plus-value-copy detour that
+    /// [`crate::Bellamy::from_checkpoint`] takes.) Mapped and owned states
+    /// are bit-identical under every prediction path
+    /// (`tests/mmap_store.rs`).
+    pub fn from_checkpoint(ck: Checkpoint) -> Result<Self, StateFromCheckpointError> {
+        let config = config_from_metadata(&ck).map_err(StateFromCheckpointError::Invalid)?;
+        let layers = Layers::from_existing(&ck.params, &config).ok_or_else(|| {
+            StateFromCheckpointError::Invalid(CheckpointError::Io(
+                "checkpoint parameters do not match the model architecture".into(),
+            ))
+        })?;
+        let scaler = scaler_from_metadata(&ck).ok_or(StateFromCheckpointError::Unfitted)?;
+        let target_scale = target_scale_from_metadata(&ck);
+        let encoder = PropertyEncoder::new(config.property_dim);
+        Ok(Self::new(
+            config,
+            layers,
+            ck.params,
+            encoder,
+            scaler,
+            target_scale,
+        ))
     }
 
     /// The model configuration.
@@ -190,6 +250,12 @@ impl ModelState {
     /// equal fingerprints serve bit-identical predictions.
     pub fn params_fingerprint(&self) -> u64 {
         self.params.values_fingerprint()
+    }
+
+    /// True when the weights are memory-mapped views of a checkpoint file
+    /// (the zero-copy recall path) rather than owned buffers.
+    pub fn weights_mapped(&self) -> bool {
+        self.params.iter().any(|(_, p)| p.value.is_mapped())
     }
 
     /// Runs `f` on the shared cached encoding of `slot` (a zero row is the

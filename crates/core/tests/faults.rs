@@ -19,6 +19,7 @@ use bellamy_core::{
     ModelKey, ModelState, Predictor, PretrainConfig, Service, TrainingSample,
 };
 use bellamy_encoding::PropertyValue;
+use bellamy_nn::CheckpointError;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex, MutexGuard};
 use std::time::Duration;
@@ -349,6 +350,108 @@ fn injected_persist_corruption_round_trips_through_quarantine() {
     assert_eq!(hub.stats().quarantined, 1);
     hub.recall_or_pretrain(&key, &quick, 9, || samples.clone())
         .expect("retrain after quarantine");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killed_mid_write_publish_leaves_the_previous_checkpoint_servable() {
+    let _serial = fault_lock();
+    let dir = std::env::temp_dir().join(format!("bellamy-midwrite-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let samples = corpus();
+    let key = ModelKey::new("kmeans", "runtime", &BellamyConfig::default());
+    let quick = PretrainConfig {
+        epochs: 2,
+        ..PretrainConfig::default()
+    };
+
+    // A good published generation, then a publisher killed mid-write: the
+    // atomic writer stages into `*.blmy.tmp` and only renames on a fully
+    // fsynced file, so the kill leaves a torn temp file and the published
+    // path untouched.
+    let mut old = Bellamy::new(BellamyConfig::default(), 11);
+    pretrain(&mut old, &samples, &quick, 11);
+    {
+        let hub = ModelHub::at(&dir).expect("disk hub");
+        hub.publish(&key, &old).expect("first publish");
+
+        let mut update = Bellamy::new(BellamyConfig::default(), 12);
+        pretrain(&mut update, &samples, &quick, 12);
+        let _armed = faults::HUB_DISK_PERSIST.arm(FaultPlan::once(Fault::Error));
+        assert!(
+            matches!(hub.publish(&key, &update), Err(HubError::Checkpoint(_))),
+            "a killed publish must surface as an error, not silently succeed"
+        );
+    }
+    let ckpt = dir.join(format!("{}.blmy", key.id()));
+    let torn = dir.join(format!("{}.blmy.tmp", key.id()));
+    assert!(torn.is_file(), "the kill must leave the staged temp file");
+    assert!(ckpt.is_file(), "the published path must be untouched");
+
+    // The next process recalls the *previous* generation bit-identically;
+    // the torn temp file is inert.
+    let hub = ModelHub::at(&dir).expect("disk hub");
+    let recalled = hub
+        .recall(&key)
+        .expect("the previous checkpoint must keep serving");
+    for s in samples.iter().take(5) {
+        assert_eq!(
+            recalled.predict(s.scale_out, &s.props).to_bits(),
+            old.predict(s.scale_out, &s.props).unwrap().to_bits(),
+            "a torn update must not move the served weights"
+        );
+    }
+    assert_eq!(hub.stats().quarantined, 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn payload_bit_flip_is_caught_by_the_checksum_and_quarantined() {
+    let _serial = fault_lock();
+    let dir = std::env::temp_dir().join(format!("bellamy-bitflip-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let samples = corpus();
+    let key = ModelKey::new("join", "runtime", &BellamyConfig::default());
+    let quick = PretrainConfig {
+        epochs: 2,
+        ..PretrainConfig::default()
+    };
+    {
+        let hub = ModelHub::at(&dir).expect("disk hub");
+        let mut model = Bellamy::new(BellamyConfig::default(), 13);
+        pretrain(&mut model, &samples, &quick, 13);
+        hub.publish(&key, &model).expect("publish");
+    }
+
+    // One bit flips inside the weight payload — the header, magic, and
+    // section table all stay plausible, so only the payload checksum can
+    // tell. Without it, the flip would silently serve wrong predictions.
+    let ckpt = dir.join(format!("{}.blmy", key.id()));
+    let mut bytes = std::fs::read(&ckpt).unwrap();
+    let n = bytes.len();
+    bytes[n - 5] ^= 0x10;
+    std::fs::write(&ckpt, &bytes).unwrap();
+
+    let hub = ModelHub::at(&dir).expect("disk hub");
+    match hub.recall(&key) {
+        Err(HubError::Corrupt { id, source }) => {
+            assert_eq!(id, key.id());
+            assert!(
+                matches!(source, CheckpointError::ChecksumMismatch),
+                "the flip must be caught by the checksum, got {source:?}"
+            );
+        }
+        other => panic!("a flipped payload bit must quarantine, got {other:?}"),
+    }
+    assert!(!ckpt.exists(), "the damaged file must be renamed away");
+    assert!(ckpt.with_extension("blmy.corrupt").is_file());
+    assert_eq!(hub.stats().quarantined, 1);
+
+    // Like any quarantine, the slot recovers by retraining.
+    hub.recall_or_pretrain(&key, &quick, 13, || samples.clone())
+        .expect("retrain after checksum quarantine");
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -12,8 +12,8 @@
 
 use bellamy_core::train::Pretrainer;
 use bellamy_core::{
-    BatcherConfig, Bellamy, BellamyConfig, ContextProperties, FlushPolicy, ModelState,
-    PredictQuery, Predictor, PretrainConfig, Service, TrainingSample,
+    BatcherConfig, Bellamy, BellamyConfig, ContextProperties, FlushPolicy, ModelHub, ModelKey,
+    ModelState, PredictQuery, Predictor, PretrainConfig, RecallMode, Service, TrainingSample,
 };
 use bellamy_encoding::PropertyValue;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -205,6 +205,52 @@ fn steady_state_sweep_and_single_predict_are_allocation_free() {
         single_allocs, 0,
         "steady-state single-query predict must not allocate"
     );
+}
+
+#[test]
+fn steady_state_predict_on_a_mapped_state_is_allocation_free() {
+    // Weights recalled through the mmap path live in borrowed storage, not
+    // an owned buffer — the kernels must not care. After warm-up, batched
+    // prediction over a *mapped* state must be exactly as allocation-free
+    // as over an owned one: the mapped slices feed the same kernel calls,
+    // and reading a page-cache-backed slice is not an allocation.
+    let samples = samples(24);
+    let mut model = Bellamy::new(BellamyConfig::default(), 7);
+    let mut trainer = Pretrainer::new(&mut model, &samples, &PretrainConfig::default(), 13);
+    trainer.run_epoch(&mut model);
+
+    let dir = std::env::temp_dir().join(format!("bellamy-zeroalloc-mmap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let key = ModelKey::new("grep", "runtime", &BellamyConfig::default());
+    ModelHub::at(&dir).unwrap().publish(&key, &model).unwrap();
+    let hub = ModelHub::at(&dir)
+        .unwrap()
+        .with_recall_mode(RecallMode::Mmap);
+    let state = hub.recall(&key).unwrap();
+    assert!(state.weights_mapped(), "the recall must borrow the file");
+
+    let queries: Vec<PredictQuery<'_>> = samples
+        .iter()
+        .map(|s| PredictQuery {
+            scale_out: s.scale_out,
+            props: &s.props,
+        })
+        .collect();
+    let mut predictor = Predictor::new();
+    for _ in 0..2 {
+        predictor.predict_batch(&state, &queries);
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        let preds = predictor.predict_batch(&state, &queries);
+        assert_eq!(preds.len(), queries.len());
+    }
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        allocs, 0,
+        "steady-state predict over mapped weights must not allocate"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

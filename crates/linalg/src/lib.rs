@@ -36,23 +36,36 @@
 //!
 //! # Alignment contract
 //!
-//! Every buffer that backs a [`Matrix`] — freshly allocated or recycled
-//! through a [`BufferPool`] — is an [`aligned::AlignedBuf`], whose data
-//! pointer is **always 32-byte aligned** (one AVX2 vector, two NEON
+//! Every owned buffer that backs a [`Matrix`] — freshly allocated or
+//! recycled through a [`BufferPool`] — is an [`aligned::AlignedBuf`], whose
+//! data pointer is **always 32-byte aligned** (one AVX2 vector, two NEON
 //! vectors). The guarantee is structural (storage is composed of
 //! `align(32)` chunks), so it holds for ragged lengths and across pool
 //! round-trips.
+//!
+//! # Storage variants
+//!
+//! A [`Matrix`] may alternatively *borrow* its elements from a read-only
+//! file mapping ([`mmap::Mmap`], wrapped by [`storage::Storage`]) — the
+//! zero-copy checkpoint path used by the model hub. Mapped matrices keep
+//! the same alignment guarantee (page-aligned map base + 64-byte-aligned
+//! file offsets), serve reads bit-identically to owned matrices, panic on
+//! mutation, and materialize into owned storage on `clone()`.
 
 pub mod aligned;
 pub mod kernels;
 pub mod matrix;
+pub mod mmap;
 pub mod nnls;
 pub mod pool;
 pub mod qr;
 pub mod stats;
+pub mod storage;
 
 pub use aligned::AlignedBuf;
 pub use matrix::Matrix;
+pub use mmap::Mmap;
 pub use nnls::{nnls, NnlsError, NnlsSolution};
 pub use pool::BufferPool;
 pub use qr::{lstsq, QrDecomposition};
+pub use storage::Storage;

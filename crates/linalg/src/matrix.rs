@@ -2,9 +2,12 @@
 
 use crate::aligned::AlignedBuf;
 use crate::kernels;
+use crate::mmap::Mmap;
+use crate::storage::Storage;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
+use std::sync::Arc;
 
 /// Block edge for the cache-blocked matmul kernel. Matrices in this project
 /// are small; 64 keeps the working set of a block pair within L1.
@@ -17,17 +20,25 @@ const MATMUL_BLOCK: usize = 64;
 /// provided where the training loop is hot (`add_assign`, `scale_in_place`,
 /// `zip_apply`).
 ///
-/// Storage is an [`AlignedBuf`], so `data` always starts on a 32-byte
-/// boundary (the SIMD kernels' alignment contract — see the
-/// [`kernels`] module docs). The hot kernels (`matmul_into` and friends,
-/// `axpy`, `add_into`/`sub_into`/`hadamard_into`, `scale_into`) dispatch
-/// through [`kernels::active()`]; results are bit-identical on every
-/// backend.
+/// Storage is a [`Storage`]: either an owned [`AlignedBuf`] (every
+/// constructor below) or a read-only window into a shared file mapping
+/// ([`Matrix::from_mapped`], the zero-copy checkpoint path). Owned data
+/// always starts on a 32-byte boundary (the SIMD kernels' alignment
+/// contract — see the [`kernels`] module docs); mapped data inherits the
+/// same guarantee from the checkpoint format's 64-byte-aligned payload
+/// offsets. The hot kernels (`matmul_into` and friends, `axpy`,
+/// `add_into`/`sub_into`/`hadamard_into`, `scale_into`) dispatch through
+/// [`kernels::active()`]; results are bit-identical on every backend and
+/// across storage variants.
+///
+/// Mapped matrices are immutable serving views: mutating one panics, and
+/// `clone()` always yields an owned matrix (see the [`crate::storage`]
+/// module docs for the full contract).
 #[derive(Clone, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: AlignedBuf,
+    data: Storage,
 }
 
 impl Matrix {
@@ -36,7 +47,7 @@ impl Matrix {
         Self {
             rows,
             cols,
-            data: AlignedBuf::zeroed(rows * cols),
+            data: Storage::Owned(AlignedBuf::zeroed(rows * cols)),
         }
     }
 
@@ -72,8 +83,36 @@ impl Matrix {
         Self {
             rows,
             cols,
-            data: AlignedBuf::from(data),
+            data: Storage::Owned(AlignedBuf::from(data)),
         }
+    }
+
+    /// Builds a matrix whose elements are **borrowed** from a read-only file
+    /// mapping: `rows * cols` little-endian `f64`s starting `byte_offset`
+    /// bytes into `map`. No element data is copied — the matrix holds the
+    /// map alive through the `Arc` and reads straight from the OS page
+    /// cache.
+    ///
+    /// The resulting matrix is an immutable serving view: any mutable
+    /// access panics, and `clone()` materializes an owned copy.
+    ///
+    /// # Errors
+    /// Returns a message when the window falls outside the map or the data
+    /// pointer would be misaligned for `f64`.
+    pub fn from_mapped(
+        rows: usize,
+        cols: usize,
+        map: Arc<Mmap>,
+        byte_offset: usize,
+    ) -> Result<Self, String> {
+        let data = Storage::mapped(map, byte_offset, rows * cols)?;
+        Ok(Self { rows, cols, data })
+    }
+
+    /// True when this matrix borrows its elements from a file mapping.
+    #[inline]
+    pub fn is_mapped(&self) -> bool {
+        self.data.is_mapped()
     }
 
     /// Builds a matrix directly over an aligned buffer (pool recycle path:
@@ -90,13 +129,18 @@ impl Matrix {
             rows,
             cols
         );
-        Self { rows, cols, data }
+        Self {
+            rows,
+            cols,
+            data: Storage::Owned(data),
+        }
     }
 
-    /// Consumes the matrix, returning its aligned backing buffer (pool
-    /// recycle path: no copy).
+    /// Consumes the matrix, returning an aligned backing buffer (pool
+    /// recycle path: no copy for owned storage; mapped storage — which the
+    /// pool never sees in practice — is copied out).
     pub(crate) fn into_aligned(self) -> AlignedBuf {
-        self.data
+        self.data.into_aligned()
     }
 
     /// Builds a matrix from nested row slices.
@@ -1061,5 +1105,39 @@ mod tests {
         assert!(a.all_finite());
         a[(0, 1)] = f64::NAN;
         assert!(!a.all_finite());
+    }
+
+    #[test]
+    fn mapped_matrix_is_bit_identical_to_owned_under_kernels() {
+        use std::io::Write;
+
+        let owned = Matrix::from_fn(6, 8, |i, j| ((i * 8 + j) as f64).sin() * 3.7);
+        let path = std::env::temp_dir().join(format!("bellamy-matrix-map-{}", std::process::id()));
+        let mut f = std::fs::File::create(&path).unwrap();
+        for v in owned.as_slice() {
+            f.write_all(&v.to_le_bytes()).unwrap();
+        }
+        f.sync_all().unwrap();
+        let map = Arc::new(Mmap::map(&std::fs::File::open(&path).unwrap()).unwrap());
+        let mapped = Matrix::from_mapped(6, 8, map, 0).unwrap();
+
+        assert!(mapped.is_mapped());
+        assert_eq!(mapped, owned);
+
+        // The kernels see a plain &[f64] either way; products must agree
+        // bitwise.
+        let rhs = Matrix::from_fn(8, 8, |i, j| ((i + 1) * (j + 2)) as f64 * 0.017 - 0.4);
+        let prod_owned = owned.matmul(&rhs);
+        let prod_mapped = mapped.matmul(&rhs);
+        for (a, b) in prod_owned.as_slice().iter().zip(prod_mapped.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Clones materialize: mutating a clone of a mapped matrix is fine.
+        let mut clone = mapped.clone();
+        assert!(!clone.is_mapped());
+        clone.fill(0.0);
+
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,277 @@
+//! Owned-vs-mapped backing storage for [`Matrix`](crate::Matrix).
+//!
+//! A matrix either *owns* its elements (an [`AlignedBuf`], the only variant
+//! that existed before the zero-copy checkpoint store) or *borrows* them from
+//! a read-only file mapping ([`Mmap`]) shared through an `Arc`. Everything
+//! downstream of construction sees a plain `&[f64]` via `Deref`, so the
+//! kernels, the autograd tape, and every `*_into` path are oblivious to the
+//! variant.
+//!
+//! The contract:
+//!
+//! - **Reads** are identical across variants — same bytes, same alignment
+//!   guarantees (owned buffers are 32-byte aligned structurally; mapped
+//!   slices are 32-byte aligned because the map base is page-aligned and the
+//!   checkpoint format places every payload at a 64-byte-aligned file
+//!   offset, which [`Storage::mapped`] re-validates).
+//! - **Mutation of a mapped matrix panics.** Mapped storage exists only for
+//!   immutable serving snapshots; the type system cannot forbid `&mut`
+//!   access (the `Matrix` API predates the split), so the mutable accessor
+//!   is a loud runtime error instead of silent UB on read-only pages.
+//! - **`Clone` materializes.** Cloning mapped storage deep-copies into an
+//!   owned buffer — so deriving a trainer handle from a mapped snapshot
+//!   (`Bellamy::from_state`) or re-serializing it (`to_checkpoint`) yields
+//!   ordinary mutable matrices without any caller changes.
+//! - **Serde materializes.** Mapped storage serializes exactly like the
+//!   owned copy of itself and always deserializes as owned.
+
+use crate::aligned::AlignedBuf;
+use crate::mmap::Mmap;
+use serde::{Deserialize, Serialize, Value};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// The backing store of a [`Matrix`](crate::Matrix): owned aligned elements,
+/// or a borrowed window of a shared read-only file mapping.
+pub enum Storage {
+    /// Heap-owned, 32-byte-aligned elements (the classic variant).
+    Owned(AlignedBuf),
+    /// `len` `f64`s starting `offset` bytes into a shared read-only map.
+    /// The `Arc` keeps the mapping alive for as long as any matrix views it.
+    Mapped {
+        /// The shared file mapping.
+        map: Arc<Mmap>,
+        /// Byte offset of the first element within the map.
+        offset: usize,
+        /// Number of `f64` elements.
+        len: usize,
+    },
+}
+
+impl Storage {
+    /// Builds a mapped storage over `len` little-endian `f64`s at byte
+    /// `offset` of `map`, validating bounds and alignment.
+    ///
+    /// # Errors
+    /// Returns a message when the window exceeds the map or the resulting
+    /// data pointer is not 8-byte aligned (a misaligned `f64` view would be
+    /// undefined behaviour, not merely slow).
+    pub fn mapped(map: Arc<Mmap>, offset: usize, len: usize) -> Result<Self, String> {
+        let bytes = len
+            .checked_mul(8)
+            .and_then(|b| b.checked_add(offset))
+            .ok_or_else(|| "mapped window length overflows".to_string())?;
+        if bytes > map.len() {
+            return Err(format!(
+                "mapped window [{offset}, {bytes}) exceeds map of {} bytes",
+                map.len()
+            ));
+        }
+        let ptr = map.as_slice().as_ptr() as usize + offset;
+        if !ptr.is_multiple_of(std::mem::align_of::<f64>()) {
+            return Err(format!("mapped window at offset {offset} is misaligned"));
+        }
+        Ok(Self::Mapped { map, offset, len })
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Storage::Owned(buf) => buf.len(),
+            Storage::Mapped { len, .. } => *len,
+        }
+    }
+
+    /// True when no elements are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True for the mapped variant.
+    #[inline]
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, Storage::Mapped { .. })
+    }
+
+    /// The elements as a slice (either variant).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        match self {
+            Storage::Owned(buf) => buf.as_slice(),
+            Storage::Mapped { map, offset, len } => {
+                // SAFETY: bounds and 8-byte alignment were validated in
+                // `Storage::mapped`; the map is immutable and outlives
+                // `self` via the Arc; every byte pattern is a valid f64.
+                unsafe {
+                    std::slice::from_raw_parts(
+                        map.as_slice().as_ptr().add(*offset).cast::<f64>(),
+                        *len,
+                    )
+                }
+            }
+        }
+    }
+
+    /// The elements as a mutable slice.
+    ///
+    /// # Panics
+    /// Panics for mapped storage: mapped matrices are immutable serving
+    /// views. Clone the matrix first (clones are always owned).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        match self {
+            Storage::Owned(buf) => buf.as_mut_slice(),
+            Storage::Mapped { .. } => panic!(
+                "mutable access to a memory-mapped matrix: mapped storage is an \
+                 immutable serving view; clone it (clones are owned) before mutating"
+            ),
+        }
+    }
+
+    /// Consumes the storage, returning an owned aligned buffer — the
+    /// original one for `Owned`, a deep copy for `Mapped` (the pool-recycle
+    /// path never sees mapped matrices in practice; copying keeps the
+    /// contract total instead of panicking).
+    pub fn into_aligned(self) -> AlignedBuf {
+        match self {
+            Storage::Owned(buf) => buf,
+            Storage::Mapped { .. } => AlignedBuf::from_slice(self.as_slice()),
+        }
+    }
+}
+
+impl Clone for Storage {
+    /// Owned clones stay owned; mapped clones **materialize** into owned
+    /// storage (see the module docs for why).
+    fn clone(&self) -> Self {
+        match self {
+            Storage::Owned(buf) => Storage::Owned(buf.clone()),
+            Storage::Mapped { .. } => Storage::Owned(AlignedBuf::from_slice(self.as_slice())),
+        }
+    }
+}
+
+impl Deref for Storage {
+    type Target = [f64];
+
+    #[inline]
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for Storage {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f64] {
+        self.as_mut_slice()
+    }
+}
+
+impl PartialEq for Storage {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Storage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Storage::Owned(buf) => f.debug_tuple("Owned").field(&buf.len()).finish(),
+            Storage::Mapped { offset, len, .. } => f
+                .debug_struct("Mapped")
+                .field("offset", offset)
+                .field("len", len)
+                .finish(),
+        }
+    }
+}
+
+impl Serialize for Storage {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl Deserialize for Storage {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        AlignedBuf::from_json_value(v).map(Storage::Owned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs::File;
+    use std::io::Write;
+
+    fn mapped_fixture(values: &[f64]) -> (Arc<Mmap>, std::path::PathBuf) {
+        let path = std::env::temp_dir().join(format!(
+            "bellamy-storage-{}-{}",
+            std::process::id(),
+            values.len()
+        ));
+        let mut f = File::create(&path).unwrap();
+        for v in values {
+            f.write_all(&v.to_le_bytes()).unwrap();
+        }
+        f.sync_all().unwrap();
+        let map = Arc::new(Mmap::map(&File::open(&path).unwrap()).unwrap());
+        (map, path)
+    }
+
+    #[test]
+    fn mapped_reads_match_owned() {
+        let values = [1.5, -2.0, 0.0, f64::MAX, 1e-300];
+        let (map, path) = mapped_fixture(&values);
+        let mapped = Storage::mapped(map, 0, values.len()).unwrap();
+        let owned = Storage::Owned(AlignedBuf::from_slice(&values));
+        assert!(mapped.is_mapped());
+        assert!(!owned.is_mapped());
+        assert_eq!(mapped, owned);
+        assert_eq!(mapped.as_slice(), &values);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_clone_is_owned_and_bit_identical() {
+        let values = [3.25, -0.0, f64::MIN_POSITIVE];
+        let (map, path) = mapped_fixture(&values);
+        let mapped = Storage::mapped(map, 0, values.len()).unwrap();
+        let clone = mapped.clone();
+        assert!(!clone.is_mapped(), "clones must materialize");
+        for (a, b) in mapped.as_slice().iter().zip(clone.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "mutable access to a memory-mapped matrix")]
+    fn mapped_mutation_panics() {
+        let (map, _path) = mapped_fixture(&[1.0, 2.0]);
+        let mut mapped = Storage::mapped(map, 0, 2).unwrap();
+        let _ = mapped.as_mut_slice();
+    }
+
+    #[test]
+    fn mapped_rejects_out_of_bounds_windows() {
+        let (map, path) = mapped_fixture(&[1.0, 2.0]);
+        assert!(Storage::mapped(Arc::clone(&map), 0, 3).is_err());
+        assert!(Storage::mapped(Arc::clone(&map), 8, 2).is_err());
+        assert!(Storage::mapped(Arc::clone(&map), usize::MAX, 1).is_err());
+        assert!(Storage::mapped(map, 8, 1).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serde_round_trip_materializes() {
+        let (map, path) = mapped_fixture(&[1.0, 2.0, 3.0]);
+        let mapped = Storage::mapped(map, 0, 3).unwrap();
+        let back = Storage::from_json_value(&mapped.to_json_value()).unwrap();
+        assert!(!back.is_mapped());
+        assert_eq!(back, mapped);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,31 +1,109 @@
-//! Binary checkpoint format for model state.
+//! Binary checkpoint format for model state (BLMY v1 + mmap-able v2).
 //!
 //! Bellamy's workflow is *pre-train → persist → fine-tune elsewhere*
 //! (§III-A), so checkpoints must round-trip exactly (bit-identical `f64`
 //! weights) and carry model metadata — the scale-out normalization bounds,
 //! target scale, and encoder configuration the model needs to be usable in a
-//! new process. The format is a small self-describing container:
+//! new process.
+//!
+//! # On-disk layout
+//!
+//! **v2** (written by [`Checkpoint::to_bytes`], designed to be consumed
+//! *in place* through a read-only memory map — see [`Checkpoint::map`]):
 //!
 //! ```text
-//! magic  "BLMY"            4 bytes
-//! version u32 LE           currently 1
-//! n_meta  u32 LE           metadata entries
-//!   key_len u32 | key utf8 | val_len u32 | val utf8       (each entry)
-//! n_params u32 LE
-//!   name_len u32 | name utf8 | trainable u8 |
-//!   rows u64 | cols u64 | rows*cols f64 LE                (each tensor)
+//! offset  size  field
+//! ──────  ────  ─────────────────────────────────────────────────────────
+//!      0     4  magic "BLMY"
+//!      4     4  version u32 LE            (2)
+//!      8     8  file_len u64 LE           (total file size; truncation check)
+//!     16     8  payload_checksum u64 LE   (FNV-1a over [payload_start, file_len))
+//!     24     8  header_checksum u64 LE    (FNV-1a over [32, header_end))
+//!     32     4  n_meta u32 LE
+//!     36     4  n_params u32 LE
+//!     40     …  metadata entries:   key_len u32 | key utf8 | val_len u32 | val utf8
+//!      …     …  section table:      name_len u32 | name utf8 | trainable u8 |
+//!                                   rows u64 | cols u64 | payload_offset u64
+//!  header_end                       (zero padding to the next 64-byte boundary)
+//!  payload_start = align64(header_end)
+//!      …     …  payloads: rows*cols f64 LE per tensor, every payload_offset
+//!               64-byte aligned (zero padding between payloads as needed)
+//!  file_len                         (end of the last payload)
 //! ```
+//!
+//! The 64-byte payload alignment is what makes zero-copy serving legal: a
+//! memory map's base address is page-aligned, so a 64-byte-aligned *file
+//! offset* yields a 64-byte-aligned *pointer* — satisfying the SIMD kernels'
+//! 32-byte alignment contract without copying a single element
+//! ([`Matrix::from_mapped`]).
+//!
+//! **v1** (legacy, still fully readable; [`Checkpoint::to_bytes_v1`] can
+//! still write it for fixtures/compat): magic, version u32 (1), n_meta +
+//! entries, n_params, then per tensor `name | trainable u8 | rows u64 |
+//! cols u64 | rows*cols f64 LE` packed with no alignment and no checksums.
+//! [`Checkpoint::from_bytes`] dispatches on the version field, so both
+//! generations decode through one entry point.
+//!
+//! # Mmap lifetime contract
+//!
+//! [`Checkpoint::map`] / [`Checkpoint::map_file`] map the file **once** into
+//! an `Arc<Mmap>` shared by every mapped tensor; the `Checkpoint` (and any
+//! `Matrix` moved out of its [`ParamSet`]) holds the map alive, and the
+//! mapping is released when the last such matrix drops. Checksums are
+//! verified *at map time* against the mapped bytes, so a later page fault
+//! can only surface data that already hashed correctly. Two properties of
+//! the surrounding system make this safe:
+//!
+//! - checkpoints are **immutable once published** — the writer goes through
+//!   an atomic `*.tmp` + fsync + rename ([`Checkpoint::save`]), so a path
+//!   never refers to a half-written file and published bytes never change;
+//! - the hub's quarantine path **renames** corrupt files rather than
+//!   truncating or rewriting them; on Unix a rename leaves the inode (and
+//!   therefore every live mapping of it) untouched until the last map
+//!   drops.
 
 use crate::params::ParamSet;
-use bellamy_linalg::Matrix;
+use bellamy_linalg::{Matrix, Mmap};
 use bytes::{Buf, BufMut};
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"BLMY";
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION_V2: u32 = 2;
+
+/// Fixed v2 header size: magic + version + file_len + two checksums +
+/// n_meta + n_params.
+const V2_FIXED_HEADER: usize = 40;
+/// Byte offset of the checksummed header region (everything after the
+/// checksum fields themselves).
+const V2_CHECKSUMMED_FROM: usize = 32;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice (same family the hub's fingerprints use).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(FNV_OFFSET, |h, &b| (h ^ b as u64).wrapping_mul(FNV_PRIME))
+}
+
+/// Rounds up to the next multiple of 64.
+#[inline]
+fn align64(n: usize) -> usize {
+    (n + 63) & !63
+}
 
 /// A deserialized checkpoint: parameter values plus string metadata.
+///
+/// Depending on how it was obtained, the tensors are either owned
+/// ([`Checkpoint::from_bytes`] / [`Checkpoint::load`]) or borrowed from a
+/// shared read-only file mapping ([`Checkpoint::map`] on a v2 file) — the
+/// distinction is invisible to readers and erased by `clone()`.
 #[derive(Debug, Clone, Default)]
 pub struct Checkpoint {
     /// Named tensors with their trainability flags.
@@ -41,10 +119,14 @@ pub enum CheckpointError {
     BadMagic,
     /// Version not understood by this build.
     UnsupportedVersion(u32),
-    /// The byte stream ended early or a length field overflowed it.
+    /// The byte stream ended early, a length field overflowed it, or the
+    /// structure is malformed (misaligned payload, duplicate tensor name).
     Truncated,
     /// A string field was not valid UTF-8.
     InvalidUtf8,
+    /// A v2 header or payload checksum did not match the stored value —
+    /// the file's bytes were altered after writing.
+    ChecksumMismatch,
     /// Underlying I/O failure (message retained).
     Io(String),
 }
@@ -56,6 +138,7 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
             CheckpointError::Truncated => write!(f, "checkpoint data truncated"),
             CheckpointError::InvalidUtf8 => write!(f, "invalid UTF-8 in checkpoint"),
+            CheckpointError::ChecksumMismatch => write!(f, "checkpoint checksum mismatch"),
             CheckpointError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
@@ -65,20 +148,37 @@ impl std::error::Error for CheckpointError {}
 
 impl CheckpointError {
     /// True when the checkpoint's *content* is bad — wrong magic, an
-    /// unknown version, truncation, invalid UTF-8 — as opposed to a
-    /// transient I/O failure. Content errors are permanent for a given
-    /// file: retrying the read cannot help, so callers (the hub's disk
-    /// recall) quarantine the file instead of retrying, while `Io` errors
-    /// are worth a bounded retry.
+    /// unknown version, truncation, invalid UTF-8, a checksum mismatch —
+    /// as opposed to a transient I/O failure. Content errors are permanent
+    /// for a given file: retrying the read cannot help, so callers (the
+    /// hub's disk recall) quarantine the file instead of retrying, while
+    /// `Io` errors are worth a bounded retry.
     pub fn is_corruption(&self) -> bool {
         match self {
             CheckpointError::BadMagic
             | CheckpointError::UnsupportedVersion(_)
             | CheckpointError::Truncated
-            | CheckpointError::InvalidUtf8 => true,
+            | CheckpointError::InvalidUtf8
+            | CheckpointError::ChecksumMismatch => true,
             CheckpointError::Io(_) => false,
         }
     }
+}
+
+/// One parsed v2 section-table entry (tensor locator, no data).
+struct Section {
+    name: String,
+    trainable: bool,
+    rows: usize,
+    cols: usize,
+    offset: usize,
+}
+
+/// Fully validated v2 structure: metadata + tensor locators. Both
+/// materializers (owned and mapped) consume this.
+struct V2Parts {
+    metadata: BTreeMap<String, String>,
+    sections: Vec<Section>,
 }
 
 impl Checkpoint {
@@ -87,11 +187,80 @@ impl Checkpoint {
         Self { params, metadata }
     }
 
-    /// Serializes to bytes.
+    /// Serializes to bytes in the current (v2, mmap-able) layout.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let meta_size: usize = self
+            .metadata
+            .iter()
+            .map(|(k, v)| 8 + k.len() + v.len())
+            .sum();
+        let table_size: usize = self
+            .params
+            .iter()
+            .map(|(_, p)| 4 + p.name.len() + 1 + 24)
+            .sum();
+        let header_end = V2_FIXED_HEADER + meta_size + table_size;
+        let payload_start = align64(header_end);
+
+        let mut offsets = Vec::with_capacity(self.params.len());
+        let mut cursor = payload_start;
+        for (_, p) in self.params.iter() {
+            let off = align64(cursor);
+            offsets.push(off);
+            cursor = off + p.value.len() * 8;
+        }
+        let file_len = if offsets.is_empty() {
+            payload_start
+        } else {
+            cursor
+        };
+
+        let mut buf = vec![0u8; file_len];
+        buf[0..4].copy_from_slice(MAGIC);
+        buf[4..8].copy_from_slice(&VERSION_V2.to_le_bytes());
+        buf[8..16].copy_from_slice(&(file_len as u64).to_le_bytes());
+        // [16..32): checksums, patched once the rest of the file is final.
+        buf[32..36].copy_from_slice(&(self.metadata.len() as u32).to_le_bytes());
+        buf[36..40].copy_from_slice(&(self.params.len() as u32).to_le_bytes());
+
+        let mut w = V2_FIXED_HEADER;
+        for (k, v) in &self.metadata {
+            write_str_at(&mut buf, &mut w, k);
+            write_str_at(&mut buf, &mut w, v);
+        }
+        for ((_, p), &off) in self.params.iter().zip(&offsets) {
+            write_str_at(&mut buf, &mut w, &p.name);
+            buf[w] = p.trainable as u8;
+            w += 1;
+            buf[w..w + 8].copy_from_slice(&(p.value.rows() as u64).to_le_bytes());
+            buf[w + 8..w + 16].copy_from_slice(&(p.value.cols() as u64).to_le_bytes());
+            buf[w + 16..w + 24].copy_from_slice(&(off as u64).to_le_bytes());
+            w += 24;
+        }
+        debug_assert_eq!(w, header_end);
+
+        for ((_, p), &off) in self.params.iter().zip(&offsets) {
+            let mut pos = off;
+            for &v in p.value.as_slice() {
+                buf[pos..pos + 8].copy_from_slice(&v.to_le_bytes());
+                pos += 8;
+            }
+        }
+
+        let payload_checksum = fnv1a(&buf[payload_start..]);
+        let header_checksum = fnv1a(&buf[V2_CHECKSUMMED_FROM..header_end]);
+        buf[16..24].copy_from_slice(&payload_checksum.to_le_bytes());
+        buf[24..32].copy_from_slice(&header_checksum.to_le_bytes());
+        buf
+    }
+
+    /// Serializes to bytes in the legacy v1 layout (no alignment, no
+    /// checksums). Kept for fixture generation and compat testing; the
+    /// production writer is [`Checkpoint::to_bytes`].
+    pub fn to_bytes_v1(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(64 + self.params.num_scalars() * 8);
         buf.put_slice(MAGIC);
-        buf.put_u32_le(VERSION);
+        buf.put_u32_le(VERSION_V1);
 
         buf.put_u32_le(self.metadata.len() as u32);
         for (k, v) in &self.metadata {
@@ -112,21 +281,85 @@ impl Checkpoint {
         buf
     }
 
-    /// Deserializes from bytes.
-    pub fn from_bytes(mut data: &[u8]) -> Result<Self, CheckpointError> {
-        if data.remaining() < 8 {
-            return Err(CheckpointError::Truncated);
+    /// Deserializes from bytes, dispatching on the version field. Both v1
+    /// and v2 blobs decode into fully owned tensors.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, CheckpointError> {
+        match peek_version(data)? {
+            VERSION_V1 => Self::decode_v1(&data[8..]),
+            VERSION_V2 => {
+                let parts = parse_v2(data)?;
+                let mut params = ParamSet::new();
+                for s in parts.sections {
+                    let count = s.rows * s.cols;
+                    let bytes = &data[s.offset..s.offset + count * 8];
+                    let mut values = Vec::with_capacity(count);
+                    for chunk in bytes.chunks_exact(8) {
+                        values.push(f64::from_le_bytes(chunk.try_into().unwrap()));
+                    }
+                    if params.find(&s.name).is_some() {
+                        return Err(CheckpointError::Truncated);
+                    }
+                    let id = params.register(s.name, Matrix::from_vec(s.rows, s.cols, values));
+                    params.get_mut(id).trainable = s.trainable;
+                }
+                Ok(Self {
+                    params,
+                    metadata: parts.metadata,
+                })
+            }
+            v => Err(CheckpointError::UnsupportedVersion(v)),
         }
-        let mut magic = [0u8; 4];
-        data.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
-            return Err(CheckpointError::BadMagic);
-        }
-        let version = data.get_u32_le();
-        if version != VERSION {
-            return Err(CheckpointError::UnsupportedVersion(version));
-        }
+    }
 
+    /// Memory-maps a checkpoint file and decodes it **zero-copy**: for a v2
+    /// file, every tensor is a [`Matrix::from_mapped`] view into one shared
+    /// `Arc<Mmap>` — no element data is copied, and reads come straight
+    /// from the OS page cache. Header and payload checksums are verified
+    /// against the mapped bytes before any tensor is handed out.
+    ///
+    /// A v1 file (which has neither alignment nor checksums) decodes
+    /// through the owned path instead — same result, zero-copy property
+    /// waived. See the module docs for the mapping lifetime contract.
+    pub fn map(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let file = File::open(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        Self::map_file(&file)
+    }
+
+    /// [`Checkpoint::map`] over an already-opened file handle.
+    pub fn map_file(file: &File) -> Result<Self, CheckpointError> {
+        let map = Mmap::map(file).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        Self::from_map(Arc::new(map))
+    }
+
+    /// Decodes a checkpoint from an existing mapping (v2 → mapped tensors,
+    /// v1 → owned fallback).
+    pub fn from_map(map: Arc<Mmap>) -> Result<Self, CheckpointError> {
+        let data = map.as_slice();
+        match peek_version(data)? {
+            VERSION_V1 => Self::decode_v1(&data[8..]),
+            VERSION_V2 => {
+                let parts = parse_v2(data)?;
+                let mut params = ParamSet::new();
+                for s in parts.sections {
+                    let matrix = Matrix::from_mapped(s.rows, s.cols, Arc::clone(&map), s.offset)
+                        .map_err(|_| CheckpointError::Truncated)?;
+                    if params.find(&s.name).is_some() {
+                        return Err(CheckpointError::Truncated);
+                    }
+                    let id = params.register(s.name, matrix);
+                    params.get_mut(id).trainable = s.trainable;
+                }
+                Ok(Self {
+                    params,
+                    metadata: parts.metadata,
+                })
+            }
+            v => Err(CheckpointError::UnsupportedVersion(v)),
+        }
+    }
+
+    /// The v1 body decoder (`data` starts *after* magic + version).
+    fn decode_v1(mut data: &[u8]) -> Result<Self, CheckpointError> {
         let n_meta = read_u32(&mut data)? as usize;
         let mut metadata = BTreeMap::new();
         for _ in 0..n_meta {
@@ -153,22 +386,131 @@ impl Checkpoint {
             for _ in 0..count {
                 values.push(data.get_f64_le());
             }
+            if params.find(&name).is_some() {
+                return Err(CheckpointError::Truncated);
+            }
             let id = params.register(name, Matrix::from_vec(rows, cols, values));
             params.get_mut(id).trainable = trainable;
         }
         Ok(Self { params, metadata })
     }
 
-    /// Writes the checkpoint to a file.
+    /// Writes the checkpoint to a file **atomically**: the bytes go to
+    /// `<path>.tmp` first, are fsynced, and the temp file is renamed over
+    /// `path`. A crash at any point leaves either the previous checkpoint
+    /// or a stray `.tmp` — never a torn file at the published path.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-        std::fs::write(path, self.to_bytes()).map_err(|e| CheckpointError::Io(e.to_string()))
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let result = (|| {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&self.to_bytes())?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if let Err(e) = result {
+            std::fs::remove_file(&tmp).ok();
+            return Err(CheckpointError::Io(e.to_string()));
+        }
+        Ok(())
     }
 
-    /// Reads a checkpoint from a file.
+    /// Reads a checkpoint from a file into owned tensors (either version).
+    /// For zero-copy recall of v2 files use [`Checkpoint::map`].
     pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
         let data = std::fs::read(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
         Self::from_bytes(&data)
     }
+}
+
+/// Checks the magic and returns the version field.
+fn peek_version(data: &[u8]) -> Result<u32, CheckpointError> {
+    if data.len() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    if &data[0..4] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    Ok(u32::from_le_bytes(data[4..8].try_into().unwrap()))
+}
+
+/// Parses and fully validates a v2 blob: length, both checksums, and the
+/// bounds + 64-byte alignment of every payload. On success the returned
+/// locators are safe to index `data` with.
+fn parse_v2(data: &[u8]) -> Result<V2Parts, CheckpointError> {
+    if data.len() < V2_FIXED_HEADER {
+        return Err(CheckpointError::Truncated);
+    }
+    let file_len = u64::from_le_bytes(data[8..16].try_into().unwrap());
+    if file_len != data.len() as u64 {
+        return Err(CheckpointError::Truncated);
+    }
+    let payload_checksum = u64::from_le_bytes(data[16..24].try_into().unwrap());
+    let header_checksum = u64::from_le_bytes(data[24..32].try_into().unwrap());
+    let n_meta = u32::from_le_bytes(data[32..36].try_into().unwrap()) as usize;
+    let n_params = u32::from_le_bytes(data[36..40].try_into().unwrap()) as usize;
+
+    let mut rest = &data[V2_FIXED_HEADER..];
+    let mut metadata = BTreeMap::new();
+    for _ in 0..n_meta {
+        let k = read_string(&mut rest)?;
+        let v = read_string(&mut rest)?;
+        metadata.insert(k, v);
+    }
+    let mut sections = Vec::with_capacity(n_params);
+    for _ in 0..n_params {
+        let name = read_string(&mut rest)?;
+        if rest.remaining() < 1 + 24 {
+            return Err(CheckpointError::Truncated);
+        }
+        let trainable = rest.get_u8() != 0;
+        let rows = rest.get_u64_le() as usize;
+        let cols = rest.get_u64_le() as usize;
+        let offset = rest.get_u64_le() as usize;
+        sections.push(Section {
+            name,
+            trainable,
+            rows,
+            cols,
+            offset,
+        });
+    }
+    let header_end = data.len() - rest.remaining();
+    if fnv1a(&data[V2_CHECKSUMMED_FROM..header_end]) != header_checksum {
+        return Err(CheckpointError::ChecksumMismatch);
+    }
+    let payload_start = align64(header_end);
+    if payload_start > data.len() {
+        return Err(CheckpointError::Truncated);
+    }
+    if fnv1a(&data[payload_start..]) != payload_checksum {
+        return Err(CheckpointError::ChecksumMismatch);
+    }
+    for s in &sections {
+        let count = s
+            .rows
+            .checked_mul(s.cols)
+            .ok_or(CheckpointError::Truncated)?;
+        let bytes = count.checked_mul(8).ok_or(CheckpointError::Truncated)?;
+        let end = s
+            .offset
+            .checked_add(bytes)
+            .ok_or(CheckpointError::Truncated)?;
+        if s.offset % 64 != 0 || s.offset < payload_start || end > data.len() {
+            return Err(CheckpointError::Truncated);
+        }
+    }
+    Ok(V2Parts { metadata, sections })
+}
+
+/// Writes `len u32 LE | utf8 bytes` at `*w` into a pre-sized buffer.
+fn write_str_at(buf: &mut [u8], w: &mut usize, s: &str) {
+    buf[*w..*w + 4].copy_from_slice(&(s.len() as u32).to_le_bytes());
+    *w += 4;
+    buf[*w..*w + s.len()].copy_from_slice(s.as_bytes());
+    *w += s.len();
 }
 
 fn put_string(buf: &mut Vec<u8>, s: &str) {
@@ -212,18 +554,50 @@ mod tests {
         Checkpoint::new(ps, meta)
     }
 
+    fn assert_checkpoints_equal(a: &Checkpoint, b: &Checkpoint) {
+        assert_eq!(a.metadata, b.metadata);
+        assert_eq!(a.params.len(), b.params.len());
+        for (_, p) in a.params.iter() {
+            let q = b.params.get(b.params.find(&p.name).unwrap());
+            assert_eq!(q.value, p.value, "tensor {} must be bit-identical", p.name);
+            assert_eq!(q.trainable, p.trainable);
+        }
+    }
+
     #[test]
     fn round_trip_is_exact() {
         let ck = sample_checkpoint();
-        let bytes = ck.to_bytes();
-        let back = Checkpoint::from_bytes(&bytes).unwrap();
-        assert_eq!(back.metadata, ck.metadata);
-        assert_eq!(back.params.len(), ck.params.len());
-        for (id, p) in ck.params.iter() {
-            let q = back.params.get(back.params.find(&p.name).unwrap());
-            assert_eq!(q.value, p.value, "tensor {} must be bit-identical", p.name);
-            assert_eq!(q.trainable, p.trainable);
-            let _ = id;
+        let back = Checkpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_checkpoints_equal(&ck, &back);
+    }
+
+    #[test]
+    fn v1_blobs_still_decode() {
+        let ck = sample_checkpoint();
+        let back = Checkpoint::from_bytes(&ck.to_bytes_v1()).unwrap();
+        assert_checkpoints_equal(&ck, &back);
+    }
+
+    #[test]
+    fn v2_payloads_are_64_byte_aligned() {
+        let bytes = sample_checkpoint().to_bytes();
+        assert_eq!(&bytes[4..8], &2u32.to_le_bytes());
+        let n_params = u32::from_le_bytes(bytes[36..40].try_into().unwrap());
+        assert_eq!(n_params, 3);
+        // Walk the section table and check every stored offset.
+        let mut rest = &bytes[V2_FIXED_HEADER..];
+        let n_meta = u32::from_le_bytes(bytes[32..36].try_into().unwrap());
+        for _ in 0..n_meta {
+            let _ = read_string(&mut rest).unwrap();
+            let _ = read_string(&mut rest).unwrap();
+        }
+        for _ in 0..n_params {
+            let _ = read_string(&mut rest).unwrap();
+            let _ = rest.get_u8();
+            let _ = rest.get_u64_le();
+            let _ = rest.get_u64_le();
+            let offset = rest.get_u64_le();
+            assert_eq!(offset % 64, 0, "payload offset {offset} not 64-aligned");
         }
     }
 
@@ -234,8 +608,36 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("model.blmy");
         ck.save(&path).unwrap();
+        assert!(
+            !path.with_extension("blmy.tmp").exists(),
+            "atomic save must not leave a temp file"
+        );
         let back = Checkpoint::load(&path).unwrap();
         assert_eq!(back.metadata, ck.metadata);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_decode_is_zero_copy_and_bit_identical() {
+        let ck = sample_checkpoint();
+        let dir = std::env::temp_dir().join("bellamy-ckpt-map-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.blmy");
+        ck.save(&path).unwrap();
+
+        let mapped = Checkpoint::map(&path).unwrap();
+        assert_checkpoints_equal(&ck, &mapped);
+        for (_, p) in mapped.params.iter() {
+            assert!(p.value.is_mapped(), "tensor {} should be mapped", p.name);
+        }
+
+        // v1 files fall back to owned decode through the same entry point.
+        std::fs::write(&path, ck.to_bytes_v1()).unwrap();
+        let v1_mapped = Checkpoint::map(&path).unwrap();
+        assert_checkpoints_equal(&ck, &v1_mapped);
+        for (_, p) in v1_mapped.params.iter() {
+            assert!(!p.value.is_mapped(), "v1 decode must be owned");
+        }
         std::fs::remove_file(&path).ok();
     }
 
@@ -258,6 +660,30 @@ mod tests {
                 "cut at {cut}: unexpected error {err:?}"
             );
         }
+        // v1 truncation still detected through the dispatch path.
+        let v1 = sample_checkpoint().to_bytes_v1();
+        for cut in [5, 9, 20, v1.len() - 3] {
+            let err = Checkpoint::from_bytes(&v1[..cut]).unwrap_err();
+            assert!(err.is_corruption(), "v1 cut at {cut}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn payload_bit_flip_detected_by_checksum() {
+        let mut bytes = sample_checkpoint().to_bytes();
+        let n = bytes.len();
+        bytes[n - 5] ^= 0x10; // flip one bit inside the last payload
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+        assert_eq!(err, CheckpointError::ChecksumMismatch);
+        assert!(err.is_corruption());
+    }
+
+    #[test]
+    fn header_bit_flip_detected() {
+        let mut bytes = sample_checkpoint().to_bytes();
+        bytes[44] ^= 0x01; // inside the first metadata key
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+        assert!(err.is_corruption(), "unexpected error {err:?}");
     }
 
     #[test]
@@ -266,6 +692,7 @@ mod tests {
         assert!(CheckpointError::UnsupportedVersion(9).is_corruption());
         assert!(CheckpointError::Truncated.is_corruption());
         assert!(CheckpointError::InvalidUtf8.is_corruption());
+        assert!(CheckpointError::ChecksumMismatch.is_corruption());
         assert!(!CheckpointError::Io("disk on fire".into()).is_corruption());
     }
 
@@ -299,5 +726,7 @@ mod tests {
         let back = Checkpoint::from_bytes(&ck.to_bytes()).unwrap();
         assert!(back.params.is_empty());
         assert!(back.metadata.is_empty());
+        let back_v1 = Checkpoint::from_bytes(&ck.to_bytes_v1()).unwrap();
+        assert!(back_v1.params.is_empty());
     }
 }
