@@ -491,8 +491,19 @@ mod tests {
         }
     }
 
+    /// The bitwise slice-vs-scalar contract below holds on the **Exact**
+    /// tiers only; under `BELLAMY_KERNEL=fma` the dispatched slice kernels
+    /// deliberately fuse rounding steps and promise a ULP envelope instead
+    /// (pinned by `tests/fma_ulp.rs`).
+    fn fast_tier_active() -> bool {
+        bellamy_linalg::kernels::active_backend() == bellamy_linalg::kernels::Backend::Fma
+    }
+
     #[test]
     fn exp_slice_matches_scalar_bitwise_in_range() {
+        if fast_tier_active() {
+            return;
+        }
         let xs: Vec<f64> = (-7080..=7080).map(|i| i as f64 * 0.1).collect();
         let mut slice = xs.clone();
         fast_exp_slice_in_place(&mut slice);
@@ -506,6 +517,9 @@ mod tests {
 
     #[test]
     fn tanh_slice_matches_scalar_bitwise() {
+        if fast_tier_active() {
+            return;
+        }
         let xs: Vec<f64> = (-4000..=4000).map(|i| i as f64 * 0.01).collect();
         let mut slice = xs.clone();
         fast_tanh_slice_in_place(&mut slice);
@@ -516,6 +530,9 @@ mod tests {
 
     #[test]
     fn apply_slice_matches_scalar_apply_bitwise() {
+        if fast_tier_active() {
+            return;
+        }
         let xs: Vec<f64> = (-2000..=2000)
             .map(|i| i as f64 * 0.013)
             .chain([0.0, -0.0, 1e-300, -1e-300, -50.0, -800.0, 800.0])

@@ -1,0 +1,189 @@
+//! Fast-tier (FMA-contracted) activation kernels vs the scalar reference.
+//!
+//! `simd::force_*_slice_fma` contracts the polynomial cores' multiply-adds,
+//! so unlike `simd_bitwise.rs` the comparison here is an envelope, not bit
+//! identity ([`bellamy_linalg::within_envelope`]): a handful of ULPs for
+//! well-conditioned outputs, plus an absolute backstop at the scale where
+//! each kernel cancels —
+//!
+//! - `exp` never cancels: the ULP bound alone must hold (magnitude
+//!   `|exact|` keeps the backstop purely relative);
+//! - `tanh` forms `(den − num)/(den + num)` with `den ≈ num` near zero, and
+//!   SELU forms `e − 1` with `e ≈ 1` there, so both carry unit-scale
+//!   rounding noise: magnitude `|exact| + 1` admits an `O(ε)` absolute
+//!   difference exactly where that cancellation lives.
+//!
+//! Special values keep the Exact tier's semantics: NaN stays NaN, the
+//! saturating clamps send ±inf to the same finite cell, and zeros keep
+//! their sign bitwise. On hardware without FMA the force functions return
+//! `false` and the suite passes vacuously.
+
+use bellamy_autograd::ops::{fast_exp, fast_tanh, Activation};
+use bellamy_autograd::simd;
+use bellamy_linalg::ulp::within_envelope;
+use proptest::prelude::*;
+
+const MAX_ULPS: u64 = 8;
+const ABS_SLACK: f64 = 16.0 * f64::EPSILON;
+
+/// Envelope assertion for one activation output; `unit_scale` adds the
+/// `+1.0` cancellation backstop for tanh/SELU.
+fn assert_close(exact: f64, fast: f64, unit_scale: bool, what: &str, x: f64) {
+    let magnitude = exact.abs() + if unit_scale { 1.0 } else { 0.0 };
+    assert!(
+        within_envelope(exact, fast, MAX_ULPS, ABS_SLACK, magnitude),
+        "{what}({x:e}): exact {exact:e} vs fast {fast:e}"
+    );
+    if exact == 0.0 {
+        // Zeros keep their sign: the select/sign steps are the exact
+        // kernels', only polynomial low bits may drift.
+        assert_eq!(exact.to_bits(), fast.to_bits(), "{what}({x:e}) zero sign");
+    }
+}
+
+/// Lengths 0..=17 cover empty, sub-lane, exact-lane, and ragged tails for
+/// both 4-lane (AVX2) and 2-lane (NEON) widths.
+fn slices() -> impl Strategy<Value = Vec<f64>> {
+    (0usize..18).prop_flat_map(|len| proptest::collection::vec(-750.0f64..750.0, len))
+}
+
+proptest! {
+    #[test]
+    fn exp_slice_fma_within_envelope(xs in slices()) {
+        let want: Vec<f64> = xs.iter().map(|&x| fast_exp(x.clamp(-708.0, 708.0))).collect();
+        let mut got = xs.clone();
+        if simd::force_exp_slice_fma(&mut got) {
+            for ((&x, &e), &f) in xs.iter().zip(&want).zip(&got) {
+                assert_close(e, f, false, "exp", x);
+            }
+        }
+    }
+
+    #[test]
+    fn tanh_slice_fma_within_envelope(xs in slices()) {
+        let want: Vec<f64> = xs.iter().map(|&x| fast_tanh(x)).collect();
+        let mut got = xs.clone();
+        if simd::force_tanh_slice_fma(&mut got) {
+            for ((&x, &e), &f) in xs.iter().zip(&want).zip(&got) {
+                assert_close(e, f, true, "tanh", x);
+            }
+        }
+    }
+
+    #[test]
+    fn selu_slice_fma_within_envelope(xs in slices()) {
+        let want: Vec<f64> = xs.iter().map(|&x| Activation::Selu.apply(x)).collect();
+        let mut got = xs.clone();
+        if simd::force_selu_slice_fma(&mut got) {
+            for ((&x, &e), &f) in xs.iter().zip(&want).zip(&got) {
+                assert_close(e, f, true, "selu", x);
+            }
+        }
+    }
+
+    /// Near-zero inputs are where tanh/SELU cancel; hammer that band
+    /// specifically so the unit-scale backstop is exercised, not just
+    /// stated.
+    #[test]
+    fn near_zero_cancellation_band(xs in proptest::collection::vec(-1e-6f64..1e-6, 1..18)) {
+        let want_tanh: Vec<f64> = xs.iter().map(|&x| fast_tanh(x)).collect();
+        let mut got = xs.clone();
+        if simd::force_tanh_slice_fma(&mut got) {
+            for ((&x, &e), &f) in xs.iter().zip(&want_tanh).zip(&got) {
+                assert_close(e, f, true, "tanh", x);
+            }
+        }
+        let want_selu: Vec<f64> = xs.iter().map(|&x| Activation::Selu.apply(x)).collect();
+        let mut got = xs.clone();
+        if simd::force_selu_slice_fma(&mut got) {
+            for ((&x, &e), &f) in xs.iter().zip(&want_selu).zip(&got) {
+                assert_close(e, f, true, "selu", x);
+            }
+        }
+    }
+}
+
+#[test]
+fn special_values_keep_exact_semantics() {
+    let specials = [
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        0.0,
+        -0.0,
+        f64::MIN_POSITIVE,
+        -f64::MIN_POSITIVE,
+        5e-324, // smallest subnormal
+        -5e-324,
+        708.0,
+        -708.0,
+        709.0, // beyond the exp clamp
+        -709.0,
+        1.0,
+        -1.0,
+        f64::MAX,
+        f64::MIN,
+        0.5, // ragged length (17 = 4*4 + 1)
+    ];
+
+    let want: Vec<f64> = specials
+        .iter()
+        .map(|&x| fast_exp(x.clamp(-708.0, 708.0)))
+        .collect();
+    let mut got = specials.to_vec();
+    if simd::force_exp_slice_fma(&mut got) {
+        for ((&x, &e), &f) in specials.iter().zip(&want).zip(&got) {
+            assert_close(e, f, false, "exp", x);
+        }
+    }
+
+    let want: Vec<f64> = specials.iter().map(|&x| fast_tanh(x)).collect();
+    let mut got = specials.to_vec();
+    if simd::force_tanh_slice_fma(&mut got) {
+        for ((&x, &e), &f) in specials.iter().zip(&want).zip(&got) {
+            assert_close(e, f, true, "tanh", x);
+        }
+    }
+
+    let want: Vec<f64> = specials
+        .iter()
+        .map(|&x| Activation::Selu.apply(x))
+        .collect();
+    let mut got = specials.to_vec();
+    if simd::force_selu_slice_fma(&mut got) {
+        for ((&x, &e), &f) in specials.iter().zip(&want).zip(&got) {
+            assert_close(e, f, true, "selu", x);
+        }
+    }
+}
+
+#[test]
+fn dispatch_routes_to_fma_when_fast_tier_is_active() {
+    // When the process resolved the Fast tier, the public slice entry
+    // points must produce the forced-FMA results bit for bit (same kernel,
+    // same path). This is the Fast-tier mirror of
+    // `dispatch_and_force_agree_when_backend_is_simd`.
+    use bellamy_linalg::kernels::{active_backend, Backend};
+    if active_backend() != Backend::Fma {
+        return;
+    }
+    let xs: Vec<f64> = (0..33).map(|i| (i as f64 - 16.0) * 1.37).collect();
+
+    let mut via_public = xs.clone();
+    bellamy_autograd::fast_exp_slice_in_place(&mut via_public);
+    let mut via_forced = xs.clone();
+    if simd::force_exp_slice_fma(&mut via_forced) {
+        let pb: Vec<u64> = via_public.iter().map(|v| v.to_bits()).collect();
+        let fb: Vec<u64> = via_forced.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(pb, fb);
+    }
+
+    let mut via_public = xs.clone();
+    bellamy_autograd::fast_tanh_slice_in_place(&mut via_public);
+    let mut via_forced = xs;
+    if simd::force_tanh_slice_fma(&mut via_forced) {
+        let pb: Vec<u64> = via_public.iter().map(|v| v.to_bits()).collect();
+        let fb: Vec<u64> = via_forced.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(pb, fb);
+    }
+}

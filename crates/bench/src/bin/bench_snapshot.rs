@@ -23,14 +23,93 @@
 //! 1/2/4 submitting threads — direct per-thread predictor vs the
 //! `Service` front door's cross-caller micro-batcher.
 
+use bellamy_linalg::kernels::{self, KernelTable};
 use bench::train_step::{workload, EpochRunner, StepImpl};
 use bench::{hub, predict, serve};
+use std::time::Instant;
 
 /// The kernel backend every snapshot ran on, recorded in each JSON so a
 /// number is never compared against one taken with a different backend
 /// (`BELLAMY_KERNEL` can force scalar).
 fn backend() -> &'static str {
-    bellamy_linalg::kernels::backend_name()
+    kernels::backend_name()
+}
+
+/// The full tier resolution (`requested -> resolved`), recorded alongside
+/// the backend so a snapshot taken under a degraded request (e.g.
+/// `BELLAMY_KERNEL=fma` on a host without FMA) is distinguishable from one
+/// where the request was honored.
+fn resolution_fields() -> String {
+    let r = kernels::resolution();
+    format!(
+        "\"kernel_requested\": \"{}\",\n  \"kernel_resolved\": \"{}\"",
+        r.requested_name(),
+        r.resolved_name()
+    )
+}
+
+/// Times `table.matmul` on one shape: µs per call, best of `reps` batches.
+fn time_matmul(table: &KernelTable, m: usize, k: usize, n: usize, reps: usize) -> f64 {
+    let a: Vec<f64> = (0..m * k).map(|i| (i as f64 * 0.13) - 3.0).collect();
+    let b: Vec<f64> = (0..k * n).map(|i| (i as f64 * 0.29) - 7.0).collect();
+    let mut out = vec![0.0; m * n];
+    table.matmul(&a, &b, &mut out, m, k, n); // warm-up
+    let inner = 64;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..inner {
+            table.matmul(&a, &b, &mut out, m, k, n);
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / inner as f64);
+    }
+    std::hint::black_box(&out);
+    best * 1e6
+}
+
+/// Exact-vs-Fast matmul comparison rows: the two Exact backends and the
+/// Fast (FMA) table timed head to head on representative shapes, driven
+/// through the tables directly so one process can measure both tiers
+/// regardless of the process-wide dispatch. Shapes cover the n==8
+/// register kernel the predict path leans on, the 40-wide decode GEMM,
+/// and a larger blocked shape.
+fn tier_comparison_json() -> String {
+    let shapes: [(usize, usize, usize); 3] = [(64, 8, 8), (64, 40, 8), (128, 64, 64)];
+    let scalar = kernels::scalar();
+    let simd = kernels::simd();
+    let fma = kernels::fma();
+    let mut rows = Vec::new();
+    for (m, k, n) in shapes {
+        let scalar_us = time_matmul(scalar, m, k, n, 5);
+        let simd_us = simd.map(|t| time_matmul(t, m, k, n, 5));
+        let fma_us = fma.map(|t| time_matmul(t, m, k, n, 5));
+        let fmt_opt = |v: Option<f64>| {
+            v.map(|us| format!("{us:.3}"))
+                .unwrap_or_else(|| "null".to_string())
+        };
+        let fast_vs_exact = match (simd_us.or(Some(scalar_us)), fma_us) {
+            (Some(exact), Some(fast)) if fast > 0.0 => format!("{:.2}", exact / fast),
+            _ => "null".to_string(),
+        };
+        eprintln!(
+            "{:<22} scalar {scalar_us:8.3} us  simd {:>8} us  fma {:>8} us  fast_vs_exact {fast_vs_exact}x",
+            format!("matmul_{m}x{k}x{n}"),
+            fmt_opt(simd_us),
+            fmt_opt(fma_us),
+        );
+        rows.push(format!(
+            "    {{\"shape\": \"{m}x{k}x{n}\", \"scalar_us\": {scalar_us:.3}, \
+             \"simd_us\": {}, \"fma_us\": {}, \"fast_vs_exact_speedup\": {fast_vs_exact}}}",
+            fmt_opt(simd_us),
+            fmt_opt(fma_us),
+        ));
+    }
+    format!(
+        "\"kernel_tiers\": {{\n    \"note\": \"exact-vs-fast matmul, tables driven directly; \
+         null when the backend is unavailable on this host\",\n    \"unit\": \"us_per_call\",\n    \
+         \"rows\": [\n{}\n    ]\n  }}",
+        rows.join(",\n")
+    )
 }
 
 fn main() {
@@ -83,10 +162,12 @@ fn snapshot_train(path: &str) {
     let json = format!(
         "{{\n  \"benchmark\": \"train_step\",\n  \"workload\": \"SGD C3O history, {} samples, \
          PretrainConfig::default() (batch 64)\",\n  \"machine_threads\": {threads},\n  \
-         \"kernel_backend\": \"{}\",\n  \
+         \"kernel_backend\": \"{}\",\n  {},\n  {},\n  \
          \"unit\": \"us_per_minibatch_step\",\n  \"results\": [\n{}\n  ]\n}}\n",
         samples.len(),
         backend(),
+        resolution_fields(),
+        tier_comparison_json(),
         entries.join(",\n")
     );
     std::fs::write(path, json).expect("write train benchmark snapshot");
@@ -102,12 +183,14 @@ fn snapshot_predict(path: &str) {
 
     let json = format!(
         "{{\n  \"benchmark\": \"predict\",\n  \"workload\": \"64-query scale-out sweep of one \
-         SGD context, pre-trained default model\",\n  \"kernel_backend\": \"{}\",\n  \
+         SGD context, pre-trained default model\",\n  \"kernel_backend\": \"{}\",\n  {},\n  {},\n  \
          \"unit\": \"us_per_query\",\n  \
          \"results\": [\n    {{\"name\": \"seed_style_single\", \"us_per_query\": {seed_us:.2}, \
          \"speedup_vs_seed\": 1.00}},\n    {{\"name\": \"predictor_batch_64\", \
          \"us_per_query\": {batched_us:.2}, \"speedup_vs_seed\": {:.2}}}\n  ]\n}}\n",
         backend(),
+        resolution_fields(),
+        tier_comparison_json(),
         seed_us / batched_us
     );
     std::fs::write(path, json).expect("write predict benchmark snapshot");
@@ -140,10 +223,11 @@ fn snapshot_hub(path: &str) {
     let json = format!(
         "{{\n  \"benchmark\": \"hub\",\n  \"workload\": \"recall of one pretrained SGD model + \
          concurrent 64-query sweeps on one shared Arc<ModelState>\",\n  \
-         \"kernel_backend\": \"{}\",\n  \"recall\": {{\n    \
+         \"kernel_backend\": \"{}\",\n  {},\n  \"recall\": {{\n    \
          \"memory_us\": {:.2},\n    \"disk\": [\n{}\n    ]\n  }},\n  \
          \"concurrent_predict\": [\n{}\n  ]\n}}\n",
         backend(),
+        resolution_fields(),
         r.recall_memory_us,
         disk_entries.join(",\n"),
         qps_entries.join(",\n")
@@ -191,13 +275,14 @@ fn snapshot_serve(path: &str) {
         "{{\n  \"benchmark\": \"serve\",\n  \"workload\": \"single-query serving of one \
          pre-trained SGD model, {} queries/thread, direct per-thread Predictor vs \
          cross-caller micro-batched Service client\",\n  \
-         \"kernel_backend\": \"{}\",\n  \
+         \"kernel_backend\": \"{}\",\n  {},\n  \
          \"microbatched_vs_direct_qps_at_4_threads\": {speedup_4t:.2},\n  \
          \"robustness\": {{\"shed\": {}, \"deadline_expired\": {}, \"panics\": {}, \
          \"restarts\": {}}},\n  \
          \"results\": [\n{}\n  ]\n}}\n",
         serve::QUERIES_PER_THREAD,
         backend(),
+        resolution_fields(),
         r.shed,
         r.deadline_expired,
         r.panics,

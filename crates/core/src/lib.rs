@@ -67,3 +67,7 @@ pub use serve::{
 };
 pub use state::{ModelState, StateFromCheckpointError};
 pub use train::PretrainReport;
+
+pub use bellamy_linalg::kernels::{
+    Backend as KernelBackend, KernelTier, Resolution as KernelResolution, TierRequest,
+};

@@ -108,6 +108,7 @@ use crate::hub::{HubStats, ModelHub, ModelKey, RecallMode};
 use crate::model::Bellamy;
 use crate::predictor::{PredictQuery, Predictor};
 use crate::state::ModelState;
+use bellamy_linalg::kernels::{self, TierRequest};
 use bellamy_par::ThreadPool;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
@@ -207,6 +208,25 @@ pub struct BatcherStats {
     /// [`PANIC_WINDOW`]) degraded this batcher to direct per-caller
     /// prediction.
     pub degraded: bool,
+    /// Kernel tier requested for this process (`"auto"`, `"scalar"`,
+    /// `"simd"`, or `"fma"` — see `bellamy_linalg::kernels::resolution`).
+    /// Empty only on [`BatcherStats::default`].
+    pub kernel_requested: &'static str,
+    /// Kernel backend the request actually resolved to (e.g. `"avx2-fma"`).
+    /// Differs from an honored request only when the hardware forced a
+    /// degradation — compare with `kernel_requested` to detect silent
+    /// fallback from operational stats.
+    pub kernel_resolved: &'static str,
+}
+
+impl BatcherStats {
+    /// Stamps the process-wide kernel resolution onto a stats snapshot.
+    fn with_kernel_resolution(mut self) -> Self {
+        let res = kernels::resolution();
+        self.kernel_requested = res.requested_name();
+        self.kernel_resolved = res.resolved_name();
+        self
+    }
 }
 
 /// Why the serving loop decided to flush the collecting batch.
@@ -813,7 +833,9 @@ impl MicroBatcher {
             panics: self.shared.panics.load(Ordering::Relaxed),
             restarts: self.shared.restarts.load(Ordering::Relaxed),
             degraded: self.shared.degraded.load(Ordering::Acquire),
+            ..BatcherStats::default()
         }
+        .with_kernel_resolution()
     }
 }
 
@@ -1154,6 +1176,7 @@ pub struct ServiceBuilder {
     recall_mode: Option<RecallMode>,
     batcher: Option<BatcherConfig>,
     finetune: Option<FinetunePolicy>,
+    kernel: Option<TierRequest>,
 }
 
 impl ServiceBuilder {
@@ -1192,9 +1215,29 @@ impl ServiceBuilder {
         self
     }
 
+    /// Requests a kernel tier for this **process** (e.g.
+    /// [`TierRequest::Fma`] for the ULP-bounded Fast tier; see
+    /// `bellamy_linalg::kernels` for the tier contract). Kernel dispatch
+    /// resolves once per process: a programmatic request made before the
+    /// first kernel runs takes precedence over `BELLAMY_KERNEL`; after
+    /// that, the standing resolution wins and this call has no effect.
+    /// Either way [`ModelClient::batcher_stats`] reports requested vs
+    /// resolved so a lost or degraded request is visible, and an
+    /// unsupported tier logs a one-time warning while degrading
+    /// (fma → simd → scalar) rather than failing the build.
+    pub fn kernel_tier(mut self, tier: TierRequest) -> Self {
+        self.kernel = Some(tier);
+        self
+    }
+
     /// Builds the service. Fails only when a [`ServiceBuilder::hub_dir`]
     /// cannot be created.
     pub fn build(self) -> Result<Service, BellamyError> {
+        if let Some(tier) = self.kernel {
+            // First resolution wins process-wide; a lost request is
+            // surfaced through stats rather than failing the build.
+            let _ = kernels::request_tier(tier);
+        }
         let hub = match (self.hub, self.hub_dir) {
             (Some(hub), _) => hub,
             (None, Some(dir)) => {
@@ -1465,7 +1508,7 @@ impl ModelClient {
         let id = Arc::as_ptr(&self.state) as usize;
         match self.service.batchers.lock().get(&id) {
             Some(b) => b.stats(),
-            None => BatcherStats::default(),
+            None => BatcherStats::default().with_kernel_resolution(),
         }
     }
 }

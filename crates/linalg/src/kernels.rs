@@ -3,19 +3,28 @@
 //! # Dispatch table
 //!
 //! Every hot slice-level kernel (the matmul family, `axpy`, the elementwise
-//! arithmetic) exists twice: a scalar implementation that is always
-//! available, and a SIMD implementation — AVX2 `__m256d` on `x86_64`, NEON
-//! `float64x2_t` on `aarch64` — written with `std::arch` intrinsics. A
-//! [`KernelTable`] bundles one full set as plain function pointers; the
-//! active table is resolved **once per process** (cached in a [`OnceLock`])
-//! from:
+//! arithmetic) exists in up to three implementations: a scalar one that is
+//! always available, a bit-identical SIMD one — AVX2 `__m256d` on `x86_64`,
+//! NEON `float64x2_t` on `aarch64` — and an **opt-in FMA-contracted** one
+//! (AVX2+FMA / NEON `vfmaq_f64`). A [`KernelTable`] bundles one full set as
+//! plain function pointers; the active table is resolved **once per
+//! process** (cached in a [`OnceLock`]) from:
 //!
-//! 1. the `BELLAMY_KERNEL` environment variable — `scalar` forces the
-//!    fallback, `simd` requests the vector path (falling back to scalar,
-//!    with a warning, when the CPU lacks it), `auto` (or unset) picks the
-//!    best available;
-//! 2. runtime CPU feature detection (`is_x86_feature_detected!("avx2")`);
-//!    NEON is architecturally guaranteed on `aarch64`.
+//! 1. a programmatic request made before first use ([`request_tier`],
+//!    threaded through `bellamy::serve::ServiceBuilder::kernel_tier`) —
+//!    takes precedence over the environment;
+//! 2. the `BELLAMY_KERNEL` environment variable — `scalar` forces the
+//!    fallback, `simd` requests the bit-identical vector path, `fma`
+//!    requests the FMA-contracted Fast tier, `auto` (or unset) picks the
+//!    best available **Exact** backend;
+//! 3. runtime CPU feature detection (`is_x86_feature_detected!("avx2")`,
+//!    `("fma")`); NEON (including FMA) is architecturally guaranteed on
+//!    `aarch64`.
+//!
+//! Requests degrade gracefully, in order `fma → simd → scalar`, when the
+//! CPU lacks a feature; the degradation is reported once on stderr and
+//! permanently via [`resolution()`] (requested vs resolved), so a forced
+//! override never fails silently.
 //!
 //! [`Matrix`](crate::Matrix) routes its kernels through [`active()`], so
 //! every layer above — `nn::Linear`, the autograd tape's fused linear op,
@@ -23,10 +32,24 @@
 //! call-site changes. Steady-state dispatch is one atomic load plus an
 //! indirect call; nothing allocates.
 //!
-//! # Determinism and bit-identity
+//! # Tier contract
 //!
-//! The SIMD kernels are **bit-identical** to their scalar counterparts, not
-//! merely deterministic:
+//! Every backend belongs to one of two [`KernelTier`]s:
+//!
+//! | Tier | Backends | Selected by | Numerical contract |
+//! |------|----------|-------------|--------------------|
+//! | [`KernelTier::Exact`] (default) | `scalar`, `avx2`, `neon` | `auto` / `scalar` / `simd` | **Bit-identical** to the scalar reference: no FMA contraction, identical per-element accumulation order, identical NaN/±0 semantics. Backend choice never changes a single bit of any result. |
+//! | [`KernelTier::Fast`] (opt-in) | `avx2-fma`, `neon-fma` | `fma` only — never `auto` | Multiply-adds contract to fused operations (one rounding instead of two). Results stay within a **documented ULP envelope** of the Exact tier: for a length-`k` accumulation, `|fast − exact| ≤ 2·γₖ·Σ|aᵢ·bᵢ|` (`γₖ ≈ k·ε`), i.e. a few ULP for the well-conditioned shapes of this workspace. NaN/±inf/±0/subnormal *propagation* is identical (FMA is IEEE-correctly rounded, never flushes). Pinned by `tests/fma_accuracy.rs` and the end-to-end tolerance suite in `bellamy-core`. |
+//!
+//! Degradation order on unsupported hardware: `fma → simd → scalar` (the
+//! Fast tier degrades to the *Exact* tier, never the other way around).
+//! Precedence of selection sources: [`request_tier`] > `BELLAMY_KERNEL` >
+//! auto-detection.
+//!
+//! # Determinism and bit-identity (Exact tier)
+//!
+//! The Exact-tier SIMD kernels are **bit-identical** to their scalar
+//! counterparts, not merely deterministic:
 //!
 //! - no FMA contraction — every `a * b + c` stays a rounded multiply
 //!   followed by a rounded add, exactly as the scalar code computes it;
@@ -37,9 +60,11 @@
 //! - ragged tails (`cols % 4 != 0`) run the scalar epilogue on the same
 //!   values.
 //!
-//! Backend choice therefore never changes results — the reproduction tests
-//! pass bit-for-bit under `BELLAMY_KERNEL=scalar` and `=auto` — and each
-//! backend is deterministic run-to-run by construction.
+//! Exact backend choice therefore never changes results — the reproduction
+//! tests pass bit-for-bit under `BELLAMY_KERNEL=scalar` and `=auto` — and
+//! every backend (including Fast) is deterministic run-to-run by
+//! construction: the FMA kernels use one fixed contraction scheme, so two
+//! runs on the same hardware agree bitwise with each other.
 //!
 //! # Alignment
 //!
@@ -59,13 +84,38 @@ pub enum Backend {
     /// baseline).
     Scalar,
     /// `f64x4`/`f64x2` vector kernels (AVX2 on `x86_64`, NEON on
-    /// `aarch64`).
+    /// `aarch64`), bit-identical to scalar.
     Simd,
+    /// FMA-contracted vector kernels (AVX2+FMA / NEON `vfmaq`): the
+    /// opt-in [`KernelTier::Fast`] tier. See the module docs' tier
+    /// contract for the accuracy envelope.
+    Fma,
+}
+
+/// The numerical contract a backend operates under (see the module docs'
+/// tier-contract table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTier {
+    /// Bit-identical to the scalar reference. The default.
+    Exact,
+    /// FMA-contracted, within a documented ULP envelope of Exact.
+    /// Explicitly opted into; never chosen by `auto`.
+    Fast,
+}
+
+impl KernelTier {
+    /// `"exact"` or `"fast"`, recorded in bench snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Exact => "exact",
+            KernelTier::Fast => "fast",
+        }
+    }
 }
 
 impl Backend {
     /// Human-readable backend name, recorded in bench snapshots:
-    /// `"scalar"`, `"avx2"`, or `"neon"`.
+    /// `"scalar"`, `"avx2"`, `"neon"`, `"avx2-fma"`, or `"neon-fma"`.
     pub fn name(self) -> &'static str {
         match self {
             Backend::Scalar => "scalar",
@@ -83,6 +133,28 @@ impl Backend {
                     "simd"
                 }
             }
+            Backend::Fma => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    "avx2-fma"
+                }
+                #[cfg(target_arch = "aarch64")]
+                {
+                    "neon-fma"
+                }
+                #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+                {
+                    "fma"
+                }
+            }
+        }
+    }
+
+    /// The tier this backend belongs to.
+    pub fn tier(self) -> KernelTier {
+        match self {
+            Backend::Scalar | Backend::Simd => KernelTier::Exact,
+            Backend::Fma => KernelTier::Fast,
         }
     }
 }
@@ -119,6 +191,11 @@ impl KernelTable {
     /// The backend this table executes on.
     pub fn backend(&self) -> Backend {
         self.backend
+    }
+
+    /// The numerical tier this table operates under.
+    pub fn tier(&self) -> KernelTier {
+        self.backend.tier()
     }
 
     /// `out = a · b` (`a: m×k`, `b: k×n`, `out: m×n`, all row-major).
@@ -241,14 +318,46 @@ static SIMD_TABLE: KernelTable = KernelTable {
     scale: neon::scale,
 };
 
+// The Fast tier only re-implements the kernels with multiply-add chains
+// (the matmul family and axpy); the pure elementwise kernels have nothing
+// to contract, so the FMA table shares the Exact SIMD entries for them —
+// those remain bit-identical even under `fma`.
+#[cfg(target_arch = "x86_64")]
+static FMA_TABLE: KernelTable = KernelTable {
+    backend: Backend::Fma,
+    matmul: avx2fma::matmul,
+    matmul_tb: avx2fma::matmul_tb,
+    ta_matmul: avx2fma::ta_matmul,
+    matmul_bias_rowapply: avx2fma::matmul_bias_rowapply,
+    axpy: avx2fma::axpy,
+    add: avx2::add,
+    sub: avx2::sub,
+    mul: avx2::mul,
+    scale: avx2::scale,
+};
+
+#[cfg(target_arch = "aarch64")]
+static FMA_TABLE: KernelTable = KernelTable {
+    backend: Backend::Fma,
+    matmul: neonfma::matmul,
+    matmul_tb: neonfma::matmul_tb,
+    ta_matmul: neonfma::ta_matmul,
+    matmul_bias_rowapply: neonfma::matmul_bias_rowapply,
+    axpy: neonfma::axpy,
+    add: neon::add,
+    sub: neon::sub,
+    mul: neon::mul,
+    scale: neon::scale,
+};
+
 /// The always-available scalar kernel set.
 pub fn scalar() -> &'static KernelTable {
     &SCALAR_TABLE
 }
 
-/// The vector kernel set, when this CPU supports it (`None` otherwise).
-/// Ignores `BELLAMY_KERNEL`; tests use this to exercise the SIMD path
-/// explicitly regardless of the process-wide selection.
+/// The bit-identical vector kernel set, when this CPU supports it (`None`
+/// otherwise). Ignores `BELLAMY_KERNEL`; tests use this to exercise the
+/// SIMD path explicitly regardless of the process-wide selection.
 pub fn simd() -> Option<&'static KernelTable> {
     #[cfg(target_arch = "x86_64")]
     {
@@ -268,30 +377,208 @@ pub fn simd() -> Option<&'static KernelTable> {
     }
 }
 
-static ACTIVE: OnceLock<&'static KernelTable> = OnceLock::new();
+/// The FMA-contracted [`KernelTier::Fast`] kernel set, when this CPU
+/// supports it (`None` otherwise). Ignores `BELLAMY_KERNEL`; the accuracy
+/// harness uses this to compare Fast against Exact regardless of the
+/// process-wide selection.
+pub fn fma() -> Option<&'static KernelTable> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return Some(&FMA_TABLE);
+        }
+        None
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // vfmaq_f64 is part of the aarch64 NEON baseline.
+        Some(&FMA_TABLE)
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        None
+    }
+}
 
-/// The process-wide kernel table, resolved once from `BELLAMY_KERNEL` and
-/// CPU feature detection (see the module docs). Steady-state cost: one
-/// atomic load.
-#[inline]
-pub fn active() -> &'static KernelTable {
-    ACTIVE.get_or_init(|| match std::env::var("BELLAMY_KERNEL").as_deref() {
-        Ok("scalar") => scalar(),
-        Ok("simd") => simd().unwrap_or_else(|| {
+/// What a caller (environment or program) asked the dispatch layer for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierRequest {
+    /// Best available **Exact** backend (the default; never picks FMA).
+    Auto,
+    /// Force the scalar reference kernels.
+    Scalar,
+    /// The bit-identical vector kernels (degrades to scalar).
+    Simd,
+    /// The FMA-contracted Fast tier (degrades to simd, then scalar).
+    Fma,
+}
+
+impl TierRequest {
+    /// The request's spelling, as accepted by `BELLAMY_KERNEL`.
+    pub fn name(self) -> &'static str {
+        match self {
+            TierRequest::Auto => "auto",
+            TierRequest::Scalar => "scalar",
+            TierRequest::Simd => "simd",
+            TierRequest::Fma => "fma",
+        }
+    }
+}
+
+/// Where the winning [`TierRequest`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestSource {
+    /// Nothing was requested; auto-detection picked the backend.
+    Default,
+    /// The `BELLAMY_KERNEL` environment variable.
+    Env,
+    /// A [`request_tier`] call (e.g. through `ServiceBuilder`).
+    Program,
+}
+
+/// The outcome of the one-time kernel dispatch: what was asked for, where
+/// the request came from, and what actually resolved. `degraded` is the
+/// requested-vs-resolved signal the ROADMAP's silent-fallback fix calls
+/// for: `BELLAMY_KERNEL=fma` on a non-FMA CPU no longer vanishes into a
+/// quieter backend unnoticed — it is reported once on stderr and
+/// permanently here (surfaced through `BatcherStats` and the bench
+/// snapshots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolution {
+    /// The winning request.
+    pub requested: TierRequest,
+    /// Where the winning request came from.
+    pub source: RequestSource,
+    /// The backend that actually resolved.
+    pub backend: Backend,
+    /// True when the resolved backend is weaker than the request (the CPU
+    /// lacked a requested feature and the dispatch degraded
+    /// `fma → simd → scalar`).
+    pub degraded: bool,
+}
+
+impl Resolution {
+    /// The requested tier's name (`"auto"`, `"scalar"`, `"simd"`, `"fma"`).
+    pub fn requested_name(&self) -> &'static str {
+        self.requested.name()
+    }
+
+    /// The resolved backend's name (see [`Backend::name`]).
+    pub fn resolved_name(&self) -> &'static str {
+        self.backend.name()
+    }
+}
+
+struct Resolved {
+    table: &'static KernelTable,
+    resolution: Resolution,
+}
+
+static ACTIVE: OnceLock<Resolved> = OnceLock::new();
+static PROGRAM_REQUEST: OnceLock<TierRequest> = OnceLock::new();
+
+/// Requests a kernel tier programmatically, without touching the
+/// environment. Must run before the first kernel dispatch of the process
+/// (the table resolves once and stays resolved): on success the request
+/// wins over `BELLAMY_KERNEL` and the returned [`Resolution`] reflects it
+/// (possibly degraded if the CPU lacks the feature). If dispatch had
+/// already resolved — a kernel already ran, or an earlier caller requested
+/// a different tier — the request is *not* applied and the standing
+/// resolution comes back as the `Err` value, so callers can detect and
+/// report the mismatch instead of silently serving on an unexpected tier.
+pub fn request_tier(request: TierRequest) -> Result<Resolution, Resolution> {
+    if ACTIVE.get().is_none() {
+        let _ = PROGRAM_REQUEST.set(request);
+    }
+    let res = resolution();
+    if res.source == RequestSource::Program && res.requested == request {
+        Ok(res)
+    } else {
+        Err(res)
+    }
+}
+
+/// Resolves the winning request (program > env > default) and the backend
+/// it lands on; runs exactly once, so the degradation warnings print once.
+fn resolve() -> Resolved {
+    let (requested, source) = match PROGRAM_REQUEST.get() {
+        Some(&req) => (req, RequestSource::Program),
+        None => match std::env::var("BELLAMY_KERNEL").as_deref() {
+            Ok("scalar") => (TierRequest::Scalar, RequestSource::Env),
+            Ok("simd") => (TierRequest::Simd, RequestSource::Env),
+            Ok("fma") => (TierRequest::Fma, RequestSource::Env),
+            Ok("auto") => (TierRequest::Auto, RequestSource::Env),
+            Err(_) => (TierRequest::Auto, RequestSource::Default),
+            Ok(other) => {
+                eprintln!(
+                    "unknown BELLAMY_KERNEL value {other:?} \
+                     (expected auto|scalar|simd|fma); using auto"
+                );
+                (TierRequest::Auto, RequestSource::Env)
+            }
+        },
+    };
+    let table = match requested {
+        TierRequest::Scalar => scalar(),
+        TierRequest::Simd => simd().unwrap_or_else(|| {
             eprintln!(
-                "BELLAMY_KERNEL=simd requested but this CPU has no supported \
-                 vector unit; falling back to the scalar kernels"
+                "bellamy: kernel tier `simd` requested ({}) but this CPU has no \
+                 supported vector unit; degraded to `scalar`",
+                source_label(source)
             );
             scalar()
         }),
-        Ok("auto") | Err(_) => simd().unwrap_or(scalar()),
-        Ok(other) => {
+        TierRequest::Fma => fma().unwrap_or_else(|| {
+            let fallback = simd().unwrap_or(scalar());
             eprintln!(
-                "unknown BELLAMY_KERNEL value {other:?} (expected auto|scalar|simd); using auto"
+                "bellamy: kernel tier `fma` requested ({}) but this CPU lacks \
+                 FMA; degraded to `{}` (Exact tier)",
+                source_label(source),
+                fallback.backend.name()
             );
-            simd().unwrap_or(scalar())
-        }
-    })
+            fallback
+        }),
+        // `auto` deliberately never picks the Fast tier: the default
+        // contract stays bit-identical to scalar.
+        TierRequest::Auto => simd().unwrap_or(scalar()),
+    };
+    let degraded = match requested {
+        TierRequest::Simd => table.backend != Backend::Simd,
+        TierRequest::Fma => table.backend != Backend::Fma,
+        TierRequest::Auto | TierRequest::Scalar => false,
+    };
+    Resolved {
+        table,
+        resolution: Resolution {
+            requested,
+            source,
+            backend: table.backend,
+            degraded,
+        },
+    }
+}
+
+fn source_label(source: RequestSource) -> &'static str {
+    match source {
+        RequestSource::Default => "by default",
+        RequestSource::Env => "via BELLAMY_KERNEL",
+        RequestSource::Program => "programmatically",
+    }
+}
+
+/// The process-wide kernel table, resolved once from [`request_tier`],
+/// `BELLAMY_KERNEL`, and CPU feature detection (see the module docs).
+/// Steady-state cost: one atomic load.
+#[inline]
+pub fn active() -> &'static KernelTable {
+    ACTIVE.get_or_init(resolve).table
+}
+
+/// The one-time dispatch outcome: requested vs resolved (see
+/// [`Resolution`]). Forces resolution on first call, like [`active()`].
+pub fn resolution() -> Resolution {
+    ACTIVE.get_or_init(resolve).resolution
 }
 
 /// The active backend (see [`active()`]).
@@ -300,9 +587,16 @@ pub fn active_backend() -> Backend {
     active().backend
 }
 
-/// The active backend's name: `"scalar"`, `"avx2"`, or `"neon"`. Recorded
-/// in every `BENCH_*.json` so the perf trajectory distinguishes
-/// scalar-container runs from vectorized hardware.
+/// The active tier (see [`active()`]): [`KernelTier::Fast`] only under an
+/// explicit `fma` opt-in on supporting hardware.
+#[inline]
+pub fn active_tier() -> KernelTier {
+    active_backend().tier()
+}
+
+/// The active backend's name: `"scalar"`, `"avx2"`, `"neon"`, `"avx2-fma"`,
+/// or `"neon-fma"`. Recorded in every `BENCH_*.json` so the perf trajectory
+/// distinguishes scalar-container runs from vectorized hardware.
 pub fn backend_name() -> &'static str {
     active_backend().name()
 }
@@ -826,9 +1120,10 @@ mod avx2 {
         }
     }
 
-    /// `y[i] += x[i]` (the bias broadcast body).
+    /// `y[i] += x[i]` (the bias broadcast body). Shared with the FMA table
+    /// (a plain add has nothing to contract).
     #[target_feature(enable = "avx2")]
-    unsafe fn add_assign_impl(x: &[f64], y: &mut [f64]) {
+    pub(super) unsafe fn add_assign_impl(x: &[f64], y: &mut [f64]) {
         let n = y.len();
         let xp = x.as_ptr();
         let yp = y.as_mut_ptr();
@@ -1015,6 +1310,390 @@ mod avx2 {
         }
         while j < n {
             *op.add(j) = *ap.add(j) * alpha;
+            j += 1;
+        }
+    }
+}
+
+/// AVX2+FMA kernels — the [`KernelTier::Fast`] tier. Structure mirrors the
+/// `avx2` module, with every multiply-add contracted to `_mm256_fmadd_pd`
+/// (one rounding instead of two). **Not** bit-identical to scalar; the
+/// accuracy contract is the documented ULP envelope in the module docs,
+/// pinned by `tests/fma_accuracy.rs`. Safety story is identical to `avx2`:
+/// every entry is a safe wrapper around an `unsafe`
+/// `#[target_feature(enable = "avx2,fma")]` body, reachable only through
+/// [`FMA_TABLE`], which [`fma()`] hands out strictly after both features
+/// were detected.
+#[cfg(target_arch = "x86_64")]
+mod avx2fma {
+    use super::{avx2, MATMUL_BLOCK, STACK_BT};
+    use std::arch::x86_64::*;
+
+    pub(super) fn matmul(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+        // SAFETY: AVX2+FMA availability checked before this table is
+        // handed out.
+        unsafe { matmul_impl(a, b, out, m, k, n) }
+    }
+
+    pub(super) fn matmul_tb(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+        // SAFETY: as in `matmul`.
+        unsafe { matmul_tb_impl(a, b, out, m, k, n) }
+    }
+
+    pub(super) fn ta_matmul(a: &[f64], b: &[f64], out: &mut [f64], k: usize, m: usize, n: usize) {
+        // SAFETY: as in `matmul`.
+        unsafe { ta_matmul_impl(a, b, out, k, m, n) }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the dispatch signature
+    pub(super) fn matmul_bias_rowapply(
+        a: &[f64],
+        b: &[f64],
+        bias: Option<&[f64]>,
+        out: &mut [f64],
+        m: usize,
+        k: usize,
+        n: usize,
+        row_finish: &mut dyn FnMut(&mut [f64]),
+    ) {
+        // SAFETY: as in `matmul`.
+        unsafe { matmul_bias_rowapply_impl(a, b, bias, out, m, k, n, row_finish) }
+    }
+
+    pub(super) fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+        // SAFETY: as in `matmul`.
+        unsafe { axpy_impl(alpha, x, y) }
+    }
+
+    /// The width-8 register kernel, FMA-contracted: same 4-row blocking and
+    /// ascending-`kk` accumulation order as the Exact variant, but each
+    /// lane update is one fused `acc = a·b + acc` instead of a rounded
+    /// multiply followed by a rounded add. Halves the FP-op count of the
+    /// inner loop on the kernel that dominates predict.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn matmul_n8(
+        a: &[f64],
+        b: &[f64],
+        out: &mut [f64],
+        m: usize,
+        k: usize,
+        mut finish: impl FnMut(&mut [f64; 8]),
+    ) {
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut i = 0;
+        while i + 4 <= m {
+            let ar0 = ap.add(i * k);
+            let ar1 = ap.add((i + 1) * k);
+            let ar2 = ap.add((i + 2) * k);
+            let ar3 = ap.add((i + 3) * k);
+            let mut acc00 = _mm256_setzero_pd();
+            let mut acc01 = _mm256_setzero_pd();
+            let mut acc10 = _mm256_setzero_pd();
+            let mut acc11 = _mm256_setzero_pd();
+            let mut acc20 = _mm256_setzero_pd();
+            let mut acc21 = _mm256_setzero_pd();
+            let mut acc30 = _mm256_setzero_pd();
+            let mut acc31 = _mm256_setzero_pd();
+            for kk in 0..k {
+                let b0 = _mm256_loadu_pd(bp.add(kk * 8));
+                let b1 = _mm256_loadu_pd(bp.add(kk * 8 + 4));
+                let a0 = _mm256_set1_pd(*ar0.add(kk));
+                acc00 = _mm256_fmadd_pd(a0, b0, acc00);
+                acc01 = _mm256_fmadd_pd(a0, b1, acc01);
+                let a1 = _mm256_set1_pd(*ar1.add(kk));
+                acc10 = _mm256_fmadd_pd(a1, b0, acc10);
+                acc11 = _mm256_fmadd_pd(a1, b1, acc11);
+                let a2 = _mm256_set1_pd(*ar2.add(kk));
+                acc20 = _mm256_fmadd_pd(a2, b0, acc20);
+                acc21 = _mm256_fmadd_pd(a2, b1, acc21);
+                let a3 = _mm256_set1_pd(*ar3.add(kk));
+                acc30 = _mm256_fmadd_pd(a3, b0, acc30);
+                acc31 = _mm256_fmadd_pd(a3, b1, acc31);
+            }
+            let mut row = [0.0f64; 8];
+            for (r, (lo, hi)) in [
+                (acc00, acc01),
+                (acc10, acc11),
+                (acc20, acc21),
+                (acc30, acc31),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                _mm256_storeu_pd(row.as_mut_ptr(), lo);
+                _mm256_storeu_pd(row.as_mut_ptr().add(4), hi);
+                finish(&mut row);
+                out[(i + r) * 8..(i + r) * 8 + 8].copy_from_slice(&row);
+            }
+            i += 4;
+        }
+        while i < m {
+            let ar = ap.add(i * k);
+            let mut acc0 = _mm256_setzero_pd();
+            let mut acc1 = _mm256_setzero_pd();
+            for kk in 0..k {
+                let av = _mm256_set1_pd(*ar.add(kk));
+                acc0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(bp.add(kk * 8)), acc0);
+                acc1 = _mm256_fmadd_pd(av, _mm256_loadu_pd(bp.add(kk * 8 + 4)), acc1);
+            }
+            let mut row = [0.0f64; 8];
+            _mm256_storeu_pd(row.as_mut_ptr(), acc0);
+            _mm256_storeu_pd(row.as_mut_ptr().add(4), acc1);
+            finish(&mut row);
+            out[i * 8..i * 8 + 8].copy_from_slice(&row);
+            i += 1;
+        }
+    }
+
+    /// `orow[j..] = fma(av, brow[j..], orow[j..])` with a fused scalar
+    /// ragged tail.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn row_axpy(av: f64, brow: *const f64, orow: *mut f64, n: usize) {
+        let avv = _mm256_set1_pd(av);
+        let mut j = 0;
+        while j + 4 <= n {
+            let o = _mm256_loadu_pd(orow.add(j));
+            let bv = _mm256_loadu_pd(brow.add(j));
+            _mm256_storeu_pd(orow.add(j), _mm256_fmadd_pd(avv, bv, o));
+            j += 4;
+        }
+        while j < n {
+            *orow.add(j) = av.mul_add(*brow.add(j), *orow.add(j));
+            j += 1;
+        }
+    }
+
+    /// Width-4 register kernel, FMA-contracted (see the Exact variant for
+    /// the layout; the `av == 0.0` skip is preserved so ±0 semantics and
+    /// the sparse-input advantage carry over).
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn matmul_n4(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize) {
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        for i in 0..m {
+            let ar = ap.add(i * k);
+            let mut acc = _mm256_setzero_pd();
+            for kk in 0..k {
+                let av = *ar.add(kk);
+                if av == 0.0 {
+                    continue;
+                }
+                let bv = _mm256_loadu_pd(bp.add(kk * 4));
+                acc = _mm256_fmadd_pd(_mm256_set1_pd(av), bv, acc);
+            }
+            _mm256_storeu_pd(op.add(i * 4), acc);
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn matmul_impl(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+        if n == 8 && k > 0 {
+            matmul_n8(a, b, out, m, k, |_| {});
+            return;
+        }
+        if n == 4 && k > 0 {
+            matmul_n4(a, b, out, m, k);
+            return;
+        }
+        out.fill(0.0);
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        for ib in (0..m).step_by(MATMUL_BLOCK) {
+            let imax = (ib + MATMUL_BLOCK).min(m);
+            for kb in (0..k).step_by(MATMUL_BLOCK) {
+                let kmax = (kb + MATMUL_BLOCK).min(k);
+                for i in ib..imax {
+                    for kk in kb..kmax {
+                        let av = *ap.add(i * k + kk);
+                        // Same sparse skip as the Exact kernels (also keeps
+                        // ±0 accumulator semantics identical).
+                        if av == 0.0 {
+                            continue;
+                        }
+                        row_axpy(av, bp.add(kk * n), op.add(i * n), n);
+                    }
+                }
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)] // mirrors the dispatch signature
+    unsafe fn matmul_bias_rowapply_impl(
+        a: &[f64],
+        b: &[f64],
+        bias: Option<&[f64]>,
+        out: &mut [f64],
+        m: usize,
+        k: usize,
+        n: usize,
+        row_finish: &mut dyn FnMut(&mut [f64]),
+    ) {
+        if n == 8 && k > 0 {
+            matmul_n8(a, b, out, m, k, |row| {
+                if let Some(bv) = bias {
+                    for (rv, &biasv) in row.iter_mut().zip(bv.iter()) {
+                        *rv += biasv;
+                    }
+                }
+                row_finish(row);
+            });
+            return;
+        }
+        matmul_impl(a, b, out, m, k, n);
+        for i in 0..m {
+            let orow = &mut out[i * n..(i + 1) * n];
+            if let Some(bv) = bias {
+                avx2::add_assign_impl(bv, orow);
+            }
+            row_finish(orow);
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn matmul_tb_impl(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+        if k * n <= STACK_BT && k > 0 {
+            let mut bt = [0.0f64; STACK_BT];
+            for (j, brow) in b.chunks_exact(k).enumerate() {
+                for (kk, &bv) in brow.iter().enumerate() {
+                    bt[kk * n + j] = bv;
+                }
+            }
+            if n == 8 {
+                matmul_n8(a, &bt[..k * 8], out, m, k, |_| {});
+                return;
+            }
+            let ap = a.as_ptr();
+            let btp = bt.as_ptr();
+            let op = out.as_mut_ptr();
+            for i in 0..m {
+                let orow = &mut out[i * n..(i + 1) * n];
+                orow.fill(0.0);
+                for kk in 0..k {
+                    let av = *ap.add(i * k + kk);
+                    row_axpy(av, btp.add(kk * n), op.add(i * n), n);
+                }
+            }
+            return;
+        }
+        // Dot-product form: one fused accumulator per four lanes; the lane
+        // reduction keeps the Exact kernel's (l0+l1)+(l2+l3)+tail order.
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = _mm256_setzero_pd();
+                let quads = k / 4 * 4;
+                let mut kk = 0;
+                while kk < quads {
+                    let av = _mm256_loadu_pd(arow.as_ptr().add(kk));
+                    let bv = _mm256_loadu_pd(brow.as_ptr().add(kk));
+                    acc = _mm256_fmadd_pd(av, bv, acc);
+                    kk += 4;
+                }
+                let mut tail = 0.0;
+                for (&av, &bv) in arow[quads..].iter().zip(brow[quads..].iter()) {
+                    tail = av.mul_add(bv, tail);
+                }
+                let lo = _mm256_castpd256_pd128(acc);
+                let hi = _mm256_extractf128_pd(acc, 1);
+                let l0 = _mm_cvtsd_f64(lo);
+                let l1 = _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo));
+                let l2 = _mm_cvtsd_f64(hi);
+                let l3 = _mm_cvtsd_f64(_mm_unpackhi_pd(hi, hi));
+                *o = (l0 + l1) + (l2 + l3) + tail;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn ta_matmul_impl(a: &[f64], b: &[f64], out: &mut [f64], k: usize, m: usize, n: usize) {
+        out.fill(0.0);
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        let tiles = k / 4 * 4;
+        for r in (0..tiles).step_by(4) {
+            let at = &a[r * m..(r + 4) * m];
+            for i in 0..m {
+                let x0 = _mm256_set1_pd(at[i]);
+                let x1 = _mm256_set1_pd(at[m + i]);
+                let x2 = _mm256_set1_pd(at[2 * m + i]);
+                let x3 = _mm256_set1_pd(at[3 * m + i]);
+                let orow = op.add(i * n);
+                let b0 = bp.add(r * n);
+                let mut j = 0;
+                while j + 4 <= n {
+                    // The whole 4-way tile update folds into a fused chain
+                    // ending in the accumulator:
+                    // out = x0·b0 + (x1·b1 + (x2·b2 + (x3·b3 + out))).
+                    let o = _mm256_loadu_pd(orow.add(j));
+                    let s = _mm256_fmadd_pd(
+                        x0,
+                        _mm256_loadu_pd(b0.add(j)),
+                        _mm256_fmadd_pd(
+                            x1,
+                            _mm256_loadu_pd(b0.add(n + j)),
+                            _mm256_fmadd_pd(
+                                x2,
+                                _mm256_loadu_pd(b0.add(2 * n + j)),
+                                _mm256_fmadd_pd(x3, _mm256_loadu_pd(b0.add(3 * n + j)), o),
+                            ),
+                        ),
+                    );
+                    _mm256_storeu_pd(orow.add(j), s);
+                    j += 4;
+                }
+                while j < n {
+                    let s = at[i].mul_add(
+                        *b0.add(j),
+                        at[m + i].mul_add(
+                            *b0.add(n + j),
+                            at[2 * m + i].mul_add(
+                                *b0.add(2 * n + j),
+                                at[3 * m + i].mul_add(*b0.add(3 * n + j), *orow.add(j)),
+                            ),
+                        ),
+                    );
+                    *orow.add(j) = s;
+                    j += 1;
+                }
+            }
+        }
+        for r in tiles..k {
+            let arow = &a[r * m..(r + 1) * m];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                row_axpy(av, bp.add(r * n), op.add(i * n), n);
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn axpy_impl(alpha: f64, x: &[f64], y: &mut [f64]) {
+        let n = y.len();
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        if alpha == 1.0 {
+            // Bit-compatibility with a plain add even on the Fast tier: no
+            // multiply by one to contract.
+            avx2::add_assign_impl(x, y);
+            return;
+        }
+        let av = _mm256_set1_pd(alpha);
+        let mut j = 0;
+        while j + 4 <= n {
+            let s = _mm256_fmadd_pd(av, _mm256_loadu_pd(xp.add(j)), _mm256_loadu_pd(yp.add(j)));
+            _mm256_storeu_pd(yp.add(j), s);
+            j += 4;
+        }
+        while j < n {
+            *yp.add(j) = alpha.mul_add(*xp.add(j), *yp.add(j));
             j += 1;
         }
     }
@@ -1379,6 +2058,327 @@ mod neon {
     }
 }
 
+/// NEON FMA kernels — the [`KernelTier::Fast`] tier on `aarch64`, mirroring
+/// `avx2fma` at half the vector width: every multiply-add contracts to
+/// `vfmaq_f64` (fused, one rounding). `vfmaq_f64` is part of the `aarch64`
+/// baseline, so no runtime gate is needed. Same accuracy contract as the
+/// AVX2 Fast kernels (module-docs ULP envelope); like the Exact NEON path,
+/// this module is compile-audited on x86 containers and validated by the
+/// same architecture-independent accuracy harness when run on real
+/// hardware.
+#[cfg(target_arch = "aarch64")]
+mod neonfma {
+    use super::{neon, MATMUL_BLOCK, STACK_BT};
+    use std::arch::aarch64::*;
+
+    /// `orow[j..] = fma(av, brow[j..], orow[j..])` with a fused scalar tail.
+    ///
+    /// # Safety
+    /// `brow` and `orow` must be valid for `n` reads/writes.
+    unsafe fn row_axpy(av: f64, brow: *const f64, orow: *mut f64, n: usize) {
+        let avv = vdupq_n_f64(av);
+        let mut j = 0;
+        while j + 2 <= n {
+            let o = vld1q_f64(orow.add(j));
+            let bv = vld1q_f64(brow.add(j));
+            vst1q_f64(orow.add(j), vfmaq_f64(o, avv, bv));
+            j += 2;
+        }
+        while j < n {
+            *orow.add(j) = av.mul_add(*brow.add(j), *orow.add(j));
+            j += 1;
+        }
+    }
+
+    /// Width-8 register kernel, FMA-contracted.
+    ///
+    /// # Safety
+    /// `a` must hold `m*k` elements, `b` `k*8`, `out` `m*8`.
+    unsafe fn matmul_n8(
+        a: &[f64],
+        b: &[f64],
+        out: &mut [f64],
+        m: usize,
+        k: usize,
+        mut finish: impl FnMut(&mut [f64; 8]),
+    ) {
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        for i in 0..m {
+            let ar = ap.add(i * k);
+            let mut acc0 = vdupq_n_f64(0.0);
+            let mut acc1 = vdupq_n_f64(0.0);
+            let mut acc2 = vdupq_n_f64(0.0);
+            let mut acc3 = vdupq_n_f64(0.0);
+            for kk in 0..k {
+                let av = vdupq_n_f64(*ar.add(kk));
+                acc0 = vfmaq_f64(acc0, av, vld1q_f64(bp.add(kk * 8)));
+                acc1 = vfmaq_f64(acc1, av, vld1q_f64(bp.add(kk * 8 + 2)));
+                acc2 = vfmaq_f64(acc2, av, vld1q_f64(bp.add(kk * 8 + 4)));
+                acc3 = vfmaq_f64(acc3, av, vld1q_f64(bp.add(kk * 8 + 6)));
+            }
+            let mut row = [0.0f64; 8];
+            vst1q_f64(row.as_mut_ptr(), acc0);
+            vst1q_f64(row.as_mut_ptr().add(2), acc1);
+            vst1q_f64(row.as_mut_ptr().add(4), acc2);
+            vst1q_f64(row.as_mut_ptr().add(6), acc3);
+            finish(&mut row);
+            out[i * 8..i * 8 + 8].copy_from_slice(&row);
+        }
+    }
+
+    /// Width-4 register kernel, FMA-contracted (`av == 0.0` skip preserved).
+    ///
+    /// # Safety
+    /// `a` must hold `m*k` elements, `b` `k*4`, `out` `m*4`.
+    unsafe fn matmul_n4(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize) {
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        for i in 0..m {
+            let ar = ap.add(i * k);
+            let mut acc0 = vdupq_n_f64(0.0);
+            let mut acc1 = vdupq_n_f64(0.0);
+            for kk in 0..k {
+                let av = *ar.add(kk);
+                if av == 0.0 {
+                    continue;
+                }
+                let avv = vdupq_n_f64(av);
+                acc0 = vfmaq_f64(acc0, avv, vld1q_f64(bp.add(kk * 4)));
+                acc1 = vfmaq_f64(acc1, avv, vld1q_f64(bp.add(kk * 4 + 2)));
+            }
+            vst1q_f64(op.add(i * 4), acc0);
+            vst1q_f64(op.add(i * 4 + 2), acc1);
+        }
+    }
+
+    pub(super) fn matmul(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+        if n == 8 && k > 0 {
+            // SAFETY: slice lengths are checked by the dispatch layer.
+            unsafe { matmul_n8(a, b, out, m, k, |_| {}) };
+            return;
+        }
+        if n == 4 && k > 0 {
+            // SAFETY: as above.
+            unsafe { matmul_n4(a, b, out, m, k) };
+            return;
+        }
+        out.fill(0.0);
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        for ib in (0..m).step_by(MATMUL_BLOCK) {
+            let imax = (ib + MATMUL_BLOCK).min(m);
+            for kb in (0..k).step_by(MATMUL_BLOCK) {
+                let kmax = (kb + MATMUL_BLOCK).min(k);
+                for i in ib..imax {
+                    for kk in kb..kmax {
+                        // SAFETY: indices bounded by the m/k/n contract.
+                        let av = unsafe { *ap.add(i * k + kk) };
+                        if av == 0.0 {
+                            continue;
+                        }
+                        // SAFETY: rows are in bounds.
+                        unsafe { row_axpy(av, bp.add(kk * n), op.add(i * n), n) };
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the dispatch signature
+    pub(super) fn matmul_bias_rowapply(
+        a: &[f64],
+        b: &[f64],
+        bias: Option<&[f64]>,
+        out: &mut [f64],
+        m: usize,
+        k: usize,
+        n: usize,
+        row_finish: &mut dyn FnMut(&mut [f64]),
+    ) {
+        if n == 8 && k > 0 {
+            // SAFETY: slice lengths are checked by the dispatch layer.
+            unsafe {
+                matmul_n8(a, b, out, m, k, |row| {
+                    if let Some(bv) = bias {
+                        for (rv, &biasv) in row.iter_mut().zip(bv.iter()) {
+                            *rv += biasv;
+                        }
+                    }
+                    row_finish(row);
+                })
+            };
+            return;
+        }
+        matmul(a, b, out, m, k, n);
+        for i in 0..m {
+            let orow = &mut out[i * n..(i + 1) * n];
+            if let Some(bv) = bias {
+                for (o, &biasv) in orow.iter_mut().zip(bv.iter()) {
+                    *o += biasv;
+                }
+            }
+            row_finish(orow);
+        }
+    }
+
+    pub(super) fn matmul_tb(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+        if k * n <= STACK_BT && k > 0 {
+            let mut bt = [0.0f64; STACK_BT];
+            for (j, brow) in b.chunks_exact(k).enumerate() {
+                for (kk, &bv) in brow.iter().enumerate() {
+                    bt[kk * n + j] = bv;
+                }
+            }
+            if n == 8 {
+                // SAFETY: bt holds k*8 initialized elements.
+                unsafe { matmul_n8(a, &bt[..k * 8], out, m, k, |_| {}) };
+                return;
+            }
+            let ap = a.as_ptr();
+            let btp = bt.as_ptr();
+            let op = out.as_mut_ptr();
+            for i in 0..m {
+                out[i * n..(i + 1) * n].fill(0.0);
+                for kk in 0..k {
+                    // SAFETY: rows are in bounds.
+                    unsafe {
+                        let av = *ap.add(i * k + kk);
+                        row_axpy(av, btp.add(kk * n), op.add(i * n), n);
+                    }
+                }
+            }
+            return;
+        }
+        // Dot-product form with fused accumulators; lane reduction keeps
+        // the Exact kernel's (l0+l1)+(l2+l3)+tail order.
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc01 = vdupq_n_f64(0.0);
+                let mut acc23 = vdupq_n_f64(0.0);
+                let quads = k / 4 * 4;
+                let mut kk = 0;
+                while kk < quads {
+                    // SAFETY: kk + 4 <= k.
+                    unsafe {
+                        let a01 = vld1q_f64(arow.as_ptr().add(kk));
+                        let b01 = vld1q_f64(brow.as_ptr().add(kk));
+                        let a23 = vld1q_f64(arow.as_ptr().add(kk + 2));
+                        let b23 = vld1q_f64(brow.as_ptr().add(kk + 2));
+                        acc01 = vfmaq_f64(acc01, a01, b01);
+                        acc23 = vfmaq_f64(acc23, a23, b23);
+                    }
+                    kk += 4;
+                }
+                let mut tail = 0.0;
+                for (&av, &bv) in arow[quads..].iter().zip(brow[quads..].iter()) {
+                    tail = av.mul_add(bv, tail);
+                }
+                let l0 = vgetq_lane_f64::<0>(acc01);
+                let l1 = vgetq_lane_f64::<1>(acc01);
+                let l2 = vgetq_lane_f64::<0>(acc23);
+                let l3 = vgetq_lane_f64::<1>(acc23);
+                *o = (l0 + l1) + (l2 + l3) + tail;
+            }
+        }
+    }
+
+    pub(super) fn ta_matmul(a: &[f64], b: &[f64], out: &mut [f64], k: usize, m: usize, n: usize) {
+        out.fill(0.0);
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        let tiles = k / 4 * 4;
+        for r in (0..tiles).step_by(4) {
+            let at = &a[r * m..(r + 4) * m];
+            for i in 0..m {
+                let x0 = vdupq_n_f64(at[i]);
+                let x1 = vdupq_n_f64(at[m + i]);
+                let x2 = vdupq_n_f64(at[2 * m + i]);
+                let x3 = vdupq_n_f64(at[3 * m + i]);
+                // SAFETY: rows r..r+4 and output row i are in bounds.
+                unsafe {
+                    let orow = op.add(i * n);
+                    let b0 = bp.add(r * n);
+                    let mut j = 0;
+                    while j + 2 <= n {
+                        // Fused chain into the accumulator, as in avx2fma.
+                        let o = vld1q_f64(orow.add(j));
+                        let s = vfmaq_f64(
+                            vfmaq_f64(
+                                vfmaq_f64(
+                                    vfmaq_f64(o, x3, vld1q_f64(b0.add(3 * n + j))),
+                                    x2,
+                                    vld1q_f64(b0.add(2 * n + j)),
+                                ),
+                                x1,
+                                vld1q_f64(b0.add(n + j)),
+                            ),
+                            x0,
+                            vld1q_f64(b0.add(j)),
+                        );
+                        vst1q_f64(orow.add(j), s);
+                        j += 2;
+                    }
+                    while j < n {
+                        let s = at[i].mul_add(
+                            *b0.add(j),
+                            at[m + i].mul_add(
+                                *b0.add(n + j),
+                                at[2 * m + i].mul_add(
+                                    *b0.add(2 * n + j),
+                                    at[3 * m + i].mul_add(*b0.add(3 * n + j), *orow.add(j)),
+                                ),
+                            ),
+                        );
+                        *orow.add(j) = s;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        for r in tiles..k {
+            let arow = &a[r * m..(r + 1) * m];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                // SAFETY: rows are in bounds.
+                unsafe { row_axpy(av, bp.add(r * n), op.add(i * n), n) };
+            }
+        }
+    }
+
+    pub(super) fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+        if alpha == 1.0 {
+            // Bit-compatibility with a plain add even on the Fast tier.
+            neon::axpy(1.0, x, y);
+            return;
+        }
+        let n = y.len();
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let av = vdupq_n_f64(alpha);
+        // SAFETY: x and y have equal length n (dispatch contract).
+        unsafe {
+            let mut j = 0;
+            while j + 2 <= n {
+                let s = vfmaq_f64(vld1q_f64(yp.add(j)), av, vld1q_f64(xp.add(j)));
+                vst1q_f64(yp.add(j), s);
+                j += 2;
+            }
+            while j < n {
+                *yp.add(j) = alpha.mul_add(*xp.add(j), *yp.add(j));
+                j += 1;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1387,6 +2387,19 @@ mod tests {
     fn backend_names() {
         assert_eq!(Backend::Scalar.name(), "scalar");
         assert!(matches!(Backend::Simd.name(), "avx2" | "neon" | "simd"));
+        assert!(matches!(
+            Backend::Fma.name(),
+            "avx2-fma" | "neon-fma" | "fma"
+        ));
+    }
+
+    #[test]
+    fn backend_tiers() {
+        assert_eq!(Backend::Scalar.tier(), KernelTier::Exact);
+        assert_eq!(Backend::Simd.tier(), KernelTier::Exact);
+        assert_eq!(Backend::Fma.tier(), KernelTier::Fast);
+        assert_eq!(KernelTier::Exact.name(), "exact");
+        assert_eq!(KernelTier::Fast.name(), "fast");
     }
 
     #[test]
@@ -1396,13 +2409,48 @@ mod tests {
             assert_eq!(active_backend(), first);
         }
         assert_eq!(backend_name(), first.name());
+        assert_eq!(active_tier(), first.tier());
     }
 
     #[test]
     fn scalar_table_reports_scalar() {
         assert_eq!(scalar().backend(), Backend::Scalar);
+        assert_eq!(scalar().tier(), KernelTier::Exact);
         if let Some(table) = simd() {
             assert_eq!(table.backend(), Backend::Simd);
+            assert_eq!(table.tier(), KernelTier::Exact);
         }
+        if let Some(table) = fma() {
+            assert_eq!(table.backend(), Backend::Fma);
+            assert_eq!(table.tier(), KernelTier::Fast);
+        }
+    }
+
+    #[test]
+    fn resolution_is_stable_and_matches_active() {
+        let res = resolution();
+        assert_eq!(res.backend, active_backend());
+        assert_eq!(res.resolved_name(), backend_name());
+        for _ in 0..4 {
+            assert_eq!(resolution(), res);
+        }
+        // Degradation can only be reported for an explicit request the
+        // hardware could not honor; Auto always resolves cleanly.
+        if res.requested == TierRequest::Auto {
+            assert!(!res.degraded);
+        }
+        // A late programmatic request cannot change a standing resolution.
+        let standing = match request_tier(TierRequest::Scalar) {
+            Ok(r) | Err(r) => r,
+        };
+        assert_eq!(standing, resolution());
+    }
+
+    #[test]
+    fn tier_request_names() {
+        assert_eq!(TierRequest::Auto.name(), "auto");
+        assert_eq!(TierRequest::Scalar.name(), "scalar");
+        assert_eq!(TierRequest::Simd.name(), "simd");
+        assert_eq!(TierRequest::Fma.name(), "fma");
     }
 }

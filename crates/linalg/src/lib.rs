@@ -28,11 +28,13 @@
 //! The hot kernels run through the [`kernels`] dispatch table: a scalar set
 //! that is always available, and an AVX2 (`x86_64`) / NEON (`aarch64`)
 //! `f64x4`/`f64x2` set selected **once per process** via runtime CPU feature
-//! detection, overridable with `BELLAMY_KERNEL={auto,scalar,simd}`. All
-//! backends are bit-identical — no FMA contraction, same per-element
-//! accumulation order — so the choice never changes results, only
-//! throughput. See the [`kernels`] module docs for the full determinism
-//! argument.
+//! detection, overridable with `BELLAMY_KERNEL={auto,scalar,simd,fma}`. The
+//! default (**Exact**) tier's backends are bit-identical — no FMA
+//! contraction, same per-element accumulation order — so the choice never
+//! changes results, only throughput. The opt-in **Fast** tier (`fma`)
+//! contracts multiply-adds into fused operations and instead promises a
+//! documented ULP envelope, measured with the [`ulp`] utilities. See the
+//! [`kernels`] module docs for the tier contract table.
 //!
 //! # Alignment contract
 //!
@@ -61,11 +63,13 @@ pub mod pool;
 pub mod qr;
 pub mod stats;
 pub mod storage;
+pub mod ulp;
 
 pub use aligned::AlignedBuf;
 pub use matrix::Matrix;
-pub use mmap::Mmap;
+pub use mmap::{Advice, Mmap};
 pub use nnls::{nnls, NnlsError, NnlsSolution};
 pub use pool::BufferPool;
 pub use qr::{lstsq, QrDecomposition};
 pub use storage::Storage;
+pub use ulp::{ulp_distance, within_envelope};

@@ -34,6 +34,29 @@
 use std::fs::File;
 use std::io;
 
+/// Access-pattern hint for a mapping, forwarded to `madvise(2)` on Unix.
+///
+/// Hints are pure optimization: the recall path tells the kernel when it is
+/// about to stream the whole file (checksum validation → aggressive
+/// readahead) and when it switches to serving (pointer-chasing reads of hot
+/// weight pages → readahead off, evict cold pages freely). Off-Unix, and on
+/// kernels that reject the call, hints are silently no-ops — they can never
+/// change the mapped bytes, only how eagerly the OS pages them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advice {
+    /// Expect reads in file order (`MADV_SEQUENTIAL`): readahead ahead of
+    /// the cursor, drop pages behind it. The checksum validation pass.
+    Sequential,
+    /// Expect accesses at unpredictable offsets (`MADV_RANDOM`): disable
+    /// readahead so hot weight pages are not diluted by speculative I/O.
+    /// The steady serving state.
+    Random,
+    /// Expect the whole range to be needed soon (`MADV_WILLNEED`): start
+    /// asynchronous read-in now. Issued before validation so the pages the
+    /// checksum pass is about to touch are already in flight.
+    WillNeed,
+}
+
 /// A read-only memory mapping of a file (or, off-Unix, an aligned heap copy).
 ///
 /// The mapped bytes are reachable only as `&[u8]`; alignment of the base
@@ -78,6 +101,16 @@ impl Mmap {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Hints the expected access pattern to the OS (see [`Advice`]).
+    ///
+    /// Best-effort by design: an unsupported platform or a kernel that
+    /// rejects the hint leaves the mapping untouched, so this never
+    /// returns an error and is safe to call at any point in the map's
+    /// lifetime, from any thread.
+    pub fn advise(&self, advice: Advice) {
+        self.imp.advise(advice);
+    }
 }
 
 #[cfg(unix)]
@@ -93,6 +126,11 @@ mod unix {
     // by every Unix this workspace targets (Linux, macOS, BSDs).
     const PROT_READ: i32 = 1;
     const MAP_SHARED: i32 = 1;
+    // madvise advice values — identical on Linux, macOS, and the BSDs
+    // (all inherit the original BSD numbering for these three).
+    const MADV_RANDOM: i32 = 1;
+    const MADV_SEQUENTIAL: i32 = 2;
+    const MADV_WILLNEED: i32 = 3;
 
     extern "C" {
         fn mmap(
@@ -104,6 +142,7 @@ mod unix {
             offset: i64,
         ) -> *mut core::ffi::c_void;
         fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+        fn madvise(addr: *mut core::ffi::c_void, len: usize, advice: i32) -> i32;
     }
 
     #[derive(Debug)]
@@ -153,6 +192,24 @@ mod unix {
             // SAFETY: `ptr` is a live PROT_READ mapping of `len` bytes,
             // valid until `munmap` in Drop; no mutable aliases exist.
             unsafe { std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len) }
+        }
+
+        pub(super) fn advise(&self, advice: super::Advice) {
+            if self.len == 0 {
+                return;
+            }
+            let advice = match advice {
+                super::Advice::Sequential => MADV_SEQUENTIAL,
+                super::Advice::Random => MADV_RANDOM,
+                super::Advice::WillNeed => MADV_WILLNEED,
+            };
+            // SAFETY: `ptr`/`len` describe a live mapping (page-aligned by
+            // mmap); advisory-only call, cannot alter mapped contents. The
+            // result is deliberately ignored — a kernel refusing a hint is
+            // indistinguishable from one silently dropping it.
+            unsafe {
+                madvise(self.ptr, self.len, advice);
+            }
         }
     }
 
@@ -210,6 +267,9 @@ mod fallback {
             // SAFETY: the first `len` bytes of `storage` are initialized.
             unsafe { std::slice::from_raw_parts(self.storage.as_ptr().cast::<u8>(), self.len) }
         }
+
+        /// Hints are meaningless for an owned heap copy: no-op.
+        pub(super) fn advise(&self, _advice: super::Advice) {}
     }
 }
 
@@ -251,6 +311,33 @@ mod tests {
         assert!(map.is_empty());
         assert_eq!(map.as_slice(), b"");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn advise_is_harmless_in_every_state() {
+        // Hints are advisory: whatever the platform does with them, the
+        // mapped bytes must be untouched, in any order, repeated, and on
+        // empty maps (where no syscall is issued at all).
+        let data: Vec<u8> = (0..200u8).collect();
+        let path = temp_file("advise", &data);
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        for advice in [
+            Advice::WillNeed,
+            Advice::Sequential,
+            Advice::Random,
+            Advice::Sequential,
+            Advice::Random,
+        ] {
+            map.advise(advice);
+            assert_eq!(map.as_slice(), &data[..]);
+        }
+        let empty_path = temp_file("advise-empty", b"");
+        let empty = Mmap::map(&File::open(&empty_path).unwrap()).unwrap();
+        empty.advise(Advice::Sequential);
+        empty.advise(Advice::Random);
+        assert!(empty.is_empty());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&empty_path).ok();
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! ULP-distance measurement for the Fast-tier accuracy harness.
+//!
+//! The [`kernels`](crate::kernels) Fast tier promises results within a
+//! documented envelope of the Exact tier. Stating that envelope in *units in
+//! the last place* (ULPs) makes it scale-free: one ULP at `1e-300` and one
+//! ULP at `1e300` are the same relative error (≈ 2⁻⁵²), so a single integer
+//! bound covers the kernel's whole dynamic range.
+//!
+//! [`ulp_distance`] maps each finite `f64` onto the integer number line of
+//! representable values (a monotone order-preserving bijection) and returns
+//! the absolute difference of those indices — i.e. how many representable
+//! doubles sit between the two arguments. `+0.0` and `-0.0` map to the same
+//! index (distance 0); NaNs and differing infinities have no meaningful
+//! distance and return `None`.
+//!
+//! A pure ULP bound on a *sum* is the wrong tool under catastrophic
+//! cancellation — when `Σ aᵢbᵢ` nearly cancels, even the Exact tier's own
+//! accumulation order changes the result by unbounded ULPs relative to the
+//! tiny output. The harness therefore checks a compound predicate, captured
+//! by [`within_envelope`]: close in ULPs **or** small relative to the
+//! magnitude of the terms that produced the value (the `γₖ·Σ|aᵢbᵢ|`
+//! backstop from standard dot-product error analysis).
+
+/// Maps a finite `f64` onto the signed integer line of representable values.
+///
+/// Positive floats map to their IEEE-754 bit pattern, negatives mirror to
+/// the negative axis, and both zeros map to `0` — so ordering and adjacency
+/// of floats become ordering and adjacency of integers.
+#[inline]
+fn ordered_repr(x: f64) -> i64 {
+    let bits = x.to_bits() as i64;
+    if bits < 0 {
+        // Negative floats: mirror the magnitude bits to the negative axis
+        // (wrapping only for -0.0, whose bit pattern is i64::MIN itself).
+        i64::MIN.wrapping_sub(bits)
+    } else {
+        bits
+    }
+}
+
+/// Number of representable `f64` values between `a` and `b`.
+///
+/// Returns `Some(0)` when the values are identical (including `+0.0` vs
+/// `-0.0`, and two NaNs or two equal infinities — bitwise-equal specials
+/// count as distance zero). Returns `None` when either value is NaN (and
+/// they are not bitwise equal) or exactly one is infinite: no finite
+/// distance describes those pairs.
+#[must_use]
+pub fn ulp_distance(a: f64, b: f64) -> Option<u64> {
+    if a.to_bits() == b.to_bits() || (a == b && a.abs() != f64::INFINITY) {
+        return Some(0);
+    }
+    if a.is_nan() || b.is_nan() {
+        return None;
+    }
+    if a.is_infinite() || b.is_infinite() {
+        // Equal infinities were caught by the bitwise check; a mixed or
+        // opposite-sign pair has no meaningful ULP distance.
+        return None;
+    }
+    let (ra, rb) = (ordered_repr(a), ordered_repr(b));
+    Some(ra.abs_diff(rb))
+}
+
+/// The Fast-tier accuracy predicate: `fast` is an acceptable stand-in for
+/// `exact` if it is within `max_ulps` ULPs, **or** within
+/// `rel_tol * magnitude` absolutely, where `magnitude` is the caller's
+/// cancellation-aware scale (typically `Σ|aᵢ·bᵢ|` for a dot product, or
+/// `|exact|` when no cancellation is possible).
+///
+/// Special values must agree exactly: NaN must pair with NaN, and an
+/// infinity must pair with the *same* infinity — the Fast tier never turns
+/// a finite result into a special or vice versa.
+#[must_use]
+pub fn within_envelope(exact: f64, fast: f64, max_ulps: u64, rel_tol: f64, magnitude: f64) -> bool {
+    if exact.is_nan() {
+        return fast.is_nan();
+    }
+    if exact.is_infinite() {
+        return fast == exact;
+    }
+    if fast.is_nan() || fast.is_infinite() {
+        return false;
+    }
+    if let Some(d) = ulp_distance(exact, fast) {
+        if d <= max_ulps {
+            return true;
+        }
+    }
+    (fast - exact).abs() <= rel_tol * magnitude
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_values_are_zero_apart() {
+        assert_eq!(ulp_distance(1.5, 1.5), Some(0));
+        assert_eq!(ulp_distance(0.0, -0.0), Some(0));
+        assert_eq!(ulp_distance(f64::NAN, f64::NAN), Some(0));
+        assert_eq!(ulp_distance(f64::INFINITY, f64::INFINITY), Some(0));
+    }
+
+    #[test]
+    fn adjacent_values_are_one_apart() {
+        let x = 1.0f64;
+        let next = f64::from_bits(x.to_bits() + 1);
+        assert_eq!(ulp_distance(x, next), Some(1));
+        let neg = -1.0f64;
+        let neg_next = f64::from_bits(neg.to_bits() + 1); // toward zero
+        assert_eq!(ulp_distance(neg, neg_next), Some(1));
+    }
+
+    #[test]
+    fn distance_crosses_zero() {
+        let pos = f64::from_bits(1); // smallest positive subnormal
+        let neg = -pos;
+        assert_eq!(ulp_distance(pos, neg), Some(2));
+        assert_eq!(ulp_distance(0.0, pos), Some(1));
+        assert_eq!(ulp_distance(-0.0, pos), Some(1));
+    }
+
+    #[test]
+    fn specials_have_no_distance() {
+        assert_eq!(ulp_distance(f64::NAN, 1.0), None);
+        assert_eq!(ulp_distance(1.0, f64::NAN), None);
+        assert_eq!(ulp_distance(f64::INFINITY, 1.0), None);
+        assert_eq!(ulp_distance(f64::INFINITY, f64::NEG_INFINITY), None);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_monotone() {
+        let a = 2.0f64;
+        let b = f64::from_bits(a.to_bits() + 7);
+        assert_eq!(ulp_distance(a, b), ulp_distance(b, a));
+        assert_eq!(ulp_distance(a, b), Some(7));
+    }
+
+    #[test]
+    fn envelope_accepts_close_and_rejects_far() {
+        assert!(within_envelope(1.0, 1.0, 0, 0.0, 0.0));
+        let two_ulps = f64::from_bits(1.0f64.to_bits() + 2);
+        assert!(within_envelope(1.0, two_ulps, 2, 0.0, 0.0));
+        assert!(!within_envelope(1.0, two_ulps, 1, 0.0, 0.0));
+        // Cancellation backstop: far in ULPs of the tiny result, but small
+        // against the magnitude of the inputs that produced it.
+        assert!(within_envelope(1e-20, 3e-17, 4, 1e-15, 100.0));
+        assert!(!within_envelope(1e-20, 3e-10, 4, 1e-15, 100.0));
+    }
+
+    #[test]
+    fn envelope_requires_matching_specials() {
+        assert!(within_envelope(f64::NAN, f64::NAN, 0, 0.0, 0.0));
+        assert!(!within_envelope(f64::NAN, 1.0, u64::MAX, 1.0, 1e300));
+        assert!(within_envelope(f64::INFINITY, f64::INFINITY, 0, 0.0, 0.0));
+        assert!(!within_envelope(
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0,
+            0.0,
+            0.0
+        ));
+        assert!(!within_envelope(1.0, f64::INFINITY, u64::MAX, 1.0, 1e300));
+    }
+}

@@ -1,0 +1,318 @@
+//! Exact-vs-Fast accuracy envelope for every FMA-contracted kernel.
+//!
+//! The Fast tier (`kernels::fma()`) does **not** promise bit identity — it
+//! promises to stay within a documented envelope of the scalar reference
+//! (see the `bellamy_linalg::kernels` module docs). This suite pins that
+//! envelope with property-driven shapes, the same ragged tails and register
+//! fast paths (`n == 8`, `n == 4`) the bitwise suite covers, plus special
+//! values. The predicate is [`bellamy_linalg::within_envelope`]: close in
+//! ULPs, or — under catastrophic cancellation, where ULPs of a tiny result
+//! are meaningless — small against `Σ|aᵢ·bᵢ|`, the standard dot-product
+//! error scale.
+//!
+//! On hardware without FMA, `kernels::fma()` returns `None` and the suite
+//! passes vacuously (the CI `BELLAMY_KERNEL=fma` leg degrades the same way).
+//!
+//! Envelope constants: fused accumulation differs from the exact chain by at
+//! most `2·γₖ·Σ|aᵢbᵢ|` with `γₖ ≈ k·ε`; `REL_SLACK` doubles that bound for
+//! headroom, and `MAX_ULPS` covers well-conditioned sums where the relative
+//! backstop never engages.
+
+use bellamy_linalg::kernels::{self, KernelTable};
+use bellamy_linalg::ulp::within_envelope;
+use proptest::prelude::*;
+
+const MAX_ULPS: u64 = 16;
+const REL_SLACK: f64 = 4.0;
+
+fn tables() -> Option<(&'static KernelTable, &'static KernelTable)> {
+    kernels::fma().map(|fast| (kernels::scalar(), fast))
+}
+
+/// Bounded data for an `m x k` operand.
+fn operand(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, len)
+}
+
+/// Shapes up to 13 hit every `% 4` residue plus the width-8/width-4
+/// register kernels.
+const DIM: std::ops::Range<usize> = 1..14;
+
+/// Relative tolerance for a length-`k` fused-vs-exact accumulation.
+fn rel_tol(k: usize) -> f64 {
+    REL_SLACK * (k as f64 + 1.0) * f64::EPSILON
+}
+
+/// Asserts every element of `fast` is within the envelope of `exact`, where
+/// `magnitude[i]` is the cancellation-aware scale of element `i`.
+fn assert_enveloped(exact: &[f64], fast: &[f64], magnitude: &[f64], k: usize, what: &str) {
+    for (i, ((&e, &f), &mag)) in exact.iter().zip(fast).zip(magnitude).enumerate() {
+        assert!(
+            within_envelope(e, f, MAX_ULPS, rel_tol(k), mag),
+            "{what}[{i}]: exact {e:e} vs fast {f:e} (magnitude {mag:e}, k {k})"
+        );
+    }
+}
+
+/// `Σ|a[i,·]·b[·,j]|` for every output element of `a (m x k) * b (k x n)`.
+fn matmul_magnitude(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
+    let mut mag = vec![0.0; m * n];
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a[i * k + kk].abs();
+            for j in 0..n {
+                mag[i * n + j] += av * b[kk * n + j].abs();
+            }
+        }
+    }
+    mag
+}
+
+proptest! {
+    #[test]
+    fn matmul_within_envelope((m, k, n, a, b) in (DIM, DIM, DIM).prop_flat_map(|(m, k, n)| {
+        (Just(m), Just(k), Just(n), operand(m * k), operand(k * n))
+    })) {
+        let Some((scalar, fast)) = tables() else { return Ok(()); };
+        let mut want = vec![f64::MAX; m * n];
+        let mut got = vec![f64::MIN; m * n];
+        scalar.matmul(&a, &b, &mut want, m, k, n);
+        fast.matmul(&a, &b, &mut got, m, k, n);
+        assert_enveloped(&want, &got, &matmul_magnitude(&a, &b, m, k, n), k, "matmul");
+    }
+
+    #[test]
+    fn matmul_transpose_b_within_envelope((m, k, n, a, b) in (DIM, DIM, DIM).prop_flat_map(|(m, k, n)| {
+        (Just(m), Just(k), Just(n), operand(m * k), operand(n * k))
+    })) {
+        let Some((scalar, fast)) = tables() else { return Ok(()); };
+        let mut want = vec![1.0; m * n];
+        let mut got = vec![-1.0; m * n];
+        scalar.matmul_tb(&a, &b, &mut want, m, k, n);
+        fast.matmul_tb(&a, &b, &mut got, m, k, n);
+        let mut mag = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                mag[i * n + j] = (0..k).map(|kk| (a[i * k + kk] * b[j * k + kk]).abs()).sum();
+            }
+        }
+        assert_enveloped(&want, &got, &mag, k, "matmul_tb");
+    }
+
+    #[test]
+    fn transpose_a_matmul_within_envelope((m, k, n, a, b) in (DIM, DIM, DIM).prop_flat_map(|(m, k, n)| {
+        (Just(m), Just(k), Just(n), operand(k * m), operand(k * n))
+    })) {
+        let Some((scalar, fast)) = tables() else { return Ok(()); };
+        let mut want = vec![7.0; m * n];
+        let mut got = vec![-7.0; m * n];
+        scalar.ta_matmul(&a, &b, &mut want, k, m, n);
+        fast.ta_matmul(&a, &b, &mut got, k, m, n);
+        let mut mag = vec![0.0; m * n];
+        for r in 0..k {
+            for i in 0..m {
+                let av = a[r * m + i].abs();
+                for j in 0..n {
+                    mag[i * n + j] += av * b[r * n + j].abs();
+                }
+            }
+        }
+        assert_enveloped(&want, &got, &mag, k, "ta_matmul");
+    }
+
+    #[test]
+    fn matmul_bias_rowapply_within_envelope(((m, k, n), a, b, bias, with_bias) in
+        (DIM, DIM, DIM).prop_flat_map(|(m, k, n)| {
+            (Just((m, k, n)), operand(m * k), operand(k * n), operand(n), any::<bool>())
+        })
+    ) {
+        let Some((scalar, fast)) = tables() else { return Ok(()); };
+        let bias_opt = with_bias.then_some(bias.as_slice());
+        let mut want = vec![0.5; m * n];
+        let mut got = vec![-0.5; m * n];
+        // Identity finisher: the envelope is stated on the linear part; a
+        // nonlinear finisher would compose its own condition number on top.
+        scalar.matmul_bias_rowapply(&a, &b, bias_opt, &mut want, m, k, n, &mut |_| {});
+        fast.matmul_bias_rowapply(&a, &b, bias_opt, &mut got, m, k, n, &mut |_| {});
+        let mut mag = matmul_magnitude(&a, &b, m, k, n);
+        if with_bias {
+            for i in 0..m {
+                for j in 0..n {
+                    mag[i * n + j] += bias[j].abs();
+                }
+            }
+        }
+        assert_enveloped(&want, &got, &mag, k + 1, "matmul_bias_rowapply");
+    }
+
+    #[test]
+    fn axpy_within_envelope((len, x, y) in (0usize..70).prop_flat_map(|len| {
+        (Just(len), operand(len), operand(len))
+    }), alpha in -5.0f64..5.0) {
+        let Some((scalar, fast)) = tables() else { return Ok(()); };
+        let _ = len;
+        let mut want = y.clone();
+        let mut got = y.clone();
+        scalar.axpy(alpha, &x, &mut want);
+        fast.axpy(alpha, &x, &mut got);
+        let mag: Vec<f64> = x.iter().zip(&y).map(|(&xv, &yv)| (alpha * xv).abs() + yv.abs()).collect();
+        // A single fused multiply-add differs from the two-rounding exact
+        // form by at most one rounding of the result.
+        assert_enveloped(&want, &got, &mag, 1, "axpy");
+
+        // alpha == 1.0 routes both tiers through the same plain-add kernel:
+        // bitwise identity, even on the Fast tier.
+        let mut want1 = y.clone();
+        let mut got1 = y;
+        scalar.axpy(1.0, &x, &mut want1);
+        fast.axpy(1.0, &x, &mut got1);
+        prop_assert_eq!(want1, got1);
+    }
+
+    #[test]
+    fn elementwise_kernels_stay_bitwise((len, a, b) in (0usize..70).prop_flat_map(|len| {
+        (Just(len), operand(len), operand(len))
+    }), alpha in -5.0f64..5.0) {
+        let Some((scalar, fast)) = tables() else { return Ok(()); };
+        let _ = len;
+        // add/sub/mul/scale have no multiply-add to contract; the Fast
+        // table shares the Exact vector kernels and stays bit-identical.
+        let mut want = vec![0.0; a.len()];
+        let mut got = vec![9.0; a.len()];
+        scalar.add(&a, &b, &mut want);
+        fast.add(&a, &b, &mut got);
+        prop_assert_eq!(&want, &got);
+        scalar.sub(&a, &b, &mut want);
+        fast.sub(&a, &b, &mut got);
+        prop_assert_eq!(&want, &got);
+        scalar.mul(&a, &b, &mut want);
+        fast.mul(&a, &b, &mut got);
+        prop_assert_eq!(&want, &got);
+        scalar.scale(&a, alpha, &mut want);
+        fast.scale(&a, alpha, &mut got);
+        prop_assert_eq!(&want, &got);
+    }
+}
+
+/// The `matmul_tb` dot-product path only engages when the transposed-b
+/// scratch would overflow its stack budget (`k * n > 4096`); the
+/// property-driven shapes never reach it, so pin it explicitly.
+#[test]
+fn matmul_tb_large_shape_hits_dot_product_path() {
+    let Some((scalar, fast)) = tables() else {
+        return;
+    };
+    let (m, k, n) = (3, 80, 60); // k * n = 4800 > 4096
+    let a: Vec<f64> = (0..m * k).map(|i| ((i * 37 % 113) as f64) - 56.0).collect();
+    let b: Vec<f64> = (0..n * k).map(|i| ((i * 61 % 127) as f64) - 63.0).collect();
+    let mut want = vec![0.0; m * n];
+    let mut got = vec![1.0; m * n];
+    scalar.matmul_tb(&a, &b, &mut want, m, k, n);
+    fast.matmul_tb(&a, &b, &mut got, m, k, n);
+    let mut mag = vec![0.0; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            mag[i * n + j] = (0..k).map(|kk| (a[i * k + kk] * b[j * k + kk]).abs()).sum();
+        }
+    }
+    assert_enveloped(&want, &got, &mag, k, "matmul_tb(large)");
+}
+
+#[test]
+fn one_by_one_and_empty_shapes_match_exactly() {
+    let Some((scalar, fast)) = tables() else {
+        return;
+    };
+    // 1x1: a single product has nothing to contract with — bitwise equal.
+    let mut want = [0.0];
+    let mut got = [1.0];
+    scalar.matmul(&[3.0], &[-2.5], &mut want, 1, 1, 1);
+    fast.matmul(&[3.0], &[-2.5], &mut got, 1, 1, 1);
+    assert_eq!(want, got);
+    // Inner dimension zero: pure zero-fill of the output.
+    let mut want = [f64::MAX; 4];
+    let mut got = [f64::MIN; 4];
+    scalar.matmul(&[], &[], &mut want, 2, 0, 2);
+    fast.matmul(&[], &[], &mut got, 2, 0, 2);
+    assert_eq!(want.map(f64::to_bits), got.map(f64::to_bits));
+    scalar.matmul_tb(&[], &[], &mut want, 2, 0, 2);
+    fast.matmul_tb(&[], &[], &mut got, 2, 0, 2);
+    assert_eq!(want.map(f64::to_bits), got.map(f64::to_bits));
+}
+
+/// NaN, infinities, and signed zeros must classify identically under the
+/// Fast tier: fusing a multiply-add never changes *which* lanes are
+/// NaN/±inf/±0, only the low bits of finite values.
+#[test]
+fn special_values_classify_identically() {
+    let Some((scalar, fast)) = tables() else {
+        return;
+    };
+    let a = [f64::NAN, 0.0, -0.0, f64::INFINITY, -3.5, 1.0e300];
+    let b = [
+        1.0,
+        f64::NEG_INFINITY,
+        2.0,
+        -0.0,
+        f64::NAN,
+        4.0,
+        0.5,
+        -2.0,
+        f64::INFINITY,
+    ];
+    let mut want = [0.0; 6];
+    let mut got = [1.0; 6];
+    scalar.matmul(&a, &b, &mut want, 2, 3, 3);
+    fast.matmul(&a, &b, &mut got, 2, 3, 3);
+    for (i, (&e, &f)) in want.iter().zip(&got).enumerate() {
+        if e.is_nan() {
+            assert!(f.is_nan(), "[{i}] exact NaN, fast {f:?}");
+        } else if e.is_infinite() || e == 0.0 {
+            // Infinities match exactly; zeros match including sign.
+            assert_eq!(e.to_bits(), f.to_bits(), "[{i}] exact {e:?}, fast {f:?}");
+        } else {
+            assert!(f.is_finite(), "[{i}] exact {e:?}, fast {f:?}");
+        }
+    }
+}
+
+/// Subnormal inputs flow through the Fast kernels without being flushed:
+/// a pure subnormal dot product must agree with the exact tier to the ULP
+/// envelope (FMA hardware keeps full precision on subnormal operands).
+#[test]
+fn subnormals_survive_the_fast_tier() {
+    let Some((scalar, fast)) = tables() else {
+        return;
+    };
+    let tiny = f64::from_bits(3); // 3 * 2^-1074, deeply subnormal
+    let a = [tiny, -tiny, tiny, 2.0, tiny, 0.5, -tiny, 1.0];
+    let b = [0.5; 8]; // 2x4 * 4x2
+    let mut want = [9.0; 4];
+    let mut got = [-9.0; 4];
+    scalar.matmul(&a, &b, &mut want, 2, 4, 2);
+    fast.matmul(&a, &b, &mut got, 2, 4, 2);
+    let mag = matmul_magnitude(&a, &b, 2, 4, 2);
+    assert_enveloped(&want, &got, &mag, 4, "matmul(subnormal)");
+    // The purely-subnormal row must not flush to zero.
+    assert!(got[0].abs() > 0.0 || want[0] == 0.0);
+}
+
+/// A row of exact zeros keeps its `+0.0` fill on both tiers — the Fast
+/// matmul preserves the `a == 0.0` skip, so signed-zero semantics of the
+/// output initialisation are unchanged.
+#[test]
+fn zero_rows_stay_positive_zero() {
+    let Some((scalar, fast)) = tables() else {
+        return;
+    };
+    let a = [0.0, 0.0, 0.0, 1.0, 2.0, 3.0];
+    let b: Vec<f64> = (0..9).map(|i| i as f64 - 4.0).collect();
+    let mut want = [5.0; 6];
+    let mut got = [-5.0; 6];
+    scalar.matmul(&a, &b, &mut want, 2, 3, 3);
+    fast.matmul(&a, &b, &mut got, 2, 3, 3);
+    for j in 0..3 {
+        assert_eq!(want[j].to_bits(), 0.0f64.to_bits());
+        assert_eq!(got[j].to_bits(), 0.0f64.to_bits());
+    }
+}

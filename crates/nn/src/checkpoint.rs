@@ -63,7 +63,7 @@
 //!   drops.
 
 use crate::params::ParamSet;
-use bellamy_linalg::{Matrix, Mmap};
+use bellamy_linalg::{Advice, Matrix, Mmap};
 use bytes::{Buf, BufMut};
 use std::collections::BTreeMap;
 use std::fs::File;
@@ -333,12 +333,24 @@ impl Checkpoint {
 
     /// Decodes a checkpoint from an existing mapping (v2 → mapped tensors,
     /// v1 → owned fallback).
+    ///
+    /// Access-pattern hints bracket the decode: the checksum validation
+    /// inside `parse_v2` streams the whole file front to back, so the map
+    /// is advised [`Advice::WillNeed`] + [`Advice::Sequential`] first
+    /// (kick off read-in, keep readahead ahead of the checksum cursor);
+    /// once validated, the map flips to [`Advice::Random`] — the serving
+    /// state touches individual weight pages in no predictable order, and
+    /// sequential readahead would only dilute the page cache. Hints are
+    /// best-effort no-ops on platforms without `madvise`.
     pub fn from_map(map: Arc<Mmap>) -> Result<Self, CheckpointError> {
         let data = map.as_slice();
         match peek_version(data)? {
             VERSION_V1 => Self::decode_v1(&data[8..]),
             VERSION_V2 => {
+                map.advise(Advice::WillNeed);
+                map.advise(Advice::Sequential);
                 let parts = parse_v2(data)?;
+                map.advise(Advice::Random);
                 let mut params = ParamSet::new();
                 for s in parts.sections {
                     let matrix = Matrix::from_mapped(s.rows, s.cols, Arc::clone(&map), s.offset)
