@@ -271,6 +271,14 @@ fn snapshot_serve(path: &str) {
         "{:<26} shed {} deadline_expired {} panics {} restarts {}",
         "robustness_counters", r.shed, r.deadline_expired, r.panics, r.restarts
     );
+    let overhead = serve::measure_telemetry_overhead();
+    eprintln!(
+        "{:<26} {:9.2} us/query off, {:.2} us/query on ({:+.2}%)",
+        "telemetry_overhead",
+        overhead.uninstrumented_us,
+        overhead.instrumented_us,
+        overhead.overhead_pct
+    );
     let json = format!(
         "{{\n  \"benchmark\": \"serve\",\n  \"workload\": \"single-query serving of one \
          pre-trained SGD model, {} queries/thread, direct per-thread Predictor vs \
@@ -279,6 +287,8 @@ fn snapshot_serve(path: &str) {
          \"microbatched_vs_direct_qps_at_4_threads\": {speedup_4t:.2},\n  \
          \"robustness\": {{\"shed\": {}, \"deadline_expired\": {}, \"panics\": {}, \
          \"restarts\": {}}},\n  \
+         \"telemetry_overhead\": {{\"uninstrumented_us_per_query\": {:.2}, \
+         \"instrumented_us_per_query\": {:.2}, \"overhead_pct\": {:.2}}},\n  \
          \"results\": [\n{}\n  ]\n}}\n",
         serve::QUERIES_PER_THREAD,
         backend(),
@@ -287,6 +297,9 @@ fn snapshot_serve(path: &str) {
         r.deadline_expired,
         r.panics,
         r.restarts,
+        overhead.uninstrumented_us,
+        overhead.instrumented_us,
+        overhead.overhead_pct,
         entries.join(",\n")
     );
     std::fs::write(path, json).expect("write serve benchmark snapshot");

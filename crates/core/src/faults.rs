@@ -193,6 +193,13 @@ impl Failpoint {
             fault
         };
         self.fired.fetch_add(1, Ordering::AcqRel);
+        // Firings are rare by construction (tests and chaos drills), so the
+        // structured event log gets one entry per firing — machine-readable
+        // confirmation of which site saw which fault, in order.
+        bellamy_telemetry::events().record(
+            bellamy_telemetry::event_kind::FAULT_INJECTED,
+            format!("failpoint `{}` fired: {fault:?}", self.name),
+        );
         match fault {
             Fault::Error => Some(Injected::Error),
             Fault::Corrupt => Some(Injected::Corrupt),

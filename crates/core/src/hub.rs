@@ -57,10 +57,10 @@ use crate::model::Bellamy;
 use crate::state::{ModelState, StateFromCheckpointError};
 use crate::train::pretrain;
 use bellamy_nn::{Checkpoint, CheckpointError};
+use bellamy_telemetry::{self as telemetry, event_kind, Counter, Histogram, TelemetrySnapshot};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -339,13 +339,37 @@ pub struct ModelHub {
     /// mutex above is only ever held for map lookups and inserts.
     misses: Mutex<HashMap<String, Arc<Mutex<()>>>>,
     finetuned: Mutex<FineTunedLru>,
-    memory_recalls: AtomicU64,
-    disk_recalls: AtomicU64,
-    pretrains: AtomicU64,
-    finetune_hits: AtomicU64,
-    finetunes: AtomicU64,
-    disk_retries: AtomicU64,
-    quarantined: AtomicU64,
+    /// Operation counters and recall-latency distributions (see
+    /// [`HubMetrics`]). [`ModelHub::stats`] and `Service::telemetry()` are
+    /// both snapshot views of these same atomics.
+    metrics: HubMetrics,
+}
+
+/// The single source of truth for the hub's operation counts, built on the
+/// lock-free `bellamy_telemetry` primitives so [`HubStats`] and the
+/// telemetry exporters cannot drift apart.
+#[derive(Default)]
+struct HubMetrics {
+    memory_recalls: Counter,
+    disk_recalls: Counter,
+    pretrains: Counter,
+    finetune_hits: Counter,
+    finetunes: Counter,
+    disk_retries: Counter,
+    quarantined: Counter,
+    /// Wall time of successful disk recalls (load + decode + register) in
+    /// nanoseconds, one histogram per [`RecallMode`].
+    recall_latency_deserialize: Histogram,
+    recall_latency_mmap: Histogram,
+}
+
+impl HubMetrics {
+    fn recall_latency(&self, mode: RecallMode) -> &Histogram {
+        match mode {
+            RecallMode::Deserialize => &self.recall_latency_deserialize,
+            RecallMode::Mmap => &self.recall_latency_mmap,
+        }
+    }
 }
 
 /// Attempts a checkpoint read makes before giving up on transient I/O
@@ -395,13 +419,7 @@ impl ModelHub {
                 entries: Vec::new(),
                 tick: 0,
             }),
-            memory_recalls: AtomicU64::new(0),
-            disk_recalls: AtomicU64::new(0),
-            pretrains: AtomicU64::new(0),
-            finetune_hits: AtomicU64::new(0),
-            finetunes: AtomicU64::new(0),
-            disk_retries: AtomicU64::new(0),
-            quarantined: AtomicU64::new(0),
+            metrics: HubMetrics::default(),
         }
     }
 
@@ -439,13 +457,76 @@ impl ModelHub {
     /// Operation counters.
     pub fn stats(&self) -> HubStats {
         HubStats {
-            memory_recalls: self.memory_recalls.load(Ordering::Relaxed),
-            disk_recalls: self.disk_recalls.load(Ordering::Relaxed),
-            pretrains: self.pretrains.load(Ordering::Relaxed),
-            finetune_hits: self.finetune_hits.load(Ordering::Relaxed),
-            finetunes: self.finetunes.load(Ordering::Relaxed),
-            disk_retries: self.disk_retries.load(Ordering::Relaxed),
-            quarantined: self.quarantined.load(Ordering::Relaxed),
+            memory_recalls: self.metrics.memory_recalls.get(),
+            disk_recalls: self.metrics.disk_recalls.get(),
+            pretrains: self.metrics.pretrains.get(),
+            finetune_hits: self.metrics.finetune_hits.get(),
+            finetunes: self.metrics.finetunes.get(),
+            disk_retries: self.metrics.disk_retries.get(),
+            quarantined: self.metrics.quarantined.get(),
+        }
+    }
+
+    /// Contributes the hub's metrics to a telemetry snapshot.
+    pub(crate) fn collect_telemetry(&self, snap: &mut TelemetrySnapshot) {
+        let m = &self.metrics;
+        snap.push_counter(
+            "bellamy_hub_memory_recalls_total",
+            Vec::new(),
+            "recalls",
+            "Recalls served from the in-memory registry.",
+            m.memory_recalls.get(),
+        );
+        snap.push_counter(
+            "bellamy_hub_disk_recalls_total",
+            Vec::new(),
+            "recalls",
+            "Recalls served from an on-disk checkpoint.",
+            m.disk_recalls.get(),
+        );
+        snap.push_counter(
+            "bellamy_hub_pretrains_total",
+            Vec::new(),
+            "trainings",
+            "Models pre-trained because both registries missed.",
+            m.pretrains.get(),
+        );
+        snap.push_counter(
+            "bellamy_hub_finetune_hits_total",
+            Vec::new(),
+            "recalls",
+            "Fine-tuned descendants served from the LRU cache.",
+            m.finetune_hits.get(),
+        );
+        snap.push_counter(
+            "bellamy_hub_finetunes_total",
+            Vec::new(),
+            "trainings",
+            "Fine-tuning runs executed.",
+            m.finetunes.get(),
+        );
+        snap.push_counter(
+            "bellamy_hub_disk_retries_total",
+            Vec::new(),
+            "retries",
+            "Checkpoint-read attempts retried after a transient I/O failure.",
+            m.disk_retries.get(),
+        );
+        snap.push_counter(
+            "bellamy_hub_quarantined_total",
+            Vec::new(),
+            "checkpoints",
+            "Corrupt checkpoints renamed out of the registry.",
+            m.quarantined.get(),
+        );
+        for mode in [RecallMode::Deserialize, RecallMode::Mmap] {
+            snap.push_histogram(
+                "bellamy_hub_recall_latency_seconds",
+                vec![("mode", mode.as_str().to_string())],
+                "seconds",
+                "Wall time of successful disk recalls, by recall mode.",
+                m.recall_latency(mode).snapshot(),
+            );
         }
     }
 
@@ -505,7 +586,7 @@ impl ModelHub {
     fn recall_memory(&self, key: &ModelKey) -> Option<Arc<ModelState>> {
         let registry = self.pretrained.lock();
         let state = registry.get(key.id())?;
-        self.memory_recalls.fetch_add(1, Ordering::Relaxed);
+        self.metrics.memory_recalls.inc();
         Some(Arc::clone(state))
     }
 
@@ -554,7 +635,7 @@ impl ModelHub {
                     return Err(HubError::Checkpoint(CheckpointError::Io(msg)))
                 }
                 Err(AttemptError::Transient(_)) if attempt < DISK_READ_ATTEMPTS => {
-                    self.disk_retries.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.disk_retries.inc();
                     std::thread::sleep(DISK_RETRY_BACKOFF * attempt as u32);
                     attempt += 1;
                 }
@@ -598,7 +679,11 @@ impl ModelHub {
     /// rename itself fails the poison file survives, but the recall error
     /// still surfaces.
     fn quarantine(&self, path: &Path) {
-        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        self.metrics.quarantined.inc();
+        telemetry::events().record(
+            event_kind::CHECKPOINT_QUARANTINED,
+            format!("corrupt checkpoint quarantined: {}", path.display()),
+        );
         let mut quarantine_name = path.as_os_str().to_os_string();
         quarantine_name.push(".corrupt");
         let _ = std::fs::rename(path, PathBuf::from(quarantine_name));
@@ -612,6 +697,7 @@ impl ModelHub {
             Some(p) if p.exists() => p,
             _ => return Ok(DiskProbe::Absent),
         };
+        let recall_started = std::time::Instant::now();
         let loaded = self.load_checkpoint(&path);
         let loaded = match faults::CHECKPOINT_DECODE.check() {
             // Mangle the magic: the decoder sees garbage where a
@@ -644,7 +730,10 @@ impl ModelHub {
         self.pretrained
             .lock()
             .insert(key.id().to_string(), Arc::clone(&state));
-        self.disk_recalls.fetch_add(1, Ordering::Relaxed);
+        self.metrics.disk_recalls.inc();
+        self.metrics
+            .recall_latency(self.recall_mode)
+            .record_duration(recall_started.elapsed());
         Ok(DiskProbe::Loaded(state))
     }
 
@@ -749,7 +838,7 @@ impl ModelHub {
             // key recreates or reuses it and may retry with another budget.
             return Err(HubError::Diverged(key.id().to_string()));
         }
-        self.pretrains.fetch_add(1, Ordering::Relaxed);
+        self.metrics.pretrains.inc();
         let published = self.publish(key, &model);
         // The key is registered; its guard will never be needed again.
         self.clear_miss_guard(key);
@@ -786,7 +875,7 @@ impl ModelHub {
                 e.parent_id == parent_id && e.context == context && e.fingerprint == fingerprint
             }) {
                 entry.last_used = tick;
-                self.finetune_hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.finetune_hits.inc();
                 return Ok(Arc::clone(&entry.state));
             }
         }
@@ -800,7 +889,7 @@ impl ModelHub {
         if !trainer.params().values_all_finite() {
             return Err(HubError::Diverged(parent_id));
         }
-        self.finetunes.fetch_add(1, Ordering::Relaxed);
+        self.metrics.finetunes.inc();
         let mut state = trainer
             .build_state()
             .map_err(|_| HubError::Unfitted(parent_id.clone()))?;

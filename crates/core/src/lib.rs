@@ -71,3 +71,7 @@ pub use train::PretrainReport;
 pub use bellamy_linalg::kernels::{
     Backend as KernelBackend, KernelTier, Resolution as KernelResolution, TierRequest,
 };
+
+pub use bellamy_telemetry::{
+    event_kind, Event, HistogramSnapshot, MetricValue, Sample, TelemetrySnapshot,
+};

@@ -283,6 +283,12 @@ impl Predictor {
     /// Runs the prediction-only forward pass over the filled batch matrices
     /// and copies the rescaled outputs into the result buffer.
     fn run_forward(&mut self, state: &ModelState, b: usize) -> &[f64] {
+        // Batch-size distribution: every prediction entry point funnels
+        // through here, so two `fetch_add`s per *batch* capture the whole
+        // process (and stay off the per-row cost).
+        let global = bellamy_telemetry::global();
+        global.predict_batch_rows.record(b as u64);
+        global.predict_queries.add(b as u64);
         let arena = std::mem::take(&mut self.arena);
         let mut graph = Graph::from_arena(arena, state.params());
         let pred =

@@ -108,8 +108,11 @@ use crate::hub::{HubStats, ModelHub, ModelKey, RecallMode};
 use crate::model::Bellamy;
 use crate::predictor::{PredictQuery, Predictor};
 use crate::state::ModelState;
-use bellamy_linalg::kernels::{self, TierRequest};
+use bellamy_linalg::kernels::{self, RequestSource, TierRequest};
 use bellamy_par::ThreadPool;
+use bellamy_telemetry::{
+    self as telemetry, event_kind, Counter, Histogram, Sampler, TelemetrySnapshot,
+};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -425,17 +428,71 @@ struct BatcherShared {
     /// EWMA of batch service time in nanoseconds (feeds the
     /// [`BellamyError::Overloaded`] retry hint).
     flush_nanos: AtomicU64,
-    queries: AtomicU64,
-    batches: AtomicU64,
-    capacity_flushes: AtomicU64,
-    timeout_flushes: AtomicU64,
-    quiesce_flushes: AtomicU64,
-    assist_flushes: AtomicU64,
-    shutdown_flushes: AtomicU64,
-    shed: AtomicU64,
-    deadline_expired: AtomicU64,
-    panics: AtomicU64,
-    restarts: AtomicU64,
+    /// Operation counters and latency distributions (see
+    /// [`BatcherMetrics`]). [`BatcherStats`] and [`Service::telemetry`]
+    /// both read these same atomics.
+    metrics: BatcherMetrics,
+}
+
+/// The single source of truth for one batcher's operation counts and
+/// latency distributions, built on the lock-free `bellamy_telemetry`
+/// primitives. Every count lives exactly once: [`MicroBatcher::stats`]
+/// (the `BatcherStats` view) and [`Service::telemetry`] are both cheap
+/// snapshot reads of these handles, so the two views cannot drift.
+struct BatcherMetrics {
+    queries: Counter,
+    batches: Counter,
+    capacity_flushes: Counter,
+    timeout_flushes: Counter,
+    quiesce_flushes: Counter,
+    assist_flushes: Counter,
+    shutdown_flushes: Counter,
+    shed: Counter,
+    deadline_expired: Counter,
+    panics: Counter,
+    restarts: Counter,
+    /// Gates the submit-latency `Instant` pair to 1 in
+    /// [`SUBMIT_LATENCY_SAMPLE_PERIOD`] queries: a clock read costs more
+    /// than the entire rest of the record path (~75 ns on VM hosts without
+    /// a vDSO fast path), so timing every query would dominate the
+    /// instrumentation budget on µs-scale submits. Sampling keeps the
+    /// histogram's quantiles representative of a steady workload at ~1/8th
+    /// the cost.
+    submit_sampler: Sampler,
+    /// Sampled submit → response latency in nanoseconds. Recorded only
+    /// while `bellamy_telemetry::timing_enabled()` (the default); the
+    /// record is one `fetch_add`, keeping the submit path allocation-free.
+    submit_latency: Histogram,
+    /// Per-batch forward-pass latency in nanoseconds (loop and assist
+    /// flushes; reuses the `Instant` pair the EWMA already pays for).
+    flush_latency: Histogram,
+    /// Distribution of claimed batch sizes (queries per flush).
+    batch_size: Histogram,
+}
+
+/// Every `N`-th delivered query pays the submit-latency clock pair.
+const SUBMIT_LATENCY_SAMPLE_PERIOD: u64 = 8;
+
+impl Default for BatcherMetrics {
+    fn default() -> Self {
+        Self {
+            queries: Counter::new(),
+            batches: Counter::new(),
+            capacity_flushes: Counter::new(),
+            timeout_flushes: Counter::new(),
+            quiesce_flushes: Counter::new(),
+            assist_flushes: Counter::new(),
+            shutdown_flushes: Counter::new(),
+            shed: Counter::new(),
+            deadline_expired: Counter::new(),
+            panics: Counter::new(),
+            restarts: Counter::new(),
+            submit_sampler: Sampler::every(SUBMIT_LATENCY_SAMPLE_PERIOD),
+            submit_latency: Histogram::new(),
+            flush_latency: Histogram::new(),
+            batch_size: Histogram::new(),
+        }
+    }
 }
 
 thread_local! {
@@ -449,6 +506,12 @@ thread_local! {
 }
 
 impl BatcherShared {
+    /// Human-readable identity of the served model for events and metric
+    /// labels: the hub registry key, or `<unkeyed>` for ad hoc snapshots.
+    fn model_label(&self) -> &str {
+        self.state.registry_key().unwrap_or("<unkeyed>")
+    }
+
     /// Folds one batch service time into the EWMA (weight 1/4 — responsive
     /// to load shifts, stable against single outliers).
     fn record_flush(&self, elapsed: Duration) {
@@ -540,7 +603,7 @@ impl BatcherShared {
                         let now = Instant::now();
                         if now >= at {
                             if self.try_revoke(slot) {
-                                self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                                self.metrics.deadline_expired.inc();
                                 return Err(BellamyError::DeadlineExceeded);
                             }
                             // Already claimed by a batch: delivery is
@@ -607,14 +670,16 @@ impl BatcherShared {
             }));
             match outcome {
                 Ok(()) => {
-                    self.record_flush(flush_started.elapsed());
+                    let flush_elapsed = flush_started.elapsed();
+                    self.record_flush(flush_elapsed);
+                    self.metrics.flush_latency.record_duration(flush_elapsed);
+                    self.metrics.batch_size.record(requests.len() as u64);
                     // Count before delivering, matching the serving loop:
                     // a caller whose query this assist served must never
                     // read stats that omit its own completed query.
-                    self.queries
-                        .fetch_add(requests.len() as u64, Ordering::Relaxed);
-                    self.batches.fetch_add(1, Ordering::Relaxed);
-                    self.assist_flushes.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.queries.add(requests.len() as u64);
+                    self.metrics.batches.inc();
+                    self.metrics.assist_flushes.inc();
                     for (r, &pred) in requests.iter().zip(results.iter()) {
                         // SAFETY: as above — the submitter is blocked.
                         unsafe { &*r.slot }.deliver(Some(pred));
@@ -625,7 +690,7 @@ impl BatcherShared {
                     // after the forward pass): fail them all so their
                     // submitters unblock, clear the raw-pointer scratch,
                     // and let the panic continue on this caller.
-                    self.panics.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.panics.inc();
                     for r in requests.iter() {
                         // SAFETY: as above — the submitter is blocked.
                         unsafe { &*r.slot }.deliver_panicked();
@@ -658,7 +723,7 @@ impl BatcherShared {
             if let Some(at) = deadline_at {
                 if Instant::now() >= at {
                     if self.try_revoke(slot) {
-                        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.deadline_expired.inc();
                         return Err(BellamyError::DeadlineExceeded);
                     }
                     // Claimed (possibly by this thread's own last assist):
@@ -713,17 +778,7 @@ impl MicroBatcher {
             inflight: AtomicU64::new(0),
             degraded: AtomicBool::new(false),
             flush_nanos: AtomicU64::new(0),
-            queries: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            capacity_flushes: AtomicU64::new(0),
-            timeout_flushes: AtomicU64::new(0),
-            quiesce_flushes: AtomicU64::new(0),
-            assist_flushes: AtomicU64::new(0),
-            shutdown_flushes: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            deadline_expired: AtomicU64::new(0),
-            panics: AtomicU64::new(0),
-            restarts: AtomicU64::new(0),
+            metrics: BatcherMetrics::default(),
         });
         let pool = ThreadPool::named("bellamy-serve", 1);
         {
@@ -750,6 +805,31 @@ impl MicroBatcher {
         props: &ContextProperties,
         deadline: Option<Duration>,
     ) -> Result<f64, BellamyError> {
+        // Supplemental latency timing: one `Instant` pair plus one
+        // histogram `fetch_add`, paid by 1 query in 8 (see
+        // `SUBMIT_LATENCY_SAMPLE_PERIOD`; the sampler tick itself is one
+        // relaxed `fetch_add`) and gated so the bench harness can measure
+        // its cost. Still allocation-free either way.
+        let started = (telemetry::timing_enabled() && self.shared.metrics.submit_sampler.tick())
+            .then(Instant::now);
+        let result = self.submit_inner(scale_out, props, deadline);
+        if result.is_ok() {
+            if let Some(t0) = started {
+                self.shared
+                    .metrics
+                    .submit_latency
+                    .record_duration(t0.elapsed());
+            }
+        }
+        result
+    }
+
+    fn submit_inner(
+        &self,
+        scale_out: f64,
+        props: &ContextProperties,
+        deadline: Option<Duration>,
+    ) -> Result<f64, BellamyError> {
         let shared = &*self.shared;
         // Degraded (repeated forward-pass panics): predict directly on this
         // thread — no queue, no admission window to consume.
@@ -759,7 +839,7 @@ impl MicroBatcher {
         // Admission control: shed instead of joining an unbounded convoy.
         if shared.inflight.fetch_add(1, Ordering::AcqRel) >= shared.max_inflight {
             shared.inflight.fetch_sub(1, Ordering::AcqRel);
-            shared.shed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.shed.inc();
             return Err(BellamyError::Overloaded {
                 retry_after_hint: shared.retry_after_hint(),
             });
@@ -789,7 +869,7 @@ impl MicroBatcher {
                     Some(at) => {
                         let now = Instant::now();
                         if now >= at {
-                            shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                            shared.metrics.deadline_expired.inc();
                             return Err(BellamyError::DeadlineExceeded);
                         }
                         let _ = shared.space.wait_for(&mut q, at - now);
@@ -820,22 +900,129 @@ impl MicroBatcher {
     }
 
     fn stats(&self) -> BatcherStats {
+        let m = &self.shared.metrics;
         BatcherStats {
-            queries: self.shared.queries.load(Ordering::Relaxed),
-            batches: self.shared.batches.load(Ordering::Relaxed),
-            capacity_flushes: self.shared.capacity_flushes.load(Ordering::Relaxed),
-            timeout_flushes: self.shared.timeout_flushes.load(Ordering::Relaxed),
-            quiesce_flushes: self.shared.quiesce_flushes.load(Ordering::Relaxed),
-            assist_flushes: self.shared.assist_flushes.load(Ordering::Relaxed),
-            shutdown_flushes: self.shared.shutdown_flushes.load(Ordering::Relaxed),
-            shed: self.shared.shed.load(Ordering::Relaxed),
-            deadline_expired: self.shared.deadline_expired.load(Ordering::Relaxed),
-            panics: self.shared.panics.load(Ordering::Relaxed),
-            restarts: self.shared.restarts.load(Ordering::Relaxed),
+            queries: m.queries.get(),
+            batches: m.batches.get(),
+            capacity_flushes: m.capacity_flushes.get(),
+            timeout_flushes: m.timeout_flushes.get(),
+            quiesce_flushes: m.quiesce_flushes.get(),
+            assist_flushes: m.assist_flushes.get(),
+            shutdown_flushes: m.shutdown_flushes.get(),
+            shed: m.shed.get(),
+            deadline_expired: m.deadline_expired.get(),
+            panics: m.panics.get(),
+            restarts: m.restarts.get(),
             degraded: self.shared.degraded.load(Ordering::Acquire),
             ..BatcherStats::default()
         }
         .with_kernel_resolution()
+    }
+
+    /// Contributes this batcher's metrics to a telemetry snapshot, labelled
+    /// by the served model's registry key.
+    fn collect_telemetry(&self, snap: &mut TelemetrySnapshot) {
+        let model = self.shared.model_label().to_string();
+        let m = &self.shared.metrics;
+        let with_model = |extra: Option<(&'static str, &'static str)>| {
+            let mut labels = vec![("model", model.clone())];
+            if let Some((k, v)) = extra {
+                labels.push((k, v.to_string()));
+            }
+            labels
+        };
+        snap.push_counter(
+            "bellamy_serve_queries_total",
+            with_model(None),
+            "queries",
+            "Queries served through the micro-batcher.",
+            m.queries.get(),
+        );
+        snap.push_counter(
+            "bellamy_serve_batches_total",
+            with_model(None),
+            "batches",
+            "Batches flushed to the predictor.",
+            m.batches.get(),
+        );
+        for (reason, counter) in [
+            ("capacity", &m.capacity_flushes),
+            ("timeout", &m.timeout_flushes),
+            ("quiesce", &m.quiesce_flushes),
+            ("assist", &m.assist_flushes),
+            ("shutdown", &m.shutdown_flushes),
+        ] {
+            snap.push_counter(
+                "bellamy_serve_flushes_total",
+                with_model(Some(("reason", reason))),
+                "flushes",
+                "Batch flushes by trigger reason.",
+                counter.get(),
+            );
+        }
+        snap.push_counter(
+            "bellamy_serve_shed_total",
+            with_model(None),
+            "queries",
+            "Queries shed at admission (max_inflight reached).",
+            m.shed.get(),
+        );
+        snap.push_counter(
+            "bellamy_serve_deadline_expired_total",
+            with_model(None),
+            "queries",
+            "Queries revoked because their deadline budget elapsed.",
+            m.deadline_expired.get(),
+        );
+        snap.push_counter(
+            "bellamy_serve_panics_total",
+            with_model(None),
+            "panics",
+            "Forward-pass panics absorbed by the supervised loop.",
+            m.panics.get(),
+        );
+        snap.push_counter(
+            "bellamy_serve_restarts_total",
+            with_model(None),
+            "restarts",
+            "Serving-loop respawns after a panic.",
+            m.restarts.get(),
+        );
+        snap.push_gauge(
+            "bellamy_serve_degraded",
+            with_model(None),
+            "",
+            "1 once repeated panics degraded this batcher to direct prediction.",
+            self.shared.degraded.load(Ordering::Acquire) as i64,
+        );
+        snap.push_gauge(
+            "bellamy_serve_queue_depth",
+            with_model(None),
+            "queries",
+            "Queries currently admitted (queued or mid-flush).",
+            self.shared.inflight.load(Ordering::Relaxed) as i64,
+        );
+        snap.push_histogram(
+            "bellamy_serve_submit_latency_seconds",
+            with_model(None),
+            "seconds",
+            "Submit-to-response latency, sampled 1 query in 8.",
+            m.submit_latency.snapshot(),
+        );
+        snap.push_histogram(
+            "bellamy_serve_flush_latency_seconds",
+            with_model(None),
+            "seconds",
+            "Per-batch forward-pass latency.",
+            m.flush_latency.snapshot(),
+        );
+        snap.push_histogram(
+            "bellamy_serve_batch_size",
+            with_model(None),
+            "queries",
+            "Distribution of claimed batch sizes.",
+            m.batch_size.snapshot(),
+        );
     }
 }
 
@@ -916,18 +1103,17 @@ fn serve_drained(shared: &BatcherShared, requests: &[Request]) {
     }));
     match outcome {
         Ok(results) => {
-            shared
-                .queries
-                .fetch_add(requests.len() as u64, Ordering::Relaxed);
-            shared.batches.fetch_add(1, Ordering::Relaxed);
-            shared.shutdown_flushes.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.batch_size.record(requests.len() as u64);
+            shared.metrics.queries.add(requests.len() as u64);
+            shared.metrics.batches.inc();
+            shared.metrics.shutdown_flushes.inc();
             for (r, &pred) in requests.iter().zip(results.iter()) {
                 // SAFETY: as above — the submitter is blocked.
                 unsafe { &*r.slot }.deliver(Some(pred));
             }
         }
         Err(_) => {
-            shared.panics.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.panics.inc();
             for r in requests {
                 // SAFETY: as above — the submitter is blocked.
                 unsafe { &*r.slot }.deliver_panicked();
@@ -957,7 +1143,7 @@ fn supervised_loop(shared: Arc<BatcherShared>) {
             // Clean shutdown; the guard drains any stragglers.
             Ok(()) => return,
             Err(_) => {
-                shared.panics.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.panics.inc();
                 let now = Instant::now();
                 recent.retain(|t| now.duration_since(*t) <= PANIC_WINDOW);
                 recent.push(now);
@@ -966,9 +1152,26 @@ fn supervised_loop(shared: Arc<BatcherShared>) {
                     // exit: the `LoopGuard` serves whatever is still queued
                     // one final time on this thread.
                     shared.degraded.store(true, Ordering::Release);
+                    telemetry::events().record(
+                        event_kind::BATCHER_DEGRADED,
+                        format!(
+                            "model `{}`: {} panics within {:?}; degraded to direct prediction",
+                            shared.model_label(),
+                            recent.len(),
+                            PANIC_WINDOW
+                        ),
+                    );
                     return;
                 }
-                shared.restarts.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.restarts.inc();
+                telemetry::events().record(
+                    event_kind::LOOP_RESTART,
+                    format!(
+                        "model `{}`: serving loop respawned after panic {} in window",
+                        shared.model_label(),
+                        recent.len()
+                    ),
+                );
                 let exp = (recent.len() - 1).min(16) as u32;
                 let backoff = RESTART_BACKOFF_BASE
                     .saturating_mul(1 << exp)
@@ -1081,17 +1284,18 @@ fn serve_rounds(shared: &BatcherShared) {
             }
             std::panic::resume_unwind(payload);
         }
-        shared.record_flush(flush_started.elapsed());
+        let flush_elapsed = flush_started.elapsed();
+        shared.record_flush(flush_elapsed);
+        shared.metrics.flush_latency.record_duration(flush_elapsed);
+        shared.metrics.batch_size.record(processing.len() as u64);
 
-        shared
-            .queries
-            .fetch_add(processing.len() as u64, Ordering::Relaxed);
-        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.queries.add(processing.len() as u64);
+        shared.metrics.batches.inc();
         match reason {
-            FlushReason::Capacity => shared.capacity_flushes.fetch_add(1, Ordering::Relaxed),
-            FlushReason::Timeout => shared.timeout_flushes.fetch_add(1, Ordering::Relaxed),
-            FlushReason::Quiesce => shared.quiesce_flushes.fetch_add(1, Ordering::Relaxed),
-            FlushReason::Shutdown => shared.shutdown_flushes.fetch_add(1, Ordering::Relaxed),
+            FlushReason::Capacity => shared.metrics.capacity_flushes.inc(),
+            FlushReason::Timeout => shared.metrics.timeout_flushes.inc(),
+            FlushReason::Quiesce => shared.metrics.quiesce_flushes.inc(),
+            FlushReason::Shutdown => shared.metrics.shutdown_flushes.inc(),
         };
 
         for (request, &pred) in processing.iter().zip(results.iter()) {
@@ -1290,6 +1494,83 @@ impl Service {
     /// Hub operation counters.
     pub fn stats(&self) -> HubStats {
         self.inner.hub.stats()
+    }
+
+    /// A typed point-in-time snapshot of every metric this service can see:
+    /// per-model serve metrics (latency histograms, queue depth, shed /
+    /// deadline / panic / restart counts), hub recall metrics (per-mode
+    /// latency, retries, quarantines), process-wide predictor and train
+    /// metrics, the kernel resolution, and the recent structured events.
+    /// Render it with [`TelemetrySnapshot::to_json`] or
+    /// [`TelemetrySnapshot::to_prometheus`].
+    ///
+    /// Reading is lock-free on the hot-path atomics (the per-service batcher
+    /// registry lock is held only to walk the batcher list) and safe to call
+    /// from a scrape loop at any frequency.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::new();
+        let res = kernels::resolution();
+        let source = match res.source {
+            RequestSource::Default => "default",
+            RequestSource::Env => "env",
+            RequestSource::Program => "program",
+        };
+        snap.push_gauge(
+            "bellamy_kernel_info",
+            vec![
+                ("requested", res.requested_name().to_string()),
+                ("resolved", res.resolved_name().to_string()),
+                ("source", source.to_string()),
+            ],
+            "",
+            "Kernel dispatch resolution for this process (constant 1).",
+            1,
+        );
+        snap.push_gauge(
+            "bellamy_kernel_degraded",
+            Vec::new(),
+            "",
+            "1 if the requested kernel tier was unavailable and dispatch degraded.",
+            res.degraded as i64,
+        );
+        self.inner.hub.collect_telemetry(&mut snap);
+        {
+            let batchers = self.inner.batchers.lock();
+            for batcher in batchers.values() {
+                batcher.collect_telemetry(&mut snap);
+            }
+        }
+        let g = telemetry::global();
+        snap.push_histogram(
+            "bellamy_predict_batch_rows",
+            Vec::new(),
+            "rows",
+            "Rows per forward pass (process-wide, direct and batched paths).",
+            g.predict_batch_rows.snapshot(),
+        );
+        snap.push_counter(
+            "bellamy_predict_queries_total",
+            Vec::new(),
+            "rows",
+            "Total rows pushed through the forward pass (process-wide).",
+            g.predict_queries.get(),
+        );
+        snap.push_counter(
+            "bellamy_train_steps_total",
+            Vec::new(),
+            "steps",
+            "Total optimizer steps taken (process-wide).",
+            g.train_steps.get(),
+        );
+        snap.push_histogram(
+            "bellamy_train_step_latency_seconds",
+            Vec::new(),
+            "seconds",
+            "Per-step optimizer wall time (process-wide).",
+            g.train_step_nanos.snapshot(),
+        );
+        snap.set_events(telemetry::events().recent());
+        snap
     }
 
     /// A client for the model registered under `key` (memory, then disk).

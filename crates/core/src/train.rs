@@ -188,11 +188,18 @@ impl Pretrainer {
             let end = (start + self.cfg.batch_size).min(n);
             // Borrow the chunk without holding `self` (step_* take &mut).
             let (chunk_start, chunk_end) = (start, end);
+            let step_started = Instant::now();
             epoch_loss += if legacy {
                 self.step_legacy(model, chunk_start, chunk_end, step)
             } else {
                 self.step(model, chunk_start, chunk_end, step)
             };
+            // Step timing: two fetch_adds per minibatch, allocation-free.
+            let global = bellamy_telemetry::global();
+            global.train_steps.inc();
+            global
+                .train_step_nanos
+                .record_duration(step_started.elapsed());
             if self.diverged {
                 self.epoch += 1;
                 return f64::NAN;

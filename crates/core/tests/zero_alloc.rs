@@ -8,7 +8,9 @@
 //! worker team parks persistent jobs, so fanning a step out is signalling
 //! only). Likewise, once a `Predictor` has seen a batch shape and the
 //! context's property encodings, further `predict_batch`/`predict_sweep`/
-//! single-`predict` calls must not allocate.
+//! single-`predict` calls must not allocate. The telemetry instrumentation
+//! added to these paths (counters, log₂ latency histograms) is always on,
+//! so every window below also proves the record path allocation-free.
 
 use bellamy_core::train::Pretrainer;
 use bellamy_core::{
@@ -261,7 +263,10 @@ fn steady_state_micro_batched_submit_is_allocation_free() {
     // warm-up sized the arena, pool matrices, and the shared encoding
     // cache, a steady-state submit must not touch the allocator — on the
     // submitting side *or* inside the serving loop (the counter is global,
-    // so this window covers both threads).
+    // so this window covers both threads). The path is fully instrumented
+    // (telemetry counters, the submit-latency and batch-size histograms
+    // with timing enabled by default), so this also proves the record path
+    // is the promised single `fetch_add` — no boxing, no formatting.
     let (state, samples) = fitted_state_and_samples();
     let props = samples[0].props.clone();
     let service = Service::builder()
@@ -290,6 +295,49 @@ fn steady_state_micro_batched_submit_is_allocation_free() {
     assert_eq!(
         allocs, 0,
         "steady-state micro-batched submit path must not allocate"
+    );
+}
+
+#[test]
+fn steady_state_instrumented_memory_recall_is_allocation_free() {
+    // Hub recalls are instrumented (telemetry counters on every path, a
+    // latency histogram on disk recalls). The memory-hit path — the one
+    // serving loops lean on per request — must stay allocation-free: a
+    // registry lock, one counter `fetch_add`, an `Arc` clone.
+    let samples = samples(24);
+    let mut model = Bellamy::new(BellamyConfig::default(), 7);
+    let mut trainer = Pretrainer::new(&mut model, &samples, &PretrainConfig::default(), 13);
+    trainer.run_epoch(&mut model);
+    let hub = ModelHub::in_memory();
+    let key = ModelKey::new("grep", "runtime-recall", &BellamyConfig::default());
+    hub.publish(&key, &model).unwrap();
+    for _ in 0..2 {
+        hub.recall(&key).unwrap();
+    }
+    // The counter is process-global, so the window can overlap sibling
+    // tests' allocation-heavy setup; an allocating recall would allocate
+    // in *every* window, so one quiet window is proof (same pattern as the
+    // fast-tier kernel test).
+    let mut allocs = u64::MAX;
+    for _ in 0..50 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..10 {
+            let state = hub.recall(&key).expect("registered key");
+            drop(state);
+        }
+        allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+        if allocs == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert_eq!(
+        allocs, 0,
+        "instrumented steady-state memory recall must not allocate"
+    );
+    assert!(
+        hub.stats().memory_recalls >= 12,
+        "the instrumented counter must have seen every recall"
     );
 }
 

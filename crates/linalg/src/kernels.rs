@@ -522,21 +522,13 @@ fn resolve() -> Resolved {
     let table = match requested {
         TierRequest::Scalar => scalar(),
         TierRequest::Simd => simd().unwrap_or_else(|| {
-            eprintln!(
-                "bellamy: kernel tier `simd` requested ({}) but this CPU has no \
-                 supported vector unit; degraded to `scalar`",
-                source_label(source)
-            );
-            scalar()
+            let fallback = scalar();
+            note_degradation(requested, source, fallback.backend);
+            fallback
         }),
         TierRequest::Fma => fma().unwrap_or_else(|| {
             let fallback = simd().unwrap_or(scalar());
-            eprintln!(
-                "bellamy: kernel tier `fma` requested ({}) but this CPU lacks \
-                 FMA; degraded to `{}` (Exact tier)",
-                source_label(source),
-                fallback.backend.name()
-            );
+            note_degradation(requested, source, fallback.backend);
             fallback
         }),
         // `auto` deliberately never picks the Fast tier: the default
@@ -557,6 +549,25 @@ fn resolve() -> Resolved {
             degraded,
         },
     }
+}
+
+/// Reports a kernel-tier degradation to both sinks: the process-global
+/// structured event log (machine-readable, kind `kernel.degraded`) and a
+/// one-line stderr warning (human-readable). `resolve()` runs once per
+/// process, so each sink sees at most one degradation report.
+fn note_degradation(requested: TierRequest, source: RequestSource, fallback: Backend) {
+    let detail = format!(
+        "kernel tier `{}` requested ({}) but this CPU does not support it; \
+         degraded to `{}`",
+        requested.name(),
+        source_label(source),
+        fallback.name()
+    );
+    bellamy_telemetry::events().record(
+        bellamy_telemetry::event_kind::KERNEL_DEGRADED,
+        detail.as_str(),
+    );
+    eprintln!("bellamy: {detail}");
 }
 
 fn source_label(source: RequestSource) -> &'static str {
@@ -2444,6 +2455,23 @@ mod tests {
             Ok(r) | Err(r) => r,
         };
         assert_eq!(standing, resolution());
+    }
+
+    #[test]
+    fn degradation_warning_reaches_the_event_log() {
+        let log = bellamy_telemetry::events();
+        let before = log.total();
+        note_degradation(TierRequest::Fma, RequestSource::Env, Backend::Scalar);
+        assert!(log.total() > before);
+        let event = log
+            .recent()
+            .into_iter()
+            .rev()
+            .find(|e| e.kind == bellamy_telemetry::event_kind::KERNEL_DEGRADED)
+            .expect("degradation event recorded");
+        assert!(event.detail.contains("`fma`"), "detail: {}", event.detail);
+        assert!(event.detail.contains("degraded to `scalar`"));
+        assert!(event.detail.contains("via BELLAMY_KERNEL"));
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Lock-free metric primitives: counters, gauges, log₂ latency histograms.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing event count. `add` is a single relaxed
+/// `fetch_add`: no locks, no allocation.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (queue depths, in-flight counts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub const fn new() -> Self {
+        Self(AtomicI64::new(0))
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn sub(&self, d: i64) {
+        self.0.fetch_sub(d, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A deterministic 1-in-N gate for supplemental measurements that cost
+/// more than a `fetch_add` — clock reads, most commonly. `tick()` is a
+/// single relaxed `fetch_add` plus a mask test (the period is a power of
+/// two, so there is never a division), returning `true` on the first call
+/// and every `period`-th call after. Sampling a latency histogram this way
+/// keeps its quantiles representative of a steady workload while shrinking
+/// the per-operation cost by the period.
+#[derive(Debug)]
+pub struct Sampler {
+    ticks: AtomicU64,
+    mask: u64,
+}
+
+impl Sampler {
+    /// A sampler firing every `period`-th tick; `period` must be a power
+    /// of two.
+    pub const fn every(period: u64) -> Self {
+        assert!(period.is_power_of_two(), "sample period must be 2^k");
+        Self {
+            ticks: AtomicU64::new(0),
+            mask: period - 1,
+        }
+    }
+
+    /// Advances the sampler and reports whether this tick is sampled.
+    #[inline]
+    pub fn tick(&self) -> bool {
+        self.ticks.fetch_add(1, Ordering::Relaxed) & self.mask == 0
+    }
+
+    /// Total ticks observed (sampled or not).
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets. Bucket `i` covers values in
+/// `[2^i, 2^(i+1))` (bucket 0 also absorbs 0), so 48 buckets span
+/// 1 ns … ~3.3 days when recording nanoseconds — ample for every latency
+/// and batch-size distribution in the stack. The last bucket is unbounded.
+pub const NUM_BUCKETS: usize = 48;
+
+/// A fixed-bucket, log₂-scale histogram. The record path is exactly one
+/// relaxed `fetch_add` on the owning bucket — no locks, no allocation —
+/// which preserves the zero-alloc serving contract when called from the
+/// steady-state submit/predict paths.
+///
+/// Values are raw `u64`s; callers pick the unit (the serving layer records
+/// nanoseconds, the predictor records row counts).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub const fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; NUM_BUCKETS],
+        }
+    }
+
+    /// Index of the bucket owning `v`: `floor(log2(v))` clamped to the table.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v < 2 {
+            0
+        } else {
+            let idx = 63 - v.leading_zeros() as usize;
+            idx.min(NUM_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` (last bucket is unbounded).
+    pub const fn bucket_upper(i: usize) -> u64 {
+        if i >= NUM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
+    }
+
+    /// Record one observation. One relaxed `fetch_add`, nothing else.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duration in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Point-in-time copy of all bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; NUM_BUCKETS];
+        for (dst, src) in counts.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { counts }
+    }
+}
+
+/// An owned, immutable copy of a [`Histogram`]'s bucket counts, with
+/// quantile and summary helpers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: [u64; NUM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    pub fn from_counts(counts: [u64; NUM_BUCKETS]) -> Self {
+        Self { counts }
+    }
+
+    pub fn counts(&self) -> &[u64; NUM_BUCKETS] {
+        &self.counts
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Nearest-rank quantile, resolved to the inclusive upper bound of the
+    /// bucket holding the target rank (log₂ resolution). Returns 0 for an
+    /// empty histogram. `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Same nearest-rank convention as `nearest_rank`: zero-based target
+        // index round((n-1) * q), then walk the cumulative counts.
+        let target = ((total - 1) as f64 * q).round() as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum > target {
+                return Histogram::bucket_upper(i);
+            }
+        }
+        Histogram::bucket_upper(NUM_BUCKETS - 1)
+    }
+
+    /// Approximate sum of all observations, assuming each landed at its
+    /// bucket's arithmetic midpoint. Exact enough for rate/mean dashboards;
+    /// not for billing.
+    pub fn sum_approx(&self) -> f64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let mid = if i == 0 {
+                    1.0
+                } else {
+                    1.5 * (1u64 << i) as f64
+                };
+                c as f64 * mid
+            })
+            .sum()
+    }
+
+    /// Approximate mean observation (see [`Self::sum_approx`]).
+    pub fn mean_approx(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_approx() / n as f64
+        }
+    }
+
+    /// Index one past the highest non-empty bucket (0 if empty). Exporters
+    /// use this to avoid rendering the empty tail.
+    pub fn nonzero_len(&self) -> usize {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| i + 1)
+    }
+}
+
+/// Shared nearest-rank percentile over an already-sorted sample set:
+/// the element at zero-based index `round((len - 1) * q)`. This is the
+/// single implementation behind both `HistogramSnapshot::quantile` and the
+/// bench harness's exact p50/p99 columns. Returns 0 for an empty slice.
+pub fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_fires_first_then_every_period() {
+        let s = Sampler::every(4);
+        let fired: Vec<bool> = (0..9).map(|_| s.tick()).collect();
+        assert_eq!(
+            fired,
+            vec![true, false, false, false, true, false, false, false, true]
+        );
+        assert_eq!(s.ticks(), 9);
+        let always = Sampler::every(1);
+        assert!((0..5).all(|_| always.tick()));
+    }
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.get(), 3);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn bucket_index_is_floor_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(1023), 9);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_are_inclusive() {
+        assert_eq!(Histogram::bucket_upper(0), 1);
+        assert_eq!(Histogram::bucket_upper(1), 3);
+        assert_eq!(Histogram::bucket_upper(9), 1023);
+        assert_eq!(Histogram::bucket_upper(NUM_BUCKETS - 1), u64::MAX);
+        // Every value maps inside its bucket's bound.
+        for v in [0u64, 1, 2, 3, 5, 100, 1 << 20, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            assert!(v <= Histogram::bucket_upper(i));
+            if i > 0 {
+                assert!(v > Histogram::bucket_upper(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_hit_bucket_uppers() {
+        let h = Histogram::new();
+        // 90 fast observations (~1µs), 10 slow (~1ms).
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.quantile(0.5), Histogram::bucket_upper(9)); // 1000 → bucket 9
+        assert_eq!(s.quantile(0.99), Histogram::bucket_upper(19)); // 1e6 → bucket 19
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean_approx(), 0.0);
+        assert_eq!(s.nonzero_len(), 0);
+    }
+
+    #[test]
+    fn nearest_rank_matches_bench_convention() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&sorted, 0.0), 1);
+        assert_eq!(nearest_rank(&sorted, 1.0), 100);
+        assert_eq!(nearest_rank(&sorted, 0.5), 51); // round(99*0.5)=50 → sorted[50]
+        assert_eq!(nearest_rank(&sorted, 0.99), 99); // round(99*0.99)=98
+        assert_eq!(nearest_rank(&[], 0.5), 0);
+        assert_eq!(nearest_rank(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn sum_approx_uses_midpoints() {
+        let h = Histogram::new();
+        h.record(0); // bucket 0, midpoint 1
+        h.record(4); // bucket 2, midpoint 6
+        let s = h.snapshot();
+        assert_eq!(s.sum_approx(), 7.0);
+        assert_eq!(s.mean_approx(), 3.5);
+    }
+
+    #[test]
+    fn record_duration_records_nanos() {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_micros(1));
+        let s = h.snapshot();
+        assert_eq!(s.counts()[Histogram::bucket_index(1_000)], 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Concurrency guarantees of the lock-free histogram: exact totals and
+//! bucket monotonicity under 8 simultaneous recorders.
+
+use std::sync::Arc;
+use std::thread;
+
+use bellamy_telemetry::{Counter, Histogram, NUM_BUCKETS};
+
+const THREADS: usize = 8;
+const RECORDS_PER_THREAD: u64 = 50_000;
+
+#[test]
+fn histogram_is_exact_under_8_concurrent_recorders() {
+    let hist = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            thread::spawn(move || {
+                // Thread t records values landing exactly in bucket t+1
+                // (value 2^(t+1)), plus a shared stream into bucket 0.
+                let v = 1u64 << (t + 1);
+                for i in 0..RECORDS_PER_THREAD {
+                    if i % 2 == 0 {
+                        hist.record(v);
+                    } else {
+                        hist.record(1);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let snap = hist.snapshot();
+    let expected_total = THREADS as u64 * RECORDS_PER_THREAD;
+    assert_eq!(snap.count(), expected_total, "no record may be lost");
+
+    // Bucket 0 got every thread's odd-iteration records.
+    assert_eq!(snap.counts()[0], expected_total / 2);
+    // Each thread's dedicated bucket got exactly its even-iteration records.
+    for t in 0..THREADS {
+        assert_eq!(
+            snap.counts()[t + 1],
+            RECORDS_PER_THREAD / 2,
+            "bucket {} lost records",
+            t + 1
+        );
+    }
+    // All remaining buckets are untouched.
+    for (i, &c) in snap.counts().iter().enumerate().skip(THREADS + 1) {
+        assert_eq!(c, 0, "bucket {i} unexpectedly non-empty");
+    }
+
+    // Cumulative bucket counts are monotonically non-decreasing and end at
+    // the exact total (the invariant the Prometheus exporter relies on).
+    let mut cum = 0u64;
+    let mut last = 0u64;
+    for &c in snap.counts().iter() {
+        cum += c;
+        assert!(cum >= last, "cumulative counts must be monotone");
+        last = cum;
+    }
+    assert_eq!(cum, expected_total);
+    assert!(snap.nonzero_len() <= NUM_BUCKETS);
+}
+
+#[test]
+fn counter_is_exact_under_8_concurrent_recorders() {
+    let counter = Arc::new(Counter::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let counter = Arc::clone(&counter);
+            thread::spawn(move || {
+                for _ in 0..RECORDS_PER_THREAD {
+                    counter.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.get(), THREADS as u64 * RECORDS_PER_THREAD);
+}

@@ -69,6 +69,7 @@
 //! | [`encoding`] | property encoders (binarizer, hashing vectorizer) |
 //! | [`nn`] / [`autograd`] / [`linalg`] | the neural-network substrate built for this reproduction |
 //! | [`par`] | the thread-pool / parallel-map substrate |
+//! | [`telemetry`] | lock-free metrics registry, structured event log, JSON/Prometheus exporters |
 //!
 //! Run `cargo run --release -p bench --bin repro -- all` to regenerate every
 //! table and figure of the paper's evaluation section; see `EXPERIMENTS.md`
@@ -83,6 +84,7 @@ pub use bellamy_eval as eval;
 pub use bellamy_linalg as linalg;
 pub use bellamy_nn as nn;
 pub use bellamy_par as par;
+pub use bellamy_telemetry as telemetry;
 
 /// The most common imports in one place.
 ///
@@ -114,6 +116,13 @@ pub use bellamy_par as par;
 /// let tuned = service.finetuned_client(&key, "new-context", &observed)?;
 /// let runtime_s = tuned.predict(8.0, &props)?;
 /// # assert!(runtime_s.is_finite());
+///
+/// // Every layer is instrumented: one snapshot call exposes serve latency
+/// // histograms, hub recall metrics, train-step timing, and the kernel
+/// // resolution — renderable as JSON or Prometheus text for a scrape loop.
+/// let snapshot = service.telemetry();
+/// assert!(snapshot.counter("bellamy_serve_queries_total") >= Some(1));
+/// let _scrape_body = snapshot.to_prometheus();
 /// # Ok::<(), BellamyError>(())
 /// ```
 ///
@@ -128,9 +137,10 @@ pub mod prelude {
     pub use bellamy_core::{
         cheapest_scale_out, context_properties, min_scale_out_meeting, search_pretrain,
         BatcherConfig, BatcherStats, Bellamy, BellamyConfig, BellamyError, ContextProperties,
-        FinetuneConfig, FinetunePolicy, FlushPolicy, HubError, ModelClient, ModelHub, ModelKey,
-        ModelState, PredictError, PredictQuery, Predictor, PretrainConfig, ReuseStrategy,
-        SearchSpace, Service, ServiceBuilder, TrainingSample,
+        Event, FinetuneConfig, FinetunePolicy, FlushPolicy, HistogramSnapshot, HubError,
+        MetricValue, ModelClient, ModelHub, ModelKey, ModelState, PredictError, PredictQuery,
+        Predictor, PretrainConfig, ReuseStrategy, Sample, SearchSpace, Service, ServiceBuilder,
+        TelemetrySnapshot, TrainingSample,
     };
     pub use bellamy_data::{
         generate_bell, generate_c3o, ground_truth_profile, Algorithm, Dataset, Environment,
